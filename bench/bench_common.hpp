@@ -1,0 +1,105 @@
+// Shared experiment rig for the paper-reproduction benches: the Figure-4
+// office, an uplink simulation, and helpers to fire one 802.11 frame from
+// a position and collect each AP's ReceivedPacket.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "sa/common/angles.hpp"
+#include "sa/common/rng.hpp"
+#include "sa/common/stats.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/secure/accesspoint.hpp"
+#include "sa/secure/spoofdetector.hpp"
+#include "sa/secure/virtualfence.hpp"
+#include "sa/testbed/office.hpp"
+#include "sa/testbed/uplink.hpp"
+
+namespace sa::bench {
+
+inline constexpr double kNoisePower = 1e-5;  // ~46 dB SNR for ring clients
+
+struct Rig {
+  OfficeTestbed tb = OfficeTestbed::figure4();
+  Rng rng;
+  std::unique_ptr<UplinkSimulation> sim;
+  std::vector<std::unique_ptr<AccessPoint>> aps;
+  std::uint16_t seq = 0;
+
+  explicit Rig(std::uint64_t seed, double noise_power = kNoisePower)
+      : rng(seed) {
+    UplinkConfig cfg;
+    cfg.channel.noise_power = noise_power;
+    sim = std::make_unique<UplinkSimulation>(tb, cfg, rng);
+  }
+
+  /// Add an AP; default geometry is the paper's octagon array.
+  AccessPoint& add_ap(Vec2 position,
+                      ArrayGeometry geometry = ArrayGeometry::octagon(),
+                      bool calibrated = true) {
+    AccessPointConfig cfg;
+    cfg.position = position;
+    cfg.geometry = std::move(geometry);
+    cfg.apply_calibration = calibrated;
+    aps.push_back(std::make_unique<AccessPoint>(cfg, rng));
+    sim->add_ap(aps.back()->placement());
+    return *aps.back();
+  }
+
+  /// Build one uplink data frame's waveform.
+  CVec make_wave(int client_id) {
+    const Frame frame =
+        Frame::data(MacAddress::from_index(9999),
+                    MacAddress::from_index(static_cast<std::uint32_t>(client_id)),
+                    Bytes{0xDE, 0xAD, 0xBE, 0xEF}, seq++);
+    return PacketTransmitter(PhyRate::k6Mbps).transmit(frame.serialize());
+  }
+
+  /// Transmit one frame from `from`; returns each AP's received packets.
+  std::vector<std::vector<ReceivedPacket>> uplink(
+      Vec2 from, int client_id, const TxPattern* pattern = nullptr) {
+    const CVec wave = make_wave(client_id);
+    const auto rx = sim->transmit(from, wave, pattern);
+    std::vector<std::vector<ReceivedPacket>> out;
+    out.reserve(aps.size());
+    for (std::size_t i = 0; i < aps.size(); ++i) {
+      out.push_back(aps[i]->receive(rx[i]));
+    }
+    return out;
+  }
+};
+
+/// Circular mean + max deviation-based CI of a set of bearings (degrees).
+struct BearingStats {
+  double mean_deg = 0.0;
+  double ci99_half_deg = 0.0;  ///< Student-t 99% CI of the angular error
+  std::size_t n = 0;
+};
+
+inline BearingStats bearing_stats(const std::vector<double>& bearings_deg) {
+  BearingStats out;
+  out.n = bearings_deg.size();
+  if (bearings_deg.empty()) return out;
+  out.mean_deg = circular_mean_deg(bearings_deg);
+  std::vector<double> devs;
+  devs.reserve(bearings_deg.size());
+  for (double b : bearings_deg) {
+    devs.push_back(wrap_deg180(b - out.mean_deg));
+  }
+  const auto ci = confidence_interval(devs, 0.99);
+  // CI of the deviation around the circular mean; half width reported.
+  out.ci99_half_deg = ci.half_width;
+  return out;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace sa::bench

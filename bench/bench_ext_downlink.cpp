@@ -1,0 +1,84 @@
+// Extension bench — the paper's Sec. 5 future work: "With AoA
+// information obtained, high efficiency downlink directional
+// transmission will also be feasible resulting in higher throughput and
+// better reliability", plus the whitespace-radio discussion (Sec. 1):
+// yielding toward an incumbent by transmit null-steering.
+//
+// For every ring client: estimate the uplink AoA from one packet, then
+// compare the downlink power delivered by (a) a single antenna, (b) an
+// AoA-steered conjugate beam, and (c) full-CSI MRT (the upper bound).
+// Finally, steer at a client while nulling an incumbent's bearing.
+#include "bench_common.hpp"
+
+#include "sa/secure/beamforming.hpp"
+
+using namespace sa;
+using namespace sa::bench;
+
+int main() {
+  print_header("Extension — AoA-driven downlink beamforming (Sec. 5)",
+               "future work: directional downlink + incumbent protection");
+
+  Rig rig(4242);
+  auto& ap = rig.add_ap(rig.tb.ap_position());
+  const double lambda = ap.wavelength_m();
+  const auto geom = ap.config().geometry;
+  ChannelConfig quiet;
+  quiet.noise_power = 0.0;
+  const ChannelSimulator chsim(quiet);
+
+  std::printf("%-8s %14s %14s %14s\n", "client", "AoA-beam gain",
+              "MRT gain", "gap to MRT");
+  std::vector<double> aoa_gains, mrt_gains;
+  for (int id : {1, 2, 3, 4, 5, 8, 9, 10}) {
+    const auto& client = rig.tb.client(id);
+    // Uplink: estimate the AoA from one received packet.
+    const auto rx = rig.uplink(client.position, id);
+    if (rx[0].empty()) continue;
+    const double est_bearing = world_to_array_bearing(
+        geom, rx[0][0].bearing_world_deg[0], ap.config().orientation_deg);
+
+    // Downlink: the true (reciprocal) channel to this client.
+    const auto paths = rig.sim->paths(client.position, 0);
+    const CVec h = chsim.channel_vector(paths, ap.placement());
+
+    const CVec w_aoa = aoa_beamforming_weights(geom, est_bearing, lambda);
+    const CVec w_mrt = mrt_weights(h);
+    const double g_aoa = downlink_gain_db(h, w_aoa);
+    const double g_mrt = downlink_gain_db(h, w_mrt);
+    aoa_gains.push_back(g_aoa);
+    mrt_gains.push_back(g_mrt);
+    std::printf("%-8d %11.2f dB %11.2f dB %11.2f dB\n", id, g_aoa, g_mrt,
+                g_mrt - g_aoa);
+    rig.sim->advance(0.3);
+  }
+  std::printf("\nmean AoA-steered gain over one antenna: %5.2f dB "
+              "(theoretical max 10*log10(8) = 9.03 dB)\n",
+              mean(aoa_gains));
+  std::printf("mean full-CSI MRT gain                : %5.2f dB\n",
+              mean(mrt_gains));
+
+  // ---- Incumbent protection: beam at client 1, null toward client 9's
+  // bearing (standing in for a whitespace incumbent / eavesdropper).
+  const double target = world_to_array_bearing(
+      geom, rig.tb.ground_truth_bearing_deg(1), 0.0);
+  const double incumbent = world_to_array_bearing(
+      geom, rig.tb.ground_truth_bearing_deg(9), 0.0);
+  const CVec w_plain = aoa_beamforming_weights(geom, target, lambda);
+  const CVec w_null = null_steering_weights(geom, target, {incumbent}, lambda);
+  std::printf("\nnull-steering (target = client 1 bearing, protected = "
+              "client 9 bearing):\n");
+  std::printf("%-22s %16s %16s\n", "", "toward target", "toward incumbent");
+  std::printf("%-22s %13.2f dB %13.2f dB\n", "plain AoA beam",
+              array_factor_db(geom, w_plain, target, lambda),
+              array_factor_db(geom, w_plain, incumbent, lambda));
+  std::printf("%-22s %13.2f dB %13.2f dB\n", "null-steered beam",
+              array_factor_db(geom, w_null, target, lambda),
+              array_factor_db(geom, w_null, incumbent, lambda));
+
+  std::printf("\nExpected shape: AoA-only beamforming recovers most of the\n"
+              "10*log10(N) array gain, within ~1-3 dB of full-CSI MRT in\n"
+              "multipath; null-steering keeps the target gain while driving\n"
+              "the protected bearing below any useful signal level.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 6: stability of AoA signatures over time, linear 8-antenna
+// array. One pseudospectrum per packet at logarithmically spaced lags
+// (0 s, 1 s, 10 s, 100 s, 1000 s, 1 hour, 1 day) for three representative
+// clients: one in another room, one nearby in the AP's room, one far away
+// in the AP's room.
+//
+// Paper's observation to reproduce: "the direct-path peak is quite stable
+// while the multipath reflection peaks (smaller peaks) sometimes vary.
+// From minute to minute, pseudospectra are quite stable."
+#include "bench_common.hpp"
+
+#include "sa/signature/metrics.hpp"
+
+using namespace sa;
+using namespace sa::bench;
+
+namespace {
+
+struct Role {
+  int client_id;
+  const char* role;  // the paper's Fig. 6 label this client plays
+};
+
+}  // namespace
+
+int main() {
+  print_header("Figure 6 — signature stability over a day, linear array",
+               "Fig. 6 and Sec. 3.2");
+
+  Rig rig(2026);
+  // Linear lambda/2 array (the paper's 6.13 cm spacing). Oriented 45 deg
+  // so the three clients of interest sit within +/-45 deg of broadside —
+  // a linear array loses resolution toward endfire, so any real
+  // deployment faces it at its clients.
+  {
+    AccessPointConfig cfg;
+    cfg.position = rig.tb.ap_position();
+    cfg.geometry = ArrayGeometry::uniform_linear(8, 0.0613);
+    cfg.orientation_deg = 45.0;
+    rig.aps.push_back(std::make_unique<AccessPoint>(cfg, rig.rng));
+    rig.sim->add_ap(rig.aps.back()->placement());
+  }
+
+  const Role roles[] = {
+      {7, "paper's 'Client 2': another room nearby"},
+      {4, "paper's 'Client 5': same room, near"},
+      {6, "paper's 'Client 10': far, strong multipath"},
+  };
+  const double lags_s[] = {0.0, 1.0, 10.0, 100.0, 1000.0, 3600.0, 86400.0};
+  const char* lag_names[] = {"0s", "1s", "10s", "100s", "1000s", "1h", "1day"};
+
+  for (const Role& role : roles) {
+    const auto& client = rig.tb.client(role.client_id);
+    std::printf("\n-- testbed client %d (%s)\n", client.id, role.role);
+    std::printf("%-7s %12s %12s %10s %12s\n", "lag", "direct-peak",
+                "drift(deg)", "#peaks", "match-vs-t0");
+
+    AoaSignature first;
+    double first_bearing = 0.0;
+    double elapsed = 0.0;
+    for (std::size_t i = 0; i < std::size(lags_s); ++i) {
+      rig.sim->advance(lags_s[i] - elapsed);
+      elapsed = lags_s[i];
+      const auto rx = rig.uplink(client.position, client.id);
+      if (rx[0].empty()) {
+        std::printf("%-7s %12s\n", lag_names[i], "miss");
+        continue;
+      }
+      const AoaSignature& sig = rx[0][0].signature;
+      const double bearing = rx[0][0].bearing_array_deg;
+      if (i == 0) {
+        first = sig;
+        first_bearing = bearing;
+      }
+      std::printf("%-7s %12.1f %12.2f %10zu %12.3f\n", lag_names[i], bearing,
+                  std::abs(bearing - first_bearing), sig.peaks().size(),
+                  match_score(sig, first));
+    }
+  }
+
+  std::printf("\nExpected shape: direct-peak drift stays within a couple of\n"
+              "degrees at every lag; match-vs-t0 stays high minute-to-minute\n"
+              "and dips only slightly at 1h/1day as reflection peaks wander.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Figure 7: effect of the number of antennas on the AoA pseudospectrum,
+// for the pillar-blocked, multipath-rich client 12 with a linear array.
+// Exactly like the paper, the SAME received packet is processed with 2,
+// 4, 6 and 8 antennas (we slice antenna rows out of one capture).
+//
+// Paper's series to reproduce: 2 antennas -> a single broad peak;
+// 4 antennas -> closer to the true bearing but unable to split paths
+// within ~45 degrees; 6 antennas -> direct and reflection separately
+// visible; 8 antennas -> best resolution and accuracy.
+#include "bench_common.hpp"
+
+#include "sa/aoa/covariance.hpp"
+#include "sa/aoa/estimators.hpp"
+
+using namespace sa;
+using namespace sa::bench;
+
+namespace {
+
+/// 61-column ASCII rendering of a spectrum in dB (0 at the top row,
+/// kFloor at the bottom), -90..90 degrees.
+void print_ascii_spectrum(const Pseudospectrum& ps) {
+  constexpr int kRows = 10;
+  constexpr double kFloorDb = -20.0;
+  const double peak = ps.max_value();
+  for (int row = 0; row < kRows; ++row) {
+    const double threshold = kFloorDb * static_cast<double>(row + 1) / kRows;
+    std::printf("  %6.1f |", threshold);
+    for (int col = 0; col <= 60; ++col) {
+      const double angle = -90.0 + 3.0 * col;
+      const double v_db =
+          10.0 * std::log10(std::max(ps.value_at(angle) / peak, 1e-9));
+      std::printf("%c", v_db >= threshold ? '#' : ' ');
+    }
+    std::printf("\n");
+  }
+  std::printf("         +");
+  for (int col = 0; col <= 60; ++col) std::printf("-");
+  std::printf("\n          -90       -60       -30        0        30        60        90\n");
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Figure 7 — pseudospectrum resolution vs antenna count (client 12)",
+      "Fig. 7 and Sec. 3.3");
+
+  Rig rig(1234);
+  const auto& client = rig.tb.client(12);
+  const auto full_geom = ArrayGeometry::uniform_linear(8, 0.0613);
+  const ArrayPlacement placement{full_geom, rig.tb.ap_position(), 0.0};
+  rig.sim->add_ap(placement);
+  const double lambda = wavelength(2.4e9);
+  const double truth_world = rig.tb.ground_truth_bearing_deg(12);
+  const double truth_array = world_to_array_bearing(full_geom, truth_world, 0.0);
+
+  // One packet, captured on all 8 chains (channel-ideal: this bench
+  // isolates array resolution, so chains are taken as calibrated).
+  const CVec wave = rig.make_wave(client.id);
+  const CMat rx8 = rig.sim->transmit(client.position, wave)[0];
+
+  std::printf("\ntrue array bearing of the direct path: %.1f deg\n",
+              truth_array);
+
+  for (std::size_t n_ant : {2u, 4u, 6u, 8u}) {
+    // Same packet, first n antennas.
+    CMat sub(n_ant, rx8.cols());
+    for (std::size_t m = 0; m < n_ant; ++m) {
+      for (std::size_t t = 0; t < rx8.cols(); ++t) sub(m, t) = rx8(m, t);
+    }
+    const auto geom = ArrayGeometry::uniform_linear(n_ant, 0.0613);
+    const CMat r = sample_covariance(sub);
+    // Cap the model order at n/2: with coherent indoor multipath, MDL
+    // over-fits and a too-thin noise subspace produces spurious endfire
+    // needles on small linear arrays.
+    MusicConfig mcfg;
+    mcfg.num_sources = std::max<std::size_t>(n_ant / 2, 1);
+    const MusicEstimator music(mcfg);
+    const auto res = music.estimate(r, geom, lambda);
+    auto sig = AoaSignature::from_spectrum(res.spectrum, {});
+    const double robust = power_weighted_direct_bearing_deg(
+        sig.spectrum(), sig.peaks(), r, geom, lambda);
+
+    std::printf("\n-- %zu antennas\n", n_ant);
+    print_ascii_spectrum(sig.spectrum());
+    std::printf("   peaks (>1 dB prominence): ");
+    for (const auto& p : sig.peaks()) {
+      std::printf("%.0f deg (%.1f dB)  ", p.angle_deg, p.value_db);
+    }
+    std::printf("\n   #peaks=%zu  direct-path estimate=%.1f deg  "
+                "|err|=%.1f deg\n",
+                sig.peaks().size(), robust, std::abs(robust - truth_array));
+  }
+
+  std::printf("\nExpected shape: the peak count grows with the antenna\n"
+              "count and the direct-path error shrinks; with 6-8 antennas\n"
+              "the direct path and reflections are separately visible,\n"
+              "making the signature more specific (Sec. 3.3).\n");
+  return 0;
+}

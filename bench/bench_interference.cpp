@@ -1,0 +1,124 @@
+// Interference experiment — paper §3: "In real wireless networks,
+// measurements based on just one signal sample ... are sensitive to
+// background noise and interference from other senders. We therefore
+// detect individual packets in the incoming stream ... and compute the
+// correlation matrix ... with each entire packet."
+//
+// We transmit a packet from client 4 while client 9 (a different
+// bearing) transmits an overlapping burst at increasing relative power,
+// and measure the victim's bearing error two ways:
+//   (a) packet-gated: covariance over exactly the detected packet span
+//       (the paper's design) — the other sender's burst is excluded;
+//   (b) whole-buffer: covariance over the full capture including the
+//       interferer-only region (what a packet-agnostic design would do).
+//
+// Finding (kept honest): the *bearing* barely moves either way — MUSIC
+// separates the two sources into distinct peaks. What the interferer
+// poisons is the *signature*: the whole-buffer pseudospectrum grows an
+// interferer peak that makes the victim fail its own signature match —
+// i.e. spoof-detection false alarms. So we report both bearing error
+// and signature match against the victim's clean signature.
+#include "bench_common.hpp"
+
+#include "sa/aoa/covariance.hpp"
+#include "sa/aoa/estimators.hpp"
+#include "sa/signature/metrics.hpp"
+
+using namespace sa;
+using namespace sa::bench;
+
+int main() {
+  print_header("Interference — packet-gated vs whole-buffer covariance",
+               "Sec. 3's packet-detection rationale");
+
+  const auto tb = OfficeTestbed::figure4();
+  const double truth = tb.ground_truth_bearing_deg(4);
+
+  std::printf("victim: client 4 (true bearing %.0f deg); interferer: "
+              "client 9 (bearing %.0f deg), partially overlapping burst\n\n",
+              truth, tb.ground_truth_bearing_deg(9));
+  std::printf("%-18s %12s %12s %12s %12s\n", "interferer power",
+              "gated err", "buffer err", "gated match", "buffer match");
+
+  for (double rel_db : {-100.0, -10.0, 0.0, 5.0, 10.0, 15.0, 20.0}) {
+    std::vector<double> gated_errs, buffer_errs;
+    std::vector<double> gated_match, buffer_match;
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+      Rig rig(seed);
+      auto& ap = rig.add_ap(tb.ap_position());
+      const CVec victim_wave = rig.make_wave(4);
+      CMat rx = rig.sim->transmit(tb.client(4).position, victim_wave)[0];
+
+      // Interferer: a tone burst from another sender later in the same
+      // capture buffer (the paper's scenario: a 0.4 ms buffer holds
+      // traffic from multiple senders).
+      if (rel_db > -90.0) {
+        CVec burst(victim_wave.size(), cd{0.0, 0.0});
+        const double amp = std::pow(10.0, rel_db / 20.0);
+        for (std::size_t t = 0; t < burst.size(); ++t) {
+          const double ph = 0.13 * static_cast<double>(t);
+          burst[t] = cd{amp * std::cos(ph), amp * std::sin(ph)};
+        }
+        // Grow the buffer and append the burst after the victim packet.
+        const std::size_t offset = rx.cols();
+        CMat grown(rx.rows(), rx.cols() + burst.size());
+        for (std::size_t m = 0; m < rx.rows(); ++m) {
+          for (std::size_t t = 0; t < rx.cols(); ++t) grown(m, t) = rx(m, t);
+        }
+        rx = std::move(grown);
+        const auto paths = rig.sim->paths(tb.client(9).position, 0);
+        ChannelConfig quiet;
+        quiet.noise_power = 0.0;
+        ChannelSimulator(quiet).mix_into(rx, burst, paths, ap.placement(),
+                                         offset, rig.rng);
+      }
+
+      // Clean reference signature: same victim, no interferer, gated.
+      const CMat clean = rig.sim->transmit(tb.client(4).position,
+                                           rig.make_wave(4))[0];
+      const auto clean_pkts = ap.receive(clean);
+      if (clean_pkts.empty()) continue;
+      const AoaSignature& ref = clean_pkts[0].signature;
+
+      // (a) The AP's packet-gated pipeline.
+      const auto pkts = ap.receive(rx);
+      if (!pkts.empty()) {
+        const auto world =
+            ap.to_world_bearings(pkts[0].signature.direct_bearing_deg());
+        gated_errs.push_back(angular_distance_deg(world[0], truth));
+        gated_match.push_back(match_score(pkts[0].signature, ref));
+      }
+
+      // (b) Whole-buffer covariance (no packet gating).
+      CMat conditioned = rx;
+      ap.impairments().apply(conditioned);
+      ap.calibration().apply(conditioned);
+      const auto music = ap.music_from_samples(conditioned);
+      const auto world =
+          ap.to_world_bearings(music.spectrum.refined_max_angle_deg());
+      buffer_errs.push_back(angular_distance_deg(world[0], truth));
+      buffer_match.push_back(match_score(
+          AoaSignature::from_spectrum(music.spectrum, ap.config().signature),
+          ref));
+    }
+    char label[32];
+    if (rel_db < -90.0) {
+      std::snprintf(label, sizeof(label), "none");
+    } else {
+      std::snprintf(label, sizeof(label), "%+.0f dB vs victim", rel_db);
+    }
+    std::printf("%-18s %12.2f %12.2f %12.2f %12.2f\n", label,
+                gated_errs.empty() ? -1.0 : mean(gated_errs),
+                buffer_errs.empty() ? -1.0 : mean(buffer_errs),
+                gated_match.empty() ? -1.0 : mean(gated_match),
+                buffer_match.empty() ? -1.0 : mean(buffer_match));
+  }
+
+  std::printf("\nExpected shape: bearings stay accurate in both modes (MUSIC\n"
+              "resolves the interferer as a separate source), but the\n"
+              "whole-buffer SIGNATURE degrades with interferer power — the\n"
+              "victim would start failing its own spoof check — while the\n"
+              "packet-gated signature stays clean. This is why the paper\n"
+              "detects packets before computing correlation matrices.\n");
+  return 0;
+}

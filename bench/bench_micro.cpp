@@ -1,0 +1,179 @@
+// Microbenchmarks (google-benchmark): per-stage costs of the SecureAngle
+// pipeline, establishing that a software implementation keeps up with the
+// paper's 0.4 ms / 20 MHz capture buffers in real time.
+#include <benchmark/benchmark.h>
+
+#include "sa/aoa/covariance.hpp"
+#include "sa/aoa/estimators.hpp"
+#include "sa/aoa/rootmusic.hpp"
+#include "sa/array/geometry.hpp"
+#include "sa/channel/raytracer.hpp"
+#include "sa/common/rng.hpp"
+#include "sa/dsp/fft.hpp"
+#include "sa/dsp/noise.hpp"
+#include "sa/linalg/eig.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/detector.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/secure/accesspoint.hpp"
+#include "sa/testbed/office.hpp"
+#include "sa/testbed/uplink.hpp"
+
+namespace sa {
+namespace {
+
+void BM_Fft64(benchmark::State& state) {
+  Rng rng(1);
+  CVec x(64);
+  for (auto& v : x) v = cd{rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    CVec y = x;
+    fft_inplace(y);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_Fft64);
+
+void BM_Fft4096(benchmark::State& state) {
+  Rng rng(2);
+  CVec x(4096);
+  for (auto& v : x) v = cd{rng.normal(), rng.normal()};
+  for (auto _ : state) {
+    CVec y = x;
+    fft_inplace(y);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_Fft4096);
+
+CMat random_hermitian(std::size_t n, Rng& rng) {
+  CMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) m(i, j) = cd{rng.normal(), rng.normal()};
+  }
+  return (m + m.hermitian()) * cd{0.5, 0.0};
+}
+
+void BM_Eigh8(benchmark::State& state) {
+  Rng rng(3);
+  const CMat a = random_hermitian(8, rng);
+  for (auto _ : state) {
+    auto r = eigh(a);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Eigh8);
+
+void BM_Covariance8x2000(benchmark::State& state) {
+  Rng rng(4);
+  CMat x(8, 2000);
+  for (std::size_t m = 0; m < 8; ++m) {
+    for (std::size_t t = 0; t < 2000; ++t) x(m, t) = cd{rng.normal(), rng.normal()};
+  }
+  for (auto _ : state) {
+    auto r = sample_covariance(x);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Covariance8x2000);
+
+void BM_MusicScanOctagon(benchmark::State& state) {
+  Rng rng(5);
+  const auto geom = ArrayGeometry::octagon();
+  const CVec a = geom.steering_vector(123.0, 0.125);
+  CMat r = CMat::outer(a);
+  r += CMat::identity(8) * cd{0.01, 0.0};
+  const MusicEstimator music;
+  for (auto _ : state) {
+    auto res = music.estimate(r, geom, 0.125);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_MusicScanOctagon);
+
+
+void BM_RootMusicUla8(benchmark::State& state) {
+  Rng rng(9);
+  const auto geom = ArrayGeometry::uniform_linear(8, 0.0625);
+  const CVec a = geom.steering_vector(23.0, 0.125);
+  CMat r = CMat::outer(a);
+  r += CMat::identity(8) * cd{0.01, 0.0};
+  RootMusicConfig cfg;
+  cfg.num_sources = 1;
+  for (auto _ : state) {
+    auto res = root_music(r, geom, 0.125, cfg);
+    benchmark::DoNotOptimize(res);
+  }
+}
+BENCHMARK(BM_RootMusicUla8);
+
+void BM_SchmidlCoxDetect8000(benchmark::State& state) {
+  // One 0.4 ms WARP buffer (8000 samples at 20 MHz) containing a packet.
+  Rng rng(6);
+  const Frame f = Frame::data(MacAddress::from_index(1),
+                              MacAddress::from_index(2), Bytes{1, 2, 3}, 0);
+  const PacketTransmitter tx(PhyRate::k6Mbps);
+  const CVec wave = tx.transmit(f.serialize());
+  CVec buffer = awgn(2000, 1e-4, rng);
+  buffer.insert(buffer.end(), wave.begin(), wave.end());
+  const CVec tail = awgn(8000 - buffer.size() % 8000, 1e-4, rng);
+  buffer.insert(buffer.end(), tail.begin(), tail.end());
+  const SchmidlCoxDetector det;
+  for (auto _ : state) {
+    auto hits = det.detect(buffer);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SchmidlCoxDetect8000);
+
+void BM_PhyDecode(benchmark::State& state) {
+  Rng rng(7);
+  Bytes psdu(100);
+  for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const PacketTransmitter tx(PhyRate::k24Mbps);
+  const CVec wave = tx.transmit(psdu);
+  const PacketReceiver rx;
+  for (auto _ : state) {
+    auto d = rx.decode(wave);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_PhyDecode);
+
+void BM_RayTraceOffice(benchmark::State& state) {
+  const auto tb = OfficeTestbed::figure4();
+  const RayTracer tracer;
+  for (auto _ : state) {
+    auto paths =
+        tracer.trace(tb.client(6).position, tb.ap_position(), tb.floorplan());
+    benchmark::DoNotOptimize(paths);
+  }
+}
+BENCHMARK(BM_RayTraceOffice);
+
+void BM_FullApReceive(benchmark::State& state) {
+  // End-to-end per-packet cost: detection + decode + covariance + MUSIC
+  // + signature, on an 8-antenna buffer.
+  const auto tb = OfficeTestbed::figure4();
+  Rng rng(8);
+  UplinkConfig ucfg;
+  ucfg.channel.noise_power = 1e-5;
+  UplinkSimulation sim(tb, ucfg, rng);
+  AccessPointConfig cfg;
+  cfg.position = tb.ap_position();
+  AccessPoint ap(cfg, rng);
+  sim.add_ap(ap.placement());
+  const Frame f = Frame::data(MacAddress::from_index(1),
+                              MacAddress::from_index(2), Bytes{1, 2, 3}, 0);
+  const CVec wave = PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
+  const CMat rx = sim.transmit(tb.client(1).position, wave)[0];
+  for (auto _ : state) {
+    auto pkts = ap.receive(rx);
+    benchmark::DoNotOptimize(pkts);
+  }
+}
+BENCHMARK(BM_FullApReceive);
+
+}  // namespace
+}  // namespace sa

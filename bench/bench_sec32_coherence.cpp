@@ -1,0 +1,83 @@
+// Section 3.2 context: multi-antenna channel coherence times. The paper
+// cites measured 4x4 MIMO channels at 2 GHz with median coherence times
+// of ~25 ms for a walking-speed receiver and ~125 ms stationary, and
+// argues pseudospectra are stable minute-to-minute for tracking.
+//
+// This bench (a) validates the fading generator against those two
+// coherence targets, and (b) measures packet-to-packet signature match
+// as a function of inter-packet lag.
+#include "bench_common.hpp"
+
+#include "sa/channel/fading.hpp"
+#include "sa/channel/raytracer.hpp"
+#include "sa/signature/metrics.hpp"
+
+using namespace sa;
+using namespace sa::bench;
+
+int main() {
+  print_header("Sec. 3.2 — channel coherence time and signature stability",
+               "the 25 ms / 125 ms coherence discussion");
+
+  // --- (a) fading generator coherence check.
+  const auto tb = OfficeTestbed::figure4();
+  RayTracer tracer;
+  const auto paths =
+      tracer.trace(tb.client(1).position, tb.ap_position(), tb.floorplan());
+
+  std::printf("%-24s %14s %14s\n", "profile", "target tau", "measured t0.5");
+  for (const auto& [name, tau] :
+       {std::pair<const char*, double>{"walking (paper ~25ms)", 0.025},
+        std::pair<const char*, double>{"stationary (paper ~125ms)", 0.125}}) {
+    Rng rng(99);
+    FadingConfig cfg;
+    cfg.fast_coherence_s = tau;
+    cfg.reflection_fast_sigma = 1.0;
+    cfg.reflection_slow_sigma = 0.0;
+    PathFading fading(paths, cfg, rng);
+    std::vector<cd> series;
+    const double dt = tau / 25.0;
+    for (int i = 0; i < 40000; ++i) {
+      fading.advance(dt);
+      series.push_back(fading.factor(1));  // a reflection path
+    }
+    const double measured = empirical_coherence_time(series, dt);
+    // An OU process crosses autocorrelation 0.5 at tau * ln 2.
+    std::printf("%-24s %11.1f ms %11.1f ms   (OU 0.5-crossing: %.1f ms)\n",
+                name, tau * 1e3, measured * 1e3, tau * std::log(2.0) * 1e3);
+  }
+
+  // --- (b) signature match vs lag, packet level.
+  std::printf("\nsignature match score vs inter-packet lag (client 5):\n");
+  std::printf("%-10s %12s\n", "lag", "match-vs-t0");
+  Rig rig(17);
+  rig.add_ap(rig.tb.ap_position());
+  const auto& client = rig.tb.client(5);
+
+  const auto first_rx = rig.uplink(client.position, client.id);
+  if (first_rx[0].empty()) {
+    std::printf("initial packet missed; aborting\n");
+    return 1;
+  }
+  const AoaSignature first = first_rx[0][0].signature;
+  double elapsed = 0.0;
+  for (const auto& [name, lag] :
+       {std::pair<const char*, double>{"10ms", 0.01},
+        {"100ms", 0.1},
+        {"1s", 1.0},
+        {"10s", 10.0},
+        {"100s", 100.0},
+        {"1h", 3600.0}}) {
+    rig.sim->advance(lag - elapsed);
+    elapsed = lag;
+    const auto rx = rig.uplink(client.position, client.id);
+    if (rx[0].empty()) {
+      std::printf("%-10s %12s\n", name, "miss");
+      continue;
+    }
+    std::printf("%-10s %12.3f\n", name, match_score(rx[0][0].signature, first));
+  }
+  std::printf("\nExpected shape: match stays near 1.0 at sub-second lags and\n"
+              "remains high enough for tracking at minute-scale lags.\n");
+  return 0;
+}

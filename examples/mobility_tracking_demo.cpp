@@ -1,0 +1,87 @@
+// Mobility tracking demo — the paper's future work ("test our
+// applications with client mobility and track the mobility trace with
+// multiple APs", Sec. 5), built on the same public API.
+//
+// A client walks a straight line through the office at ~1 m/s, beaconing
+// every 200 ms; three APs triangulate each beacon and the demo prints
+// the estimated trace against the true one.
+//
+// Run:  ./build/examples/mobility_tracking_demo
+#include <cstdio>
+#include <memory>
+
+#include "sa/common/rng.hpp"
+#include "sa/common/stats.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/secure/accesspoint.hpp"
+#include "sa/secure/virtualfence.hpp"
+#include "sa/testbed/office.hpp"
+#include "sa/testbed/uplink.hpp"
+
+using namespace sa;
+
+int main() {
+  const auto tb = OfficeTestbed::figure4();
+  Rng rng(2025);
+  UplinkConfig ucfg;
+  ucfg.channel.noise_power = 1e-5;
+  UplinkSimulation sim(tb, ucfg, rng);
+
+  std::vector<std::unique_ptr<AccessPoint>> aps;
+  for (const Vec2 pos : {tb.ap_position(), tb.extra_ap_positions()[1],
+                         tb.extra_ap_positions()[2]}) {
+    AccessPointConfig cfg;
+    cfg.position = pos;
+    aps.push_back(std::make_unique<AccessPoint>(cfg, rng));
+    sim.add_ap(aps.back()->placement());
+  }
+
+  // Walk from the south-west of the AP's room to the north-east.
+  const Vec2 start{9.0, 5.0};
+  const Vec2 end{19.0, 11.0};
+  const int steps = 20;
+  const double step_period_s = 0.2;
+
+  const Frame frame = Frame::data(MacAddress::from_index(0xFF),
+                                  MacAddress::from_index(55), Bytes{'b'}, 0);
+  const CVec wave = PacketTransmitter(PhyRate::k6Mbps).transmit(frame.serialize());
+
+  std::printf("%-6s %-16s %-16s %10s\n", "t(s)", "true position",
+              "estimate", "err(m)");
+  std::vector<double> errors;
+  for (int i = 0; i <= steps; ++i) {
+    const double frac = static_cast<double>(i) / steps;
+    const Vec2 pos = start + (end - start) * frac;
+    const auto rx = sim.transmit(pos, wave);
+    std::vector<FenceObservation> obs;
+    for (std::size_t a = 0; a < aps.size(); ++a) {
+      const auto pkts = aps[a]->receive(rx[a]);
+      if (!pkts.empty()) {
+        obs.push_back({aps[a]->config().position, pkts[0].bearing_world_deg});
+      }
+    }
+    const auto loc = localize(obs);
+    if (loc) {
+      const double err = distance(loc->position, pos);
+      errors.push_back(err);
+      std::printf("%-6.1f (%5.2f, %5.2f)   (%5.2f, %5.2f) %10.2f\n",
+                  i * step_period_s, pos.x, pos.y, loc->position.x,
+                  loc->position.y, err);
+    } else {
+      std::printf("%-6.1f (%5.2f, %5.2f)   %-16s %10s\n", i * step_period_s,
+                  pos.x, pos.y, "(no fix)", "-");
+    }
+    sim.advance(step_period_s);
+  }
+
+  if (!errors.empty()) {
+    std::printf("\ntrace statistics: mean error %.2f m, median %.2f m, "
+                "worst %.2f m over %zu fixes\n",
+                mean(errors), median(errors), max_of(errors), errors.size());
+  }
+  std::printf("Note: each beacon position is a *new* multipath channel —\n"
+              "no state is shared between fixes, so this is the honest\n"
+              "single-packet localization accuracy along a walk.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: the smallest end-to-end SecureAngle flow.
+//
+// Build an 8-antenna octagon AP, put one client in a one-room world,
+// transmit a single 802.11 frame, and read back what the AP saw: the
+// decoded frame, the estimated bearing, and the AoA signature's peaks.
+//
+// Run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "sa/common/rng.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/secure/accesspoint.hpp"
+#include "sa/channel/raytracer.hpp"
+#include "sa/channel/simulator.hpp"
+
+using namespace sa;
+
+int main() {
+  Rng rng(1);
+
+  // --- A one-room world: 12 x 10 m, one client, one AP.
+  Floorplan room;
+  room.add_room({0.0, 0.0}, {12.0, 10.0});
+  const Vec2 client_pos{9.0, 7.0};
+  const Vec2 ap_pos{3.0, 3.0};
+
+  // --- The AP: octagon array (the paper's prototype geometry), with
+  // random per-chain LO phases that the built-in calibration removes.
+  AccessPointConfig cfg;
+  cfg.position = ap_pos;
+  AccessPoint ap(cfg, rng);
+
+  // --- Client transmits one uplink data frame.
+  const auto client_mac = MacAddress::parse("02:5a:00:00:00:01");
+  const Frame frame = Frame::data(MacAddress::parse("02:5a:00:00:00:ff"),
+                                  client_mac, Bytes{'h', 'i'}, /*sequence=*/1);
+  const PacketTransmitter tx(PhyRate::k6Mbps);
+  const CVec waveform = tx.transmit(frame.serialize());
+
+  // --- Propagate through the multipath channel to the AP's antennas.
+  const RayTracer tracer;
+  const auto paths = tracer.trace(client_pos, ap_pos, room);
+  std::printf("channel: %zu propagation paths (direct + reflections)\n",
+              paths.size());
+  ChannelConfig ch;
+  ch.noise_power = 1e-5;
+  const ChannelSimulator sim(ch);
+  const CMat rx_samples = sim.propagate(waveform, paths, ap.placement(), rng);
+
+  // --- The AP does the rest: detect, decode, AoA, signature.
+  const auto packets = ap.receive(rx_samples);
+  if (packets.empty()) {
+    std::printf("no packet detected?!\n");
+    return 1;
+  }
+  const ReceivedPacket& pkt = packets.front();
+
+  std::printf("detected packet at sample %zu (Schmidl-Cox metric %.2f)\n",
+              pkt.detection.start, pkt.detection.metric);
+  if (pkt.frame) {
+    std::printf("decoded frame from %s, %zu payload bytes, FCS ok\n",
+                pkt.frame->addr2.to_string().c_str(), pkt.frame->body.size());
+  }
+  const double truth = bearing_deg(ap_pos, client_pos);
+  std::printf("bearing estimate: %.1f deg (ground truth %.1f deg)\n",
+              pkt.bearing_world_deg[0], truth);
+  std::printf("AoA signature peaks (bearing, relative height):\n");
+  for (const auto& p : pkt.signature.peaks()) {
+    std::printf("  %6.1f deg   %6.1f dB\n", p.angle_deg, p.value_db);
+  }
+  std::printf("the strongest peak is the direct path; the others are wall\n"
+              "reflections — together they form this client's signature.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Spoof detection demo (paper Sec. 2.3.2): a laptop associates with the
+// AP and transmits normally; later an attacker forges its MAC address
+// from across the office. The address-based ACL admits both; the AoA
+// signature check flags the forgeries.
+//
+// Run:  ./build/examples/spoof_detection_demo
+#include <cstdio>
+
+#include "sa/common/rng.hpp"
+#include "sa/mac/acl.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/secure/accesspoint.hpp"
+#include "sa/secure/spoofdetector.hpp"
+#include "sa/testbed/office.hpp"
+#include "sa/testbed/uplink.hpp"
+
+using namespace sa;
+
+int main() {
+  const auto tb = OfficeTestbed::figure4();
+  Rng rng(7);
+  UplinkConfig ucfg;
+  ucfg.channel.noise_power = 1e-5;
+  UplinkSimulation sim(tb, ucfg, rng);
+
+  AccessPointConfig cfg;
+  cfg.position = tb.ap_position();
+  AccessPoint ap(cfg, rng);
+  sim.add_ap(ap.placement());
+
+  // The weak baseline: a MAC ACL. The attacker's spoofed frames pass it.
+  AccessControlList acl;
+  const auto victim_mac = MacAddress::parse("02:5a:00:00:00:2a");
+  acl.allow(victim_mac);
+
+  SpoofDetector detector;
+  const Vec2 victim_pos = tb.client(2).position;
+  const Vec2 attacker_pos = tb.client(17).position;  // far corner office
+
+  auto send = [&](Vec2 from, int seq) {
+    const Frame f = Frame::data(MacAddress::from_index(0xFF), victim_mac,
+                                Bytes{'p', 'k', 't'},
+                                static_cast<std::uint16_t>(seq));
+    const CVec w = PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
+    return ap.receive(sim.transmit(from, w)[0]);
+  };
+
+  std::printf("%-5s %-24s %-8s %-10s %-8s %s\n", "seq", "true sender", "ACL",
+              "signature", "score", "note");
+  int seq = 0;
+  auto report = [&](const char* sender, Vec2 from, const char* note) {
+    const auto pkts = send(from, seq);
+    if (pkts.empty() || !pkts[0].frame) {
+      std::printf("%-5d %-24s (packet lost)\n", seq, sender);
+      ++seq;
+      return;
+    }
+    const bool acl_ok = acl.is_allowed(pkts[0].frame->addr2);
+    const auto obs = detector.observe(pkts[0].frame->addr2, pkts[0].signature);
+    const char* verdict = obs.verdict == SpoofVerdict::kTraining ? "training"
+                          : obs.verdict == SpoofVerdict::kLegitimate
+                              ? "PASS"
+                              : "SPOOF!";
+    std::printf("%-5d %-24s %-8s %-10s %-8.2f %s\n", seq, sender,
+                acl_ok ? "admit" : "reject", verdict, obs.score, note);
+    ++seq;
+    sim.advance(0.5);
+  };
+
+  std::printf("--- victim associates and sends traffic\n");
+  for (int i = 0; i < 8; ++i) {
+    report("victim laptop", victim_pos, i < 5 ? "(learning S_cl)" : "");
+  }
+
+  std::printf("--- attacker forges the victim's MAC from the far office\n");
+  for (int i = 0; i < 5; ++i) {
+    report("ATTACKER (spoofed MAC)", attacker_pos,
+           "ACL is fooled; the signature is not");
+  }
+
+  std::printf("--- victim keeps transmitting\n");
+  for (int i = 0; i < 3; ++i) {
+    report("victim laptop", victim_pos, "");
+  }
+
+  const auto st = detector.stats();
+  std::printf("\nsummary: %zu packets observed, %zu spoof alarms raised\n",
+              st.packets, st.alarms);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Virtual fence demo (paper Sec. 2.3.1): three APs in the Figure-4
+// office triangulate every transmitter from direct-path AoA and drop
+// frames that localize outside the building — including a war-driving
+// attacker in the parking lot with a high-gain directional antenna.
+//
+// Run:  ./build/examples/virtual_fence_demo
+#include <cstdio>
+#include <memory>
+
+#include "sa/common/rng.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/secure/accesspoint.hpp"
+#include "sa/secure/virtualfence.hpp"
+#include "sa/testbed/office.hpp"
+#include "sa/testbed/uplink.hpp"
+
+using namespace sa;
+
+namespace {
+
+std::vector<FenceObservation> observe(
+    UplinkSimulation& sim, std::vector<std::unique_ptr<AccessPoint>>& aps,
+    Vec2 from, const CVec& wave, const TxPattern* pattern) {
+  const auto rx = sim.transmit(from, wave, pattern);
+  std::vector<FenceObservation> obs;
+  for (std::size_t i = 0; i < aps.size(); ++i) {
+    const auto pkts = aps[i]->receive(rx[i]);
+    if (!pkts.empty()) {
+      obs.push_back({aps[i]->config().position, pkts[0].bearing_world_deg});
+    }
+  }
+  return obs;
+}
+
+}  // namespace
+
+int main() {
+  const auto tb = OfficeTestbed::figure4();
+  Rng rng(99);
+  UplinkConfig ucfg;
+  ucfg.channel.noise_power = 1e-5;
+  UplinkSimulation sim(tb, ucfg, rng);
+
+  std::vector<std::unique_ptr<AccessPoint>> aps;
+  for (const Vec2 pos : {tb.ap_position(), tb.extra_ap_positions()[1],
+                         tb.extra_ap_positions()[2]}) {
+    AccessPointConfig cfg;
+    cfg.position = pos;
+    aps.push_back(std::make_unique<AccessPoint>(cfg, rng));
+    sim.add_ap(aps.back()->placement());
+    std::printf("AP online at (%.0f, %.0f)\n", pos.x, pos.y);
+  }
+
+  const VirtualFence fence(tb.building_outline());
+  const Frame frame =
+      Frame::data(MacAddress::from_index(0xFF), MacAddress::from_index(1),
+                  Bytes{'d', 'a', 't', 'a'}, 0);
+  const CVec wave = PacketTransmitter(PhyRate::k6Mbps).transmit(frame.serialize());
+
+  std::printf("\n%-34s %-9s %-22s %s\n", "transmitter", "decision", "location",
+              "reason");
+
+  // A few legitimate indoor clients.
+  for (int id : {1, 5, 13, 16, 20}) {
+    const auto& c = tb.client(id);
+    const auto obs = observe(sim, aps, c.position, wave, nullptr);
+    const auto d = fence.check(obs);
+    char where[32] = "-";
+    if (d.location) {
+      std::snprintf(where, sizeof(where), "(%.1f, %.1f) err %.1fm",
+                    d.location->position.x, d.location->position.y,
+                    distance(d.location->position, c.position));
+    }
+    char who[64];
+    std::snprintf(who, sizeof(who), "client %d at (%.1f, %.1f)", id,
+                  c.position.x, c.position.y);
+    std::printf("%-34s %-9s %-22s %s\n", who, d.allowed ? "ALLOW" : "DROP",
+                where, d.reason);
+    sim.advance(0.2);
+  }
+
+  // The parking-lot attacker with a directional antenna and a power amp.
+  const Vec2 attacker = tb.outdoor_positions()[0];
+  TxPattern beam;
+  beam.aim_azimuth_deg = bearing_deg(attacker, tb.ap_position());
+  beam.beamwidth_deg = 25.0;
+  beam.boresight_gain_db = 15.0;
+  beam.tx_power_db = 12.0;
+  const auto obs = observe(sim, aps, attacker, wave, &beam);
+  const auto d = fence.check(obs);
+  char where[32] = "-";
+  if (d.location) {
+    std::snprintf(where, sizeof(where), "(%.1f, %.1f)", d.location->position.x,
+                  d.location->position.y);
+  }
+  char who[64];
+  std::snprintf(who, sizeof(who), "ATTACKER outside at (%.0f, %.0f)",
+                attacker.x, attacker.y);
+  std::printf("%-34s %-9s %-22s %s\n", who, d.allowed ? "ALLOW" : "DROP",
+              where, d.reason);
+
+  std::printf("\nThe fence admits indoor clients (localized to ~1 m) and\n"
+              "drops the off-site transmitter even though its directional\n"
+              "antenna delivers plenty of signal power: AoA geometry, not\n"
+              "received strength, makes the decision.\n");
+  return 0;
+}

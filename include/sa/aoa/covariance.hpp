@@ -1,0 +1,36 @@
+// Antenna correlation (covariance) matrix estimation.
+//
+// Paper §2.1/§3: "compute the correlation matrix ... samplewise-
+// multiplying the raw signal from the lth antenna with the raw signal
+// from the mth antenna, then computing the mean ... with each entire
+// packet". Options here include forward-backward averaging and forward
+// spatial smoothing, the standard remedies for the coherent multipath
+// that indoor reflections create (coherent copies of one signal
+// rank-starve vanilla MUSIC).
+#pragma once
+
+#include "sa/linalg/cmat.hpp"
+
+namespace sa {
+
+/// Sample covariance R = X X^H / N over a block of per-antenna samples
+/// (rows = antennas, cols = time).
+CMat sample_covariance(const CMat& samples);
+
+/// Forward-backward average: (R + J conj(R) J) / 2, J the exchange
+/// matrix. Valid only when reversing the element order mirrors the array
+/// through its centre (true for a ULA; NOT true for our circular
+/// ordering, where reversal is a rotation). Decorrelates one pair of
+/// coherent sources and halves estimator variance.
+CMat forward_backward_average(const CMat& r);
+
+/// Forward spatial smoothing for a ULA: average the covariances of all
+/// contiguous subarrays of size `subarray_size`. Restores rank against up
+/// to (n - subarray_size + 1) coherent paths at the cost of aperture.
+/// Input must be n x n with subarray_size in [2, n].
+CMat spatial_smooth(const CMat& r, std::size_t subarray_size);
+
+/// Add eps * trace(R)/n to the diagonal (regularization for Capon).
+CMat diagonal_load(const CMat& r, double eps = 1e-3);
+
+}  // namespace sa

@@ -1,0 +1,63 @@
+// Pseudospectrum: likelihood-of-energy versus bearing, "the continuous
+// plot of likelihood versus angle" that SecureAngle uses directly as the
+// client signature (paper §2.1).
+#pragma once
+
+#include <vector>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+struct SpectrumPeak {
+  double angle_deg = 0.0;
+  double value = 0.0;          ///< linear power at the peak
+  double value_db = 0.0;       ///< dB relative to the spectrum maximum
+  double prominence_db = 0.0;  ///< height above the higher adjacent valley
+};
+
+class Pseudospectrum {
+ public:
+  Pseudospectrum() = default;
+  /// `angles_deg` must be a uniformly spaced ascending grid; `values` are
+  /// linear (power-like, nonnegative). `wraps` marks circular scans
+  /// (0..360) where the two ends are neighbours.
+  Pseudospectrum(std::vector<double> angles_deg, std::vector<double> values,
+                 bool wraps);
+
+  std::size_t size() const { return angles_.size(); }
+  bool wraps() const { return wraps_; }
+  const std::vector<double>& angles_deg() const { return angles_; }
+  const std::vector<double>& values() const { return values_; }
+  double step_deg() const;
+
+  /// Value in dB relative to the maximum (0 dB at the strongest angle).
+  std::vector<double> values_db() const;
+
+  /// Angle of the global maximum — the paper's bearing estimate
+  /// ("the angle corresponding to the maximum point", §3.1).
+  double max_angle_deg() const;
+  double max_value() const;
+
+  /// Linear interpolation of the spectrum at an arbitrary angle.
+  double value_at(double angle_deg) const;
+
+  /// Local maxima with at least `min_prominence_db` prominence and at
+  /// least `min_separation_deg` spacing, strongest first.
+  std::vector<SpectrumPeak> find_peaks(double min_prominence_db = 1.0,
+                                       double min_separation_deg = 5.0) const;
+
+  /// Refine the global peak with a parabolic fit over its neighbours
+  /// (sub-grid bearing resolution).
+  double refined_max_angle_deg() const;
+
+  /// Normalize in place so the maximum linear value is 1.
+  void normalize();
+
+ private:
+  std::vector<double> angles_;
+  std::vector<double> values_;
+  bool wraps_ = false;
+};
+
+}  // namespace sa

@@ -1,0 +1,81 @@
+// Antenna array geometries and steering vectors.
+//
+// The paper's prototype uses eight antennas in two arrangements (§3):
+//  * linear, spaced lambda/2 = 6.13 cm — bearings in [-90, 90] degrees
+//    from broadside, with front/back ambiguity;
+//  * circular ("an octagon with 4.7 cm sides and an antenna at each
+//    corner") — full [0, 360) coverage.
+//
+// Conventions: element positions are metres in the array's local frame.
+// For a linear array the elements lie on the local x axis and bearings
+// are measured from broadside (+y). For circular/arbitrary arrays,
+// bearings are standard CCW-from-+x azimuth. A plane wave arriving from
+// bearing theta hits element at position p with phase lead
+// 2*pi*(p . u(theta))/lambda relative to the array origin.
+#pragma once
+
+#include <vector>
+
+#include "sa/common/geometry.hpp"
+#include "sa/linalg/cvec.hpp"
+
+namespace sa {
+
+enum class ArrayKind { kLinear, kCircular, kArbitrary };
+
+class ArrayGeometry {
+ public:
+  ArrayGeometry() = default;
+
+  /// n elements along local x, spaced `spacing` metres, centred on origin.
+  static ArrayGeometry uniform_linear(std::size_t n, double spacing);
+  /// n elements equally spaced on a circle of `radius` metres.
+  static ArrayGeometry uniform_circular(std::size_t n, double radius);
+  /// The paper's octagonal arrangement: 8 corners, `side` = 4.7 cm.
+  static ArrayGeometry octagon(double side = 0.047);
+  /// Arbitrary element positions.
+  static ArrayGeometry custom(std::vector<Vec2> positions);
+
+  std::size_t size() const { return positions_.size(); }
+  ArrayKind kind() const { return kind_; }
+  const std::vector<Vec2>& positions() const { return positions_; }
+  /// Largest inter-element distance (aperture), metres.
+  double aperture() const;
+
+  /// Unit propagation direction for a bearing in this array's convention:
+  /// linear -> theta from broadside (+y), else CCW azimuth from +x.
+  Vec2 direction(double bearing_deg) const;
+
+  /// Steering vector a(theta) at carrier wavelength `lambda_m`;
+  /// a_m = exp(+j * 2*pi * (p_m . u) / lambda).
+  CVec steering_vector(double bearing_deg, double lambda_m) const;
+
+  /// Scan range natural to this geometry: linear [-90, 90], else [0, 360).
+  double scan_min_deg() const;
+  double scan_max_deg() const;
+
+  /// Positions rotated by `orientation_deg` and translated to `origin`
+  /// (world placement of an AP's array).
+  std::vector<Vec2> world_positions(Vec2 origin, double orientation_deg) const;
+
+ private:
+  ArrayGeometry(ArrayKind kind, std::vector<Vec2> positions);
+  ArrayKind kind_ = ArrayKind::kArbitrary;
+  std::vector<Vec2> positions_;
+};
+
+/// Convert a world azimuth (CCW from +x) of an incoming source to this
+/// array's bearing convention, given the array's world orientation
+/// (rotation of its local frame, degrees CCW). For a linear array the
+/// result is folded into [-90, 90] (front/back ambiguity: sources behind
+/// the array alias to the mirrored front bearing, paper §3 footnote 1).
+double world_to_array_bearing(const ArrayGeometry& geom, double world_deg,
+                              double orientation_deg);
+
+/// Inverse mapping. Linear arrays return the two ambiguous world
+/// azimuths (front lobe first); circular/arbitrary return one.
+std::vector<double> array_to_world_bearings(const ArrayGeometry& geom,
+                                            double array_deg,
+                                            double orientation_deg);
+
+}  // namespace sa

@@ -1,0 +1,51 @@
+// Per-chain receiver impairments.
+//
+// Paper §2.2: even with phase-locked oscillators, each downconverter adds
+// an unknown but *constant* phase to its chain, which scrambles
+// inter-antenna phase differences and makes AoA (and MIMO beamforming)
+// inoperable until calibrated out. We model exactly that: a fixed random
+// phase and a small gain mismatch per chain, identical across packets.
+#pragma once
+
+#include <vector>
+
+#include "sa/common/rng.hpp"
+#include "sa/linalg/cmat.hpp"
+#include "sa/linalg/cvec.hpp"
+
+namespace sa {
+
+struct ChainImpairment {
+  double phase_rad = 0.0;  ///< unknown LO phase after downconversion
+  double gain = 1.0;       ///< amplitude mismatch (close to 1)
+};
+
+class ArrayImpairments {
+ public:
+  ArrayImpairments() = default;
+
+  /// Random impairments for n chains: phases uniform in [0, 2*pi), gains
+  /// log-normal-ish around 1 with `gain_sigma` spread.
+  static ArrayImpairments random(std::size_t n, Rng& rng,
+                                 double gain_sigma = 0.05);
+  /// Ideal (no-op) impairments, for ablations.
+  static ArrayImpairments ideal(std::size_t n);
+
+  std::size_t size() const { return chains_.size(); }
+  const ChainImpairment& chain(std::size_t m) const;
+
+  /// Complex per-chain multiplier g_m * e^{j phi_m}.
+  cd factor(std::size_t m) const;
+
+  /// Apply impairments to a multi-antenna snapshot (one complex value per
+  /// antenna) in place.
+  void apply(CVec& snapshot) const;
+
+  /// Apply to a full per-antenna sample matrix (rows = antennas).
+  void apply(CMat& samples) const;
+
+ private:
+  std::vector<ChainImpairment> chains_;
+};
+
+}  // namespace sa

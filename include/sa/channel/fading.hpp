@@ -1,0 +1,74 @@
+// Temporal channel dynamics.
+//
+// Paper §3.2: multi-antenna channels at 2 GHz have median coherence
+// times of ~25 ms (walking-speed receiver) to ~125 ms (stationary), and
+// Fig. 6 shows SecureAngle pseudospectra whose direct-path peak is stable
+// from seconds out to a day while reflection peaks wander.
+//
+// We model each propagation path's complex gain as the ray-traced mean
+// plus two AR(1) (Ornstein-Uhlenbeck) perturbations:
+//   * a fast fading term with the MIMO coherence time (ms scale), and
+//   * a slow environmental term (minutes-to-hours) that is small on the
+//     direct path and larger on reflection paths — obstacles and people
+//     move; the direct geometry does not.
+// AR(1) correlation over a step dt is rho = exp(-dt / tau), which gives
+// the standard exponential coherence profile.
+#pragma once
+
+#include <vector>
+
+#include "sa/channel/raytracer.hpp"
+#include "sa/common/rng.hpp"
+
+namespace sa {
+
+struct FadingConfig {
+  double fast_coherence_s = 0.125;   ///< stationary receiver (paper cite [3])
+  double slow_coherence_s = 1800.0;  ///< environment churn, ~30 min
+  /// Fractional gain perturbation (std dev) on the direct path.
+  double direct_fast_sigma = 0.05;
+  double direct_slow_sigma = 0.03;
+  /// Reflection paths wobble more (people/obstacles move).
+  double reflection_fast_sigma = 0.08;
+  double reflection_slow_sigma = 0.25;
+};
+
+/// Evolves multiplicative per-path fading factors over time.
+class PathFading {
+ public:
+  /// One AR(1) pair per path in `paths`; reflection-order decides sigma.
+  PathFading(const std::vector<PropagationPath>& paths, FadingConfig config,
+             Rng& rng);
+
+  /// Advance the processes by dt seconds (dt >= 0).
+  void advance(double dt_s);
+
+  std::size_t size() const { return states_.size(); }
+
+  /// Multiplicative factor for path i at the current time.
+  cd factor(std::size_t i) const;
+
+  /// Apply the current factors to a copy of the traced paths.
+  std::vector<PropagationPath> faded_paths(
+      const std::vector<PropagationPath>& paths) const;
+
+  const FadingConfig& config() const { return config_; }
+
+ private:
+  struct State {
+    cd fast{0.0, 0.0};
+    cd slow{0.0, 0.0};
+    double fast_sigma = 0.0;
+    double slow_sigma = 0.0;
+  };
+  FadingConfig config_;
+  std::vector<State> states_;
+  Rng rng_;
+};
+
+/// Empirical coherence time of a scalar AR(1) fading stream: the lag at
+/// which the autocorrelation of samples spaced `dt_s` apart first drops
+/// below 0.5. Used by the Sec. 3.2 bench.
+double empirical_coherence_time(const std::vector<cd>& series, double dt_s);
+
+}  // namespace sa

@@ -1,0 +1,49 @@
+// Indoor floorplan: walls and obstacles with RF properties. Consumed by
+// the image-method ray tracer to produce location-dependent multipath —
+// the physical basis of SecureAngle's signatures.
+#pragma once
+
+#include <vector>
+
+#include "sa/common/geometry.hpp"
+
+namespace sa {
+
+struct Wall {
+  Segment segment;
+  /// Attenuation when a path crosses this wall [dB]; use a large value
+  /// (e.g. 200) for RF-opaque structures like the cement pillar.
+  double transmission_loss_db = 10.0;
+  /// Specular reflection amplitude coefficient in [0, 1].
+  double reflectivity = 0.6;
+  /// Human-readable label for debugging/plots.
+  const char* name = "wall";
+};
+
+class Floorplan {
+ public:
+  Floorplan() = default;
+
+  void add_wall(Wall wall);
+  /// Add the four walls of an axis-aligned room.
+  void add_room(Vec2 min_corner, Vec2 max_corner, double loss_db = 12.0,
+                double reflectivity = 0.6, const char* name = "room");
+  /// Add a closed polygonal obstacle (e.g. the cement pillar of Fig. 4).
+  void add_obstacle(const Polygon& shape, double loss_db,
+                    double reflectivity, const char* name = "obstacle");
+
+  const std::vector<Wall>& walls() const { return walls_; }
+  std::size_t size() const { return walls_.size(); }
+
+  /// Sum of transmission losses [dB] over every wall the open segment
+  /// (from, to) crosses. 0 for line-of-sight.
+  double penetration_loss_db(Vec2 from, Vec2 to) const;
+
+  /// True when no wall crosses the open segment (from, to).
+  bool line_of_sight(Vec2 from, Vec2 to) const;
+
+ private:
+  std::vector<Wall> walls_;
+};
+
+}  // namespace sa

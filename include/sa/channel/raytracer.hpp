@@ -1,0 +1,59 @@
+// Image-method multipath ray tracer (2D).
+//
+// For each transmitter/receiver pair the tracer enumerates:
+//   * the direct path, attenuated by free space and wall penetration;
+//   * first-order specular reflections (mirror the TX across each wall,
+//     intersect the image-to-RX segment with the wall to find the bounce
+//     point);
+//   * optionally second-order reflections (mirror of mirror).
+// Each path carries its arrival bearing at the receiver — that set of
+// bearings is exactly what MUSIC sees and what makes a SecureAngle
+// signature location-specific.
+#pragma once
+
+#include <vector>
+
+#include "sa/channel/floorplan.hpp"
+#include "sa/linalg/cvec.hpp"
+
+namespace sa {
+
+struct PropagationPath {
+  /// tx, bounce points..., rx.
+  std::vector<Vec2> points;
+  double length_m = 0.0;
+  /// World azimuth (deg, CCW from +x) the wave arrives *from*, as seen at
+  /// the receiver: the bearing from RX toward the last bounce (or TX).
+  double arrival_bearing_deg = 0.0;
+  /// Departure azimuth at the transmitter (toward first bounce or RX).
+  double departure_bearing_deg = 0.0;
+  /// Complex amplitude: free-space 1/d law, reflection and penetration
+  /// coefficients, carrier phase exp(-j 2 pi d / lambda).
+  cd gain{0.0, 0.0};
+  double delay_s = 0.0;
+  int num_reflections = 0;
+};
+
+struct RayTracerConfig {
+  double carrier_hz = 2.4e9;
+  int max_reflections = 2;       ///< 0 = direct only, 1 or 2 bounces
+  double min_gain_db = -110.0;   ///< drop paths weaker than this (vs 1 m ref)
+  /// Reference amplitude at 1 m; amplitude = ref / d * coefficients.
+  double reference_amplitude = 1.0;
+};
+
+class RayTracer {
+ public:
+  explicit RayTracer(RayTracerConfig config = {});
+
+  /// All propagation paths from tx to rx, strongest first.
+  std::vector<PropagationPath> trace(Vec2 tx, Vec2 rx,
+                                     const Floorplan& plan) const;
+
+  const RayTracerConfig& config() const { return config_; }
+
+ private:
+  RayTracerConfig config_;
+};
+
+}  // namespace sa

@@ -1,0 +1,70 @@
+// Angle conversions and wrap-around-safe angular arithmetic.
+//
+// Bearings in SecureAngle follow the paper's conventions:
+//  * linear arrays measure angle from broadside, range [-90, 90] degrees;
+//  * circular arrays measure azimuth counter-clockwise, range [0, 360).
+#pragma once
+
+#include <cmath>
+
+#include "sa/common/constants.hpp"
+
+namespace sa {
+
+constexpr double deg2rad(double deg) { return deg * kPi / 180.0; }
+constexpr double rad2deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wrap an angle in radians to (-pi, pi].
+inline double wrap_pi(double rad) {
+  double w = std::remainder(rad, kTwoPi);
+  if (w <= -kPi) w += kTwoPi;
+  return w;
+}
+
+/// Wrap an angle in radians to [0, 2*pi).
+inline double wrap_2pi(double rad) {
+  double w = std::fmod(rad, kTwoPi);
+  if (w < 0.0) w += kTwoPi;
+  return w;
+}
+
+/// Wrap an angle in degrees to [0, 360).
+inline double wrap_deg360(double deg) {
+  double w = std::fmod(deg, 360.0);
+  if (w < 0.0) w += 360.0;
+  return w;
+}
+
+/// Wrap an angle in degrees to (-180, 180].
+inline double wrap_deg180(double deg) {
+  double w = std::fmod(deg, 360.0);
+  if (w > 180.0) w -= 360.0;
+  if (w <= -180.0) w += 360.0;
+  return w;
+}
+
+/// Smallest absolute angular difference in degrees, in [0, 180].
+inline double angular_distance_deg(double a_deg, double b_deg) {
+  return std::abs(wrap_deg180(a_deg - b_deg));
+}
+
+/// Smallest absolute angular difference in radians, in [0, pi].
+inline double angular_distance_rad(double a_rad, double b_rad) {
+  return std::abs(wrap_pi(a_rad - b_rad));
+}
+
+/// Circular mean of a set of bearings in degrees (empty input -> 0).
+template <typename Container>
+double circular_mean_deg(const Container& degs) {
+  double s = 0.0, c = 0.0;
+  std::size_t n = 0;
+  for (double d : degs) {
+    s += std::sin(deg2rad(d));
+    c += std::cos(deg2rad(d));
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  return wrap_deg360(rad2deg(std::atan2(s, c)));
+}
+
+}  // namespace sa

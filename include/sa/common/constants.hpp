@@ -1,0 +1,27 @@
+// Physical constants and radio-band helpers shared across SecureAngle.
+#pragma once
+
+namespace sa {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Pi to double precision (std::numbers::pi is available but a named
+/// constant here keeps the DSP code readable without a using-directive).
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// 2.4 GHz ISM-band carrier used throughout the paper's prototype.
+inline constexpr double kDefaultCarrierHz = 2.4e9;
+
+/// 20 MHz of captured signal bandwidth (paper §3, WARP sample buffers).
+inline constexpr double kDefaultSampleRateHz = 20e6;
+
+/// Wavelength [m] of a carrier at frequency `hz`.
+constexpr double wavelength(double hz) { return kSpeedOfLight / hz; }
+
+/// Half-wavelength element spacing [m] at the default carrier — the
+/// paper's linear arrangement uses 6.13 cm, i.e. lambda/2 at 2.4 GHz.
+inline constexpr double kHalfWavelength24GHz = kSpeedOfLight / kDefaultCarrierHz / 2.0;
+
+}  // namespace sa

@@ -1,0 +1,63 @@
+// Error handling: a library-wide exception type plus precondition checks.
+//
+// Following the C++ Core Guidelines (I.5/I.7, E.2): preconditions are
+// checked at API boundaries and violations throw, carrying enough text to
+// diagnose without a debugger.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sa {
+
+/// Base exception for all SecureAngle library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an operation is attempted on an object in the wrong state
+/// (e.g. asking for AoA before calibration).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a numerical routine fails to converge.
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail_expects(const char* cond, const char* where) {
+  throw InvalidArgument(std::string("precondition failed: ") + cond + " at " + where);
+}
+[[noreturn]] inline void fail_ensures(const char* cond, const char* where) {
+  throw NumericalError(std::string("postcondition failed: ") + cond + " at " + where);
+}
+}  // namespace detail
+
+}  // namespace sa
+
+// GSL-style contract macros. Kept as macros so the failing expression and
+// location appear in the exception text.
+#define SA_STRINGIFY_IMPL(x) #x
+#define SA_STRINGIFY(x) SA_STRINGIFY_IMPL(x)
+#define SA_WHERE __FILE__ ":" SA_STRINGIFY(__LINE__)
+
+#define SA_EXPECTS(cond)                                   \
+  do {                                                     \
+    if (!(cond)) ::sa::detail::fail_expects(#cond, SA_WHERE); \
+  } while (false)
+
+#define SA_ENSURES(cond)                                   \
+  do {                                                     \
+    if (!(cond)) ::sa::detail::fail_ensures(#cond, SA_WHERE); \
+  } while (false)

@@ -1,0 +1,93 @@
+// 2D geometry primitives used by the floorplan ray tracer and the
+// virtual-fence polygon tests.
+//
+// Coordinates are metres in a right-handed plan view; bearings follow
+// atan2 convention (counter-clockwise from +x) unless stated otherwise.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace sa {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  double norm() const;
+  double norm_sq() const { return x * x + y * y; }
+  Vec2 normalized() const;
+  /// Counter-clockwise rotation by `rad`.
+  Vec2 rotated(double rad) const;
+  /// Perpendicular (rotated +90 degrees).
+  constexpr Vec2 perp() const { return {-y, x}; }
+};
+
+constexpr double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+/// z-component of the 3D cross product; >0 when b is CCW of a.
+constexpr double cross(Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; }
+
+double distance(Vec2 a, Vec2 b);
+
+/// Bearing of `to` as seen from `from`, radians CCW from +x, in [0, 2pi).
+double bearing_rad(Vec2 from, Vec2 to);
+/// Same in degrees, [0, 360).
+double bearing_deg(Vec2 from, Vec2 to);
+
+/// A wall/obstacle edge as a closed segment [a, b].
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+
+  double length() const { return distance(a, b); }
+  /// Mirror `p` across the infinite line through this segment
+  /// (image-method source for specular reflection).
+  Vec2 mirror(Vec2 p) const;
+  /// Unit normal of the supporting line (left of a->b).
+  Vec2 normal() const;
+};
+
+/// Proper intersection of two closed segments. Collinear overlaps return
+/// nullopt (walls never overlap paths exactly in our floorplans; treating
+/// grazing as non-blocking keeps the tracer conservative).
+std::optional<Vec2> intersect(const Segment& s, const Segment& t);
+
+/// True if segments intersect, excluding shared endpoints within `eps`
+/// of either end of `s` (used to ignore a path touching its own wall).
+bool blocks(const Segment& wall, Vec2 from, Vec2 to, double eps = 1e-9);
+
+/// Simple polygon (vertices in order, implicitly closed).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Vec2> vertices);
+
+  /// Even-odd rule point containment; boundary points count as inside.
+  bool contains(Vec2 p) const;
+  const std::vector<Vec2>& vertices() const { return vertices_; }
+  std::vector<Segment> edges() const;
+  double area() const;
+  Vec2 centroid() const;
+
+  /// Axis-aligned rectangle helper.
+  static Polygon rectangle(Vec2 min_corner, Vec2 max_corner);
+
+ private:
+  std::vector<Vec2> vertices_;
+};
+
+/// Least-squares intersection point of a set of bearing rays
+/// (origin + unit direction each). Used by the virtual-fence localizer to
+/// triangulate a client from direct-path AoAs at multiple APs. Returns
+/// nullopt when rays are (nearly) parallel.
+std::optional<Vec2> intersect_bearings(const std::vector<Vec2>& origins,
+                                       const std::vector<double>& bearings_rad);
+
+}  // namespace sa

@@ -1,0 +1,82 @@
+// Fixed-capacity ring buffer for streaming I/Q samples.
+//
+// The WARP prototype buffers 0.4 ms of 20 MHz samples (8000 complex
+// samples per chain) before shipping them to the host; RingBuffer models
+// that capture buffer and is also used by the packet detector to keep a
+// sliding window of recent samples.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : buf_(capacity) {
+    SA_EXPECTS(capacity > 0);
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == buf_.size(); }
+
+  /// Append one element, overwriting the oldest when full.
+  void push(const T& value) {
+    buf_[(head_ + size_) % buf_.size()] = value;
+    if (size_ == buf_.size()) {
+      head_ = (head_ + 1) % buf_.size();
+    } else {
+      ++size_;
+    }
+  }
+
+  /// Oldest element still stored.
+  const T& front() const {
+    SA_EXPECTS(!empty());
+    return buf_[head_];
+  }
+
+  /// Most recently pushed element.
+  const T& back() const {
+    SA_EXPECTS(!empty());
+    return buf_[(head_ + size_ - 1) % buf_.size()];
+  }
+
+  /// i-th oldest element (0 = front).
+  const T& operator[](std::size_t i) const {
+    SA_EXPECTS(i < size_);
+    return buf_[(head_ + i) % buf_.size()];
+  }
+
+  /// Remove the oldest element.
+  void pop() {
+    SA_EXPECTS(!empty());
+    head_ = (head_ + 1) % buf_.size();
+    --size_;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Copy contents (oldest first) into a flat vector.
+  std::vector<T> to_vector() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) out.push_back((*this)[i]);
+    return out;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sa

@@ -1,0 +1,71 @@
+// Descriptive statistics and confidence intervals for experiment reporting.
+//
+// The paper reports bearing estimates as means with 99% confidence
+// intervals over 10 packets (Fig. 5) and per-client error percentiles
+// (§2.3.1); these helpers compute exactly those quantities. The Student-t
+// quantile is computed from first principles via the regularized
+// incomplete beta function, so small-sample (n = 10) intervals are exact.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sa {
+
+double mean(const std::vector<double>& xs);
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double variance(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+double min_of(const std::vector<double>& xs);
+double max_of(const std::vector<double>& xs);
+double median(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+/// Regularized incomplete beta function I_x(a, b) via the Lentz continued
+/// fraction. Domain: a, b > 0 and x in [0, 1].
+double incomplete_beta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double student_t_cdf(double t, double df);
+
+/// Two-sided critical value t* such that P(|T| <= t*) = confidence.
+/// E.g. student_t_critical(0.99, 9) for a 99% CI over 10 samples.
+double student_t_critical(double confidence, double df);
+
+/// A mean together with its symmetric confidence half-width.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< CI is [mean - half_width, mean + half_width]
+  double confidence = 0.0;  ///< e.g. 0.99
+  std::size_t n = 0;
+};
+
+/// Student-t confidence interval for the mean of `xs`.
+ConfidenceInterval confidence_interval(const std::vector<double>& xs,
+                                       double confidence);
+
+/// Running accumulator (Welford) for streaming mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Unbiased sample variance; 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Empirical CDF evaluated at x: fraction of samples <= x.
+double empirical_cdf(const std::vector<double>& xs, double x);
+
+/// Value v such that empirical_cdf(xs, v) >= q (quantile, q in [0,1]).
+double empirical_quantile(std::vector<double> xs, double q);
+
+}  // namespace sa

@@ -1,0 +1,26 @@
+// Correlation primitives used by packet detection (Schmidl-Cox) and the
+// AoA covariance estimator.
+#pragma once
+
+#include "sa/linalg/cvec.hpp"
+
+namespace sa {
+
+/// Sliding cross-correlation of x against a (shorter) reference pattern:
+/// out[k] = sum_i conj(ref[i]) * x[k+i], for k in [0, x.size()-ref.size()].
+CVec sliding_correlation(const CVec& x, const CVec& ref);
+
+/// Schmidl-Cox metric helper: P[k] = sum_{i<L} conj(x[k+i]) * x[k+i+L],
+/// the lag-L autocorrelation over a window of length L, computed with a
+/// running update (O(n) total).
+CVec lag_autocorrelation(const CVec& x, std::size_t lag, std::size_t window);
+
+/// Running energy R[k] = sum_{i<L} |x[k+L+i]|^2 matching the second half
+/// of the Schmidl-Cox window.
+std::vector<double> window_energy(const CVec& x, std::size_t offset,
+                                  std::size_t window);
+
+/// Normalized correlation coefficient |<a,b>| / (||a|| ||b||) in [0, 1].
+double correlation_coefficient(const CVec& a, const CVec& b);
+
+}  // namespace sa

@@ -1,0 +1,29 @@
+// Radix-2 FFT/IFFT for the OFDM PHY (64-point symbols) and spectral
+// utilities. Sizes must be powers of two, which covers every transform in
+// this codebase; SA_EXPECTS enforces it.
+#pragma once
+
+#include "sa/linalg/cvec.hpp"
+
+namespace sa {
+
+/// True when n is a nonzero power of two.
+constexpr bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// In-place forward FFT (no normalization), length must be a power of 2.
+void fft_inplace(CVec& x);
+
+/// In-place inverse FFT with 1/N normalization.
+void ifft_inplace(CVec& x);
+
+/// Out-of-place conveniences.
+CVec fft(CVec x);
+CVec ifft(CVec x);
+
+/// Swap halves so DC is centred (for spectra/plots).
+CVec fftshift(const CVec& x);
+
+/// Power spectral density estimate |FFT|^2 / N over one block.
+std::vector<double> power_spectrum(const CVec& x);
+
+}  // namespace sa

@@ -1,0 +1,28 @@
+// FIR filter design (windowed sinc) and application. Used for the
+// channel's band-limiting and for pulse shaping in the PHY.
+#pragma once
+
+#include <vector>
+
+#include "sa/linalg/cvec.hpp"
+
+namespace sa {
+
+enum class Window { kRect, kHann, kHamming, kBlackman };
+
+/// Window coefficients of length n.
+std::vector<double> make_window(Window w, std::size_t n);
+
+/// Odd-length linear-phase lowpass with normalized cutoff in (0, 0.5)
+/// cycles/sample (i.e. cutoff_hz / sample_rate_hz).
+std::vector<double> design_lowpass(double normalized_cutoff, std::size_t taps,
+                                   Window w = Window::kHamming);
+
+/// Full linear convolution of complex signal with real taps
+/// (output length = x.size() + taps.size() - 1).
+CVec fir_filter(const CVec& x, const std::vector<double>& taps);
+
+/// "Same"-length convolution, group delay removed (centered output).
+CVec fir_filter_same(const CVec& x, const std::vector<double>& taps);
+
+}  // namespace sa

@@ -1,0 +1,35 @@
+// Thermal noise and impairment generation for the receive chain.
+#pragma once
+
+#include "sa/common/rng.hpp"
+#include "sa/linalg/cvec.hpp"
+
+namespace sa {
+
+/// Generate n samples of circularly-symmetric complex Gaussian noise with
+/// per-sample power `noise_power`.
+CVec awgn(std::size_t n, double noise_power, Rng& rng);
+
+/// Add white Gaussian noise in place so the result has the given SNR [dB]
+/// with respect to the block's measured mean power. Blocks of zero power
+/// are left untouched. Returns the noise power used.
+double add_awgn_snr(CVec& x, double snr_db, Rng& rng);
+
+/// Add noise of a fixed power (not relative to signal) in place.
+void add_awgn_power(CVec& x, double noise_power, Rng& rng);
+
+/// Apply a carrier frequency offset of `cfo_hz` plus an initial phase to a
+/// block sampled at `sample_rate_hz`, in place. Models residual LO
+/// mismatch between client and AP.
+void apply_cfo(CVec& x, double cfo_hz, double sample_rate_hz,
+               double initial_phase_rad = 0.0);
+
+/// Apply a constant phase rotation in place (per-chain LO phase offset —
+/// the impairment SecureAngle's calibration removes).
+void apply_phase(CVec& x, double phase_rad);
+
+/// Fractional-sample delay via linear interpolation (coarse model of
+/// sampling-time offset). delay in samples, may be non-integer, >= 0.
+CVec fractional_delay(const CVec& x, double delay_samples);
+
+}  // namespace sa

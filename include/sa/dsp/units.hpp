@@ -1,0 +1,36 @@
+// dB conversions and signal power measurement.
+#pragma once
+
+#include <cmath>
+
+#include "sa/linalg/cvec.hpp"
+
+namespace sa {
+
+/// Power ratio to decibels; clamps at -300 dB for zero input.
+inline double to_db(double power_ratio) {
+  if (power_ratio <= 0.0) return -300.0;
+  return 10.0 * std::log10(power_ratio);
+}
+
+/// Decibels to linear power ratio.
+inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Amplitude ratio in dB (20 log10).
+inline double amplitude_db(double amplitude_ratio) {
+  if (amplitude_ratio <= 0.0) return -300.0;
+  return 20.0 * std::log10(amplitude_ratio);
+}
+
+/// Mean power E[|x|^2] of a sample block.
+inline double mean_power(const CVec& x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (const cd& v : x) s += std::norm(v);
+  return s / static_cast<double>(x.size());
+}
+
+/// Mean power in dB relative to unit power.
+inline double mean_power_db(const CVec& x) { return to_db(mean_power(x)); }
+
+}  // namespace sa

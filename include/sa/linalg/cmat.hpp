@@ -1,0 +1,73 @@
+// Dense row-major complex matrix sized for array processing (8x8 antenna
+// correlation matrices, OFDM channel matrices). Not a general BLAS — the
+// operations implemented are exactly those the AoA and PHY layers need.
+#pragma once
+
+#include <cstddef>
+
+#include "sa/linalg/cvec.hpp"
+
+namespace sa {
+
+class CMat {
+ public:
+  CMat() = default;
+  CMat(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+  CMat(std::size_t rows, std::size_t cols, const CVec& data);
+
+  static CMat identity(std::size_t n);
+  /// Rank-1 Hermitian outer product a * a^H.
+  static CMat outer(const CVec& a);
+  /// General outer product a * b^H.
+  static CMat outer(const CVec& a, const CVec& b);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  cd& operator()(std::size_t r, std::size_t c) {
+    SA_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const cd& operator()(std::size_t r, std::size_t c) const {
+    SA_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  const CVec& data() const { return data_; }
+
+  CMat operator+(const CMat& o) const;
+  CMat operator-(const CMat& o) const;
+  CMat operator*(const CMat& o) const;
+  CMat operator*(cd s) const;
+  CMat& operator+=(const CMat& o);
+  CMat& operator*=(cd s);
+
+  /// Matrix-vector product.
+  CVec operator*(const CVec& v) const;
+
+  /// Conjugate transpose.
+  CMat hermitian() const;
+  /// Plain transpose (no conjugation).
+  CMat transpose() const;
+
+  cd trace() const;
+  double frobenius_norm() const;
+  /// Largest |a_ij| over off-diagonal entries (convergence metric).
+  double max_off_diagonal() const;
+  /// True when ||A - A^H||_F <= tol * (1 + ||A||_F).
+  bool is_hermitian(double tol = 1e-10) const;
+
+  CVec row(std::size_t r) const;
+  CVec col(std::size_t c) const;
+  void set_row(std::size_t r, const CVec& v);
+  void set_col(std::size_t c, const CVec& v);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  CVec data_;
+};
+
+}  // namespace sa

@@ -1,0 +1,73 @@
+// Complex vector type and elementwise helpers.
+//
+// `sa::cd` (complex double) and `sa::CVec` are the lingua franca of the
+// signal chain: antenna snapshots, steering vectors, OFDM symbols, and
+// eigenvectors are all CVecs.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+using cd = std::complex<double>;
+using CVec = std::vector<cd>;
+
+/// Hermitian inner product <a, b> = sum conj(a_i) * b_i.
+inline cd inner(const CVec& a, const CVec& b) {
+  SA_EXPECTS(a.size() == b.size());
+  cd s{0.0, 0.0};
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::conj(a[i]) * b[i];
+  return s;
+}
+
+/// Euclidean norm.
+inline double norm(const CVec& a) {
+  double s = 0.0;
+  for (const cd& x : a) s += std::norm(x);
+  return std::sqrt(s);
+}
+
+/// Total energy sum |a_i|^2.
+inline double energy(const CVec& a) {
+  double s = 0.0;
+  for (const cd& x : a) s += std::norm(x);
+  return s;
+}
+
+/// Scale in place.
+inline void scale(CVec& a, cd s) {
+  for (cd& x : a) x *= s;
+}
+
+/// a += s * b.
+inline void axpy(CVec& a, cd s, const CVec& b) {
+  SA_EXPECTS(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+/// Normalize to unit norm; zero vectors are left unchanged.
+inline void normalize(CVec& a) {
+  const double n = norm(a);
+  if (n > 0.0) scale(a, cd{1.0 / n, 0.0});
+}
+
+/// Elementwise product (Hadamard).
+inline CVec hadamard(const CVec& a, const CVec& b) {
+  SA_EXPECTS(a.size() == b.size());
+  CVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+/// Elementwise conjugate.
+inline CVec conjugate(const CVec& a) {
+  CVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = std::conj(a[i]);
+  return out;
+}
+
+}  // namespace sa

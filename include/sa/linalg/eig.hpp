@@ -1,0 +1,41 @@
+// Hermitian eigendecomposition — the numerical heart of MUSIC.
+//
+// Implementation strategy: a complex Hermitian matrix A = B + iC embeds
+// into the real symmetric matrix M = [[B, -C], [C, B]] whose spectrum is
+// that of A doubled; M is diagonalized with a cyclic Jacobi sweep
+// (unconditionally stable, plenty fast for the 8x8 matrices of an
+// 8-antenna AP), and one complex eigenvector per duplicated pair is
+// recovered by modified Gram-Schmidt in complex space.
+#pragma once
+
+#include <vector>
+
+#include "sa/linalg/cmat.hpp"
+
+namespace sa {
+
+struct EigResult {
+  /// Eigenvalues in ascending order. Hermitian input => real values.
+  std::vector<double> values;
+  /// Unit-norm eigenvectors, one per eigenvalue, as matrix columns:
+  /// vectors.col(k) corresponds to values[k]. Columns are orthonormal.
+  CMat vectors;
+};
+
+/// Eigendecomposition of a real symmetric matrix (row-major, n x n),
+/// returned as ascending eigenvalues plus orthonormal eigenvectors in the
+/// columns of `vectors`. Exposed for testing; complex callers use eigh().
+struct RealEigResult {
+  std::vector<double> values;
+  std::vector<double> vectors;  ///< column-major n x n
+  std::size_t n = 0;
+};
+RealEigResult jacobi_eigh_real(const std::vector<double>& m, std::size_t n,
+                               int max_sweeps = 64, double tol = 1e-13);
+
+/// Eigendecomposition of a complex Hermitian matrix.
+/// Throws InvalidArgument if `a` is not square or not Hermitian within a
+/// loose tolerance, NumericalError if Jacobi fails to converge.
+EigResult eigh(const CMat& a);
+
+}  // namespace sa

@@ -1,0 +1,52 @@
+// Complex LU decomposition with partial pivoting: solves, inverse, and
+// determinant for the small dense systems in the Capon beamformer
+// (a^H R^{-1} a) and PHY channel equalization.
+#pragma once
+
+#include <optional>
+
+#include "sa/linalg/cmat.hpp"
+
+namespace sa {
+
+/// LU factorization with partial pivoting of a square matrix.
+class LuDecomposition {
+ public:
+  /// Factor `a`; throws InvalidArgument for non-square input.
+  explicit LuDecomposition(const CMat& a);
+
+  /// True when a pivot was (near) zero — matrix is singular to working
+  /// precision and solve()/inverse() would divide by ~0.
+  bool singular() const { return singular_; }
+
+  /// Solve A x = b. Throws StateError when singular().
+  CVec solve(const CVec& b) const;
+
+  /// Solve A X = B columnwise.
+  CMat solve(const CMat& b) const;
+
+  /// A^{-1}. Throws StateError when singular().
+  CMat inverse() const;
+
+  /// det(A), including pivoting sign.
+  cd determinant() const;
+
+ private:
+  std::size_t n_ = 0;
+  CMat lu_;                      // packed L (unit diag) and U
+  std::vector<std::size_t> piv_; // row permutation
+  int pivot_sign_ = 1;
+  bool singular_ = false;
+};
+
+/// One-shot convenience: solve A x = b, nullopt when singular.
+std::optional<CVec> solve(const CMat& a, const CVec& b);
+
+/// One-shot inverse, nullopt when singular.
+std::optional<CMat> inverse(const CMat& a);
+
+/// Hermitian quadratic form a^H M a (real part; imaginary part is ~0 for
+/// Hermitian M and is discarded).
+double quadratic_form(const CVec& a, const CMat& m);
+
+}  // namespace sa

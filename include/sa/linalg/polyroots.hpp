@@ -1,0 +1,19 @@
+// Complex polynomial root finding (Durand-Kerner / Weierstrass
+// simultaneous iteration) — the numerical engine behind Root-MUSIC.
+#pragma once
+
+#include "sa/linalg/cvec.hpp"
+
+namespace sa {
+
+/// Evaluate a polynomial with coefficients in ascending-power order
+/// (coeffs[k] multiplies z^k) via Horner's scheme.
+cd polyval(const CVec& coeffs, cd z);
+
+/// All complex roots of the polynomial `coeffs` (ascending powers).
+/// Leading near-zero coefficients are trimmed; the effective degree must
+/// be >= 1. Throws NumericalError if the iteration fails to converge.
+CVec polynomial_roots(const CVec& coeffs, int max_iter = 500,
+                      double tol = 1e-12);
+
+}  // namespace sa

@@ -1,0 +1,25 @@
+// Address-based access control list — the weak baseline defence that
+// link-layer spoofing subverts (paper §1). SecureAngle's spoof detector
+// layers on top of this.
+#pragma once
+
+#include <unordered_set>
+
+#include "sa/mac/address.hpp"
+
+namespace sa {
+
+class AccessControlList {
+ public:
+  void allow(const MacAddress& addr) { allowed_.insert(addr); }
+  void revoke(const MacAddress& addr) { allowed_.erase(addr); }
+  bool is_allowed(const MacAddress& addr) const {
+    return allowed_.contains(addr);
+  }
+  std::size_t size() const { return allowed_.size(); }
+
+ private:
+  std::unordered_set<MacAddress> allowed_;
+};
+
+}  // namespace sa

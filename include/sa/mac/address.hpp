@@ -1,0 +1,48 @@
+// 48-bit link-layer (MAC) addresses. Spoofing these is exactly the attack
+// SecureAngle's signature binding defends against (paper §2.3.2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sa {
+
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> octets)
+      : octets_(octets) {}
+
+  /// Parse "aa:bb:cc:dd:ee:ff"; throws InvalidArgument on malformed input.
+  static MacAddress parse(const std::string& text);
+  /// Deterministic locally-administered address derived from an index
+  /// (02:5a:xx:xx:xx:xx) — used to label simulated clients.
+  static MacAddress from_index(std::uint32_t index);
+  static constexpr MacAddress broadcast() {
+    return MacAddress({0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF});
+  }
+
+  const std::array<std::uint8_t, 6>& octets() const { return octets_; }
+  std::string to_string() const;
+  bool is_broadcast() const;
+  /// Locally-administered bit (bit 1 of the first octet).
+  bool is_local() const { return (octets_[0] & 0x02) != 0; }
+
+  auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+}  // namespace sa
+
+template <>
+struct std::hash<sa::MacAddress> {
+  std::size_t operator()(const sa::MacAddress& a) const noexcept {
+    std::size_t h = 0;
+    for (std::uint8_t o : a.octets()) h = h * 131 + o;
+    return h;
+  }
+};

@@ -1,0 +1,58 @@
+// 802.11 MAC frames: header layout, CRC-32 FCS, serialization. Only the
+// subset SecureAngle's applications need — data frames carrying uplink
+// traffic and the management frames used during association/training.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sa/mac/address.hpp"
+#include "sa/phy/bits.hpp"
+
+namespace sa {
+
+enum class FrameType : std::uint8_t { kManagement = 0, kControl = 1, kData = 2 };
+
+enum class ManagementSubtype : std::uint8_t {
+  kAssociationRequest = 0,
+  kAssociationResponse = 1,
+  kProbeRequest = 4,
+  kProbeResponse = 5,
+  kBeacon = 8,
+  kAuthentication = 11,
+  kDeauthentication = 12,
+};
+
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320) over a byte string —
+/// the 802.11 FCS.
+std::uint32_t crc32(const Bytes& data);
+
+struct Frame {
+  FrameType type = FrameType::kData;
+  std::uint8_t subtype = 0;
+  bool to_ds = true;        ///< uplink by default (client -> AP)
+  bool from_ds = false;
+  bool retry = false;
+  std::uint16_t duration = 0;
+  MacAddress addr1;          ///< receiver (AP BSSID for uplink)
+  MacAddress addr2;          ///< transmitter (the address spoofers forge)
+  MacAddress addr3;          ///< BSSID / DA depending on DS bits
+  std::uint16_t sequence = 0;  ///< sequence number (0..4095)
+  Bytes body;
+
+  /// Serialize header + body + FCS into a PSDU ready for the PHY.
+  Bytes serialize() const;
+
+  /// Parse and validate a PSDU. Returns nullopt when the buffer is too
+  /// short or the FCS does not match (corrupted frame).
+  static std::optional<Frame> parse(const Bytes& psdu);
+
+  /// Convenience constructor for an uplink data frame.
+  static Frame data(MacAddress bssid, MacAddress source, Bytes payload,
+                    std::uint16_t sequence = 0);
+  /// Convenience constructor for a probe request (used during training).
+  static Frame probe_request(MacAddress source, std::uint16_t sequence = 0);
+};
+
+}  // namespace sa

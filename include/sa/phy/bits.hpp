@@ -1,0 +1,24 @@
+// Bit-vector helpers shared by the coding/modulation chain.
+//
+// Bits are stored one per byte (0/1) in transmission order, LSB of each
+// octet first, matching IEEE 802.11 bit ordering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sa {
+
+using Bits = std::vector<std::uint8_t>;
+using Bytes = std::vector<std::uint8_t>;
+
+/// Expand octets to bits, LSB first per octet.
+Bits bytes_to_bits(const Bytes& bytes);
+
+/// Pack bits (LSB first) back to octets; size must be a multiple of 8.
+Bytes bits_to_bytes(const Bits& bits);
+
+/// Number of positions where the two bit strings differ.
+std::size_t hamming_distance(const Bits& a, const Bits& b);
+
+}  // namespace sa

@@ -1,0 +1,26 @@
+// Rate-1/2 K=7 convolutional code (generators 133/171 octal, the 802.11
+// industry-standard code) with hard-decision Viterbi decoding, plus the
+// 802.11a rate-3/4 puncturing pattern.
+#pragma once
+
+#include "sa/phy/bits.hpp"
+
+namespace sa {
+
+enum class CodeRate { kRate1_2, kRate2_3, kRate3_4 };
+
+/// Coded bits produced for n input bits at `rate` (includes no tail; the
+/// caller appends 6 zero tail bits before encoding per 802.11).
+std::size_t coded_length(std::size_t n_in, CodeRate rate);
+
+/// Convolutionally encode (state starts at zero). Output has
+/// 2*bits.size() entries before puncturing.
+Bits convolutional_encode(const Bits& bits, CodeRate rate = CodeRate::kRate1_2);
+
+/// Hard-decision Viterbi decode of a (possibly punctured) stream.
+/// `n_out` is the number of information bits to recover (encoder input
+/// length). Punctured positions are treated as erasures.
+Bits viterbi_decode(const Bits& coded, std::size_t n_out,
+                    CodeRate rate = CodeRate::kRate1_2);
+
+}  // namespace sa

@@ -1,0 +1,57 @@
+// Schmidl-Cox OFDM packet detection [Schmidl & Cox, IEEE Trans. Comm.
+// 1997] — the algorithm the SecureAngle prototype runs over its 0.4 ms
+// WARP sample buffers (paper §3).
+//
+// Coarse stage: the 802.11 short training field repeats every 16 samples,
+// so the normalized lag-16 autocorrelation metric
+//     M(k) = |P(k)|^2 / R(k)^2
+// plateaus near 1 during the STF. Fine stage: cross-correlate the known
+// 64-sample LTF period to pin the symbol boundary, which also resolves
+// the Schmidl-Cox plateau ambiguity. The lag autocorrelation additionally
+// yields a coarse CFO estimate; the two LTF periods refine it.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sa/linalg/cvec.hpp"
+
+namespace sa {
+
+struct DetectorConfig {
+  double threshold = 0.5;       ///< M(k) level that opens a detection window
+  std::size_t min_plateau = 48; ///< samples M must stay high (rejects spikes)
+  double sample_rate_hz = 20e6;
+  /// Search span for the LTF fine-timing correlation after the coarse hit.
+  std::size_t fine_search_span = 480;
+  /// Fine-timing peak must exceed this fraction of the LTF self-energy.
+  double fine_threshold = 0.5;
+};
+
+struct PacketDetection {
+  std::size_t start = 0;     ///< index of the packet's first STF sample
+  double metric = 0.0;       ///< Schmidl-Cox plateau metric at detection
+  double cfo_hz = 0.0;       ///< estimated carrier frequency offset
+  double fine_peak = 0.0;    ///< normalized LTF correlation at the peak
+};
+
+/// Detects every packet in a buffer of raw samples (single antenna).
+class SchmidlCoxDetector {
+ public:
+  explicit SchmidlCoxDetector(DetectorConfig config = {});
+
+  /// Scan a sample buffer and return all detections, in time order.
+  std::vector<PacketDetection> detect(const CVec& samples) const;
+
+  /// First detection at/after `from`, if any.
+  std::optional<PacketDetection> detect_first(const CVec& samples,
+                                              std::size_t from = 0) const;
+
+  const DetectorConfig& config() const { return config_; }
+
+ private:
+  DetectorConfig config_;
+  CVec ltf_ref_;  // one 64-sample LTF period, for fine timing
+};
+
+}  // namespace sa

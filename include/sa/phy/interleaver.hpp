@@ -1,0 +1,17 @@
+// IEEE 802.11a block interleaver: two permutations applied per OFDM
+// symbol so adjacent coded bits land on non-adjacent subcarriers and
+// alternate constellation bit significance.
+#pragma once
+
+#include "sa/phy/bits.hpp"
+
+namespace sa {
+
+/// Interleave one OFDM symbol's worth of coded bits.
+/// `n_cbps` = coded bits per symbol, `n_bpsc` = coded bits per subcarrier.
+Bits interleave(const Bits& bits, std::size_t n_cbps, std::size_t n_bpsc);
+
+/// Inverse permutation.
+Bits deinterleave(const Bits& bits, std::size_t n_cbps, std::size_t n_bpsc);
+
+}  // namespace sa

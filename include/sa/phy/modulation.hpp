@@ -1,0 +1,24 @@
+// Subcarrier constellation mapping: BPSK, QPSK, 16-QAM, 64-QAM with the
+// 802.11a Gray mapping and unit average-power normalization.
+#pragma once
+
+#include "sa/linalg/cvec.hpp"
+#include "sa/phy/bits.hpp"
+
+namespace sa {
+
+enum class Modulation { kBpsk, kQpsk, kQam16, kQam64 };
+
+/// Coded bits carried per subcarrier.
+std::size_t bits_per_symbol(Modulation m);
+
+/// Map `bits` (size must be a multiple of bits_per_symbol) to symbols.
+CVec modulate(const Bits& bits, Modulation m);
+
+/// Hard-decision demap.
+Bits demodulate(const CVec& symbols, Modulation m);
+
+/// Minimum distance between constellation points (for test margins).
+double min_distance(Modulation m);
+
+}  // namespace sa

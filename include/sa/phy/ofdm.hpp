@@ -1,0 +1,67 @@
+// 802.11a/g-style 20 MHz OFDM numerology: 64 subcarriers (48 data,
+// 4 pilots), 16-sample cyclic prefix, standard short/long training
+// preamble. The preamble's periodic structure is what the Schmidl-Cox
+// detector (sa/phy/detector.hpp) exploits.
+#pragma once
+
+#include <array>
+
+#include "sa/linalg/cvec.hpp"
+#include "sa/phy/bits.hpp"
+#include "sa/phy/modulation.hpp"
+
+namespace sa {
+
+inline constexpr std::size_t kFftSize = 64;
+inline constexpr std::size_t kCpLen = 16;
+inline constexpr std::size_t kSymbolLen = kFftSize + kCpLen;  // 80
+inline constexpr std::size_t kNumDataCarriers = 48;
+inline constexpr std::size_t kNumPilots = 4;
+inline constexpr std::size_t kStfLen = 160;   // 10 x 16-sample repetitions
+inline constexpr std::size_t kLtfLen = 160;   // 32 CP + 2 x 64
+inline constexpr std::size_t kPreambleLen = kStfLen + kLtfLen;
+
+/// Time-domain amplitude scale applied after the IFFT so that a symbol
+/// carrying unit-average-power constellation points on the 52 active
+/// subcarriers has unit mean transmit power: sqrt(N^2 / 52).
+/// (Parseval: mean time power = scale^2 * 52 / N^2.)
+inline const double kOfdmTimeScale = 8.875203139603666;  // sqrt(4096/52)
+
+/// Logical data subcarrier indices (-26..26, excluding 0 and pilots).
+const std::array<int, kNumDataCarriers>& data_carriers();
+/// Pilot subcarrier indices {-21, -7, 7, 21}.
+const std::array<int, kNumPilots>& pilot_carriers();
+/// Base pilot values {1, 1, 1, -1} before polarity scrambling.
+const std::array<double, kNumPilots>& pilot_values();
+/// 127-element pilot polarity sequence p_n (802.11a 17.3.5.9).
+double pilot_polarity(std::size_t symbol_index);
+
+/// FFT bin for logical subcarrier index k in [-32, 31].
+std::size_t carrier_to_bin(int k);
+
+/// Time-domain short training field (160 samples, unit mean power).
+CVec short_training_field();
+/// Time-domain long training field (160 samples: 32 CP + 2 repetitions).
+CVec long_training_field();
+/// Frequency-domain LTF sequence on logical carriers -26..26.
+const std::array<double, 53>& ltf_sequence();
+
+/// One 64-sample LTF period in time domain (for cross-correlation sync).
+CVec ltf_period();
+
+/// Modulate one OFDM data symbol: 48 constellation points + pilots for
+/// `symbol_index` (pilot polarity), IFFT, prepend CP. Output: 80 samples.
+CVec ofdm_modulate_symbol(const CVec& data48, std::size_t symbol_index);
+
+/// Frequency-domain channel estimate from the two received LTF periods
+/// (each 64 samples, CP removed). Returns gains on all 64 bins (zero on
+/// unused bins).
+CVec estimate_channel_from_ltf(const CVec& ltf_rx_1, const CVec& ltf_rx_2);
+
+/// Demodulate one received OFDM symbol (80 samples with CP) against a
+/// channel estimate; applies per-symbol common phase correction from the
+/// pilots. Returns the 48 equalized data subcarrier values.
+CVec ofdm_demodulate_symbol(const CVec& rx80, const CVec& channel,
+                            std::size_t symbol_index);
+
+}  // namespace sa

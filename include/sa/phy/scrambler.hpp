@@ -1,0 +1,29 @@
+// IEEE 802.11 frame-synchronous scrambler, polynomial x^7 + x^4 + 1.
+// Self-inverse: running the same state over scrambled bits descrambles.
+#pragma once
+
+#include "sa/phy/bits.hpp"
+
+namespace sa {
+
+class Scrambler {
+ public:
+  /// `seed` is the 7-bit initial state; must be nonzero.
+  explicit Scrambler(std::uint8_t seed = 0x5D);
+
+  /// XOR the PRBS into `bits`, advancing state.
+  Bits process(const Bits& bits);
+
+  /// Reset to a new 7-bit state.
+  void reset(std::uint8_t seed);
+
+  std::uint8_t state() const { return state_; }
+
+  /// One PRBS output bit (advances state).
+  std::uint8_t next_bit();
+
+ private:
+  std::uint8_t state_;
+};
+
+}  // namespace sa

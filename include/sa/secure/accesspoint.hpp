@@ -1,0 +1,103 @@
+// The SecureAngle access point: the paper's full receive pipeline.
+//
+//   raw multi-antenna samples
+//     -> per-chain impairments (unknown LO phases, §2.2)
+//     -> calibration correction (USRP2-style table)
+//     -> Schmidl-Cox packet detection (§3, on a reference antenna)
+//     -> per-packet antenna correlation matrix (whole-packet averaging)
+//     -> MUSIC pseudospectrum (§2.1)
+//     -> AoA signature + decoded 802.11 frame
+//
+// Applications (virtual fence, spoof detection) consume ReceivedPacket.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sa/aoa/estimators.hpp"
+#include "sa/array/calibration.hpp"
+#include "sa/array/geometry.hpp"
+#include "sa/array/impairments.hpp"
+#include "sa/channel/simulator.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/detector.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/signature/signature.hpp"
+
+namespace sa {
+
+struct AccessPointConfig {
+  ArrayGeometry geometry = ArrayGeometry::octagon();
+  Vec2 position{0.0, 0.0};
+  double orientation_deg = 0.0;
+  double carrier_hz = 2.4e9;
+  double sample_rate_hz = 20e6;
+  MusicConfig music;
+  SignatureConfig signature;
+  DetectorConfig detector;
+  CalibratorConfig calibrator;
+  /// Disable to reproduce the paper's point that uncalibrated chains
+  /// break AoA (ablation bench).
+  bool apply_calibration = true;
+  /// Direct-path rule: true = power-weighted peak selection (robust to
+  /// the paper's "false positive direct path AoA" problem), false = the
+  /// paper's plain argmax of the pseudospectrum (ablation).
+  bool power_weighted_bearing = true;
+  /// Chain gain mismatch spread handed to ArrayImpairments::random.
+  double chain_gain_sigma = 0.05;
+};
+
+/// Everything the AP knows about one received packet.
+struct ReceivedPacket {
+  PacketDetection detection;
+  std::optional<DecodedPacket> phy;  ///< nullopt: PHY decode failed
+  std::optional<Frame> frame;        ///< nullopt: bad FCS or no PHY
+  MusicResult music;
+  AoaSignature signature;
+  /// Strongest-peak bearing in the array's own convention.
+  double bearing_array_deg = 0.0;
+  /// Candidate world azimuths of the direct path (two for a linear
+  /// array's front/back ambiguity, one otherwise).
+  std::vector<double> bearing_world_deg;
+};
+
+class AccessPoint {
+ public:
+  /// Constructs the AP with freshly drawn chain impairments and runs the
+  /// calibration procedure (unless disabled in config).
+  AccessPoint(AccessPointConfig config, Rng& rng);
+
+  /// Process a block of *channel-ideal* per-antenna samples (rows =
+  /// antennas): the AP first applies its own chain impairments, then its
+  /// calibration table, then detection/decoding/AoA.
+  std::vector<ReceivedPacket> receive(const CMat& channel_samples);
+
+  /// AoA-only path: covariance + MUSIC + signature over a sample block
+  /// already known to span one packet (no detection/decode).
+  AoaSignature signature_from_samples(const CMat& packet_samples) const;
+  MusicResult music_from_samples(const CMat& packet_samples) const;
+
+  /// World placement of this AP's array (for the channel simulator).
+  ArrayPlacement placement() const;
+
+  const AccessPointConfig& config() const { return config_; }
+  const ArrayImpairments& impairments() const { return impairments_; }
+  const CalibrationTable& calibration() const { return calibration_; }
+  double wavelength_m() const;
+
+  /// Convert an array-convention bearing to world azimuth candidates.
+  std::vector<double> to_world_bearings(double array_bearing_deg) const;
+
+ private:
+  /// Impairments + (optional) calibration applied to a copy.
+  CMat condition(const CMat& channel_samples) const;
+
+  AccessPointConfig config_;
+  ArrayImpairments impairments_;
+  CalibrationTable calibration_;
+  SchmidlCoxDetector detector_;
+  MusicEstimator music_;
+  PacketReceiver phy_rx_;
+};
+
+}  // namespace sa

@@ -1,0 +1,52 @@
+// Downlink directional transmission from uplink AoA — the paper's §5
+// future work ("with AoA information obtained, high efficiency downlink
+// directional transmission will also be feasible resulting in higher
+// throughput and better reliability"), plus transmit null-steering,
+// which is how a SecureAngle AP can yield toward a whitespace incumbent
+// or deny energy toward an eavesdropper's bearing.
+//
+// Convention: `channel` is the narrowband uplink channel vector h
+// (ChannelSimulator::channel_vector); by reciprocity the downlink scalar
+// seen by the client under transmit weights w is  y = sum_m h_m * w_m
+// = h^T w (plain transpose, no conjugation).
+#pragma once
+
+#include <vector>
+
+#include "sa/array/geometry.hpp"
+#include "sa/linalg/cvec.hpp"
+
+namespace sa {
+
+/// Conjugate-steering weights toward `bearing_deg` (array convention),
+/// unit total power: w = conj(a(theta)) / sqrt(n). This is what an AP
+/// can do knowing only the AoA estimate.
+CVec aoa_beamforming_weights(const ArrayGeometry& geom, double bearing_deg,
+                             double lambda_m);
+
+/// Maximum-ratio transmission from full channel knowledge, unit power:
+/// w = conj(h) / ||h||. Upper bound for the AoA-only scheme.
+CVec mrt_weights(const CVec& channel);
+
+/// Transmit toward `target_deg` with hard nulls at each `null_degs`
+/// bearing: the target's conjugate steering vector projected onto the
+/// orthogonal complement of the nulls' steering vectors, unit power.
+/// Throws InvalidArgument when the target is (numerically) inside the
+/// null subspace — no energy can reach it without leaking into a null.
+CVec null_steering_weights(const ArrayGeometry& geom, double target_deg,
+                           const std::vector<double>& null_degs,
+                           double lambda_m);
+
+/// |h^T w| — received downlink amplitude at a client with channel h.
+double downlink_amplitude(const CVec& channel, const CVec& weights);
+
+/// Gain in dB of weights `w` over single-antenna transmission (antenna 0
+/// carrying all the power) for the same client channel.
+double downlink_gain_db(const CVec& channel, const CVec& weights);
+
+/// Array-factor power (dB, relative to a single antenna) radiated toward
+/// `bearing_deg` in free space — the transmit beam pattern.
+double array_factor_db(const ArrayGeometry& geom, const CVec& weights,
+                       double bearing_deg, double lambda_m);
+
+}  // namespace sa

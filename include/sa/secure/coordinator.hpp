@@ -1,0 +1,77 @@
+// Multi-AP coordination: the controller that a SecureAngle deployment
+// runs centrally. It fuses the per-AP views of each uplink frame and
+// applies both defenses in one place:
+//   * virtual fence — localize from the APs' direct-path bearings and
+//     drop frames from outside the boundary (Sec. 2.3.1);
+//   * spoof detection — track the per-MAC signature at the AP that hears
+//     the client best and flag divergence (Sec. 2.3.2).
+// The fusion step is also where cross-AP false-positive AoA removal
+// happens (Sec. 3.1), via localize()'s outlier rejection.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sa/secure/accesspoint.hpp"
+#include "sa/secure/spoofdetector.hpp"
+#include "sa/secure/virtualfence.hpp"
+
+namespace sa {
+
+struct CoordinatorConfig {
+  /// Fence boundary; nullopt disables the fence check.
+  std::optional<Polygon> fence_boundary;
+  double fence_max_residual_deg = 20.0;
+  TrackerConfig tracker;
+  /// Minimum APs that must hear a frame before it can be localized.
+  std::size_t min_aps_for_fence = 2;
+  /// Fence policy when a frame is heard by fewer than min_aps_for_fence
+  /// APs: false (default) = fail closed and drop it — only clients
+  /// positively localized inside the boundary get access, which is the
+  /// paper's intent; true = fail open and let it through.
+  bool fence_fail_open = false;
+};
+
+/// One AP's view of a frame.
+struct ApObservation {
+  Vec2 ap_position;
+  ReceivedPacket packet;
+};
+
+enum class FrameAction { kAccept, kDropFence, kDropSpoof, kDropUndecodable };
+
+struct FrameDecision {
+  FrameAction action = FrameAction::kAccept;
+  std::optional<MacAddress> source;
+  std::optional<LocalizationResult> location;
+  SpoofVerdict spoof = SpoofVerdict::kTraining;
+  double spoof_score = 0.0;
+  const char* detail = "";
+};
+
+class Coordinator {
+ public:
+  explicit Coordinator(CoordinatorConfig config);
+
+  /// Fuse all APs' observations of one frame and decide its fate.
+  /// Precondition: every observation refers to the same transmission.
+  FrameDecision process(const std::vector<ApObservation>& observations);
+
+  struct Stats {
+    std::size_t frames = 0;
+    std::size_t accepted = 0;
+    std::size_t dropped_fence = 0;
+    std::size_t dropped_spoof = 0;
+    std::size_t dropped_undecodable = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const SpoofDetector& spoof_detector() const { return spoof_; }
+
+ private:
+  CoordinatorConfig config_;
+  std::optional<VirtualFence> fence_;
+  SpoofDetector spoof_;
+  Stats stats_;
+};
+
+}  // namespace sa

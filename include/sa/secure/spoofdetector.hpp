@@ -1,0 +1,53 @@
+// Address-spoofing prevention (paper §2.3.2): bind each MAC address to a
+// tracked AoA signature; flag packets whose signature diverges from the
+// one trained for that address.
+#pragma once
+
+#include <unordered_map>
+
+#include "sa/mac/address.hpp"
+#include "sa/signature/tracker.hpp"
+
+namespace sa {
+
+enum class SpoofVerdict {
+  kTraining,    ///< still learning this MAC's signature
+  kLegitimate,  ///< signature matches the trained reference
+  kSpoof,       ///< signature mismatch — injection suspected
+};
+
+struct SpoofObservation {
+  SpoofVerdict verdict = SpoofVerdict::kTraining;
+  double score = 0.0;
+};
+
+struct SpoofDetectorStats {
+  std::size_t packets = 0;
+  std::size_t alarms = 0;
+  std::size_t tracked_macs = 0;
+};
+
+class SpoofDetector {
+ public:
+  explicit SpoofDetector(TrackerConfig tracker_config = {});
+
+  /// Feed one (MAC, signature) pair from a decoded uplink frame.
+  SpoofObservation observe(const MacAddress& source,
+                           const AoaSignature& signature);
+
+  /// Tracker for a MAC, if it has been seen.
+  const SignatureTracker* tracker(const MacAddress& source) const;
+
+  /// Forget a MAC entirely (e.g. after deauthentication).
+  void forget(const MacAddress& source);
+
+  SpoofDetectorStats stats() const;
+
+ private:
+  TrackerConfig tracker_config_;
+  std::unordered_map<MacAddress, SignatureTracker> trackers_;
+  std::size_t packets_ = 0;
+  std::size_t alarms_ = 0;
+};
+
+}  // namespace sa

@@ -1,0 +1,61 @@
+// Streaming capture: the WARP prototype ships 0.4 ms buffers (8000
+// samples at 20 MHz) to the host; packets land anywhere in the stream,
+// including straddling buffer boundaries. StreamingReceiver feeds an
+// AccessPoint from a chunked sample stream, keeping enough overlap that
+// a packet split across chunks is still detected and decoded exactly
+// once.
+#pragma once
+
+#include <vector>
+
+#include "sa/secure/accesspoint.hpp"
+
+namespace sa {
+
+struct StreamingConfig {
+  /// Samples retained across chunk boundaries. Must cover the longest
+  /// packet expected plus detection margin; the default covers ~55 data
+  /// symbols (a few hundred bytes at 6 Mbps).
+  std::size_t history_samples = 6000;
+  /// A detection this close to the buffer end is deferred until more
+  /// samples arrive (the packet may be truncated mid-air).
+  std::size_t tail_guard = 480;
+  /// A detection whose PHY decode fails is retried until this many
+  /// samples have accumulated past its start (the decode may have failed
+  /// only because the packet is still arriving); after that it is
+  /// emitted as undecodable. Must be < history_samples.
+  std::size_t max_packet_samples = 4800;
+};
+
+class StreamingReceiver {
+ public:
+  StreamingReceiver(AccessPoint& ap, StreamingConfig config = {});
+
+  /// Feed the next contiguous chunk (rows = antennas). Returns packets
+  /// newly completed, each stamped with its absolute start sample.
+  struct StreamPacket {
+    std::size_t absolute_start = 0;
+    ReceivedPacket packet;
+  };
+  std::vector<StreamPacket> push(const CMat& chunk);
+
+  /// Process whatever remains (end of capture): deferred detections are
+  /// emitted now even if possibly truncated.
+  std::vector<StreamPacket> flush();
+
+  /// Total samples consumed so far.
+  std::size_t samples_seen() const { return base_ + buffered_cols_; }
+
+ private:
+  std::vector<StreamPacket> run(bool final_pass);
+  void trim();
+
+  AccessPoint& ap_;
+  StreamingConfig config_;
+  CMat buffer_;                 // rows = antennas; cols grow then trim
+  std::size_t buffered_cols_ = 0;
+  std::size_t base_ = 0;        // absolute index of buffer_ column 0
+  std::size_t emit_watermark_ = 0;  // absolute end of last emitted packet
+};
+
+}  // namespace sa

@@ -1,0 +1,36 @@
+// Signature comparison metrics. The spoof-detection hypothesis (paper
+// §2.3.2) is that a legitimate client's signature and an attacker's
+// differ enough to discriminate; these metrics quantify "differ".
+#pragma once
+
+#include "sa/signature/signature.hpp"
+
+namespace sa {
+
+/// Cosine similarity of the two (normalized, linear-power) spectra on a
+/// shared grid; in [0, 1], 1 = identical shape.
+double cosine_similarity(const AoaSignature& a, const AoaSignature& b);
+
+/// RMS difference of the dB spectra, floored at `floor_db` (limits the
+/// influence of deep nulls). Units: dB.
+double spectral_distance_db(const AoaSignature& a, const AoaSignature& b,
+                            double floor_db = -30.0);
+
+/// Peak-set distance: greedily match peaks within `match_tolerance_deg`;
+/// matched pairs contribute their angular distance (weighted by linear
+/// peak power), unmatched peaks contribute the full tolerance. Normalized
+/// to [0, 1] where 0 = identical peak sets.
+double peak_set_distance(const AoaSignature& a, const AoaSignature& b,
+                         double match_tolerance_deg = 10.0);
+
+struct MatchWeights {
+  double w_cosine = 0.6;
+  double w_peaks = 0.4;
+};
+
+/// Combined match score in [0, 1]; 1 = same client, near 0 = different.
+/// score = w_cosine * cosine + w_peaks * (1 - peak_set_distance).
+double match_score(const AoaSignature& a, const AoaSignature& b,
+                   const MatchWeights& weights = {});
+
+}  // namespace sa

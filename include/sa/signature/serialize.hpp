@@ -1,0 +1,28 @@
+// Signature persistence: serialize AoA signatures and per-MAC tracker
+// state to a portable byte format so an AP can reboot (or hand over to a
+// neighbour) without retraining every client — operationally necessary
+// for the spoof-prevention application, since the "initial training
+// stage" (§2.3.2) is exactly what an attacker would love to re-trigger.
+//
+// Format: little-endian, versioned, length-prefixed; doubles as IEEE-754
+// bit patterns. No allocation tricks — safe to parse untrusted input
+// (parse failures return nullopt, never UB).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sa/signature/signature.hpp"
+
+namespace sa {
+
+using ByteStream = std::vector<std::uint8_t>;
+
+/// Serialize a signature (spectrum grid + values + wrap flag).
+ByteStream serialize_signature(const AoaSignature& sig);
+
+/// Parse a serialized signature; nullopt on malformed/truncated input.
+std::optional<AoaSignature> deserialize_signature(const ByteStream& data);
+
+}  // namespace sa

@@ -1,0 +1,42 @@
+// AoA signatures (paper §2.1): "The combined direct path and reflection
+// path AoAs form the unique signature for each client. ... We use the
+// pseudospectrum as our client signature."
+#pragma once
+
+#include "sa/aoa/pseudospectrum.hpp"
+
+namespace sa {
+
+struct SignatureConfig {
+  double peak_min_prominence_db = 1.0;
+  double peak_min_separation_deg = 5.0;
+  std::size_t max_peaks = 6;
+};
+
+class AoaSignature {
+ public:
+  AoaSignature() = default;
+
+  /// Build a signature from a pseudospectrum: normalize, extract the peak
+  /// set, record the strongest peak as the direct-path bearing estimate.
+  static AoaSignature from_spectrum(Pseudospectrum spectrum,
+                                    const SignatureConfig& config = {});
+
+  bool valid() const { return spectrum_.size() > 0; }
+  const Pseudospectrum& spectrum() const { return spectrum_; }
+  const std::vector<SpectrumPeak>& peaks() const { return peaks_; }
+
+  /// Bearing of the strongest peak — "the direct path bearing corresponds
+  /// to the highest peak in the pseudospectrum most of the time" (§3.1).
+  double direct_bearing_deg() const { return direct_bearing_deg_; }
+
+  /// Bearings of the non-strongest peaks (reflection paths).
+  std::vector<double> reflection_bearings_deg() const;
+
+ private:
+  Pseudospectrum spectrum_;
+  std::vector<SpectrumPeak> peaks_;
+  double direct_bearing_deg_ = 0.0;
+};
+
+}  // namespace sa

@@ -1,0 +1,72 @@
+// Signature tracking (paper §2.3.2): "Since Scl changes when the client
+// or nearby obstacles move, the AP needs to track and update Scl ...
+// using uplink traffic that the clients send to the AP."
+//
+// The tracker keeps an exponentially weighted reference spectrum per
+// client. Each accepted observation nudges the reference; observations
+// that fail the match threshold are counted as anomalies and do NOT
+// update the reference (otherwise an attacker could walk the signature).
+#pragma once
+
+#include <optional>
+
+#include "sa/signature/metrics.hpp"
+#include "sa/signature/signature.hpp"
+
+namespace sa {
+
+struct TrackerConfig {
+  double ewma_alpha = 0.1;        ///< weight of a new accepted observation
+  double match_threshold = 0.75;  ///< match_score() acceptance level
+  /// Number of initial observations averaged to form the reference
+  /// ("initial training stage", §2.3.2).
+  std::size_t training_packets = 5;
+  MatchWeights weights;
+  SignatureConfig signature_config;
+};
+
+enum class TrackerVerdict {
+  kTraining,  ///< still collecting the initial reference
+  kMatch,     ///< accepted; reference updated
+  kMismatch,  ///< rejected; possible spoof/injection
+};
+
+struct TrackerDecision {
+  TrackerVerdict verdict = TrackerVerdict::kTraining;
+  double score = 0.0;  ///< match_score vs the current reference (0 in training)
+};
+
+class SignatureTracker {
+ public:
+  explicit SignatureTracker(TrackerConfig config = {});
+
+  /// Feed one observed signature; returns the verdict against the
+  /// tracked reference.
+  TrackerDecision observe(const AoaSignature& observed);
+
+  bool trained() const { return trained_; }
+  /// Current reference; nullopt before training completes.
+  std::optional<AoaSignature> reference() const;
+
+  std::size_t observations() const { return observations_; }
+  std::size_t mismatches() const { return mismatches_; }
+
+  /// Drop all state and retrain from scratch.
+  void reset();
+
+  const TrackerConfig& config() const { return config_; }
+
+ private:
+  void blend_into_reference(const AoaSignature& observed, double alpha);
+
+  TrackerConfig config_;
+  bool trained_ = false;
+  std::size_t training_seen_ = 0;
+  std::vector<double> ref_values_;   // accumulating linear spectrum
+  std::vector<double> ref_angles_;
+  bool ref_wraps_ = false;
+  std::size_t observations_ = 0;
+  std::size_t mismatches_ = 0;
+};
+
+}  // namespace sa

@@ -1,0 +1,68 @@
+// The Figure-4 office testbed, reconstructed.
+//
+// The paper evaluates against 20 Soekris clients spread around a WARP AP
+// in an office: twelve clients ring the AP (labelled with compass
+// bearings in the figure), the rest sit in neighbouring rooms; a large
+// cement pillar blocks client 11 completely and client 12 partially, and
+// client 6 is far away with strong multipath. This module recreates that
+// layout as a concrete floorplan with the same qualitative features:
+//
+//   * a 24 m x 16 m building (exterior concrete walls),
+//   * interior partition walls with door gaps,
+//   * an RF-lossy cement pillar between the AP and clients 11/12,
+//   * clients 1..12 on a ring around the AP (30-degree spacing, like the
+//     figure's clock layout), clients 13..20 scattered in/out of the
+//     AP's room,
+//   * extra AP mounting points for multi-AP localization experiments,
+//   * the building outline as the natural virtual-fence polygon and a
+//     set of outdoor attacker positions ("physically located off site").
+#pragma once
+
+#include <vector>
+
+#include "sa/channel/floorplan.hpp"
+#include "sa/common/geometry.hpp"
+
+namespace sa {
+
+struct TestbedClient {
+  int id = 0;
+  Vec2 position;
+  const char* note = "";
+};
+
+class OfficeTestbed {
+ public:
+  /// The reconstructed Figure-4 environment.
+  static OfficeTestbed figure4();
+
+  const Floorplan& floorplan() const { return floorplan_; }
+  Vec2 ap_position() const { return ap_position_; }
+
+  const std::vector<TestbedClient>& clients() const { return clients_; }
+  /// Client by paper id (1..20); throws InvalidArgument for unknown ids.
+  const TestbedClient& client(int id) const;
+
+  /// Ground-truth world azimuth (deg) from the main AP to a client.
+  double ground_truth_bearing_deg(int id) const;
+
+  /// Building outline = the paper's "virtual fence" around the office.
+  const Polygon& building_outline() const { return outline_; }
+
+  /// Additional AP mounting points (multi-AP localization / fence).
+  const std::vector<Vec2>& extra_ap_positions() const { return extra_aps_; }
+
+  /// Off-site positions for the fence/attacker experiments (outside the
+  /// building: parking lot, street).
+  const std::vector<Vec2>& outdoor_positions() const { return outdoor_; }
+
+ private:
+  Floorplan floorplan_;
+  Vec2 ap_position_;
+  std::vector<TestbedClient> clients_;
+  Polygon outline_;
+  std::vector<Vec2> extra_aps_;
+  std::vector<Vec2> outdoor_;
+};
+
+}  // namespace sa

@@ -1,0 +1,80 @@
+// Uplink transmission harness: glues the floorplan, ray tracer, temporal
+// fading, and multi-antenna channel simulator into "client at position P
+// transmits waveform W; what does each AP's antenna array sample?"
+//
+// Links (one per transmitter-position/AP pair) cache their traced paths
+// and carry persistent fading state, so repeated transmissions from the
+// same client evolve the channel the way Fig. 6's day-long trace does.
+#pragma once
+
+#include <vector>
+
+#include "sa/channel/fading.hpp"
+#include "sa/channel/simulator.hpp"
+#include "sa/testbed/office.hpp"
+
+namespace sa {
+
+/// Transmit-side antenna pattern (the attacker models of the paper's
+/// threat model: omnidirectional, directional — as in the TJ Maxx attack
+/// — or an antenna array).
+struct TxPattern {
+  double aim_azimuth_deg = 0.0;    ///< boresight world azimuth
+  double beamwidth_deg = 360.0;    ///< 360 = omni
+  double boresight_gain_db = 0.0;
+  double backlobe_floor_db = -25.0;
+  double tx_power_db = 0.0;        ///< overall power offset
+
+  /// Gain applied to a path leaving at `departure_bearing_deg`.
+  double gain_db(double departure_bearing_deg) const;
+};
+
+struct UplinkConfig {
+  ChannelConfig channel;
+  RayTracerConfig tracer;
+  FadingConfig fading;
+};
+
+class UplinkSimulation {
+ public:
+  UplinkSimulation(const OfficeTestbed& testbed, UplinkConfig config, Rng& rng);
+
+  /// Register an AP array placement; returns its index.
+  std::size_t add_ap(ArrayPlacement placement);
+  std::size_t num_aps() const { return aps_.size(); }
+  const ArrayPlacement& ap(std::size_t i) const;
+
+  /// Advance global time (fading on every cached link) by dt seconds.
+  void advance(double dt_s);
+
+  /// Transmit `waveform` from `from`; returns one ideal per-antenna
+  /// sample matrix per registered AP (rows = antennas). `pattern`
+  /// shapes the transmit gain per departure bearing (nullptr = omni).
+  std::vector<CMat> transmit(Vec2 from, const CVec& waveform,
+                             const TxPattern* pattern = nullptr);
+
+  /// Traced (un-faded) paths for a link, for inspection.
+  const std::vector<PropagationPath>& paths(Vec2 from, std::size_t ap_index);
+
+  const OfficeTestbed& testbed() const { return testbed_; }
+  const UplinkConfig& config() const { return config_; }
+
+ private:
+  struct Link {
+    Vec2 from;
+    std::size_t ap_index = 0;
+    std::vector<PropagationPath> paths;
+    PathFading fading;
+  };
+  Link& link_for(Vec2 from, std::size_t ap_index);
+
+  OfficeTestbed testbed_;
+  UplinkConfig config_;
+  RayTracer tracer_;
+  ChannelSimulator simulator_;
+  std::vector<ArrayPlacement> aps_;
+  std::vector<Link> links_;
+  Rng rng_;
+};
+
+}  // namespace sa

@@ -1,0 +1,66 @@
+#include "sa/aoa/covariance.hpp"
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+CMat sample_covariance(const CMat& samples) {
+  SA_EXPECTS(samples.rows() >= 1 && samples.cols() >= 1);
+  const std::size_t n = samples.rows();
+  const std::size_t t_len = samples.cols();
+  CMat r(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      cd acc{0.0, 0.0};
+      for (std::size_t t = 0; t < t_len; ++t) {
+        acc += samples(i, t) * std::conj(samples(j, t));
+      }
+      acc /= static_cast<double>(t_len);
+      r(i, j) = acc;
+      r(j, i) = std::conj(acc);
+    }
+  }
+  return r;
+}
+
+CMat forward_backward_average(const CMat& r) {
+  SA_EXPECTS(r.rows() == r.cols());
+  const std::size_t n = r.rows();
+  CMat out(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      // (J conj(R) J)(i, j) = conj(R(n-1-i, n-1-j)).
+      out(i, j) = (r(i, j) + std::conj(r(n - 1 - i, n - 1 - j))) * 0.5;
+    }
+  }
+  return out;
+}
+
+CMat spatial_smooth(const CMat& r, std::size_t subarray_size) {
+  SA_EXPECTS(r.rows() == r.cols());
+  const std::size_t n = r.rows();
+  SA_EXPECTS(subarray_size >= 2 && subarray_size <= n);
+  const std::size_t n_sub = n - subarray_size + 1;
+  CMat out(subarray_size, subarray_size);
+  for (std::size_t s = 0; s < n_sub; ++s) {
+    for (std::size_t i = 0; i < subarray_size; ++i) {
+      for (std::size_t j = 0; j < subarray_size; ++j) {
+        out(i, j) += r(s + i, s + j);
+      }
+    }
+  }
+  out *= cd{1.0 / static_cast<double>(n_sub), 0.0};
+  return out;
+}
+
+CMat diagonal_load(const CMat& r, double eps) {
+  SA_EXPECTS(r.rows() == r.cols());
+  SA_EXPECTS(eps >= 0.0);
+  const std::size_t n = r.rows();
+  CMat out = r;
+  const double load = eps * r.trace().real() / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) out(i, i) += cd{load, 0.0};
+  return out;
+}
+
+}  // namespace sa

@@ -1,0 +1,230 @@
+#include "sa/aoa/estimators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sa/aoa/covariance.hpp"
+#include "sa/common/angles.hpp"
+#include "sa/common/error.hpp"
+#include "sa/common/logging.hpp"
+#include "sa/linalg/eig.hpp"
+#include "sa/linalg/lu.hpp"
+
+namespace sa {
+
+std::vector<double> scan_grid(const ArrayGeometry& geom, double step_deg) {
+  SA_EXPECTS(step_deg > 0.0);
+  const double lo = geom.scan_min_deg();
+  const double hi = geom.scan_max_deg();
+  std::vector<double> out;
+  const bool wraps = geom.kind() != ArrayKind::kLinear;
+  // Circular grids exclude the duplicate endpoint (360 == 0); linear
+  // grids include both ends.
+  for (double a = lo; wraps ? (a < hi - 1e-9) : (a <= hi + 1e-9); a += step_deg) {
+    out.push_back(a);
+  }
+  return out;
+}
+
+namespace {
+
+double information_criterion(const std::vector<double>& eigs,
+                             std::size_t n_snapshots, std::size_t k,
+                             bool mdl) {
+  const std::size_t n = eigs.size();
+  const std::size_t m = n - k;  // presumed noise eigenvalues (smallest m)
+  double log_geo = 0.0;
+  double arith = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double v = std::max(eigs[i], 1e-30);
+    log_geo += std::log(v);
+    arith += v;
+  }
+  log_geo /= static_cast<double>(m);
+  arith /= static_cast<double>(m);
+  const double ratio = log_geo - std::log(std::max(arith, 1e-30));
+  const double data_term =
+      -static_cast<double>(n_snapshots) * static_cast<double>(m) * ratio;
+  const double dof = static_cast<double>(k) * (2.0 * n - k);
+  const double penalty =
+      mdl ? 0.5 * dof * std::log(static_cast<double>(n_snapshots))
+          : dof;
+  return data_term + penalty;
+}
+
+std::size_t argmin_criterion(const std::vector<double>& eigs,
+                             std::size_t n_snapshots, bool mdl) {
+  SA_EXPECTS(eigs.size() >= 2);
+  SA_EXPECTS(n_snapshots >= 1);
+  std::size_t best_k = 0;
+  double best = information_criterion(eigs, n_snapshots, 0, mdl);
+  for (std::size_t k = 1; k < eigs.size(); ++k) {
+    const double c = information_criterion(eigs, n_snapshots, k, mdl);
+    if (c < best) {
+      best = c;
+      best_k = k;
+    }
+  }
+  return best_k;
+}
+
+}  // namespace
+
+std::size_t estimate_num_sources_mdl(const std::vector<double>& eigenvalues,
+                                     std::size_t n_snapshots) {
+  return argmin_criterion(eigenvalues, n_snapshots, /*mdl=*/true);
+}
+
+std::size_t estimate_num_sources_aic(const std::vector<double>& eigenvalues,
+                                     std::size_t n_snapshots) {
+  return argmin_criterion(eigenvalues, n_snapshots, /*mdl=*/false);
+}
+
+MusicEstimator::MusicEstimator(MusicConfig config) : config_(config) {
+  SA_EXPECTS(config_.scan_step_deg > 0.0);
+}
+
+MusicResult MusicEstimator::estimate(const CMat& covariance,
+                                     const ArrayGeometry& geom,
+                                     double lambda_m) const {
+  SA_EXPECTS(covariance.rows() == covariance.cols());
+  SA_EXPECTS(covariance.rows() == geom.size());
+  SA_EXPECTS(lambda_m > 0.0);
+
+  CMat r = covariance;
+  ArrayGeometry scan_geom = geom;
+  if (config_.smoothing_subarray >= 2) {
+    if (geom.kind() == ArrayKind::kLinear) {
+      r = spatial_smooth(r, config_.smoothing_subarray);
+      // The smoothed matrix corresponds to the leading subarray.
+      std::vector<Vec2> sub(geom.positions().begin(),
+                            geom.positions().begin() +
+                                static_cast<std::ptrdiff_t>(
+                                    config_.smoothing_subarray));
+      // Preserve ULA bearing conventions for the subarray.
+      const double spacing = distance(sub[0], sub[1]);
+      scan_geom =
+          ArrayGeometry::uniform_linear(config_.smoothing_subarray, spacing);
+    } else {
+      log_warn() << "MusicEstimator: spatial smoothing requested for a "
+                    "non-linear array; ignoring";
+    }
+  }
+  if (config_.forward_backward) {
+    // FB averaging requires the exchange matrix J to map the array onto
+    // its own mirror image, which holds for a ULA's element ordering but
+    // not for our circular arrays (element n-1-m is a rotation, not a
+    // reflection, of element m). Restrict it to linear geometries.
+    if (scan_geom.kind() == ArrayKind::kLinear) {
+      r = forward_backward_average(r);
+    }
+  }
+
+  const EigResult eig = eigh(r);
+  const std::size_t n = r.rows();
+
+  std::size_t k;
+  if (config_.num_sources) {
+    k = std::min(*config_.num_sources, n - 1);
+  } else {
+    // Snapshot count is unknown at this layer; a packet's worth of
+    // samples (hundreds) makes ln(N) ~ 6 — use a representative value.
+    k = estimate_num_sources_mdl(eig.values, 320);
+    k = std::min(std::max<std::size_t>(k, 1), n - 1);
+  }
+
+  // Noise projector P = sum of the n-k smallest eigenvectors' outer
+  // products; MUSIC power = (a^H a) / (a^H P a).
+  CMat noise_proj(n, n);
+  for (std::size_t i = 0; i < n - k; ++i) {
+    noise_proj += CMat::outer(eig.vectors.col(i));
+  }
+
+  const std::vector<double> grid = scan_grid(scan_geom, config_.scan_step_deg);
+  std::vector<double> values(grid.size());
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    const CVec a = scan_geom.steering_vector(grid[g], lambda_m);
+    const double denom = quadratic_form(a, noise_proj);
+    const double num = norm(a) * norm(a);
+    values[g] = num / std::max(denom, 1e-12 * num);
+  }
+
+  MusicResult out{
+      Pseudospectrum(grid, std::move(values),
+                     scan_geom.kind() != ArrayKind::kLinear),
+      eig.values, k};
+  return out;
+}
+
+Pseudospectrum bartlett_spectrum(const CMat& covariance,
+                                 const ArrayGeometry& geom, double lambda_m,
+                                 double step_deg) {
+  SA_EXPECTS(covariance.rows() == geom.size());
+  const std::vector<double> grid = scan_grid(geom, step_deg);
+  std::vector<double> values(grid.size());
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    const CVec a = geom.steering_vector(grid[g], lambda_m);
+    const double num = quadratic_form(a, covariance);
+    const double den = norm(a) * norm(a);
+    values[g] = std::max(num, 0.0) / den;
+  }
+  return Pseudospectrum(grid, std::move(values),
+                        geom.kind() != ArrayKind::kLinear);
+}
+
+Pseudospectrum capon_spectrum(const CMat& covariance, const ArrayGeometry& geom,
+                              double lambda_m, double step_deg,
+                              double loading) {
+  SA_EXPECTS(covariance.rows() == geom.size());
+  const CMat loaded = diagonal_load(covariance, loading);
+  const auto rinv = inverse(loaded);
+  SA_EXPECTS(rinv.has_value());
+  const std::vector<double> grid = scan_grid(geom, step_deg);
+  std::vector<double> values(grid.size());
+  for (std::size_t g = 0; g < grid.size(); ++g) {
+    const CVec a = geom.steering_vector(grid[g], lambda_m);
+    const double q = quadratic_form(a, *rinv);
+    values[g] = 1.0 / std::max(q, 1e-30);
+  }
+  return Pseudospectrum(grid, std::move(values),
+                        geom.kind() != ArrayKind::kLinear);
+}
+
+double power_weighted_direct_bearing_deg(const Pseudospectrum& music_spectrum,
+                                         const std::vector<SpectrumPeak>& peaks,
+                                         const CMat& covariance,
+                                         const ArrayGeometry& geom,
+                                         double lambda_m) {
+  if (peaks.empty()) return music_spectrum.refined_max_angle_deg();
+  // Capon power at each candidate: a sharper power estimate than
+  // Bartlett on a small-aperture array, so clustered reflections leak
+  // less into each other's candidate bearings.
+  const CMat loaded = diagonal_load(covariance, 1e-3);
+  const auto rinv = inverse(loaded);
+  SA_EXPECTS(rinv.has_value());
+  double best_power = -1.0;
+  double best_angle = peaks.front().angle_deg;
+  for (const auto& p : peaks) {
+    const CVec a = geom.steering_vector(p.angle_deg, lambda_m);
+    const double power = 1.0 / std::max(quadratic_form(a, *rinv), 1e-30);
+    if (power > best_power) {
+      best_power = power;
+      best_angle = p.angle_deg;
+    }
+  }
+  // Sub-grid refinement around the chosen peak with a parabolic fit on
+  // the MUSIC spectrum (reuse the global refiner when it's the max).
+  if (std::abs(best_angle - music_spectrum.max_angle_deg()) < 1e-9) {
+    return music_spectrum.refined_max_angle_deg();
+  }
+  return best_angle;
+}
+
+double two_antenna_aoa_deg(cd x1, cd x2) {
+  const double dphi = wrap_pi(std::arg(x2) - std::arg(x1));
+  // Equation 1: theta = arcsin(dphi / pi) at half-wavelength spacing.
+  const double s = std::clamp(dphi / kPi, -1.0, 1.0);
+  return rad2deg(std::asin(s));
+}
+
+}  // namespace sa

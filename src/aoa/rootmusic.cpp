@@ -1,0 +1,88 @@
+#include "sa/aoa/rootmusic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sa/aoa/covariance.hpp"
+#include "sa/aoa/estimators.hpp"
+#include "sa/common/angles.hpp"
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+#include "sa/linalg/eig.hpp"
+#include "sa/linalg/polyroots.hpp"
+
+namespace sa {
+
+std::vector<RootMusicSource> root_music(const CMat& covariance,
+                                        const ArrayGeometry& geom,
+                                        double lambda_m,
+                                        const RootMusicConfig& config) {
+  SA_EXPECTS(geom.kind() == ArrayKind::kLinear);
+  SA_EXPECTS(covariance.rows() == covariance.cols());
+  SA_EXPECTS(covariance.rows() == geom.size());
+  SA_EXPECTS(lambda_m > 0.0);
+  const std::size_t n = geom.size();
+  SA_EXPECTS(n >= 2);
+  const double spacing = distance(geom.positions()[0], geom.positions()[1]);
+
+  CMat r = covariance;
+  if (config.forward_backward) r = forward_backward_average(r);
+  const EigResult eig = eigh(r);
+
+  std::size_t k = config.num_sources;
+  if (k == 0) {
+    k = std::max<std::size_t>(estimate_num_sources_mdl(eig.values, 320), 1);
+  }
+  k = std::min(k, n - 1);
+
+  // Noise projector P = sum of the n-k smallest eigenvectors.
+  CMat proj(n, n);
+  for (std::size_t i = 0; i < n - k; ++i) {
+    proj += CMat::outer(eig.vectors.col(i));
+  }
+
+  // Polynomial coefficients: c_m = sum of the m-th diagonal of P,
+  // m in [-(n-1), n-1]; p(z) = sum c_m z^{m+n-1}. Conjugate symmetry
+  // (c_{-m} = conj(c_m)) puts roots in reciprocal-conjugate pairs.
+  CVec coeffs(2 * n - 1, cd{0.0, 0.0});
+  for (int m = -static_cast<int>(n) + 1; m < static_cast<int>(n); ++m) {
+    cd acc{0.0, 0.0};
+    for (std::size_t row = 0; row < n; ++row) {
+      const int col = static_cast<int>(row) + m;
+      if (col < 0 || col >= static_cast<int>(n)) continue;
+      acc += proj(row, static_cast<std::size_t>(col));
+    }
+    coeffs[static_cast<std::size_t>(m + static_cast<int>(n) - 1)] = acc;
+  }
+
+  const CVec roots = polynomial_roots(coeffs);
+
+  // Keep roots inside (or on) the unit circle, rank by closeness to it.
+  struct Cand {
+    cd z;
+    double dist;
+  };
+  std::vector<Cand> cands;
+  for (const cd& z : roots) {
+    const double mag = std::abs(z);
+    if (mag > 1.0 + 1e-6) continue;  // reciprocal partner handles it
+    cands.push_back({z, std::abs(1.0 - mag)});
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.dist < b.dist; });
+
+  std::vector<RootMusicSource> out;
+  for (const Cand& c : cands) {
+    if (out.size() >= k) break;
+    // arg(z) = 2 pi d sin(theta) / lambda.
+    const double s = std::arg(c.z) * lambda_m / (kTwoPi * spacing);
+    if (s < -1.0 || s > 1.0) continue;  // outside the visible region
+    RootMusicSource src;
+    src.bearing_deg = rad2deg(std::asin(s));
+    src.root_distance = c.dist;
+    out.push_back(src);
+  }
+  return out;
+}
+
+}  // namespace sa

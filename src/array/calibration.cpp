@@ -1,0 +1,84 @@
+#include "sa/array/calibration.hpp"
+
+#include <cmath>
+
+#include "sa/common/angles.hpp"
+#include "sa/common/error.hpp"
+#include "sa/dsp/units.hpp"
+
+namespace sa {
+
+CalibrationTable::CalibrationTable(CVec corrections)
+    : corrections_(std::move(corrections)) {
+  SA_EXPECTS(!corrections_.empty());
+}
+
+CalibrationTable CalibrationTable::identity(std::size_t n) {
+  SA_EXPECTS(n > 0);
+  return CalibrationTable(CVec(n, cd{1.0, 0.0}));
+}
+
+void CalibrationTable::apply(CVec& snapshot) const {
+  SA_EXPECTS(snapshot.size() == corrections_.size());
+  for (std::size_t m = 0; m < snapshot.size(); ++m) {
+    snapshot[m] *= corrections_[m];
+  }
+}
+
+void CalibrationTable::apply(CMat& samples) const {
+  SA_EXPECTS(samples.rows() == corrections_.size());
+  for (std::size_t m = 0; m < samples.rows(); ++m) {
+    for (std::size_t t = 0; t < samples.cols(); ++t) {
+      samples(m, t) *= corrections_[m];
+    }
+  }
+}
+
+std::vector<double> CalibrationTable::residual_phase(
+    const ArrayImpairments& truth) const {
+  SA_EXPECTS(truth.size() == corrections_.size());
+  // After correction, chain m carries phase phi_m + arg(c_m); AoA only
+  // sees differences, so subtract chain 0's residual.
+  std::vector<double> out(corrections_.size());
+  const double ref =
+      truth.chain(0).phase_rad + std::arg(corrections_[0]);
+  for (std::size_t m = 0; m < corrections_.size(); ++m) {
+    const double resid =
+        truth.chain(m).phase_rad + std::arg(corrections_[m]) - ref;
+    out[m] = std::abs(wrap_pi(resid));
+  }
+  return out;
+}
+
+Calibrator::Calibrator(CalibratorConfig config) : config_(config) {
+  SA_EXPECTS(config_.num_samples > 0);
+}
+
+CalibrationTable Calibrator::run(const ArrayImpairments& impairments,
+                                 Rng& rng) const {
+  const std::size_t n = impairments.size();
+  const double noise_power = from_db(-config_.snr_db);  // unit-power tone
+  CVec measured(n, cd{0.0, 0.0});
+  // Average the received CW tone per chain. The injected tone is
+  // identical on every chain (equal-length cables), so use 1+0j and let
+  // the chain impairment rotate/scale it.
+  for (std::size_t m = 0; m < n; ++m) {
+    cd acc{0.0, 0.0};
+    const cd chain = impairments.factor(m);
+    for (std::size_t t = 0; t < config_.num_samples; ++t) {
+      acc += chain + rng.complex_normal(noise_power);
+    }
+    measured[m] = acc / static_cast<double>(config_.num_samples);
+  }
+  // Correction: rotate every chain back to chain 0's phase and equalize
+  // gain: c_m = measured_0 / measured_m.
+  CVec corr(n);
+  SA_ENSURES(std::abs(measured[0]) > 1e-9);
+  for (std::size_t m = 0; m < n; ++m) {
+    SA_ENSURES(std::abs(measured[m]) > 1e-9);
+    corr[m] = measured[0] / measured[m];
+  }
+  return CalibrationTable(std::move(corr));
+}
+
+}  // namespace sa

@@ -1,0 +1,124 @@
+#include "sa/array/geometry.hpp"
+
+#include <cmath>
+
+#include "sa/common/angles.hpp"
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+ArrayGeometry::ArrayGeometry(ArrayKind kind, std::vector<Vec2> positions)
+    : kind_(kind), positions_(std::move(positions)) {
+  SA_EXPECTS(!positions_.empty());
+}
+
+ArrayGeometry ArrayGeometry::uniform_linear(std::size_t n, double spacing) {
+  SA_EXPECTS(n >= 2);
+  SA_EXPECTS(spacing > 0.0);
+  std::vector<Vec2> pos(n);
+  const double mid = static_cast<double>(n - 1) / 2.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pos[i] = Vec2{(static_cast<double>(i) - mid) * spacing, 0.0};
+  }
+  return ArrayGeometry(ArrayKind::kLinear, std::move(pos));
+}
+
+ArrayGeometry ArrayGeometry::uniform_circular(std::size_t n, double radius) {
+  SA_EXPECTS(n >= 3);
+  SA_EXPECTS(radius > 0.0);
+  std::vector<Vec2> pos(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phi = kTwoPi * static_cast<double>(i) / static_cast<double>(n);
+    pos[i] = Vec2{radius * std::cos(phi), radius * std::sin(phi)};
+  }
+  return ArrayGeometry(ArrayKind::kCircular, std::move(pos));
+}
+
+ArrayGeometry ArrayGeometry::octagon(double side) {
+  SA_EXPECTS(side > 0.0);
+  // Circumradius of a regular octagon with side s: R = s / (2 sin(pi/8)).
+  const double radius = side / (2.0 * std::sin(kPi / 8.0));
+  auto geom = uniform_circular(8, radius);
+  return geom;
+}
+
+ArrayGeometry ArrayGeometry::custom(std::vector<Vec2> positions) {
+  return ArrayGeometry(ArrayKind::kArbitrary, std::move(positions));
+}
+
+double ArrayGeometry::aperture() const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    for (std::size_t j = i + 1; j < positions_.size(); ++j) {
+      best = std::max(best, distance(positions_[i], positions_[j]));
+    }
+  }
+  return best;
+}
+
+Vec2 ArrayGeometry::direction(double bearing_deg) const {
+  const double rad = deg2rad(bearing_deg);
+  if (kind_ == ArrayKind::kLinear) {
+    // Theta measured from broadside (+y); the elements lie along x, so
+    // adjacent-element phase difference is 2*pi*d*sin(theta)/lambda.
+    return Vec2{std::sin(rad), std::cos(rad)};
+  }
+  return Vec2{std::cos(rad), std::sin(rad)};
+}
+
+CVec ArrayGeometry::steering_vector(double bearing_deg, double lambda_m) const {
+  SA_EXPECTS(lambda_m > 0.0);
+  const Vec2 u = direction(bearing_deg);
+  CVec a(positions_.size());
+  for (std::size_t m = 0; m < positions_.size(); ++m) {
+    const double phase = kTwoPi * dot(positions_[m], u) / lambda_m;
+    a[m] = cd{std::cos(phase), std::sin(phase)};
+  }
+  return a;
+}
+
+double ArrayGeometry::scan_min_deg() const {
+  return kind_ == ArrayKind::kLinear ? -90.0 : 0.0;
+}
+
+double ArrayGeometry::scan_max_deg() const {
+  return kind_ == ArrayKind::kLinear ? 90.0 : 360.0;
+}
+
+double world_to_array_bearing(const ArrayGeometry& geom, double world_deg,
+                              double orientation_deg) {
+  if (geom.kind() == ArrayKind::kLinear) {
+    // Local-frame azimuth of the source direction.
+    const double alpha = world_deg - orientation_deg;
+    // Steering convention: u_local = (sin(theta), cos(theta)), so
+    // theta = 90 - alpha; fold the back half-plane onto the front.
+    double theta = wrap_deg180(90.0 - alpha);
+    if (theta > 90.0) theta = 180.0 - theta;
+    if (theta < -90.0) theta = -180.0 - theta;
+    return theta;
+  }
+  return wrap_deg360(world_deg - orientation_deg);
+}
+
+std::vector<double> array_to_world_bearings(const ArrayGeometry& geom,
+                                            double array_deg,
+                                            double orientation_deg) {
+  if (geom.kind() == ArrayKind::kLinear) {
+    return {wrap_deg360(orientation_deg + 90.0 - array_deg),
+            wrap_deg360(orientation_deg - 90.0 + array_deg)};
+  }
+  return {wrap_deg360(array_deg + orientation_deg)};
+}
+
+std::vector<Vec2> ArrayGeometry::world_positions(Vec2 origin,
+                                                 double orientation_deg) const {
+  const double rad = deg2rad(orientation_deg);
+  std::vector<Vec2> out(positions_.size());
+  for (std::size_t i = 0; i < positions_.size(); ++i) {
+    out[i] = origin + positions_[i].rotated(rad);
+  }
+  return out;
+}
+
+}  // namespace sa

@@ -1,0 +1,53 @@
+#include "sa/array/impairments.hpp"
+
+#include <cmath>
+
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+ArrayImpairments ArrayImpairments::random(std::size_t n, Rng& rng,
+                                          double gain_sigma) {
+  SA_EXPECTS(n > 0);
+  SA_EXPECTS(gain_sigma >= 0.0 && gain_sigma < 0.5);
+  ArrayImpairments imp;
+  imp.chains_.resize(n);
+  for (auto& c : imp.chains_) {
+    c.phase_rad = rng.uniform(0.0, kTwoPi);
+    c.gain = std::exp(rng.normal(0.0, gain_sigma));
+  }
+  return imp;
+}
+
+ArrayImpairments ArrayImpairments::ideal(std::size_t n) {
+  SA_EXPECTS(n > 0);
+  ArrayImpairments imp;
+  imp.chains_.resize(n);
+  return imp;
+}
+
+const ChainImpairment& ArrayImpairments::chain(std::size_t m) const {
+  SA_EXPECTS(m < chains_.size());
+  return chains_[m];
+}
+
+cd ArrayImpairments::factor(std::size_t m) const {
+  const ChainImpairment& c = chain(m);
+  return cd{c.gain * std::cos(c.phase_rad), c.gain * std::sin(c.phase_rad)};
+}
+
+void ArrayImpairments::apply(CVec& snapshot) const {
+  SA_EXPECTS(snapshot.size() == chains_.size());
+  for (std::size_t m = 0; m < snapshot.size(); ++m) snapshot[m] *= factor(m);
+}
+
+void ArrayImpairments::apply(CMat& samples) const {
+  SA_EXPECTS(samples.rows() == chains_.size());
+  for (std::size_t m = 0; m < samples.rows(); ++m) {
+    const cd f = factor(m);
+    for (std::size_t t = 0; t < samples.cols(); ++t) samples(m, t) *= f;
+  }
+}
+
+}  // namespace sa

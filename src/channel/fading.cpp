@@ -1,0 +1,88 @@
+#include "sa/channel/fading.hpp"
+
+#include <cmath>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+PathFading::PathFading(const std::vector<PropagationPath>& paths,
+                       FadingConfig config, Rng& rng)
+    : config_(config), rng_(rng.fork()) {
+  SA_EXPECTS(config_.fast_coherence_s > 0.0);
+  SA_EXPECTS(config_.slow_coherence_s > 0.0);
+  states_.reserve(paths.size());
+  for (const auto& p : paths) {
+    State s;
+    if (p.num_reflections == 0) {
+      s.fast_sigma = config_.direct_fast_sigma;
+      s.slow_sigma = config_.direct_slow_sigma;
+    } else {
+      s.fast_sigma = config_.reflection_fast_sigma;
+      s.slow_sigma = config_.reflection_slow_sigma;
+    }
+    // Start in steady state so t = 0 is statistically typical.
+    s.fast = rng_.complex_normal(s.fast_sigma * s.fast_sigma);
+    s.slow = rng_.complex_normal(s.slow_sigma * s.slow_sigma);
+    states_.push_back(s);
+  }
+}
+
+void PathFading::advance(double dt_s) {
+  SA_EXPECTS(dt_s >= 0.0);
+  if (dt_s == 0.0) return;
+  const double rho_fast = std::exp(-dt_s / config_.fast_coherence_s);
+  const double rho_slow = std::exp(-dt_s / config_.slow_coherence_s);
+  for (State& s : states_) {
+    // AR(1): x' = rho x + sqrt(1 - rho^2) * CN(0, sigma^2).
+    s.fast = s.fast * rho_fast +
+             rng_.complex_normal((1.0 - rho_fast * rho_fast) * s.fast_sigma *
+                                 s.fast_sigma);
+    s.slow = s.slow * rho_slow +
+             rng_.complex_normal((1.0 - rho_slow * rho_slow) * s.slow_sigma *
+                                 s.slow_sigma);
+  }
+}
+
+cd PathFading::factor(std::size_t i) const {
+  SA_EXPECTS(i < states_.size());
+  return cd{1.0, 0.0} + states_[i].fast + states_[i].slow;
+}
+
+std::vector<PropagationPath> PathFading::faded_paths(
+    const std::vector<PropagationPath>& paths) const {
+  SA_EXPECTS(paths.size() == states_.size());
+  std::vector<PropagationPath> out = paths;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i].gain *= factor(i);
+  }
+  return out;
+}
+
+double empirical_coherence_time(const std::vector<cd>& series, double dt_s) {
+  SA_EXPECTS(series.size() >= 4);
+  SA_EXPECTS(dt_s > 0.0);
+  // Remove the mean so we correlate the fluctuation, then find the lag at
+  // which normalized autocorrelation drops below 0.5.
+  cd mean{0.0, 0.0};
+  for (const cd& x : series) mean += x;
+  mean /= static_cast<double>(series.size());
+  std::vector<cd> centered(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) centered[i] = series[i] - mean;
+
+  double r0 = 0.0;
+  for (const cd& x : centered) r0 += std::norm(x);
+  if (r0 <= 0.0) return static_cast<double>(series.size()) * dt_s;
+
+  for (std::size_t lag = 1; lag < series.size(); ++lag) {
+    cd acc{0.0, 0.0};
+    for (std::size_t i = 0; i + lag < series.size(); ++i) {
+      acc += std::conj(centered[i]) * centered[i + lag];
+    }
+    const double rho = acc.real() / r0;
+    if (rho < 0.5) return static_cast<double>(lag) * dt_s;
+  }
+  return static_cast<double>(series.size()) * dt_s;
+}
+
+}  // namespace sa

@@ -1,0 +1,44 @@
+#include "sa/channel/floorplan.hpp"
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+void Floorplan::add_wall(Wall wall) {
+  SA_EXPECTS(wall.segment.length() > 0.0);
+  SA_EXPECTS(wall.reflectivity >= 0.0 && wall.reflectivity <= 1.0);
+  SA_EXPECTS(wall.transmission_loss_db >= 0.0);
+  walls_.push_back(wall);
+}
+
+void Floorplan::add_room(Vec2 min_corner, Vec2 max_corner, double loss_db,
+                         double reflectivity, const char* name) {
+  const Polygon box = Polygon::rectangle(min_corner, max_corner);
+  for (const Segment& edge : box.edges()) {
+    add_wall(Wall{edge, loss_db, reflectivity, name});
+  }
+}
+
+void Floorplan::add_obstacle(const Polygon& shape, double loss_db,
+                             double reflectivity, const char* name) {
+  for (const Segment& edge : shape.edges()) {
+    add_wall(Wall{edge, loss_db, reflectivity, name});
+  }
+}
+
+double Floorplan::penetration_loss_db(Vec2 from, Vec2 to) const {
+  double loss = 0.0;
+  for (const Wall& w : walls_) {
+    if (blocks(w.segment, from, to)) loss += w.transmission_loss_db;
+  }
+  return loss;
+}
+
+bool Floorplan::line_of_sight(Vec2 from, Vec2 to) const {
+  for (const Wall& w : walls_) {
+    if (blocks(w.segment, from, to)) return false;
+  }
+  return true;
+}
+
+}  // namespace sa

@@ -1,0 +1,153 @@
+#include "sa/channel/raytracer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sa/common/angles.hpp"
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+#include "sa/dsp/units.hpp"
+
+namespace sa {
+
+namespace {
+
+/// Obstacle-scale walls (pillars, furniture) admit knife-edge diffraction
+/// around their ends; room-scale walls do not (their ends meet other
+/// walls). 3 m is the cutoff between the two regimes.
+constexpr double kObstacleScaleM = 3.0;
+
+/// ITU-style knife-edge diffraction loss J(v) in dB for the Fresnel
+/// parameter v >= 0 (the path grazes or crosses the edge).
+double knife_edge_loss_db(double v) {
+  const double t = v - 0.1;
+  return 6.9 + 20.0 * std::log10(std::sqrt(t * t + 1.0) + t);
+}
+
+/// Loss contributed by one crossed wall: through-material penetration,
+/// or — for short obstacle walls — energy diffracted around the nearest
+/// edge when that is cheaper. A convex obstacle is crossed through two
+/// faces, so each face carries half the edge's diffraction loss.
+double crossing_loss_db(const Wall& wall, Vec2 from, Vec2 to, Vec2 crossing,
+                        double lambda) {
+  const double pen = wall.transmission_loss_db;
+  if (wall.segment.length() >= kObstacleScaleM) return pen;
+  const double d1 = std::max(distance(from, crossing), 0.05);
+  const double d2 = std::max(distance(crossing, to), 0.05);
+  // Clearance to the nearest wall end = how far the path would have to
+  // bend to round the edge.
+  const double h = std::min(distance(crossing, wall.segment.a),
+                            distance(crossing, wall.segment.b));
+  const double v = h * std::sqrt(2.0 * (d1 + d2) / (lambda * d1 * d2));
+  return std::min(pen, knife_edge_loss_db(v) / 2.0);
+}
+
+/// Total loss along one leg, skipping the reflecting wall indices (legs
+/// touch their own walls at the bounce point; `blocks` already ignores
+/// endpoint grazes, but skipping by index is belt-and-braces for
+/// numerically short legs).
+double leg_loss_db(const Floorplan& plan, Vec2 from, Vec2 to,
+                   const std::vector<std::size_t>& skip, double lambda) {
+  double loss = 0.0;
+  const auto& walls = plan.walls();
+  for (std::size_t i = 0; i < walls.size(); ++i) {
+    if (std::find(skip.begin(), skip.end(), i) != skip.end()) continue;
+    if (!blocks(walls[i].segment, from, to)) continue;
+    const auto hit = intersect(walls[i].segment, Segment{from, to});
+    if (!hit) continue;
+    loss += crossing_loss_db(walls[i], from, to, *hit, lambda);
+  }
+  return loss;
+}
+
+}  // namespace
+
+RayTracer::RayTracer(RayTracerConfig config) : config_(config) {
+  SA_EXPECTS(config_.carrier_hz > 0.0);
+  SA_EXPECTS(config_.max_reflections >= 0 && config_.max_reflections <= 2);
+}
+
+std::vector<PropagationPath> RayTracer::trace(Vec2 tx, Vec2 rx,
+                                              const Floorplan& plan) const {
+  const double lambda = wavelength(config_.carrier_hz);
+  const double min_amp =
+      config_.reference_amplitude * std::pow(10.0, config_.min_gain_db / 20.0);
+  std::vector<PropagationPath> out;
+
+  auto finish_path = [&](std::vector<Vec2> points, double refl_product,
+                         double pen_db, int bounces) {
+    double length = 0.0;
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+      length += distance(points[i], points[i + 1]);
+    }
+    if (length < 1e-6) return;  // degenerate (tx == rx)
+    const double amp = config_.reference_amplitude / std::max(length, 1.0) *
+                       refl_product * std::pow(10.0, -pen_db / 20.0);
+    if (amp < min_amp) return;
+    PropagationPath p;
+    const double phase = -kTwoPi * length / lambda;
+    p.gain = cd{amp * std::cos(phase), amp * std::sin(phase)};
+    p.length_m = length;
+    p.delay_s = length / kSpeedOfLight;
+    p.num_reflections = bounces;
+    p.arrival_bearing_deg = bearing_deg(rx, points[points.size() - 2]);
+    p.departure_bearing_deg = bearing_deg(tx, points[1]);
+    p.points = std::move(points);
+    out.push_back(std::move(p));
+  };
+
+  // ---- Direct path.
+  if (distance(tx, rx) > 1e-6) {
+    finish_path({tx, rx}, 1.0, leg_loss_db(plan, tx, rx, {}, lambda), 0);
+  }
+
+  const auto& walls = plan.walls();
+
+  // ---- First-order reflections.
+  if (config_.max_reflections >= 1) {
+    for (std::size_t wi = 0; wi < walls.size(); ++wi) {
+      const Wall& w = walls[wi];
+      if (w.reflectivity <= 0.0) continue;
+      const Vec2 image = w.segment.mirror(tx);
+      const auto bounce = intersect(Segment{image, rx}, w.segment);
+      if (!bounce) continue;
+      if (distance(*bounce, tx) < 1e-6 || distance(*bounce, rx) < 1e-6) continue;
+      const double pen = leg_loss_db(plan, tx, *bounce, {wi}, lambda) +
+                         leg_loss_db(plan, *bounce, rx, {wi}, lambda);
+      finish_path({tx, *bounce, rx}, w.reflectivity, pen, 1);
+    }
+  }
+
+  // ---- Second-order reflections.
+  if (config_.max_reflections >= 2) {
+    for (std::size_t w1 = 0; w1 < walls.size(); ++w1) {
+      if (walls[w1].reflectivity <= 0.0) continue;
+      const Vec2 img1 = walls[w1].segment.mirror(tx);
+      for (std::size_t w2 = 0; w2 < walls.size(); ++w2) {
+        if (w2 == w1 || walls[w2].reflectivity <= 0.0) continue;
+        const Vec2 img2 = walls[w2].segment.mirror(img1);
+        const auto p2 = intersect(Segment{img2, rx}, walls[w2].segment);
+        if (!p2) continue;
+        const auto p1 = intersect(Segment{img1, *p2}, walls[w1].segment);
+        if (!p1) continue;
+        if (distance(*p1, tx) < 1e-6 || distance(*p2, rx) < 1e-6 ||
+            distance(*p1, *p2) < 1e-6) {
+          continue;
+        }
+        const double pen = leg_loss_db(plan, tx, *p1, {w1}, lambda) +
+                           leg_loss_db(plan, *p1, *p2, {w1, w2}, lambda) +
+                           leg_loss_db(plan, *p2, rx, {w2}, lambda);
+        finish_path({tx, *p1, *p2, rx},
+                    walls[w1].reflectivity * walls[w2].reflectivity, pen, 2);
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const PropagationPath& a, const PropagationPath& b) {
+              return std::abs(a.gain) > std::abs(b.gain);
+            });
+  return out;
+}
+
+}  // namespace sa

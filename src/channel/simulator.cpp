@@ -1,0 +1,107 @@
+#include "sa/channel/simulator.hpp"
+
+#include <cmath>
+
+#include "sa/common/angles.hpp"
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+#include "sa/dsp/noise.hpp"
+
+namespace sa {
+
+ChannelSimulator::ChannelSimulator(ChannelConfig config) : config_(config) {
+  SA_EXPECTS(config_.carrier_hz > 0.0);
+  SA_EXPECTS(config_.sample_rate_hz > 0.0);
+  SA_EXPECTS(config_.noise_power >= 0.0);
+}
+
+CVec ChannelSimulator::path_steering(const PropagationPath& path,
+                                     const ArrayPlacement& placement) const {
+  const double lambda = wavelength(config_.carrier_hz);
+  const Vec2 u{std::cos(deg2rad(path.arrival_bearing_deg)),
+               std::sin(deg2rad(path.arrival_bearing_deg))};
+  const auto world = placement.geometry.world_positions(
+      placement.origin, placement.orientation_deg);
+  CVec a(world.size());
+  for (std::size_t m = 0; m < world.size(); ++m) {
+    const Vec2 q = world[m] - placement.origin;
+    const double phase = kTwoPi * dot(q, u) / lambda;
+    a[m] = cd{std::cos(phase), std::sin(phase)};
+  }
+  return a;
+}
+
+CVec ChannelSimulator::channel_vector(
+    const std::vector<PropagationPath>& paths,
+    const ArrayPlacement& placement) const {
+  CVec h(placement.geometry.size(), cd{0.0, 0.0});
+  for (const auto& p : paths) {
+    const CVec a = path_steering(p, placement);
+    for (std::size_t m = 0; m < h.size(); ++m) h[m] += p.gain * a[m];
+  }
+  return h;
+}
+
+CMat ChannelSimulator::propagate(const CVec& waveform,
+                                 const std::vector<PropagationPath>& paths,
+                                 const ArrayPlacement& placement,
+                                 Rng& rng) const {
+  SA_EXPECTS(!waveform.empty());
+  const std::size_t n_ant = placement.geometry.size();
+
+  // Output length must cover the longest-delayed copy.
+  double max_delay = 0.0;
+  for (const auto& p : paths) max_delay = std::max(max_delay, p.delay_s);
+  const auto max_delay_samples = static_cast<std::size_t>(
+      std::ceil(max_delay * config_.sample_rate_hz)) + 1;
+  const std::size_t n_samples = waveform.size() + max_delay_samples;
+
+  // Apply CFO once on the transmit side (identical on all chains).
+  CVec tx = waveform;
+  if (config_.cfo_hz != 0.0) {
+    apply_cfo(tx, config_.cfo_hz, config_.sample_rate_hz);
+  }
+
+  CMat rx(n_ant, n_samples);
+  for (const auto& p : paths) {
+    const CVec delayed =
+        fractional_delay(tx, p.delay_s * config_.sample_rate_hz);
+    const CVec a = path_steering(p, placement);
+    for (std::size_t m = 0; m < n_ant; ++m) {
+      const cd g = p.gain * a[m];
+      const std::size_t n = std::min(delayed.size(), n_samples);
+      for (std::size_t t = 0; t < n; ++t) {
+        rx(m, t) += g * delayed[t];
+      }
+    }
+  }
+  if (config_.noise_power > 0.0) {
+    for (std::size_t m = 0; m < n_ant; ++m) {
+      for (std::size_t t = 0; t < n_samples; ++t) {
+        rx(m, t) += rng.complex_normal(config_.noise_power);
+      }
+    }
+  }
+  return rx;
+}
+
+void ChannelSimulator::mix_into(CMat& rx, const CVec& waveform,
+                                const std::vector<PropagationPath>& paths,
+                                const ArrayPlacement& placement,
+                                std::size_t offset, Rng& rng) const {
+  SA_EXPECTS(rx.rows() == placement.geometry.size());
+  // Propagate without noise (the buffer already has its noise floor).
+  ChannelConfig quiet = config_;
+  quiet.noise_power = 0.0;
+  const ChannelSimulator sub(quiet);
+  const CMat add = sub.propagate(waveform, paths, placement, rng);
+  for (std::size_t m = 0; m < rx.rows(); ++m) {
+    for (std::size_t t = 0; t < add.cols(); ++t) {
+      const std::size_t dst = offset + t;
+      if (dst >= rx.cols()) break;
+      rx(m, dst) += add(m, t);
+    }
+  }
+}
+
+}  // namespace sa

@@ -1,0 +1,162 @@
+#include "sa/common/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sa/common/angles.hpp"
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+double Vec2::norm() const { return std::hypot(x, y); }
+
+Vec2 Vec2::normalized() const {
+  const double n = norm();
+  SA_EXPECTS(n > 0.0);
+  return {x / n, y / n};
+}
+
+Vec2 Vec2::rotated(double rad) const {
+  const double c = std::cos(rad);
+  const double s = std::sin(rad);
+  return {c * x - s * y, s * x + c * y};
+}
+
+double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+double bearing_rad(Vec2 from, Vec2 to) {
+  return wrap_2pi(std::atan2(to.y - from.y, to.x - from.x));
+}
+
+double bearing_deg(Vec2 from, Vec2 to) { return rad2deg(bearing_rad(from, to)); }
+
+Vec2 Segment::mirror(Vec2 p) const {
+  const Vec2 d = b - a;
+  const double len_sq = d.norm_sq();
+  SA_EXPECTS(len_sq > 0.0);
+  const double t = dot(p - a, d) / len_sq;
+  const Vec2 foot = a + d * t;
+  return foot * 2.0 - p;
+}
+
+Vec2 Segment::normal() const { return (b - a).perp().normalized(); }
+
+std::optional<Vec2> intersect(const Segment& s, const Segment& t) {
+  const Vec2 r = s.b - s.a;
+  const Vec2 q = t.b - t.a;
+  const double denom = cross(r, q);
+  if (std::abs(denom) < 1e-15) return std::nullopt;  // parallel or collinear
+  const Vec2 diff = t.a - s.a;
+  const double u = cross(diff, q) / denom;  // position along s
+  const double v = cross(diff, r) / denom;  // position along t
+  if (u < 0.0 || u > 1.0 || v < 0.0 || v > 1.0) return std::nullopt;
+  return s.a + r * u;
+}
+
+bool blocks(const Segment& wall, Vec2 from, Vec2 to, double eps) {
+  const Segment path{from, to};
+  const auto hit = intersect(wall, path);
+  if (!hit) return false;
+  // Ignore hits essentially at the path's endpoints: a reflection point on
+  // the wall itself, or the antenna standing against a wall.
+  if (distance(*hit, from) < eps || distance(*hit, to) < eps) return false;
+  return true;
+}
+
+Polygon::Polygon(std::vector<Vec2> vertices) : vertices_(std::move(vertices)) {
+  SA_EXPECTS(vertices_.size() >= 3);
+}
+
+bool Polygon::contains(Vec2 p) const {
+  // Ray casting with boundary tolerance: points within 1e-9 of an edge
+  // count as inside so fence decisions are stable at the boundary.
+  const std::size_t n = vertices_.size();
+  bool inside = false;
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2 vi = vertices_[i];
+    const Vec2 vj = vertices_[j];
+    // Boundary check: distance from p to edge (vj, vi).
+    const Vec2 e = vi - vj;
+    const double elen_sq = e.norm_sq();
+    if (elen_sq > 0.0) {
+      const double t = std::clamp(dot(p - vj, e) / elen_sq, 0.0, 1.0);
+      if (distance(vj + e * t, p) < 1e-9) return true;
+    }
+    const bool crosses = (vi.y > p.y) != (vj.y > p.y);
+    if (crosses) {
+      const double x_at =
+          vj.x + (p.y - vj.y) / (vi.y - vj.y) * (vi.x - vj.x);
+      if (p.x < x_at) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+std::vector<Segment> Polygon::edges() const {
+  std::vector<Segment> out;
+  const std::size_t n = vertices_.size();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back({vertices_[i], vertices_[(i + 1) % n]});
+  }
+  return out;
+}
+
+double Polygon::area() const {
+  double a = 0.0;
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    a += cross(vertices_[i], vertices_[(i + 1) % n]);
+  }
+  return std::abs(a) / 2.0;
+}
+
+Vec2 Polygon::centroid() const {
+  // Area-weighted centroid of a simple polygon.
+  double a = 0.0;
+  Vec2 c{0.0, 0.0};
+  const std::size_t n = vertices_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 p = vertices_[i];
+    const Vec2 q = vertices_[(i + 1) % n];
+    const double w = cross(p, q);
+    a += w;
+    c = c + (p + q) * w;
+  }
+  SA_EXPECTS(std::abs(a) > 0.0);
+  return c / (3.0 * a);
+}
+
+Polygon Polygon::rectangle(Vec2 min_corner, Vec2 max_corner) {
+  SA_EXPECTS(max_corner.x > min_corner.x && max_corner.y > min_corner.y);
+  return Polygon({{min_corner.x, min_corner.y},
+                  {max_corner.x, min_corner.y},
+                  {max_corner.x, max_corner.y},
+                  {min_corner.x, max_corner.y}});
+}
+
+std::optional<Vec2> intersect_bearings(const std::vector<Vec2>& origins,
+                                       const std::vector<double>& bearings_rad) {
+  SA_EXPECTS(origins.size() == bearings_rad.size());
+  SA_EXPECTS(origins.size() >= 2);
+  // Each ray contributes the constraint (I - d d^T) (p - o) = 0.
+  // Accumulate the 2x2 normal equations A p = b.
+  double a00 = 0.0, a01 = 0.0, a11 = 0.0, b0 = 0.0, b1 = 0.0;
+  for (std::size_t i = 0; i < origins.size(); ++i) {
+    const double dx = std::cos(bearings_rad[i]);
+    const double dy = std::sin(bearings_rad[i]);
+    const double m00 = 1.0 - dx * dx;
+    const double m01 = -dx * dy;
+    const double m11 = 1.0 - dy * dy;
+    a00 += m00;
+    a01 += m01;
+    a11 += m11;
+    b0 += m00 * origins[i].x + m01 * origins[i].y;
+    b1 += m01 * origins[i].x + m11 * origins[i].y;
+  }
+  const double det = a00 * a11 - a01 * a01;
+  if (std::abs(det) < 1e-9) return std::nullopt;
+  return Vec2{(a11 * b0 - a01 * b1) / det, (a00 * b1 - a01 * b0) / det};
+}
+
+}  // namespace sa

@@ -1,0 +1,208 @@
+#include "sa/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(n - 1);
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double min_of(const std::vector<double>& xs) {
+  SA_EXPECTS(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  SA_EXPECTS(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(const std::vector<double>& xs) { return percentile(xs, 50.0); }
+
+double percentile(std::vector<double> xs, double p) {
+  SA_EXPECTS(!xs.empty());
+  SA_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+namespace {
+
+// ln Gamma via the Lanczos approximation (g = 7, n = 9), accurate to
+// ~1e-13 for positive arguments, which is ample for CI computation.
+double lgamma_lanczos(double x) {
+  static const double coef[9] = {
+      0.99999999999980993,  676.5203681218851,     -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,   12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(3.141592653589793 / std::sin(3.141592653589793 * x)) -
+           lgamma_lanczos(1.0 - x);
+  }
+  x -= 1.0;
+  double a = coef[0];
+  const double t = x + 7.5;
+  for (int i = 1; i < 9; ++i) a += coef[i] / (x + static_cast<double>(i));
+  return 0.5 * std::log(2.0 * 3.141592653589793) + (x + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+// Continued fraction for the incomplete beta function (modified Lentz).
+double betacf(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3.0e-14;
+  constexpr double kTiny = 1.0e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double dm = static_cast<double>(m);
+    const double m2 = 2.0 * dm;
+    double aa = dm * (b - dm) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + dm) * (qab + dm) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) return h;
+  }
+  throw NumericalError("incomplete_beta: continued fraction did not converge");
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  SA_EXPECTS(a > 0.0 && b > 0.0);
+  SA_EXPECTS(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double ln_front = lgamma_lanczos(a + b) - lgamma_lanczos(a) -
+                          lgamma_lanczos(b) + a * std::log(x) +
+                          b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  // Use the continued fraction directly when it converges fast, else the
+  // symmetry relation I_x(a,b) = 1 - I_{1-x}(b,a).
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * betacf(a, b, x) / a;
+  }
+  return 1.0 - front * betacf(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double df) {
+  SA_EXPECTS(df > 0.0);
+  if (t == 0.0) return 0.5;
+  const double x = df / (df + t * t);
+  const double p = 0.5 * incomplete_beta(df / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - p : p;
+}
+
+double student_t_critical(double confidence, double df) {
+  SA_EXPECTS(confidence > 0.0 && confidence < 1.0);
+  SA_EXPECTS(df > 0.0);
+  const double target = 0.5 + confidence / 2.0;  // upper-tail CDF value
+  double lo = 0.0, hi = 1.0;
+  while (student_t_cdf(hi, df) < target) {
+    hi *= 2.0;
+    if (hi > 1e9) throw NumericalError("student_t_critical: bracket failed");
+  }
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, df) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+ConfidenceInterval confidence_interval(const std::vector<double>& xs,
+                                       double confidence) {
+  ConfidenceInterval ci;
+  ci.confidence = confidence;
+  ci.n = xs.size();
+  ci.mean = mean(xs);
+  if (xs.size() < 2) {
+    ci.half_width = 0.0;
+    return ci;
+  }
+  const double se = stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+  const double tcrit =
+      student_t_critical(confidence, static_cast<double>(xs.size() - 1));
+  ci.half_width = tcrit * se;
+  return ci;
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double empirical_cdf(const std::vector<double>& xs, double x) {
+  if (xs.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double v : xs) {
+    if (v <= x) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+double empirical_quantile(std::vector<double> xs, double q) {
+  SA_EXPECTS(!xs.empty());
+  SA_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(xs.size())) - 1.0);
+  return xs[std::min(idx, xs.size() - 1)];
+}
+
+}  // namespace sa

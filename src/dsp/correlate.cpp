@@ -1,0 +1,68 @@
+#include "sa/dsp/correlate.hpp"
+
+#include <cmath>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+CVec sliding_correlation(const CVec& x, const CVec& ref) {
+  SA_EXPECTS(!ref.empty());
+  if (x.size() < ref.size()) return {};
+  const std::size_t n_out = x.size() - ref.size() + 1;
+  CVec out(n_out);
+  for (std::size_t k = 0; k < n_out; ++k) {
+    cd s{0.0, 0.0};
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      s += std::conj(ref[i]) * x[k + i];
+    }
+    out[k] = s;
+  }
+  return out;
+}
+
+CVec lag_autocorrelation(const CVec& x, std::size_t lag, std::size_t window) {
+  SA_EXPECTS(lag > 0 && window > 0);
+  if (x.size() < lag + window) return {};
+  const std::size_t n_out = x.size() - lag - window + 1;
+  CVec out(n_out);
+  // Running update: P[k+1] = P[k] - c(k) + c(k+window).
+  cd p{0.0, 0.0};
+  for (std::size_t i = 0; i < window; ++i) {
+    p += std::conj(x[i]) * x[i + lag];
+  }
+  out[0] = p;
+  for (std::size_t k = 1; k < n_out; ++k) {
+    p -= std::conj(x[k - 1]) * x[k - 1 + lag];
+    p += std::conj(x[k + window - 1]) * x[k + window - 1 + lag];
+    out[k] = p;
+  }
+  return out;
+}
+
+std::vector<double> window_energy(const CVec& x, std::size_t offset,
+                                  std::size_t window) {
+  SA_EXPECTS(window > 0);
+  if (x.size() < offset + window) return {};
+  const std::size_t n_out = x.size() - offset - window + 1;
+  std::vector<double> out(n_out);
+  double e = 0.0;
+  for (std::size_t i = 0; i < window; ++i) e += std::norm(x[offset + i]);
+  out[0] = e;
+  for (std::size_t k = 1; k < n_out; ++k) {
+    e -= std::norm(x[offset + k - 1]);
+    e += std::norm(x[offset + k + window - 1]);
+    out[k] = e;
+  }
+  return out;
+}
+
+double correlation_coefficient(const CVec& a, const CVec& b) {
+  SA_EXPECTS(a.size() == b.size());
+  const double na = norm(a);
+  const double nb = norm(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return std::abs(inner(a, b)) / (na * nb);
+}
+
+}  // namespace sa

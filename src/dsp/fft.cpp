@@ -1,0 +1,79 @@
+#include "sa/dsp/fft.hpp"
+
+#include <cmath>
+
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+namespace {
+
+void bit_reverse_permute(CVec& x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+void fft_core(CVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  SA_EXPECTS(is_pow2(n));
+  bit_reverse_permute(x);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const cd wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      cd w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cd u = x[i + k];
+        const cd v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void fft_inplace(CVec& x) { fft_core(x, /*inverse=*/false); }
+
+void ifft_inplace(CVec& x) {
+  fft_core(x, /*inverse=*/true);
+  const double inv_n = 1.0 / static_cast<double>(x.size());
+  for (cd& v : x) v *= inv_n;
+}
+
+CVec fft(CVec x) {
+  fft_inplace(x);
+  return x;
+}
+
+CVec ifft(CVec x) {
+  ifft_inplace(x);
+  return x;
+}
+
+CVec fftshift(const CVec& x) {
+  const std::size_t n = x.size();
+  CVec out(n);
+  const std::size_t half = n / 2;
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[(i + half) % n];
+  return out;
+}
+
+std::vector<double> power_spectrum(const CVec& x) {
+  CVec f = fft(x);
+  std::vector<double> p(f.size());
+  const double inv_n = 1.0 / static_cast<double>(f.size());
+  for (std::size_t i = 0; i < f.size(); ++i) p[i] = std::norm(f[i]) * inv_n;
+  return p;
+}
+
+}  // namespace sa

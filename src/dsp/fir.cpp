@@ -1,0 +1,77 @@
+#include "sa/dsp/fir.hpp"
+
+#include <cmath>
+
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+std::vector<double> make_window(Window w, std::size_t n) {
+  SA_EXPECTS(n > 0);
+  std::vector<double> out(n, 1.0);
+  if (n == 1) return out;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / denom;
+    switch (w) {
+      case Window::kRect:
+        out[i] = 1.0;
+        break;
+      case Window::kHann:
+        out[i] = 0.5 - 0.5 * std::cos(kTwoPi * t);
+        break;
+      case Window::kHamming:
+        out[i] = 0.54 - 0.46 * std::cos(kTwoPi * t);
+        break;
+      case Window::kBlackman:
+        out[i] = 0.42 - 0.5 * std::cos(kTwoPi * t) + 0.08 * std::cos(2.0 * kTwoPi * t);
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<double> design_lowpass(double normalized_cutoff, std::size_t taps,
+                                   Window w) {
+  SA_EXPECTS(normalized_cutoff > 0.0 && normalized_cutoff < 0.5);
+  SA_EXPECTS(taps >= 3 && taps % 2 == 1);
+  const auto mid = static_cast<double>(taps - 1) / 2.0;
+  const std::vector<double> win = make_window(w, taps);
+  std::vector<double> h(taps);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - mid;
+    const double x = kTwoPi * normalized_cutoff * t;
+    const double sinc = (std::abs(t) < 1e-12)
+                            ? 2.0 * normalized_cutoff
+                            : std::sin(x) / (kPi * t);
+    h[i] = sinc * win[i];
+    sum += h[i];
+  }
+  // Normalize to unit DC gain.
+  SA_ENSURES(std::abs(sum) > 1e-12);
+  for (double& v : h) v /= sum;
+  return h;
+}
+
+CVec fir_filter(const CVec& x, const std::vector<double>& taps) {
+  SA_EXPECTS(!taps.empty());
+  if (x.empty()) return {};
+  CVec out(x.size() + taps.size() - 1, cd{0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    for (std::size_t j = 0; j < taps.size(); ++j) {
+      out[i + j] += x[i] * taps[j];
+    }
+  }
+  return out;
+}
+
+CVec fir_filter_same(const CVec& x, const std::vector<double>& taps) {
+  CVec full = fir_filter(x, taps);
+  const std::size_t delay = (taps.size() - 1) / 2;
+  return CVec(full.begin() + static_cast<std::ptrdiff_t>(delay),
+              full.begin() + static_cast<std::ptrdiff_t>(delay + x.size()));
+}
+
+}  // namespace sa

@@ -1,0 +1,65 @@
+#include "sa/dsp/noise.hpp"
+
+#include <cmath>
+
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+#include "sa/dsp/units.hpp"
+
+namespace sa {
+
+CVec awgn(std::size_t n, double noise_power, Rng& rng) {
+  SA_EXPECTS(noise_power >= 0.0);
+  CVec out(n);
+  for (cd& v : out) v = rng.complex_normal(noise_power);
+  return out;
+}
+
+double add_awgn_snr(CVec& x, double snr_db, Rng& rng) {
+  const double sig_power = mean_power(x);
+  if (sig_power <= 0.0) return 0.0;
+  const double noise_power = sig_power / from_db(snr_db);
+  add_awgn_power(x, noise_power, rng);
+  return noise_power;
+}
+
+void add_awgn_power(CVec& x, double noise_power, Rng& rng) {
+  SA_EXPECTS(noise_power >= 0.0);
+  if (noise_power == 0.0) return;
+  for (cd& v : x) v += rng.complex_normal(noise_power);
+}
+
+void apply_cfo(CVec& x, double cfo_hz, double sample_rate_hz,
+               double initial_phase_rad) {
+  SA_EXPECTS(sample_rate_hz > 0.0);
+  const double step = kTwoPi * cfo_hz / sample_rate_hz;
+  // Incremental rotation: one complex multiply per sample, with periodic
+  // renormalization to stop amplitude drift on long blocks.
+  cd rot{std::cos(initial_phase_rad), std::sin(initial_phase_rad)};
+  const cd inc{std::cos(step), std::sin(step)};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] *= rot;
+    rot *= inc;
+    if ((i & 0x3FF) == 0x3FF) rot /= std::abs(rot);
+  }
+}
+
+void apply_phase(CVec& x, double phase_rad) {
+  const cd rot{std::cos(phase_rad), std::sin(phase_rad)};
+  for (cd& v : x) v *= rot;
+}
+
+CVec fractional_delay(const CVec& x, double delay_samples) {
+  SA_EXPECTS(delay_samples >= 0.0);
+  const auto whole = static_cast<std::size_t>(std::floor(delay_samples));
+  const double frac = delay_samples - static_cast<double>(whole);
+  CVec out(x.size() + whole + (frac > 0.0 ? 1 : 0), cd{0.0, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // Linear interpolation between adjacent output positions.
+    out[i + whole] += x[i] * (1.0 - frac);
+    if (frac > 0.0) out[i + whole + 1] += x[i] * frac;
+  }
+  return out;
+}
+
+}  // namespace sa

@@ -1,0 +1,171 @@
+#include "sa/linalg/eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+RealEigResult jacobi_eigh_real(const std::vector<double>& m, std::size_t n,
+                               int max_sweeps, double tol) {
+  SA_EXPECTS(m.size() == n * n);
+  // Working copy A (row-major) and accumulated rotations V (row-major;
+  // eigenvectors end up in V's columns).
+  std::vector<double> a = m;
+  std::vector<double> v(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  auto A = [&](std::size_t r, std::size_t c) -> double& { return a[r * n + c]; };
+  auto V = [&](std::size_t r, std::size_t c) -> double& { return v[r * n + c]; };
+
+  // Scale-aware convergence threshold.
+  double fro = 0.0;
+  for (double x : a) fro += x * x;
+  const double thresh = tol * (1.0 + std::sqrt(fro));
+
+  bool converged = (n <= 1);
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        off = std::max(off, std::abs(A(p, q)));
+      }
+    }
+    if (off <= thresh) {
+      converged = true;
+      break;
+    }
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = A(p, q);
+        if (std::abs(apq) <= thresh * 1e-3) continue;
+        const double app = A(p, p);
+        const double aqq = A(q, q);
+        // Classic Jacobi rotation: choose t = tan(theta) that zeros apq.
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+
+        // Update rows/columns p and q of A (A is symmetric; update both
+        // triangles to keep indexing simple).
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = A(k, p);
+          const double akq = A(k, q);
+          A(k, p) = c * akp - s * akq;
+          A(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = A(p, k);
+          const double aqk = A(q, k);
+          A(p, k) = c * apk - s * aqk;
+          A(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate rotation into V (columns are eigenvectors).
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = V(k, p);
+          const double vkq = V(k, q);
+          V(k, p) = c * vkp - s * vkq;
+          V(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  if (!converged) {
+    // Final check: Jacobi reduces off-diagonal monotonically, so a miss
+    // here means genuinely pathological input.
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        off = std::max(off, std::abs(A(p, q)));
+      }
+    }
+    if (off > thresh * 100.0) {
+      throw NumericalError("jacobi_eigh_real: did not converge");
+    }
+  }
+
+  RealEigResult res;
+  res.n = n;
+  res.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.values[i] = A(i, i);
+
+  // Sort ascending, permuting eigenvector columns along.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return res.values[x] < res.values[y];
+  });
+  std::vector<double> sorted_vals(n);
+  std::vector<double> sorted_vecs(n * n);
+  for (std::size_t k = 0; k < n; ++k) {
+    sorted_vals[k] = res.values[order[k]];
+    for (std::size_t r = 0; r < n; ++r) {
+      sorted_vecs[k * n + r] = V(r, order[k]);  // column-major output
+    }
+  }
+  res.values = std::move(sorted_vals);
+  res.vectors = std::move(sorted_vecs);
+  return res;
+}
+
+EigResult eigh(const CMat& a) {
+  SA_EXPECTS(a.rows() == a.cols());
+  SA_EXPECTS(a.is_hermitian(1e-8));
+  const std::size_t n = a.rows();
+
+  // Embed A = B + iC into M = [[B, -C], [C, B]] (2n x 2n, symmetric).
+  const std::size_t n2 = 2 * n;
+  std::vector<double> m(n2 * n2, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double b = a(i, j).real();
+      const double c = a(i, j).imag();
+      m[i * n2 + j] = b;
+      m[i * n2 + (j + n)] = -c;
+      m[(i + n) * n2 + j] = c;
+      m[(i + n) * n2 + (j + n)] = b;
+    }
+  }
+
+  const RealEigResult real = jacobi_eigh_real(m, n2);
+
+  // Each complex eigenvalue appears twice; the real eigenvector pair
+  // (x; y) and (-y; x) both map to the complex direction x + iy (up to a
+  // factor of i). Recover one orthonormal complex vector per pair with
+  // modified Gram-Schmidt in eigenvalue order.
+  EigResult out;
+  out.values.reserve(n);
+  out.vectors = CMat(n, n);
+  std::vector<CVec> accepted;
+  accepted.reserve(n);
+  for (std::size_t k = 0; k < n2 && accepted.size() < n; ++k) {
+    CVec cand(n);
+    for (std::size_t r = 0; r < n; ++r) {
+      cand[r] = cd{real.vectors[k * n2 + r], real.vectors[k * n2 + r + n]};
+    }
+    // Project out everything accepted so far (complex inner products kill
+    // the i-rotated duplicate that real orthogonality cannot see).
+    for (const CVec& u : accepted) {
+      const cd proj = inner(u, cand);
+      axpy(cand, -proj, u);
+    }
+    const double residual = norm(cand);
+    if (residual > 0.5) {
+      scale(cand, cd{1.0 / residual, 0.0});
+      out.vectors.set_col(accepted.size(), cand);
+      out.values.push_back(real.values[k]);
+      accepted.push_back(std::move(cand));
+    }
+  }
+  if (accepted.size() != n) {
+    throw NumericalError("eigh: failed to extract a full complex eigenbasis");
+  }
+  return out;
+}
+
+}  // namespace sa

@@ -1,0 +1,101 @@
+#include "sa/linalg/lu.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+LuDecomposition::LuDecomposition(const CMat& a)
+    : n_(a.rows()), lu_(a), piv_(a.rows()) {
+  SA_EXPECTS(a.rows() == a.cols());
+  std::iota(piv_.begin(), piv_.end(), std::size_t{0});
+
+  const double scale = lu_.frobenius_norm();
+  const double tiny = 1e-14 * (1.0 + scale);
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivot: largest |entry| in column k at or below the diagonal.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const double mag = std::abs(lu_(i, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = i;
+      }
+    }
+    if (pivot_mag <= tiny) {
+      singular_ = true;
+      continue;  // leave column as-is; solve() will refuse
+    }
+    if (pivot_row != k) {
+      for (std::size_t j = 0; j < n_; ++j) std::swap(lu_(k, j), lu_(pivot_row, j));
+      std::swap(piv_[k], piv_[pivot_row]);
+      pivot_sign_ = -pivot_sign_;
+    }
+    const cd pivot = lu_(k, k);
+    for (std::size_t i = k + 1; i < n_; ++i) {
+      const cd factor = lu_(i, k) / pivot;
+      lu_(i, k) = factor;
+      for (std::size_t j = k + 1; j < n_; ++j) {
+        lu_(i, j) -= factor * lu_(k, j);
+      }
+    }
+  }
+}
+
+CVec LuDecomposition::solve(const CVec& b) const {
+  SA_EXPECTS(b.size() == n_);
+  if (singular_) throw StateError("LuDecomposition::solve: matrix is singular");
+  // Apply permutation, then forward/back substitution.
+  CVec x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[piv_[i]];
+  for (std::size_t i = 1; i < n_; ++i) {
+    cd s = x[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lu_(i, j) * x[j];
+    x[i] = s;
+  }
+  for (std::size_t ii = n_; ii-- > 0;) {
+    cd s = x[ii];
+    for (std::size_t j = ii + 1; j < n_; ++j) s -= lu_(ii, j) * x[j];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+CMat LuDecomposition::solve(const CMat& b) const {
+  SA_EXPECTS(b.rows() == n_);
+  CMat x(n_, b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) x.set_col(c, solve(b.col(c)));
+  return x;
+}
+
+CMat LuDecomposition::inverse() const { return solve(CMat::identity(n_)); }
+
+cd LuDecomposition::determinant() const {
+  cd det{static_cast<double>(pivot_sign_), 0.0};
+  for (std::size_t i = 0; i < n_; ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::optional<CVec> solve(const CMat& a, const CVec& b) {
+  const LuDecomposition lu(a);
+  if (lu.singular()) return std::nullopt;
+  return lu.solve(b);
+}
+
+std::optional<CMat> inverse(const CMat& a) {
+  const LuDecomposition lu(a);
+  if (lu.singular()) return std::nullopt;
+  return lu.inverse();
+}
+
+double quadratic_form(const CVec& a, const CMat& m) {
+  SA_EXPECTS(m.rows() == m.cols() && m.rows() == a.size());
+  const CVec ma = m * a;
+  return inner(a, ma).real();
+}
+
+}  // namespace sa

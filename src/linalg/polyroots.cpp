@@ -1,0 +1,97 @@
+#include "sa/linalg/polyroots.hpp"
+
+#include <cmath>
+
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+cd polyval(const CVec& coeffs, cd z) {
+  SA_EXPECTS(!coeffs.empty());
+  cd acc{0.0, 0.0};
+  for (std::size_t k = coeffs.size(); k-- > 0;) {
+    acc = acc * z + coeffs[k];
+  }
+  return acc;
+}
+
+CVec polynomial_roots(const CVec& coeffs, int max_iter, double tol) {
+  // Trim negligible leading coefficients (relative to the largest).
+  double max_mag = 0.0;
+  for (const cd& c : coeffs) max_mag = std::max(max_mag, std::abs(c));
+  SA_EXPECTS(max_mag > 0.0);
+  std::size_t degree = coeffs.size() - 1;
+  while (degree > 0 && std::abs(coeffs[degree]) < 1e-12 * max_mag) {
+    --degree;
+  }
+  SA_EXPECTS(degree >= 1);
+
+  // Monic normalization.
+  CVec p(coeffs.begin(), coeffs.begin() + static_cast<std::ptrdiff_t>(degree + 1));
+  const cd lead = p[degree];
+  for (cd& c : p) c /= lead;
+
+  // Cauchy bound on root magnitudes (for the initial circle).
+  double bound = 0.0;
+  for (std::size_t k = 0; k < degree; ++k) {
+    bound = std::max(bound, std::abs(p[k]));
+  }
+  const double base_radius = std::min(1.0 + bound, 4.0);
+
+  // Scale-aware acceptance: |p(z)| compared against the size of the
+  // largest term at z, so residuals near large roots are judged fairly.
+  auto accepted = [&](const CVec& z, double rel_tol) {
+    for (const cd& zi : z) {
+      const double mag = std::max(std::abs(zi), 1.0);
+      double term_scale = 1.0;
+      double pw = 1.0;
+      for (std::size_t k = 0; k <= degree; ++k) {
+        term_scale = std::max(term_scale, std::abs(p[k]) * pw);
+        pw *= mag;
+      }
+      if (std::abs(polyval(p, zi)) > rel_tol * term_scale) return false;
+    }
+    return true;
+  };
+
+  // Durand-Kerner with restarts: occasionally a root runs away; a fresh
+  // start circle (different phase/radius) fixes it.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const double radius = base_radius * (1.0 + 0.2 * attempt);
+    const double phase0 = 0.397 + 0.71 * attempt;
+    CVec z(degree);
+    for (std::size_t k = 0; k < degree; ++k) {
+      const double phi =
+          kTwoPi * static_cast<double>(k) / static_cast<double>(degree) +
+          phase0;
+      z[k] = cd{radius * std::cos(phi), radius * std::sin(phi)};
+    }
+
+    bool converged = false;
+    for (int it = 0; it < max_iter; ++it) {
+      double worst = 0.0;
+      for (std::size_t i = 0; i < degree; ++i) {
+        cd denom{1.0, 0.0};
+        for (std::size_t j = 0; j < degree; ++j) {
+          if (j == i) continue;
+          cd diff = z[i] - z[j];
+          if (std::abs(diff) < 1e-14) diff = cd{1e-14, 1e-14};
+          denom *= diff;
+        }
+        const cd delta = polyval(p, z[i]) / denom;
+        z[i] -= delta;
+        worst = std::max(worst, std::abs(delta));
+      }
+      if (worst < tol) {
+        converged = true;
+        break;
+      }
+    }
+    if (converged && accepted(z, 1e-8)) return z;
+    if (!converged && accepted(z, 1e-10)) return z;  // tight residual anyway
+  }
+  throw NumericalError("polynomial_roots: Durand-Kerner did not converge");
+}
+
+}  // namespace sa

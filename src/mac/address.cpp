@@ -1,0 +1,37 @@
+#include "sa/mac/address.hpp"
+
+#include <cstdio>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+MacAddress MacAddress::parse(const std::string& text) {
+  std::array<unsigned, 6> vals{};
+  const int n = std::sscanf(text.c_str(), "%2x:%2x:%2x:%2x:%2x:%2x", &vals[0],
+                            &vals[1], &vals[2], &vals[3], &vals[4], &vals[5]);
+  if (n != 6) throw InvalidArgument("MacAddress::parse: bad format: " + text);
+  std::array<std::uint8_t, 6> octets{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    octets[i] = static_cast<std::uint8_t>(vals[i]);
+  }
+  return MacAddress(octets);
+}
+
+MacAddress MacAddress::from_index(std::uint32_t index) {
+  return MacAddress({0x02, 0x5A, static_cast<std::uint8_t>(index >> 24),
+                     static_cast<std::uint8_t>(index >> 16),
+                     static_cast<std::uint8_t>(index >> 8),
+                     static_cast<std::uint8_t>(index)});
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0],
+                octets_[1], octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+bool MacAddress::is_broadcast() const { return *this == broadcast(); }
+
+}  // namespace sa

@@ -1,0 +1,135 @@
+#include "sa/mac/frame.hpp"
+
+#include <array>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+namespace {
+
+constexpr std::size_t kHeaderLen = 24;  // three-address header
+constexpr std::size_t kFcsLen = 4;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t get_u16(const Bytes& in, std::size_t at) {
+  return static_cast<std::uint16_t>(in[at] | (in[at + 1] << 8));
+}
+
+}  // namespace
+
+std::uint32_t crc32(const Bytes& data) {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) {
+    c = crc_table()[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Bytes Frame::serialize() const {
+  SA_EXPECTS(sequence < 4096);
+  Bytes out;
+  out.reserve(kHeaderLen + body.size() + kFcsLen);
+
+  // Frame control (protocol version 0).
+  const std::uint8_t fc0 = static_cast<std::uint8_t>(
+      (static_cast<std::uint8_t>(type) << 2) | ((subtype & 0x0F) << 4));
+  const std::uint8_t fc1 = static_cast<std::uint8_t>(
+      (to_ds ? 0x01 : 0) | (from_ds ? 0x02 : 0) | (retry ? 0x08 : 0));
+  out.push_back(fc0);
+  out.push_back(fc1);
+  put_u16(out, duration);
+  for (std::uint8_t o : addr1.octets()) out.push_back(o);
+  for (std::uint8_t o : addr2.octets()) out.push_back(o);
+  for (std::uint8_t o : addr3.octets()) out.push_back(o);
+  put_u16(out, static_cast<std::uint16_t>(sequence << 4));  // fragment 0
+  out.insert(out.end(), body.begin(), body.end());
+
+  const std::uint32_t fcs = crc32(out);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((fcs >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+std::optional<Frame> Frame::parse(const Bytes& psdu) {
+  if (psdu.size() < kHeaderLen + kFcsLen) return std::nullopt;
+
+  // Validate FCS first.
+  Bytes covered(psdu.begin(), psdu.end() - kFcsLen);
+  std::uint32_t fcs = 0;
+  for (int i = 0; i < 4; ++i) {
+    fcs |= static_cast<std::uint32_t>(psdu[psdu.size() - kFcsLen + i]) << (8 * i);
+  }
+  if (crc32(covered) != fcs) return std::nullopt;
+
+  Frame f;
+  const std::uint8_t fc0 = psdu[0];
+  if ((fc0 & 0x03) != 0) return std::nullopt;  // protocol version must be 0
+  f.type = static_cast<FrameType>((fc0 >> 2) & 0x03);
+  f.subtype = static_cast<std::uint8_t>((fc0 >> 4) & 0x0F);
+  const std::uint8_t fc1 = psdu[1];
+  f.to_ds = (fc1 & 0x01) != 0;
+  f.from_ds = (fc1 & 0x02) != 0;
+  f.retry = (fc1 & 0x08) != 0;
+  f.duration = get_u16(psdu, 2);
+  std::array<std::uint8_t, 6> a{};
+  for (std::size_t i = 0; i < 6; ++i) a[i] = psdu[4 + i];
+  f.addr1 = MacAddress(a);
+  for (std::size_t i = 0; i < 6; ++i) a[i] = psdu[10 + i];
+  f.addr2 = MacAddress(a);
+  for (std::size_t i = 0; i < 6; ++i) a[i] = psdu[16 + i];
+  f.addr3 = MacAddress(a);
+  f.sequence = static_cast<std::uint16_t>(get_u16(psdu, 22) >> 4);
+  f.body.assign(psdu.begin() + kHeaderLen, psdu.end() - kFcsLen);
+  return f;
+}
+
+Frame Frame::data(MacAddress bssid, MacAddress source, Bytes payload,
+                  std::uint16_t sequence) {
+  Frame f;
+  f.type = FrameType::kData;
+  f.subtype = 0;
+  f.to_ds = true;
+  f.from_ds = false;
+  f.addr1 = bssid;
+  f.addr2 = source;
+  f.addr3 = bssid;
+  f.sequence = sequence;
+  f.body = std::move(payload);
+  return f;
+}
+
+Frame Frame::probe_request(MacAddress source, std::uint16_t sequence) {
+  Frame f;
+  f.type = FrameType::kManagement;
+  f.subtype = static_cast<std::uint8_t>(ManagementSubtype::kProbeRequest);
+  f.to_ds = false;
+  f.from_ds = false;
+  f.addr1 = MacAddress::broadcast();
+  f.addr2 = source;
+  f.addr3 = MacAddress::broadcast();
+  f.sequence = sequence;
+  return f;
+}
+
+}  // namespace sa

@@ -1,0 +1,36 @@
+#include "sa/phy/bits.hpp"
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+Bits bytes_to_bits(const Bytes& bytes) {
+  Bits bits;
+  bits.reserve(bytes.size() * 8);
+  for (std::uint8_t b : bytes) {
+    for (int i = 0; i < 8; ++i) {
+      bits.push_back(static_cast<std::uint8_t>((b >> i) & 1u));
+    }
+  }
+  return bits;
+}
+
+Bytes bits_to_bytes(const Bits& bits) {
+  SA_EXPECTS(bits.size() % 8 == 0);
+  Bytes bytes(bits.size() / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) bytes[i / 8] |= static_cast<std::uint8_t>(1u << (i % 8));
+  }
+  return bytes;
+}
+
+std::size_t hamming_distance(const Bits& a, const Bits& b) {
+  SA_EXPECTS(a.size() == b.size());
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] != 0) != (b[i] != 0)) ++d;
+  }
+  return d;
+}
+
+}  // namespace sa

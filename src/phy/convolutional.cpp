@@ -1,0 +1,170 @@
+#include "sa/phy/convolutional.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+namespace {
+
+// Generators g0 = 133o, g1 = 171o; constraint length 7 (64 states).
+constexpr unsigned kG0 = 0133;
+constexpr unsigned kG1 = 0171;
+constexpr unsigned kStates = 64;
+
+inline std::uint8_t parity7(unsigned x) {
+  x &= 0x7F;
+  x ^= x >> 4;
+  x ^= x >> 2;
+  x ^= x >> 1;
+  return static_cast<std::uint8_t>(x & 1u);
+}
+
+// Rate 3/4 puncture pattern over 3 info bits / 6 coded bits:
+// keep A1 B1 A2 -- -- B3 (true = transmit).
+constexpr std::array<bool, 6> kPuncture34 = {true, true, true, false, false, true};
+// Rate 2/3 pattern over 2 info bits / 4 coded bits: keep A1 B1 A2 --.
+constexpr std::array<bool, 4> kPuncture23 = {true, true, true, false};
+
+bool keep_bit(CodeRate rate, std::size_t coded_index) {
+  switch (rate) {
+    case CodeRate::kRate1_2: return true;
+    case CodeRate::kRate2_3: return kPuncture23[coded_index % 4];
+    case CodeRate::kRate3_4: return kPuncture34[coded_index % 6];
+  }
+  return true;
+}
+
+std::size_t puncture_period_info_bits(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kRate1_2: return 1;
+    case CodeRate::kRate2_3: return 2;
+    case CodeRate::kRate3_4: return 3;
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::size_t coded_length(std::size_t n_in, CodeRate rate) {
+  const std::size_t full = 2 * n_in;
+  if (rate == CodeRate::kRate1_2) return full;
+  // Punctured rates require the input padded to the puncture period
+  // (802.11 guarantees this by construction of the symbol sizes).
+  SA_EXPECTS(n_in % puncture_period_info_bits(rate) == 0);
+  if (rate == CodeRate::kRate2_3) return full / 4 * 3;
+  return full / 6 * 4;
+}
+
+Bits convolutional_encode(const Bits& bits, CodeRate rate) {
+  unsigned state = 0;  // six most recent input bits
+  Bits full;
+  full.reserve(2 * bits.size());
+  for (std::uint8_t b : bits) {
+    const unsigned reg = ((b & 1u) << 6) | state;  // newest bit as MSB
+    full.push_back(parity7(reg & kG0));
+    full.push_back(parity7(reg & kG1));
+    state = (reg >> 1) & 0x3F;
+  }
+  if (rate == CodeRate::kRate1_2) return full;
+
+  SA_EXPECTS(bits.size() % puncture_period_info_bits(rate) == 0);
+  Bits punct;
+  punct.reserve(coded_length(bits.size(), rate));
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    if (keep_bit(rate, i)) punct.push_back(full[i]);
+  }
+  return punct;
+}
+
+Bits viterbi_decode(const Bits& coded, std::size_t n_out, CodeRate rate) {
+  // Depuncture into (bit, known) pairs covering 2*n_out positions.
+  std::vector<std::uint8_t> stream(2 * n_out, 0);
+  std::vector<bool> known(2 * n_out, false);
+  if (rate == CodeRate::kRate1_2) {
+    SA_EXPECTS(coded.size() == 2 * n_out);
+    for (std::size_t i = 0; i < coded.size(); ++i) {
+      stream[i] = coded[i];
+      known[i] = true;
+    }
+  } else {
+    SA_EXPECTS(n_out % puncture_period_info_bits(rate) == 0);
+    SA_EXPECTS(coded.size() == coded_length(n_out, rate));
+    std::size_t src = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      if (keep_bit(rate, i)) {
+        stream[i] = coded[src++];
+        known[i] = true;
+      }
+    }
+  }
+
+  // Precompute branch outputs: for (state, input) -> (outA, outB, next).
+  struct Branch {
+    std::uint8_t out_a, out_b;
+    unsigned next;
+  };
+  static const auto table = [] {
+    std::array<std::array<Branch, 2>, kStates> t{};
+    for (unsigned s = 0; s < kStates; ++s) {
+      for (unsigned b = 0; b < 2; ++b) {
+        const unsigned reg = (b << 6) | s;
+        t[s][b] = Branch{parity7(reg & kG0), parity7(reg & kG1),
+                         (reg >> 1) & 0x3F};
+      }
+    }
+    return t;
+  }();
+
+  constexpr unsigned kInf = std::numeric_limits<unsigned>::max() / 4;
+  std::vector<unsigned> metric(kStates, kInf);
+  std::vector<unsigned> next_metric(kStates, kInf);
+  metric[0] = 0;  // encoder starts in state 0
+  // survivor[t][next_state] = (prev_state << 1) | input_bit
+  std::vector<std::vector<std::uint8_t>> survivor(
+      n_out, std::vector<std::uint8_t>(kStates, 0));
+  std::vector<std::vector<std::uint8_t>> prev_state(
+      n_out, std::vector<std::uint8_t>(kStates, 0));
+
+  for (std::size_t t = 0; t < n_out; ++t) {
+    std::fill(next_metric.begin(), next_metric.end(), kInf);
+    const std::uint8_t ra = stream[2 * t];
+    const std::uint8_t rb = stream[2 * t + 1];
+    const bool ka = known[2 * t];
+    const bool kb = known[2 * t + 1];
+    for (unsigned s = 0; s < kStates; ++s) {
+      if (metric[s] >= kInf) continue;
+      for (unsigned b = 0; b < 2; ++b) {
+        const Branch& br = table[s][b];
+        unsigned m = metric[s];
+        if (ka && br.out_a != ra) ++m;
+        if (kb && br.out_b != rb) ++m;
+        if (m < next_metric[br.next]) {
+          next_metric[br.next] = m;
+          prev_state[t][br.next] = static_cast<std::uint8_t>(s);
+          survivor[t][br.next] = static_cast<std::uint8_t>(b);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // Trace back from the best final state (with 802.11 tail bits the true
+  // final state is 0, but tolerate truncation by taking the minimum).
+  unsigned best = 0;
+  for (unsigned s = 1; s < kStates; ++s) {
+    if (metric[s] < metric[best]) best = s;
+  }
+  Bits out(n_out);
+  unsigned s = best;
+  for (std::size_t t = n_out; t-- > 0;) {
+    out[t] = survivor[t][s];
+    s = prev_state[t][s];
+  }
+  return out;
+}
+
+}  // namespace sa

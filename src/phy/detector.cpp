@@ -1,0 +1,135 @@
+#include "sa/phy/detector.hpp"
+
+#include <cmath>
+
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+#include "sa/dsp/correlate.hpp"
+#include "sa/phy/ofdm.hpp"
+
+namespace sa {
+
+namespace {
+constexpr std::size_t kScLag = 16;     // STF period
+constexpr std::size_t kScWindow = 96;  // correlation window (6 STF periods)
+}  // namespace
+
+SchmidlCoxDetector::SchmidlCoxDetector(DetectorConfig config)
+    : config_(config), ltf_ref_(ltf_period()) {
+  SA_EXPECTS(config_.threshold > 0.0 && config_.threshold < 1.0);
+  SA_EXPECTS(config_.sample_rate_hz > 0.0);
+}
+
+std::vector<PacketDetection> SchmidlCoxDetector::detect(const CVec& samples) const {
+  std::vector<PacketDetection> out;
+  if (samples.size() < kPreambleLen + kScLag + kScWindow) return out;
+
+  const CVec p = lag_autocorrelation(samples, kScLag, kScWindow);
+  const std::vector<double> r = window_energy(samples, kScLag, kScWindow);
+  SA_ENSURES(p.size() == r.size());
+
+  std::vector<double> metric(p.size(), 0.0);
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    if (r[k] > 1e-30) metric[k] = std::norm(p[k]) / (r[k] * r[k]);
+  }
+
+  const double ltf_energy = energy(ltf_ref_);
+  std::size_t k = 0;
+  while (k < metric.size()) {
+    if (metric[k] < config_.threshold) {
+      ++k;
+      continue;
+    }
+    // Measure plateau length from k.
+    std::size_t run = 0;
+    while (k + run < metric.size() && metric[k + run] >= config_.threshold) ++run;
+    if (run < config_.min_plateau) {
+      k += run + 1;
+      continue;
+    }
+
+    // Fine timing: search for the first LTF period after the coarse hit.
+    const std::size_t search_begin = k;
+    const std::size_t search_end =
+        std::min(samples.size(), k + config_.fine_search_span);
+    if (search_end <= search_begin + kFftSize) break;
+
+    double best_val = 0.0;
+    std::size_t best_pos = search_begin;
+    std::vector<double> corr(search_end - search_begin - kFftSize + 1, 0.0);
+    for (std::size_t pos = search_begin; pos + kFftSize <= search_end; ++pos) {
+      cd acc{0.0, 0.0};
+      for (std::size_t i = 0; i < kFftSize; ++i) {
+        acc += std::conj(ltf_ref_[i]) * samples[pos + i];
+      }
+      double win_e = 0.0;
+      for (std::size_t i = 0; i < kFftSize; ++i) {
+        win_e += std::norm(samples[pos + i]);
+      }
+      const double c =
+          (win_e > 1e-30) ? std::norm(acc) / (ltf_energy * win_e) : 0.0;
+      corr[pos - search_begin] = c;
+      if (c > best_val) {
+        best_val = c;
+        best_pos = pos;
+      }
+    }
+    if (best_val < config_.fine_threshold) {
+      k += run + 1;  // plateau without an LTF: interference, skip it
+      continue;
+    }
+    // The LTF has two identical periods 64 samples apart; if the peak we
+    // found is the second one, the position 64 earlier correlates almost
+    // as strongly.
+    std::size_t period1 = best_pos;
+    if (best_pos >= search_begin + kFftSize) {
+      const double prev = corr[best_pos - search_begin - kFftSize];
+      if (prev > 0.8 * best_val) period1 = best_pos - kFftSize;
+    }
+    if (period1 < kStfLen + 32) {
+      k += run + 1;
+      continue;  // would place the packet start before the buffer
+    }
+    const std::size_t start = period1 - (kStfLen + 32);
+
+    // CFO: coarse from the STF plateau, refined with the lag-64
+    // correlation across the two LTF periods (unwrap fine with coarse).
+    const std::size_t mid = k + run / 2 < p.size() ? k + run / 2 : k;
+    const double coarse =
+        std::arg(p[mid]) / (kTwoPi * static_cast<double>(kScLag)) *
+        config_.sample_rate_hz;
+    double cfo = coarse;
+    if (period1 + 2 * kFftSize <= samples.size()) {
+      cd acc{0.0, 0.0};
+      for (std::size_t i = 0; i < kFftSize; ++i) {
+        acc += std::conj(samples[period1 + i]) * samples[period1 + kFftSize + i];
+      }
+      const double fine =
+          std::arg(acc) / (kTwoPi * static_cast<double>(kFftSize)) *
+          config_.sample_rate_hz;
+      const double ambiguity = config_.sample_rate_hz / static_cast<double>(kFftSize);
+      cfo = fine + std::round((coarse - fine) / ambiguity) * ambiguity;
+    }
+
+    PacketDetection det;
+    det.start = start;
+    det.metric = metric[mid];
+    det.cfo_hz = cfo;
+    det.fine_peak = best_val;
+    out.push_back(det);
+
+    // Skip past this preamble before searching again.
+    k = start + kPreambleLen;
+  }
+  return out;
+}
+
+std::optional<PacketDetection> SchmidlCoxDetector::detect_first(
+    const CVec& samples, std::size_t from) const {
+  for (const auto& det : detect(samples)) {
+    if (det.start >= from) return det;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sa

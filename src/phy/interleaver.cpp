@@ -1,0 +1,44 @@
+#include "sa/phy/interleaver.hpp"
+
+#include <algorithm>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+namespace {
+
+// Composite permutation k -> j per 802.11a 17.3.5.6.
+std::vector<std::size_t> forward_map(std::size_t n_cbps, std::size_t n_bpsc) {
+  SA_EXPECTS(n_cbps % 16 == 0);
+  SA_EXPECTS(n_bpsc >= 1);
+  const std::size_t s = std::max<std::size_t>(n_bpsc / 2, 1);
+  std::vector<std::size_t> map(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k) {
+    const std::size_t i = (n_cbps / 16) * (k % 16) + k / 16;
+    const std::size_t j =
+        s * (i / s) + (i + n_cbps - (16 * i) / n_cbps) % s;
+    map[k] = j;
+  }
+  return map;
+}
+
+}  // namespace
+
+Bits interleave(const Bits& bits, std::size_t n_cbps, std::size_t n_bpsc) {
+  SA_EXPECTS(bits.size() == n_cbps);
+  const auto map = forward_map(n_cbps, n_bpsc);
+  Bits out(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k) out[map[k]] = bits[k];
+  return out;
+}
+
+Bits deinterleave(const Bits& bits, std::size_t n_cbps, std::size_t n_bpsc) {
+  SA_EXPECTS(bits.size() == n_cbps);
+  const auto map = forward_map(n_cbps, n_bpsc);
+  Bits out(n_cbps);
+  for (std::size_t k = 0; k < n_cbps; ++k) out[k] = bits[map[k]];
+  return out;
+}
+
+}  // namespace sa

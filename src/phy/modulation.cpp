@@ -1,0 +1,147 @@
+#include "sa/phy/modulation.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+namespace {
+
+// 802.11a Gray mapping per axis: for 16-QAM, bits (b0 b1) -> level
+// {-3, -1, +3, +1}; for 64-QAM, (b0 b1 b2) -> {-7,-5,-1,-3,7,5,1,3}.
+constexpr std::array<double, 4> kLevels16 = {-3.0, -1.0, 3.0, 1.0};
+constexpr std::array<double, 8> kLevels64 = {-7.0, -5.0, -1.0, -3.0,
+                                             7.0,  5.0,  1.0,  3.0};
+
+double slice16(double v) {
+  // Nearest of {-3,-1,1,3}.
+  if (v < -2.0) return -3.0;
+  if (v < 0.0) return -1.0;
+  if (v < 2.0) return 1.0;
+  return 3.0;
+}
+
+double slice64(double v) {
+  const double levels[] = {-7, -5, -3, -1, 1, 3, 5, 7};
+  double best = levels[0];
+  for (double L : levels) {
+    if (std::abs(v - L) < std::abs(v - best)) best = L;
+  }
+  return best;
+}
+
+std::size_t index16(double level) {
+  for (std::size_t i = 0; i < kLevels16.size(); ++i) {
+    if (kLevels16[i] == level) return i;
+  }
+  throw NumericalError("modulation: bad 16-QAM level");
+}
+
+std::size_t index64(double level) {
+  for (std::size_t i = 0; i < kLevels64.size(); ++i) {
+    if (kLevels64[i] == level) return i;
+  }
+  throw NumericalError("modulation: bad 64-QAM level");
+}
+
+constexpr double kNorm16 = 0.31622776601683794;  // 1/sqrt(10)
+constexpr double kNorm64 = 0.15430334996209191;  // 1/sqrt(42)
+constexpr double kNormQpsk = 0.7071067811865476; // 1/sqrt(2)
+
+}  // namespace
+
+std::size_t bits_per_symbol(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  throw InvalidArgument("bits_per_symbol: unknown modulation");
+}
+
+CVec modulate(const Bits& bits, Modulation m) {
+  const std::size_t bps = bits_per_symbol(m);
+  SA_EXPECTS(bits.size() % bps == 0);
+  const std::size_t n = bits.size() / bps;
+  CVec out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint8_t* b = &bits[k * bps];
+    switch (m) {
+      case Modulation::kBpsk:
+        out[k] = cd{b[0] ? 1.0 : -1.0, 0.0};
+        break;
+      case Modulation::kQpsk:
+        out[k] = cd{(b[0] ? 1.0 : -1.0) * kNormQpsk,
+                    (b[1] ? 1.0 : -1.0) * kNormQpsk};
+        break;
+      case Modulation::kQam16: {
+        const std::size_t ii = static_cast<std::size_t>(b[0]) * 2 + b[1];
+        const std::size_t qq = static_cast<std::size_t>(b[2]) * 2 + b[3];
+        out[k] = cd{kLevels16[ii] * kNorm16, kLevels16[qq] * kNorm16};
+        break;
+      }
+      case Modulation::kQam64: {
+        const std::size_t ii =
+            static_cast<std::size_t>(b[0]) * 4 + static_cast<std::size_t>(b[1]) * 2 + b[2];
+        const std::size_t qq =
+            static_cast<std::size_t>(b[3]) * 4 + static_cast<std::size_t>(b[4]) * 2 + b[5];
+        out[k] = cd{kLevels64[ii] * kNorm64, kLevels64[qq] * kNorm64};
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Bits demodulate(const CVec& symbols, Modulation m) {
+  const std::size_t bps = bits_per_symbol(m);
+  Bits out;
+  out.reserve(symbols.size() * bps);
+  for (const cd& s : symbols) {
+    switch (m) {
+      case Modulation::kBpsk:
+        out.push_back(s.real() >= 0.0 ? 1 : 0);
+        break;
+      case Modulation::kQpsk:
+        out.push_back(s.real() >= 0.0 ? 1 : 0);
+        out.push_back(s.imag() >= 0.0 ? 1 : 0);
+        break;
+      case Modulation::kQam16: {
+        const std::size_t ii = index16(slice16(s.real() / kNorm16));
+        const std::size_t qq = index16(slice16(s.imag() / kNorm16));
+        out.push_back(static_cast<std::uint8_t>((ii >> 1) & 1u));
+        out.push_back(static_cast<std::uint8_t>(ii & 1u));
+        out.push_back(static_cast<std::uint8_t>((qq >> 1) & 1u));
+        out.push_back(static_cast<std::uint8_t>(qq & 1u));
+        break;
+      }
+      case Modulation::kQam64: {
+        const std::size_t ii = index64(slice64(s.real() / kNorm64));
+        const std::size_t qq = index64(slice64(s.imag() / kNorm64));
+        out.push_back(static_cast<std::uint8_t>((ii >> 2) & 1u));
+        out.push_back(static_cast<std::uint8_t>((ii >> 1) & 1u));
+        out.push_back(static_cast<std::uint8_t>(ii & 1u));
+        out.push_back(static_cast<std::uint8_t>((qq >> 2) & 1u));
+        out.push_back(static_cast<std::uint8_t>((qq >> 1) & 1u));
+        out.push_back(static_cast<std::uint8_t>(qq & 1u));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double min_distance(Modulation m) {
+  switch (m) {
+    case Modulation::kBpsk: return 2.0;
+    case Modulation::kQpsk: return 2.0 * kNormQpsk;
+    case Modulation::kQam16: return 2.0 * kNorm16;
+    case Modulation::kQam64: return 2.0 * kNorm64;
+  }
+  throw InvalidArgument("min_distance: unknown modulation");
+}
+
+}  // namespace sa

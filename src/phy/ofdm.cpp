@@ -1,0 +1,211 @@
+#include "sa/phy/ofdm.hpp"
+
+#include <cmath>
+
+#include "sa/common/error.hpp"
+#include "sa/dsp/fft.hpp"
+
+namespace sa {
+
+namespace {
+
+// 802.11a 17.3.5.9 pilot polarity sequence (127 entries, cyclic).
+constexpr std::array<int, 127> kPolarity = {
+    1,  1,  1,  1,  -1, -1, -1, 1,  -1, -1, -1, -1, 1,  1,  -1, 1,  -1, -1,
+    1,  1,  -1, 1,  1,  -1, 1,  1,  1,  1,  1,  1,  -1, 1,  1,  1,  -1, 1,
+    1,  -1, -1, 1,  1,  1,  -1, 1,  -1, -1, -1, 1,  -1, 1,  -1, -1, 1,  -1,
+    -1, 1,  1,  1,  1,  1,  -1, -1, 1,  1,  -1, -1, 1,  -1, 1,  -1, 1,  1,
+    -1, -1, -1, 1,  1,  -1, -1, -1, -1, 1,  -1, -1, 1,  -1, 1,  1,  1,  1,
+    -1, 1,  -1, 1,  -1, 1,  -1, -1, -1, -1, -1, 1,  -1, 1,  1,  -1, 1,  -1,
+    1,  1,  1,  -1, -1, 1,  -1, -1, -1, 1,  1,  1,  -1, -1, -1, -1, -1, -1,
+    -1};
+
+// 802.11a STF frequency-domain sequence on carriers -26..26, scaled by
+// sqrt(13/6).
+const std::array<cd, 53>& stf_sequence() {
+  static const std::array<cd, 53> seq = [] {
+    std::array<cd, 53> s{};
+    const double a = std::sqrt(13.0 / 6.0);
+    const cd pp{a, a};
+    const cd mm{-a, -a};
+    // Index = carrier + 26.
+    auto set = [&s](int carrier, cd v) { s[static_cast<std::size_t>(carrier + 26)] = v; };
+    set(-24, pp);
+    set(-20, mm);
+    set(-16, pp);
+    set(-12, mm);
+    set(-8, mm);
+    set(-4, pp);
+    set(4, mm);
+    set(8, mm);
+    set(12, pp);
+    set(16, pp);
+    set(20, pp);
+    set(24, pp);
+    return s;
+  }();
+  return seq;
+}
+
+}  // namespace
+
+const std::array<int, kNumDataCarriers>& data_carriers() {
+  static const std::array<int, kNumDataCarriers> carriers = [] {
+    std::array<int, kNumDataCarriers> c{};
+    std::size_t i = 0;
+    for (int k = -26; k <= 26; ++k) {
+      if (k == 0 || k == 7 || k == -7 || k == 21 || k == -21) continue;
+      c[i++] = k;
+    }
+    SA_ENSURES(i == kNumDataCarriers);
+    return c;
+  }();
+  return carriers;
+}
+
+const std::array<int, kNumPilots>& pilot_carriers() {
+  static const std::array<int, kNumPilots> p = {-21, -7, 7, 21};
+  return p;
+}
+
+const std::array<double, kNumPilots>& pilot_values() {
+  static const std::array<double, kNumPilots> v = {1.0, 1.0, 1.0, -1.0};
+  return v;
+}
+
+double pilot_polarity(std::size_t symbol_index) {
+  return static_cast<double>(kPolarity[symbol_index % kPolarity.size()]);
+}
+
+std::size_t carrier_to_bin(int k) {
+  SA_EXPECTS(k >= -32 && k <= 31);
+  return k >= 0 ? static_cast<std::size_t>(k)
+                : static_cast<std::size_t>(64 + k);
+}
+
+const std::array<double, 53>& ltf_sequence() {
+  static const std::array<double, 53> seq = {
+      1,  1,  -1, -1, 1,  1,  -1, 1,  -1, 1,  1,  1,  1,  1,  1,  -1, -1, 1,
+      1,  -1, 1,  -1, 1,  1,  1,  1,  0,  1,  -1, -1, 1,  1,  -1, 1,  -1, 1,
+      -1, -1, -1, -1, -1, 1,  1,  -1, -1, 1,  -1, 1,  -1, 1,  1,  1,  1};
+  return seq;
+}
+
+CVec short_training_field() {
+  // One 64-sample IFFT of the STF sequence yields a waveform with period
+  // 16; the STF is 160 samples = 10 periods.
+  CVec freq(kFftSize, cd{0.0, 0.0});
+  const auto& seq = stf_sequence();
+  for (int k = -26; k <= 26; ++k) {
+    freq[carrier_to_bin(k)] = seq[static_cast<std::size_t>(k + 26)];
+  }
+  CVec period64 = ifft(freq);
+  CVec out(kStfLen);
+  for (std::size_t i = 0; i < kStfLen; ++i) {
+    out[i] = period64[i % kFftSize] * kOfdmTimeScale;
+  }
+  return out;
+}
+
+CVec long_training_field() {
+  CVec freq(kFftSize, cd{0.0, 0.0});
+  const auto& seq = ltf_sequence();
+  for (int k = -26; k <= 26; ++k) {
+    freq[carrier_to_bin(k)] = cd{seq[static_cast<std::size_t>(k + 26)], 0.0};
+  }
+  CVec period = ifft(freq);
+  for (cd& v : period) v *= kOfdmTimeScale;
+  CVec out(kLtfLen);
+  // 32-sample cyclic prefix = last 32 samples of the period.
+  for (std::size_t i = 0; i < 32; ++i) out[i] = period[kFftSize - 32 + i];
+  for (std::size_t i = 0; i < kFftSize; ++i) {
+    out[32 + i] = period[i];
+    out[32 + kFftSize + i] = period[i];
+  }
+  return out;
+}
+
+CVec ltf_period() {
+  CVec freq(kFftSize, cd{0.0, 0.0});
+  const auto& seq = ltf_sequence();
+  for (int k = -26; k <= 26; ++k) {
+    freq[carrier_to_bin(k)] = cd{seq[static_cast<std::size_t>(k + 26)], 0.0};
+  }
+  CVec period = ifft(freq);
+  for (cd& v : period) v *= kOfdmTimeScale;
+  return period;
+}
+
+CVec ofdm_modulate_symbol(const CVec& data48, std::size_t symbol_index) {
+  SA_EXPECTS(data48.size() == kNumDataCarriers);
+  CVec freq(kFftSize, cd{0.0, 0.0});
+  const auto& dc = data_carriers();
+  for (std::size_t i = 0; i < kNumDataCarriers; ++i) {
+    freq[carrier_to_bin(dc[i])] = data48[i];
+  }
+  const double pol = pilot_polarity(symbol_index);
+  const auto& pc = pilot_carriers();
+  const auto& pv = pilot_values();
+  for (std::size_t i = 0; i < kNumPilots; ++i) {
+    freq[carrier_to_bin(pc[i])] = cd{pv[i] * pol, 0.0};
+  }
+  CVec time = ifft(freq);
+  for (cd& v : time) v *= kOfdmTimeScale;
+  CVec out(kSymbolLen);
+  for (std::size_t i = 0; i < kCpLen; ++i) out[i] = time[kFftSize - kCpLen + i];
+  for (std::size_t i = 0; i < kFftSize; ++i) out[kCpLen + i] = time[i];
+  return out;
+}
+
+CVec estimate_channel_from_ltf(const CVec& ltf_rx_1, const CVec& ltf_rx_2) {
+  SA_EXPECTS(ltf_rx_1.size() == kFftSize && ltf_rx_2.size() == kFftSize);
+  const CVec f1 = fft(CVec(ltf_rx_1));
+  const CVec f2 = fft(CVec(ltf_rx_2));
+  const auto& seq = ltf_sequence();
+  CVec h(kFftSize, cd{0.0, 0.0});
+  for (int k = -26; k <= 26; ++k) {
+    const double ref = seq[static_cast<std::size_t>(k + 26)];
+    if (ref == 0.0) continue;
+    const std::size_t bin = carrier_to_bin(k);
+    h[bin] = (f1[bin] + f2[bin]) * cd{0.5 / ref, 0.0};
+  }
+  return h;
+}
+
+CVec ofdm_demodulate_symbol(const CVec& rx80, const CVec& channel,
+                            std::size_t symbol_index) {
+  SA_EXPECTS(rx80.size() == kSymbolLen);
+  SA_EXPECTS(channel.size() == kFftSize);
+  CVec time(rx80.begin() + kCpLen, rx80.end());
+  const CVec freq = fft(std::move(time));
+
+  // Common phase error from the four pilots (residual CFO/SFO rotates all
+  // subcarriers together).
+  const double pol = pilot_polarity(symbol_index);
+  const auto& pc = pilot_carriers();
+  const auto& pv = pilot_values();
+  cd phase_acc{0.0, 0.0};
+  for (std::size_t i = 0; i < kNumPilots; ++i) {
+    const std::size_t bin = carrier_to_bin(pc[i]);
+    if (std::abs(channel[bin]) < 1e-12) continue;
+    const cd expected = cd{pv[i] * pol, 0.0} * channel[bin];
+    phase_acc += freq[bin] * std::conj(expected);
+  }
+  cd rot{1.0, 0.0};
+  if (std::abs(phase_acc) > 1e-12) rot = phase_acc / std::abs(phase_acc);
+
+  const auto& dc = data_carriers();
+  CVec out(kNumDataCarriers);
+  for (std::size_t i = 0; i < kNumDataCarriers; ++i) {
+    const std::size_t bin = carrier_to_bin(dc[i]);
+    const cd h = channel[bin];
+    if (std::abs(h) < 1e-12) {
+      out[i] = cd{0.0, 0.0};
+      continue;
+    }
+    out[i] = freq[bin] * std::conj(rot) / h;
+  }
+  return out;
+}
+
+}  // namespace sa

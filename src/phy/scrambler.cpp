@@ -1,0 +1,32 @@
+#include "sa/phy/scrambler.hpp"
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+Scrambler::Scrambler(std::uint8_t seed) : state_(seed & 0x7F) {
+  SA_EXPECTS(state_ != 0);
+}
+
+void Scrambler::reset(std::uint8_t seed) {
+  state_ = seed & 0x7F;
+  SA_EXPECTS(state_ != 0);
+}
+
+std::uint8_t Scrambler::next_bit() {
+  // Feedback = x^7 xor x^4 (bits 6 and 3 of the 7-bit register).
+  const std::uint8_t fb =
+      static_cast<std::uint8_t>(((state_ >> 6) ^ (state_ >> 3)) & 1u);
+  state_ = static_cast<std::uint8_t>(((state_ << 1) | fb) & 0x7F);
+  return fb;
+}
+
+Bits Scrambler::process(const Bits& bits) {
+  Bits out(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ next_bit()) & 1u);
+  }
+  return out;
+}
+
+}  // namespace sa

@@ -1,0 +1,120 @@
+#include "sa/secure/accesspoint.hpp"
+
+#include <algorithm>
+
+#include "sa/aoa/covariance.hpp"
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+#include "sa/dsp/noise.hpp"
+#include "sa/phy/ofdm.hpp"
+
+namespace sa {
+
+AccessPoint::AccessPoint(AccessPointConfig config, Rng& rng)
+    : config_(std::move(config)),
+      impairments_(ArrayImpairments::random(config_.geometry.size(), rng,
+                                            config_.chain_gain_sigma)),
+      calibration_(CalibrationTable::identity(config_.geometry.size())),
+      detector_([&] {
+        DetectorConfig d = config_.detector;
+        d.sample_rate_hz = config_.sample_rate_hz;
+        return d;
+      }()),
+      music_(config_.music) {
+  if (config_.apply_calibration) {
+    const Calibrator cal(config_.calibrator);
+    calibration_ = cal.run(impairments_, rng);
+  }
+}
+
+double AccessPoint::wavelength_m() const {
+  return wavelength(config_.carrier_hz);
+}
+
+ArrayPlacement AccessPoint::placement() const {
+  return ArrayPlacement{config_.geometry, config_.position,
+                        config_.orientation_deg};
+}
+
+CMat AccessPoint::condition(const CMat& channel_samples) const {
+  CMat x = channel_samples;
+  impairments_.apply(x);
+  calibration_.apply(x);
+  return x;
+}
+
+MusicResult AccessPoint::music_from_samples(const CMat& packet_samples) const {
+  SA_EXPECTS(packet_samples.rows() == config_.geometry.size());
+  const CMat r = sample_covariance(packet_samples);
+  return music_.estimate(r, config_.geometry, wavelength_m());
+}
+
+AoaSignature AccessPoint::signature_from_samples(
+    const CMat& packet_samples) const {
+  MusicResult res = music_from_samples(packet_samples);
+  return AoaSignature::from_spectrum(std::move(res.spectrum),
+                                     config_.signature);
+}
+
+std::vector<double> AccessPoint::to_world_bearings(
+    double array_bearing_deg) const {
+  return array_to_world_bearings(config_.geometry, array_bearing_deg,
+                                 config_.orientation_deg);
+}
+
+std::vector<ReceivedPacket> AccessPoint::receive(const CMat& channel_samples) {
+  SA_EXPECTS(channel_samples.rows() == config_.geometry.size());
+  const CMat x = condition(channel_samples);
+
+  // Detection runs on the reference antenna (chain 0).
+  const CVec ref = x.row(0);
+  const auto detections = detector_.detect(ref);
+
+  std::vector<ReceivedPacket> out;
+  out.reserve(detections.size());
+  for (const auto& det : detections) {
+    ReceivedPacket pkt;
+    pkt.detection = det;
+
+    // PHY decode from the reference antenna with CFO corrected.
+    CVec aligned(ref.begin() + static_cast<std::ptrdiff_t>(det.start),
+                 ref.end());
+    apply_cfo(aligned, -det.cfo_hz, config_.sample_rate_hz);
+    pkt.phy = phy_rx_.decode(aligned);
+    if (pkt.phy) {
+      pkt.frame = Frame::parse(pkt.phy->psdu);
+    }
+
+    // Covariance over the whole packet (paper §3: mean phase differences
+    // over each entire packet). A scalar per-snapshot CFO rotation leaves
+    // x x^H unchanged, so no CFO correction is needed here.
+    const std::size_t span = pkt.phy
+                                 ? pkt.phy->samples_consumed
+                                 : kPreambleLen + kSymbolLen;  // fallback
+    const std::size_t end =
+        std::min(det.start + span, channel_samples.cols());
+    if (end <= det.start + kPreambleLen / 2) continue;  // truncated capture
+    CMat block(x.rows(), end - det.start);
+    for (std::size_t m = 0; m < x.rows(); ++m) {
+      for (std::size_t t = det.start; t < end; ++t) {
+        block(m, t - det.start) = x(m, t);
+      }
+    }
+    const CMat r = sample_covariance(block);
+    pkt.music = music_.estimate(r, config_.geometry, wavelength_m());
+    pkt.signature =
+        AoaSignature::from_spectrum(pkt.music.spectrum, config_.signature);
+    if (config_.power_weighted_bearing) {
+      pkt.bearing_array_deg = power_weighted_direct_bearing_deg(
+          pkt.signature.spectrum(), pkt.signature.peaks(), r,
+          config_.geometry, wavelength_m());
+    } else {
+      pkt.bearing_array_deg = pkt.signature.direct_bearing_deg();
+    }
+    pkt.bearing_world_deg = to_world_bearings(pkt.bearing_array_deg);
+    out.push_back(std::move(pkt));
+  }
+  return out;
+}
+
+}  // namespace sa

@@ -1,0 +1,84 @@
+#include "sa/secure/beamforming.hpp"
+
+#include <cmath>
+
+#include "sa/common/error.hpp"
+#include "sa/dsp/units.hpp"
+
+namespace sa {
+
+CVec aoa_beamforming_weights(const ArrayGeometry& geom, double bearing_deg,
+                             double lambda_m) {
+  CVec w = conjugate(geom.steering_vector(bearing_deg, lambda_m));
+  scale(w, cd{1.0 / std::sqrt(static_cast<double>(w.size())), 0.0});
+  return w;
+}
+
+CVec mrt_weights(const CVec& channel) {
+  SA_EXPECTS(!channel.empty());
+  CVec w = conjugate(channel);
+  const double n = norm(w);
+  SA_EXPECTS(n > 0.0);
+  scale(w, cd{1.0 / n, 0.0});
+  return w;
+}
+
+CVec null_steering_weights(const ArrayGeometry& geom, double target_deg,
+                           const std::vector<double>& null_degs,
+                           double lambda_m) {
+  SA_EXPECTS(null_degs.size() < geom.size());
+  CVec w = conjugate(geom.steering_vector(target_deg, lambda_m));
+
+  // Orthonormal basis of the nulls' conjugate steering span, then
+  // project the target vector onto its complement: y = h^T w = 0 at a
+  // null bearing iff w is orthogonal (Hermitian sense) to conj(a(null)).
+  std::vector<CVec> basis;
+  for (double nd : null_degs) {
+    CVec v = conjugate(geom.steering_vector(nd, lambda_m));
+    for (const CVec& b : basis) {
+      axpy(v, -inner(b, v), b);
+    }
+    const double n = norm(v);
+    if (n > 1e-9) {
+      scale(v, cd{1.0 / n, 0.0});
+      basis.push_back(std::move(v));
+    }
+  }
+  for (const CVec& b : basis) {
+    axpy(w, -inner(b, w), b);
+  }
+  const double n = norm(w);
+  if (n < 1e-6 * std::sqrt(static_cast<double>(w.size()))) {
+    throw InvalidArgument(
+        "null_steering_weights: target bearing lies in the null subspace");
+  }
+  scale(w, cd{1.0 / n, 0.0});
+  return w;
+}
+
+double downlink_amplitude(const CVec& channel, const CVec& weights) {
+  SA_EXPECTS(channel.size() == weights.size());
+  cd acc{0.0, 0.0};
+  for (std::size_t m = 0; m < channel.size(); ++m) {
+    acc += channel[m] * weights[m];
+  }
+  return std::abs(acc);
+}
+
+double downlink_gain_db(const CVec& channel, const CVec& weights) {
+  SA_EXPECTS(!channel.empty());
+  const double with_bf = downlink_amplitude(channel, weights);
+  const double single = std::abs(channel[0]);
+  if (single <= 0.0) return 300.0;
+  return amplitude_db(with_bf / single);
+}
+
+double array_factor_db(const ArrayGeometry& geom, const CVec& weights,
+                       double bearing_deg, double lambda_m) {
+  const CVec a = geom.steering_vector(bearing_deg, lambda_m);
+  // Free-space "channel" toward that bearing is just the steering vector.
+  const double amp = downlink_amplitude(a, weights);
+  return amplitude_db(std::max(amp, 1e-15));
+}
+
+}  // namespace sa

@@ -1,0 +1,81 @@
+#include "sa/secure/coordinator.hpp"
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+Coordinator::Coordinator(CoordinatorConfig config)
+    : config_(std::move(config)), spoof_(config_.tracker) {
+  if (config_.fence_boundary) {
+    fence_.emplace(*config_.fence_boundary, config_.fence_max_residual_deg);
+  }
+}
+
+FrameDecision Coordinator::process(
+    const std::vector<ApObservation>& observations) {
+  SA_EXPECTS(!observations.empty());
+  ++stats_.frames;
+  FrameDecision d;
+
+  // The frame content: take it from the AP with the strongest detection
+  // (they all heard the same transmission; the best SNR copy is the one
+  // whose PHY decode and signature are most trustworthy).
+  const ApObservation* best = &observations.front();
+  for (const auto& o : observations) {
+    if (o.packet.detection.fine_peak > best->packet.detection.fine_peak) {
+      best = &o;
+    }
+  }
+  if (!best->packet.frame) {
+    d.action = FrameAction::kDropUndecodable;
+    d.detail = "no AP decoded a valid frame (FCS)";
+    ++stats_.dropped_undecodable;
+    return d;
+  }
+  d.source = best->packet.frame->addr2;
+
+  // ---- Spoof check on the best AP's signature.
+  const SpoofObservation so =
+      spoof_.observe(*d.source, best->packet.signature);
+  d.spoof = so.verdict;
+  d.spoof_score = so.score;
+  if (so.verdict == SpoofVerdict::kSpoof) {
+    d.action = FrameAction::kDropSpoof;
+    d.detail = "signature diverges from the trained reference";
+    ++stats_.dropped_spoof;
+    return d;
+  }
+
+  // ---- Fence check from every AP's bearing candidates.
+  if (fence_) {
+    if (observations.size() < config_.min_aps_for_fence) {
+      if (!config_.fence_fail_open) {
+        d.action = FrameAction::kDropFence;
+        d.detail = "too few APs heard the frame to localize it";
+        ++stats_.dropped_fence;
+        return d;
+      }
+    } else {
+      std::vector<FenceObservation> obs;
+      obs.reserve(observations.size());
+      for (const auto& o : observations) {
+        obs.push_back({o.ap_position, o.packet.bearing_world_deg});
+      }
+      const FenceDecision fd = fence_->check(obs);
+      d.location = fd.location;
+      if (!fd.allowed) {
+        d.action = FrameAction::kDropFence;
+        d.detail = fd.reason;
+        ++stats_.dropped_fence;
+        return d;
+      }
+    }
+  }
+
+  d.action = FrameAction::kAccept;
+  d.detail = "accepted";
+  ++stats_.accepted;
+  return d;
+}
+
+}  // namespace sa

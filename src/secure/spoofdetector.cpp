@@ -1,0 +1,42 @@
+#include "sa/secure/spoofdetector.hpp"
+
+namespace sa {
+
+SpoofDetector::SpoofDetector(TrackerConfig tracker_config)
+    : tracker_config_(tracker_config) {}
+
+SpoofObservation SpoofDetector::observe(const MacAddress& source,
+                                        const AoaSignature& signature) {
+  ++packets_;
+  auto [it, inserted] =
+      trackers_.try_emplace(source, SignatureTracker(tracker_config_));
+  const TrackerDecision d = it->second.observe(signature);
+  SpoofObservation out;
+  out.score = d.score;
+  switch (d.verdict) {
+    case TrackerVerdict::kTraining:
+      out.verdict = SpoofVerdict::kTraining;
+      break;
+    case TrackerVerdict::kMatch:
+      out.verdict = SpoofVerdict::kLegitimate;
+      break;
+    case TrackerVerdict::kMismatch:
+      out.verdict = SpoofVerdict::kSpoof;
+      ++alarms_;
+      break;
+  }
+  return out;
+}
+
+const SignatureTracker* SpoofDetector::tracker(const MacAddress& source) const {
+  const auto it = trackers_.find(source);
+  return it == trackers_.end() ? nullptr : &it->second;
+}
+
+void SpoofDetector::forget(const MacAddress& source) { trackers_.erase(source); }
+
+SpoofDetectorStats SpoofDetector::stats() const {
+  return SpoofDetectorStats{packets_, alarms_, trackers_.size()};
+}
+
+}  // namespace sa

@@ -1,0 +1,92 @@
+#include "sa/secure/streaming.hpp"
+
+#include <algorithm>
+
+#include "sa/common/error.hpp"
+#include "sa/phy/ofdm.hpp"
+
+namespace sa {
+
+StreamingReceiver::StreamingReceiver(AccessPoint& ap, StreamingConfig config)
+    : ap_(ap), config_(config) {
+  SA_EXPECTS(config_.history_samples > kPreambleLen + config_.tail_guard);
+  SA_EXPECTS(config_.max_packet_samples < config_.history_samples);
+  const std::size_t n_ant = ap_.config().geometry.size();
+  buffer_ = CMat(n_ant, 0);
+}
+
+std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::push(
+    const CMat& chunk) {
+  SA_EXPECTS(chunk.rows() == ap_.config().geometry.size());
+  // Append the chunk.
+  CMat grown(buffer_.rows(), buffered_cols_ + chunk.cols());
+  for (std::size_t m = 0; m < buffer_.rows(); ++m) {
+    for (std::size_t t = 0; t < buffered_cols_; ++t) {
+      grown(m, t) = buffer_(m, t);
+    }
+    for (std::size_t t = 0; t < chunk.cols(); ++t) {
+      grown(m, buffered_cols_ + t) = chunk(m, t);
+    }
+  }
+  buffer_ = std::move(grown);
+  buffered_cols_ += chunk.cols();
+
+  auto out = run(/*final_pass=*/false);
+  trim();
+  return out;
+}
+
+std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::flush() {
+  auto out = run(/*final_pass=*/true);
+  base_ += buffered_cols_;
+  buffer_ = CMat(buffer_.rows(), 0);
+  buffered_cols_ = 0;
+  return out;
+}
+
+std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::run(
+    bool final_pass) {
+  std::vector<StreamPacket> out;
+  if (buffered_cols_ < kPreambleLen + kSymbolLen) return out;
+
+  CMat view(buffer_.rows(), buffered_cols_);
+  for (std::size_t m = 0; m < buffer_.rows(); ++m) {
+    for (std::size_t t = 0; t < buffered_cols_; ++t) view(m, t) = buffer_(m, t);
+  }
+  for (auto& pkt : ap_.receive(view)) {
+    const std::size_t abs_start = base_ + pkt.detection.start;
+    if (abs_start < emit_watermark_) continue;  // already emitted
+
+    // A successful decode proves the whole packet was in the buffer (the
+    // PHY checks the SIGNAL length fits and the MAC FCS verifies), so it
+    // is emitted immediately. A failed decode may just mean the packet
+    // is still arriving: retry until max_packet_samples have accumulated
+    // past the detection, then emit it as genuinely undecodable.
+    const std::size_t projected_end =
+        pkt.detection.start +
+        (pkt.phy ? pkt.phy->samples_consumed : kPreambleLen + kSymbolLen);
+    if (!final_pass && !pkt.phy &&
+        pkt.detection.start + config_.max_packet_samples > buffered_cols_) {
+      continue;
+    }
+    emit_watermark_ = base_ + projected_end;
+    out.push_back({abs_start, std::move(pkt)});
+  }
+  return out;
+}
+
+void StreamingReceiver::trim() {
+  if (buffered_cols_ <= config_.history_samples) return;
+  const std::size_t drop = buffered_cols_ - config_.history_samples;
+  CMat kept(buffer_.rows(), config_.history_samples);
+  for (std::size_t m = 0; m < buffer_.rows(); ++m) {
+    for (std::size_t t = 0; t < config_.history_samples; ++t) {
+      kept(m, t) = buffer_(m, drop + t);
+    }
+  }
+  buffer_ = std::move(kept);
+  buffered_cols_ = config_.history_samples;
+  base_ += drop;
+}
+
+}  // namespace sa

@@ -1,0 +1,139 @@
+#include "sa/secure/virtualfence.hpp"
+
+#include <cmath>
+
+#include "sa/common/angles.hpp"
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+namespace {
+
+double rms_residual_deg(const std::vector<Vec2>& origins,
+                        const std::vector<double>& bearings_deg, Vec2 p) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < origins.size(); ++i) {
+    const double implied = bearing_deg(origins[i], p);
+    const double d = angular_distance_deg(implied, bearings_deg[i]);
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(origins.size()));
+}
+
+}  // namespace
+
+namespace {
+
+/// Best candidate-combination solve over a fixed observation set.
+std::optional<LocalizationResult> localize_fixed(
+    const std::vector<FenceObservation>& observations) {
+  // Enumerate candidate combinations (2^k for k linear-array APs; tiny).
+  std::size_t combos = 1;
+  for (const auto& o : observations) combos *= o.world_bearings_deg.size();
+  SA_EXPECTS(combos <= 1024);
+
+  std::optional<LocalizationResult> best;
+  for (std::size_t c = 0; c < combos; ++c) {
+    std::vector<Vec2> origins;
+    std::vector<double> bearings_deg;
+    std::vector<double> bearings_rad;
+    std::size_t rem = c;
+    for (const auto& o : observations) {
+      const std::size_t pick = rem % o.world_bearings_deg.size();
+      rem /= o.world_bearings_deg.size();
+      origins.push_back(o.ap_position);
+      bearings_deg.push_back(o.world_bearings_deg[pick]);
+      bearings_rad.push_back(deg2rad(o.world_bearings_deg[pick]));
+    }
+    const auto p = intersect_bearings(origins, bearings_rad);
+    if (!p) continue;
+    // Reject solutions behind the APs (negative range along a bearing).
+    bool forward = true;
+    for (std::size_t i = 0; i < origins.size(); ++i) {
+      const Vec2 d{std::cos(bearings_rad[i]), std::sin(bearings_rad[i])};
+      if (dot(*p - origins[i], d) < 0.0) {
+        forward = false;
+        break;
+      }
+    }
+    if (!forward) continue;
+    const double resid = rms_residual_deg(origins, bearings_deg, *p);
+    if (!best || resid < best->residual_deg) {
+      best = LocalizationResult{*p, resid, observations.size()};
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<LocalizationResult> localize(
+    const std::vector<FenceObservation>& observations,
+    double outlier_residual_deg) {
+  if (observations.size() < 2) return std::nullopt;
+  for (const auto& o : observations) {
+    if (o.world_bearings_deg.empty()) return std::nullopt;
+  }
+
+  // Greedy outlier rejection: while the fit is missing or inconsistent
+  // and more than two APs remain, drop the AP whose removal most
+  // improves the residual. A reflection-induced false bearing at one AP
+  // does not intersect the others' bearings (it may even place the
+  // solution behind an AP, making the full solve fail outright), so it
+  // is exactly the one removed.
+  std::vector<FenceObservation> working = observations;
+  std::optional<LocalizationResult> best = localize_fixed(working);
+  while (working.size() > 2 &&
+         (!best || best->residual_deg > outlier_residual_deg)) {
+    std::optional<LocalizationResult> improved;
+    std::size_t drop = working.size();
+    for (std::size_t skip = 0; skip < working.size(); ++skip) {
+      std::vector<FenceObservation> subset;
+      for (std::size_t i = 0; i < working.size(); ++i) {
+        if (i != skip) subset.push_back(working[i]);
+      }
+      const auto cand = localize_fixed(subset);
+      if (cand && (!improved || cand->residual_deg < improved->residual_deg)) {
+        improved = cand;
+        drop = skip;
+      }
+    }
+    if (!improved) break;
+    if (best && improved->residual_deg >= best->residual_deg) break;
+    working.erase(working.begin() + static_cast<std::ptrdiff_t>(drop));
+    best = improved;
+  }
+  return best;
+}
+
+VirtualFence::VirtualFence(Polygon boundary, double max_residual_deg)
+    : boundary_(std::move(boundary)), max_residual_deg_(max_residual_deg) {
+  SA_EXPECTS(max_residual_deg_ > 0.0);
+}
+
+FenceDecision VirtualFence::check(
+    const std::vector<FenceObservation>& observations) const {
+  FenceDecision d;
+  if (observations.size() < 2) {
+    d.reason = "need >= 2 AP observations";
+    return d;
+  }
+  d.location = localize(observations);
+  if (!d.location) {
+    d.reason = "localization failed (parallel or inconsistent bearings)";
+    return d;
+  }
+  if (d.location->residual_deg > max_residual_deg_) {
+    d.reason = "bearing residual too large";
+    return d;
+  }
+  if (!boundary_.contains(d.location->position)) {
+    d.reason = "outside fence";
+    return d;
+  }
+  d.allowed = true;
+  d.reason = "inside fence";
+  return d;
+}
+
+}  // namespace sa

@@ -1,0 +1,106 @@
+#include "sa/signature/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sa/common/angles.hpp"
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+namespace {
+
+void check_compatible(const AoaSignature& a, const AoaSignature& b) {
+  SA_EXPECTS(a.valid() && b.valid());
+  SA_EXPECTS(a.spectrum().size() == b.spectrum().size());
+  SA_EXPECTS(a.spectrum().wraps() == b.spectrum().wraps());
+}
+
+}  // namespace
+
+double cosine_similarity(const AoaSignature& a, const AoaSignature& b) {
+  check_compatible(a, b);
+  const auto& va = a.spectrum().values();
+  const auto& vb = b.spectrum().values();
+  double num = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    num += va[i] * vb[i];
+    na += va[i] * va[i];
+    nb += vb[i] * vb[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return num / std::sqrt(na * nb);
+}
+
+double spectral_distance_db(const AoaSignature& a, const AoaSignature& b,
+                            double floor_db) {
+  check_compatible(a, b);
+  const auto da = a.spectrum().values_db();
+  const auto db = b.spectrum().values_db();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const double xa = std::max(da[i], floor_db);
+    const double xb = std::max(db[i], floor_db);
+    acc += (xa - xb) * (xa - xb);
+  }
+  return std::sqrt(acc / static_cast<double>(da.size()));
+}
+
+double peak_set_distance(const AoaSignature& a, const AoaSignature& b,
+                         double match_tolerance_deg) {
+  SA_EXPECTS(a.valid() && b.valid());
+  SA_EXPECTS(match_tolerance_deg > 0.0);
+  const auto& pa = a.peaks();
+  const auto& pb = b.peaks();
+  if (pa.empty() && pb.empty()) return 0.0;
+
+  const bool wraps = a.spectrum().wraps();
+  auto dist = [&](double x, double y) {
+    return wraps ? angular_distance_deg(x, y) : std::abs(x - y);
+  };
+
+  // Greedy matching, strongest-first (peaks are already sorted by value).
+  std::vector<bool> used(pb.size(), false);
+  double cost = 0.0;
+  double weight = 0.0;
+  for (const auto& p : pa) {
+    double best = match_tolerance_deg;
+    std::size_t best_j = pb.size();
+    for (std::size_t j = 0; j < pb.size(); ++j) {
+      if (used[j]) continue;
+      const double d = dist(p.angle_deg, pb[j].angle_deg);
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    const double w = p.value;
+    if (best_j < pb.size()) {
+      used[best_j] = true;
+      cost += w * (best / match_tolerance_deg);
+    } else {
+      cost += w;  // unmatched
+    }
+    weight += w;
+  }
+  // Unmatched peaks of b also count, with their own weights.
+  for (std::size_t j = 0; j < pb.size(); ++j) {
+    if (!used[j]) {
+      cost += pb[j].value;
+      weight += pb[j].value;
+    }
+  }
+  if (weight <= 0.0) return 0.0;
+  return std::clamp(cost / weight, 0.0, 1.0);
+}
+
+double match_score(const AoaSignature& a, const AoaSignature& b,
+                   const MatchWeights& weights) {
+  const double c = cosine_similarity(a, b);
+  const double p = 1.0 - peak_set_distance(a, b);
+  const double denom = weights.w_cosine + weights.w_peaks;
+  SA_EXPECTS(denom > 0.0);
+  return (weights.w_cosine * c + weights.w_peaks * p) / denom;
+}
+
+}  // namespace sa

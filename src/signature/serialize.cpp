@@ -1,0 +1,101 @@
+#include "sa/signature/serialize.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x53414131;  // "SAA1"
+
+void put_u32(ByteStream& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f64(ByteStream& out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+class Reader {
+ public:
+  explicit Reader(const ByteStream& data) : data_(data) {}
+
+  std::optional<std::uint32_t> u32() {
+    if (at_ + 4 > data_.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[at_ + i]) << (8 * i);
+    }
+    at_ += 4;
+    return v;
+  }
+
+  std::optional<double> f64() {
+    if (at_ + 8 > data_.size()) return std::nullopt;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(data_[at_ + i]) << (8 * i);
+    }
+    at_ += 8;
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  bool done() const { return at_ == data_.size(); }
+
+ private:
+  const ByteStream& data_;
+  std::size_t at_ = 0;
+};
+
+}  // namespace
+
+ByteStream serialize_signature(const AoaSignature& sig) {
+  SA_EXPECTS(sig.valid());
+  const auto& spec = sig.spectrum();
+  ByteStream out;
+  put_u32(out, kMagic);
+  put_u32(out, spec.wraps() ? 1u : 0u);
+  put_u32(out, static_cast<std::uint32_t>(spec.size()));
+  // Uniform grid: store start + step, then the values.
+  put_f64(out, spec.angles_deg().front());
+  put_f64(out, spec.step_deg());
+  for (double v : spec.values()) put_f64(out, v);
+  return out;
+}
+
+std::optional<AoaSignature> deserialize_signature(const ByteStream& data) {
+  Reader r(data);
+  const auto magic = r.u32();
+  if (!magic || *magic != kMagic) return std::nullopt;
+  const auto wraps = r.u32();
+  const auto n = r.u32();
+  if (!wraps || !n || *n < 2 || *n > 1u << 20) return std::nullopt;
+  const auto start = r.f64();
+  const auto step = r.f64();
+  if (!start || !step || *step <= 0.0) return std::nullopt;
+
+  std::vector<double> angles(*n), values(*n);
+  for (std::uint32_t i = 0; i < *n; ++i) {
+    angles[i] = *start + *step * i;
+    const auto v = r.f64();
+    if (!v || *v < 0.0 || !std::isfinite(*v)) return std::nullopt;
+    values[i] = *v;
+  }
+  if (!r.done()) return std::nullopt;  // trailing garbage
+  return AoaSignature::from_spectrum(
+      Pseudospectrum(std::move(angles), std::move(values), *wraps != 0));
+}
+
+}  // namespace sa

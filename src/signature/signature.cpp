@@ -1,0 +1,30 @@
+#include "sa/signature/signature.hpp"
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+AoaSignature AoaSignature::from_spectrum(Pseudospectrum spectrum,
+                                         const SignatureConfig& config) {
+  SA_EXPECTS(spectrum.size() > 0);
+  AoaSignature sig;
+  spectrum.normalize();
+  sig.peaks_ = spectrum.find_peaks(config.peak_min_prominence_db,
+                                   config.peak_min_separation_deg);
+  if (sig.peaks_.size() > config.max_peaks) {
+    sig.peaks_.resize(config.max_peaks);
+  }
+  sig.direct_bearing_deg_ = spectrum.refined_max_angle_deg();
+  sig.spectrum_ = std::move(spectrum);
+  return sig;
+}
+
+std::vector<double> AoaSignature::reflection_bearings_deg() const {
+  std::vector<double> out;
+  for (std::size_t i = 1; i < peaks_.size(); ++i) {
+    out.push_back(peaks_[i].angle_deg);
+  }
+  return out;
+}
+
+}  // namespace sa

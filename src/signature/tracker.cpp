@@ -1,0 +1,67 @@
+#include "sa/signature/tracker.hpp"
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+SignatureTracker::SignatureTracker(TrackerConfig config) : config_(config) {
+  SA_EXPECTS(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0);
+  SA_EXPECTS(config_.match_threshold >= 0.0 && config_.match_threshold <= 1.0);
+  SA_EXPECTS(config_.training_packets >= 1);
+}
+
+void SignatureTracker::blend_into_reference(const AoaSignature& observed,
+                                            double alpha) {
+  const auto& vals = observed.spectrum().values();
+  if (ref_values_.empty()) {
+    ref_values_ = vals;
+    ref_angles_ = observed.spectrum().angles_deg();
+    ref_wraps_ = observed.spectrum().wraps();
+    return;
+  }
+  SA_EXPECTS(vals.size() == ref_values_.size());
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    ref_values_[i] = (1.0 - alpha) * ref_values_[i] + alpha * vals[i];
+  }
+}
+
+TrackerDecision SignatureTracker::observe(const AoaSignature& observed) {
+  SA_EXPECTS(observed.valid());
+  ++observations_;
+
+  if (!trained_) {
+    // Equal-weight average over the training window.
+    ++training_seen_;
+    blend_into_reference(observed, 1.0 / static_cast<double>(training_seen_));
+    if (training_seen_ >= config_.training_packets) trained_ = true;
+    return {TrackerVerdict::kTraining, 0.0};
+  }
+
+  const auto ref = reference();
+  SA_ENSURES(ref.has_value());
+  const double score = match_score(observed, *ref, config_.weights);
+  if (score >= config_.match_threshold) {
+    blend_into_reference(observed, config_.ewma_alpha);
+    return {TrackerVerdict::kMatch, score};
+  }
+  ++mismatches_;
+  return {TrackerVerdict::kMismatch, score};
+}
+
+std::optional<AoaSignature> SignatureTracker::reference() const {
+  if (ref_values_.empty()) return std::nullopt;
+  return AoaSignature::from_spectrum(
+      Pseudospectrum(ref_angles_, ref_values_, ref_wraps_),
+      config_.signature_config);
+}
+
+void SignatureTracker::reset() {
+  trained_ = false;
+  training_seen_ = 0;
+  ref_values_.clear();
+  ref_angles_.clear();
+  observations_ = 0;
+  mismatches_ = 0;
+}
+
+}  // namespace sa

@@ -1,0 +1,109 @@
+#include "sa/testbed/office.hpp"
+
+#include <cmath>
+
+#include "sa/common/angles.hpp"
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+namespace {
+
+constexpr double kInteriorLossDb = 5.0;   // drywall-class partition at 2.4 GHz
+constexpr double kExteriorLossDb = 30.0;
+constexpr double kPillarLossDb = 20.0;  // concrete, per face; diffraction leaks
+constexpr double kInteriorRefl = 0.40;
+constexpr double kExteriorRefl = 0.50;
+constexpr double kPillarRefl = 0.5;
+
+}  // namespace
+
+OfficeTestbed OfficeTestbed::figure4() {
+  OfficeTestbed tb;
+  tb.ap_position_ = Vec2{12.0, 8.0};
+
+  // ---- Walls. Exterior shell 24 x 16 m.
+  tb.floorplan_.add_room({0.0, 0.0}, {24.0, 16.0}, kExteriorLossDb,
+                         kExteriorRefl, "exterior");
+
+  // West partition x = 8 with a door gap at y in (6.8, 7.8).
+  tb.floorplan_.add_wall({Segment{{8, 0}, {8, 6.8}}, kInteriorLossDb,
+                          kInteriorRefl, "west-partition-s"});
+  tb.floorplan_.add_wall({Segment{{8, 7.8}, {8, 16}}, kInteriorLossDb,
+                          kInteriorRefl, "west-partition-n"});
+  // East partition x = 20 with a door gap at y in (9, 10).
+  tb.floorplan_.add_wall({Segment{{20, 0}, {20, 9}}, kInteriorLossDb,
+                          kInteriorRefl, "east-partition-s"});
+  tb.floorplan_.add_wall({Segment{{20, 10}, {20, 16}}, kInteriorLossDb,
+                          kInteriorRefl, "east-partition-n"});
+  // North corridor wall y = 12 between the partitions, door at x (17, 18).
+  tb.floorplan_.add_wall({Segment{{8, 12}, {17, 12}}, kInteriorLossDb,
+                          kInteriorRefl, "north-wall-w"});
+  tb.floorplan_.add_wall({Segment{{18, 12}, {20, 12}}, kInteriorLossDb,
+                          kInteriorRefl, "north-wall-e"});
+  // South wall y = 4 between the partitions, door at x (9, 10).
+  tb.floorplan_.add_wall({Segment{{8, 4}, {9, 4}}, kInteriorLossDb,
+                          kInteriorRefl, "south-wall-w"});
+  tb.floorplan_.add_wall({Segment{{10, 4}, {20, 4}}, kInteriorLossDb,
+                          kInteriorRefl, "south-wall-e"});
+
+  // ---- Cement pillar between the AP and clients 11/12 (0.8 m square,
+  // centred 1.6 m from the AP toward azimuth 312 degrees).
+  {
+    const Vec2 c = tb.ap_position_ +
+                   Vec2{std::cos(deg2rad(312.0)), std::sin(deg2rad(312.0))} * 1.6;
+    tb.floorplan_.add_obstacle(
+        Polygon::rectangle({c.x - 0.4, c.y - 0.4}, {c.x + 0.4, c.y + 0.4}),
+        kPillarLossDb, kPillarRefl, "pillar");
+  }
+
+  // ---- Clients 1..12: ring around the AP at 30-degree steps (the
+  // figure's clock layout), with per-client radii reproducing the
+  // paper's special cases.
+  auto ring = [&](int id, double radius) {
+    const double az = 30.0 * static_cast<double>(id - 1);
+    return tb.ap_position_ +
+           Vec2{std::cos(deg2rad(az)), std::sin(deg2rad(az))} * radius;
+  };
+  tb.clients_ = {
+      {1, ring(1, 4.0), "ring east"},
+      {2, ring(2, 4.0), "ring NE"},
+      {3, ring(3, 4.0), "ring NNE"},
+      {4, ring(4, 3.5), "ring north"},
+      {5, ring(5, 4.0), "ring NNW"},
+      {6, ring(6, 9.5), "far away, through walls, strong multipath"},
+      {7, ring(7, 4.5), "other room west (through partition)"},
+      {8, ring(8, 4.0), "ring SSW"},
+      {9, ring(9, 4.0), "ring south-SW"},
+      {10, ring(10, 3.0), "ring south"},
+      {11, ring(11, 4.0), "completely blocked by pillar"},
+      {12, ring(12, 4.5), "partially blocked by pillar"},
+      {13, {18.5, 10.5}, "room NE corner"},
+      {14, {9.0, 5.0}, "room SW corner"},
+      {15, {6.0, 2.5}, "SW room"},
+      {16, {22.0, 14.5}, "NE room"},
+      {17, {2.0, 2.0}, "far SW corner office"},
+      {18, {22.0, 2.5}, "SE room"},
+      {19, {14.0, 14.0}, "north corridor"},
+      {20, {5.0, 8.0}, "west room, near doorway"},
+  };
+
+  tb.outline_ = Polygon::rectangle({0.0, 0.0}, {24.0, 16.0});
+  tb.extra_aps_ = {{4.0, 3.0}, {21.0, 13.0}, {4.0, 13.0}};
+  tb.outdoor_ = {{-5.0, 8.0}, {30.0, 8.0}, {12.0, -6.0}, {28.0, 18.0}};
+  return tb;
+}
+
+const TestbedClient& OfficeTestbed::client(int id) const {
+  for (const auto& c : clients_) {
+    if (c.id == id) return c;
+  }
+  throw InvalidArgument("OfficeTestbed::client: unknown id " +
+                        std::to_string(id));
+}
+
+double OfficeTestbed::ground_truth_bearing_deg(int id) const {
+  return bearing_deg(ap_position_, client(id).position);
+}
+
+}  // namespace sa

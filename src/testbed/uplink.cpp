@@ -1,0 +1,80 @@
+#include "sa/testbed/uplink.hpp"
+
+#include <cmath>
+
+#include "sa/common/angles.hpp"
+#include "sa/common/error.hpp"
+#include "sa/dsp/units.hpp"
+
+namespace sa {
+
+double TxPattern::gain_db(double departure_bearing_deg) const {
+  if (beamwidth_deg >= 360.0) return tx_power_db;
+  const double off = angular_distance_deg(departure_bearing_deg, aim_azimuth_deg);
+  // Gaussian main lobe: -12 dB at the beamwidth edge, floored backlobe.
+  const double rolloff = -12.0 * (off / beamwidth_deg) * (off / beamwidth_deg);
+  const double shaped = std::max(boresight_gain_db + rolloff,
+                                 boresight_gain_db + backlobe_floor_db);
+  return tx_power_db + shaped;
+}
+
+UplinkSimulation::UplinkSimulation(const OfficeTestbed& testbed,
+                                   UplinkConfig config, Rng& rng)
+    : testbed_(testbed),
+      config_(config),
+      tracer_(config.tracer),
+      simulator_(config.channel),
+      rng_(rng.fork()) {}
+
+std::size_t UplinkSimulation::add_ap(ArrayPlacement placement) {
+  aps_.push_back(std::move(placement));
+  return aps_.size() - 1;
+}
+
+const ArrayPlacement& UplinkSimulation::ap(std::size_t i) const {
+  SA_EXPECTS(i < aps_.size());
+  return aps_[i];
+}
+
+UplinkSimulation::Link& UplinkSimulation::link_for(Vec2 from,
+                                                   std::size_t ap_index) {
+  SA_EXPECTS(ap_index < aps_.size());
+  for (auto& l : links_) {
+    if (l.ap_index == ap_index && distance(l.from, from) < 1e-9) return l;
+  }
+  Link l{from, ap_index,
+         tracer_.trace(from, aps_[ap_index].origin, testbed_.floorplan()),
+         PathFading({}, config_.fading, rng_)};
+  l.fading = PathFading(l.paths, config_.fading, rng_);
+  links_.push_back(std::move(l));
+  return links_.back();
+}
+
+void UplinkSimulation::advance(double dt_s) {
+  for (auto& l : links_) l.fading.advance(dt_s);
+}
+
+std::vector<CMat> UplinkSimulation::transmit(Vec2 from, const CVec& waveform,
+                                             const TxPattern* pattern) {
+  std::vector<CMat> out;
+  out.reserve(aps_.size());
+  for (std::size_t i = 0; i < aps_.size(); ++i) {
+    Link& link = link_for(from, i);
+    std::vector<PropagationPath> paths = link.fading.faded_paths(link.paths);
+    if (pattern != nullptr) {
+      for (auto& p : paths) {
+        const double g = pattern->gain_db(p.departure_bearing_deg);
+        p.gain *= std::pow(10.0, g / 20.0);
+      }
+    }
+    out.push_back(simulator_.propagate(waveform, paths, aps_[i], rng_));
+  }
+  return out;
+}
+
+const std::vector<PropagationPath>& UplinkSimulation::paths(
+    Vec2 from, std::size_t ap_index) {
+  return link_for(from, ap_index).paths;
+}
+
+}  // namespace sa

@@ -1,0 +1,369 @@
+// Unit tests for sa_aoa: pseudospectra, covariance processing, MUSIC and
+// the baseline estimators. The key acceptance criterion throughout: known
+// synthetic bearings must be recovered to grid accuracy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sa/aoa/covariance.hpp"
+#include "sa/linalg/eig.hpp"
+#include "sa/aoa/estimators.hpp"
+#include "sa/aoa/pseudospectrum.hpp"
+#include "sa/common/angles.hpp"
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+#include "sa/common/rng.hpp"
+
+namespace sa {
+namespace {
+
+constexpr double kLambda = kSpeedOfLight / 2.4e9;
+
+/// Simulated per-antenna sample block: narrowband sources at given
+/// bearings with random unit-power symbols, plus noise.
+CMat synth_samples(const ArrayGeometry& geom,
+                   const std::vector<double>& bearings_deg,
+                   const std::vector<double>& amplitudes, std::size_t n_snap,
+                   double noise_power, Rng& rng) {
+  const std::size_t n_ant = geom.size();
+  CMat x(n_ant, n_snap);
+  std::vector<CVec> steerings;
+  for (double b : bearings_deg) {
+    steerings.push_back(geom.steering_vector(b, kLambda));
+  }
+  for (std::size_t t = 0; t < n_snap; ++t) {
+    for (std::size_t s = 0; s < steerings.size(); ++s) {
+      const cd sym = rng.random_phasor() * amplitudes[s];
+      for (std::size_t m = 0; m < n_ant; ++m) {
+        x(m, t) += sym * steerings[s][m];
+      }
+    }
+    for (std::size_t m = 0; m < n_ant; ++m) {
+      x(m, t) += rng.complex_normal(noise_power);
+    }
+  }
+  return x;
+}
+
+// --------------------------------------------------------- pseudospectrum
+
+TEST(Pseudospectrum, BasicAccessors) {
+  const Pseudospectrum ps({0.0, 1.0, 2.0, 3.0}, {1.0, 4.0, 2.0, 1.0}, false);
+  EXPECT_EQ(ps.size(), 4u);
+  EXPECT_NEAR(ps.step_deg(), 1.0, 1e-12);
+  EXPECT_NEAR(ps.max_angle_deg(), 1.0, 1e-12);
+  EXPECT_NEAR(ps.max_value(), 4.0, 1e-12);
+  const auto db = ps.values_db();
+  EXPECT_NEAR(db[1], 0.0, 1e-12);
+  EXPECT_NEAR(db[0], -6.0206, 1e-3);
+}
+
+TEST(Pseudospectrum, ValueAtInterpolates) {
+  const Pseudospectrum ps({0.0, 10.0, 20.0}, {0.0, 10.0, 0.0}, false);
+  EXPECT_NEAR(ps.value_at(5.0), 5.0, 1e-12);
+  EXPECT_NEAR(ps.value_at(15.0), 5.0, 1e-12);
+  EXPECT_NEAR(ps.value_at(-100.0), 0.0, 1e-12);  // clamped
+}
+
+TEST(Pseudospectrum, WrappingInterpolation) {
+  // 4-point circular grid 0/90/180/270.
+  const Pseudospectrum ps({0.0, 90.0, 180.0, 270.0}, {8.0, 0.0, 0.0, 4.0}, true);
+  // Between 270 and 360(=0): midpoint 315 -> (4+8)/2.
+  EXPECT_NEAR(ps.value_at(315.0), 6.0, 1e-12);
+  EXPECT_NEAR(ps.value_at(360.0), 8.0, 1e-12);
+  EXPECT_NEAR(ps.value_at(-45.0), 6.0, 1e-12);
+}
+
+TEST(Pseudospectrum, FindPeaks) {
+  std::vector<double> angles, values;
+  for (int a = -90; a <= 90; ++a) {
+    angles.push_back(a);
+    const double x1 = (a - 20.0) / 4.0;
+    const double x2 = (a + 50.0) / 4.0;
+    values.push_back(10.0 * std::exp(-x1 * x1) + 5.0 * std::exp(-x2 * x2) + 0.01);
+  }
+  const Pseudospectrum ps(angles, values, false);
+  const auto peaks = ps.find_peaks(3.0, 5.0);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_NEAR(peaks[0].angle_deg, 20.0, 1.0);
+  EXPECT_NEAR(peaks[1].angle_deg, -50.0, 1.0);
+  EXPECT_GT(peaks[0].value, peaks[1].value);
+  EXPECT_NEAR(peaks[0].value_db, 0.0, 0.1);
+}
+
+TEST(Pseudospectrum, PeakSeparationSuppression) {
+  std::vector<double> angles, values;
+  for (int a = 0; a < 360; ++a) {
+    angles.push_back(a);
+    const double x1 = angular_distance_deg(a, 100.0) / 2.0;
+    const double x2 = angular_distance_deg(a, 104.0) / 2.0;
+    values.push_back(10.0 * std::exp(-x1 * x1) + 9.0 * std::exp(-x2 * x2) + 0.01);
+  }
+  const Pseudospectrum ps(angles, values, true);
+  // Two bumps 4 degrees apart with 10-degree min separation: one peak.
+  const auto peaks = ps.find_peaks(1.0, 10.0);
+  ASSERT_GE(peaks.size(), 1u);
+  bool close_pair = false;
+  for (std::size_t i = 1; i < peaks.size(); ++i) {
+    if (angular_distance_deg(peaks[0].angle_deg, peaks[i].angle_deg) < 10.0) {
+      close_pair = true;
+    }
+  }
+  EXPECT_FALSE(close_pair);
+}
+
+TEST(Pseudospectrum, RefinedPeakBeatsGrid) {
+  // True peak at 20.3 deg on a 1-degree grid.
+  std::vector<double> angles, values;
+  for (int a = -90; a <= 90; ++a) {
+    angles.push_back(a);
+    const double x = (a - 20.3) / 6.0;
+    values.push_back(std::exp(-x * x));
+  }
+  const Pseudospectrum ps(angles, values, false);
+  EXPECT_NEAR(ps.max_angle_deg(), 20.0, 1e-12);
+  EXPECT_NEAR(ps.refined_max_angle_deg(), 20.3, 0.05);
+}
+
+TEST(Pseudospectrum, RejectsBadInput) {
+  EXPECT_THROW(Pseudospectrum({0.0}, {1.0}, false), InvalidArgument);
+  EXPECT_THROW(Pseudospectrum({0.0, 1.0}, {1.0}, false), InvalidArgument);
+  EXPECT_THROW(Pseudospectrum({1.0, 0.0}, {1.0, 1.0}, false), InvalidArgument);
+  EXPECT_THROW(Pseudospectrum({0.0, 1.0}, {1.0, -1.0}, false), InvalidArgument);
+}
+
+// ------------------------------------------------------------- covariance
+
+TEST(Covariance, SingleSourceRankOne) {
+  Rng rng(1);
+  const auto geom = ArrayGeometry::uniform_linear(4, kLambda / 2.0);
+  const CMat x = synth_samples(geom, {30.0}, {1.0}, 512, 0.0, rng);
+  const CMat r = sample_covariance(x);
+  EXPECT_TRUE(r.is_hermitian());
+  // Diagonal ~ source power 1.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(r(i, i).real(), 1.0, 0.05);
+  }
+}
+
+TEST(Covariance, ForwardBackwardPreservesHermitian) {
+  Rng rng(2);
+  const auto geom = ArrayGeometry::uniform_linear(6, kLambda / 2.0);
+  const CMat x = synth_samples(geom, {10.0, -40.0}, {1.0, 0.8}, 256, 0.1, rng);
+  const CMat fb = forward_backward_average(sample_covariance(x));
+  EXPECT_TRUE(fb.is_hermitian());
+}
+
+TEST(Covariance, SpatialSmoothShrinks) {
+  Rng rng(3);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat x = synth_samples(geom, {0.0}, {1.0}, 128, 0.1, rng);
+  const CMat sm = spatial_smooth(sample_covariance(x), 5);
+  EXPECT_EQ(sm.rows(), 5u);
+  EXPECT_TRUE(sm.is_hermitian());
+  EXPECT_THROW(spatial_smooth(sample_covariance(x), 1), InvalidArgument);
+  EXPECT_THROW(spatial_smooth(sample_covariance(x), 9), InvalidArgument);
+}
+
+TEST(Covariance, DiagonalLoadRaisesDiagonal) {
+  CMat r = CMat::identity(3);
+  const CMat loaded = diagonal_load(r, 0.1);
+  EXPECT_NEAR(loaded(0, 0).real(), 1.1, 1e-12);
+  EXPECT_NEAR(loaded(0, 1).real(), 0.0, 1e-12);
+}
+
+// ---------------------------------------------------------- source count
+
+TEST(SourceCount, MdlFindsTwoSources) {
+  Rng rng(4);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat x = synth_samples(geom, {-30.0, 25.0}, {1.0, 0.7}, 512, 0.05, rng);
+  const auto eig = eigh(sample_covariance(x));
+  EXPECT_EQ(estimate_num_sources_mdl(eig.values, 512), 2u);
+}
+
+TEST(SourceCount, MdlFindsZeroInPureNoise) {
+  Rng rng(5);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat x = synth_samples(geom, {}, {}, 512, 1.0, rng);
+  const auto eig = eigh(sample_covariance(x));
+  EXPECT_EQ(estimate_num_sources_mdl(eig.values, 512), 0u);
+}
+
+TEST(SourceCount, AicAtLeastMdl) {
+  Rng rng(6);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat x = synth_samples(geom, {-10.0, 50.0, 70.0}, {1.0, 0.9, 0.8}, 256,
+                               0.1, rng);
+  const auto eig = eigh(sample_covariance(x));
+  EXPECT_GE(estimate_num_sources_aic(eig.values, 256),
+            estimate_num_sources_mdl(eig.values, 256));
+}
+
+// ------------------------------------------------------------------ music
+
+TEST(Music, SingleSourceUlaExact) {
+  Rng rng(7);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  for (double truth : {-62.0, -15.0, 0.0, 8.0, 44.0, 71.0}) {
+    const CMat x = synth_samples(geom, {truth}, {1.0}, 256, 0.01, rng);
+    const MusicEstimator music;
+    const auto res = music.estimate(sample_covariance(x), geom, kLambda);
+    EXPECT_NEAR(res.spectrum.refined_max_angle_deg(), truth, 0.5) << truth;
+  }
+}
+
+TEST(Music, SingleSourceOctagonFullCircle) {
+  Rng rng(8);
+  const auto geom = ArrayGeometry::octagon();
+  for (double truth : {3.0, 88.0, 181.0, 267.0, 340.0}) {
+    const CMat x = synth_samples(geom, {truth}, {1.0}, 256, 0.01, rng);
+    const MusicEstimator music;
+    const auto res = music.estimate(sample_covariance(x), geom, kLambda);
+    EXPECT_NEAR(
+        angular_distance_deg(res.spectrum.refined_max_angle_deg(), truth), 0.0,
+        1.0)
+        << truth;
+  }
+}
+
+TEST(Music, TwoIncoherentSourcesResolved) {
+  Rng rng(9);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat x =
+      synth_samples(geom, {-35.0, 20.0}, {1.0, 0.8}, 512, 0.02, rng);
+  MusicConfig cfg;
+  cfg.num_sources = 2;
+  const MusicEstimator music(cfg);
+  const auto res = music.estimate(sample_covariance(x), geom, kLambda);
+  const auto peaks = res.spectrum.find_peaks(3.0, 10.0);
+  ASSERT_GE(peaks.size(), 2u);
+  const double p0 = peaks[0].angle_deg, p1 = peaks[1].angle_deg;
+  const double lo = std::min(p0, p1), hi = std::max(p0, p1);
+  EXPECT_NEAR(lo, -35.0, 1.5);
+  EXPECT_NEAR(hi, 20.0, 1.5);
+}
+
+TEST(Music, CoherentPathsNeedSmoothing) {
+  // Two fully coherent copies (same symbol stream): vanilla MUSIC fails
+  // to form two peaks; forward-backward + spatial smoothing recovers both.
+  Rng rng(10);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const std::size_t n_snap = 512;
+  const CVec a1 = geom.steering_vector(-30.0, kLambda);
+  const CVec a2 = geom.steering_vector(25.0, kLambda);
+  CMat x(8, n_snap);
+  for (std::size_t t = 0; t < n_snap; ++t) {
+    const cd sym = rng.random_phasor();  // SAME symbol on both paths
+    for (std::size_t m = 0; m < 8; ++m) {
+      x(m, t) = sym * (a1[m] + cd{0.0, 0.8} * a2[m]) +
+                rng.complex_normal(0.01);
+    }
+  }
+  const CMat r = sample_covariance(x);
+
+  MusicConfig smoothed;
+  smoothed.num_sources = 2;
+  smoothed.smoothing_subarray = 5;
+  const auto res = MusicEstimator(smoothed).estimate(r, geom, kLambda);
+  const auto peaks = res.spectrum.find_peaks(2.0, 10.0);
+  ASSERT_GE(peaks.size(), 2u);
+  const double p0 = peaks[0].angle_deg, p1 = peaks[1].angle_deg;
+  const double lo = std::min(p0, p1), hi = std::max(p0, p1);
+  EXPECT_NEAR(lo, -30.0, 4.0);
+  EXPECT_NEAR(hi, 25.0, 4.0);
+}
+
+TEST(Music, EigenvaluesExposeSourceCount) {
+  Rng rng(11);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat x = synth_samples(geom, {-20.0, 45.0}, {1.0, 1.0}, 512, 0.05, rng);
+  const MusicEstimator music;
+  const auto res = music.estimate(sample_covariance(x), geom, kLambda);
+  ASSERT_EQ(res.eigenvalues.size(), 8u);
+  // Two dominant eigenvalues well above the noise floor.
+  EXPECT_GT(res.eigenvalues[7], 20.0 * res.eigenvalues[5]);
+  EXPECT_GT(res.eigenvalues[6], 20.0 * res.eigenvalues[5]);
+  EXPECT_EQ(res.num_sources, 2u);
+}
+
+TEST(Music, MismatchedDimensionsThrow) {
+  const auto geom = ArrayGeometry::uniform_linear(4, kLambda / 2.0);
+  const MusicEstimator music;
+  EXPECT_THROW(music.estimate(CMat::identity(6), geom, kLambda),
+               InvalidArgument);
+  EXPECT_THROW(music.estimate(CMat(4, 5), geom, kLambda), InvalidArgument);
+}
+
+// -------------------------------------------------------------- baselines
+
+TEST(Baselines, BartlettFindsSource) {
+  Rng rng(12);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat x = synth_samples(geom, {33.0}, {1.0}, 256, 0.05, rng);
+  const auto sp = bartlett_spectrum(sample_covariance(x), geom, kLambda);
+  EXPECT_NEAR(sp.refined_max_angle_deg(), 33.0, 2.0);
+}
+
+TEST(Baselines, CaponSharperThanBartlett) {
+  Rng rng(13);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat x = synth_samples(geom, {10.0}, {1.0}, 512, 0.05, rng);
+  const CMat r = sample_covariance(x);
+  const auto bart = bartlett_spectrum(r, geom, kLambda);
+  const auto capon = capon_spectrum(r, geom, kLambda);
+  EXPECT_NEAR(capon.refined_max_angle_deg(), 10.0, 1.0);
+  // Measure -3 dB width of the main peak for both.
+  auto width3db = [](const Pseudospectrum& ps) {
+    const auto db = ps.values_db();
+    std::size_t count = 0;
+    for (double v : db) {
+      if (v > -3.0) ++count;
+    }
+    return static_cast<double>(count) * ps.step_deg();
+  };
+  EXPECT_LT(width3db(capon), width3db(bart));
+}
+
+TEST(Baselines, MusicSharpestOfAll) {
+  Rng rng(14);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat x = synth_samples(geom, {-5.0}, {1.0}, 512, 0.05, rng);
+  const CMat r = sample_covariance(x);
+  const auto music = MusicEstimator().estimate(r, geom, kLambda);
+  const auto capon = capon_spectrum(r, geom, kLambda);
+  auto peak_to_median = [](const Pseudospectrum& ps) {
+    auto vals = ps.values();
+    std::sort(vals.begin(), vals.end());
+    return ps.max_value() / vals[vals.size() / 2];
+  };
+  EXPECT_GT(peak_to_median(music.spectrum), peak_to_median(capon));
+}
+
+// ------------------------------------------------------------ two antenna
+
+TEST(TwoAntenna, MatchesEquationOne) {
+  const auto two = ArrayGeometry::uniform_linear(2, kLambda / 2.0);
+  for (double truth : {-70.0, -30.0, 0.0, 25.0, 60.0}) {
+    const CVec a = two.steering_vector(truth, kLambda);
+    EXPECT_NEAR(two_antenna_aoa_deg(a[0], a[1]), truth, 1e-6) << truth;
+  }
+}
+
+TEST(TwoAntenna, BreaksUnderMultipath) {
+  // Paper §2.1: "In real-world multipath environments Equation 1 breaks
+  // down because multiple paths' signals sum in the I-Q plot."
+  const auto two = ArrayGeometry::uniform_linear(2, kLambda / 2.0);
+  const CVec a1 = two.steering_vector(-40.0, kLambda);
+  const CVec a2 = two.steering_vector(35.0, kLambda);
+  const cd x1 = a1[0] + cd{0.0, 0.9} * a2[0];
+  const cd x2 = a1[1] + cd{0.0, 0.9} * a2[1];
+  const double est = two_antenna_aoa_deg(x1, x2);
+  // The estimate lands away from BOTH true bearings.
+  EXPECT_GT(std::abs(est - (-40.0)), 5.0);
+  EXPECT_GT(std::abs(est - 35.0), 5.0);
+}
+
+}  // namespace
+}  // namespace sa

@@ -1,0 +1,331 @@
+// Unit tests for sa_linalg: complex matrices, Hermitian eigendecomposition,
+// LU solves. The eigensolver is the numerical core of MUSIC, so it gets
+// randomized property tests in addition to known-answer checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sa/common/error.hpp"
+#include "sa/common/rng.hpp"
+#include "sa/linalg/cmat.hpp"
+#include "sa/linalg/cvec.hpp"
+#include "sa/linalg/eig.hpp"
+#include "sa/linalg/lu.hpp"
+
+namespace sa {
+namespace {
+
+CMat random_matrix(std::size_t n, Rng& rng) {
+  CMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      m(i, j) = cd{rng.normal(), rng.normal()};
+    }
+  }
+  return m;
+}
+
+CMat random_hermitian(std::size_t n, Rng& rng) {
+  const CMat m = random_matrix(n, rng);
+  return (m + m.hermitian()) * cd{0.5, 0.0};
+}
+
+// ------------------------------------------------------------------ cvec
+
+TEST(CVec, InnerProductConjugatesFirstArg) {
+  const CVec a{cd{0.0, 1.0}};
+  const CVec b{cd{0.0, 1.0}};
+  // <i, i> = conj(i)*i = 1.
+  EXPECT_NEAR(inner(a, b).real(), 1.0, 1e-15);
+  EXPECT_NEAR(inner(a, b).imag(), 0.0, 1e-15);
+}
+
+TEST(CVec, NormAndNormalize) {
+  CVec a{cd{3.0, 0.0}, cd{0.0, 4.0}};
+  EXPECT_NEAR(norm(a), 5.0, 1e-15);
+  normalize(a);
+  EXPECT_NEAR(norm(a), 1.0, 1e-15);
+  CVec zero{cd{0.0, 0.0}};
+  normalize(zero);  // must not divide by zero
+  EXPECT_EQ(zero[0], (cd{0.0, 0.0}));
+}
+
+TEST(CVec, AxpyAndHadamard) {
+  CVec a{cd{1.0, 0.0}, cd{2.0, 0.0}};
+  const CVec b{cd{10.0, 0.0}, cd{20.0, 0.0}};
+  axpy(a, cd{2.0, 0.0}, b);
+  EXPECT_NEAR(a[0].real(), 21.0, 1e-15);
+  EXPECT_NEAR(a[1].real(), 42.0, 1e-15);
+  const CVec h = hadamard(b, b);
+  EXPECT_NEAR(h[1].real(), 400.0, 1e-15);
+}
+
+// ------------------------------------------------------------------ cmat
+
+TEST(CMat, IdentityMultiply) {
+  Rng rng(1);
+  const CMat a = random_matrix(4, rng);
+  const CMat i4 = CMat::identity(4);
+  const CMat prod = a * i4;
+  EXPECT_NEAR((prod - a).frobenius_norm(), 0.0, 1e-12);
+}
+
+TEST(CMat, MultiplyKnownValues) {
+  CMat a(2, 2);
+  a(0, 0) = cd{1, 0};
+  a(0, 1) = cd{2, 0};
+  a(1, 0) = cd{3, 0};
+  a(1, 1) = cd{4, 0};
+  CMat b(2, 2);
+  b(0, 0) = cd{0, 1};
+  b(1, 1) = cd{1, 0};
+  const CMat c = a * b;
+  EXPECT_EQ(c(0, 0), (cd{0, 1}));
+  EXPECT_EQ(c(0, 1), (cd{2, 0}));
+  EXPECT_EQ(c(1, 0), (cd{0, 3}));
+  EXPECT_EQ(c(1, 1), (cd{4, 0}));
+}
+
+TEST(CMat, HermitianTranspose) {
+  CMat a(1, 2);
+  a(0, 0) = cd{1, 2};
+  a(0, 1) = cd{3, -4};
+  const CMat h = a.hermitian();
+  EXPECT_EQ(h.rows(), 2u);
+  EXPECT_EQ(h(0, 0), (cd{1, -2}));
+  EXPECT_EQ(h(1, 0), (cd{3, 4}));
+}
+
+TEST(CMat, OuterProductIsHermitianRank1) {
+  Rng rng(2);
+  CVec a(5);
+  for (auto& x : a) x = cd{rng.normal(), rng.normal()};
+  const CMat m = CMat::outer(a);
+  EXPECT_TRUE(m.is_hermitian());
+  // trace(a a^H) = ||a||^2.
+  EXPECT_NEAR(m.trace().real(), norm(a) * norm(a), 1e-10);
+}
+
+TEST(CMat, MatVec) {
+  CMat a(2, 3);
+  a(0, 0) = cd{1, 0};
+  a(0, 1) = cd{0, 1};
+  a(0, 2) = cd{2, 0};
+  a(1, 2) = cd{1, 1};
+  const CVec v{cd{1, 0}, cd{1, 0}, cd{1, 0}};
+  const CVec r = a * v;
+  EXPECT_NEAR(std::abs(r[0] - cd(3.0, 1.0)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(r[1] - cd(1.0, 1.0)), 0.0, 1e-14);
+}
+
+TEST(CMat, DimensionMismatchThrows) {
+  const CMat a(2, 3);
+  const CMat b(2, 3);
+  EXPECT_THROW(a * b, InvalidArgument);
+  EXPECT_THROW(a + CMat(3, 2), InvalidArgument);
+  EXPECT_THROW(a * CVec(2), InvalidArgument);
+}
+
+TEST(CMat, RowColAccess) {
+  Rng rng(3);
+  CMat a = random_matrix(4, rng);
+  const CVec r2 = a.row(2);
+  const CVec c1 = a.col(1);
+  EXPECT_EQ(r2[1], a(2, 1));
+  EXPECT_EQ(c1[3], a(3, 1));
+  CVec newcol(4, cd{7.0, 0.0});
+  a.set_col(0, newcol);
+  EXPECT_EQ(a(2, 0), (cd{7.0, 0.0}));
+}
+
+// ------------------------------------------------------------------- eig
+
+TEST(Eig, RealSymmetricKnownAnswer) {
+  // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+  const std::vector<double> m{2.0, 1.0, 1.0, 2.0};
+  const auto res = jacobi_eigh_real(m, 2);
+  ASSERT_EQ(res.values.size(), 2u);
+  EXPECT_NEAR(res.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(res.values[1], 3.0, 1e-10);
+}
+
+TEST(Eig, DiagonalMatrix) {
+  CMat d(3, 3);
+  d(0, 0) = cd{5.0, 0.0};
+  d(1, 1) = cd{-2.0, 0.0};
+  d(2, 2) = cd{1.0, 0.0};
+  const auto res = eigh(d);
+  EXPECT_NEAR(res.values[0], -2.0, 1e-10);
+  EXPECT_NEAR(res.values[1], 1.0, 1e-10);
+  EXPECT_NEAR(res.values[2], 5.0, 1e-10);
+}
+
+TEST(Eig, ComplexHermitianKnownAnswer) {
+  // [[2, i], [-i, 2]] has eigenvalues 1 and 3.
+  CMat a(2, 2);
+  a(0, 0) = cd{2, 0};
+  a(0, 1) = cd{0, 1};
+  a(1, 0) = cd{0, -1};
+  a(1, 1) = cd{2, 0};
+  const auto res = eigh(a);
+  EXPECT_NEAR(res.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(res.values[1], 3.0, 1e-10);
+  // Check A v = lambda v for both pairs.
+  for (std::size_t k = 0; k < 2; ++k) {
+    const CVec v = res.vectors.col(k);
+    const CVec av = a * v;
+    for (std::size_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR(std::abs(av[i] - v[i] * res.values[k]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Eig, RejectsNonHermitian) {
+  CMat a(2, 2);
+  a(0, 1) = cd{1.0, 0.0};  // asymmetric
+  EXPECT_THROW(eigh(a), InvalidArgument);
+  EXPECT_THROW(eigh(CMat(2, 3)), InvalidArgument);
+}
+
+// Property test over random Hermitian matrices of several sizes:
+// reconstruction, orthonormality, eigen-residual, trace preservation.
+class EigProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigProperty, DecompositionInvariants) {
+  const std::size_t n = GetParam();
+  Rng rng(1000 + n);
+  for (int rep = 0; rep < 8; ++rep) {
+    const CMat a = random_hermitian(n, rng);
+    const auto res = eigh(a);
+    ASSERT_EQ(res.values.size(), n);
+
+    // Eigenvalues ascending.
+    for (std::size_t k = 1; k < n; ++k) {
+      EXPECT_LE(res.values[k - 1], res.values[k] + 1e-12);
+    }
+    // Columns orthonormal.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const cd g = inner(res.vectors.col(i), res.vectors.col(j));
+        EXPECT_NEAR(std::abs(g), i == j ? 1.0 : 0.0, 1e-8);
+      }
+    }
+    // Residual ||A v - lambda v|| small for every pair.
+    for (std::size_t k = 0; k < n; ++k) {
+      const CVec v = res.vectors.col(k);
+      CVec av = a * v;
+      axpy(av, cd{-res.values[k], 0.0}, v);
+      EXPECT_LT(norm(av), 1e-7 * (1.0 + a.frobenius_norm()));
+    }
+    // Trace = sum of eigenvalues.
+    double sum = 0.0;
+    for (double v : res.values) sum += v;
+    EXPECT_NEAR(sum, a.trace().real(), 1e-8 * (1.0 + std::abs(a.trace().real())));
+    // Reconstruction A = V diag(lambda) V^H.
+    CMat recon(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+      recon += CMat::outer(res.vectors.col(k)) * cd{res.values[k], 0.0};
+    }
+    EXPECT_LT((recon - a).frobenius_norm(), 1e-7 * (1.0 + a.frobenius_norm()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigProperty,
+                         ::testing::Values<std::size_t>(1, 2, 3, 4, 6, 8, 12, 16));
+
+TEST(Eig, DegenerateEigenvaluesStillOrthonormal) {
+  // Rank-1 + isotropic noise floor: eigenvalue sigma^2 with multiplicity
+  // n-1 — exactly the structure of a single-source covariance in MUSIC.
+  Rng rng(77);
+  const std::size_t n = 8;
+  CVec s(n);
+  for (auto& x : s) x = cd{rng.normal(), rng.normal()};
+  CMat a = CMat::outer(s);
+  a += CMat::identity(n) * cd{0.3, 0.0};
+  const auto res = eigh(a);
+  // n-1 eigenvalues at the noise floor 0.3.
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    EXPECT_NEAR(res.values[k], 0.3, 1e-8);
+  }
+  EXPECT_NEAR(res.values[n - 1], 0.3 + norm(s) * norm(s), 1e-6);
+  // The top eigenvector must align with s.
+  CVec top = res.vectors.col(n - 1);
+  const double align = std::abs(inner(top, s)) / norm(s);
+  EXPECT_NEAR(align, 1.0, 1e-8);
+}
+
+// -------------------------------------------------------------------- lu
+
+TEST(Lu, SolveKnownSystem) {
+  CMat a(2, 2);
+  a(0, 0) = cd{2, 0};
+  a(0, 1) = cd{1, 0};
+  a(1, 0) = cd{1, 0};
+  a(1, 1) = cd{3, 0};
+  const CVec b{cd{5, 0}, cd{10, 0}};
+  const auto x = solve(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR(std::abs((*x)[0] - cd(1.0, 0.0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs((*x)[1] - cd(3.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Lu, RandomSolveResidual) {
+  Rng rng(4);
+  for (std::size_t n : {2u, 4u, 8u, 16u}) {
+    const CMat a = random_matrix(n, rng);
+    CVec b(n);
+    for (auto& x : b) x = cd{rng.normal(), rng.normal()};
+    const auto x = solve(a, b);
+    ASSERT_TRUE(x.has_value());
+    const CVec ax = a * *x;
+    double resid = 0.0;
+    for (std::size_t i = 0; i < n; ++i) resid += std::norm(ax[i] - b[i]);
+    EXPECT_LT(std::sqrt(resid), 1e-8);
+  }
+}
+
+TEST(Lu, InverseRoundTrip) {
+  Rng rng(5);
+  const CMat a = random_matrix(6, rng);
+  const auto ainv = inverse(a);
+  ASSERT_TRUE(ainv.has_value());
+  const CMat prod = a * *ainv;
+  EXPECT_LT((prod - CMat::identity(6)).frobenius_norm(), 1e-9);
+}
+
+TEST(Lu, SingularDetected) {
+  CMat a(2, 2);
+  a(0, 0) = cd{1, 0};
+  a(0, 1) = cd{2, 0};
+  a(1, 0) = cd{2, 0};
+  a(1, 1) = cd{4, 0};  // rank 1
+  const LuDecomposition lu(a);
+  EXPECT_TRUE(lu.singular());
+  EXPECT_FALSE(solve(a, CVec{cd{1, 0}, cd{0, 0}}).has_value());
+  EXPECT_FALSE(inverse(a).has_value());
+  EXPECT_THROW(lu.solve(CVec{cd{1, 0}, cd{0, 0}}), StateError);
+}
+
+TEST(Lu, DeterminantKnownValues) {
+  CMat a(2, 2);
+  a(0, 0) = cd{0, 0};
+  a(0, 1) = cd{1, 0};
+  a(1, 0) = cd{1, 0};
+  a(1, 1) = cd{0, 0};  // permutation matrix: det = -1
+  const LuDecomposition lu(a);
+  EXPECT_NEAR(std::abs(lu.determinant() - cd(-1.0, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Lu, QuadraticFormMatchesDirect) {
+  Rng rng(6);
+  const CMat r = random_hermitian(5, rng);
+  CVec a(5);
+  for (auto& x : a) x = cd{rng.normal(), rng.normal()};
+  const double q = quadratic_form(a, r);
+  const cd direct = inner(a, r * a);
+  EXPECT_NEAR(q, direct.real(), 1e-10);
+  EXPECT_NEAR(direct.imag(), 0.0, 1e-10);  // Hermitian form is real
+}
+
+}  // namespace
+}  // namespace sa

@@ -1,0 +1,126 @@
+// Unit tests for sa_mac: addresses, CRC-32, frame serialization, ACL.
+#include <gtest/gtest.h>
+
+#include "sa/common/error.hpp"
+#include "sa/common/rng.hpp"
+#include "sa/mac/acl.hpp"
+#include "sa/mac/address.hpp"
+#include "sa/mac/frame.hpp"
+
+namespace sa {
+namespace {
+
+TEST(MacAddress, ParseFormatRoundTrip) {
+  const auto a = MacAddress::parse("02:5a:00:00:00:07");
+  EXPECT_EQ(a.to_string(), "02:5a:00:00:00:07");
+  EXPECT_TRUE(a.is_local());
+  EXPECT_FALSE(a.is_broadcast());
+}
+
+TEST(MacAddress, ParseRejectsGarbage) {
+  EXPECT_THROW(MacAddress::parse("not-a-mac"), InvalidArgument);
+  EXPECT_THROW(MacAddress::parse("01:02:03"), InvalidArgument);
+}
+
+TEST(MacAddress, FromIndexDistinct) {
+  const auto a = MacAddress::from_index(1);
+  const auto b = MacAddress::from_index(2);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a.is_local());
+  EXPECT_EQ(MacAddress::from_index(1), a);  // deterministic
+}
+
+TEST(MacAddress, BroadcastAndHash) {
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  std::hash<MacAddress> h;
+  EXPECT_NE(h(MacAddress::from_index(1)), h(MacAddress::from_index(2)));
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (standard check value).
+  const Bytes data{'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Frame, SerializeParseRoundTrip) {
+  Frame f = Frame::data(MacAddress::from_index(100), MacAddress::from_index(7),
+                        {1, 2, 3, 4, 5}, 1234);
+  f.duration = 42;
+  const Bytes psdu = f.serialize();
+  const auto parsed = Frame::parse(psdu);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, FrameType::kData);
+  EXPECT_TRUE(parsed->to_ds);
+  EXPECT_FALSE(parsed->from_ds);
+  EXPECT_EQ(parsed->duration, 42);
+  EXPECT_EQ(parsed->addr1, MacAddress::from_index(100));
+  EXPECT_EQ(parsed->addr2, MacAddress::from_index(7));
+  EXPECT_EQ(parsed->sequence, 1234);
+  EXPECT_EQ(parsed->body, (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(Frame, CorruptionDetectedByFcs) {
+  const Frame f = Frame::data(MacAddress::from_index(1),
+                              MacAddress::from_index(2), Bytes(64, 0xAB));
+  Bytes psdu = f.serialize();
+  Rng rng(1);
+  for (int rep = 0; rep < 20; ++rep) {
+    Bytes corrupted = psdu;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(psdu.size() - 1)));
+    corrupted[pos] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    EXPECT_FALSE(Frame::parse(corrupted).has_value());
+  }
+}
+
+TEST(Frame, TooShortRejected) {
+  EXPECT_FALSE(Frame::parse({}).has_value());
+  EXPECT_FALSE(Frame::parse(Bytes(10, 0)).has_value());
+}
+
+TEST(Frame, ProbeRequestShape) {
+  const Frame f = Frame::probe_request(MacAddress::from_index(3), 9);
+  EXPECT_EQ(f.type, FrameType::kManagement);
+  EXPECT_EQ(f.subtype,
+            static_cast<std::uint8_t>(ManagementSubtype::kProbeRequest));
+  EXPECT_TRUE(f.addr1.is_broadcast());
+  const auto parsed = Frame::parse(f.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->subtype, f.subtype);
+  EXPECT_EQ(parsed->sequence, 9);
+}
+
+TEST(Frame, EmptyBodyAllowed) {
+  Frame f = Frame::data(MacAddress::from_index(1), MacAddress::from_index(2), {});
+  const auto parsed = Frame::parse(f.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->body.empty());
+}
+
+TEST(Frame, SequenceNumberBounds) {
+  Frame f = Frame::data(MacAddress::from_index(1), MacAddress::from_index(2),
+                        {}, 4095);
+  EXPECT_NO_THROW(f.serialize());
+  f.sequence = 4096;
+  EXPECT_THROW(f.serialize(), InvalidArgument);
+}
+
+TEST(Acl, AllowRevoke) {
+  AccessControlList acl;
+  const auto a = MacAddress::from_index(1);
+  EXPECT_FALSE(acl.is_allowed(a));
+  acl.allow(a);
+  EXPECT_TRUE(acl.is_allowed(a));
+  EXPECT_EQ(acl.size(), 1u);
+  acl.revoke(a);
+  EXPECT_FALSE(acl.is_allowed(a));
+  // Spoofed source with the same address is allowed — the ACL weakness
+  // SecureAngle addresses.
+  acl.allow(a);
+  const auto spoofed = MacAddress::parse(a.to_string());
+  EXPECT_TRUE(acl.is_allowed(spoofed));
+}
+
+}  // namespace
+}  // namespace sa

@@ -1,0 +1,293 @@
+// Property-style parameterized sweeps across the whole stack: estimator
+// accuracy vs SNR and array size, PHY robustness ordering across rates,
+// detector sensitivity, signature separability vs distance, localization
+// vs AP count. Each sweep pins a monotone trend or a bound, not a single
+// realization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sa/aoa/covariance.hpp"
+#include "sa/aoa/estimators.hpp"
+#include "sa/aoa/rootmusic.hpp"
+#include "sa/array/calibration.hpp"
+#include "sa/common/angles.hpp"
+#include "sa/common/constants.hpp"
+#include "sa/common/rng.hpp"
+#include "sa/common/stats.hpp"
+#include "sa/dsp/noise.hpp"
+#include "sa/dsp/units.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/detector.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/secure/accesspoint.hpp"
+#include "sa/secure/virtualfence.hpp"
+#include "sa/signature/metrics.hpp"
+#include "sa/testbed/office.hpp"
+#include "sa/testbed/uplink.hpp"
+
+namespace sa {
+namespace {
+
+constexpr double kLambda = kSpeedOfLight / 2.4e9;
+
+CMat source_cov(const ArrayGeometry& geom, double bearing, double snr_db,
+                Rng& rng, std::size_t snaps = 256) {
+  const CVec a = geom.steering_vector(bearing, kLambda);
+  const double noise = from_db(-snr_db);
+  CMat x(geom.size(), snaps);
+  for (std::size_t t = 0; t < snaps; ++t) {
+    const cd sym = rng.random_phasor();
+    for (std::size_t m = 0; m < geom.size(); ++m) {
+      x(m, t) = sym * a[m] + rng.complex_normal(noise);
+    }
+  }
+  return sample_covariance(x);
+}
+
+// ------------------------------------------------- MUSIC accuracy vs SNR
+
+class MusicVsSnr : public ::testing::TestWithParam<double> {};
+
+TEST_P(MusicVsSnr, ErrorBoundedBySnr) {
+  const double snr_db = GetParam();
+  Rng rng(100 + static_cast<int>(snr_db));
+  const auto geom = ArrayGeometry::octagon();
+  const MusicEstimator music;
+  std::vector<double> errs;
+  for (double truth : {15.0, 123.0, 251.0, 333.0}) {
+    const CMat r = source_cov(geom, truth, snr_db, rng);
+    const auto res = music.estimate(r, geom, kLambda);
+    errs.push_back(
+        angular_distance_deg(res.spectrum.refined_max_angle_deg(), truth));
+  }
+  // Accuracy bound loosens as SNR drops.
+  const double bound = snr_db >= 20.0 ? 1.0 : (snr_db >= 10.0 ? 2.0 : 6.0);
+  EXPECT_LT(mean(errs), bound) << "snr " << snr_db;
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrSweep, MusicVsSnr,
+                         ::testing::Values(0.0, 10.0, 20.0, 30.0));
+
+// --------------------------------------------- MUSIC accuracy vs antennas
+
+class MusicVsAntennas : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MusicVsAntennas, MoreAntennasNoWorse) {
+  const std::size_t n = GetParam();
+  Rng rng(200 + static_cast<int>(n));
+  const auto geom = ArrayGeometry::uniform_circular(n, 0.0614);
+  const MusicEstimator music;
+  std::vector<double> errs;
+  for (double truth : {40.0, 170.0, 290.0}) {
+    const CMat r = source_cov(geom, truth, 15.0, rng);
+    const auto res = music.estimate(r, geom, kLambda);
+    errs.push_back(
+        angular_distance_deg(res.spectrum.refined_max_angle_deg(), truth));
+  }
+  EXPECT_LT(mean(errs), 3.0) << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(AntennaSweep, MusicVsAntennas,
+                         ::testing::Values<std::size_t>(4, 5, 6, 7, 8, 12));
+
+// ------------------------------------- grid MUSIC vs Root-MUSIC agreement
+
+class RootVsGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(RootVsGrid, Agree) {
+  const double truth = GetParam();
+  Rng rng(300);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat r = source_cov(geom, truth, 20.0, rng);
+  const auto grid = MusicEstimator().estimate(r, geom, kLambda);
+  RootMusicConfig cfg;
+  cfg.num_sources = 1;
+  const auto roots = root_music(r, geom, kLambda, cfg);
+  ASSERT_FALSE(roots.empty());
+  EXPECT_NEAR(roots[0].bearing_deg, truth, 0.5);
+  EXPECT_NEAR(grid.spectrum.refined_max_angle_deg(), roots[0].bearing_deg,
+              1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bearings, RootVsGrid,
+                         ::testing::Values(-60.0, -25.5, -3.2, 14.8, 42.0,
+                                           68.0));
+
+// ------------------------------------------------ PHY robustness ordering
+
+TEST(PhyProperty, LowerRatesSurviveLowerSnr) {
+  // At 12 dB SNR the 6 Mbps BPSK-1/2 packet must decode while 54 Mbps
+  // 64QAM-3/4 must not; at 35 dB both decode.
+  Rng rng(400);
+  Bytes psdu(80);
+  for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  auto attempt = [&](PhyRate rate, double snr_db, std::uint64_t seed) {
+    Rng local(seed);
+    CVec wave = PacketTransmitter(rate).transmit(psdu);
+    add_awgn_snr(wave, snr_db, local);
+    const auto decoded = PacketReceiver().decode(wave);
+    return decoded.has_value() && decoded->psdu == psdu;
+  };
+  int robust_ok = 0, fragile_ok = 0;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    robust_ok += attempt(PhyRate::k6Mbps, 12.0, 500 + s) ? 1 : 0;
+    fragile_ok += attempt(PhyRate::k54Mbps, 12.0, 600 + s) ? 1 : 0;
+  }
+  EXPECT_EQ(robust_ok, 5);
+  EXPECT_EQ(fragile_ok, 0);
+  EXPECT_TRUE(attempt(PhyRate::k54Mbps, 35.0, 700));
+}
+
+TEST(PhyProperty, EvmGrowsWithNoise) {
+  Rng rng(401);
+  Bytes psdu(60);
+  for (auto& b : psdu) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  double prev_evm = -1.0;
+  for (double snr : {40.0, 30.0, 22.0}) {
+    Rng local(900);
+    CVec wave = PacketTransmitter(PhyRate::k6Mbps).transmit(psdu);
+    add_awgn_snr(wave, snr, local);
+    const auto decoded = PacketReceiver().decode(wave);
+    ASSERT_TRUE(decoded.has_value()) << snr;
+    EXPECT_GT(decoded->evm_rms, prev_evm) << snr;
+    prev_evm = decoded->evm_rms;
+  }
+}
+
+// --------------------------------------------- detector sensitivity sweep
+
+class DetectorVsSnr : public ::testing::TestWithParam<double> {};
+
+TEST_P(DetectorVsSnr, DetectsDownToLowSnr) {
+  const double snr_db = GetParam();
+  Rng rng(500 + static_cast<int>(snr_db * 10));
+  const Bytes psdu(48, 0x5A);
+  const CVec wave = PacketTransmitter(PhyRate::k6Mbps).transmit(psdu);
+  const double npow = mean_power(wave) / from_db(snr_db);
+  int hits = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    CVec burst = awgn(700, npow, rng);
+    const std::size_t start = burst.size();
+    burst.insert(burst.end(), wave.begin(), wave.end());
+    const CVec tail = awgn(300, npow, rng);
+    burst.insert(burst.end(), tail.begin(), tail.end());
+    const auto det = SchmidlCoxDetector().detect_first(burst);
+    if (det && std::abs(static_cast<double>(det->start) -
+                        static_cast<double>(start)) <= 3.0) {
+      ++hits;
+    }
+  }
+  if (snr_db >= 5.0) {
+    EXPECT_EQ(hits, trials) << snr_db;
+  } else {
+    EXPECT_GE(hits, trials / 2) << snr_db;  // 3 dB: degraded but alive
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrSweep, DetectorVsSnr,
+                         ::testing::Values(3.0, 5.0, 10.0, 20.0));
+
+// -------------------------------------- signature separability vs distance
+
+TEST(SignatureProperty, MatchScoreDropsWithDistance) {
+  // The security core: signatures from farther-apart positions score
+  // lower against the victim's. Checked as a trend over the ring.
+  const auto tb = OfficeTestbed::figure4();
+  Rng rng(600);
+  UplinkConfig ucfg;
+  ucfg.channel.noise_power = 1e-5;
+  UplinkSimulation sim(tb, ucfg, rng);
+  AccessPointConfig cfg;
+  cfg.position = tb.ap_position();
+  AccessPoint ap(cfg, rng);
+  sim.add_ap(ap.placement());
+
+  auto signature_at = [&](Vec2 pos, int id) {
+    const Frame f = Frame::data(MacAddress::from_index(0xFF),
+                                MacAddress::from_index(id), Bytes{1}, 0);
+    const CVec w = PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
+    const auto pkts = ap.receive(sim.transmit(pos, w)[0]);
+    EXPECT_FALSE(pkts.empty());
+    return pkts.empty() ? AoaSignature{} : pkts[0].signature;
+  };
+
+  const Vec2 victim = tb.client(1).position;
+  const auto sig_victim = signature_at(victim, 1);
+  // Same position, a second packet: near-perfect match.
+  sim.advance(0.5);
+  const auto sig_again = signature_at(victim, 1);
+  const double self_score = match_score(sig_victim, sig_again);
+  EXPECT_GT(self_score, 0.85);
+
+  // 0.5 m away: still plausible; across the room: clearly different.
+  const auto sig_near = signature_at(victim + Vec2{0.5, 0.0}, 90);
+  const auto sig_far = signature_at(tb.client(9).position, 91);
+  const double near_score = match_score(sig_victim, sig_near);
+  const double far_score = match_score(sig_victim, sig_far);
+  EXPECT_GT(near_score, far_score);
+  EXPECT_LT(far_score, 0.5);
+}
+
+// -------------------------------------------- localization vs AP count
+
+TEST(FenceProperty, MoreApsTightenLocalization) {
+  const auto tb = OfficeTestbed::figure4();
+  const Vec2 truth = tb.client(14).position;
+  // Ordered so the first two APs view the client from well-separated
+  // bearings (near-parallel pairs legitimately fail to intersect under
+  // bearing noise).
+  std::vector<Vec2> ap_positions{tb.ap_position(), tb.extra_ap_positions()[2],
+                                 tb.extra_ap_positions()[1],
+                                 tb.extra_ap_positions()[0]};
+  Rng rng(700);
+  // Noisy bearings: truth + 2-degree Gaussian error.
+  auto make_obs = [&](std::size_t k) {
+    std::vector<FenceObservation> obs;
+    for (std::size_t i = 0; i < k; ++i) {
+      obs.push_back({ap_positions[i],
+                     {bearing_deg(ap_positions[i], truth) + rng.normal(0, 2.0)}});
+    }
+    return obs;
+  };
+  std::vector<double> errors;
+  for (std::size_t k : {2u, 3u, 4u}) {
+    std::vector<double> errs;
+    for (int rep = 0; rep < 40; ++rep) {
+      const auto loc = localize(make_obs(k));
+      if (!loc) continue;  // noise can defeat a 2-AP geometry; rare
+      errs.push_back(distance(loc->position, truth));
+    }
+    ASSERT_GE(errs.size(), 35u) << k;
+    errors.push_back(mean(errs));
+  }
+  EXPECT_LT(errors[2], errors[0]);  // 4 APs beat 2 APs on average
+  EXPECT_LT(errors[2], 1.0);
+}
+
+// ------------------------------------------- calibration quality vs SNR
+
+class CalibrationVsSnr : public ::testing::TestWithParam<double> {};
+
+TEST_P(CalibrationVsSnr, ResidualShrinksWithSnr) {
+  const double snr = GetParam();
+  Rng rng(800 + static_cast<int>(snr));
+  const auto imp = ArrayImpairments::random(8, rng);
+  CalibratorConfig cfg;
+  cfg.snr_db = snr;
+  cfg.num_samples = 2048;
+  const auto table = Calibrator(cfg).run(imp, rng);
+  const auto resid = table.residual_phase(imp);
+  const double worst = *std::max_element(resid.begin(), resid.end());
+  // Phase error of an averaged estimate ~ 1/sqrt(snr * n_samples).
+  const double expect = 4.0 / std::sqrt(from_db(snr) * 2048.0);
+  EXPECT_LT(worst, std::max(expect, deg2rad(0.5))) << snr;
+}
+
+INSTANTIATE_TEST_SUITE_P(SnrSweep, CalibrationVsSnr,
+                         ::testing::Values(0.0, 10.0, 20.0, 30.0, 40.0));
+
+}  // namespace
+}  // namespace sa

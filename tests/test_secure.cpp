@@ -1,0 +1,434 @@
+// Integration tests for sa_secure: the full SecureAngle AP pipeline over
+// the simulated office, virtual-fence localization, and spoof detection.
+// These are the end-to-end checks that the reproduction actually works:
+// packets transmitted by simulated clients are detected, decoded, and
+// located to within a few degrees of ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sa/common/angles.hpp"
+#include "sa/common/error.hpp"
+#include "sa/common/rng.hpp"
+#include "sa/common/stats.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/secure/accesspoint.hpp"
+#include "sa/secure/spoofdetector.hpp"
+#include "sa/secure/virtualfence.hpp"
+#include "sa/testbed/office.hpp"
+#include "sa/testbed/uplink.hpp"
+
+namespace sa {
+namespace {
+
+/// Standard rig: Figure-4 office, one octagon AP at the paper's spot.
+struct Rig {
+  OfficeTestbed tb = OfficeTestbed::figure4();
+  Rng rng;
+  UplinkSimulation sim;
+  AccessPoint ap;
+
+  explicit Rig(std::uint64_t seed, double noise_power = 1e-5)
+      : rng(seed),
+        sim(tb,
+            [&] {
+              UplinkConfig cfg;
+              cfg.channel.noise_power = noise_power;
+              return cfg;
+            }(),
+            rng),
+        ap(
+            [&] {
+              AccessPointConfig cfg;
+              cfg.position = tb.ap_position();
+              return cfg;
+            }(),
+            rng) {
+    sim.add_ap(ap.placement());
+  }
+
+  /// One uplink data frame from a client position; returns AP rx packets.
+  std::vector<ReceivedPacket> uplink(Vec2 from, MacAddress src,
+                                     const TxPattern* pattern = nullptr) {
+    const Frame frame = Frame::data(MacAddress::from_index(999), src,
+                                    Bytes{1, 2, 3, 4}, seq_++);
+    const PacketTransmitter tx(PhyRate::k6Mbps);
+    const CVec wave = tx.transmit(frame.serialize());
+    auto rx = sim.transmit(from, wave, pattern);
+    return ap.receive(rx[0]);
+  }
+
+  std::uint16_t seq_ = 0;
+};
+
+TEST(AccessPoint, DetectsAndDecodesUplinkFrame) {
+  Rig rig(100);
+  const auto src = MacAddress::from_index(7);
+  const auto pkts = rig.uplink(rig.tb.client(1).position, src);
+  ASSERT_EQ(pkts.size(), 1u);
+  const auto& pkt = pkts[0];
+  ASSERT_TRUE(pkt.phy.has_value());
+  ASSERT_TRUE(pkt.frame.has_value());
+  EXPECT_EQ(pkt.frame->addr2, src);
+  EXPECT_EQ(pkt.frame->body, (Bytes{1, 2, 3, 4}));
+}
+
+TEST(AccessPoint, BearingMatchesGroundTruthForRingClients) {
+  Rig rig(101);
+  std::vector<double> errors;
+  for (int id : {1, 2, 3, 4, 5, 8, 9, 10}) {  // unobstructed ring clients
+    const auto pkts = rig.uplink(rig.tb.client(id).position,
+                                 MacAddress::from_index(id));
+    ASSERT_EQ(pkts.size(), 1u) << "client " << id;
+    ASSERT_EQ(pkts[0].bearing_world_deg.size(), 1u);
+    const double est = pkts[0].bearing_world_deg[0];
+    const double truth = rig.tb.ground_truth_bearing_deg(id);
+    const double err = angular_distance_deg(est, truth);
+    errors.push_back(err);
+    // Single-packet error band: the paper sees occasional multi-degree
+    // deviations even for clear clients (Fig. 5 error bars).
+    EXPECT_LT(err, 12.0) << "client " << id << " est " << est << " truth "
+                         << truth;
+  }
+  // But the population must be tight.
+  EXPECT_LT(mean(errors), 4.0);
+  EXPECT_LT(median(errors), 2.5);
+}
+
+TEST(AccessPoint, UncalibratedArrayBreaksBearing) {
+  // Paper §2.2: without calibration the unknown per-chain phases make
+  // AoA inoperable. Same seed => same impairments; only the calibration
+  // switch differs.
+  const auto tb = OfficeTestbed::figure4();
+  auto make_rig = [&](bool calibrated, std::uint64_t seed) {
+    Rng rng(seed);
+    UplinkConfig ucfg;
+    ucfg.channel.noise_power = 1e-5;
+    auto sim = std::make_unique<UplinkSimulation>(tb, ucfg, rng);
+    AccessPointConfig cfg;
+    cfg.position = tb.ap_position();
+    cfg.apply_calibration = calibrated;
+    auto ap = std::make_unique<AccessPoint>(cfg, rng);
+    sim->add_ap(ap->placement());
+    return std::make_pair(std::move(sim), std::move(ap));
+  };
+
+  const Frame frame = Frame::data(MacAddress::from_index(999),
+                                  MacAddress::from_index(1), Bytes{1}, 0);
+  const CVec wave = PacketTransmitter(PhyRate::k6Mbps).transmit(frame.serialize());
+
+  // Uncalibrated chains give a bearing unrelated to the truth — a random
+  // draw can still land close, so compare the error *distributions* over
+  // several impairment realizations.
+  const double truth = tb.ground_truth_bearing_deg(1);
+  std::vector<double> errs_cal, errs_uncal;
+  for (std::uint64_t seed : {777u, 778u, 779u, 780u, 781u, 782u}) {
+    {
+      auto [sim, ap] = make_rig(true, seed);
+      auto pkts = ap->receive(sim->transmit(tb.client(1).position, wave)[0]);
+      ASSERT_FALSE(pkts.empty());
+      errs_cal.push_back(
+          angular_distance_deg(pkts[0].bearing_world_deg[0], truth));
+    }
+    {
+      auto [sim, ap] = make_rig(false, seed);
+      auto pkts = ap->receive(sim->transmit(tb.client(1).position, wave)[0]);
+      ASSERT_FALSE(pkts.empty());
+      errs_uncal.push_back(
+          angular_distance_deg(pkts[0].bearing_world_deg[0], truth));
+    }
+  }
+  EXPECT_LT(mean(errs_cal), 5.0);
+  EXPECT_GT(mean(errs_uncal), 25.0);  // essentially random bearings
+  EXPECT_GT(max_of(errs_uncal), 40.0);
+}
+
+TEST(AccessPoint, SignatureStableAcrossPackets) {
+  Rig rig(102);
+  const auto src = MacAddress::from_index(3);
+  const auto p1 = rig.uplink(rig.tb.client(3).position, src);
+  rig.sim.advance(1.0);
+  const auto p2 = rig.uplink(rig.tb.client(3).position, src);
+  ASSERT_FALSE(p1.empty());
+  ASSERT_FALSE(p2.empty());
+  EXPECT_GT(match_score(p1[0].signature, p2[0].signature), 0.8);
+}
+
+TEST(AccessPoint, SignaturesDifferAcrossLocations) {
+  Rig rig(103);
+  const auto a = rig.uplink(rig.tb.client(1).position, MacAddress::from_index(1));
+  const auto b = rig.uplink(rig.tb.client(9).position, MacAddress::from_index(9));
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  EXPECT_LT(match_score(a[0].signature, b[0].signature), 0.6);
+}
+
+TEST(AccessPoint, LinearArrayReportsAmbiguousBearings) {
+  const auto tb = OfficeTestbed::figure4();
+  Rng rng(104);
+  UplinkConfig ucfg;
+  ucfg.channel.noise_power = 1e-5;
+  UplinkSimulation sim(tb, ucfg, rng);
+  AccessPointConfig cfg;
+  cfg.position = tb.ap_position();
+  cfg.geometry = ArrayGeometry::uniform_linear(8, 0.0613);
+  AccessPoint ap(cfg, rng);
+  sim.add_ap(ap.placement());
+  // Client 4 sits near the ULA's broadside, where linear arrays are most
+  // accurate (the paper's footnote 1 notes the side ambiguity; endfire
+  // bearings additionally lose resolution to the sin(theta) compression).
+  const Frame frame = Frame::data(MacAddress::from_index(999),
+                                  MacAddress::from_index(4), Bytes{9}, 0);
+  const CVec wave = PacketTransmitter(PhyRate::k6Mbps).transmit(frame.serialize());
+  const auto pkts = ap.receive(sim.transmit(tb.client(4).position, wave)[0]);
+  ASSERT_FALSE(pkts.empty());
+  EXPECT_EQ(pkts[0].bearing_world_deg.size(), 2u);
+  // One of the two candidates is the truth.
+  const double truth = tb.ground_truth_bearing_deg(4);
+  const double e0 = angular_distance_deg(pkts[0].bearing_world_deg[0], truth);
+  const double e1 = angular_distance_deg(pkts[0].bearing_world_deg[1], truth);
+  EXPECT_LT(std::min(e0, e1), 6.0);
+}
+
+TEST(AccessPoint, PowerWeightedBearingBeatsPlainArgmax) {
+  // Regression for the "false positive direct path AoA" problem (§3.1):
+  // across many channel realizations, selecting the MUSIC peak with the
+  // highest Bartlett power must never do worse on average than taking
+  // the raw spectrum maximum.
+  double err_robust = 0.0, err_plain = 0.0;
+  int n = 0;
+  for (std::uint64_t seed : {201u, 202u, 203u, 204u}) {
+    const auto tb = OfficeTestbed::figure4();
+    for (bool robust : {true, false}) {
+      Rng rng(seed);
+      UplinkConfig ucfg;
+      ucfg.channel.noise_power = 1e-5;
+      UplinkSimulation sim(tb, ucfg, rng);
+      AccessPointConfig cfg;
+      cfg.position = tb.ap_position();
+      cfg.power_weighted_bearing = robust;
+      AccessPoint ap(cfg, rng);
+      sim.add_ap(ap.placement());
+      for (int id : {1, 4, 8, 10}) {
+        const Frame f = Frame::data(MacAddress::from_index(999),
+                                    MacAddress::from_index(id), Bytes{1}, 0);
+        const CVec w =
+            PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
+        const auto pkts = ap.receive(sim.transmit(tb.client(id).position, w)[0]);
+        ASSERT_FALSE(pkts.empty());
+        const double err = angular_distance_deg(
+            pkts[0].bearing_world_deg[0], tb.ground_truth_bearing_deg(id));
+        if (robust) {
+          err_robust += err;
+          ++n;
+        } else {
+          err_plain += err;
+        }
+      }
+    }
+  }
+  err_robust /= n;
+  err_plain /= n;
+  EXPECT_LE(err_robust, err_plain + 0.5);
+  EXPECT_LT(err_robust, 5.0);
+}
+
+// ------------------------------------------------------------------ fence
+
+TEST(VirtualFence, LocalizesFromTwoAps) {
+  const std::vector<FenceObservation> obs{
+      {{0.0, 0.0}, {bearing_deg({0, 0}, {6, 4})}},
+      {{12.0, 0.0}, {bearing_deg({12, 0}, {6, 4})}},
+  };
+  const auto loc = localize(obs);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_NEAR(loc->position.x, 6.0, 1e-6);
+  EXPECT_NEAR(loc->position.y, 4.0, 1e-6);
+  EXPECT_NEAR(loc->residual_deg, 0.0, 1e-6);
+}
+
+TEST(VirtualFence, ResolvesLinearAmbiguity) {
+  // Each AP reports front/back candidates; only one combination of picks
+  // is geometrically consistent.
+  const Vec2 truth{6.0, 4.0};
+  const std::vector<FenceObservation> obs{
+      {{0.0, 0.0},
+       {bearing_deg({0, 0}, truth), wrap_deg360(-bearing_deg({0, 0}, truth))}},
+      {{12.0, 0.0},
+       {bearing_deg({12, 0}, truth),
+        wrap_deg360(-bearing_deg({12, 0}, truth))}},
+      {{6.0, 10.0}, {bearing_deg({6, 10}, truth)}},
+  };
+  const auto loc = localize(obs);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_NEAR(loc->position.x, truth.x, 0.2);
+  EXPECT_NEAR(loc->position.y, truth.y, 0.2);
+}
+
+TEST(VirtualFence, ChecksBoundary) {
+  const VirtualFence fence(Polygon::rectangle({0, 0}, {10, 10}));
+  const Vec2 inside{5.0, 5.0};
+  const Vec2 outside{15.0, 5.0};
+  auto obs_for = [](Vec2 p) {
+    return std::vector<FenceObservation>{
+        {{1.0, 1.0}, {bearing_deg({1, 1}, p)}},
+        {{9.0, 1.0}, {bearing_deg({9, 1}, p)}},
+    };
+  };
+  EXPECT_TRUE(fence.check(obs_for(inside)).allowed);
+  const auto deny = fence.check(obs_for(outside));
+  EXPECT_FALSE(deny.allowed);
+  ASSERT_TRUE(deny.location.has_value());
+  EXPECT_NEAR(deny.location->position.x, 15.0, 0.1);
+}
+
+TEST(VirtualFence, RejectsSingleObservation) {
+  const VirtualFence fence(Polygon::rectangle({0, 0}, {10, 10}));
+  const auto d = fence.check({{{1.0, 1.0}, {45.0}}});
+  EXPECT_FALSE(d.allowed);
+}
+
+TEST(VirtualFence, EndToEndMultiApLocalization) {
+  // Full pipeline: client 1 transmits once; two octagon APs each compute
+  // a bearing; the intersection lands near the client.
+  const auto tb = OfficeTestbed::figure4();
+  Rng rng(105);
+  UplinkConfig ucfg;
+  ucfg.channel.noise_power = 1e-5;
+  UplinkSimulation sim(tb, ucfg, rng);
+
+  AccessPointConfig c1;
+  c1.position = tb.ap_position();
+  AccessPoint ap1(c1, rng);
+  AccessPointConfig c2;
+  // The NW mounting point has a clear-enough view of client 1; the SW one
+  // is shadowed by the pillar plus a partition (SNR ~2 dB — too weak).
+  c2.position = tb.extra_ap_positions()[2];
+  AccessPoint ap2(c2, rng);
+  sim.add_ap(ap1.placement());
+  sim.add_ap(ap2.placement());
+
+  const Frame frame = Frame::data(MacAddress::from_index(999),
+                                  MacAddress::from_index(1), Bytes{1}, 0);
+  const CVec wave = PacketTransmitter(PhyRate::k6Mbps).transmit(frame.serialize());
+  const auto rx = sim.transmit(tb.client(1).position, wave);
+  const auto p1 = ap1.receive(rx[0]);
+  const auto p2 = ap2.receive(rx[1]);
+  ASSERT_FALSE(p1.empty());
+  ASSERT_FALSE(p2.empty());
+
+  const auto loc = localize({{c1.position, p1[0].bearing_world_deg},
+                             {c2.position, p2[0].bearing_world_deg}});
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_LT(distance(loc->position, tb.client(1).position), 2.5);
+}
+
+// ------------------------------------------------------------------ spoof
+
+TEST(SpoofDetector, FlagsAttackerAtDifferentLocation) {
+  Rig rig(106);
+  SpoofDetector detector;
+  const auto victim_mac = MacAddress::from_index(42);
+  const Vec2 victim_pos = rig.tb.client(2).position;
+  const Vec2 attacker_pos = rig.tb.client(9).position;
+
+  // Victim trains and keeps transmitting.
+  int training = 0, legit = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto pkts = rig.uplink(victim_pos, victim_mac);
+    ASSERT_FALSE(pkts.empty());
+    const auto obs = detector.observe(victim_mac, pkts[0].signature);
+    if (obs.verdict == SpoofVerdict::kTraining) ++training;
+    if (obs.verdict == SpoofVerdict::kLegitimate) ++legit;
+    rig.sim.advance(0.1);
+  }
+  EXPECT_EQ(training, 5);
+  EXPECT_EQ(legit, 5);
+
+  // Attacker spoofs the victim's MAC from another location.
+  int alarms = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto pkts = rig.uplink(attacker_pos, victim_mac);
+    ASSERT_FALSE(pkts.empty());
+    if (detector.observe(victim_mac, pkts[0].signature).verdict ==
+        SpoofVerdict::kSpoof) {
+      ++alarms;
+    }
+    rig.sim.advance(0.1);
+  }
+  EXPECT_GE(alarms, 9);
+  EXPECT_EQ(detector.stats().alarms, static_cast<std::size_t>(alarms));
+}
+
+TEST(SpoofDetector, LegitimateClientKeepsPassingOverTime) {
+  Rig rig(107);
+  SpoofDetector detector;
+  const auto mac = MacAddress::from_index(5);
+  const Vec2 pos = rig.tb.client(5).position;
+  int alarms = 0;
+  for (int i = 0; i < 40; ++i) {
+    const auto pkts = rig.uplink(pos, mac);
+    ASSERT_FALSE(pkts.empty());
+    if (detector.observe(mac, pkts[0].signature).verdict ==
+        SpoofVerdict::kSpoof) {
+      ++alarms;
+    }
+    rig.sim.advance(10.0);  // minutes of normal indoor drift
+  }
+  EXPECT_LE(alarms, 2);  // low false-alarm rate
+}
+
+TEST(SpoofDetector, TracksMultipleMacsIndependently) {
+  Rig rig(108);
+  SpoofDetector detector;
+  for (int id : {1, 2, 3}) {
+    const auto mac = MacAddress::from_index(id);
+    for (int i = 0; i < 6; ++i) {
+      const auto pkts = rig.uplink(rig.tb.client(id).position, mac);
+      ASSERT_FALSE(pkts.empty());
+      detector.observe(mac, pkts[0].signature);
+    }
+  }
+  EXPECT_EQ(detector.stats().tracked_macs, 3u);
+  EXPECT_NE(detector.tracker(MacAddress::from_index(1)), nullptr);
+  detector.forget(MacAddress::from_index(1));
+  EXPECT_EQ(detector.tracker(MacAddress::from_index(1)), nullptr);
+  EXPECT_EQ(detector.stats().tracked_macs, 2u);
+}
+
+TEST(SpoofDetector, DirectionalAttackerStillFlagged) {
+  // Threat model (§1): attacker with a directional antenna, off-site.
+  Rig rig(109);
+  SpoofDetector detector;
+  const auto mac = MacAddress::from_index(13);
+  const Vec2 victim = rig.tb.client(13).position;
+  for (int i = 0; i < 8; ++i) {
+    const auto pkts = rig.uplink(victim, mac);
+    ASSERT_FALSE(pkts.empty());
+    detector.observe(mac, pkts[0].signature);
+    rig.sim.advance(0.1);
+  }
+  const Vec2 attacker = rig.tb.outdoor_positions()[1];
+  TxPattern beam;
+  beam.aim_azimuth_deg = bearing_deg(attacker, rig.tb.ap_position());
+  beam.beamwidth_deg = 30.0;
+  beam.boresight_gain_db = 15.0;
+  // Off-site attackers also crank transmit power to punch through the
+  // exterior wall (the paper's threat model assumes a capable attacker).
+  beam.tx_power_db = 12.0;
+  int alarms = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto pkts = rig.uplink(attacker, mac, &beam);
+    if (pkts.empty()) continue;  // heavy exterior loss may kill detection
+    if (detector.observe(mac, pkts[0].signature).verdict ==
+        SpoofVerdict::kSpoof) {
+      ++alarms;
+    }
+    rig.sim.advance(0.1);
+  }
+  EXPECT_GE(alarms, 4);
+}
+
+}  // namespace
+}  // namespace sa

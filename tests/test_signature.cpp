@@ -1,0 +1,288 @@
+// Unit tests for sa_signature: signature construction, distance metrics,
+// and the EWMA tracker with its spoof-rejection behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sa/common/angles.hpp"
+#include "sa/common/error.hpp"
+#include "sa/common/rng.hpp"
+#include "sa/signature/metrics.hpp"
+#include "sa/signature/serialize.hpp"
+#include "sa/signature/signature.hpp"
+#include "sa/signature/tracker.hpp"
+
+namespace sa {
+namespace {
+
+/// Synthetic circular pseudospectrum with Gaussian peaks at given
+/// (bearing, linear height) pairs and a small noise floor.
+Pseudospectrum synth_spectrum(
+    const std::vector<std::pair<double, double>>& peaks, Rng* rng = nullptr,
+    double jitter = 0.0) {
+  std::vector<double> angles, values;
+  for (int a = 0; a < 360; ++a) {
+    angles.push_back(a);
+    double v = 0.01;
+    for (const auto& [bearing, height] : peaks) {
+      const double d = angular_distance_deg(a, bearing) / 4.0;
+      v += height * std::exp(-d * d);
+    }
+    if (rng != nullptr && jitter > 0.0) {
+      v *= std::exp(rng->normal(0.0, jitter));
+    }
+    values.push_back(v);
+  }
+  return Pseudospectrum(angles, values, true);
+}
+
+TEST(Signature, ExtractsPeaksAndDirectBearing) {
+  const auto sig = AoaSignature::from_spectrum(
+      synth_spectrum({{120.0, 10.0}, {200.0, 4.0}, {310.0, 2.0}}));
+  ASSERT_TRUE(sig.valid());
+  ASSERT_GE(sig.peaks().size(), 3u);
+  EXPECT_NEAR(sig.direct_bearing_deg(), 120.0, 1.0);
+  const auto refl = sig.reflection_bearings_deg();
+  ASSERT_GE(refl.size(), 2u);
+  EXPECT_NEAR(refl[0], 200.0, 2.0);
+  EXPECT_NEAR(refl[1], 310.0, 2.0);
+}
+
+TEST(Signature, MaxPeaksRespected) {
+  SignatureConfig cfg;
+  cfg.max_peaks = 2;
+  const auto sig = AoaSignature::from_spectrum(
+      synth_spectrum({{30.0, 10.0}, {100.0, 8.0}, {170.0, 6.0}, {240.0, 4.0}}),
+      cfg);
+  EXPECT_EQ(sig.peaks().size(), 2u);
+}
+
+TEST(Signature, SpectrumIsNormalized) {
+  const auto sig =
+      AoaSignature::from_spectrum(synth_spectrum({{45.0, 123.0}}));
+  EXPECT_NEAR(sig.spectrum().max_value(), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, IdenticalSignaturesScoreOne) {
+  const auto a = AoaSignature::from_spectrum(
+      synth_spectrum({{90.0, 10.0}, {250.0, 3.0}}));
+  EXPECT_NEAR(cosine_similarity(a, a), 1.0, 1e-12);
+  EXPECT_NEAR(spectral_distance_db(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(peak_set_distance(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(match_score(a, a), 1.0, 1e-12);
+}
+
+TEST(Metrics, DisjointSignaturesScoreLow) {
+  const auto a = AoaSignature::from_spectrum(
+      synth_spectrum({{45.0, 10.0}, {135.0, 4.0}}));
+  const auto b = AoaSignature::from_spectrum(
+      synth_spectrum({{225.0, 10.0}, {315.0, 4.0}}));
+  EXPECT_LT(cosine_similarity(a, b), 0.2);
+  EXPECT_NEAR(peak_set_distance(a, b), 1.0, 0.05);
+  EXPECT_LT(match_score(a, b), 0.2);
+  EXPECT_GT(spectral_distance_db(a, b), 3.0);
+}
+
+TEST(Metrics, SmallShiftDegradesGracefully) {
+  const auto base = AoaSignature::from_spectrum(synth_spectrum({{100.0, 10.0}}));
+  double prev_score = 1.0;
+  for (double shift : {2.0, 6.0, 15.0, 40.0}) {
+    const auto moved =
+        AoaSignature::from_spectrum(synth_spectrum({{100.0 + shift, 10.0}}));
+    const double s = match_score(base, moved);
+    EXPECT_LT(s, prev_score + 1e-9);
+    prev_score = s;
+  }
+  EXPECT_LT(prev_score, 0.3);  // 40 degrees away: clearly different
+}
+
+TEST(Metrics, JitterToleratedAsSameClient) {
+  Rng rng(1);
+  const auto a = AoaSignature::from_spectrum(
+      synth_spectrum({{60.0, 10.0}, {190.0, 3.0}}, &rng, 0.05));
+  const auto b = AoaSignature::from_spectrum(
+      synth_spectrum({{60.0, 10.0}, {190.0, 3.0}}, &rng, 0.05));
+  EXPECT_GT(match_score(a, b), 0.9);
+}
+
+TEST(Metrics, IncompatibleGridsThrow) {
+  const auto a = AoaSignature::from_spectrum(synth_spectrum({{60.0, 10.0}}));
+  std::vector<double> angles, values;
+  for (int i = -90; i <= 90; ++i) {
+    angles.push_back(i);
+    values.push_back(1.0);
+  }
+  const auto linear =
+      AoaSignature::from_spectrum(Pseudospectrum(angles, values, false));
+  EXPECT_THROW(cosine_similarity(a, linear), InvalidArgument);
+}
+
+// ---------------------------------------------------------------- tracker
+
+TEST(Tracker, TrainsThenMatches) {
+  Rng rng(2);
+  TrackerConfig cfg;
+  cfg.training_packets = 5;
+  SignatureTracker tracker(cfg);
+  for (int i = 0; i < 5; ++i) {
+    const auto d = tracker.observe(AoaSignature::from_spectrum(
+        synth_spectrum({{80.0, 10.0}, {210.0, 3.0}}, &rng, 0.05)));
+    EXPECT_EQ(d.verdict, TrackerVerdict::kTraining);
+  }
+  EXPECT_TRUE(tracker.trained());
+  const auto d = tracker.observe(AoaSignature::from_spectrum(
+      synth_spectrum({{80.0, 10.0}, {210.0, 3.0}}, &rng, 0.05)));
+  EXPECT_EQ(d.verdict, TrackerVerdict::kMatch);
+  EXPECT_GT(d.score, 0.8);
+}
+
+TEST(Tracker, FlagsAttackerFromElsewhere) {
+  Rng rng(3);
+  SignatureTracker tracker;
+  for (int i = 0; i < 5; ++i) {
+    tracker.observe(AoaSignature::from_spectrum(
+        synth_spectrum({{80.0, 10.0}, {210.0, 3.0}}, &rng, 0.05)));
+  }
+  const auto d = tracker.observe(AoaSignature::from_spectrum(
+      synth_spectrum({{290.0, 10.0}, {30.0, 3.0}}, &rng, 0.05)));
+  EXPECT_EQ(d.verdict, TrackerVerdict::kMismatch);
+  EXPECT_LT(d.score, 0.5);
+  EXPECT_EQ(tracker.mismatches(), 1u);
+}
+
+TEST(Tracker, MismatchDoesNotPoisonReference) {
+  Rng rng(4);
+  SignatureTracker tracker;
+  for (int i = 0; i < 5; ++i) {
+    tracker.observe(AoaSignature::from_spectrum(
+        synth_spectrum({{80.0, 10.0}}, &rng, 0.03)));
+  }
+  const auto ref_before = tracker.reference();
+  ASSERT_TRUE(ref_before.has_value());
+  // Attacker hammers the tracker with a different signature.
+  for (int i = 0; i < 50; ++i) {
+    const auto d = tracker.observe(
+        AoaSignature::from_spectrum(synth_spectrum({{290.0, 10.0}}, &rng, 0.03)));
+    EXPECT_EQ(d.verdict, TrackerVerdict::kMismatch);
+  }
+  const auto ref_after = tracker.reference();
+  ASSERT_TRUE(ref_after.has_value());
+  // Reference unchanged: direct bearing still 80.
+  EXPECT_NEAR(ref_after->direct_bearing_deg(), 80.0, 2.0);
+  // And the legitimate client still matches.
+  const auto d = tracker.observe(AoaSignature::from_spectrum(
+      synth_spectrum({{80.0, 10.0}}, &rng, 0.03)));
+  EXPECT_EQ(d.verdict, TrackerVerdict::kMatch);
+}
+
+TEST(Tracker, AdaptsToSlowDrift) {
+  // Environment drift: reflection peak slides 20 degrees over many
+  // packets; EWMA tracking keeps accepting.
+  Rng rng(5);
+  TrackerConfig cfg;
+  cfg.ewma_alpha = 0.2;
+  SignatureTracker tracker(cfg);
+  for (int i = 0; i < 5; ++i) {
+    tracker.observe(AoaSignature::from_spectrum(
+        synth_spectrum({{80.0, 10.0}, {200.0, 4.0}}, &rng, 0.02)));
+  }
+  int mismatches = 0;
+  for (int step = 0; step <= 40; ++step) {
+    const double drift = 0.5 * step;  // reflection slides to 220
+    const auto d = tracker.observe(AoaSignature::from_spectrum(
+        synth_spectrum({{80.0, 10.0}, {200.0 + drift, 4.0}}, &rng, 0.02)));
+    if (d.verdict == TrackerVerdict::kMismatch) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0);
+}
+
+TEST(Tracker, ResetRetrains) {
+  Rng rng(6);
+  SignatureTracker tracker;
+  for (int i = 0; i < 5; ++i) {
+    tracker.observe(
+        AoaSignature::from_spectrum(synth_spectrum({{80.0, 10.0}}, &rng, 0.03)));
+  }
+  EXPECT_TRUE(tracker.trained());
+  tracker.reset();
+  EXPECT_FALSE(tracker.trained());
+  EXPECT_FALSE(tracker.reference().has_value());
+  const auto d = tracker.observe(
+      AoaSignature::from_spectrum(synth_spectrum({{10.0, 10.0}}, &rng, 0.03)));
+  EXPECT_EQ(d.verdict, TrackerVerdict::kTraining);
+}
+
+TEST(Tracker, ConfigValidation) {
+  TrackerConfig bad;
+  bad.ewma_alpha = 0.0;
+  EXPECT_THROW(SignatureTracker{bad}, InvalidArgument);
+  bad = {};
+  bad.match_threshold = 1.5;
+  EXPECT_THROW(SignatureTracker{bad}, InvalidArgument);
+  bad = {};
+  bad.training_packets = 0;
+  EXPECT_THROW(SignatureTracker{bad}, InvalidArgument);
+}
+
+
+TEST(Serialize, RoundTripPreservesSignature) {
+  const auto sig = AoaSignature::from_spectrum(
+      synth_spectrum({{80.0, 10.0}, {210.0, 3.0}, {15.0, 1.5}}));
+  const ByteStream bytes = serialize_signature(sig);
+  const auto back = deserialize_signature(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_NEAR(match_score(sig, *back), 1.0, 1e-12);
+  EXPECT_EQ(back->spectrum().size(), sig.spectrum().size());
+  EXPECT_EQ(back->spectrum().wraps(), sig.spectrum().wraps());
+  EXPECT_NEAR(back->direct_bearing_deg(), sig.direct_bearing_deg(), 1e-9);
+}
+
+TEST(Serialize, LinearSpectrumRoundTrip) {
+  std::vector<double> angles, values;
+  for (int a = -90; a <= 90; ++a) {
+    angles.push_back(a);
+    const double x = (a - 12.0) / 5.0;
+    values.push_back(std::exp(-x * x) + 0.01);
+  }
+  const auto sig = AoaSignature::from_spectrum(
+      Pseudospectrum(angles, values, false));
+  const auto back = deserialize_signature(serialize_signature(sig));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_FALSE(back->spectrum().wraps());
+  EXPECT_NEAR(back->spectrum().angles_deg().front(), -90.0, 1e-12);
+}
+
+TEST(Serialize, RejectsCorruptedInput) {
+  const auto sig = AoaSignature::from_spectrum(synth_spectrum({{80.0, 10.0}}));
+  ByteStream bytes = serialize_signature(sig);
+  // Truncation.
+  ByteStream cut(bytes.begin(), bytes.begin() + 20);
+  EXPECT_FALSE(deserialize_signature(cut).has_value());
+  // Bad magic.
+  ByteStream bad = bytes;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(deserialize_signature(bad).has_value());
+  // Trailing garbage.
+  ByteStream extra = bytes;
+  extra.push_back(0);
+  EXPECT_FALSE(deserialize_signature(extra).has_value());
+  // Empty.
+  EXPECT_FALSE(deserialize_signature({}).has_value());
+}
+
+TEST(Serialize, RejectsNegativeValues) {
+  const auto sig = AoaSignature::from_spectrum(synth_spectrum({{80.0, 10.0}}));
+  ByteStream bytes = serialize_signature(sig);
+  // Flip the sign bit of the first value (offset: 4+4+4+8+8 = 28, last
+  // byte of the double holds the sign bit).
+  bytes[28 + 7] |= 0x80;
+  EXPECT_FALSE(deserialize_signature(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace sa
+
+// ---------------------------------------------------------- serialization
+// (Appended suite: persistence for AP restart / handover.)

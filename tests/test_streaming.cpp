@@ -1,0 +1,191 @@
+// Tests for StreamingReceiver: chunked capture with packets inside,
+// straddling, and far beyond chunk boundaries — the 0.4 ms WARP buffer
+// pipeline of paper §3.
+#include <gtest/gtest.h>
+
+#include "sa/channel/raytracer.hpp"
+#include "sa/channel/simulator.hpp"
+#include "sa/common/error.hpp"
+#include "sa/common/rng.hpp"
+#include "sa/dsp/noise.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/secure/streaming.hpp"
+#include "sa/signature/metrics.hpp"
+
+namespace sa {
+namespace {
+
+/// Free-space rig: one AP at the origin, one client 12 m east.
+struct StreamRig {
+  Rng rng{77};
+  Floorplan empty;
+  AccessPointConfig cfg;
+  AccessPoint ap;
+  ChannelSimulator sim;
+  RayTracer tracer;
+  std::vector<PropagationPath> paths;
+
+  StreamRig()
+      : cfg([] {
+          AccessPointConfig c;
+          c.position = {0.0, 0.0};
+          return c;
+        }()),
+        ap(cfg, rng),
+        sim([] {
+          ChannelConfig ch;
+          ch.noise_power = 1e-6;
+          return ch;
+        }()) {
+    paths = tracer.trace({12.0, 0.0}, {0.0, 0.0}, empty);
+  }
+
+  /// Channel samples for one frame preceded by `lead` noise samples.
+  CMat capture(std::size_t lead, std::uint16_t seq) {
+    const Frame f = Frame::data(MacAddress::from_index(1),
+                                MacAddress::from_index(2), Bytes{9, 9}, seq);
+    const CVec wave = PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
+    CMat rx = sim.propagate(wave, paths, ap.placement(), rng);
+    CMat padded(rx.rows(), lead + rx.cols());
+    for (std::size_t m = 0; m < rx.rows(); ++m) {
+      for (std::size_t t = 0; t < lead; ++t) {
+        padded(m, t) = rng.complex_normal(1e-6);
+      }
+      for (std::size_t t = 0; t < rx.cols(); ++t) {
+        padded(m, lead + t) = rx(m, t);
+      }
+    }
+    return padded;
+  }
+
+  static CMat columns(const CMat& src, std::size_t from, std::size_t to) {
+    CMat out(src.rows(), to - from);
+    for (std::size_t m = 0; m < src.rows(); ++m) {
+      for (std::size_t t = from; t < to; ++t) out(m, t - from) = src(m, t);
+    }
+    return out;
+  }
+};
+
+TEST(Streaming, PacketInsideOneChunk) {
+  StreamRig rig;
+  StreamingReceiver rx(rig.ap);
+  const CMat cap = rig.capture(500, 0);
+  const auto pkts = rx.push(cap);
+  ASSERT_EQ(pkts.size(), 1u);
+  // Within a couple of samples: the 12 m path itself delays the packet.
+  EXPECT_NEAR(static_cast<double>(pkts[0].absolute_start), 500.0, 2.0);
+  ASSERT_TRUE(pkts[0].packet.frame.has_value());
+  EXPECT_EQ(pkts[0].packet.frame->sequence, 0);
+}
+
+TEST(Streaming, PacketStraddlingChunks) {
+  StreamRig rig;
+  StreamingReceiver rx(rig.ap);
+  const CMat cap = rig.capture(700, 3);
+  // Split right through the packet body.
+  const std::size_t cut = 1100;
+  auto first = rx.push(StreamRig::columns(cap, 0, cut));
+  EXPECT_TRUE(first.empty());  // packet incomplete: deferred
+  auto second = rx.push(StreamRig::columns(cap, cut, cap.cols()));
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NEAR(static_cast<double>(second[0].absolute_start), 700.0, 2.0);
+  ASSERT_TRUE(second[0].packet.frame.has_value());
+  EXPECT_EQ(second[0].packet.frame->sequence, 3);
+}
+
+TEST(Streaming, NoDuplicateEmissionAcrossOverlap) {
+  StreamRig rig;
+  StreamingReceiver rx(rig.ap);
+  const CMat cap = rig.capture(400, 7);
+  auto first = rx.push(cap);
+  ASSERT_EQ(first.size(), 1u);
+  // Push pure noise afterwards; the retained overlap still contains the
+  // packet, but it must not be emitted again.
+  CMat noise(cap.rows(), 2000);
+  for (std::size_t m = 0; m < noise.rows(); ++m) {
+    for (std::size_t t = 0; t < noise.cols(); ++t) {
+      noise(m, t) = rig.rng.complex_normal(1e-6);
+    }
+  }
+  EXPECT_TRUE(rx.push(noise).empty());
+  EXPECT_TRUE(rx.push(noise).empty());
+}
+
+TEST(Streaming, MultiplePacketsAcrossManyChunks) {
+  StreamRig rig;
+  StreamingReceiver rx(rig.ap);
+  // Three packets separated by noise, streamed in 800-sample chunks
+  // (sub-packet chunks: every packet straddles boundaries).
+  std::vector<CMat> captures;
+  for (std::uint16_t s = 0; s < 3; ++s) captures.push_back(rig.capture(600, s));
+  CMat all(captures[0].rows(), 0);
+  {
+    std::size_t total = 0;
+    for (const auto& c : captures) total += c.cols();
+    all = CMat(captures[0].rows(), total);
+    std::size_t at = 0;
+    for (const auto& c : captures) {
+      for (std::size_t m = 0; m < c.rows(); ++m) {
+        for (std::size_t t = 0; t < c.cols(); ++t) all(m, at + t) = c(m, t);
+      }
+      at += c.cols();
+    }
+  }
+  std::vector<std::uint16_t> seqs;
+  for (std::size_t at = 0; at < all.cols(); at += 800) {
+    const std::size_t end = std::min(at + 800, all.cols());
+    for (const auto& p : rx.push(StreamRig::columns(all, at, end))) {
+      ASSERT_TRUE(p.packet.frame.has_value());
+      seqs.push_back(p.packet.frame->sequence);
+    }
+  }
+  for (const auto& p : rx.flush()) {
+    if (p.packet.frame) seqs.push_back(p.packet.frame->sequence);
+  }
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_EQ(seqs[0], 0);
+  EXPECT_EQ(seqs[1], 1);
+  EXPECT_EQ(seqs[2], 2);
+}
+
+TEST(Streaming, SignatureMatchesNonStreamingPipeline) {
+  StreamRig rig;
+  const CMat cap = rig.capture(300, 1);
+  // Reference: one-shot receive.
+  const auto direct = rig.ap.receive(cap);
+  ASSERT_EQ(direct.size(), 1u);
+  // Streamed in two halves.
+  StreamingReceiver rx(rig.ap);
+  rx.push(StreamRig::columns(cap, 0, 900));
+  const auto streamed = rx.push(StreamRig::columns(cap, 900, cap.cols()));
+  ASSERT_EQ(streamed.size(), 1u);
+  EXPECT_NEAR(streamed[0].packet.bearing_array_deg, direct[0].bearing_array_deg,
+              0.5);
+  EXPECT_GT(match_score(streamed[0].packet.signature, direct[0].signature),
+            0.99);
+}
+
+TEST(Streaming, SamplesSeenAdvances) {
+  StreamRig rig;
+  StreamingReceiver rx(rig.ap);
+  CMat noise(rig.ap.config().geometry.size(), 1000);
+  for (std::size_t m = 0; m < noise.rows(); ++m) {
+    for (std::size_t t = 0; t < noise.cols(); ++t) {
+      noise(m, t) = rig.rng.complex_normal(1e-6);
+    }
+  }
+  rx.push(noise);
+  rx.push(noise);
+  EXPECT_EQ(rx.samples_seen(), 2000u);
+}
+
+TEST(Streaming, RejectsWrongAntennaCount) {
+  StreamRig rig;
+  StreamingReceiver rx(rig.ap);
+  EXPECT_THROW(rx.push(CMat(3, 100)), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sa

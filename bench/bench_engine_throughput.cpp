@@ -1,0 +1,133 @@
+// DeploymentEngine throughput: frames/sec of the batched multi-threaded
+// frame-decision pipeline versus thread count and AoA backend, on the
+// Figure-4 office with a 4-AP deployment.
+//
+// The workload (channel-simulated uplink chunks) is generated once and
+// replayed against a fresh engine per configuration, so the numbers
+// isolate the receive pipeline itself: conditioning, detection, PHY
+// decode, covariance, AoA estimation, grouping, and the fence/spoof
+// decision — not the channel simulator.
+//
+// Usage: bench_engine_throughput [packets-per-client] [max-threads]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "sa/engine/deployment.hpp"
+
+using namespace sa;
+
+namespace {
+
+double run_once(DeploymentEngine& engine,
+                const std::vector<std::vector<CMat>>& rounds,
+                std::size_t* frames_out) {
+  std::size_t frames = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& round : rounds) {
+    frames += engine.ingest(round).size();
+  }
+  frames += engine.flush().size();
+  const auto t1 = std::chrono::steady_clock::now();
+  *frames_out = frames;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int packets = argc > 1 ? std::atoi(argv[1]) : 6;
+  const std::size_t max_threads =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+  const std::size_t num_aps = 4;
+
+  sa::bench::print_header(
+      "DeploymentEngine throughput: frames/sec vs threads and AoA backend",
+      "engine scaling on the Figure-4 office (4 APs)");
+
+  const auto tb = OfficeTestbed::figure4();
+
+  // One AP set per backend, drawn from identical RNG streams so chain
+  // impairments and calibration match across backends.
+  const AoaBackend backends[] = {AoaBackend::kMusic, AoaBackend::kCapon,
+                                 AoaBackend::kBartlett,
+                                 AoaBackend::kRootMusic};
+  std::vector<std::vector<std::unique_ptr<AccessPoint>>> ap_sets;
+  for (AoaBackend backend : backends) {
+    Rng rng(42);
+    std::vector<std::unique_ptr<AccessPoint>> aps;
+    for (const Vec2& spot : tb.ap_mounting_points(num_aps)) {
+      AccessPointConfig cfg;
+      cfg.position = spot;
+      cfg.estimator = backend;
+      aps.push_back(std::make_unique<AccessPoint>(cfg, rng));
+    }
+    ap_sets.push_back(std::move(aps));
+  }
+
+  // Pre-generate the workload once (placements are backend-independent).
+  std::printf("\ngenerating workload: %d packets x 8 ring clients...\n",
+              packets);
+  std::vector<std::vector<CMat>> rounds;
+  {
+    Rng rng(42);
+    UplinkConfig ucfg;
+    ucfg.channel.noise_power = sa::bench::kNoisePower;
+    UplinkSimulation sim(tb, ucfg, rng);
+    for (const auto& ap : ap_sets[0]) sim.add_ap(ap->placement());
+    std::uint16_t seq = 0;
+    const int ring_clients[] = {1, 2, 3, 4, 5, 8, 9, 10};
+    for (int p = 0; p < packets; ++p) {
+      for (int id : ring_clients) {
+        const Frame f = Frame::data(MacAddress::from_index(0xFF),
+                                    MacAddress::from_index(id), Bytes{1, 2, 3},
+                                    seq++);
+        const CVec w =
+            PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
+        rounds.push_back(sim.transmit(tb.client(id).position, w, nullptr));
+        sim.advance(0.25);
+      }
+    }
+  }
+
+  auto make_engine = [&](std::size_t set, std::size_t threads) {
+    EngineConfig ecfg;
+    ecfg.num_threads = threads;
+    ecfg.coordinator.fence_boundary = tb.building_outline();
+    ecfg.coordinator.min_aps_for_fence = 2;
+    std::vector<AccessPoint*> ptrs;
+    for (const auto& ap : ap_sets[set]) ptrs.push_back(ap.get());
+    return std::make_unique<DeploymentEngine>(ecfg, ptrs);
+  };
+
+  // ---- frames/sec vs thread count (MUSIC backend).
+  std::printf("\n%-10s %10s %12s %10s\n", "threads", "frames", "frames/sec",
+              "speedup");
+  double base_fps = 0.0;
+  for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+    auto engine = make_engine(0, threads);
+    std::size_t frames = 0;
+    const double secs = run_once(*engine, rounds, &frames);
+    const double fps = static_cast<double>(frames) / secs;
+    if (threads == 1) base_fps = fps;
+    std::printf("%-10zu %10zu %12.1f %9.2fx\n", threads, frames, fps,
+                fps / base_fps);
+  }
+  std::printf("(hardware concurrency: %u)\n",
+              std::thread::hardware_concurrency());
+
+  // ---- frames/sec vs AoA backend (4 threads).
+  const std::size_t backend_threads = std::min<std::size_t>(4, max_threads);
+  std::printf("\n%-12s %10s %12s\n", "estimator", "frames", "frames/sec");
+  for (std::size_t b = 0; b < ap_sets.size(); ++b) {
+    auto engine = make_engine(b, backend_threads);
+    std::size_t frames = 0;
+    const double secs = run_once(*engine, rounds, &frames);
+    std::printf("%-12s %10zu %12.1f\n", to_string(backends[b]), frames,
+                static_cast<double>(frames) / secs);
+  }
+  return 0;
+}

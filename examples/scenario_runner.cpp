@@ -1,34 +1,90 @@
-// Scenario runner: a small CLI over the full SecureAngle system. Builds
-// the Figure-4 office with a configurable multi-AP deployment, runs a
-// mixed workload (legitimate uplink traffic + MAC-spoofing attacker +
-// off-site transmitter), routes every frame through the Coordinator
-// (fence + spoof defenses), and prints a security report.
+// Scenario runner: a CLI over the full SecureAngle system. Builds the
+// Figure-4 office with a configurable multi-AP deployment, runs a mixed
+// workload (legitimate uplink traffic + MAC-spoofing attacker + off-site
+// transmitter), streams every AP's samples through the DeploymentEngine
+// (fence + spoof defenses, batched across a thread pool), and prints a
+// security report.
 //
-// Usage: scenario_runner [seed] [packets-per-client] [num-aps(1-4)]
-// e.g.:  ./build/examples/scenario_runner 7 12 3
+// Usage: scenario_runner [options] [seed [packets [num-aps]]]
+//   --seed N          RNG seed                       (default 7)
+//   --packets N       frames per client per phase    (default 10)
+//   --aps N           access points, any count >= 1  (default 3)
+//   --threads N       engine worker threads, 0=auto  (default 1)
+//   --estimator NAME  music|capon|bartlett|root-music (default music)
+// e.g.:  ./build/examples/scenario_runner --aps 6 --threads 4 --estimator capon
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
 
 #include "sa/common/rng.hpp"
+#include "sa/engine/deployment.hpp"
 #include "sa/mac/frame.hpp"
 #include "sa/phy/packet.hpp"
-#include "sa/secure/coordinator.hpp"
 #include "sa/testbed/office.hpp"
 #include "sa/testbed/uplink.hpp"
 
 using namespace sa;
 
+namespace {
+
+[[noreturn]] void print_usage(std::FILE* to, const char* argv0, int status) {
+  std::fprintf(to,
+               "usage: %s [--seed N] [--packets N] [--aps N] [--threads N]\n"
+               "          [--estimator music|capon|bartlett|root-music]\n"
+               "          [seed [packets [num-aps]]]\n",
+               argv0);
+  std::exit(status);
+}
+
+[[noreturn]] void usage(const char* argv0) {
+  print_usage(stderr, argv0, 2);
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
-  const int packets = argc > 2 ? std::atoi(argv[2]) : 10;
-  const std::size_t num_aps =
-      argc > 3 ? std::min(std::strtoul(argv[3], nullptr, 10), 4ul) : 3;
-  if (packets < 1 || num_aps < 1) {
-    std::fprintf(stderr, "usage: %s [seed] [packets>=1] [num-aps 1-4]\n",
-                 argv[0]);
-    return 2;
+  std::uint64_t seed = 7;
+  int packets = 10;
+  std::size_t num_aps = 3;
+  std::size_t threads = 1;
+  AoaBackend estimator = AoaBackend::kMusic;
+
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--packets") {
+      packets = std::atoi(value());
+    } else if (arg == "--aps") {
+      num_aps = std::strtoul(value(), nullptr, 10);
+    } else if (arg == "--threads") {
+      threads = std::strtoul(value(), nullptr, 10);
+    } else if (arg == "--estimator") {
+      const auto parsed = aoa_backend_from_string(value());
+      if (!parsed) usage(argv[0]);
+      estimator = *parsed;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0], 0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(argv[0]);
+    } else {
+      // Legacy positional form: seed packets num-aps.
+      switch (positional++) {
+        case 0: seed = std::strtoull(arg.c_str(), nullptr, 10); break;
+        case 1: packets = std::atoi(arg.c_str()); break;
+        case 2: num_aps = std::strtoul(arg.c_str(), nullptr, 10); break;
+        default: usage(argv[0]);
+      }
+    }
   }
+  if (packets < 1 || num_aps < 1) usage(argv[0]);
 
   const auto tb = OfficeTestbed::figure4();
   Rng rng(seed);
@@ -37,50 +93,57 @@ int main(int argc, char** argv) {
   UplinkSimulation sim(tb, ucfg, rng);
 
   std::vector<std::unique_ptr<AccessPoint>> aps;
-  // Order mounts by coverage quality: the NW/NE points see most of the
-  // office; the SW mount sits behind the pillar for several clients.
-  std::vector<Vec2> spots{tb.ap_position(), tb.extra_ap_positions()[2],
-                          tb.extra_ap_positions()[1],
-                          tb.extra_ap_positions()[0]};
-  for (std::size_t i = 0; i < num_aps; ++i) {
+  std::vector<AccessPoint*> ap_ptrs;
+  for (const Vec2& spot : tb.ap_mounting_points(num_aps)) {
     AccessPointConfig cfg;
-    cfg.position = spots[i];
+    cfg.position = spot;
+    cfg.estimator = estimator;
     aps.push_back(std::make_unique<AccessPoint>(cfg, rng));
+    ap_ptrs.push_back(aps.back().get());
     sim.add_ap(aps.back()->placement());
   }
-  std::printf("deployment: %zu AP(s), seed %llu, %d packets/client\n",
-              num_aps, static_cast<unsigned long long>(seed), packets);
 
-  CoordinatorConfig ccfg;
-  ccfg.fence_boundary = tb.building_outline();
-  ccfg.min_aps_for_fence = 2;
-  Coordinator coord(ccfg);
+  EngineConfig ecfg;
+  ecfg.num_threads = threads;
+  ecfg.coordinator.fence_boundary = tb.building_outline();
+  ecfg.coordinator.min_aps_for_fence = 2;
+  DeploymentEngine engine(ecfg, ap_ptrs);
+
+  std::printf(
+      "deployment: %zu AP(s), %zu engine thread(s), estimator %s, seed %llu, "
+      "%d packets/client\n",
+      num_aps, engine.num_threads(), to_string(estimator),
+      static_cast<unsigned long long>(seed), packets);
 
   std::uint16_t seq = 0;
-  auto send = [&](Vec2 from, MacAddress mac, const TxPattern* pat)
-      -> std::vector<ApObservation> {
+  auto send = [&](Vec2 from, MacAddress mac,
+                  const TxPattern* pat) -> std::vector<EngineDecision> {
     const Frame f =
         Frame::data(MacAddress::from_index(0xFF), mac, Bytes{1, 2, 3}, seq++);
     const CVec w = PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
-    const auto rx = sim.transmit(from, w, pat);
-    std::vector<ApObservation> obs;
-    for (std::size_t i = 0; i < aps.size(); ++i) {
-      for (auto& pkt : aps[i]->receive(rx[i])) {
-        obs.push_back({aps[i]->config().position, std::move(pkt)});
-      }
-    }
+    auto decisions = engine.ingest(sim.transmit(from, w, pat));
     sim.advance(0.25);
-    return obs;
+    return decisions;
+  };
+  auto drain = [&](std::vector<EngineDecision>& into) {
+    for (auto& d : engine.flush()) into.push_back(std::move(d));
   };
 
   // Phase 1: every client associates and sends `packets` frames.
   int accepted = 0, dropped = 0;
-  for (int p = 0; p < packets; ++p) {
-    for (const auto& c : tb.clients()) {
-      const auto obs = send(c.position, MacAddress::from_index(c.id), nullptr);
-      if (obs.empty()) continue;
-      const auto d = coord.process(obs);
-      (d.action == FrameAction::kAccept ? accepted : dropped)++;
+  {
+    std::vector<EngineDecision> ds;
+    for (int p = 0; p < packets; ++p) {
+      for (const auto& c : tb.clients()) {
+        for (auto& d :
+             send(c.position, MacAddress::from_index(c.id), nullptr)) {
+          ds.push_back(std::move(d));
+        }
+      }
+    }
+    drain(ds);
+    for (const auto& d : ds) {
+      (d.decision.action == FrameAction::kAccept ? accepted : dropped)++;
     }
   }
   std::printf("\nphase 1 — legitimate traffic: %d accepted, %d dropped "
@@ -90,37 +153,54 @@ int main(int argc, char** argv) {
 
   // Phase 2: an insider spoofs client 2's MAC from the far office.
   int spoof_caught = 0, spoof_missed = 0;
-  for (int p = 0; p < packets; ++p) {
-    const auto obs =
-        send(tb.client(17).position, MacAddress::from_index(2), nullptr);
-    if (obs.empty()) continue;
-    const auto d = coord.process(obs);
-    (d.action == FrameAction::kDropSpoof ? spoof_caught : spoof_missed)++;
+  {
+    std::vector<EngineDecision> ds;
+    for (int p = 0; p < packets; ++p) {
+      for (auto& d :
+           send(tb.client(17).position, MacAddress::from_index(2), nullptr)) {
+        ds.push_back(std::move(d));
+      }
+    }
+    drain(ds);
+    for (const auto& d : ds) {
+      (d.decision.action == FrameAction::kDropSpoof ? spoof_caught
+                                                    : spoof_missed)++;
+    }
   }
   std::printf("phase 2 — MAC spoofing insider: %d/%d forged frames dropped\n",
               spoof_caught, spoof_caught + spoof_missed);
 
-  // Phase 3: off-site transmitter with a power amp.
+  // Phase 3: off-site transmitter with a power amp. Fail-closed fence:
+  // frames heard by too few APs to localize are dropped rather than
+  // waved through.
   TxPattern amp;
   amp.tx_power_db = 15.0;
   int fence_drops = 0, outdoor_frames = 0;
-  for (int p = 0; p < packets; ++p) {
-    const auto obs =
-        send(tb.outdoor_positions()[0], MacAddress::from_index(200), &amp);
-    if (obs.empty()) continue;  // not even heard: no access anyway
-    ++outdoor_frames;
-    // Fail-closed fence: frames heard by too few APs to localize are
-    // dropped rather than waved through.
-    const auto d = coord.process(obs);
-    if (d.action != FrameAction::kAccept) ++fence_drops;
+  {
+    std::vector<EngineDecision> ds;
+    for (int p = 0; p < packets; ++p) {
+      for (auto& d : send(tb.outdoor_positions()[0],
+                          MacAddress::from_index(200), &amp)) {
+        ds.push_back(std::move(d));
+      }
+    }
+    drain(ds);
+    for (const auto& d : ds) {
+      ++outdoor_frames;
+      if (d.decision.action != FrameAction::kAccept) ++fence_drops;
+    }
   }
   std::printf("phase 3 — off-site transmitter: %d/%d frames denied\n",
               fence_drops, outdoor_frames);
 
-  const auto& st = coord.stats();
+  const auto& st = engine.stats();
+  const auto sp = engine.spoof_detector().stats();
   std::printf("\ncoordinator totals: %zu frames | %zu accepted | %zu fence "
               "drops | %zu spoof drops | %zu undecodable\n",
               st.frames, st.accepted, st.dropped_fence, st.dropped_spoof,
               st.dropped_undecodable);
+  std::printf("spoof trackers: %zu MAC(s) across %zu shard(s), %zu alarms\n",
+              sp.tracked_macs, engine.spoof_detector().num_shards(),
+              sp.alarms);
   return 0;
 }

@@ -1,0 +1,58 @@
+// Pluggable AoA estimation: one interface over the spectral estimators so
+// the receive pipeline (AccessPoint, DeploymentEngine) can swap backends
+// without touching the per-packet plumbing.
+//
+// Every backend produces a MusicResult whose Pseudospectrum drives the
+// downstream signature/tracking machinery:
+//   * kMusic      — the paper's estimator (grid-scan MUSIC), byte-identical
+//                   to calling MusicEstimator directly;
+//   * kCapon      — MVDR beamformer spectrum (classic baseline);
+//   * kBartlett   — conventional beamformer spectrum;
+//   * kRootMusic  — grid MUSIC spectrum plus the search-free polynomial
+//                   bearings in MusicResult::source_bearings_deg (linear
+//                   arrays only; other geometries degrade to plain MUSIC).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "sa/aoa/estimators.hpp"
+
+namespace sa {
+
+enum class AoaBackend { kMusic, kCapon, kBartlett, kRootMusic };
+
+/// Stable lower-case names ("music", "capon", "bartlett", "root-music")
+/// for CLI flags and reports.
+const char* to_string(AoaBackend backend);
+std::optional<AoaBackend> aoa_backend_from_string(std::string_view name);
+
+struct AoaEstimatorConfig {
+  /// Scan/grid/source-count settings; also drives the root-MUSIC backend's
+  /// source count and forward-backward averaging.
+  MusicConfig music;
+  /// Diagonal loading of the Capon backend.
+  double capon_loading = 1e-3;
+};
+
+/// Interface every AoA backend implements. Implementations are immutable
+/// after construction and safe to call concurrently from multiple threads.
+class AoaEstimator {
+ public:
+  virtual ~AoaEstimator() = default;
+
+  /// Spectral estimate of `covariance` for `geom` at wavelength `lambda_m`.
+  virtual MusicResult estimate(const CMat& covariance,
+                               const ArrayGeometry& geom,
+                               double lambda_m) const = 0;
+
+  virtual AoaBackend backend() const = 0;
+  const char* name() const { return to_string(backend()); }
+};
+
+/// Factory for the built-in backends.
+std::unique_ptr<AoaEstimator> make_aoa_estimator(
+    AoaBackend backend, const AoaEstimatorConfig& config = {});
+
+}  // namespace sa

@@ -44,6 +44,10 @@ struct MusicResult {
   Pseudospectrum spectrum;
   std::vector<double> eigenvalues;  ///< ascending, of the processed matrix
   std::size_t num_sources = 0;      ///< used for the noise-subspace split
+  /// Discrete search-free bearing estimates, best first. Filled only by
+  /// the root-MUSIC AoaEstimator backend on linear arrays; empty for the
+  /// grid-scan backends.
+  std::vector<double> source_bearings_deg{};
 };
 
 class MusicEstimator {

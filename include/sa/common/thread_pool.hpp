@@ -1,0 +1,69 @@
+// Fixed-size thread pool with a bounded work queue — the execution
+// substrate of the deployment engine. Deliberately small: submit-only
+// (no work stealing, no resizing), blocking when the queue is full so a
+// fast producer cannot queue unbounded per-frame work.
+//
+// Tasks must not submit further tasks to the same pool and then block on
+// their results from inside a worker: with every worker waiting, nothing
+// would drain the queue. The engine only ever submits from its caller
+// thread, so this cannot arise there.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sa {
+
+class ThreadPool {
+ public:
+  /// `num_threads` workers (>= 1) and a queue bounded at
+  /// `queue_capacity` pending tasks (>= 1).
+  explicit ThreadPool(std::size_t num_threads,
+                      std::size_t queue_capacity = 256);
+
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+  std::size_t queue_capacity() const { return capacity_; }
+
+  /// Enqueue a task; blocks while the queue is full.
+  void submit(std::function<void()> task);
+
+  /// Enqueue a value-returning task; exceptions propagate through the
+  /// future.
+  template <typename F>
+  auto async(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // shared_ptr because std::function requires copyable callables.
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    submit([task] { (*task)(); });
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sa

@@ -1,0 +1,105 @@
+// The deployment engine: the production-scale frame-decision pipeline.
+//
+// A SecureAngle deployment receives continuous per-AP sample streams and
+// must turn them into one ordered stream of frame decisions. The engine
+// does what the single-threaded AccessPoint -> Coordinator chain does,
+// but batched and parallel:
+//
+//   per-AP sample chunks
+//     -> StreamingReceiver::scan        (parallel across APs)
+//     -> AccessPoint::demodulate        (parallel across every candidate
+//                                        frame of every AP — the hot path:
+//                                        PHY decode + covariance + AoA)
+//     -> StreamingReceiver::commit      (sequential per AP, cheap)
+//     -> cross-AP grouping by start sample
+//     -> spoof observe                  (parallel across MAC shards,
+//                                        sequential within a shard)
+//     -> Coordinator::process_prejudged (sequential, re-sequenced)
+//
+// Determinism: the emitted FrameDecision sequence is identical at any
+// thread count — and identical to feeding the same chunk streams through
+// serial StreamingReceivers, the same grouping, and Coordinator::process.
+// Work is scheduled in a fixed order, results are joined in that order,
+// and per-MAC tracker state always advances in global frame order because
+// a MAC's frames all live on one shard.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sa/common/thread_pool.hpp"
+#include "sa/engine/sharded_spoof.hpp"
+#include "sa/secure/coordinator.hpp"
+#include "sa/secure/streaming.hpp"
+
+namespace sa {
+
+struct EngineConfig {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  std::size_t num_threads = 1;
+  /// MAC-hash shards for per-client tracker state.
+  std::size_t num_shards = 8;
+  /// Bound of the pool's pending-task queue.
+  std::size_t queue_capacity = 256;
+  /// Detections across APs within this many samples of each other are
+  /// fused as one frame (propagation plus detection jitter; a WARP
+  /// buffer is 8000 samples).
+  std::size_t group_slack_samples = 1600;
+  StreamingConfig streaming;
+  CoordinatorConfig coordinator;
+};
+
+/// One cross-AP view of one frame, ready for the coordinator.
+struct FrameGroup {
+  std::size_t absolute_start = 0;  ///< earliest detection across APs
+  std::vector<ApObservation> observations;
+};
+
+/// Fuse per-AP stream packets into frame groups: packets whose absolute
+/// start samples lie within `slack_samples` of a group's first packet are
+/// the same transmission heard by different APs. Deterministic: groups
+/// are ordered by (start sample, AP index).
+std::vector<FrameGroup> group_frame_observations(
+    std::vector<std::vector<StreamingReceiver::StreamPacket>> per_ap_packets,
+    const std::vector<Vec2>& ap_positions, std::size_t slack_samples);
+
+/// One decision in the engine's re-sequenced output stream.
+struct EngineDecision {
+  std::size_t sequence = 0;        ///< global frame index, monotonically increasing
+  std::size_t absolute_start = 0;  ///< earliest detection sample across APs
+  FrameDecision decision;
+};
+
+class DeploymentEngine {
+ public:
+  /// `aps` are borrowed (not owned) and must outlive the engine; one
+  /// sample stream is expected per AP, in the same order.
+  DeploymentEngine(EngineConfig config, std::vector<AccessPoint*> aps);
+
+  /// Feed the next time-aligned chunk of every AP's stream (chunks[i]
+  /// belongs to aps[i]). Returns the decisions completed by this batch,
+  /// in stream order.
+  std::vector<EngineDecision> ingest(const std::vector<CMat>& chunks);
+
+  /// End of capture: process deferred detections and emit what remains.
+  std::vector<EngineDecision> flush();
+
+  std::size_t num_aps() const { return aps_.size(); }
+  std::size_t num_threads() const { return pool_.size(); }
+  const EngineConfig& config() const { return config_; }
+  const Coordinator::Stats& stats() const { return coordinator_.stats(); }
+  const ShardedSpoofDetector& spoof_detector() const { return spoof_; }
+
+ private:
+  std::vector<EngineDecision> round(const std::vector<CMat>* chunks);
+
+  EngineConfig config_;
+  std::vector<AccessPoint*> aps_;
+  std::vector<std::unique_ptr<StreamingReceiver>> streams_;
+  ThreadPool pool_;
+  ShardedSpoofDetector spoof_;
+  Coordinator coordinator_;
+  std::size_t sequence_ = 0;
+};
+
+}  // namespace sa

@@ -1,0 +1,48 @@
+// Per-MAC tracker state sharded by MAC hash. Each shard owns an
+// independent SpoofDetector behind its own mutex, so trackers for
+// different clients can be updated concurrently while every individual
+// client's signature history still evolves strictly in frame order
+// (a MAC always maps to the same shard).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sa/secure/spoofdetector.hpp"
+
+namespace sa {
+
+class ShardedSpoofDetector {
+ public:
+  explicit ShardedSpoofDetector(TrackerConfig tracker_config,
+                                std::size_t num_shards = 8);
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t shard_of(const MacAddress& source) const;
+
+  /// Feed one (MAC, signature) pair; locks only the owning shard.
+  SpoofObservation observe(const MacAddress& source,
+                           const AoaSignature& signature);
+
+  /// Tracker for a MAC, if it has been seen. The pointer is stable (node
+  /// based map) but reading it concurrently with observe() on the same
+  /// MAC is the caller's race to avoid.
+  const SignatureTracker* tracker(const MacAddress& source) const;
+
+  /// Forget a MAC entirely (e.g. after deauthentication).
+  void forget(const MacAddress& source);
+
+  /// Aggregate statistics over every shard.
+  SpoofDetectorStats stats() const;
+
+ private:
+  struct Shard {
+    explicit Shard(const TrackerConfig& cfg) : detector(cfg) {}
+    mutable std::mutex mu;
+    SpoofDetector detector;
+  };
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace sa

@@ -11,9 +11,11 @@
 // Applications (virtual fence, spoof detection) consume ReceivedPacket.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "sa/aoa/estimator.hpp"
 #include "sa/aoa/estimators.hpp"
 #include "sa/array/calibration.hpp"
 #include "sa/array/geometry.hpp"
@@ -32,7 +34,13 @@ struct AccessPointConfig {
   double orientation_deg = 0.0;
   double carrier_hz = 2.4e9;
   double sample_rate_hz = 20e6;
+  /// Which AoA estimator the receive pipeline runs per packet. kMusic is
+  /// the paper's pipeline and the default; see sa/aoa/estimator.hpp for
+  /// the alternatives.
+  AoaBackend estimator = AoaBackend::kMusic;
   MusicConfig music;
+  /// Diagonal loading when `estimator` is kCapon.
+  double capon_loading = 1e-3;
   SignatureConfig signature;
   DetectorConfig detector;
   CalibratorConfig calibrator;
@@ -69,8 +77,23 @@ class AccessPoint {
 
   /// Process a block of *channel-ideal* per-antenna samples (rows =
   /// antennas): the AP first applies its own chain impairments, then its
-  /// calibration table, then detection/decoding/AoA.
+  /// calibration table, then detection/decoding/AoA. Equivalent to
+  /// condition() + detect() + demodulate() per detection.
   std::vector<ReceivedPacket> receive(const CMat& channel_samples);
+
+  // The receive pipeline split into its three phases so callers (the
+  // streaming receiver, the deployment engine) can schedule the per-frame
+  // work themselves. All three are const and safe to call concurrently.
+
+  /// Impairments + (optional) calibration applied to a copy.
+  CMat condition(const CMat& channel_samples) const;
+  /// Schmidl-Cox detection on the reference antenna (chain 0) of an
+  /// already-conditioned buffer.
+  std::vector<PacketDetection> detect(const CMat& conditioned) const;
+  /// Decode + covariance + AoA for one detection inside a conditioned
+  /// buffer. nullopt when the capture is truncated too hard to process.
+  std::optional<ReceivedPacket> demodulate(const CMat& conditioned,
+                                           const PacketDetection& det) const;
 
   /// AoA-only path: covariance + MUSIC + signature over a sample block
   /// already known to span one packet (no detection/decode).
@@ -81,6 +104,7 @@ class AccessPoint {
   ArrayPlacement placement() const;
 
   const AccessPointConfig& config() const { return config_; }
+  const AoaEstimator& estimator() const { return *estimator_; }
   const ArrayImpairments& impairments() const { return impairments_; }
   const CalibrationTable& calibration() const { return calibration_; }
   double wavelength_m() const;
@@ -89,14 +113,11 @@ class AccessPoint {
   std::vector<double> to_world_bearings(double array_bearing_deg) const;
 
  private:
-  /// Impairments + (optional) calibration applied to a copy.
-  CMat condition(const CMat& channel_samples) const;
-
   AccessPointConfig config_;
   ArrayImpairments impairments_;
   CalibrationTable calibration_;
   SchmidlCoxDetector detector_;
-  MusicEstimator music_;
+  std::unique_ptr<AoaEstimator> estimator_;
   PacketReceiver phy_rx_;
 };
 

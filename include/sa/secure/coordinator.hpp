@@ -57,6 +57,20 @@ class Coordinator {
   /// Precondition: every observation refers to the same transmission.
   FrameDecision process(const std::vector<ApObservation>& observations);
 
+  /// The deployment engine's entry point: identical decision logic and
+  /// statistics, but the spoof observation (present iff the frame was
+  /// decodable) was computed by the caller against its own MAC-sharded
+  /// tracker state instead of this coordinator's detector.
+  FrameDecision process_prejudged(
+      const std::vector<ApObservation>& observations,
+      const std::optional<SpoofObservation>& spoof);
+
+  /// The observation whose detection is strongest — the copy whose PHY
+  /// decode and signature are the most trustworthy. The frame content
+  /// and the spoof check both come from it.
+  static const ApObservation& best_observation(
+      const std::vector<ApObservation>& observations);
+
   struct Stats {
     std::size_t frames = 0;
     std::size_t accepted = 0;
@@ -68,6 +82,12 @@ class Coordinator {
   const SpoofDetector& spoof_detector() const { return spoof_; }
 
  private:
+  /// Everything after the spoof observation: undecodable/spoof/fence
+  /// verdicts plus statistics, shared by both process paths.
+  FrameDecision decide(const std::vector<ApObservation>& observations,
+                       const ApObservation& best,
+                       const std::optional<SpoofObservation>& spoof);
+
   CoordinatorConfig config_;
   std::optional<VirtualFence> fence_;
   SpoofDetector spoof_;

@@ -6,6 +6,8 @@
 // once.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "sa/secure/accesspoint.hpp"
@@ -29,6 +31,8 @@ struct StreamingConfig {
 
 class StreamingReceiver {
  public:
+  /// Throws InvalidArgument when `config` violates its invariants
+  /// (notably max_packet_samples < history_samples).
   StreamingReceiver(AccessPoint& ap, StreamingConfig config = {});
 
   /// Feed the next contiguous chunk (rows = antennas). Returns packets
@@ -43,11 +47,42 @@ class StreamingReceiver {
   /// emitted now even if possibly truncated.
   std::vector<StreamPacket> flush();
 
+  // --- Two-phase variant, for callers that schedule the per-frame work
+  // themselves (the deployment engine fans candidates across a thread
+  // pool). push(chunk) == scan(&chunk) + demodulate each candidate +
+  // commit(..., false); flush() == the same with nullptr/true.
+
+  /// One not-yet-emitted detection in the current buffer.
+  struct Candidate {
+    std::size_t absolute_start = 0;
+    PacketDetection detection;
+  };
+  /// The conditioned buffer plus the candidates found in it. `conditioned`
+  /// is shared so workers can process candidates concurrently; it is null
+  /// when too few samples are buffered to scan.
+  struct Scan {
+    std::shared_ptr<const CMat> conditioned;
+    std::vector<Candidate> candidates;
+  };
+
+  /// Phase 1: append `chunk` (nullptr appends nothing — the flush path),
+  /// condition the buffer, run detection, and list the candidates.
+  Scan scan(const CMat* chunk);
+  /// Phase 2: `processed[i]` must be
+  /// ap().demodulate(*scan.conditioned, scan.candidates[i].detection).
+  /// Applies the emit/defer state machine in candidate order and advances
+  /// the buffer (trims history; on final_pass, resets it).
+  std::vector<StreamPacket> commit(
+      const Scan& scan, std::vector<std::optional<ReceivedPacket>> processed,
+      bool final_pass);
+
+  const AccessPoint& ap() const { return ap_; }
+  const StreamingConfig& config() const { return config_; }
+
   /// Total samples consumed so far.
   std::size_t samples_seen() const { return base_ + buffered_cols_; }
 
  private:
-  std::vector<StreamPacket> run(bool final_pass);
   void trim();
 
   AccessPoint& ap_;

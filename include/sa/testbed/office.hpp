@@ -52,6 +52,12 @@ class OfficeTestbed {
   /// Additional AP mounting points (multi-AP localization / fence).
   const std::vector<Vec2>& extra_ap_positions() const { return extra_aps_; }
 
+  /// `n` AP mounting positions for dense deployments, best coverage
+  /// first: the four surveyed spots (main AP, then the NW/NE/SW extra
+  /// mounts in coverage order), then deterministic positions along an
+  /// inset ring of the building outline.
+  std::vector<Vec2> ap_mounting_points(std::size_t n) const;
+
   /// Off-site positions for the fence/attacker experiments (outside the
   /// building: parking lot, street).
   const std::vector<Vec2>& outdoor_positions() const { return outdoor_; }

@@ -1,0 +1,132 @@
+#include "sa/aoa/estimator.hpp"
+
+#include "sa/aoa/rootmusic.hpp"
+#include "sa/common/error.hpp"
+#include "sa/common/logging.hpp"
+
+namespace sa {
+
+const char* to_string(AoaBackend backend) {
+  switch (backend) {
+    case AoaBackend::kMusic:
+      return "music";
+    case AoaBackend::kCapon:
+      return "capon";
+    case AoaBackend::kBartlett:
+      return "bartlett";
+    case AoaBackend::kRootMusic:
+      return "root-music";
+  }
+  return "unknown";
+}
+
+std::optional<AoaBackend> aoa_backend_from_string(std::string_view name) {
+  if (name == "music") return AoaBackend::kMusic;
+  if (name == "capon" || name == "mvdr") return AoaBackend::kCapon;
+  if (name == "bartlett") return AoaBackend::kBartlett;
+  if (name == "root-music" || name == "rootmusic") return AoaBackend::kRootMusic;
+  return std::nullopt;
+}
+
+namespace {
+
+/// The paper's estimator: a thin adapter so interface results are
+/// byte-identical to calling MusicEstimator directly.
+class MusicBackend : public AoaEstimator {
+ public:
+  explicit MusicBackend(const AoaEstimatorConfig& cfg) : music_(cfg.music) {}
+
+  MusicResult estimate(const CMat& covariance, const ArrayGeometry& geom,
+                       double lambda_m) const override {
+    return music_.estimate(covariance, geom, lambda_m);
+  }
+  AoaBackend backend() const override { return AoaBackend::kMusic; }
+
+ private:
+  MusicEstimator music_;
+};
+
+class CaponBackend : public AoaEstimator {
+ public:
+  explicit CaponBackend(const AoaEstimatorConfig& cfg)
+      : step_deg_(cfg.music.scan_step_deg), loading_(cfg.capon_loading) {}
+
+  MusicResult estimate(const CMat& covariance, const ArrayGeometry& geom,
+                       double lambda_m) const override {
+    MusicResult out;
+    out.spectrum =
+        capon_spectrum(covariance, geom, lambda_m, step_deg_, loading_);
+    return out;
+  }
+  AoaBackend backend() const override { return AoaBackend::kCapon; }
+
+ private:
+  double step_deg_;
+  double loading_;
+};
+
+class BartlettBackend : public AoaEstimator {
+ public:
+  explicit BartlettBackend(const AoaEstimatorConfig& cfg)
+      : step_deg_(cfg.music.scan_step_deg) {}
+
+  MusicResult estimate(const CMat& covariance, const ArrayGeometry& geom,
+                       double lambda_m) const override {
+    MusicResult out;
+    out.spectrum = bartlett_spectrum(covariance, geom, lambda_m, step_deg_);
+    return out;
+  }
+  AoaBackend backend() const override { return AoaBackend::kBartlett; }
+
+ private:
+  double step_deg_;
+};
+
+/// Grid MUSIC for the spectrum (signatures and tracking keep working),
+/// plus the search-free polynomial bearings on linear arrays. Non-linear
+/// geometries have no root-MUSIC formulation; they degrade to plain MUSIC.
+class RootMusicBackend : public AoaEstimator {
+ public:
+  explicit RootMusicBackend(const AoaEstimatorConfig& cfg)
+      : music_(cfg.music), root_([&] {
+          RootMusicConfig rc;
+          rc.num_sources = cfg.music.num_sources.value_or(0);
+          rc.forward_backward = cfg.music.forward_backward;
+          return rc;
+        }()) {}
+
+  MusicResult estimate(const CMat& covariance, const ArrayGeometry& geom,
+                       double lambda_m) const override {
+    MusicResult out = music_.estimate(covariance, geom, lambda_m);
+    if (geom.kind() == ArrayKind::kLinear) {
+      for (const auto& src : root_music(covariance, geom, lambda_m, root_)) {
+        out.source_bearings_deg.push_back(src.bearing_deg);
+      }
+    }
+    return out;
+  }
+  AoaBackend backend() const override { return AoaBackend::kRootMusic; }
+
+ private:
+  MusicEstimator music_;
+  RootMusicConfig root_;
+};
+
+}  // namespace
+
+std::unique_ptr<AoaEstimator> make_aoa_estimator(
+    AoaBackend backend, const AoaEstimatorConfig& config) {
+  switch (backend) {
+    case AoaBackend::kMusic:
+      return std::make_unique<MusicBackend>(config);
+    case AoaBackend::kCapon:
+      return std::make_unique<CaponBackend>(config);
+    case AoaBackend::kBartlett:
+      return std::make_unique<BartlettBackend>(config);
+    case AoaBackend::kRootMusic:
+      return std::make_unique<RootMusicBackend>(config);
+  }
+  throw InvalidArgument("make_aoa_estimator: unknown backend");
+}
+
+}  // namespace sa

@@ -1,0 +1,66 @@
+#include "sa/common/thread_pool.hpp"
+
+#include "sa/common/error.hpp"
+#include "sa/common/logging.hpp"
+
+namespace sa {
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
+  SA_EXPECTS(num_threads >= 1);
+  SA_EXPECTS(queue_capacity >= 1);
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  SA_EXPECTS(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return queue_.size() < capacity_ || stopping_; });
+    if (stopping_) {
+      throw StateError("ThreadPool::submit on a stopping pool");
+    }
+    queue_.push_back(std::move(task));
+  }
+  not_empty_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    // A future-wrapped task (async) stores its exception; a raw submit()
+    // task has no channel to report one, and letting it escape the worker
+    // would std::terminate the process.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      log_error() << "ThreadPool task threw: " << e.what();
+    } catch (...) {
+      log_error() << "ThreadPool task threw a non-exception";
+    }
+  }
+}
+
+}  // namespace sa

@@ -1,0 +1,172 @@
+#include "sa/engine/deployment.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+std::vector<FrameGroup> group_frame_observations(
+    std::vector<std::vector<StreamingReceiver::StreamPacket>> per_ap_packets,
+    const std::vector<Vec2>& ap_positions, std::size_t slack_samples) {
+  SA_EXPECTS(per_ap_packets.size() == ap_positions.size());
+
+  struct Entry {
+    std::size_t start;
+    std::size_t ap_index;
+    ReceivedPacket packet;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t i = 0; i < per_ap_packets.size(); ++i) {
+    for (auto& sp : per_ap_packets[i]) {
+      entries.push_back({sp.absolute_start, i, std::move(sp.packet)});
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.start != b.start ? a.start < b.start : a.ap_index < b.ap_index;
+  });
+
+  std::vector<FrameGroup> groups;
+  for (auto& e : entries) {
+    if (groups.empty() ||
+        e.start > groups.back().absolute_start + slack_samples) {
+      groups.push_back({e.start, {}});
+    }
+    groups.back().observations.push_back(
+        {ap_positions[e.ap_index], std::move(e.packet)});
+  }
+  return groups;
+}
+
+DeploymentEngine::DeploymentEngine(EngineConfig config,
+                                   std::vector<AccessPoint*> aps)
+    : config_(std::move(config)),
+      aps_(std::move(aps)),
+      pool_(resolve_threads(config_.num_threads), config_.queue_capacity),
+      spoof_(config_.coordinator.tracker, config_.num_shards),
+      coordinator_(config_.coordinator) {
+  SA_EXPECTS(!aps_.empty());
+  streams_.reserve(aps_.size());
+  for (AccessPoint* ap : aps_) {
+    SA_EXPECTS(ap != nullptr);
+    streams_.push_back(
+        std::make_unique<StreamingReceiver>(*ap, config_.streaming));
+  }
+}
+
+std::vector<EngineDecision> DeploymentEngine::ingest(
+    const std::vector<CMat>& chunks) {
+  SA_EXPECTS(chunks.size() == aps_.size());
+  return round(&chunks);
+}
+
+std::vector<EngineDecision> DeploymentEngine::flush() { return round(nullptr); }
+
+std::vector<EngineDecision> DeploymentEngine::round(
+    const std::vector<CMat>* chunks) {
+  const bool final_pass = chunks == nullptr;
+  const std::size_t n_aps = aps_.size();
+
+  // ---- Phase 1: append + condition + detect, parallel across APs (each
+  // stream is touched by exactly one task).
+  std::vector<StreamingReceiver::Scan> scans(n_aps);
+  {
+    std::vector<std::future<StreamingReceiver::Scan>> futures;
+    futures.reserve(n_aps);
+    for (std::size_t i = 0; i < n_aps; ++i) {
+      futures.push_back(pool_.async([this, i, chunks] {
+        return streams_[i]->scan(chunks ? &(*chunks)[i] : nullptr);
+      }));
+    }
+    for (std::size_t i = 0; i < n_aps; ++i) scans[i] = futures[i].get();
+  }
+
+  // ---- Phase 2: the hot path — PHY decode + covariance + AoA for every
+  // candidate frame of every AP, fanned flat across the pool.
+  std::vector<std::vector<std::optional<ReceivedPacket>>> processed(n_aps);
+  {
+    std::vector<std::future<std::optional<ReceivedPacket>>> futures;
+    std::vector<std::pair<std::size_t, std::size_t>> where;  // (ap, cand)
+    for (std::size_t i = 0; i < n_aps; ++i) {
+      processed[i].resize(scans[i].candidates.size());
+      for (std::size_t j = 0; j < scans[i].candidates.size(); ++j) {
+        futures.push_back(pool_.async(
+            [ap = aps_[i], conditioned = scans[i].conditioned,
+             det = scans[i].candidates[j].detection] {
+              return ap->demodulate(*conditioned, det);
+            }));
+        where.emplace_back(i, j);
+      }
+    }
+    for (std::size_t k = 0; k < futures.size(); ++k) {
+      processed[where[k].first][where[k].second] = futures[k].get();
+    }
+  }
+
+  // ---- Phase 3: per-stream emit/defer bookkeeping, in AP order.
+  std::vector<std::vector<StreamingReceiver::StreamPacket>> per_ap(n_aps);
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    per_ap[i] =
+        streams_[i]->commit(scans[i], std::move(processed[i]), final_pass);
+  }
+
+  // ---- Phase 4: fuse the APs' views of each transmission.
+  std::vector<Vec2> positions;
+  positions.reserve(n_aps);
+  for (const AccessPoint* ap : aps_) positions.push_back(ap->config().position);
+  std::vector<FrameGroup> groups = group_frame_observations(
+      std::move(per_ap), positions, config_.group_slack_samples);
+
+  // ---- Phase 5: spoof observations, parallel across MAC shards. Every
+  // frame of a given MAC lands on the same shard and each shard's frames
+  // are judged in global order, so tracker state evolves exactly as it
+  // would single-threaded.
+  std::vector<std::optional<SpoofObservation>> spoofs(groups.size());
+  {
+    std::vector<std::vector<std::size_t>> buckets(spoof_.num_shards());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const ApObservation& best =
+          Coordinator::best_observation(groups[g].observations);
+      if (best.packet.frame) {
+        buckets[spoof_.shard_of(best.packet.frame->addr2)].push_back(g);
+      }
+    }
+    std::vector<std::future<void>> futures;
+    for (const auto& bucket : buckets) {
+      if (bucket.empty()) continue;
+      futures.push_back(pool_.async([this, &bucket, &groups, &spoofs] {
+        for (std::size_t g : bucket) {
+          const ApObservation& best =
+              Coordinator::best_observation(groups[g].observations);
+          spoofs[g] =
+              spoof_.observe(best.packet.frame->addr2, best.packet.signature);
+        }
+      }));
+    }
+    for (auto& f : futures) f.get();
+  }
+
+  // ---- Phase 6: re-sequence into one ordered decision stream.
+  std::vector<EngineDecision> out;
+  out.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    out.push_back({sequence_++, groups[g].absolute_start,
+                   coordinator_.process_prejudged(groups[g].observations,
+                                                  spoofs[g])});
+  }
+  return out;
+}
+
+}  // namespace sa

@@ -1,0 +1,52 @@
+#include "sa/engine/sharded_spoof.hpp"
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+ShardedSpoofDetector::ShardedSpoofDetector(TrackerConfig tracker_config,
+                                           std::size_t num_shards) {
+  SA_EXPECTS(num_shards >= 1);
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(tracker_config));
+  }
+}
+
+std::size_t ShardedSpoofDetector::shard_of(const MacAddress& source) const {
+  return std::hash<MacAddress>{}(source) % shards_.size();
+}
+
+SpoofObservation ShardedSpoofDetector::observe(const MacAddress& source,
+                                               const AoaSignature& signature) {
+  Shard& shard = *shards_[shard_of(source)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.detector.observe(source, signature);
+}
+
+const SignatureTracker* ShardedSpoofDetector::tracker(
+    const MacAddress& source) const {
+  const Shard& shard = *shards_[shard_of(source)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.detector.tracker(source);
+}
+
+void ShardedSpoofDetector::forget(const MacAddress& source) {
+  Shard& shard = *shards_[shard_of(source)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.detector.forget(source);
+}
+
+SpoofDetectorStats ShardedSpoofDetector::stats() const {
+  SpoofDetectorStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    const SpoofDetectorStats s = shard->detector.stats();
+    total.packets += s.packets;
+    total.alarms += s.alarms;
+    total.tracked_macs += s.tracked_macs;
+  }
+  return total;
+}
+
+}  // namespace sa

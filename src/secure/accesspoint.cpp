@@ -1,6 +1,7 @@
 #include "sa/secure/accesspoint.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sa/aoa/covariance.hpp"
 #include "sa/common/constants.hpp"
@@ -20,7 +21,12 @@ AccessPoint::AccessPoint(AccessPointConfig config, Rng& rng)
         d.sample_rate_hz = config_.sample_rate_hz;
         return d;
       }()),
-      music_(config_.music) {
+      estimator_(make_aoa_estimator(config_.estimator, [&] {
+        AoaEstimatorConfig e;
+        e.music = config_.music;
+        e.capon_loading = config_.capon_loading;
+        return e;
+      }())) {
   if (config_.apply_calibration) {
     const Calibrator cal(config_.calibrator);
     calibration_ = cal.run(impairments_, rng);
@@ -37,16 +43,23 @@ ArrayPlacement AccessPoint::placement() const {
 }
 
 CMat AccessPoint::condition(const CMat& channel_samples) const {
+  SA_EXPECTS(channel_samples.rows() == config_.geometry.size());
   CMat x = channel_samples;
   impairments_.apply(x);
   calibration_.apply(x);
   return x;
 }
 
+std::vector<PacketDetection> AccessPoint::detect(const CMat& conditioned) const {
+  SA_EXPECTS(conditioned.rows() == config_.geometry.size());
+  // Detection runs on the reference antenna (chain 0).
+  return detector_.detect(conditioned.row(0));
+}
+
 MusicResult AccessPoint::music_from_samples(const CMat& packet_samples) const {
   SA_EXPECTS(packet_samples.rows() == config_.geometry.size());
   const CMat r = sample_covariance(packet_samples);
-  return music_.estimate(r, config_.geometry, wavelength_m());
+  return estimator_->estimate(r, config_.geometry, wavelength_m());
 }
 
 AoaSignature AccessPoint::signature_from_samples(
@@ -62,57 +75,80 @@ std::vector<double> AccessPoint::to_world_bearings(
                                  config_.orientation_deg);
 }
 
-std::vector<ReceivedPacket> AccessPoint::receive(const CMat& channel_samples) {
-  SA_EXPECTS(channel_samples.rows() == config_.geometry.size());
-  const CMat x = condition(channel_samples);
+std::optional<ReceivedPacket> AccessPoint::demodulate(
+    const CMat& conditioned, const PacketDetection& det) const {
+  SA_EXPECTS(conditioned.rows() == config_.geometry.size());
+  ReceivedPacket pkt;
+  pkt.detection = det;
 
-  // Detection runs on the reference antenna (chain 0).
-  const CVec ref = x.row(0);
-  const auto detections = detector_.detect(ref);
+  // PHY decode from the reference antenna with CFO corrected. CMat is
+  // row-major, so row 0 is the contiguous prefix of data(): slice the
+  // tail directly rather than materializing the whole row per candidate.
+  const CVec& flat = conditioned.data();
+  CVec aligned(flat.begin() + static_cast<std::ptrdiff_t>(det.start),
+               flat.begin() + static_cast<std::ptrdiff_t>(conditioned.cols()));
+  apply_cfo(aligned, -det.cfo_hz, config_.sample_rate_hz);
+  pkt.phy = phy_rx_.decode(aligned);
+  if (pkt.phy) {
+    pkt.frame = Frame::parse(pkt.phy->psdu);
+  }
+
+  // Covariance over the whole packet (paper §3: mean phase differences
+  // over each entire packet). A scalar per-snapshot CFO rotation leaves
+  // x x^H unchanged, so no CFO correction is needed here.
+  const std::size_t span = pkt.phy
+                               ? pkt.phy->samples_consumed
+                               : kPreambleLen + kSymbolLen;  // fallback
+  const std::size_t end = std::min(det.start + span, conditioned.cols());
+  if (end <= det.start + kPreambleLen / 2) {
+    return std::nullopt;  // truncated capture
+  }
+  CMat block(conditioned.rows(), end - det.start);
+  for (std::size_t m = 0; m < conditioned.rows(); ++m) {
+    for (std::size_t t = det.start; t < end; ++t) {
+      block(m, t - det.start) = conditioned(m, t);
+    }
+  }
+  const CMat r = sample_covariance(block);
+  pkt.music = estimator_->estimate(r, config_.geometry, wavelength_m());
+  pkt.signature =
+      AoaSignature::from_spectrum(pkt.music.spectrum, config_.signature);
+  if (config_.power_weighted_bearing) {
+    pkt.bearing_array_deg = power_weighted_direct_bearing_deg(
+        pkt.signature.spectrum(), pkt.signature.peaks(), r, config_.geometry,
+        wavelength_m());
+  } else {
+    pkt.bearing_array_deg = pkt.signature.direct_bearing_deg();
+  }
+  // Root-MUSIC backend: snap the chosen grid bearing to the nearest
+  // polynomial root — finer than any scan grid (linear arrays only).
+  if (!pkt.music.source_bearings_deg.empty()) {
+    const double snap_radius = 2.0 * config_.music.scan_step_deg;
+    double best = pkt.bearing_array_deg;
+    double best_dist = snap_radius;
+    for (double b : pkt.music.source_bearings_deg) {
+      const double dist = std::abs(b - pkt.bearing_array_deg);
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = b;
+      }
+    }
+    pkt.bearing_array_deg = best;
+  }
+  pkt.bearing_world_deg = to_world_bearings(pkt.bearing_array_deg);
+  return pkt;
+}
+
+std::vector<ReceivedPacket> AccessPoint::receive(const CMat& channel_samples) {
+  const CMat x = condition(channel_samples);
+  const auto detections = detect(x);
 
   std::vector<ReceivedPacket> out;
   out.reserve(detections.size());
   for (const auto& det : detections) {
-    ReceivedPacket pkt;
-    pkt.detection = det;
-
-    // PHY decode from the reference antenna with CFO corrected.
-    CVec aligned(ref.begin() + static_cast<std::ptrdiff_t>(det.start),
-                 ref.end());
-    apply_cfo(aligned, -det.cfo_hz, config_.sample_rate_hz);
-    pkt.phy = phy_rx_.decode(aligned);
-    if (pkt.phy) {
-      pkt.frame = Frame::parse(pkt.phy->psdu);
+    if (auto pkt = demodulate(x, det)) {
+      out.push_back(std::move(*pkt));
     }
-
-    // Covariance over the whole packet (paper §3: mean phase differences
-    // over each entire packet). A scalar per-snapshot CFO rotation leaves
-    // x x^H unchanged, so no CFO correction is needed here.
-    const std::size_t span = pkt.phy
-                                 ? pkt.phy->samples_consumed
-                                 : kPreambleLen + kSymbolLen;  // fallback
-    const std::size_t end =
-        std::min(det.start + span, channel_samples.cols());
-    if (end <= det.start + kPreambleLen / 2) continue;  // truncated capture
-    CMat block(x.rows(), end - det.start);
-    for (std::size_t m = 0; m < x.rows(); ++m) {
-      for (std::size_t t = det.start; t < end; ++t) {
-        block(m, t - det.start) = x(m, t);
-      }
-    }
-    const CMat r = sample_covariance(block);
-    pkt.music = music_.estimate(r, config_.geometry, wavelength_m());
-    pkt.signature =
-        AoaSignature::from_spectrum(pkt.music.spectrum, config_.signature);
-    if (config_.power_weighted_bearing) {
-      pkt.bearing_array_deg = power_weighted_direct_bearing_deg(
-          pkt.signature.spectrum(), pkt.signature.peaks(), r,
-          config_.geometry, wavelength_m());
-    } else {
-      pkt.bearing_array_deg = pkt.signature.direct_bearing_deg();
-    }
-    pkt.bearing_world_deg = to_world_bearings(pkt.bearing_array_deg);
-    out.push_back(std::move(pkt));
   }
   return out;
 }

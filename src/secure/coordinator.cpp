@@ -11,35 +11,54 @@ Coordinator::Coordinator(CoordinatorConfig config)
   }
 }
 
-FrameDecision Coordinator::process(
+const ApObservation& Coordinator::best_observation(
     const std::vector<ApObservation>& observations) {
   SA_EXPECTS(!observations.empty());
-  ++stats_.frames;
-  FrameDecision d;
-
-  // The frame content: take it from the AP with the strongest detection
-  // (they all heard the same transmission; the best SNR copy is the one
-  // whose PHY decode and signature are most trustworthy).
   const ApObservation* best = &observations.front();
   for (const auto& o : observations) {
     if (o.packet.detection.fine_peak > best->packet.detection.fine_peak) {
       best = &o;
     }
   }
-  if (!best->packet.frame) {
+  return *best;
+}
+
+FrameDecision Coordinator::process(
+    const std::vector<ApObservation>& observations) {
+  const ApObservation& best = best_observation(observations);
+  std::optional<SpoofObservation> so;
+  if (best.packet.frame) {
+    so = spoof_.observe(best.packet.frame->addr2, best.packet.signature);
+  }
+  return decide(observations, best, so);
+}
+
+FrameDecision Coordinator::process_prejudged(
+    const std::vector<ApObservation>& observations,
+    const std::optional<SpoofObservation>& spoof) {
+  const ApObservation& best = best_observation(observations);
+  SA_EXPECTS(spoof.has_value() == best.packet.frame.has_value());
+  return decide(observations, best, spoof);
+}
+
+FrameDecision Coordinator::decide(
+    const std::vector<ApObservation>& observations, const ApObservation& best,
+    const std::optional<SpoofObservation>& spoof) {
+  ++stats_.frames;
+  FrameDecision d;
+
+  if (!best.packet.frame) {
     d.action = FrameAction::kDropUndecodable;
     d.detail = "no AP decoded a valid frame (FCS)";
     ++stats_.dropped_undecodable;
     return d;
   }
-  d.source = best->packet.frame->addr2;
+  d.source = best.packet.frame->addr2;
 
   // ---- Spoof check on the best AP's signature.
-  const SpoofObservation so =
-      spoof_.observe(*d.source, best->packet.signature);
-  d.spoof = so.verdict;
-  d.spoof_score = so.score;
-  if (so.verdict == SpoofVerdict::kSpoof) {
+  d.spoof = spoof->verdict;
+  d.spoof_score = spoof->score;
+  if (spoof->verdict == SpoofVerdict::kSpoof) {
     d.action = FrameAction::kDropSpoof;
     d.detail = "signature diverges from the trained reference";
     ++stats_.dropped_spoof;

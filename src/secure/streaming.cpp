@@ -15,47 +15,45 @@ StreamingReceiver::StreamingReceiver(AccessPoint& ap, StreamingConfig config)
   buffer_ = CMat(n_ant, 0);
 }
 
-std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::push(
-    const CMat& chunk) {
-  SA_EXPECTS(chunk.rows() == ap_.config().geometry.size());
-  // Append the chunk.
-  CMat grown(buffer_.rows(), buffered_cols_ + chunk.cols());
-  for (std::size_t m = 0; m < buffer_.rows(); ++m) {
-    for (std::size_t t = 0; t < buffered_cols_; ++t) {
-      grown(m, t) = buffer_(m, t);
+StreamingReceiver::Scan StreamingReceiver::scan(const CMat* chunk) {
+  if (chunk != nullptr) {
+    SA_EXPECTS(chunk->rows() == ap_.config().geometry.size());
+    CMat grown(buffer_.rows(), buffered_cols_ + chunk->cols());
+    for (std::size_t m = 0; m < buffer_.rows(); ++m) {
+      for (std::size_t t = 0; t < buffered_cols_; ++t) {
+        grown(m, t) = buffer_(m, t);
+      }
+      for (std::size_t t = 0; t < chunk->cols(); ++t) {
+        grown(m, buffered_cols_ + t) = (*chunk)(m, t);
+      }
     }
-    for (std::size_t t = 0; t < chunk.cols(); ++t) {
-      grown(m, buffered_cols_ + t) = chunk(m, t);
-    }
+    buffer_ = std::move(grown);
+    buffered_cols_ += chunk->cols();
   }
-  buffer_ = std::move(grown);
-  buffered_cols_ += chunk.cols();
 
-  auto out = run(/*final_pass=*/false);
-  trim();
-  return out;
-}
-
-std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::flush() {
-  auto out = run(/*final_pass=*/true);
-  base_ += buffered_cols_;
-  buffer_ = CMat(buffer_.rows(), 0);
-  buffered_cols_ = 0;
-  return out;
-}
-
-std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::run(
-    bool final_pass) {
-  std::vector<StreamPacket> out;
+  Scan out;
   if (buffered_cols_ < kPreambleLen + kSymbolLen) return out;
-
-  CMat view(buffer_.rows(), buffered_cols_);
-  for (std::size_t m = 0; m < buffer_.rows(); ++m) {
-    for (std::size_t t = 0; t < buffered_cols_; ++t) view(m, t) = buffer_(m, t);
-  }
-  for (auto& pkt : ap_.receive(view)) {
-    const std::size_t abs_start = base_ + pkt.detection.start;
+  out.conditioned = std::make_shared<const CMat>(ap_.condition(buffer_));
+  for (const auto& det : ap_.detect(*out.conditioned)) {
+    const std::size_t abs_start = base_ + det.start;
     if (abs_start < emit_watermark_) continue;  // already emitted
+    out.candidates.push_back({abs_start, det});
+  }
+  return out;
+}
+
+std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::commit(
+    const Scan& scan, std::vector<std::optional<ReceivedPacket>> processed,
+    bool final_pass) {
+  SA_EXPECTS(processed.size() == scan.candidates.size());
+  std::vector<StreamPacket> out;
+  for (std::size_t i = 0; i < scan.candidates.size(); ++i) {
+    const Candidate& cand = scan.candidates[i];
+    // Re-check against the watermark: an earlier candidate emitted in
+    // this very commit may have covered this one.
+    if (cand.absolute_start < emit_watermark_) continue;
+    if (!processed[i]) continue;  // truncated capture: retried next scan
+    ReceivedPacket& pkt = *processed[i];
 
     // A successful decode proves the whole packet was in the buffer (the
     // PHY checks the SIGNAL length fits and the MAC FCS verifies), so it
@@ -63,16 +61,45 @@ std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::run(
     // is still arriving: retry until max_packet_samples have accumulated
     // past the detection, then emit it as genuinely undecodable.
     const std::size_t projected_end =
-        pkt.detection.start +
+        cand.detection.start +
         (pkt.phy ? pkt.phy->samples_consumed : kPreambleLen + kSymbolLen);
     if (!final_pass && !pkt.phy &&
-        pkt.detection.start + config_.max_packet_samples > buffered_cols_) {
+        cand.detection.start + config_.max_packet_samples > buffered_cols_) {
       continue;
     }
     emit_watermark_ = base_ + projected_end;
-    out.push_back({abs_start, std::move(pkt)});
+    out.push_back({cand.absolute_start, std::move(pkt)});
+  }
+
+  if (final_pass) {
+    base_ += buffered_cols_;
+    buffer_ = CMat(buffer_.rows(), 0);
+    buffered_cols_ = 0;
+  } else {
+    trim();
   }
   return out;
+}
+
+std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::push(
+    const CMat& chunk) {
+  Scan s = scan(&chunk);
+  std::vector<std::optional<ReceivedPacket>> processed;
+  processed.reserve(s.candidates.size());
+  for (const auto& cand : s.candidates) {
+    processed.push_back(ap_.demodulate(*s.conditioned, cand.detection));
+  }
+  return commit(s, std::move(processed), /*final_pass=*/false);
+}
+
+std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::flush() {
+  Scan s = scan(nullptr);
+  std::vector<std::optional<ReceivedPacket>> processed;
+  processed.reserve(s.candidates.size());
+  for (const auto& cand : s.candidates) {
+    processed.push_back(ap_.demodulate(*s.conditioned, cand.detection));
+  }
+  return commit(s, std::move(processed), /*final_pass=*/true);
 }
 
 void StreamingReceiver::trim() {

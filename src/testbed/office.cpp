@@ -106,4 +106,44 @@ double OfficeTestbed::ground_truth_bearing_deg(int id) const {
   return bearing_deg(ap_position_, client(id).position);
 }
 
+std::vector<Vec2> OfficeTestbed::ap_mounting_points(std::size_t n) const {
+  // Order the surveyed mounts by coverage quality: the NW/NE points see
+  // most of the office; the SW mount sits behind the pillar for several
+  // clients.
+  std::vector<Vec2> out{ap_position_, extra_aps_[2], extra_aps_[1],
+                        extra_aps_[0]};
+  if (n <= out.size()) {
+    out.resize(n);
+    return out;
+  }
+  // Beyond the surveyed spots: march clockwise along a 2 m inset of the
+  // building outline, spacing the extra mounts evenly. Deterministic so
+  // repeated runs deploy identically.
+  const double margin = 2.0;
+  const double x0 = margin, x1 = 24.0 - margin;
+  const double y0 = margin, y1 = 16.0 - margin;
+  const double w = x1 - x0, h = y1 - y0;
+  const double perimeter = 2.0 * (w + h);
+  const std::size_t extra = n - out.size();
+  for (std::size_t i = 0; i < extra; ++i) {
+    // Offset half a step so the ring points avoid the corners where the
+    // surveyed mounts already sit.
+    double t = perimeter * (static_cast<double>(i) + 0.5) /
+               static_cast<double>(extra);
+    Vec2 p;
+    if (t < w) {
+      p = {x0 + t, y0};
+    } else if ((t -= w) < h) {
+      p = {x1, y0 + t};
+    } else if ((t -= h) < w) {
+      p = {x1 - t, y1};
+    } else {
+      t -= w;
+      p = {x0, y1 - t};
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
 }  // namespace sa

@@ -187,5 +187,54 @@ TEST(Streaming, RejectsWrongAntennaCount) {
   EXPECT_THROW(rx.push(CMat(3, 100)), InvalidArgument);
 }
 
+TEST(Streaming, RejectsInvalidConfig) {
+  StreamRig rig;
+  // max_packet_samples must stay below history_samples: a packet longer
+  // than the retained history could never accumulate enough samples to
+  // be decoded or emitted.
+  StreamingConfig bad;
+  bad.history_samples = 4000;
+  bad.max_packet_samples = 4000;
+  EXPECT_THROW(StreamingReceiver(rig.ap, bad), InvalidArgument);
+  bad.max_packet_samples = 4800;
+  EXPECT_THROW(StreamingReceiver(rig.ap, bad), InvalidArgument);
+  // History must also cover a preamble plus the tail guard.
+  StreamingConfig tiny;
+  tiny.history_samples = 300;
+  tiny.tail_guard = 480;
+  tiny.max_packet_samples = 200;
+  EXPECT_THROW(StreamingReceiver(rig.ap, tiny), InvalidArgument);
+  // The documented default is valid.
+  EXPECT_NO_THROW(StreamingReceiver(rig.ap, StreamingConfig{}));
+}
+
+TEST(Streaming, TwoPhaseScanCommitMatchesPush) {
+  // The engine's split API must behave exactly like push(): same packet,
+  // same signature, same watermark bookkeeping.
+  StreamRig rig;
+  const CMat cap = rig.capture(500, 4);
+
+  StreamingReceiver via_push(rig.ap);
+  const auto pushed = via_push.push(cap);
+  ASSERT_EQ(pushed.size(), 1u);
+
+  StreamingReceiver two_phase(rig.ap);
+  auto scan = two_phase.scan(&cap);
+  ASSERT_TRUE(scan.conditioned != nullptr);
+  std::vector<std::optional<ReceivedPacket>> processed;
+  for (const auto& cand : scan.candidates) {
+    processed.push_back(rig.ap.demodulate(*scan.conditioned, cand.detection));
+  }
+  const auto committed =
+      two_phase.commit(scan, std::move(processed), /*final_pass=*/false);
+  ASSERT_EQ(committed.size(), 1u);
+  EXPECT_EQ(committed[0].absolute_start, pushed[0].absolute_start);
+  ASSERT_TRUE(committed[0].packet.frame.has_value());
+  EXPECT_EQ(committed[0].packet.frame->sequence, 4);
+  EXPECT_EQ(committed[0].packet.bearing_array_deg,
+            pushed[0].packet.bearing_array_deg);
+  EXPECT_EQ(two_phase.samples_seen(), via_push.samples_seen());
+}
+
 }  // namespace
 }  // namespace sa

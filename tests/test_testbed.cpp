@@ -222,5 +222,35 @@ TEST(Uplink, DirectionalPatternSuppressesReflections) {
   EXPECT_GT(p_beam, p_omni * 2.0);
 }
 
+TEST(Office, ApMountingPointsScaleBeyondSurveyedSpots) {
+  const auto tb = OfficeTestbed::figure4();
+  // The first four are the surveyed mounts, best coverage first.
+  const auto four = tb.ap_mounting_points(4);
+  ASSERT_EQ(four.size(), 4u);
+  EXPECT_EQ(four[0].x, tb.ap_position().x);
+  EXPECT_EQ(four[0].y, tb.ap_position().y);
+  const auto one = tb.ap_mounting_points(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].x, tb.ap_position().x);
+  // Dense deployments: every mount sits inside the building, none
+  // duplicated, and the layout is deterministic.
+  const auto many = tb.ap_mounting_points(12);
+  ASSERT_EQ(many.size(), 12u);
+  for (const auto& p : many) {
+    EXPECT_TRUE(tb.building_outline().contains(p))
+        << p.x << "," << p.y;
+  }
+  for (std::size_t i = 0; i < many.size(); ++i) {
+    for (std::size_t j = i + 1; j < many.size(); ++j) {
+      EXPECT_GT(distance(many[i], many[j]), 0.5) << i << "," << j;
+    }
+  }
+  const auto again = tb.ap_mounting_points(12);
+  for (std::size_t i = 0; i < many.size(); ++i) {
+    EXPECT_EQ(many[i].x, again[i].x);
+    EXPECT_EQ(many[i].y, again[i].y);
+  }
+}
+
 }  // namespace
 }  // namespace sa

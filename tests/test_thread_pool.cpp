@@ -1,0 +1,91 @@
+// Tests for the fixed-size thread pool and its bounded work queue — the
+// execution substrate of the deployment engine.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+
+#include "sa/common/error.hpp"
+#include "sa/common/thread_pool.hpp"
+
+namespace sa {
+namespace {
+
+TEST(ThreadPool, RejectsInvalidSizes) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgument);
+  EXPECT_THROW(ThreadPool(2, 0), InvalidArgument);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&count] { count.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, AsyncReturnsValues) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.async([i] { return i * i; }));
+  }
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, AsyncPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.async([]() -> int {
+    throw InvalidArgument("boom");
+  });
+  EXPECT_THROW(f.get(), InvalidArgument);
+}
+
+TEST(ThreadPool, SubmitSurvivesThrowingTask) {
+  // A raw submit() task has no future to carry its exception; the pool
+  // must log and keep running rather than terminate the process.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw InvalidArgument("intentional test exception"); });
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, BoundedQueueStillCompletesEverything) {
+  // Queue of 2 with slow workers: submit blocks rather than queueing
+  // without bound, and every task still runs exactly once.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2, 2);
+    for (int i = 0; i < 40; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        count.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ThreadPool, ManyWorkersOneResultEach) {
+  ThreadPool pool(8);
+  std::vector<std::future<std::size_t>> futures;
+  for (std::size_t i = 0; i < 64; ++i) {
+    futures.push_back(pool.async([i] { return i; }));
+  }
+  std::size_t sum = 0;
+  for (auto& f : futures) sum += f.get();
+  EXPECT_EQ(sum, 64u * 63u / 2u);
+}
+
+}  // namespace
+}  // namespace sa

@@ -129,5 +129,46 @@ int main(int argc, char** argv) {
     std::printf("%-12s %10zu %12.1f\n", to_string(backends[b]), frames,
                 static_cast<double>(frames) / secs);
   }
+
+  // ---- frames/sec vs policy-chain length (MUSIC backend). The ACL
+  // allows the whole workload and the rate limit is set far above it, so
+  // every chain does the same decode/AoA work and differs only in
+  // per-frame policy evaluations — the pipeline overhead itself.
+  struct ChainCase {
+    const char* label;
+    std::vector<PolicyKind> policies;
+  };
+  const ChainCase chains[] = {
+      {"2 (decode,spoof)", {PolicyKind::kSpoof}},
+      {"3 (default)", default_policy_chain()},
+      {"5 (acl+rate added)",
+       {PolicyKind::kAcl, PolicyKind::kSpoof, PolicyKind::kFence,
+        PolicyKind::kRateLimit}},
+  };
+  AccessControlList bench_acl;
+  for (int id : {1, 2, 3, 4, 5, 8, 9, 10}) {
+    bench_acl.allow(MacAddress::from_index(id));
+  }
+  std::printf("\n%-22s %10s %12s %10s\n", "policy chain", "frames",
+              "frames/sec", "overhead");
+  double chain_base_fps = 0.0;
+  for (const auto& c : chains) {
+    EngineConfig ecfg;
+    ecfg.num_threads = backend_threads;
+    ecfg.coordinator.fence_boundary = tb.building_outline();
+    ecfg.coordinator.min_aps_for_fence = 2;
+    ecfg.coordinator.policies = c.policies;
+    ecfg.coordinator.acl = bench_acl;
+    ecfg.coordinator.rate_limit.max_frames = 1u << 20;
+    std::vector<AccessPoint*> ptrs;
+    for (const auto& ap : ap_sets[0]) ptrs.push_back(ap.get());
+    DeploymentEngine engine(ecfg, ptrs);
+    std::size_t frames = 0;
+    const double secs = run_once(engine, rounds, &frames);
+    const double fps = static_cast<double>(frames) / secs;
+    if (chain_base_fps == 0.0) chain_base_fps = fps;
+    std::printf("%-22s %10zu %12.1f %9.2f%%\n", c.label, frames, fps,
+                100.0 * (chain_base_fps / fps - 1.0));
+  }
   return 0;
 }

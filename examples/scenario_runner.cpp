@@ -2,8 +2,8 @@
 // Figure-4 office with a configurable multi-AP deployment, runs a mixed
 // workload (legitimate uplink traffic + MAC-spoofing attacker + off-site
 // transmitter), streams every AP's samples through the DeploymentEngine
-// (fence + spoof defenses, batched across a thread pool), and prints a
-// security report.
+// (a configurable SecurityPolicy chain, batched across a thread pool),
+// and prints a security report with per-policy statistics.
 //
 // Usage: scenario_runner [options] [seed [packets [num-aps]]]
 //   --seed N          RNG seed                       (default 7)
@@ -11,11 +11,15 @@
 //   --aps N           access points, any count >= 1  (default 3)
 //   --threads N       engine worker threads, 0=auto  (default 1)
 //   --estimator NAME  music|capon|bartlett|root-music (default music)
-// e.g.:  ./build/examples/scenario_runner --aps 6 --threads 4 --estimator capon
+//   --policies LIST   comma-separated chain order from acl,fence,spoof,rate
+//                     (default spoof,fence; decode is always implicit first;
+//                     acl allows exactly the testbed's legitimate clients)
+// e.g.:  ./build/examples/scenario_runner --aps 6 --threads 4
+//            --policies acl,fence,spoof,rate
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "sa/common/rng.hpp"
@@ -33,6 +37,7 @@ namespace {
   std::fprintf(to,
                "usage: %s [--seed N] [--packets N] [--aps N] [--threads N]\n"
                "          [--estimator music|capon|bartlett|root-music]\n"
+               "          [--policies acl,fence,spoof,rate]\n"
                "          [seed [packets [num-aps]]]\n",
                argv0);
   std::exit(status);
@@ -40,6 +45,27 @@ namespace {
 
 [[noreturn]] void usage(const char* argv0) {
   print_usage(stderr, argv0, 2);
+}
+
+std::vector<PolicyKind> parse_policies(const std::string& list,
+                                       const char* argv0) {
+  std::vector<PolicyKind> kinds;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const auto kind = policy_kind_from_string(name);
+    if (!kind) {
+      std::fprintf(stderr, "unknown policy '%s'\n", name.c_str());
+      usage(argv0);
+    }
+    kinds.push_back(*kind);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (kinds.empty()) usage(argv0);
+  return kinds;
 }
 
 }  // namespace
@@ -50,11 +76,22 @@ int main(int argc, char** argv) {
   std::size_t num_aps = 3;
   std::size_t threads = 1;
   AoaBackend estimator = AoaBackend::kMusic;
+  std::vector<PolicyKind> policies = default_policy_chain();
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Every flag accepts both "--flag value" and "--flag=value".
+    std::optional<std::string> inline_value;
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.resize(eq);
+      }
+    }
     auto value = [&]() -> const char* {
+      if (inline_value) return inline_value->c_str();
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
@@ -70,6 +107,8 @@ int main(int argc, char** argv) {
       const auto parsed = aoa_backend_from_string(value());
       if (!parsed) usage(argv[0]);
       estimator = *parsed;
+    } else if (arg == "--policies") {
+      policies = parse_policies(value(), argv[0]);
     } else if (arg == "--help" || arg == "-h") {
       print_usage(stdout, argv[0], 0);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -107,13 +146,26 @@ int main(int argc, char** argv) {
   ecfg.num_threads = threads;
   ecfg.coordinator.fence_boundary = tb.building_outline();
   ecfg.coordinator.min_aps_for_fence = 2;
+  ecfg.coordinator.policies = policies;
+  {
+    // The ACL baseline allows exactly the testbed's legitimate clients —
+    // which is why MAC spoofing subverts it (paper §1).
+    AccessControlList acl;
+    for (const auto& c : tb.clients()) acl.allow(MacAddress::from_index(c.id));
+    ecfg.coordinator.acl = std::move(acl);
+  }
   DeploymentEngine engine(ecfg, ap_ptrs);
 
+  std::string chain_names = "decode";
+  for (std::size_t i = 1; i < engine.chain().size(); ++i) {
+    chain_names += "->";
+    chain_names += engine.chain().policy(i).name();
+  }
   std::printf(
       "deployment: %zu AP(s), %zu engine thread(s), estimator %s, seed %llu, "
-      "%d packets/client\n",
+      "%d packets/client\npolicy chain: %s\n",
       num_aps, engine.num_threads(), to_string(estimator),
-      static_cast<unsigned long long>(seed), packets);
+      static_cast<unsigned long long>(seed), packets, chain_names.c_str());
 
   std::uint16_t seq = 0;
   auto send = [&](Vec2 from, MacAddress mac,
@@ -142,16 +194,16 @@ int main(int argc, char** argv) {
       }
     }
     drain(ds);
-    for (const auto& d : ds) {
-      (d.decision.action == FrameAction::kAccept ? accepted : dropped)++;
-    }
+    for (const auto& d : ds) (d.decision.accepted ? accepted : dropped)++;
   }
   std::printf("\nphase 1 — legitimate traffic: %d accepted, %d dropped "
               "(%.1f%% false drop)\n",
               accepted, dropped,
               100.0 * dropped / std::max(accepted + dropped, 1));
 
-  // Phase 2: an insider spoofs client 2's MAC from the far office.
+  // Phase 2: an insider spoofs client 2's MAC from the far office. The
+  // ACL waves these through (the MAC is on the list) — only the
+  // signature check catches them.
   int spoof_caught = 0, spoof_missed = 0;
   {
     std::vector<EngineDecision> ds;
@@ -163,8 +215,8 @@ int main(int argc, char** argv) {
     }
     drain(ds);
     for (const auto& d : ds) {
-      (d.decision.action == FrameAction::kDropSpoof ? spoof_caught
-                                                    : spoof_missed)++;
+      (d.decision.policy == SpoofPolicy::kName ? spoof_caught
+                                               : spoof_missed)++;
     }
   }
   std::printf("phase 2 — MAC spoofing insider: %d/%d forged frames dropped\n",
@@ -172,10 +224,10 @@ int main(int argc, char** argv) {
 
   // Phase 3: off-site transmitter with a power amp. Fail-closed fence:
   // frames heard by too few APs to localize are dropped rather than
-  // waved through.
+  // waved through (and its unknown MAC fails the ACL, when enabled).
   TxPattern amp;
   amp.tx_power_db = 15.0;
-  int fence_drops = 0, outdoor_frames = 0;
+  int offsite_drops = 0, outdoor_frames = 0;
   {
     std::vector<EngineDecision> ds;
     for (int p = 0; p < packets; ++p) {
@@ -187,20 +239,26 @@ int main(int argc, char** argv) {
     drain(ds);
     for (const auto& d : ds) {
       ++outdoor_frames;
-      if (d.decision.action != FrameAction::kAccept) ++fence_drops;
+      if (!d.decision.accepted) ++offsite_drops;
     }
   }
   std::printf("phase 3 — off-site transmitter: %d/%d frames denied\n",
-              fence_drops, outdoor_frames);
+              offsite_drops, outdoor_frames);
 
-  const auto& st = engine.stats();
+  const auto st = engine.stats();
   const auto sp = engine.spoof_detector().stats();
-  std::printf("\ncoordinator totals: %zu frames | %zu accepted | %zu fence "
-              "drops | %zu spoof drops | %zu undecodable\n",
-              st.frames, st.accepted, st.dropped_fence, st.dropped_spoof,
-              st.dropped_undecodable);
-  std::printf("spoof trackers: %zu MAC(s) across %zu shard(s), %zu alarms\n",
-              sp.tracked_macs, engine.spoof_detector().num_shards(),
-              sp.alarms);
+  std::printf("\ntotals: %zu frames | %zu accepted | %zu dropped\n", st.frames,
+              st.accepted, st.frames - st.accepted);
+  std::printf("\n%-10s %10s %10s %10s\n", "policy", "evaluated", "accepted",
+              "dropped");
+  for (const auto& ps : engine.chain().policy_stats()) {
+    std::printf("%-10.*s %10zu %10zu %10zu\n",
+                static_cast<int>(ps.name.size()), ps.name.data(), ps.evaluated,
+                ps.accepted, ps.dropped);
+  }
+  std::printf("\nspoof trackers: %zu MAC(s) across %zu shard(s), %zu alarms, "
+              "%zu evicted\n",
+              sp.tracked_macs, engine.spoof_detector().num_shards(), sp.alarms,
+              sp.evictions);
   return 0;
 }

@@ -75,8 +75,8 @@ int main() {
     char who[64];
     std::snprintf(who, sizeof(who), "client %d at (%.1f, %.1f)", id,
                   c.position.x, c.position.y);
-    std::printf("%-34s %-9s %-22s %s\n", who, d.allowed ? "ALLOW" : "DROP",
-                where, d.reason);
+    std::printf("%-34s %-9s %-22s %.*s\n", who, d.allowed ? "ALLOW" : "DROP",
+                where, static_cast<int>(d.reason.size()), d.reason.data());
     sim.advance(0.2);
   }
 
@@ -97,8 +97,8 @@ int main() {
   char who[64];
   std::snprintf(who, sizeof(who), "ATTACKER outside at (%.0f, %.0f)",
                 attacker.x, attacker.y);
-  std::printf("%-34s %-9s %-22s %s\n", who, d.allowed ? "ALLOW" : "DROP",
-              where, d.reason);
+  std::printf("%-34s %-9s %-22s %.*s\n", who, d.allowed ? "ALLOW" : "DROP",
+              where, static_cast<int>(d.reason.size()), d.reason.data());
 
   std::printf("\nThe fence admits indoor clients (localized to ~1 m) and\n"
               "drops the off-site transmitter even though its directional\n"

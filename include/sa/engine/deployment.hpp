@@ -87,7 +87,9 @@ class DeploymentEngine {
   std::size_t num_aps() const { return aps_.size(); }
   std::size_t num_threads() const { return pool_.size(); }
   const EngineConfig& config() const { return config_; }
-  const Coordinator::Stats& stats() const { return coordinator_.stats(); }
+  Coordinator::Stats stats() const { return coordinator_.stats(); }
+  /// Per-policy accept/drop counters of the decision chain.
+  const PolicyChain& chain() const { return coordinator_.chain(); }
   const ShardedSpoofDetector& spoof_detector() const { return spoof_; }
 
  private:

@@ -15,8 +15,18 @@ namespace sa {
 
 class ShardedSpoofDetector {
  public:
+  /// `max_tracked_macs` is the total tracker budget, divided evenly
+  /// across shards; 0 means unbounded, and a nonzero bound must be
+  /// >= num_shards (each shard needs at least one slot — a smaller
+  /// bound would silently inflate to num_shards). Each shard LRU-evicts
+  /// independently, so once the bound is actually binding, *which* MAC
+  /// is evicted depends on the MAC-hash sharding — decisions can then
+  /// diverge from a serial SpoofDetector with the same global bound.
+  /// The engine's decision-equivalence guarantee assumes the bound is
+  /// not hit (or is 0, the default).
   explicit ShardedSpoofDetector(TrackerConfig tracker_config,
-                                std::size_t num_shards = 8);
+                                std::size_t num_shards = 8,
+                                std::size_t max_tracked_macs = 0);
 
   std::size_t num_shards() const { return shards_.size(); }
   std::size_t shard_of(const MacAddress& source) const;
@@ -38,7 +48,8 @@ class ShardedSpoofDetector {
 
  private:
   struct Shard {
-    explicit Shard(const TrackerConfig& cfg) : detector(cfg) {}
+    Shard(const TrackerConfig& cfg, std::size_t max_tracked)
+        : detector(cfg, max_tracked) {}
     mutable std::mutex mu;
     SpoofDetector detector;
   };

@@ -1,28 +1,35 @@
 // Multi-AP coordination: the controller that a SecureAngle deployment
 // runs centrally. It fuses the per-AP views of each uplink frame and
-// applies both defenses in one place:
-//   * virtual fence — localize from the APs' direct-path bearings and
-//     drop frames from outside the boundary (Sec. 2.3.1);
-//   * spoof detection — track the per-MAC signature at the AP that hears
-//     the client best and flag divergence (Sec. 2.3.2).
-// The fusion step is also where cross-AP false-positive AoA removal
-// happens (Sec. 3.1), via localize()'s outlier rejection.
+// runs the configured SecurityPolicy chain over them (sa/secure/
+// policy.hpp): decode gating, the ACL baseline, the virtual fence
+// (Sec. 2.3.1), spoof detection (Sec. 2.3.2), per-MAC rate limiting —
+// in declared order, short-circuiting on the first drop. The fusion
+// step is also where cross-AP false-positive AoA removal happens
+// (Sec. 3.1), via the context's cached localize() outlier rejection.
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "sa/secure/accesspoint.hpp"
+#include "sa/secure/policy.hpp"
 #include "sa/secure/spoofdetector.hpp"
 #include "sa/secure/virtualfence.hpp"
 
 namespace sa {
 
 struct CoordinatorConfig {
-  /// Fence boundary; nullopt disables the fence check.
+  /// Fence boundary; nullopt disables the fence check (FencePolicy is
+  /// skipped even if named in `policies`).
   std::optional<Polygon> fence_boundary;
   double fence_max_residual_deg = 20.0;
   TrackerConfig tracker;
+  /// LRU bound on per-MAC spoof trackers; 0 = unbounded. Under the
+  /// engine the bound is split across MAC-hash shards (must then be
+  /// >= num_shards), and when eviction actually fires the engine's
+  /// eviction choices — hence decisions for evicted-and-returning
+  /// MACs — can differ from a serial Coordinator's global LRU.
+  std::size_t max_tracked_macs = 0;
   /// Minimum APs that must hear a frame before it can be localized.
   std::size_t min_aps_for_fence = 2;
   /// Fence policy when a frame is heard by fewer than min_aps_for_fence
@@ -30,28 +37,26 @@ struct CoordinatorConfig {
   /// positively localized inside the boundary get access, which is the
   /// paper's intent; true = fail open and let it through.
   bool fence_fail_open = false;
-};
-
-/// One AP's view of a frame.
-struct ApObservation {
-  Vec2 ap_position;
-  ReceivedPacket packet;
-};
-
-enum class FrameAction { kAccept, kDropFence, kDropSpoof, kDropUndecodable };
-
-struct FrameDecision {
-  FrameAction action = FrameAction::kAccept;
-  std::optional<MacAddress> source;
-  std::optional<LocalizationResult> location;
-  SpoofVerdict spoof = SpoofVerdict::kTraining;
-  double spoof_score = 0.0;
-  const char* detail = "";
+  /// Policy chain, in evaluation order. DecodePolicy is implicit and
+  /// always first. The default (spoof before fence) mirrors the
+  /// pre-chain coordinator, keeping its output byte-identical.
+  std::vector<PolicyKind> policies = default_policy_chain();
+  /// Allow list for AclPolicy; required iff `policies` names kAcl.
+  std::optional<AccessControlList> acl;
+  /// RateLimitPolicy settings, used iff `policies` names kRateLimit.
+  RateLimitConfig rate_limit;
 };
 
 class Coordinator {
  public:
+  /// Builds the policy chain described by `config`.
   explicit Coordinator(CoordinatorConfig config);
+
+  /// Custom chain: `config` still supplies the tracker settings for the
+  /// spoof judge (used iff the chain contains a SpoofPolicy), but the
+  /// caller composes the policies — including its own SecurityPolicy
+  /// subclasses.
+  Coordinator(CoordinatorConfig config, PolicyChain chain);
 
   /// Fuse all APs' observations of one frame and decide its fate.
   /// Precondition: every observation refers to the same transmission.
@@ -59,8 +64,9 @@ class Coordinator {
 
   /// The deployment engine's entry point: identical decision logic and
   /// statistics, but the spoof observation (present iff the frame was
-  /// decodable) was computed by the caller against its own MAC-sharded
-  /// tracker state instead of this coordinator's detector.
+  /// decodable and the chain wants spoof checking) was computed by the
+  /// caller against its own MAC-sharded tracker state instead of this
+  /// coordinator's detector.
   FrameDecision process_prejudged(
       const std::vector<ApObservation>& observations,
       const std::optional<SpoofObservation>& spoof);
@@ -71,27 +77,33 @@ class Coordinator {
   static const ApObservation& best_observation(
       const std::vector<ApObservation>& observations);
 
+  /// Legacy aggregate view of the per-policy counters.
   struct Stats {
     std::size_t frames = 0;
     std::size_t accepted = 0;
     std::size_t dropped_fence = 0;
     std::size_t dropped_spoof = 0;
     std::size_t dropped_undecodable = 0;
+    /// Drops by policies outside the default chain (ACL, rate, custom).
+    std::size_t dropped_policy = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
+  const PolicyChain& chain() const { return chain_; }
+  /// True iff the chain contains a SpoofPolicy — i.e. callers feeding
+  /// process_prejudged() must supply a spoof observation for decodable
+  /// frames.
+  bool wants_spoof() const { return wants_spoof_; }
   const SpoofDetector& spoof_detector() const { return spoof_; }
 
  private:
-  /// Everything after the spoof observation: undecodable/spoof/fence
-  /// verdicts plus statistics, shared by both process paths.
   FrameDecision decide(const std::vector<ApObservation>& observations,
                        const ApObservation& best,
                        const std::optional<SpoofObservation>& spoof);
 
   CoordinatorConfig config_;
-  std::optional<VirtualFence> fence_;
+  PolicyChain chain_;
+  bool wants_spoof_ = false;
   SpoofDetector spoof_;
-  Stats stats_;
 };
 
 }  // namespace sa

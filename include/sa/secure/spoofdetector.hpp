@@ -3,6 +3,7 @@
 // one trained for that address.
 #pragma once
 
+#include <list>
 #include <unordered_map>
 
 #include "sa/mac/address.hpp"
@@ -25,11 +26,18 @@ struct SpoofDetectorStats {
   std::size_t packets = 0;
   std::size_t alarms = 0;
   std::size_t tracked_macs = 0;
+  std::size_t evictions = 0;  ///< trackers dropped by the LRU bound
 };
 
 class SpoofDetector {
  public:
-  explicit SpoofDetector(TrackerConfig tracker_config = {});
+  /// `max_tracked_macs` bounds the per-MAC tracker map: when a new MAC
+  /// would exceed it, the least-recently-observed MAC's tracker is
+  /// evicted (it retrains from scratch if that client returns). 0 means
+  /// unbounded — unacceptable at deployment scale, but the historical
+  /// default.
+  explicit SpoofDetector(TrackerConfig tracker_config = {},
+                         std::size_t max_tracked_macs = 0);
 
   /// Feed one (MAC, signature) pair from a decoded uplink frame.
   SpoofObservation observe(const MacAddress& source,
@@ -44,10 +52,18 @@ class SpoofDetector {
   SpoofDetectorStats stats() const;
 
  private:
+  struct Entry {
+    SignatureTracker tracker;
+    std::list<MacAddress>::iterator lru;
+  };
+
   TrackerConfig tracker_config_;
-  std::unordered_map<MacAddress, SignatureTracker> trackers_;
+  std::size_t max_tracked_macs_;
+  std::unordered_map<MacAddress, Entry> trackers_;
+  std::list<MacAddress> lru_;  ///< most recently observed first
   std::size_t packets_ = 0;
   std::size_t alarms_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace sa

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "sa/common/geometry.hpp"
@@ -41,7 +42,9 @@ std::optional<LocalizationResult> localize(
 struct FenceDecision {
   bool allowed = false;
   std::optional<LocalizationResult> location;
-  const char* reason = "";
+  /// Always a string constant with static storage duration — safe to
+  /// copy the decision around (e.g. the engine's re-sequencing queue).
+  std::string_view reason = "";
 };
 
 class VirtualFence {
@@ -52,6 +55,12 @@ class VirtualFence {
   /// dropped (not allowed) when localization fails, is inconsistent, or
   /// lands outside the fence.
   FenceDecision check(const std::vector<FenceObservation>& observations) const;
+
+  /// Boundary test over an already-solved localization (callers that
+  /// cache the solve, e.g. FrameContext, use this to avoid re-solving).
+  /// check(obs) == check_localized(localize(obs)) for >= 2 observations.
+  FenceDecision check_localized(
+      std::optional<LocalizationResult> location) const;
 
   const Polygon& boundary() const { return boundary_; }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <future>
+#include <type_traits>
 #include <utility>
 
 #include "sa/common/error.hpp"
@@ -14,6 +15,26 @@ std::size_t resolve_threads(std::size_t requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? hw : 1;
+}
+
+/// get() every future, then rethrow the first error. Queued tasks
+/// capture pointers into round()'s frame and the caller's chunks, so an
+/// early rethrow must not leave later tasks pending.
+template <typename T, typename Consume>
+void join_all(std::vector<std::future<T>>& futures, Consume&& consume) {
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      if constexpr (std::is_void_v<T>) {
+        futures[i].get();
+      } else {
+        consume(i, futures[i].get());
+      }
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace
@@ -55,7 +76,8 @@ DeploymentEngine::DeploymentEngine(EngineConfig config,
     : config_(std::move(config)),
       aps_(std::move(aps)),
       pool_(resolve_threads(config_.num_threads), config_.queue_capacity),
-      spoof_(config_.coordinator.tracker, config_.num_shards),
+      spoof_(config_.coordinator.tracker, config_.num_shards,
+             config_.coordinator.max_tracked_macs),
       coordinator_(config_.coordinator) {
   SA_EXPECTS(!aps_.empty());
   streams_.reserve(aps_.size());
@@ -90,7 +112,9 @@ std::vector<EngineDecision> DeploymentEngine::round(
         return streams_[i]->scan(chunks ? &(*chunks)[i] : nullptr);
       }));
     }
-    for (std::size_t i = 0; i < n_aps; ++i) scans[i] = futures[i].get();
+    join_all(futures, [&](std::size_t i, StreamingReceiver::Scan s) {
+      scans[i] = std::move(s);
+    });
   }
 
   // ---- Phase 2: the hot path — PHY decode + covariance + AoA for every
@@ -110,9 +134,9 @@ std::vector<EngineDecision> DeploymentEngine::round(
         where.emplace_back(i, j);
       }
     }
-    for (std::size_t k = 0; k < futures.size(); ++k) {
-      processed[where[k].first][where[k].second] = futures[k].get();
-    }
+    join_all(futures, [&](std::size_t k, std::optional<ReceivedPacket> p) {
+      processed[where[k].first][where[k].second] = std::move(p);
+    });
   }
 
   // ---- Phase 3: per-stream emit/defer bookkeeping, in AP order.
@@ -132,30 +156,29 @@ std::vector<EngineDecision> DeploymentEngine::round(
   // ---- Phase 5: spoof observations, parallel across MAC shards. Every
   // frame of a given MAC lands on the same shard and each shard's frames
   // are judged in global order, so tracker state evolves exactly as it
-  // would single-threaded.
+  // would single-threaded. Skipped entirely when the policy chain has no
+  // SpoofPolicy (trackers must not train on frames no policy will judge).
   std::vector<std::optional<SpoofObservation>> spoofs(groups.size());
-  {
+  if (coordinator_.wants_spoof()) {
+    std::vector<const ApObservation*> best(groups.size());
     std::vector<std::vector<std::size_t>> buckets(spoof_.num_shards());
     for (std::size_t g = 0; g < groups.size(); ++g) {
-      const ApObservation& best =
-          Coordinator::best_observation(groups[g].observations);
-      if (best.packet.frame) {
-        buckets[spoof_.shard_of(best.packet.frame->addr2)].push_back(g);
+      best[g] = &Coordinator::best_observation(groups[g].observations);
+      if (best[g]->packet.frame) {
+        buckets[spoof_.shard_of(best[g]->packet.frame->addr2)].push_back(g);
       }
     }
     std::vector<std::future<void>> futures;
     for (const auto& bucket : buckets) {
       if (bucket.empty()) continue;
-      futures.push_back(pool_.async([this, &bucket, &groups, &spoofs] {
+      futures.push_back(pool_.async([this, &bucket, &best, &spoofs] {
         for (std::size_t g : bucket) {
-          const ApObservation& best =
-              Coordinator::best_observation(groups[g].observations);
-          spoofs[g] =
-              spoof_.observe(best.packet.frame->addr2, best.packet.signature);
+          spoofs[g] = spoof_.observe(best[g]->packet.frame->addr2,
+                                     best[g]->packet.signature);
         }
       }));
     }
-    for (auto& f : futures) f.get();
+    join_all(futures, [](std::size_t, int) {});
   }
 
   // ---- Phase 6: re-sequence into one ordered decision stream.

@@ -1,15 +1,23 @@
 #include "sa/engine/sharded_spoof.hpp"
 
+#include <algorithm>
+
 #include "sa/common/error.hpp"
 
 namespace sa {
 
 ShardedSpoofDetector::ShardedSpoofDetector(TrackerConfig tracker_config,
-                                           std::size_t num_shards) {
+                                           std::size_t num_shards,
+                                           std::size_t max_tracked_macs) {
   SA_EXPECTS(num_shards >= 1);
+  SA_EXPECTS(max_tracked_macs == 0 || max_tracked_macs >= num_shards);
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(tracker_config));
+    // Distribute the budget's remainder so the shard caps sum to
+    // exactly max_tracked_macs.
+    const std::size_t per_shard =
+        max_tracked_macs == 0 ? 0 : (max_tracked_macs + i) / num_shards;
+    shards_.push_back(std::make_unique<Shard>(tracker_config, per_shard));
   }
 }
 
@@ -45,6 +53,7 @@ SpoofDetectorStats ShardedSpoofDetector::stats() const {
     total.packets += s.packets;
     total.alarms += s.alarms;
     total.tracked_macs += s.tracked_macs;
+    total.evictions += s.evictions;
   }
   return total;
 }

@@ -1,15 +1,54 @@
 #include "sa/secure/coordinator.hpp"
 
+#include <utility>
+
 #include "sa/common/error.hpp"
 
 namespace sa {
 
-Coordinator::Coordinator(CoordinatorConfig config)
-    : config_(std::move(config)), spoof_(config_.tracker) {
-  if (config_.fence_boundary) {
-    fence_.emplace(*config_.fence_boundary, config_.fence_max_residual_deg);
+namespace {
+
+PolicyChain build_chain(const CoordinatorConfig& config) {
+  PolicyChain chain;
+  chain.add(std::make_unique<DecodePolicy>());
+  for (const PolicyKind kind : config.policies) {
+    switch (kind) {
+      case PolicyKind::kAcl:
+        SA_EXPECTS(config.acl.has_value());
+        chain.add(std::make_unique<AclPolicy>(*config.acl));
+        break;
+      case PolicyKind::kFence:
+        if (config.fence_boundary) {
+          chain.add(std::make_unique<FencePolicy>(
+              VirtualFence(*config.fence_boundary,
+                           config.fence_max_residual_deg),
+              config.min_aps_for_fence, config.fence_fail_open));
+        }
+        break;
+      case PolicyKind::kSpoof:
+        chain.add(std::make_unique<SpoofPolicy>());
+        break;
+      case PolicyKind::kRateLimit:
+        chain.add(std::make_unique<RateLimitPolicy>(config.rate_limit));
+        break;
+    }
   }
+  return chain;
 }
+
+}  // namespace
+
+Coordinator::Coordinator(CoordinatorConfig config)
+    : config_(std::move(config)),
+      chain_(build_chain(config_)),
+      wants_spoof_(chain_.contains(SpoofPolicy::kName)),
+      spoof_(config_.tracker, config_.max_tracked_macs) {}
+
+Coordinator::Coordinator(CoordinatorConfig config, PolicyChain chain)
+    : config_(std::move(config)),
+      chain_(std::move(chain)),
+      wants_spoof_(chain_.contains(SpoofPolicy::kName)),
+      spoof_(config_.tracker, config_.max_tracked_macs) {}
 
 const ApObservation& Coordinator::best_observation(
     const std::vector<ApObservation>& observations) {
@@ -26,8 +65,11 @@ const ApObservation& Coordinator::best_observation(
 FrameDecision Coordinator::process(
     const std::vector<ApObservation>& observations) {
   const ApObservation& best = best_observation(observations);
+  // The spoof judge observes every decodable frame — training advances
+  // even when another policy later drops the frame, exactly as the
+  // engine's pre-judged path behaves.
   std::optional<SpoofObservation> so;
-  if (best.packet.frame) {
+  if (wants_spoof_ && best.packet.frame) {
     so = spoof_.observe(best.packet.frame->addr2, best.packet.signature);
   }
   return decide(observations, best, so);
@@ -37,64 +79,29 @@ FrameDecision Coordinator::process_prejudged(
     const std::vector<ApObservation>& observations,
     const std::optional<SpoofObservation>& spoof) {
   const ApObservation& best = best_observation(observations);
-  SA_EXPECTS(spoof.has_value() == best.packet.frame.has_value());
+  if (wants_spoof_) {
+    SA_EXPECTS(spoof.has_value() == best.packet.frame.has_value());
+  }
   return decide(observations, best, spoof);
 }
 
 FrameDecision Coordinator::decide(
     const std::vector<ApObservation>& observations, const ApObservation& best,
     const std::optional<SpoofObservation>& spoof) {
-  ++stats_.frames;
-  FrameDecision d;
+  FrameContext ctx(observations, best, chain_.frames(), spoof);
+  return chain_.run(ctx);
+}
 
-  if (!best.packet.frame) {
-    d.action = FrameAction::kDropUndecodable;
-    d.detail = "no AP decoded a valid frame (FCS)";
-    ++stats_.dropped_undecodable;
-    return d;
-  }
-  d.source = best.packet.frame->addr2;
-
-  // ---- Spoof check on the best AP's signature.
-  d.spoof = spoof->verdict;
-  d.spoof_score = spoof->score;
-  if (spoof->verdict == SpoofVerdict::kSpoof) {
-    d.action = FrameAction::kDropSpoof;
-    d.detail = "signature diverges from the trained reference";
-    ++stats_.dropped_spoof;
-    return d;
-  }
-
-  // ---- Fence check from every AP's bearing candidates.
-  if (fence_) {
-    if (observations.size() < config_.min_aps_for_fence) {
-      if (!config_.fence_fail_open) {
-        d.action = FrameAction::kDropFence;
-        d.detail = "too few APs heard the frame to localize it";
-        ++stats_.dropped_fence;
-        return d;
-      }
-    } else {
-      std::vector<FenceObservation> obs;
-      obs.reserve(observations.size());
-      for (const auto& o : observations) {
-        obs.push_back({o.ap_position, o.packet.bearing_world_deg});
-      }
-      const FenceDecision fd = fence_->check(obs);
-      d.location = fd.location;
-      if (!fd.allowed) {
-        d.action = FrameAction::kDropFence;
-        d.detail = fd.reason;
-        ++stats_.dropped_fence;
-        return d;
-      }
-    }
-  }
-
-  d.action = FrameAction::kAccept;
-  d.detail = "accepted";
-  ++stats_.accepted;
-  return d;
+Coordinator::Stats Coordinator::stats() const {
+  Stats s;
+  s.frames = chain_.frames();
+  s.accepted = chain_.accepted();
+  s.dropped_fence = chain_.drops(FencePolicy::kName);
+  s.dropped_spoof = chain_.drops(SpoofPolicy::kName);
+  s.dropped_undecodable = chain_.drops(DecodePolicy::kName);
+  s.dropped_policy = s.frames - s.accepted - s.dropped_fence -
+                     s.dropped_spoof - s.dropped_undecodable;
+  return s;
 }
 
 }  // namespace sa

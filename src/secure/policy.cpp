@@ -1,0 +1,188 @@
+#include "sa/secure/policy.hpp"
+
+#include <algorithm>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+FrameAction FrameDecision::action() const {
+  if (accepted) return FrameAction::kAccept;
+  if (policy == DecodePolicy::kName) return FrameAction::kDropUndecodable;
+  if (policy == SpoofPolicy::kName) return FrameAction::kDropSpoof;
+  if (policy == FencePolicy::kName) return FrameAction::kDropFence;
+  return FrameAction::kDropPolicy;
+}
+
+FrameContext::FrameContext(const std::vector<ApObservation>& observations,
+                           const ApObservation& best, std::size_t frame_index,
+                           std::optional<SpoofObservation> spoof)
+    : observations_(&observations),
+      best_(&best),
+      frame_index_(frame_index),
+      spoof_(spoof) {
+  SA_EXPECTS(!observations.empty());
+  if (best.packet.frame) source_ = best.packet.frame->addr2;
+}
+
+const std::optional<LocalizationResult>& FrameContext::localization() {
+  if (!localization_computed_) {
+    localization_computed_ = true;
+    std::vector<FenceObservation> obs;
+    obs.reserve(observations_->size());
+    for (const auto& o : *observations_) {
+      obs.push_back({o.ap_position, o.packet.bearing_world_deg});
+    }
+    location_ = localize(obs);
+  }
+  return location_;
+}
+
+PolicyChain& PolicyChain::add(std::unique_ptr<SecurityPolicy> policy) {
+  SA_EXPECTS(policy != nullptr);
+  stats_.push_back(PolicyStats{policy->name(), 0, 0, 0});
+  policies_.push_back(std::move(policy));
+  return *this;
+}
+
+FrameDecision PolicyChain::run(FrameContext& ctx) {
+  ++frames_;
+  FrameDecision d;
+  d.trace.reserve(policies_.size());
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    const PolicyVerdict v = policies_[i]->evaluate(ctx);
+    ++stats_[i].evaluated;
+    d.trace.push_back({stats_[i].name, v.drop, v.detail});
+    if (v.drop) {
+      ++stats_[i].dropped;
+      d.accepted = false;
+      d.policy = stats_[i].name;
+      d.detail = v.detail;
+      break;
+    }
+    ++stats_[i].accepted;
+  }
+  if (d.accepted) {
+    ++accepted_;
+    d.detail = "accepted";
+  }
+  d.source = ctx.source();
+  if (ctx.spoof()) {
+    d.spoof = ctx.spoof()->verdict;
+    d.spoof_score = ctx.spoof()->score;
+  }
+  if (ctx.localization_computed()) {
+    d.location = ctx.localization();
+  }
+  return d;
+}
+
+std::size_t PolicyChain::drops(std::string_view policy_name) const {
+  for (const auto& s : stats_) {
+    if (s.name == policy_name) return s.dropped;
+  }
+  return 0;
+}
+
+bool PolicyChain::contains(std::string_view policy_name) const {
+  return std::any_of(stats_.begin(), stats_.end(), [&](const PolicyStats& s) {
+    return s.name == policy_name;
+  });
+}
+
+// ------------------------------------------------------------- policies
+
+PolicyVerdict DecodePolicy::evaluate(FrameContext& ctx) {
+  if (!ctx.decoded()) return PolicyVerdict::deny(kDetailUndecodable);
+  return PolicyVerdict::accept();
+}
+
+PolicyVerdict AclPolicy::evaluate(FrameContext& ctx) {
+  if (!ctx.source()) return PolicyVerdict::deny(kDetailDenied);
+  if (!acl_.is_allowed(*ctx.source())) return PolicyVerdict::deny(kDetailDenied);
+  return PolicyVerdict::accept();
+}
+
+FencePolicy::FencePolicy(VirtualFence fence, std::size_t min_aps,
+                         bool fail_open)
+    : fence_(std::move(fence)), min_aps_(min_aps), fail_open_(fail_open) {}
+
+PolicyVerdict FencePolicy::evaluate(FrameContext& ctx) {
+  if (ctx.observations().size() < min_aps_) {
+    // Fail closed by default: only clients positively localized inside
+    // the boundary get access, which is the paper's intent.
+    if (fail_open_) return PolicyVerdict::accept();
+    return PolicyVerdict::deny(kDetailTooFewAps);
+  }
+  const FenceDecision fd = fence_.check_localized(ctx.localization());
+  if (!fd.allowed) return PolicyVerdict::deny(fd.reason);
+  return PolicyVerdict::accept(fd.reason);
+}
+
+PolicyVerdict SpoofPolicy::evaluate(FrameContext& ctx) {
+  if (ctx.spoof() && ctx.spoof()->verdict == SpoofVerdict::kSpoof) {
+    return PolicyVerdict::deny(kDetailSpoof);
+  }
+  return PolicyVerdict::accept();
+}
+
+RateLimitPolicy::RateLimitPolicy(RateLimitConfig config) : config_(config) {
+  SA_EXPECTS(config_.max_frames >= 1);
+  SA_EXPECTS(config_.window_frames >= 1);
+}
+
+PolicyVerdict RateLimitPolicy::evaluate(FrameContext& ctx) {
+  if (!ctx.source()) return PolicyVerdict::deny(kDetailNoSource);
+  const MacAddress& mac = *ctx.source();
+  const std::size_t now = ctx.frame_index();
+
+  auto [it, inserted] = history_.try_emplace(mac);
+  if (inserted) {
+    lru_.push_front(mac);
+    it->second.lru = lru_.begin();
+    if (config_.max_tracked_macs > 0 &&
+        history_.size() > config_.max_tracked_macs) {
+      history_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+    }
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+  }
+
+  auto& recent = it->second.recent;
+  // Drop history outside the window (frame indices are monotonic, so
+  // the in-window suffix is contiguous).
+  const std::size_t window_start =
+      now >= config_.window_frames ? now - config_.window_frames + 1 : 0;
+  recent.erase(std::remove_if(recent.begin(), recent.end(),
+                              [&](std::size_t f) { return f < window_start; }),
+               recent.end());
+  if (recent.size() >= config_.max_frames) {
+    return PolicyVerdict::deny(kDetailLimited);
+  }
+  recent.push_back(now);
+  return PolicyVerdict::accept();
+}
+
+// ------------------------------------------------------- chain building
+
+std::string_view to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kAcl: return AclPolicy::kName;
+    case PolicyKind::kFence: return FencePolicy::kName;
+    case PolicyKind::kSpoof: return SpoofPolicy::kName;
+    case PolicyKind::kRateLimit: return RateLimitPolicy::kName;
+  }
+  return "?";
+}
+
+std::optional<PolicyKind> policy_kind_from_string(std::string_view name) {
+  if (name == AclPolicy::kName) return PolicyKind::kAcl;
+  if (name == FencePolicy::kName) return PolicyKind::kFence;
+  if (name == SpoofPolicy::kName) return PolicyKind::kSpoof;
+  if (name == RateLimitPolicy::kName) return PolicyKind::kRateLimit;
+  return std::nullopt;
+}
+
+}  // namespace sa

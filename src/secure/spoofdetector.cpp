@@ -2,15 +2,29 @@
 
 namespace sa {
 
-SpoofDetector::SpoofDetector(TrackerConfig tracker_config)
-    : tracker_config_(tracker_config) {}
+SpoofDetector::SpoofDetector(TrackerConfig tracker_config,
+                             std::size_t max_tracked_macs)
+    : tracker_config_(tracker_config), max_tracked_macs_(max_tracked_macs) {}
 
 SpoofObservation SpoofDetector::observe(const MacAddress& source,
                                         const AoaSignature& signature) {
   ++packets_;
-  auto [it, inserted] =
-      trackers_.try_emplace(source, SignatureTracker(tracker_config_));
-  const TrackerDecision d = it->second.observe(signature);
+  auto it = trackers_.find(source);
+  if (it == trackers_.end()) {
+    lru_.push_front(source);
+    it = trackers_
+             .emplace(source,
+                      Entry{SignatureTracker(tracker_config_), lru_.begin()})
+             .first;
+    if (max_tracked_macs_ > 0 && trackers_.size() > max_tracked_macs_) {
+      trackers_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+    }
+  } else {
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+  }
+  const TrackerDecision d = it->second.tracker.observe(signature);
   SpoofObservation out;
   out.score = d.score;
   switch (d.verdict) {
@@ -30,13 +44,18 @@ SpoofObservation SpoofDetector::observe(const MacAddress& source,
 
 const SignatureTracker* SpoofDetector::tracker(const MacAddress& source) const {
   const auto it = trackers_.find(source);
-  return it == trackers_.end() ? nullptr : &it->second;
+  return it == trackers_.end() ? nullptr : &it->second.tracker;
 }
 
-void SpoofDetector::forget(const MacAddress& source) { trackers_.erase(source); }
+void SpoofDetector::forget(const MacAddress& source) {
+  const auto it = trackers_.find(source);
+  if (it == trackers_.end()) return;
+  lru_.erase(it->second.lru);
+  trackers_.erase(it);
+}
 
 SpoofDetectorStats SpoofDetector::stats() const {
-  return SpoofDetectorStats{packets_, alarms_, trackers_.size()};
+  return SpoofDetectorStats{packets_, alarms_, trackers_.size(), evictions_};
 }
 
 }  // namespace sa

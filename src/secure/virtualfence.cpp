@@ -113,12 +113,18 @@ VirtualFence::VirtualFence(Polygon boundary, double max_residual_deg)
 
 FenceDecision VirtualFence::check(
     const std::vector<FenceObservation>& observations) const {
-  FenceDecision d;
   if (observations.size() < 2) {
+    FenceDecision d;
     d.reason = "need >= 2 AP observations";
     return d;
   }
-  d.location = localize(observations);
+  return check_localized(localize(observations));
+}
+
+FenceDecision VirtualFence::check_localized(
+    std::optional<LocalizationResult> location) const {
+  FenceDecision d;
+  d.location = location;
   if (!d.location) {
     d.reason = "localization failed (parallel or inconsistent bearings)";
     return d;

@@ -65,11 +65,24 @@ struct EngineRig {
     return cfg;
   }
 
-  std::vector<EngineDecision> run_engine(std::size_t threads,
-                                         std::size_t shards = 8) {
+  /// Decode + acl + spoof + fence + rate: the full built-in chain. The
+  /// ACL allows the legitimate MACs (so the spoofed insider passes it and
+  /// must be caught downstream) but not the off-site transmitter's; the
+  /// tight rate limit fires on the busiest MAC.
+  EngineConfig five_policy_config() const {
     EngineConfig cfg = engine_config();
-    cfg.num_threads = threads;
-    cfg.num_shards = shards;
+    cfg.coordinator.policies = {PolicyKind::kAcl, PolicyKind::kSpoof,
+                                PolicyKind::kFence, PolicyKind::kRateLimit};
+    AccessControlList acl;
+    acl.allow(MacAddress::from_index(1));
+    acl.allow(MacAddress::from_index(2));
+    cfg.coordinator.acl = std::move(acl);
+    cfg.coordinator.rate_limit.max_frames = 3;
+    cfg.coordinator.rate_limit.window_frames = 1024;
+    return cfg;
+  }
+
+  std::vector<EngineDecision> run_engine_with(EngineConfig cfg) {
     DeploymentEngine engine(cfg, ptrs);
     std::vector<EngineDecision> out;
     for (const auto& round : rounds) {
@@ -77,6 +90,14 @@ struct EngineRig {
     }
     for (auto& d : engine.flush()) out.push_back(std::move(d));
     return out;
+  }
+
+  std::vector<EngineDecision> run_engine(std::size_t threads,
+                                         std::size_t shards = 8) {
+    EngineConfig cfg = engine_config();
+    cfg.num_threads = threads;
+    cfg.num_shards = shards;
+    return run_engine_with(cfg);
   }
 
   /// The single-threaded reference: serial streaming receivers, the same
@@ -123,7 +144,9 @@ void expect_identical_streams(const std::vector<EngineDecision>& a,
     EXPECT_EQ(a[i].absolute_start, b[i].absolute_start);
     const FrameDecision& da = a[i].decision;
     const FrameDecision& db = b[i].decision;
-    EXPECT_EQ(da.action, db.action);
+    EXPECT_EQ(da.accepted, db.accepted);
+    EXPECT_EQ(da.action(), db.action());
+    EXPECT_EQ(da.policy, db.policy);
     EXPECT_EQ(da.source, db.source);
     EXPECT_EQ(da.spoof, db.spoof);
     EXPECT_EQ(da.spoof_score, db.spoof_score);  // bit-exact, not approximate
@@ -134,7 +157,13 @@ void expect_identical_streams(const std::vector<EngineDecision>& a,
       EXPECT_EQ(da.location->residual_deg, db.location->residual_deg);
       EXPECT_EQ(da.location->aps_used, db.location->aps_used);
     }
-    EXPECT_STREQ(da.detail, db.detail);
+    EXPECT_EQ(da.detail, db.detail);
+    ASSERT_EQ(da.trace.size(), db.trace.size());
+    for (std::size_t t = 0; t < da.trace.size(); ++t) {
+      EXPECT_EQ(da.trace[t].policy, db.trace[t].policy);
+      EXPECT_EQ(da.trace[t].dropped, db.trace[t].dropped);
+      EXPECT_EQ(da.trace[t].detail, db.trace[t].detail);
+    }
   }
 }
 
@@ -202,6 +231,162 @@ TEST(Engine, RejectsMismatchedChunkCount) {
   DeploymentEngine engine(cfg, rig.ptrs);
   std::vector<CMat> wrong(rig.ptrs.size() + 1);
   EXPECT_THROW(engine.ingest(wrong), InvalidArgument);
+}
+
+// --------------------------------------------------------- policy chain
+
+TEST(Engine, FivePolicyChainIsThreadCountInvariant) {
+  EngineRig rig(11);
+  EngineConfig base = rig.five_policy_config();
+  base.num_threads = 1;
+  const auto reference = rig.run_engine_with(base);
+  ASSERT_GE(reference.size(), 5u);
+  for (std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE(threads);
+    EngineConfig cfg = rig.five_policy_config();
+    cfg.num_threads = threads;
+    expect_identical_streams(rig.run_engine_with(cfg), reference);
+  }
+}
+
+TEST(Engine, FivePolicyChainStatsSumToFrames) {
+  EngineRig rig(12);
+  EngineConfig cfg = rig.five_policy_config();
+  cfg.num_threads = 4;
+  DeploymentEngine engine(cfg, rig.ptrs);
+  std::size_t decisions = 0;
+  for (const auto& round : rig.rounds) decisions += engine.ingest(round).size();
+  decisions += engine.flush().size();
+
+  const auto& chain = engine.chain();
+  ASSERT_EQ(chain.size(), 5u);
+  EXPECT_EQ(chain.policy(0).name(), DecodePolicy::kName);
+  EXPECT_EQ(chain.policy(1).name(), AclPolicy::kName);
+  EXPECT_EQ(chain.policy(2).name(), SpoofPolicy::kName);
+  EXPECT_EQ(chain.policy(3).name(), FencePolicy::kName);
+  EXPECT_EQ(chain.policy(4).name(), RateLimitPolicy::kName);
+
+  // Every frame is either accepted by the whole chain or dropped by
+  // exactly one policy.
+  EXPECT_EQ(chain.frames(), decisions);
+  std::size_t drops = 0;
+  for (const auto& ps : chain.policy_stats()) {
+    drops += ps.dropped;
+    EXPECT_EQ(ps.evaluated, ps.accepted + ps.dropped);
+  }
+  EXPECT_EQ(chain.accepted() + drops, chain.frames());
+
+  // A policy only ever evaluates what its predecessors let through.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LE(chain.policy_stats()[i].evaluated,
+              chain.policy_stats()[i - 1].accepted);
+  }
+
+  // The legacy stats view agrees with the per-policy counters.
+  const auto st = engine.stats();
+  EXPECT_EQ(st.frames, chain.frames());
+  EXPECT_EQ(st.accepted, chain.accepted());
+  EXPECT_EQ(st.dropped_policy, chain.drops(AclPolicy::kName) +
+                                   chain.drops(RateLimitPolicy::kName));
+
+  // The off-site transmitter's unknown MAC hits the ACL; the busiest MAC
+  // trips the tight rate limit.
+  EXPECT_GT(chain.drops(AclPolicy::kName) + chain.drops(DecodePolicy::kName),
+            0u);
+  EXPECT_GT(chain.drops(RateLimitPolicy::kName), 0u);
+}
+
+TEST(Engine, ChainWithoutSpoofSkipsTrackerState) {
+  EngineRig rig(11);
+  EngineConfig cfg = rig.engine_config();
+  cfg.coordinator.policies = {PolicyKind::kFence};
+  cfg.num_threads = 2;
+  DeploymentEngine engine(cfg, rig.ptrs);
+  for (const auto& round : rig.rounds) engine.ingest(round);
+  engine.flush();
+  // No SpoofPolicy in the chain: trackers must not have trained.
+  EXPECT_EQ(engine.spoof_detector().stats().packets, 0u);
+  EXPECT_EQ(engine.spoof_detector().stats().tracked_macs, 0u);
+  EXPECT_FALSE(engine.chain().contains(SpoofPolicy::kName));
+}
+
+// ------------------------------------------------------------- grouping
+
+using StreamPacket = StreamingReceiver::StreamPacket;
+
+StreamPacket packet_at(std::size_t start) {
+  StreamPacket sp;
+  sp.absolute_start = start;
+  return sp;
+}
+
+TEST(Engine, GroupingDetectionExactlyAtSlackBoundaryFuses) {
+  const std::vector<Vec2> positions{{0.0, 0.0}, {10.0, 0.0}};
+  const std::size_t slack = 100;
+  // AP 1 hears the frame exactly `slack` samples after AP 0: still the
+  // same transmission. One sample later: a new one.
+  {
+    std::vector<std::vector<StreamPacket>> per_ap(2);
+    per_ap[0].push_back(packet_at(1000));
+    per_ap[1].push_back(packet_at(1000 + slack));
+    const auto groups =
+        group_frame_observations(std::move(per_ap), positions, slack);
+    ASSERT_EQ(groups.size(), 1u);
+    EXPECT_EQ(groups[0].absolute_start, 1000u);
+    EXPECT_EQ(groups[0].observations.size(), 2u);
+  }
+  {
+    std::vector<std::vector<StreamPacket>> per_ap(2);
+    per_ap[0].push_back(packet_at(1000));
+    per_ap[1].push_back(packet_at(1000 + slack + 1));
+    const auto groups =
+        group_frame_observations(std::move(per_ap), positions, slack);
+    ASSERT_EQ(groups.size(), 2u);
+    EXPECT_EQ(groups[0].observations.size(), 1u);
+    EXPECT_EQ(groups[1].observations.size(), 1u);
+  }
+}
+
+TEST(Engine, GroupingAnchorsSlackAtGroupStartNotRolling) {
+  // 0, slack, 2*slack: the third detection is within slack of the
+  // second but not of the group's first — it must start a new group
+  // (the window does not roll forward).
+  const std::vector<Vec2> positions{{0.0, 0.0}};
+  const std::size_t slack = 100;
+  std::vector<std::vector<StreamPacket>> per_ap(1);
+  per_ap[0].push_back(packet_at(0));
+  per_ap[0].push_back(packet_at(slack));
+  per_ap[0].push_back(packet_at(2 * slack));
+  const auto groups =
+      group_frame_observations(std::move(per_ap), positions, slack);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].observations.size(), 2u);
+  EXPECT_EQ(groups[1].absolute_start, 2 * slack);
+}
+
+TEST(Engine, GroupingInterleavedApOrderIsDeterministic) {
+  // AP 2 hears the first transmission before AP 0, and the per-AP vectors
+  // are supplied in AP order — grouping must sort by (start, ap index).
+  const std::vector<Vec2> positions{{0.0, 0.0}, {5.0, 0.0}, {10.0, 0.0}};
+  const std::size_t slack = 50;
+  std::vector<std::vector<StreamPacket>> per_ap(3);
+  per_ap[0].push_back(packet_at(210));  // 2nd transmission
+  per_ap[0].push_back(packet_at(510));  // 3rd
+  per_ap[1].push_back(packet_at(200));  // 2nd, earliest copy
+  per_ap[2].push_back(packet_at(20));   // 1st
+  per_ap[2].push_back(packet_at(200));  // 2nd, same start as AP 1's
+  const auto groups =
+      group_frame_observations(std::move(per_ap), positions, slack);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].absolute_start, 20u);
+  EXPECT_EQ(groups[0].observations.size(), 1u);
+  EXPECT_EQ(groups[1].absolute_start, 200u);
+  ASSERT_EQ(groups[1].observations.size(), 3u);
+  // Same start sample: AP 1 sorts before AP 2; AP 0's later copy last.
+  EXPECT_EQ(groups[1].observations[0].ap_position.x, 5.0);
+  EXPECT_EQ(groups[1].observations[1].ap_position.x, 10.0);
+  EXPECT_EQ(groups[1].observations[2].ap_position.x, 0.0);
+  EXPECT_EQ(groups[2].absolute_start, 510u);
 }
 
 }  // namespace

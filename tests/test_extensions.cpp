@@ -269,8 +269,8 @@ TEST(Coordinator, AcceptsLegitimateIndoorClient) {
     const auto obs = rig.uplink(rig.tb.client(5).position, mac);
     ASSERT_FALSE(obs.empty());
     const auto d = coord.process(obs);
-    EXPECT_NE(d.action, FrameAction::kDropFence) << i;
-    EXPECT_NE(d.action, FrameAction::kDropSpoof) << i;
+    EXPECT_NE(d.action(), FrameAction::kDropFence) << i;
+    EXPECT_NE(d.action(), FrameAction::kDropSpoof) << i;
     ASSERT_TRUE(d.source.has_value());
     EXPECT_EQ(*d.source, mac);
   }
@@ -294,7 +294,7 @@ TEST(Coordinator, DropsOutdoorTransmitter) {
     if (obs.size() < 2) continue;  // not enough APs heard it: no frame anyway
     ++observed;
     const auto d = coord.process(obs);
-    if (d.action == FrameAction::kDropFence) ++fence_drops;
+    if (d.action() == FrameAction::kDropFence) ++fence_drops;
   }
   ASSERT_GT(observed, 0);
   EXPECT_EQ(fence_drops, observed);
@@ -316,7 +316,7 @@ TEST(Coordinator, DropsSpoofedFrames) {
     const auto obs = rig.uplink(rig.tb.client(17).position, mac);
     ASSERT_FALSE(obs.empty());
     const auto d = coord.process(obs);
-    if (d.action == FrameAction::kDropSpoof) ++spoof_drops;
+    if (d.action() == FrameAction::kDropSpoof) ++spoof_drops;
   }
   EXPECT_GE(spoof_drops, 5);
   EXPECT_EQ(coord.stats().dropped_spoof, static_cast<std::size_t>(spoof_drops));
@@ -331,7 +331,7 @@ TEST(Coordinator, FenceDisabledStillDetectsSpoof) {
     coord.process(rig.uplink(rig.tb.client(3).position, mac));
   }
   const auto d = coord.process(rig.uplink(rig.tb.client(9).position, mac));
-  EXPECT_EQ(d.action, FrameAction::kDropSpoof);
+  EXPECT_EQ(d.action(), FrameAction::kDropSpoof);
   EXPECT_FALSE(d.location.has_value());
 }
 

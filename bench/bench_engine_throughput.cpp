@@ -1,6 +1,7 @@
 // DeploymentEngine throughput: frames/sec of the batched multi-threaded
-// frame-decision pipeline versus thread count and AoA backend, on the
-// Figure-4 office with a 4-AP deployment.
+// frame-decision pipeline versus thread count, AoA backend, wideband
+// subband count, and policy-chain length, on the Figure-4 office with a
+// 4-AP deployment.
 //
 // The workload (channel-simulated uplink chunks) is generated once and
 // replayed against a fresh engine per configuration, so the numbers
@@ -8,14 +9,18 @@
 // decode, covariance, AoA estimation, grouping, and the fence/spoof
 // decision — not the channel simulator.
 //
-// Usage: bench_engine_throughput [packets-per-client] [max-threads]
+// Usage: bench_engine_throughput [--smoke] [packets-per-client] [max-threads]
+//   --smoke   minimal workload (1 packet/client, 2 threads, short sweeps)
+//             so CI can execute every section on each PR.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "sa/aoa/covariance.hpp"
 #include "sa/engine/deployment.hpp"
 
 using namespace sa;
@@ -36,25 +41,95 @@ double run_once(DeploymentEngine& engine,
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
+/// Satellite note: the SpectralContext conditions covariances with the
+/// in-place forward-backward / diagonal-loading variants. Time the
+/// copying originals against them on an 8x8 so the win is visible in
+/// every bench run.
+void covariance_conditioning_note(std::size_t reps) {
+  Rng rng(7);
+  CMat r(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i; j < 8; ++j) {
+      const cd v = i == j ? cd{2.0 + 0.1 * static_cast<double>(i), 0.0}
+                          : rng.complex_normal(1.0);
+      r(i, j) = v;
+      r(j, i) = std::conj(v);
+    }
+  }
+  volatile double sink = 0.0;
+  auto time_loop = [&](auto&& body) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < reps; ++i) body();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+           static_cast<double>(reps);
+  };
+  // The pre-refactor hot path: the estimator copied the covariance into
+  // its private working matrix, and forward_backward_average then
+  // allocated and filled a *second* matrix from it — two full-matrix
+  // materializations per estimate.
+  const double fb_before = time_loop([&] {
+    const CMat work = r;
+    const CMat out = forward_backward_average(work);
+    sink = sink + out(0, 0).real();
+  });
+  // The SpectralContext path: one single-pass average straight off the
+  // shared raw covariance (the in-place variant serves the smoothed-
+  // subarray branch, whose scratch matrix the context already owns).
+  const double fb_after = time_loop([&] {
+    const CMat out = forward_backward_average(r);
+    sink = sink + out(0, 0).real();
+  });
+  const double dl = time_loop([&] {
+    CMat work = r;  // the raw covariance must stay intact for reuse
+    diagonal_load_inplace(work, 1e-3);
+    sink = sink + work(0, 0).real();
+  });
+  std::printf(
+      "\ncovariance conditioning (8x8, %zu reps):\n"
+      "  forward-backward: %8.1f ns copy-then-average (pre-refactor) -> "
+      "%8.1f ns single-pass\n"
+      "  diagonal load:    %8.1f ns (copy + in-place load; the copy is the "
+      "caller's —\n"
+      "                    the raw covariance stays shareable in the "
+      "SpectralContext)\n",
+      reps, fb_before, fb_after, dl);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int packets = argc > 1 ? std::atoi(argv[1]) : 6;
+  bool smoke = false;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  const int packets =
+      positional.size() > 0 ? std::atoi(positional[0]) : (smoke ? 1 : 6);
   const std::size_t max_threads =
-      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 8;
+      positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10)
+                            : (smoke ? 2 : 8);
   const std::size_t num_aps = 4;
 
   sa::bench::print_header(
-      "DeploymentEngine throughput: frames/sec vs threads and AoA backend",
-      "engine scaling on the Figure-4 office (4 APs)");
+      "DeploymentEngine throughput: frames/sec vs threads, AoA backend, "
+      "subbands",
+      smoke ? "smoke mode: minimal workload, every section exercised"
+            : "engine scaling on the Figure-4 office (4 APs)");
+
+  covariance_conditioning_note(smoke ? 2000 : 20000);
 
   const auto tb = OfficeTestbed::figure4();
 
   // One AP set per backend, drawn from identical RNG streams so chain
   // impairments and calibration match across backends.
   const AoaBackend backends[] = {AoaBackend::kMusic, AoaBackend::kCapon,
-                                 AoaBackend::kBartlett,
-                                 AoaBackend::kRootMusic};
+                                 AoaBackend::kBartlett, AoaBackend::kRootMusic,
+                                 AoaBackend::kEsprit};
   std::vector<std::vector<std::unique_ptr<AccessPoint>>> ap_sets;
   for (AoaBackend backend : backends) {
     Rng rng(42);
@@ -128,6 +203,41 @@ int main(int argc, char** argv) {
     const double secs = run_once(*engine, rounds, &frames);
     std::printf("%-12s %10zu %12.1f\n", to_string(backends[b]), frames,
                 static_cast<double>(frames) / secs);
+  }
+
+  // ---- frames/sec vs wideband subband count (MUSIC backend). Per-band
+  // covariances are smaller-snapshot but each adds an EVD + scan; the
+  // per-(frame, band) fan-out keeps the pool busy inside a single frame.
+  {
+    const std::vector<std::size_t> band_counts =
+        smoke ? std::vector<std::size_t>{1, 4}
+              : std::vector<std::size_t>{1, 2, 4, 8};
+    std::printf("\n%-10s %10s %12s %10s\n", "subbands", "frames", "frames/sec",
+                "vs K=1");
+    double k1_fps = 0.0;
+    for (std::size_t k : band_counts) {
+      Rng rng(42);
+      std::vector<std::unique_ptr<AccessPoint>> aps;
+      std::vector<AccessPoint*> ptrs;
+      for (const Vec2& spot : tb.ap_mounting_points(num_aps)) {
+        AccessPointConfig cfg;
+        cfg.position = spot;
+        cfg.subbands = k;
+        aps.push_back(std::make_unique<AccessPoint>(cfg, rng));
+        ptrs.push_back(aps.back().get());
+      }
+      EngineConfig ecfg;
+      ecfg.num_threads = backend_threads;
+      ecfg.coordinator.fence_boundary = tb.building_outline();
+      ecfg.coordinator.min_aps_for_fence = 2;
+      DeploymentEngine engine(ecfg, ptrs);
+      std::size_t frames = 0;
+      const double secs = run_once(engine, rounds, &frames);
+      const double fps = static_cast<double>(frames) / secs;
+      if (k == 1) k1_fps = fps;
+      std::printf("%-10zu %10zu %12.1f %9.2fx\n", k, frames, fps,
+                  k1_fps > 0.0 ? fps / k1_fps : 1.0);
+    }
   }
 
   // ---- frames/sec vs policy-chain length (MUSIC backend). The ACL

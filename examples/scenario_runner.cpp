@@ -10,12 +10,13 @@
 //   --packets N       frames per client per phase    (default 10)
 //   --aps N           access points, any count >= 1  (default 3)
 //   --threads N       engine worker threads, 0=auto  (default 1)
-//   --estimator NAME  music|capon|bartlett|root-music (default music)
+//   --estimator NAME  music|capon|bartlett|root-music|esprit (default music)
+//   --subbands K      wideband subbands per packet, power of two (default 1)
 //   --policies LIST   comma-separated chain order from acl,fence,spoof,rate
 //                     (default spoof,fence; decode is always implicit first;
 //                     acl allows exactly the testbed's legitimate clients)
 // e.g.:  ./build/examples/scenario_runner --aps 6 --threads 4
-//            --policies acl,fence,spoof,rate
+//            --subbands 4 --policies acl,fence,spoof,rate
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -23,6 +24,7 @@
 #include <string>
 
 #include "sa/common/rng.hpp"
+#include "sa/dsp/fft.hpp"
 #include "sa/engine/deployment.hpp"
 #include "sa/mac/frame.hpp"
 #include "sa/phy/packet.hpp"
@@ -36,8 +38,8 @@ namespace {
 [[noreturn]] void print_usage(std::FILE* to, const char* argv0, int status) {
   std::fprintf(to,
                "usage: %s [--seed N] [--packets N] [--aps N] [--threads N]\n"
-               "          [--estimator music|capon|bartlett|root-music]\n"
-               "          [--policies acl,fence,spoof,rate]\n"
+               "          [--estimator music|capon|bartlett|root-music|esprit]\n"
+               "          [--subbands K] [--policies acl,fence,spoof,rate]\n"
                "          [seed [packets [num-aps]]]\n",
                argv0);
   std::exit(status);
@@ -75,6 +77,7 @@ int main(int argc, char** argv) {
   int packets = 10;
   std::size_t num_aps = 3;
   std::size_t threads = 1;
+  std::size_t subbands = 1;
   AoaBackend estimator = AoaBackend::kMusic;
   std::vector<PolicyKind> policies = default_policy_chain();
 
@@ -104,9 +107,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       threads = std::strtoul(value(), nullptr, 10);
     } else if (arg == "--estimator") {
-      const auto parsed = aoa_backend_from_string(value());
-      if (!parsed) usage(argv[0]);
+      const char* name = value();
+      const auto parsed = aoa_backend_from_string(name);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown estimator '%s' (valid: %s)\n", name,
+                     aoa_backend_names());
+        usage(argv[0]);
+      }
       estimator = *parsed;
+    } else if (arg == "--subbands") {
+      subbands = std::strtoul(value(), nullptr, 10);
     } else if (arg == "--policies") {
       policies = parse_policies(value(), argv[0]);
     } else if (arg == "--help" || arg == "-h") {
@@ -124,6 +134,12 @@ int main(int argc, char** argv) {
     }
   }
   if (packets < 1 || num_aps < 1) usage(argv[0]);
+  if (!is_pow2(subbands) || subbands > 64) {
+    std::fprintf(stderr,
+                 "--subbands must be a power of two in [1, 64], got %zu\n",
+                 subbands);
+    usage(argv[0]);
+  }
 
   const auto tb = OfficeTestbed::figure4();
   Rng rng(seed);
@@ -137,6 +153,7 @@ int main(int argc, char** argv) {
     AccessPointConfig cfg;
     cfg.position = spot;
     cfg.estimator = estimator;
+    cfg.subbands = subbands;
     aps.push_back(std::make_unique<AccessPoint>(cfg, rng));
     ap_ptrs.push_back(aps.back().get());
     sim.add_ap(aps.back()->placement());
@@ -162,9 +179,9 @@ int main(int argc, char** argv) {
     chain_names += engine.chain().policy(i).name();
   }
   std::printf(
-      "deployment: %zu AP(s), %zu engine thread(s), estimator %s, seed %llu, "
-      "%d packets/client\npolicy chain: %s\n",
-      num_aps, engine.num_threads(), to_string(estimator),
+      "deployment: %zu AP(s), %zu engine thread(s), estimator %s, "
+      "%zu subband(s), seed %llu, %d packets/client\npolicy chain: %s\n",
+      num_aps, engine.num_threads(), to_string(estimator), subbands,
       static_cast<unsigned long long>(seed), packets, chain_names.c_str());
 
   std::uint16_t seq = 0;

@@ -24,6 +24,13 @@ CMat sample_covariance(const CMat& samples);
 /// coherent sources and halves estimator variance.
 CMat forward_backward_average(const CMat& r);
 
+/// In-place forward-backward average: same arithmetic (bit-identical
+/// result) without allocating a second matrix, for callers that already
+/// own a scratch copy (e.g. the SpectralContext's smoothed subarray
+/// matrix). When the input must be preserved anyway, the allocating
+/// overload above is the single-pass fast path.
+void forward_backward_average_inplace(CMat& r);
+
 /// Forward spatial smoothing for a ULA: average the covariances of all
 /// contiguous subarrays of size `subarray_size`. Restores rank against up
 /// to (n - subarray_size + 1) coherent paths at the cost of aperture.
@@ -32,5 +39,8 @@ CMat spatial_smooth(const CMat& r, std::size_t subarray_size);
 
 /// Add eps * trace(R)/n to the diagonal (regularization for Capon).
 CMat diagonal_load(const CMat& r, double eps = 1e-3);
+
+/// In-place diagonal loading (no full-matrix copy).
+void diagonal_load_inplace(CMat& r, double eps = 1e-3);
 
 }  // namespace sa

@@ -1,0 +1,42 @@
+// ESPRIT [Roy & Kailath 1989]: estimation of signal parameters via
+// rotational invariance. A uniform linear array contains two identical
+// subarrays shifted by one element; the signal subspace seen by the two
+// is related by a rotation whose eigenvalues encode the arrival angles.
+// Search-free like root-MUSIC, but solved from the *signal* subspace via
+// a small least-squares problem instead of a degree-2(n-1) polynomial.
+// An extension beyond the paper (which uses grid MUSIC); linear arrays
+// only — other geometries have no shift invariance to exploit.
+#pragma once
+
+#include <vector>
+
+#include "sa/array/geometry.hpp"
+#include "sa/linalg/cmat.hpp"
+#include "sa/linalg/eig.hpp"
+
+namespace sa {
+
+struct EspritConfig {
+  /// Fixed source count; 0 = estimate with MDL (like MusicEstimator).
+  std::size_t num_sources = 0;
+  bool forward_backward = true;
+};
+
+/// LS-ESPRIT over a precomputed eigendecomposition (ascending
+/// eigenvalues, e.g. SpectralContext::eig), sharing one EVD with the
+/// other subspace consumers of the same frame. `spacing_m` is the ULA
+/// element spacing. Returns up to `num_sources` bearings in the ULA
+/// convention (degrees from broadside), best-conditioned first; empty
+/// when the subarray system is singular or the rotation eigenvalues
+/// cannot be extracted.
+std::vector<double> esprit_bearings_from_subspace(const EigResult& eig,
+                                                  std::size_t num_sources,
+                                                  double spacing_m,
+                                                  double lambda_m);
+
+/// One-shot convenience from a ULA covariance matrix (mirrors
+/// root_music's signature).
+std::vector<double> esprit(const CMat& covariance, const ArrayGeometry& geom,
+                           double lambda_m, const EspritConfig& config = {});
+
+}  // namespace sa

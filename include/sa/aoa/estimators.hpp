@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "sa/aoa/pseudospectrum.hpp"
+#include "sa/aoa/spectral.hpp"
 #include "sa/array/geometry.hpp"
 #include "sa/linalg/cmat.hpp"
 
@@ -55,9 +56,23 @@ class MusicEstimator {
   explicit MusicEstimator(MusicConfig config = {});
 
   /// Compute the MUSIC pseudospectrum of `covariance` for `geom` at
-  /// wavelength `lambda_m`.
+  /// wavelength `lambda_m`. Equivalent to building a one-shot
+  /// SpectralContext with this config's conditioning and scanning it.
   MusicResult estimate(const CMat& covariance, const ArrayGeometry& geom,
                        double lambda_m) const;
+
+  /// Scan a shared spectral context: consumes ctx.eig() and the cached
+  /// noise projector, so the eigendecomposition is paid for once per
+  /// frame even when several backends look at the same context. The
+  /// context's conditioning options stand in for this config's
+  /// forward_backward/smoothing_subarray settings.
+  MusicResult estimate(const SpectralContext& ctx) const;
+
+  /// The conditioning a context must carry for estimate(ctx) to match
+  /// estimate(covariance, ...) exactly.
+  SpectralOptions spectral_options() const {
+    return {config_.forward_backward, config_.smoothing_subarray};
+  }
 
   const MusicConfig& config() const { return config_; }
 
@@ -75,6 +90,14 @@ Pseudospectrum capon_spectrum(const CMat& covariance, const ArrayGeometry& geom,
                               double lambda_m, double step_deg = 1.0,
                               double loading = 1e-3);
 
+/// Capon scan over a precomputed loaded inverse (e.g.
+/// SpectralContext::inverse), so the matrix inversion is shared with
+/// other consumers of the same frame.
+Pseudospectrum capon_spectrum_from_inverse(const CMat& r_inverse,
+                                           const ArrayGeometry& geom,
+                                           double lambda_m,
+                                           double step_deg = 1.0);
+
 /// Paper Equation 1: theta = arcsin((phase(x2) - phase(x1)) / pi) for two
 /// antennas at half-wavelength spacing; returns degrees from broadside.
 /// The phase difference is wrapped into (-pi, pi] as in the paper.
@@ -91,5 +114,12 @@ double power_weighted_direct_bearing_deg(const Pseudospectrum& music_spectrum,
                                          const CMat& covariance,
                                          const ArrayGeometry& geom,
                                          double lambda_m);
+
+/// Same rule over a precomputed loaded inverse (1e-3 loading in the
+/// plain overload), letting the receive pipeline reuse the
+/// SpectralContext's cached inverse instead of re-inverting per packet.
+double power_weighted_direct_bearing_with_inverse_deg(
+    const Pseudospectrum& music_spectrum, const std::vector<SpectrumPeak>& peaks,
+    const CMat& r_inverse, const ArrayGeometry& geom, double lambda_m);
 
 }  // namespace sa

@@ -32,4 +32,12 @@ std::vector<RootMusicSource> root_music(const CMat& covariance,
                                         double lambda_m,
                                         const RootMusicConfig& config = {});
 
+/// The polynomial stage alone, over a precomputed ULA noise projector
+/// (e.g. SpectralContext::noise_projector) — shares one EVD with the
+/// grid-MUSIC scan instead of redoing it. `spacing_m` is the ULA element
+/// spacing; returns up to `num_sources` bearings, best first.
+std::vector<RootMusicSource> root_music_from_projector(
+    const CMat& noise_projector, double spacing_m, double lambda_m,
+    std::size_t num_sources);
+
 }  // namespace sa

@@ -7,9 +7,15 @@
 //
 //   per-AP sample chunks
 //     -> StreamingReceiver::scan        (parallel across APs)
-//     -> AccessPoint::demodulate        (parallel across every candidate
-//                                        frame of every AP — the hot path:
-//                                        PHY decode + covariance + AoA)
+//     -> AccessPoint::prepare           (parallel across every candidate
+//                                        frame of every AP: PHY decode +
+//                                        per-subband covariance contexts)
+//     -> AccessPoint::estimate_band     (parallel across every (frame,
+//                                        subband) pair — intra-frame
+//                                        parallelism: one frame with K
+//                                        subbands keeps K workers busy)
+//     -> AccessPoint::assemble          (parallel across frames:
+//                                        signature fusion + bearing)
 //     -> StreamingReceiver::commit      (sequential per AP, cheap)
 //     -> cross-AP grouping by start sample
 //     -> spoof observe                  (parallel across MAC shards,

@@ -31,7 +31,11 @@ class ShardedSpoofDetector {
   std::size_t num_shards() const { return shards_.size(); }
   std::size_t shard_of(const MacAddress& source) const;
 
-  /// Feed one (MAC, signature) pair; locks only the owning shard.
+  /// Feed one (MAC, signature) pair; locks only the owning shard. The
+  /// tracker comparison is subband-wise, like SpoofDetector's.
+  SpoofObservation observe(const MacAddress& source,
+                           const SubbandSignature& signature);
+  /// Single-band compatibility overload.
   SpoofObservation observe(const MacAddress& source,
                            const AoaSignature& signature);
 

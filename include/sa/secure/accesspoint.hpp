@@ -4,9 +4,12 @@
 //     -> per-chain impairments (unknown LO phases, §2.2)
 //     -> calibration correction (USRP2-style table)
 //     -> Schmidl-Cox packet detection (§3, on a reference antenna)
-//     -> per-packet antenna correlation matrix (whole-packet averaging)
-//     -> MUSIC pseudospectrum (§2.1)
-//     -> AoA signature + decoded 802.11 frame
+//     -> per-packet antenna correlation matrix (whole-packet averaging),
+//        optionally split into K frequency subbands (wideband mode)
+//     -> per-band MUSIC pseudospectrum (§2.1) over a shared
+//        SpectralContext (one EVD/inverse per band, reused by every
+//        consumer)
+//     -> AoA + subband signatures + decoded 802.11 frame
 //
 // Applications (virtual fence, spoof detection) consume ReceivedPacket.
 #pragma once
@@ -17,6 +20,7 @@
 
 #include "sa/aoa/estimator.hpp"
 #include "sa/aoa/estimators.hpp"
+#include "sa/aoa/spectral.hpp"
 #include "sa/array/calibration.hpp"
 #include "sa/array/geometry.hpp"
 #include "sa/array/impairments.hpp"
@@ -25,6 +29,7 @@
 #include "sa/phy/detector.hpp"
 #include "sa/phy/packet.hpp"
 #include "sa/signature/signature.hpp"
+#include "sa/signature/subband.hpp"
 
 namespace sa {
 
@@ -53,6 +58,20 @@ struct AccessPointConfig {
   bool power_weighted_bearing = true;
   /// Chain gain mismatch spread handed to ArrayImpairments::random.
   double chain_gain_sigma = 0.05;
+  /// Wideband mode: the number of frequency subbands K each packet's
+  /// samples are split into (length-K DFT over consecutive sample
+  /// blocks; must be a power of two, <= 64). 1 — the default — is the
+  /// paper's single full-band covariance, byte-identical to the
+  /// pre-wideband pipeline. K > 1 estimates AoA per subband at that
+  /// subband's centre wavelength and carries a K-band SubbandSignature
+  /// the spoof machinery compares subband-wise.
+  std::size_t subbands = 1;
+  /// Share the per-band SpectralContext's cached decompositions (EVD,
+  /// loaded inverse) across every consumer of a frame — the estimator,
+  /// the power-weighted bearing rule — so each band pays for one EVD and
+  /// at most one inverse. False recomputes per consumer (the
+  /// pre-refactor behavior, kept for A/B benchmarks).
+  bool share_spectral_cache = true;
 };
 
 /// Everything the AP knows about one received packet.
@@ -60,8 +79,14 @@ struct ReceivedPacket {
   PacketDetection detection;
   std::optional<DecodedPacket> phy;  ///< nullopt: PHY decode failed
   std::optional<Frame> frame;        ///< nullopt: bad FCS or no PHY
+  /// The centre band's estimate (the full band when subbands == 1).
   MusicResult music;
+  /// Full-band signature: the single band's, or the fused mean of the
+  /// normalized per-band spectra in wideband mode.
   AoaSignature signature;
+  /// Per-subband signatures (one band when subbands == 1) — what the
+  /// spoof trackers compare.
+  SubbandSignature subband;
   /// Strongest-peak bearing in the array's own convention.
   double bearing_array_deg = 0.0;
   /// Candidate world azimuths of the direct path (two for a linear
@@ -92,8 +117,40 @@ class AccessPoint {
   std::vector<PacketDetection> detect(const CMat& conditioned) const;
   /// Decode + covariance + AoA for one detection inside a conditioned
   /// buffer. nullopt when the capture is truncated too hard to process.
+  /// Equivalent to prepare() + estimate_band() per band + assemble(),
+  /// run serially.
   std::optional<ReceivedPacket> demodulate(const CMat& conditioned,
                                            const PacketDetection& det) const;
+
+  // The demodulate pipeline split into its three stages so callers (the
+  // deployment engine) can fan the per-subband estimates across a thread
+  // pool — intra-frame parallelism. All three are const and safe to call
+  // concurrently for different frames/bands; a single FramePrep's
+  // contexts each belong to one band's estimate at a time.
+
+  /// Everything demodulation derives before the AoA estimates: the
+  /// decode results and one SpectralContext per subband (one for the
+  /// whole band when subbands == 1, or when the capture is too short to
+  /// split).
+  struct FramePrep {
+    PacketDetection detection;
+    std::optional<DecodedPacket> phy;
+    std::optional<Frame> frame;
+    /// Per-subband contexts in ascending subband-frequency order.
+    std::vector<SpectralContext> bands;
+  };
+
+  /// Stage 1: PHY decode + per-band covariance contexts. nullopt when
+  /// the capture is truncated too hard to process.
+  std::optional<FramePrep> prepare(const CMat& conditioned,
+                                   const PacketDetection& det) const;
+  /// Stage 2: this AP's estimator over one band's context.
+  MusicResult estimate_band(const FramePrep& prep, std::size_t band) const;
+  /// Stage 3: fuse the per-band results into a ReceivedPacket
+  /// (signatures, bearing selection, world azimuths). `band_results[b]`
+  /// must be estimate_band(prep, b).
+  ReceivedPacket assemble(FramePrep prep,
+                          std::vector<MusicResult> band_results) const;
 
   /// AoA-only path: covariance + MUSIC + signature over a sample block
   /// already known to span one packet (no detection/decode).

@@ -39,7 +39,12 @@ class SpoofDetector {
   explicit SpoofDetector(TrackerConfig tracker_config = {},
                          std::size_t max_tracked_macs = 0);
 
-  /// Feed one (MAC, signature) pair from a decoded uplink frame.
+  /// Feed one (MAC, signature) pair from a decoded uplink frame. The
+  /// per-MAC tracker compares subband-wise (one band = the paper's
+  /// narrowband behavior, unchanged).
+  SpoofObservation observe(const MacAddress& source,
+                           const SubbandSignature& signature);
+  /// Single-band compatibility overload.
   SpoofObservation observe(const MacAddress& source,
                            const AoaSignature& signature);
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include "sa/signature/signature.hpp"
+#include "sa/signature/subband.hpp"
 
 namespace sa {
 
@@ -31,6 +32,18 @@ struct MatchWeights {
 /// Combined match score in [0, 1]; 1 = same client, near 0 = different.
 /// score = w_cosine * cosine + w_peaks * (1 - peak_set_distance).
 double match_score(const AoaSignature& a, const AoaSignature& b,
+                   const MatchWeights& weights = {});
+
+// Subband-wise variants: both signatures must carry the same band count;
+// each metric is the mean of its single-band value over corresponding
+// bands, so with one band these agree exactly with the overloads above.
+double cosine_similarity(const SubbandSignature& a, const SubbandSignature& b);
+double spectral_distance_db(const SubbandSignature& a,
+                            const SubbandSignature& b,
+                            double floor_db = -30.0);
+double peak_set_distance(const SubbandSignature& a, const SubbandSignature& b,
+                         double match_tolerance_deg = 10.0);
+double match_score(const SubbandSignature& a, const SubbandSignature& b,
                    const MatchWeights& weights = {});
 
 }  // namespace sa

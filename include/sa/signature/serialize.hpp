@@ -14,15 +14,28 @@
 #include <vector>
 
 #include "sa/signature/signature.hpp"
+#include "sa/signature/subband.hpp"
 
 namespace sa {
 
 using ByteStream = std::vector<std::uint8_t>;
 
-/// Serialize a signature (spectrum grid + values + wrap flag).
+/// Serialize a signature (spectrum grid + values + wrap flag) — the
+/// legacy single-band "SAA1" format.
 ByteStream serialize_signature(const AoaSignature& sig);
 
 /// Parse a serialized signature; nullopt on malformed/truncated input.
 std::optional<AoaSignature> deserialize_signature(const ByteStream& data);
+
+/// Serialize a wideband signature. One band emits byte-identical legacy
+/// "SAA1" output (wire compatibility with every pre-wideband consumer);
+/// multiple bands emit the "SAA2" container: a band count followed by the
+/// per-band spectra in ascending subband-frequency order.
+ByteStream serialize_signature(const SubbandSignature& sig);
+
+/// Parse either format ("SAA1" becomes a one-band signature); nullopt on
+/// malformed/truncated input.
+std::optional<SubbandSignature> deserialize_subband_signature(
+    const ByteStream& data);
 
 }  // namespace sa

@@ -40,13 +40,21 @@ class SignatureTracker {
  public:
   explicit SignatureTracker(TrackerConfig config = {});
 
-  /// Feed one observed signature; returns the verdict against the
-  /// tracked reference.
+  /// Feed one observed wideband signature; returns the verdict against
+  /// the tracked per-band references (subband-wise mean match score). A
+  /// band-count change after training is an automatic mismatch (an
+  /// attacker cannot downgrade a reference to fewer bands); during
+  /// training it restarts the accumulation with the new band count.
+  TrackerDecision observe(const SubbandSignature& observed);
+  /// Single-band compatibility overload.
   TrackerDecision observe(const AoaSignature& observed);
 
   bool trained() const { return trained_; }
-  /// Current reference; nullopt before training completes.
+  /// Current reference collapsed to one band (fused across subbands);
+  /// nullopt before any observation.
   std::optional<AoaSignature> reference() const;
+  /// Per-band reference spectra; nullopt before any observation.
+  std::optional<SubbandSignature> reference_bands() const;
 
   std::size_t observations() const { return observations_; }
   std::size_t mismatches() const { return mismatches_; }
@@ -57,14 +65,25 @@ class SignatureTracker {
   const TrackerConfig& config() const { return config_; }
 
  private:
-  void blend_into_reference(const AoaSignature& observed, double alpha);
+  /// One band's accumulating linear reference spectrum.
+  struct BandReference {
+    std::vector<double> values;
+    std::vector<double> angles;
+    bool wraps = false;
+  };
+
+  void blend_into_reference(const SubbandSignature& observed, double alpha);
+  /// The cached materialized reference, built on demand. Precondition:
+  /// at least one observation (refs_ non-empty).
+  const SubbandSignature& materialized_reference() const;
 
   TrackerConfig config_;
   bool trained_ = false;
   std::size_t training_seen_ = 0;
-  std::vector<double> ref_values_;   // accumulating linear spectrum
-  std::vector<double> ref_angles_;
-  bool ref_wraps_ = false;
+  std::vector<BandReference> refs_;  // one per subband
+  /// Materialized reference signatures, rebuilt only after a blend —
+  /// the per-observation hot path otherwise re-extracts K peak sets.
+  mutable std::optional<SubbandSignature> ref_cache_;
   std::size_t observations_ = 0;
   std::size_t mismatches_ = 0;
 };

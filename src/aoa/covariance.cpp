@@ -27,6 +27,9 @@ CMat forward_backward_average(const CMat& r) {
   SA_EXPECTS(r.rows() == r.cols());
   const std::size_t n = r.rows();
   CMat out(n, n);
+  // Out-of-place on purpose: reads never alias the writes, so this
+  // pipelines/vectorizes where the in-place variant's read-modify-write
+  // pairs cannot.
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       // (J conj(R) J)(i, j) = conj(R(n-1-i, n-1-j)).
@@ -34,6 +37,34 @@ CMat forward_backward_average(const CMat& r) {
     }
   }
   return out;
+}
+
+void forward_backward_average_inplace(CMat& r) {
+  SA_EXPECTS(r.rows() == r.cols());
+  const std::size_t n = r.rows();
+  // (J conj(R) J)(i, j) = conj(R(n-1-i, n-1-j)): entries pair up with
+  // their point reflection through the matrix centre, so both members of
+  // a pair are rewritten together from their saved originals. Rows in
+  // the top half pair with distinct bottom-half rows; odd n leaves a
+  // middle row whose left half pairs with its right half around the
+  // self-paired centre element.
+  auto average_pair = [&](std::size_t i, std::size_t j) {
+    const std::size_t pi = n - 1 - i;
+    const std::size_t pj = n - 1 - j;
+    const cd a = r(i, j);
+    const cd b = r(pi, pj);
+    r(i, j) = (a + std::conj(b)) * 0.5;
+    r(pi, pj) = (b + std::conj(a)) * 0.5;
+  };
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    for (std::size_t j = 0; j < n; ++j) average_pair(i, j);
+  }
+  if (n % 2 != 0) {
+    const std::size_t mid = n / 2;
+    for (std::size_t j = 0; j < n / 2; ++j) average_pair(mid, j);
+    const cd c = r(mid, mid);
+    r(mid, mid) = (c + std::conj(c)) * 0.5;
+  }
 }
 
 CMat spatial_smooth(const CMat& r, std::size_t subarray_size) {
@@ -54,13 +85,17 @@ CMat spatial_smooth(const CMat& r, std::size_t subarray_size) {
 }
 
 CMat diagonal_load(const CMat& r, double eps) {
+  CMat out = r;
+  diagonal_load_inplace(out, eps);
+  return out;
+}
+
+void diagonal_load_inplace(CMat& r, double eps) {
   SA_EXPECTS(r.rows() == r.cols());
   SA_EXPECTS(eps >= 0.0);
   const std::size_t n = r.rows();
-  CMat out = r;
   const double load = eps * r.trace().real() / static_cast<double>(n);
-  for (std::size_t i = 0; i < n; ++i) out(i, i) += cd{load, 0.0};
-  return out;
+  for (std::size_t i = 0; i < n; ++i) r(i, i) += cd{load, 0.0};
 }
 
 }  // namespace sa

@@ -1,0 +1,119 @@
+#include "sa/aoa/esprit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sa/aoa/covariance.hpp"
+#include "sa/aoa/estimators.hpp"
+#include "sa/common/angles.hpp"
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+#include "sa/linalg/lu.hpp"
+#include "sa/linalg/polyroots.hpp"
+
+namespace sa {
+
+namespace {
+
+/// Characteristic polynomial of a k x k matrix via Faddeev-LeVerrier
+/// (ascending powers, monic). Numerically fine for the k <= 7 rotation
+/// matrices ESPRIT produces on an 8-antenna array.
+CVec characteristic_polynomial(const CMat& a) {
+  const std::size_t k = a.rows();
+  CVec coeffs(k + 1, cd{0.0, 0.0});
+  coeffs[k] = cd{1.0, 0.0};
+  CMat m = CMat::identity(k);
+  for (std::size_t step = 1; step <= k; ++step) {
+    const CMat am = a * m;
+    const cd c = am.trace() * cd{-1.0 / static_cast<double>(step), 0.0};
+    coeffs[k - step] = c;
+    if (step < k) {
+      m = am;
+      for (std::size_t i = 0; i < k; ++i) m(i, i) += c;
+    }
+  }
+  return coeffs;
+}
+
+}  // namespace
+
+std::vector<double> esprit_bearings_from_subspace(const EigResult& eig,
+                                                  std::size_t num_sources,
+                                                  double spacing_m,
+                                                  double lambda_m) {
+  const std::size_t n = eig.vectors.rows();
+  SA_EXPECTS(n >= 2);
+  SA_EXPECTS(spacing_m > 0.0 && lambda_m > 0.0);
+  SA_EXPECTS(num_sources >= 1);
+  const std::size_t k = std::min(num_sources, n - 1);
+
+  // Signal subspace Es: the k dominant eigenvectors (eigenvalues are
+  // ascending, so the last k columns). Es1/Es2 are its first/last n-1
+  // rows — the two shift-invariant subarrays.
+  CMat es1(n - 1, k), es2(n - 1, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const CVec col = eig.vectors.col(n - 1 - c);
+    for (std::size_t r = 0; r + 1 < n; ++r) {
+      es1(r, c) = col[r];
+      es2(r, c) = col[r + 1];
+    }
+  }
+
+  // Least squares: Psi = (Es1^H Es1)^{-1} Es1^H Es2. Es2 ~ Es1 Psi, and
+  // Psi's eigenvalues are the subarray rotation exp(j 2 pi d sin(th)/l).
+  const CMat es1h = es1.hermitian();
+  const LuDecomposition lu(es1h * es1);
+  if (lu.singular()) return {};
+  const CMat psi = lu.solve(es1h * es2);
+
+  CVec rotations;
+  try {
+    rotations = polynomial_roots(characteristic_polynomial(psi));
+  } catch (const NumericalError&) {
+    return {};  // defective rotation matrix; degrade to the spectrum
+  }
+
+  // Rank by closeness to the unit circle (a true rotation eigenvalue has
+  // |z| = 1; noise pushes it off), like root-MUSIC's root ranking.
+  struct Cand {
+    double bearing_deg;
+    double dist;
+  };
+  std::vector<Cand> cands;
+  for (const cd& z : rotations) {
+    const double s = std::arg(z) * lambda_m / (kTwoPi * spacing_m);
+    if (s < -1.0 || s > 1.0) continue;  // outside the visible region
+    cands.push_back({rad2deg(std::asin(s)), std::abs(1.0 - std::abs(z))});
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.dist < b.dist; });
+
+  std::vector<double> out;
+  out.reserve(cands.size());
+  for (const Cand& c : cands) out.push_back(c.bearing_deg);
+  return out;
+}
+
+std::vector<double> esprit(const CMat& covariance, const ArrayGeometry& geom,
+                           double lambda_m, const EspritConfig& config) {
+  SA_EXPECTS(geom.kind() == ArrayKind::kLinear);
+  SA_EXPECTS(covariance.rows() == covariance.cols());
+  SA_EXPECTS(covariance.rows() == geom.size());
+  SA_EXPECTS(lambda_m > 0.0);
+  const std::size_t n = geom.size();
+  SA_EXPECTS(n >= 2);
+  const double spacing = distance(geom.positions()[0], geom.positions()[1]);
+
+  CMat r = covariance;
+  if (config.forward_backward) forward_backward_average_inplace(r);
+  const EigResult eig = eigh(r);
+
+  std::size_t k = config.num_sources;
+  if (k == 0) {
+    k = std::max<std::size_t>(estimate_num_sources_mdl(eig.values, 320), 1);
+  }
+  k = std::min(k, n - 1);
+  return esprit_bearings_from_subspace(eig, k, spacing, lambda_m);
+}
+
+}  // namespace sa

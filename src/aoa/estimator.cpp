@@ -1,8 +1,9 @@
 #include "sa/aoa/estimator.hpp"
 
+#include "sa/aoa/esprit.hpp"
 #include "sa/aoa/rootmusic.hpp"
 #include "sa/common/error.hpp"
-#include "sa/common/logging.hpp"
+#include "sa/common/geometry.hpp"
 
 namespace sa {
 
@@ -16,6 +17,8 @@ const char* to_string(AoaBackend backend) {
       return "bartlett";
     case AoaBackend::kRootMusic:
       return "root-music";
+    case AoaBackend::kEsprit:
+      return "esprit";
   }
   return "unknown";
 }
@@ -24,11 +27,33 @@ std::optional<AoaBackend> aoa_backend_from_string(std::string_view name) {
   if (name == "music") return AoaBackend::kMusic;
   if (name == "capon" || name == "mvdr") return AoaBackend::kCapon;
   if (name == "bartlett") return AoaBackend::kBartlett;
-  if (name == "root-music" || name == "rootmusic") return AoaBackend::kRootMusic;
+  if (name == "root-music" || name == "rootmusic" || name == "root_music") {
+    return AoaBackend::kRootMusic;
+  }
+  if (name == "esprit") return AoaBackend::kEsprit;
   return std::nullopt;
 }
 
+const char* aoa_backend_names() {
+  return "music, capon (alias: mvdr), bartlett, "
+         "root-music (aliases: rootmusic, root_music), esprit";
+}
+
+MusicResult AoaEstimator::estimate(const CMat& covariance,
+                                   const ArrayGeometry& geom,
+                                   double lambda_m) const {
+  return estimate(SpectralContext(covariance, geom, lambda_m,
+                                  spectral_options()));
+}
+
 namespace {
+
+/// ULA element spacing of a context's scan geometry; 0 when not linear —
+/// the search-free backends' "degrade to plain MUSIC" signal.
+double linear_spacing_or_zero(const ArrayGeometry& geom) {
+  if (geom.kind() != ArrayKind::kLinear || geom.size() < 2) return 0.0;
+  return distance(geom.positions()[0], geom.positions()[1]);
+}
 
 /// The paper's estimator: a thin adapter so interface results are
 /// byte-identical to calling MusicEstimator directly.
@@ -36,31 +61,36 @@ class MusicBackend : public AoaEstimator {
  public:
   explicit MusicBackend(const AoaEstimatorConfig& cfg) : music_(cfg.music) {}
 
-  MusicResult estimate(const CMat& covariance, const ArrayGeometry& geom,
-                       double lambda_m) const override {
-    return music_.estimate(covariance, geom, lambda_m);
+  MusicResult estimate(const SpectralContext& ctx) const override {
+    return music_.estimate(ctx);
+  }
+  SpectralOptions spectral_options() const override {
+    return music_.spectral_options();
   }
   AoaBackend backend() const override { return AoaBackend::kMusic; }
 
- private:
+ protected:
   MusicEstimator music_;
 };
 
 class CaponBackend : public AoaEstimator {
  public:
   explicit CaponBackend(const AoaEstimatorConfig& cfg)
-      : step_deg_(cfg.music.scan_step_deg), loading_(cfg.capon_loading) {}
+      : options_({cfg.music.forward_backward, cfg.music.smoothing_subarray}),
+        step_deg_(cfg.music.scan_step_deg),
+        loading_(cfg.capon_loading) {}
 
-  MusicResult estimate(const CMat& covariance, const ArrayGeometry& geom,
-                       double lambda_m) const override {
+  MusicResult estimate(const SpectralContext& ctx) const override {
     MusicResult out;
-    out.spectrum =
-        capon_spectrum(covariance, geom, lambda_m, step_deg_, loading_);
+    out.spectrum = capon_spectrum_from_inverse(
+        ctx.inverse(loading_), ctx.geometry(), ctx.lambda_m(), step_deg_);
     return out;
   }
+  SpectralOptions spectral_options() const override { return options_; }
   AoaBackend backend() const override { return AoaBackend::kCapon; }
 
  private:
+  SpectralOptions options_;
   double step_deg_;
   double loading_;
 };
@@ -68,48 +98,64 @@ class CaponBackend : public AoaEstimator {
 class BartlettBackend : public AoaEstimator {
  public:
   explicit BartlettBackend(const AoaEstimatorConfig& cfg)
-      : step_deg_(cfg.music.scan_step_deg) {}
+      : options_({cfg.music.forward_backward, cfg.music.smoothing_subarray}),
+        step_deg_(cfg.music.scan_step_deg) {}
 
-  MusicResult estimate(const CMat& covariance, const ArrayGeometry& geom,
-                       double lambda_m) const override {
+  MusicResult estimate(const SpectralContext& ctx) const override {
     MusicResult out;
-    out.spectrum = bartlett_spectrum(covariance, geom, lambda_m, step_deg_);
+    out.spectrum = bartlett_spectrum(ctx.covariance(), ctx.geometry(),
+                                     ctx.lambda_m(), step_deg_);
     return out;
   }
+  SpectralOptions spectral_options() const override { return options_; }
   AoaBackend backend() const override { return AoaBackend::kBartlett; }
 
  private:
+  SpectralOptions options_;
   double step_deg_;
 };
 
 /// Grid MUSIC for the spectrum (signatures and tracking keep working),
-/// plus the search-free polynomial bearings on linear arrays. Non-linear
-/// geometries have no root-MUSIC formulation; they degrade to plain MUSIC.
-class RootMusicBackend : public AoaEstimator {
+/// plus the search-free polynomial bearings on linear arrays — both fed
+/// from the context's single EVD and cached noise projector. Non-linear
+/// geometries have no root-MUSIC formulation; they degrade to plain
+/// MUSIC.
+class RootMusicBackend : public MusicBackend {
  public:
-  explicit RootMusicBackend(const AoaEstimatorConfig& cfg)
-      : music_(cfg.music), root_([&] {
-          RootMusicConfig rc;
-          rc.num_sources = cfg.music.num_sources.value_or(0);
-          rc.forward_backward = cfg.music.forward_backward;
-          return rc;
-        }()) {}
+  using MusicBackend::MusicBackend;
 
-  MusicResult estimate(const CMat& covariance, const ArrayGeometry& geom,
-                       double lambda_m) const override {
-    MusicResult out = music_.estimate(covariance, geom, lambda_m);
-    if (geom.kind() == ArrayKind::kLinear) {
-      for (const auto& src : root_music(covariance, geom, lambda_m, root_)) {
+  MusicResult estimate(const SpectralContext& ctx) const override {
+    MusicResult out = music_.estimate(ctx);
+    const double spacing = linear_spacing_or_zero(ctx.processed_geometry());
+    if (spacing > 0.0 && out.num_sources >= 1) {
+      for (const auto& src :
+           root_music_from_projector(ctx.noise_projector(out.num_sources),
+                                     spacing, ctx.lambda_m(),
+                                     out.num_sources)) {
         out.source_bearings_deg.push_back(src.bearing_deg);
       }
     }
     return out;
   }
   AoaBackend backend() const override { return AoaBackend::kRootMusic; }
+};
 
- private:
-  MusicEstimator music_;
-  RootMusicConfig root_;
+/// Grid MUSIC spectrum plus LS-ESPRIT bearings from the context's signal
+/// subspace (linear arrays only; same degradation rule as root-MUSIC).
+class EspritBackend : public MusicBackend {
+ public:
+  using MusicBackend::MusicBackend;
+
+  MusicResult estimate(const SpectralContext& ctx) const override {
+    MusicResult out = music_.estimate(ctx);
+    const double spacing = linear_spacing_or_zero(ctx.processed_geometry());
+    if (spacing > 0.0 && out.num_sources >= 1) {
+      out.source_bearings_deg = esprit_bearings_from_subspace(
+          ctx.eig(), out.num_sources, spacing, ctx.lambda_m());
+    }
+    return out;
+  }
+  AoaBackend backend() const override { return AoaBackend::kEsprit; }
 };
 
 }  // namespace
@@ -125,6 +171,8 @@ std::unique_ptr<AoaEstimator> make_aoa_estimator(
       return std::make_unique<BartlettBackend>(config);
     case AoaBackend::kRootMusic:
       return std::make_unique<RootMusicBackend>(config);
+    case AoaBackend::kEsprit:
+      return std::make_unique<EspritBackend>(config);
   }
   throw InvalidArgument("make_aoa_estimator: unknown backend");
 }

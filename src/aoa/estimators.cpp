@@ -6,7 +6,6 @@
 #include "sa/aoa/covariance.hpp"
 #include "sa/common/angles.hpp"
 #include "sa/common/error.hpp"
-#include "sa/common/logging.hpp"
 #include "sa/linalg/eig.hpp"
 #include "sa/linalg/lu.hpp"
 
@@ -87,41 +86,13 @@ MusicEstimator::MusicEstimator(MusicConfig config) : config_(config) {
 MusicResult MusicEstimator::estimate(const CMat& covariance,
                                      const ArrayGeometry& geom,
                                      double lambda_m) const {
-  SA_EXPECTS(covariance.rows() == covariance.cols());
-  SA_EXPECTS(covariance.rows() == geom.size());
-  SA_EXPECTS(lambda_m > 0.0);
+  return estimate(SpectralContext(covariance, geom, lambda_m,
+                                  spectral_options()));
+}
 
-  CMat r = covariance;
-  ArrayGeometry scan_geom = geom;
-  if (config_.smoothing_subarray >= 2) {
-    if (geom.kind() == ArrayKind::kLinear) {
-      r = spatial_smooth(r, config_.smoothing_subarray);
-      // The smoothed matrix corresponds to the leading subarray.
-      std::vector<Vec2> sub(geom.positions().begin(),
-                            geom.positions().begin() +
-                                static_cast<std::ptrdiff_t>(
-                                    config_.smoothing_subarray));
-      // Preserve ULA bearing conventions for the subarray.
-      const double spacing = distance(sub[0], sub[1]);
-      scan_geom =
-          ArrayGeometry::uniform_linear(config_.smoothing_subarray, spacing);
-    } else {
-      log_warn() << "MusicEstimator: spatial smoothing requested for a "
-                    "non-linear array; ignoring";
-    }
-  }
-  if (config_.forward_backward) {
-    // FB averaging requires the exchange matrix J to map the array onto
-    // its own mirror image, which holds for a ULA's element ordering but
-    // not for our circular arrays (element n-1-m is a rotation, not a
-    // reflection, of element m). Restrict it to linear geometries.
-    if (scan_geom.kind() == ArrayKind::kLinear) {
-      r = forward_backward_average(r);
-    }
-  }
-
-  const EigResult eig = eigh(r);
-  const std::size_t n = r.rows();
+MusicResult MusicEstimator::estimate(const SpectralContext& ctx) const {
+  const EigResult& eig = ctx.eig();
+  const std::size_t n = ctx.processed().rows();
 
   std::size_t k;
   if (config_.num_sources) {
@@ -134,16 +105,15 @@ MusicResult MusicEstimator::estimate(const CMat& covariance,
   }
 
   // Noise projector P = sum of the n-k smallest eigenvectors' outer
-  // products; MUSIC power = (a^H a) / (a^H P a).
-  CMat noise_proj(n, n);
-  for (std::size_t i = 0; i < n - k; ++i) {
-    noise_proj += CMat::outer(eig.vectors.col(i));
-  }
+  // products (shared through the context with root-MUSIC's polynomial);
+  // MUSIC power = (a^H a) / (a^H P a).
+  const CMat& noise_proj = ctx.noise_projector(k);
 
+  const ArrayGeometry& scan_geom = ctx.processed_geometry();
   const std::vector<double> grid = scan_grid(scan_geom, config_.scan_step_deg);
   std::vector<double> values(grid.size());
   for (std::size_t g = 0; g < grid.size(); ++g) {
-    const CVec a = scan_geom.steering_vector(grid[g], lambda_m);
+    const CVec a = scan_geom.steering_vector(grid[g], ctx.lambda_m());
     const double denom = quadratic_form(a, noise_proj);
     const double num = norm(a) * norm(a);
     values[g] = num / std::max(denom, 1e-12 * num);
@@ -176,14 +146,22 @@ Pseudospectrum capon_spectrum(const CMat& covariance, const ArrayGeometry& geom,
                               double lambda_m, double step_deg,
                               double loading) {
   SA_EXPECTS(covariance.rows() == geom.size());
-  const CMat loaded = diagonal_load(covariance, loading);
+  CMat loaded = covariance;
+  diagonal_load_inplace(loaded, loading);
   const auto rinv = inverse(loaded);
   SA_EXPECTS(rinv.has_value());
+  return capon_spectrum_from_inverse(*rinv, geom, lambda_m, step_deg);
+}
+
+Pseudospectrum capon_spectrum_from_inverse(const CMat& r_inverse,
+                                           const ArrayGeometry& geom,
+                                           double lambda_m, double step_deg) {
+  SA_EXPECTS(r_inverse.rows() == geom.size());
   const std::vector<double> grid = scan_grid(geom, step_deg);
   std::vector<double> values(grid.size());
   for (std::size_t g = 0; g < grid.size(); ++g) {
     const CVec a = geom.steering_vector(grid[g], lambda_m);
-    const double q = quadratic_form(a, *rinv);
+    const double q = quadratic_form(a, r_inverse);
     values[g] = 1.0 / std::max(q, 1e-30);
   }
   return Pseudospectrum(grid, std::move(values),
@@ -196,17 +174,26 @@ double power_weighted_direct_bearing_deg(const Pseudospectrum& music_spectrum,
                                          const ArrayGeometry& geom,
                                          double lambda_m) {
   if (peaks.empty()) return music_spectrum.refined_max_angle_deg();
+  CMat loaded = covariance;
+  diagonal_load_inplace(loaded, 1e-3);
+  const auto rinv = inverse(loaded);
+  SA_EXPECTS(rinv.has_value());
+  return power_weighted_direct_bearing_with_inverse_deg(
+      music_spectrum, peaks, *rinv, geom, lambda_m);
+}
+
+double power_weighted_direct_bearing_with_inverse_deg(
+    const Pseudospectrum& music_spectrum, const std::vector<SpectrumPeak>& peaks,
+    const CMat& r_inverse, const ArrayGeometry& geom, double lambda_m) {
+  if (peaks.empty()) return music_spectrum.refined_max_angle_deg();
   // Capon power at each candidate: a sharper power estimate than
   // Bartlett on a small-aperture array, so clustered reflections leak
   // less into each other's candidate bearings.
-  const CMat loaded = diagonal_load(covariance, 1e-3);
-  const auto rinv = inverse(loaded);
-  SA_EXPECTS(rinv.has_value());
   double best_power = -1.0;
   double best_angle = peaks.front().angle_deg;
   for (const auto& p : peaks) {
     const CVec a = geom.steering_vector(p.angle_deg, lambda_m);
-    const double power = 1.0 / std::max(quadratic_form(a, *rinv), 1e-30);
+    const double power = 1.0 / std::max(quadratic_form(a, r_inverse), 1e-30);
     if (power > best_power) {
       best_power = power;
       best_angle = p.angle_deg;

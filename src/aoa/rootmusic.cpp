@@ -26,7 +26,7 @@ std::vector<RootMusicSource> root_music(const CMat& covariance,
   const double spacing = distance(geom.positions()[0], geom.positions()[1]);
 
   CMat r = covariance;
-  if (config.forward_backward) r = forward_backward_average(r);
+  if (config.forward_backward) forward_backward_average_inplace(r);
   const EigResult eig = eigh(r);
 
   std::size_t k = config.num_sources;
@@ -40,6 +40,19 @@ std::vector<RootMusicSource> root_music(const CMat& covariance,
   for (std::size_t i = 0; i < n - k; ++i) {
     proj += CMat::outer(eig.vectors.col(i));
   }
+  return root_music_from_projector(proj, spacing, lambda_m, k);
+}
+
+std::vector<RootMusicSource> root_music_from_projector(
+    const CMat& noise_projector, double spacing_m, double lambda_m,
+    std::size_t num_sources) {
+  SA_EXPECTS(noise_projector.rows() == noise_projector.cols());
+  SA_EXPECTS(noise_projector.rows() >= 2);
+  SA_EXPECTS(spacing_m > 0.0 && lambda_m > 0.0);
+  SA_EXPECTS(num_sources >= 1);
+  const CMat& proj = noise_projector;
+  const std::size_t n = proj.rows();
+  const std::size_t k = num_sources;
 
   // Polynomial coefficients: c_m = sum of the m-th diagonal of P,
   // m in [-(n-1), n-1]; p(z) = sum c_m z^{m+n-1}. Conjugate symmetry
@@ -75,7 +88,7 @@ std::vector<RootMusicSource> root_music(const CMat& covariance,
   for (const Cand& c : cands) {
     if (out.size() >= k) break;
     // arg(z) = 2 pi d sin(theta) / lambda.
-    const double s = std::arg(c.z) * lambda_m / (kTwoPi * spacing);
+    const double s = std::arg(c.z) * lambda_m / (kTwoPi * spacing_m);
     if (s < -1.0 || s > 1.0) continue;  // outside the visible region
     RootMusicSource src;
     src.bearing_deg = rad2deg(std::asin(s));

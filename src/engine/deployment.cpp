@@ -117,24 +117,93 @@ std::vector<EngineDecision> DeploymentEngine::round(
     });
   }
 
-  // ---- Phase 2: the hot path — PHY decode + covariance + AoA for every
-  // candidate frame of every AP, fanned flat across the pool.
+  // ---- Phase 2: the hot path. Narrowband APs (subbands == 1) gain
+  // nothing from a per-band fan-out but would pay its extra join
+  // barriers, so each of their candidates runs the whole demodulate as
+  // one task — exactly the pre-wideband schedule. Wideband APs split
+  // into three fan-outs: 2a decodes and builds the per-subband
+  // covariance contexts; 2b fans the per-(frame, subband) AoA estimates
+  // flat across the pool — the intra-frame parallelism that keeps every
+  // worker busy even when one AP hears one frame; 2c assembles the
+  // packets (signature fusion, bearing selection). Work is scheduled
+  // and joined in fixed (ap, candidate, band) order, so the result is
+  // thread-count invariant.
+  using FramePrep = AccessPoint::FramePrep;
   std::vector<std::vector<std::optional<ReceivedPacket>>> processed(n_aps);
+  std::vector<std::vector<std::optional<FramePrep>>> preps(n_aps);
   {
-    std::vector<std::future<std::optional<ReceivedPacket>>> futures;
-    std::vector<std::pair<std::size_t, std::size_t>> where;  // (ap, cand)
+    std::vector<std::future<std::optional<ReceivedPacket>>> demod_futures;
+    std::vector<std::pair<std::size_t, std::size_t>> demod_where;
+    std::vector<std::future<std::optional<FramePrep>>> prep_futures;
+    std::vector<std::pair<std::size_t, std::size_t>> prep_where;
     for (std::size_t i = 0; i < n_aps; ++i) {
       processed[i].resize(scans[i].candidates.size());
+      preps[i].resize(scans[i].candidates.size());
+      const bool wideband = aps_[i]->config().subbands > 1;
       for (std::size_t j = 0; j < scans[i].candidates.size(); ++j) {
+        if (wideband) {
+          prep_futures.push_back(pool_.async(
+              [ap = aps_[i], conditioned = scans[i].conditioned,
+               det = scans[i].candidates[j].detection] {
+                return ap->prepare(*conditioned, det);
+              }));
+          prep_where.emplace_back(i, j);
+        } else {
+          demod_futures.push_back(pool_.async(
+              [ap = aps_[i], conditioned = scans[i].conditioned,
+               det = scans[i].candidates[j].detection] {
+                return ap->demodulate(*conditioned, det);
+              }));
+          demod_where.emplace_back(i, j);
+        }
+      }
+    }
+    join_all(demod_futures, [&](std::size_t k, std::optional<ReceivedPacket> p) {
+      processed[demod_where[k].first][demod_where[k].second] = std::move(p);
+    });
+    join_all(prep_futures, [&](std::size_t k, std::optional<FramePrep> p) {
+      preps[prep_where[k].first][prep_where[k].second] = std::move(p);
+    });
+  }
+
+  std::vector<std::vector<std::vector<MusicResult>>> band_results(n_aps);
+  {
+    std::vector<std::future<MusicResult>> futures;
+    struct Slot {
+      std::size_t ap, cand, band;
+    };
+    std::vector<Slot> where;
+    for (std::size_t i = 0; i < n_aps; ++i) {
+      band_results[i].resize(preps[i].size());
+      for (std::size_t j = 0; j < preps[i].size(); ++j) {
+        if (!preps[i][j]) continue;
+        band_results[i][j].resize(preps[i][j]->bands.size());
+        for (std::size_t b = 0; b < preps[i][j]->bands.size(); ++b) {
+          futures.push_back(pool_.async([ap = aps_[i], prep = &*preps[i][j],
+                                         b] { return ap->estimate_band(*prep, b); }));
+          where.push_back({i, j, b});
+        }
+      }
+    }
+    join_all(futures, [&](std::size_t k, MusicResult r) {
+      band_results[where[k].ap][where[k].cand][where[k].band] = std::move(r);
+    });
+  }
+
+  {
+    std::vector<std::future<ReceivedPacket>> futures;
+    std::vector<std::pair<std::size_t, std::size_t>> where;  // (ap, cand)
+    for (std::size_t i = 0; i < n_aps; ++i) {
+      for (std::size_t j = 0; j < preps[i].size(); ++j) {
+        if (!preps[i][j]) continue;
         futures.push_back(pool_.async(
-            [ap = aps_[i], conditioned = scans[i].conditioned,
-             det = scans[i].candidates[j].detection] {
-              return ap->demodulate(*conditioned, det);
+            [ap = aps_[i], prep = &preps[i][j], res = &band_results[i][j]] {
+              return ap->assemble(std::move(**prep), std::move(*res));
             }));
         where.emplace_back(i, j);
       }
     }
-    join_all(futures, [&](std::size_t k, std::optional<ReceivedPacket> p) {
+    join_all(futures, [&](std::size_t k, ReceivedPacket p) {
       processed[where[k].first][where[k].second] = std::move(p);
     });
   }
@@ -174,7 +243,7 @@ std::vector<EngineDecision> DeploymentEngine::round(
       futures.push_back(pool_.async([this, &bucket, &best, &spoofs] {
         for (std::size_t g : bucket) {
           spoofs[g] = spoof_.observe(best[g]->packet.frame->addr2,
-                                     best[g]->packet.signature);
+                                     best[g]->packet.subband);
         }
       }));
     }

@@ -25,11 +25,16 @@ std::size_t ShardedSpoofDetector::shard_of(const MacAddress& source) const {
   return std::hash<MacAddress>{}(source) % shards_.size();
 }
 
-SpoofObservation ShardedSpoofDetector::observe(const MacAddress& source,
-                                               const AoaSignature& signature) {
+SpoofObservation ShardedSpoofDetector::observe(
+    const MacAddress& source, const SubbandSignature& signature) {
   Shard& shard = *shards_[shard_of(source)];
   std::lock_guard<std::mutex> lock(shard.mu);
   return shard.detector.observe(source, signature);
+}
+
+SpoofObservation ShardedSpoofDetector::observe(const MacAddress& source,
+                                               const AoaSignature& signature) {
+  return observe(source, SubbandSignature::single(signature));
 }
 
 const SignatureTracker* ShardedSpoofDetector::tracker(

@@ -6,6 +6,7 @@
 #include "sa/aoa/covariance.hpp"
 #include "sa/common/constants.hpp"
 #include "sa/common/error.hpp"
+#include "sa/dsp/fft.hpp"
 #include "sa/dsp/noise.hpp"
 #include "sa/phy/ofdm.hpp"
 
@@ -27,6 +28,7 @@ AccessPoint::AccessPoint(AccessPointConfig config, Rng& rng)
         e.capon_loading = config_.capon_loading;
         return e;
       }())) {
+  SA_EXPECTS(is_pow2(config_.subbands) && config_.subbands <= 64);
   if (config_.apply_calibration) {
     const Calibrator cal(config_.calibrator);
     calibration_ = cal.run(impairments_, rng);
@@ -75,11 +77,11 @@ std::vector<double> AccessPoint::to_world_bearings(
                                  config_.orientation_deg);
 }
 
-std::optional<ReceivedPacket> AccessPoint::demodulate(
+std::optional<AccessPoint::FramePrep> AccessPoint::prepare(
     const CMat& conditioned, const PacketDetection& det) const {
   SA_EXPECTS(conditioned.rows() == config_.geometry.size());
-  ReceivedPacket pkt;
-  pkt.detection = det;
+  FramePrep prep;
+  prep.detection = det;
 
   // PHY decode from the reference antenna with CFO corrected. CMat is
   // row-major, so row 0 is the contiguous prefix of data(): slice the
@@ -88,16 +90,16 @@ std::optional<ReceivedPacket> AccessPoint::demodulate(
   CVec aligned(flat.begin() + static_cast<std::ptrdiff_t>(det.start),
                flat.begin() + static_cast<std::ptrdiff_t>(conditioned.cols()));
   apply_cfo(aligned, -det.cfo_hz, config_.sample_rate_hz);
-  pkt.phy = phy_rx_.decode(aligned);
-  if (pkt.phy) {
-    pkt.frame = Frame::parse(pkt.phy->psdu);
+  prep.phy = phy_rx_.decode(aligned);
+  if (prep.phy) {
+    prep.frame = Frame::parse(prep.phy->psdu);
   }
 
   // Covariance over the whole packet (paper §3: mean phase differences
   // over each entire packet). A scalar per-snapshot CFO rotation leaves
   // x x^H unchanged, so no CFO correction is needed here.
-  const std::size_t span = pkt.phy
-                               ? pkt.phy->samples_consumed
+  const std::size_t span = prep.phy
+                               ? prep.phy->samples_consumed
                                : kPreambleLen + kSymbolLen;  // fallback
   const std::size_t end = std::min(det.start + span, conditioned.cols());
   if (end <= det.start + kPreambleLen / 2) {
@@ -109,19 +111,100 @@ std::optional<ReceivedPacket> AccessPoint::demodulate(
       block(m, t - det.start) = conditioned(m, t);
     }
   }
-  const CMat r = sample_covariance(block);
-  pkt.music = estimator_->estimate(r, config_.geometry, wavelength_m());
-  pkt.signature =
-      AoaSignature::from_spectrum(pkt.music.spectrum, config_.signature);
+
+  const SpectralOptions opts = estimator_->spectral_options();
+  const std::size_t num_bands = config_.subbands;
+  const std::size_t n_win = block.cols() / std::max<std::size_t>(num_bands, 1);
+  if (num_bands <= 1 || n_win < 1) {
+    // Narrowband (or too-short-to-split) path: one full-band context.
+    prep.bands.emplace_back(sample_covariance(block), config_.geometry,
+                            wavelength_m(), opts);
+    return prep;
+  }
+
+  // Wideband split: a length-K DFT over consecutive K-sample windows
+  // turns the packet into n_win snapshots per subband; each subband gets
+  // its own covariance and its own centre wavelength. Bands are ordered
+  // by ascending frequency (fftshift order), so band K/2 is the carrier.
+  const std::size_t k = num_bands;
+  std::vector<CMat> sub(k);
+  for (auto& s : sub) s = CMat(block.rows(), n_win);
+  CVec window(k);
+  for (std::size_t m = 0; m < block.rows(); ++m) {
+    for (std::size_t t = 0; t < n_win; ++t) {
+      for (std::size_t i = 0; i < k; ++i) window[i] = block(m, t * k + i);
+      fft_inplace(window);
+      for (std::size_t b = 0; b < k; ++b) {
+        sub[b](m, t) = window[(b + k / 2) % k];
+      }
+    }
+  }
+  prep.bands.reserve(k);
+  for (std::size_t b = 0; b < k; ++b) {
+    const double offset_hz = (static_cast<double>(b) - k / 2.0) *
+                             config_.sample_rate_hz / static_cast<double>(k);
+    prep.bands.emplace_back(sample_covariance(sub[b]), config_.geometry,
+                            wavelength(config_.carrier_hz + offset_hz), opts);
+  }
+  return prep;
+}
+
+MusicResult AccessPoint::estimate_band(const FramePrep& prep,
+                                       std::size_t band) const {
+  SA_EXPECTS(band < prep.bands.size());
+  if (!config_.share_spectral_cache) {
+    // A/B knob: rebuild a cold context so every consumer pays for its
+    // own decomposition, like the pre-context pipeline did.
+    const SpectralContext& ctx = prep.bands[band];
+    return estimator_->estimate(SpectralContext(
+        ctx.covariance(), ctx.geometry(), ctx.lambda_m(), ctx.options()));
+  }
+  return estimator_->estimate(prep.bands[band]);
+}
+
+ReceivedPacket AccessPoint::assemble(
+    FramePrep prep, std::vector<MusicResult> band_results) const {
+  SA_EXPECTS(!band_results.empty());
+  SA_EXPECTS(band_results.size() == prep.bands.size());
+  ReceivedPacket pkt;
+  pkt.detection = prep.detection;
+  pkt.phy = std::move(prep.phy);
+  pkt.frame = std::move(prep.frame);
+
+  std::vector<AoaSignature> band_sigs;
+  band_sigs.reserve(band_results.size());
+  for (const auto& res : band_results) {
+    band_sigs.push_back(
+        AoaSignature::from_spectrum(res.spectrum, config_.signature));
+  }
+  pkt.subband = SubbandSignature(std::move(band_sigs));
+  pkt.signature = pkt.subband.num_bands() == 1
+                      ? pkt.subband.band(0)
+                      : pkt.subband.fuse(config_.signature);
+
+  // The centre band (the full band when subbands == 1) supplies the
+  // MusicResult, the bearing-selection covariance, and the search-free
+  // bearings the grid estimate snaps to.
+  const std::size_t centre = band_results.size() / 2;
+  const SpectralContext& ctx = prep.bands[centre];
+  pkt.music = std::move(band_results[centre]);
+
   if (config_.power_weighted_bearing) {
-    pkt.bearing_array_deg = power_weighted_direct_bearing_deg(
-        pkt.signature.spectrum(), pkt.signature.peaks(), r, config_.geometry,
-        wavelength_m());
+    if (config_.share_spectral_cache) {
+      pkt.bearing_array_deg = power_weighted_direct_bearing_with_inverse_deg(
+          pkt.signature.spectrum(), pkt.signature.peaks(), ctx.inverse(1e-3),
+          config_.geometry, ctx.lambda_m());
+    } else {
+      pkt.bearing_array_deg = power_weighted_direct_bearing_deg(
+          pkt.signature.spectrum(), pkt.signature.peaks(), ctx.covariance(),
+          config_.geometry, ctx.lambda_m());
+    }
   } else {
     pkt.bearing_array_deg = pkt.signature.direct_bearing_deg();
   }
-  // Root-MUSIC backend: snap the chosen grid bearing to the nearest
-  // polynomial root — finer than any scan grid (linear arrays only).
+  // Root-MUSIC/ESPRIT backends: snap the chosen grid bearing to the
+  // nearest search-free estimate — finer than any scan grid (linear
+  // arrays only).
   if (!pkt.music.source_bearings_deg.empty()) {
     const double snap_radius = 2.0 * config_.music.scan_step_deg;
     double best = pkt.bearing_array_deg;
@@ -137,6 +220,18 @@ std::optional<ReceivedPacket> AccessPoint::demodulate(
   }
   pkt.bearing_world_deg = to_world_bearings(pkt.bearing_array_deg);
   return pkt;
+}
+
+std::optional<ReceivedPacket> AccessPoint::demodulate(
+    const CMat& conditioned, const PacketDetection& det) const {
+  auto prep = prepare(conditioned, det);
+  if (!prep) return std::nullopt;
+  std::vector<MusicResult> results;
+  results.reserve(prep->bands.size());
+  for (std::size_t b = 0; b < prep->bands.size(); ++b) {
+    results.push_back(estimate_band(*prep, b));
+  }
+  return assemble(std::move(*prep), std::move(results));
 }
 
 std::vector<ReceivedPacket> AccessPoint::receive(const CMat& channel_samples) {

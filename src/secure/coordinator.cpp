@@ -70,7 +70,7 @@ FrameDecision Coordinator::process(
   // engine's pre-judged path behaves.
   std::optional<SpoofObservation> so;
   if (wants_spoof_ && best.packet.frame) {
-    so = spoof_.observe(best.packet.frame->addr2, best.packet.signature);
+    so = spoof_.observe(best.packet.frame->addr2, best.packet.subband);
   }
   return decide(observations, best, so);
 }

@@ -8,6 +8,11 @@ SpoofDetector::SpoofDetector(TrackerConfig tracker_config,
 
 SpoofObservation SpoofDetector::observe(const MacAddress& source,
                                         const AoaSignature& signature) {
+  return observe(source, SubbandSignature::single(signature));
+}
+
+SpoofObservation SpoofDetector::observe(const MacAddress& source,
+                                        const SubbandSignature& signature) {
   ++packets_;
   auto it = trackers_.find(source);
   if (it == trackers_.end()) {

@@ -1,0 +1,49 @@
+#include "sa/signature/subband.hpp"
+
+#include <utility>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+SubbandSignature::SubbandSignature(std::vector<AoaSignature> bands)
+    : bands_(std::move(bands)) {
+  SA_EXPECTS(!bands_.empty());
+  const auto& first = bands_.front();
+  SA_EXPECTS(first.valid());
+  for (const auto& b : bands_) {
+    SA_EXPECTS(b.valid());
+    SA_EXPECTS(b.spectrum().size() == first.spectrum().size());
+    SA_EXPECTS(b.spectrum().wraps() == first.spectrum().wraps());
+  }
+}
+
+SubbandSignature SubbandSignature::single(AoaSignature band) {
+  SA_EXPECTS(band.valid());
+  SubbandSignature out;
+  out.bands_.push_back(std::move(band));
+  return out;
+}
+
+const AoaSignature& SubbandSignature::band(std::size_t i) const {
+  SA_EXPECTS(i < bands_.size());
+  return bands_[i];
+}
+
+AoaSignature SubbandSignature::fuse(const SignatureConfig& config) const {
+  SA_EXPECTS(valid());
+  if (bands_.size() == 1) return bands_.front();
+  const auto& grid = bands_.front().spectrum();
+  std::vector<double> mean(grid.size(), 0.0);
+  for (const auto& b : bands_) {
+    const auto& vals = b.spectrum().values();
+    for (std::size_t i = 0; i < mean.size(); ++i) mean[i] += vals[i];
+  }
+  const double inv = 1.0 / static_cast<double>(bands_.size());
+  for (double& v : mean) v *= inv;
+  return AoaSignature::from_spectrum(
+      Pseudospectrum(grid.angles_deg(), std::move(mean), grid.wraps()),
+      config);
+}
+
+}  // namespace sa

@@ -10,26 +10,40 @@ SignatureTracker::SignatureTracker(TrackerConfig config) : config_(config) {
   SA_EXPECTS(config_.training_packets >= 1);
 }
 
-void SignatureTracker::blend_into_reference(const AoaSignature& observed,
+void SignatureTracker::blend_into_reference(const SubbandSignature& observed,
                                             double alpha) {
-  const auto& vals = observed.spectrum().values();
-  if (ref_values_.empty()) {
-    ref_values_ = vals;
-    ref_angles_ = observed.spectrum().angles_deg();
-    ref_wraps_ = observed.spectrum().wraps();
+  ref_cache_.reset();
+  if (refs_.empty()) {
+    refs_.resize(observed.num_bands());
+    for (std::size_t b = 0; b < observed.num_bands(); ++b) {
+      const auto& spec = observed.band(b).spectrum();
+      refs_[b].values = spec.values();
+      refs_[b].angles = spec.angles_deg();
+      refs_[b].wraps = spec.wraps();
+    }
     return;
   }
-  SA_EXPECTS(vals.size() == ref_values_.size());
-  for (std::size_t i = 0; i < vals.size(); ++i) {
-    ref_values_[i] = (1.0 - alpha) * ref_values_[i] + alpha * vals[i];
+  SA_EXPECTS(refs_.size() == observed.num_bands());
+  for (std::size_t b = 0; b < refs_.size(); ++b) {
+    const auto& vals = observed.band(b).spectrum().values();
+    SA_EXPECTS(vals.size() == refs_[b].values.size());
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      refs_[b].values[i] = (1.0 - alpha) * refs_[b].values[i] + alpha * vals[i];
+    }
   }
 }
 
-TrackerDecision SignatureTracker::observe(const AoaSignature& observed) {
+TrackerDecision SignatureTracker::observe(const SubbandSignature& observed) {
   SA_EXPECTS(observed.valid());
   ++observations_;
 
   if (!trained_) {
+    if (!refs_.empty() && refs_.size() != observed.num_bands()) {
+      // Band count changed mid-training (an AP reconfiguration): restart
+      // the accumulation rather than mixing incompatible spectra.
+      refs_.clear();
+      training_seen_ = 0;
+    }
     // Equal-weight average over the training window.
     ++training_seen_;
     blend_into_reference(observed, 1.0 / static_cast<double>(training_seen_));
@@ -37,9 +51,12 @@ TrackerDecision SignatureTracker::observe(const AoaSignature& observed) {
     return {TrackerVerdict::kTraining, 0.0};
   }
 
-  const auto ref = reference();
-  SA_ENSURES(ref.has_value());
-  const double score = match_score(observed, *ref, config_.weights);
+  const SubbandSignature& ref = materialized_reference();
+  if (ref.num_bands() != observed.num_bands()) {
+    ++mismatches_;
+    return {TrackerVerdict::kMismatch, 0.0};
+  }
+  const double score = match_score(observed, ref, config_.weights);
   if (score >= config_.match_threshold) {
     blend_into_reference(observed, config_.ewma_alpha);
     return {TrackerVerdict::kMatch, score};
@@ -48,18 +65,42 @@ TrackerDecision SignatureTracker::observe(const AoaSignature& observed) {
   return {TrackerVerdict::kMismatch, score};
 }
 
+TrackerDecision SignatureTracker::observe(const AoaSignature& observed) {
+  SA_EXPECTS(observed.valid());
+  return observe(SubbandSignature::single(observed));
+}
+
+const SubbandSignature& SignatureTracker::materialized_reference() const {
+  SA_EXPECTS(!refs_.empty());
+  if (!ref_cache_) {
+    std::vector<AoaSignature> bands;
+    bands.reserve(refs_.size());
+    for (const auto& ref : refs_) {
+      bands.push_back(AoaSignature::from_spectrum(
+          Pseudospectrum(ref.angles, ref.values, ref.wraps),
+          config_.signature_config));
+    }
+    ref_cache_ = SubbandSignature(std::move(bands));
+  }
+  return *ref_cache_;
+}
+
+std::optional<SubbandSignature> SignatureTracker::reference_bands() const {
+  if (refs_.empty()) return std::nullopt;
+  return materialized_reference();
+}
+
 std::optional<AoaSignature> SignatureTracker::reference() const {
-  if (ref_values_.empty()) return std::nullopt;
-  return AoaSignature::from_spectrum(
-      Pseudospectrum(ref_angles_, ref_values_, ref_wraps_),
-      config_.signature_config);
+  const auto bands = reference_bands();
+  if (!bands) return std::nullopt;
+  return bands->fuse(config_.signature_config);
 }
 
 void SignatureTracker::reset() {
   trained_ = false;
   training_seen_ = 0;
-  ref_values_.clear();
-  ref_angles_.clear();
+  refs_.clear();
+  ref_cache_.reset();
   observations_ = 0;
   mismatches_ = 0;
 }

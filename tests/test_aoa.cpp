@@ -8,8 +8,10 @@
 
 #include "sa/aoa/covariance.hpp"
 #include "sa/linalg/eig.hpp"
+#include "sa/linalg/lu.hpp"
 #include "sa/aoa/estimators.hpp"
 #include "sa/aoa/pseudospectrum.hpp"
+#include "sa/aoa/spectral.hpp"
 #include "sa/common/angles.hpp"
 #include "sa/common/constants.hpp"
 #include "sa/common/error.hpp"
@@ -171,6 +173,88 @@ TEST(Covariance, DiagonalLoadRaisesDiagonal) {
   const CMat loaded = diagonal_load(r, 0.1);
   EXPECT_NEAR(loaded(0, 0).real(), 1.1, 1e-12);
   EXPECT_NEAR(loaded(0, 1).real(), 0.0, 1e-12);
+}
+
+TEST(Covariance, InPlaceVariantsAreBitIdenticalToCopying) {
+  Rng rng(5);
+  // Odd and even dimensions exercise the in-place pairing's centre entry.
+  for (std::size_t n : {4u, 5u, 8u}) {
+    SCOPED_TRACE(n);
+    const auto geom = ArrayGeometry::uniform_linear(n, kLambda / 2.0);
+    const CMat r =
+        sample_covariance(synth_samples(geom, {15.0}, {1.0}, 128, 0.2, rng));
+
+    const CMat fb_copy = forward_backward_average(r);
+    CMat fb_inplace = r;
+    forward_backward_average_inplace(fb_inplace);
+    const CMat dl_copy = diagonal_load(r, 1e-3);
+    CMat dl_inplace = r;
+    diagonal_load_inplace(dl_inplace, 1e-3);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(fb_copy(i, j), fb_inplace(i, j)) << i << "," << j;
+        EXPECT_EQ(dl_copy(i, j), dl_inplace(i, j)) << i << "," << j;
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- spectral context
+
+TEST(SpectralContext, CachesEigAndProjectorAndInverse) {
+  Rng rng(6);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat r = sample_covariance(
+      synth_samples(geom, {-20.0, 40.0}, {1.0, 0.8}, 256, 0.05, rng));
+  const SpectralContext ctx(r, geom, kLambda, {true, 0});
+
+  // Same object back on repeated calls: the decomposition is cached.
+  const EigResult& e1 = ctx.eig();
+  const EigResult& e2 = ctx.eig();
+  EXPECT_EQ(&e1, &e2);
+  const CMat& p1 = ctx.noise_projector(2);
+  const CMat& p2 = ctx.noise_projector(2);
+  EXPECT_EQ(&p1, &p2);
+  const CMat& i1 = ctx.inverse(1e-3);
+  const CMat& i2 = ctx.inverse(1e-3);
+  EXPECT_EQ(&i1, &i2);
+
+  // The cached quantities equal their from-scratch counterparts.
+  const CMat fb = forward_backward_average(r);
+  const auto direct_eig = eigh(fb);
+  ASSERT_EQ(e1.values.size(), direct_eig.values.size());
+  for (std::size_t i = 0; i < e1.values.size(); ++i) {
+    EXPECT_EQ(e1.values[i], direct_eig.values[i]) << i;
+  }
+  const auto direct_inv = inverse(diagonal_load(r, 1e-3));
+  ASSERT_TRUE(direct_inv.has_value());
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(i1(i, j), (*direct_inv)(i, j)) << i << "," << j;
+    }
+  }
+}
+
+TEST(SpectralContext, ProcessedHonorsSmoothingAndFb) {
+  Rng rng(7);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat r = sample_covariance(
+      synth_samples(geom, {10.0}, {1.0}, 128, 0.1, rng));
+  const SpectralContext ctx(r, geom, kLambda, {true, 5});
+  EXPECT_EQ(ctx.processed().rows(), 5u);
+  EXPECT_EQ(ctx.processed_geometry().size(), 5u);
+  EXPECT_EQ(ctx.covariance().rows(), 8u);  // raw stays full-size
+
+  // Octagon: FB/smoothing do not apply; processed == raw.
+  const auto oct = ArrayGeometry::octagon();
+  const CMat ro = sample_covariance(
+      synth_samples(oct, {200.0}, {1.0}, 128, 0.1, rng));
+  const SpectralContext octx(ro, oct, kLambda, {true, 0});
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_EQ(octx.processed()(i, j), ro(i, j));
+    }
+  }
 }
 
 // ---------------------------------------------------------- source count

@@ -4,7 +4,11 @@
 // pipeline changes the estimator and nothing else.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "sa/aoa/covariance.hpp"
+#include "sa/aoa/esprit.hpp"
 #include "sa/aoa/estimator.hpp"
 #include "sa/aoa/rootmusic.hpp"
 #include "sa/common/constants.hpp"
@@ -52,15 +56,25 @@ TEST(EstimatorIface, Names) {
   EXPECT_STREQ(to_string(AoaBackend::kCapon), "capon");
   EXPECT_STREQ(to_string(AoaBackend::kBartlett), "bartlett");
   EXPECT_STREQ(to_string(AoaBackend::kRootMusic), "root-music");
-  for (AoaBackend b : {AoaBackend::kMusic, AoaBackend::kCapon,
-                       AoaBackend::kBartlett, AoaBackend::kRootMusic}) {
+  EXPECT_STREQ(to_string(AoaBackend::kEsprit), "esprit");
+  for (AoaBackend b :
+       {AoaBackend::kMusic, AoaBackend::kCapon, AoaBackend::kBartlett,
+        AoaBackend::kRootMusic, AoaBackend::kEsprit}) {
     const auto parsed = aoa_backend_from_string(to_string(b));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, b);
     EXPECT_EQ(make_aoa_estimator(b)->backend(), b);
   }
   EXPECT_EQ(aoa_backend_from_string("mvdr"), AoaBackend::kCapon);
-  EXPECT_FALSE(aoa_backend_from_string("esprit").has_value());
+  EXPECT_EQ(aoa_backend_from_string("rootmusic"), AoaBackend::kRootMusic);
+  EXPECT_EQ(aoa_backend_from_string("root_music"), AoaBackend::kRootMusic);
+  EXPECT_FALSE(aoa_backend_from_string("fourier").has_value());
+  // Every stable name appears in the CLI error-message list.
+  const std::string names = aoa_backend_names();
+  for (const char* expected : {"music", "capon", "mvdr", "bartlett",
+                               "root-music", "root_music", "esprit"}) {
+    EXPECT_NE(names.find(expected), std::string::npos) << expected;
+  }
 }
 
 TEST(EstimatorIface, MusicBackendMatchesDirectCall) {
@@ -141,6 +155,80 @@ TEST(EstimatorIface, RootMusicBackendDegradesToMusicOffUla) {
   const MusicResult music = MusicEstimator(cfg.music).estimate(r, geom, kLambda);
   expect_identical_spectra(via_iface.spectrum, music.spectrum);
   EXPECT_TRUE(via_iface.source_bearings_deg.empty());
+}
+
+TEST(EstimatorIface, EspritMatchesRootMusicOnUlaTwoSources) {
+  // The acceptance scenario: a ULA hearing two incoherent sources. Both
+  // search-free backends must agree with each other (within a degree)
+  // and with the true bearings.
+  Rng rng(28);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const std::vector<double> truth = {-35.0, 20.0};
+  const CMat r = synth_covariance(geom, truth, 512, 0.02, rng);
+  AoaEstimatorConfig cfg;
+  cfg.music.num_sources = 2;
+
+  auto bearings_of = [&](AoaBackend b) {
+    auto out = make_aoa_estimator(b, cfg)->estimate(r, geom, kLambda)
+                   .source_bearings_deg;
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const auto esprit_b = bearings_of(AoaBackend::kEsprit);
+  const auto root_b = bearings_of(AoaBackend::kRootMusic);
+  ASSERT_EQ(esprit_b.size(), 2u);
+  ASSERT_EQ(root_b.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_NEAR(esprit_b[i], root_b[i], 1.0) << i;
+    EXPECT_NEAR(esprit_b[i], truth[i], 2.0) << i;
+  }
+
+  // The direct esprit() call agrees with the backend's bearings.
+  EspritConfig ec;
+  ec.num_sources = 2;
+  auto direct = esprit(r, geom, kLambda, ec);
+  std::sort(direct.begin(), direct.end());
+  ASSERT_EQ(direct.size(), 2u);
+  EXPECT_EQ(esprit_b[0], direct[0]);
+  EXPECT_EQ(esprit_b[1], direct[1]);
+}
+
+TEST(EstimatorIface, EspritBackendDegradesToMusicOffUla) {
+  Rng rng(29);
+  const auto geom = ArrayGeometry::octagon();
+  const CMat r = synth_covariance(geom, {200.0}, 256, 0.05, rng);
+  AoaEstimatorConfig cfg;
+  const auto iface = make_aoa_estimator(AoaBackend::kEsprit, cfg);
+  const MusicResult via_iface = iface->estimate(r, geom, kLambda);
+  const MusicResult music = MusicEstimator(cfg.music).estimate(r, geom, kLambda);
+  expect_identical_spectra(via_iface.spectrum, music.spectrum);
+  EXPECT_TRUE(via_iface.source_bearings_deg.empty());
+}
+
+// Every backend fed a shared, pre-warmed SpectralContext must produce
+// exactly what the one-shot covariance overload produces — the cached
+// EVD/inverse are reused, never re-derived differently.
+TEST(EstimatorIface, SharedContextMatchesOneShotOverload) {
+  Rng rng(30);
+  const auto geom = ArrayGeometry::uniform_linear(8, kLambda / 2.0);
+  const CMat r = synth_covariance(geom, {-10.0, 45.0}, 256, 0.05, rng);
+  AoaEstimatorConfig cfg;
+  cfg.music.num_sources = 2;
+  for (AoaBackend b :
+       {AoaBackend::kMusic, AoaBackend::kCapon, AoaBackend::kBartlett,
+        AoaBackend::kRootMusic, AoaBackend::kEsprit}) {
+    SCOPED_TRACE(to_string(b));
+    const auto est = make_aoa_estimator(b, cfg);
+    SpectralContext ctx(r, geom, kLambda, est->spectral_options());
+    ctx.eig();           // pre-warm every cache the backends touch
+    ctx.inverse(1e-3);
+    const MusicResult via_ctx = est->estimate(ctx);
+    const MusicResult one_shot = est->estimate(r, geom, kLambda);
+    expect_identical_spectra(via_ctx.spectrum, one_shot.spectrum);
+    EXPECT_EQ(via_ctx.eigenvalues, one_shot.eigenvalues);
+    EXPECT_EQ(via_ctx.num_sources, one_shot.num_sources);
+    EXPECT_EQ(via_ctx.source_bearings_deg, one_shot.source_bearings_deg);
+  }
 }
 
 // The AccessPoint constructs whatever backend its config names; the

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "sa/common/angles.hpp"
 #include "sa/common/error.hpp"
@@ -10,6 +12,7 @@
 #include "sa/signature/metrics.hpp"
 #include "sa/signature/serialize.hpp"
 #include "sa/signature/signature.hpp"
+#include "sa/signature/subband.hpp"
 #include "sa/signature/tracker.hpp"
 
 namespace sa {
@@ -272,6 +275,24 @@ TEST(Serialize, RejectsCorruptedInput) {
   EXPECT_FALSE(deserialize_signature({}).has_value());
 }
 
+TEST(Serialize, RejectsNonFiniteGridWithoutThrowing) {
+  const auto sig = AoaSignature::from_spectrum(synth_spectrum({{80.0, 10.0}}));
+  const ByteStream bytes = serialize_signature(sig);
+  // Grid start at offset 12, step at offset 20 (after magic/wraps/n).
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const auto& [offset, v] : {std::pair<std::size_t, double>{20, nan},
+                                  {20, inf},
+                                  {12, nan},
+                                  {12, inf}}) {
+    ByteStream bad = bytes;
+    std::memcpy(&bad[offset], &v, sizeof(v));
+    // Malformed input must yield nullopt, never an exception.
+    EXPECT_FALSE(deserialize_signature(bad).has_value()) << offset;
+    EXPECT_FALSE(deserialize_subband_signature(bad).has_value()) << offset;
+  }
+}
+
 TEST(Serialize, RejectsNegativeValues) {
   const auto sig = AoaSignature::from_spectrum(synth_spectrum({{80.0, 10.0}}));
   ByteStream bytes = serialize_signature(sig);
@@ -279,6 +300,172 @@ TEST(Serialize, RejectsNegativeValues) {
   // byte of the double holds the sign bit).
   bytes[28 + 7] |= 0x80;
   EXPECT_FALSE(deserialize_signature(bytes).has_value());
+}
+
+// ----------------------------------------------------- subband signatures
+
+/// Independent little-endian writers, so the golden-bytes test does not
+/// reuse the serializer it is checking.
+void golden_u32(ByteStream& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void golden_f64(ByteStream& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+TEST(SubbandSerialize, SingleBandIsWireCompatibleWithLegacyFormat) {
+  // A tiny signature with exactly known normalized values.
+  const auto sig = AoaSignature::from_spectrum(
+      Pseudospectrum({10.0, 11.0, 12.0, 13.0}, {1.0, 2.0, 4.0, 2.0}, false));
+
+  // Golden bytes of the legacy "SAA1" format, written by hand: magic,
+  // wrap flag, grid size, grid start, grid step, normalized values.
+  ByteStream golden;
+  golden_u32(golden, 0x53414131u);  // "SAA1" little-endian
+  golden_u32(golden, 0u);           // wraps = false
+  golden_u32(golden, 4u);           // grid size
+  golden_f64(golden, 10.0);         // grid start
+  golden_f64(golden, 1.0);          // grid step
+  for (double v : {0.25, 0.5, 1.0, 0.5}) golden_f64(golden, v);
+
+  // K=1 wideband output must be byte-for-byte the legacy format.
+  EXPECT_EQ(serialize_signature(SubbandSignature::single(sig)), golden);
+  EXPECT_EQ(serialize_signature(sig), golden);
+
+  // And both parsers accept it.
+  ASSERT_TRUE(deserialize_signature(golden).has_value());
+  const auto sub = deserialize_subband_signature(golden);
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_EQ(sub->num_bands(), 1u);
+  EXPECT_NEAR(match_score(sub->band(0), sig), 1.0, 1e-12);
+}
+
+TEST(SubbandSerialize, MultiBandRoundTrip) {
+  std::vector<AoaSignature> bands;
+  bands.push_back(AoaSignature::from_spectrum(
+      synth_spectrum({{80.0, 10.0}, {210.0, 3.0}})));
+  bands.push_back(AoaSignature::from_spectrum(
+      synth_spectrum({{83.0, 10.0}, {205.0, 4.0}})));
+  bands.push_back(AoaSignature::from_spectrum(
+      synth_spectrum({{86.0, 9.0}, {200.0, 5.0}})));
+  const SubbandSignature sig(std::move(bands));
+
+  const ByteStream bytes = serialize_signature(sig);
+  const auto back = deserialize_subband_signature(bytes);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->num_bands(), 3u);
+  EXPECT_NEAR(match_score(sig, *back), 1.0, 1e-12);
+  for (std::size_t b = 0; b < 3; ++b) {
+    EXPECT_NEAR(match_score(sig.band(b), back->band(b)), 1.0, 1e-12) << b;
+  }
+  // The legacy single-band parser must not accept the container format.
+  EXPECT_FALSE(deserialize_signature(bytes).has_value());
+}
+
+TEST(SubbandSerialize, RejectsMalformedContainer) {
+  std::vector<AoaSignature> bands;
+  bands.push_back(AoaSignature::from_spectrum(synth_spectrum({{80.0, 10.0}})));
+  bands.push_back(AoaSignature::from_spectrum(synth_spectrum({{90.0, 10.0}})));
+  const ByteStream bytes = serialize_signature(SubbandSignature(std::move(bands)));
+
+  // Truncation mid-band.
+  ByteStream cut(bytes.begin(), bytes.begin() + bytes.size() / 2);
+  EXPECT_FALSE(deserialize_subband_signature(cut).has_value());
+  // Trailing garbage.
+  ByteStream extra = bytes;
+  extra.push_back(0);
+  EXPECT_FALSE(deserialize_subband_signature(extra).has_value());
+  // Zero-band container.
+  ByteStream zero;
+  golden_u32(zero, 0x53414132u);
+  golden_u32(zero, 0u);
+  EXPECT_FALSE(deserialize_subband_signature(zero).has_value());
+  // Band count beyond the parser's bound.
+  ByteStream huge;
+  golden_u32(huge, 0x53414132u);
+  golden_u32(huge, 100000u);
+  EXPECT_FALSE(deserialize_subband_signature(huge).has_value());
+}
+
+TEST(SubbandMetrics, MeanOverBandsAndKOneEquivalence) {
+  const auto a = AoaSignature::from_spectrum(
+      synth_spectrum({{90.0, 10.0}, {250.0, 3.0}}));
+  const auto b = AoaSignature::from_spectrum(
+      synth_spectrum({{180.0, 10.0}, {40.0, 3.0}}));
+
+  // K=1: the subband metrics are numerically the narrowband metrics.
+  const auto sa1 = SubbandSignature::single(a);
+  const auto sb1 = SubbandSignature::single(b);
+  EXPECT_EQ(match_score(sa1, sb1), match_score(a, b));
+  EXPECT_EQ(cosine_similarity(sa1, sb1), cosine_similarity(a, b));
+  EXPECT_EQ(peak_set_distance(sa1, sb1), peak_set_distance(a, b));
+  EXPECT_EQ(spectral_distance_db(sa1, sb1), spectral_distance_db(a, b));
+
+  // Two bands, one matching and one disjoint: the score is the mean.
+  const SubbandSignature mixed_a({a, a});
+  const SubbandSignature mixed_b({a, b});
+  EXPECT_NEAR(match_score(mixed_a, mixed_b),
+              (match_score(a, a) + match_score(a, b)) / 2.0, 1e-12);
+
+  // Band-count mismatch is a precondition violation.
+  EXPECT_THROW(match_score(sa1, mixed_b), InvalidArgument);
+}
+
+TEST(SubbandTracker, TracksPerBandAndFlagsBandCountChange) {
+  Rng rng(7);
+  TrackerConfig cfg;
+  cfg.training_packets = 4;
+  SignatureTracker tracker(cfg);
+  auto two_band = [&](double b0, double b1) {
+    return SubbandSignature({AoaSignature::from_spectrum(
+                                 synth_spectrum({{b0, 10.0}}, &rng, 0.03)),
+                             AoaSignature::from_spectrum(
+                                 synth_spectrum({{b1, 10.0}}, &rng, 0.03))});
+  };
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tracker.observe(two_band(80.0, 84.0)).verdict,
+              TrackerVerdict::kTraining);
+  }
+  ASSERT_TRUE(tracker.trained());
+  const auto ref = tracker.reference_bands();
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->num_bands(), 2u);
+
+  // Same client: both bands match.
+  EXPECT_EQ(tracker.observe(two_band(80.0, 84.0)).verdict,
+            TrackerVerdict::kMatch);
+  // Attacker matching only one band scores the mean — below threshold.
+  const auto d = tracker.observe(two_band(80.0, 290.0));
+  EXPECT_EQ(d.verdict, TrackerVerdict::kMismatch);
+  EXPECT_LT(d.score, cfg.match_threshold);
+  // A band-count change after training can never match.
+  const auto narrow = tracker.observe(SubbandSignature::single(
+      AoaSignature::from_spectrum(synth_spectrum({{80.0, 10.0}}, &rng, 0.03))));
+  EXPECT_EQ(narrow.verdict, TrackerVerdict::kMismatch);
+  EXPECT_EQ(narrow.score, 0.0);
+}
+
+TEST(SubbandSignature, FuseAveragesBands) {
+  const auto a =
+      AoaSignature::from_spectrum(synth_spectrum({{100.0, 10.0}}));
+  const auto b =
+      AoaSignature::from_spectrum(synth_spectrum({{140.0, 10.0}}));
+  const SubbandSignature sub({a, b});
+  const auto fused = sub.fuse();
+  ASSERT_TRUE(fused.valid());
+  // Both peaks survive fusion at roughly half the normalized height.
+  EXPECT_GT(fused.spectrum().value_at(100.0), 0.4);
+  EXPECT_GT(fused.spectrum().value_at(140.0), 0.4);
+  // Single-band fuse is the band itself.
+  const auto same = SubbandSignature::single(a).fuse();
+  EXPECT_EQ(same.spectrum().values(), a.spectrum().values());
 }
 
 }  // namespace

@@ -9,9 +9,16 @@
 // decode, covariance, AoA estimation, grouping, and the fence/spoof
 // decision — not the channel simulator.
 //
-// Usage: bench_engine_throughput [--smoke] [packets-per-client] [max-threads]
-//   --smoke   minimal workload (1 packet/client, 2 threads, short sweeps)
-//             so CI can execute every section on each PR.
+// Usage: bench_engine_throughput [--smoke] [--pipelined]
+//                                [packets-per-client] [max-threads]
+//   --smoke      minimal workload (1 packet/client, 2 threads, short
+//                sweeps) so CI can execute every section on each PR.
+//   --pipelined  add the batch-vs-EngineSession sweep: the same
+//                multi-round workload through the lock-step engine and
+//                through a pipelined session, per thread count. The
+//                session overlapping round N+1's scan/decode with round
+//                N's decode/AoA/policy phase is the whole point — the
+//                round-boundary bubble of the batch path is gone.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +29,7 @@
 #include "bench_common.hpp"
 #include "sa/aoa/covariance.hpp"
 #include "sa/engine/deployment.hpp"
+#include "sa/engine/session.hpp"
 
 using namespace sa;
 
@@ -38,6 +46,26 @@ double run_once(DeploymentEngine& engine,
   frames += engine.flush().size();
   const auto t1 = std::chrono::steady_clock::now();
   *frames_out = frames;
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Push every round without waiting, then drain: the pipelined schedule.
+double run_session_once(const SessionConfig& scfg,
+                        const std::vector<AccessPoint*>& ptrs,
+                        const std::vector<std::vector<CMat>>& rounds,
+                        std::size_t* frames_out, SessionStats* stats_out) {
+  std::size_t frames = 0;
+  EngineSession session(scfg, ptrs,
+                        [&](const EngineDecision&) { ++frames; });
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& round : rounds) {
+    session.submit_round(round);
+  }
+  session.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+  *frames_out = frames;
+  *stats_out = session.session_stats();
+  session.close();
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
@@ -100,10 +128,13 @@ void covariance_conditioning_note(std::size_t reps) {
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool pipelined = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--pipelined") == 0) {
+      pipelined = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -193,6 +224,46 @@ int main(int argc, char** argv) {
   }
   std::printf("(hardware concurrency: %u)\n",
               std::thread::hardware_concurrency());
+
+  // ---- batch lock-step vs pipelined EngineSession (MUSIC backend).
+  // Same engines, same workload; the only difference is that the batch
+  // path waits every round out while the session lets round N+1's
+  // scan/decode overlap round N's decode/AoA/policy phase.
+  if (pipelined) {
+    std::printf("\n%-10s %12s %14s %9s %9s\n", "threads", "batch f/s",
+                "pipelined f/s", "speedup", "overlap");
+    for (std::size_t threads = 1; threads <= max_threads; threads *= 2) {
+      auto engine = make_engine(0, threads);
+      std::size_t batch_frames = 0;
+      const double batch_secs = run_once(*engine, rounds, &batch_frames);
+      engine.reset();
+
+      SessionConfig scfg;
+      scfg.engine.num_threads = threads;
+      scfg.engine.coordinator.fence_boundary = tb.building_outline();
+      scfg.engine.coordinator.min_aps_for_fence = 2;
+      std::vector<AccessPoint*> ptrs;
+      for (const auto& ap : ap_sets[0]) ptrs.push_back(ap.get());
+      std::size_t session_frames = 0;
+      SessionStats stats;
+      const double session_secs =
+          run_session_once(scfg, ptrs, rounds, &session_frames, &stats);
+
+      const double batch_fps = static_cast<double>(batch_frames) / batch_secs;
+      const double session_fps =
+          static_cast<double>(session_frames) / session_secs;
+      std::printf("%-10zu %12.1f %14.1f %8.2fx %7zu\n", threads, batch_fps,
+                  session_fps, session_fps / batch_fps,
+                  stats.max_overlapped_rounds);
+      if (session_frames != batch_frames) {
+        std::printf("  !! decision count diverged: batch %zu vs session %zu\n",
+                    batch_frames, session_frames);
+        return 1;
+      }
+    }
+    std::printf("(overlap = max distinct rounds with tasks in the pool at "
+                "once; >= 2 means the round boundary was pipelined away)\n");
+  }
 
   // ---- frames/sec vs AoA backend (4 threads).
   const std::size_t backend_threads = std::min<std::size_t>(4, max_threads);

@@ -1,9 +1,16 @@
 // Scenario runner: a CLI over the full SecureAngle system. Builds the
 // Figure-4 office with a configurable multi-AP deployment, runs a mixed
 // workload (legitimate uplink traffic + MAC-spoofing attacker + off-site
-// transmitter), streams every AP's samples through the DeploymentEngine
-// (a configurable SecurityPolicy chain, batched across a thread pool),
-// and prints a security report with per-policy statistics.
+// transmitter), streams every AP's samples through the engine, and
+// prints a security report with per-policy statistics.
+//
+// Two modes:
+//  - batch (default): the three-phase scripted workload through the
+//    lock-step DeploymentEngine, one ingest round per transmission.
+//  - streaming (--duration): Poisson frame arrivals pushed into an
+//    EngineSession for a simulated wall-clock span — chunks go in as
+//    they "arrive" while earlier rounds are still deciding, so this
+//    workload cannot be expressed as a sequence of batch rounds.
 //
 // Usage: scenario_runner [options] [seed [packets [num-aps]]]
 //   --seed N          RNG seed                       (default 7)
@@ -12,11 +19,17 @@
 //   --threads N       engine worker threads, 0=auto  (default 1)
 //   --estimator NAME  music|capon|bartlett|root-music|esprit (default music)
 //   --subbands K      wideband subbands per packet, power of two (default 1)
+//   --band-fusion F   uniform|snr wideband signature fusion (default uniform)
 //   --policies LIST   comma-separated chain order from acl,fence,spoof,rate
 //                     (default spoof,fence; decode is always implicit first;
 //                     acl allows exactly the testbed's legitimate clients)
+//   --duration S      streaming mode: simulated seconds of traffic
+//   --arrival-rate R  streaming mode: mean frame arrivals/sec (default 40)
 // e.g.:  ./build/examples/scenario_runner --aps 6 --threads 4
 //            --subbands 4 --policies acl,fence,spoof,rate
+//        ./build/examples/scenario_runner --threads 4 --duration 2
+//            --arrival-rate 80
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -26,6 +39,7 @@
 #include "sa/common/rng.hpp"
 #include "sa/dsp/fft.hpp"
 #include "sa/engine/deployment.hpp"
+#include "sa/engine/session.hpp"
 #include "sa/mac/frame.hpp"
 #include "sa/phy/packet.hpp"
 #include "sa/testbed/office.hpp"
@@ -39,7 +53,9 @@ namespace {
   std::fprintf(to,
                "usage: %s [--seed N] [--packets N] [--aps N] [--threads N]\n"
                "          [--estimator music|capon|bartlett|root-music|esprit]\n"
-               "          [--subbands K] [--policies acl,fence,spoof,rate]\n"
+               "          [--subbands K] [--band-fusion uniform|snr]\n"
+               "          [--policies acl,fence,spoof,rate]\n"
+               "          [--duration S] [--arrival-rate R]\n"
                "          [seed [packets [num-aps]]]\n",
                argv0);
   std::exit(status);
@@ -79,7 +95,10 @@ int main(int argc, char** argv) {
   std::size_t threads = 1;
   std::size_t subbands = 1;
   AoaBackend estimator = AoaBackend::kMusic;
+  BandFusion band_fusion = BandFusion::kUniform;
   std::vector<PolicyKind> policies = default_policy_chain();
+  double duration_s = 0.0;      // > 0 selects streaming mode
+  double arrival_rate = 40.0;   // mean frames/sec in streaming mode
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -117,6 +136,19 @@ int main(int argc, char** argv) {
       estimator = *parsed;
     } else if (arg == "--subbands") {
       subbands = std::strtoul(value(), nullptr, 10);
+    } else if (arg == "--band-fusion") {
+      const char* name = value();
+      const auto parsed = band_fusion_from_string(name);
+      if (!parsed) {
+        std::fprintf(stderr, "unknown band fusion '%s' (valid: uniform, snr)\n",
+                     name);
+        usage(argv[0]);
+      }
+      band_fusion = *parsed;
+    } else if (arg == "--duration") {
+      duration_s = std::strtod(value(), nullptr);
+    } else if (arg == "--arrival-rate") {
+      arrival_rate = std::strtod(value(), nullptr);
     } else if (arg == "--policies") {
       policies = parse_policies(value(), argv[0]);
     } else if (arg == "--help" || arg == "-h") {
@@ -140,6 +172,10 @@ int main(int argc, char** argv) {
                  subbands);
     usage(argv[0]);
   }
+  if (duration_s < 0.0 || (duration_s > 0.0 && arrival_rate <= 0.0)) {
+    std::fprintf(stderr, "--duration needs a positive --arrival-rate\n");
+    usage(argv[0]);
+  }
 
   const auto tb = OfficeTestbed::figure4();
   Rng rng(seed);
@@ -154,6 +190,7 @@ int main(int argc, char** argv) {
     cfg.position = spot;
     cfg.estimator = estimator;
     cfg.subbands = subbands;
+    cfg.band_fusion = band_fusion;
     aps.push_back(std::make_unique<AccessPoint>(cfg, rng));
     ap_ptrs.push_back(aps.back().get());
     sim.add_ap(aps.back()->placement());
@@ -171,6 +208,91 @@ int main(int argc, char** argv) {
     for (const auto& c : tb.clients()) acl.allow(MacAddress::from_index(c.id));
     ecfg.coordinator.acl = std::move(acl);
   }
+  // ---- Streaming mode: Poisson arrivals pushed into an EngineSession.
+  // There is no round cadence the caller could batch on: frames arrive
+  // whenever the arrival process says, the session pipelines them, and
+  // decisions stream out through the sink while later chunks go in.
+  if (duration_s > 0.0) {
+    SessionConfig scfg;
+    scfg.engine = ecfg;
+    std::size_t accepted = 0, dropped = 0;
+    EngineSession session(scfg, ap_ptrs, [&](const EngineDecision& d) {
+      (d.decision.accepted ? accepted : dropped)++;
+    });
+    std::printf(
+        "streaming deployment: %zu AP(s), %zu engine thread(s), estimator %s, "
+        "%zu subband(s), %s fusion, seed %llu\n"
+        "Poisson arrivals: %.1f frames/s for %.2f simulated seconds\n",
+        num_aps, session.num_threads(), to_string(estimator), subbands,
+        std::string(to_string(band_fusion)).c_str(),
+        static_cast<unsigned long long>(seed), arrival_rate, duration_s);
+
+    TxPattern amp;
+    amp.tx_power_db = 15.0;
+    std::uint16_t sseq = 0;
+    std::size_t sent = 0, spoofed = 0, offsite = 0;
+    double t = 0.0;
+    for (;;) {
+      const double dt = -std::log(1.0 - rng.uniform(0.0, 1.0)) / arrival_rate;
+      if (t + dt >= duration_s) break;
+      t += dt;
+      sim.advance(dt);
+      Vec2 from;
+      MacAddress mac = MacAddress::from_index(0);
+      const TxPattern* pat = nullptr;
+      const double pick = rng.uniform(0.0, 1.0);
+      if (pick < 0.8) {
+        const auto& clients = tb.clients();
+        const auto& c = clients[std::min(
+            clients.size() - 1,
+            static_cast<std::size_t>(rng.uniform(
+                0.0, static_cast<double>(clients.size()))))];
+        from = c.position;
+        mac = MacAddress::from_index(c.id);
+      } else if (pick < 0.9) {
+        from = tb.client(17).position;  // insider spoofing client 2's MAC
+        mac = MacAddress::from_index(2);
+        ++spoofed;
+      } else {
+        from = tb.outdoor_positions()[0];
+        mac = MacAddress::from_index(200);
+        pat = &amp;
+        ++offsite;
+      }
+      const Frame f =
+          Frame::data(MacAddress::from_index(0xFF), mac, Bytes{1, 2, 3}, sseq++);
+      const CVec w = PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
+      session.submit_round(sim.transmit(from, w, pat));
+      ++sent;
+    }
+    session.drain();
+
+    const auto st = session.stats();
+    const auto ss = session.session_stats();
+    const auto sp = session.spoof_detector().stats();
+    std::printf("\ntraffic: %zu frames sent (%zu spoofed, %zu off-site)\n",
+                sent, spoofed, offsite);
+    std::printf("decisions: %zu frames | %zu accepted | %zu dropped\n",
+                st.frames, accepted, dropped);
+    std::printf("\n%-10s %10s %10s %10s\n", "policy", "evaluated", "accepted",
+                "dropped");
+    for (const auto& ps : session.chain().policy_stats()) {
+      std::printf("%-10.*s %10zu %10zu %10zu\n",
+                  static_cast<int>(ps.name.size()), ps.name.data(),
+                  ps.evaluated, ps.accepted, ps.dropped);
+    }
+    std::printf("\nspoof trackers: %zu MAC(s) across %zu shard(s), %zu alarms\n",
+                sp.tracked_macs, session.spoof_detector().num_shards(),
+                sp.alarms);
+    std::printf(
+        "pipeline: %zu rounds, max %zu rounds overlapped in the pool, "
+        "%zu candidate frames in flight at peak, %zu deferred retries\n",
+        ss.rounds_completed, ss.max_overlapped_rounds, ss.max_inflight_frames,
+        ss.stale_retries);
+    session.close();
+    return 0;
+  }
+
   DeploymentEngine engine(ecfg, ap_ptrs);
 
   std::string chain_names = "decode";

@@ -3,17 +3,27 @@
 // (no work stealing, no resizing), blocking when the queue is full so a
 // fast producer cannot queue unbounded per-frame work.
 //
+// Tasks may carry an *epoch* tag (the engine session tags every task
+// with its ingest-round id). Epochs let two pipelined rounds coexist in
+// the queue while the pool tracks, per epoch, how much work is still
+// outstanding: `wait_epoch_idle` blocks until an epoch has fully
+// drained, and `max_epochs_in_flight` records how many distinct rounds
+// ever had work in the pool at once — the observable proof that round
+// pipelining actually overlapped.
+//
 // Tasks must not submit further tasks to the same pool and then block on
 // their results from inside a worker: with every worker waiting, nothing
-// would drain the queue. The engine only ever submits from its caller
-// thread, so this cannot arise there.
+// would drain the queue. The engine only ever submits from its own
+// non-worker threads, so this cannot arise there.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -29,7 +39,9 @@ class ThreadPool {
   explicit ThreadPool(std::size_t num_threads,
                       std::size_t queue_capacity = 256);
 
-  /// Drains the queue, then joins every worker.
+  /// Drains the queue (every task already accepted still runs), then
+  /// joins every worker. A producer blocked in submit() at destruction
+  /// time is woken and gets a StateError instead of a lost task.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -38,30 +50,62 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
   std::size_t queue_capacity() const { return capacity_; }
 
-  /// Enqueue a task; blocks while the queue is full.
+  /// Enqueue an untagged task; blocks while the queue is full.
   void submit(std::function<void()> task);
+
+  /// Enqueue a task tagged with `epoch`; blocks while the queue is full.
+  /// The epoch counts as in flight from now until the task finishes
+  /// (normally or by throwing).
+  void submit(std::function<void()> task, std::uint64_t epoch);
 
   /// Enqueue a value-returning task; exceptions propagate through the
   /// future.
   template <typename F>
   auto async(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    return async_impl(std::forward<F>(fn), nullptr);
+  }
+
+  /// async() with an epoch tag.
+  template <typename F>
+  auto async_in(std::uint64_t epoch, F&& fn)
+      -> std::future<std::invoke_result_t<F>> {
+    return async_impl(std::forward<F>(fn), &epoch);
+  }
+
+  /// Distinct epochs with unfinished (queued or running) tasks.
+  std::size_t epochs_in_flight() const;
+  /// High-water mark of epochs_in_flight() since construction. >= 2
+  /// means two rounds' tasks genuinely coexisted in the pool.
+  std::size_t max_epochs_in_flight() const;
+  /// Block until `epoch` has no queued or running tasks. Returns
+  /// immediately for epochs that never submitted work.
+  void wait_epoch_idle(std::uint64_t epoch) const;
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task, const std::uint64_t* epoch);
+  void finish_epoch(std::uint64_t epoch);
+
+  template <typename F>
+  auto async_impl(F&& fn, const std::uint64_t* epoch)
+      -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     // shared_ptr because std::function requires copyable callables.
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
-    submit([task] { (*task)(); });
+    enqueue([task] { (*task)(); }, epoch);
     return result;
   }
 
- private:
-  void worker_loop();
-
   std::size_t capacity_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
+  mutable std::condition_variable epoch_idle_;
   std::deque<std::function<void()>> queue_;
+  std::map<std::uint64_t, std::size_t> epoch_outstanding_;
+  std::size_t max_epochs_in_flight_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

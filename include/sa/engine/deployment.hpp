@@ -1,9 +1,7 @@
 // The deployment engine: the production-scale frame-decision pipeline.
 //
 // A SecureAngle deployment receives continuous per-AP sample streams and
-// must turn them into one ordered stream of frame decisions. The engine
-// does what the single-threaded AccessPoint -> Coordinator chain does,
-// but batched and parallel:
+// must turn them into one ordered stream of frame decisions:
 //
 //   per-AP sample chunks
 //     -> StreamingReceiver::scan        (parallel across APs)
@@ -12,22 +10,26 @@
 //                                        per-subband covariance contexts)
 //     -> AccessPoint::estimate_band     (parallel across every (frame,
 //                                        subband) pair — intra-frame
-//                                        parallelism: one frame with K
-//                                        subbands keeps K workers busy)
+//                                        parallelism)
 //     -> AccessPoint::assemble          (parallel across frames:
 //                                        signature fusion + bearing)
 //     -> StreamingReceiver::commit      (sequential per AP, cheap)
 //     -> cross-AP grouping by start sample
-//     -> spoof observe                  (parallel across MAC shards,
-//                                        sequential within a shard)
+//     -> spoof observe                  (per-frame tickets, parallel
+//                                        across MAC shards, sequential
+//                                        within a shard)
 //     -> Coordinator::process_prejudged (sequential, re-sequenced)
+//
+// The primary API is the push-based EngineSession (sa/engine/
+// session.hpp), which pipelines ingest rounds: round N+1's scan/decode
+// overlaps round N's decode/AoA/policy phase. DeploymentEngine is the
+// legacy lock-step batch surface, kept byte-identical: ingest() submits
+// one time-aligned chunk per AP to an internal session and blocks until
+// that round's decisions are out.
 //
 // Determinism: the emitted FrameDecision sequence is identical at any
 // thread count — and identical to feeding the same chunk streams through
 // serial StreamingReceivers, the same grouping, and Coordinator::process.
-// Work is scheduled in a fixed order, results are joined in that order,
-// and per-MAC tracker state always advances in global frame order because
-// a MAC's frames all live on one shard.
 #pragma once
 
 #include <memory>
@@ -76,38 +78,40 @@ struct EngineDecision {
   FrameDecision decision;
 };
 
+class EngineSession;
+
+/// Lock-step batch wrapper over an EngineSession, for callers that own
+/// the round cadence themselves. Output is byte-identical to the
+/// pre-session batch engine at any thread count.
 class DeploymentEngine {
  public:
   /// `aps` are borrowed (not owned) and must outlive the engine; one
   /// sample stream is expected per AP, in the same order.
   DeploymentEngine(EngineConfig config, std::vector<AccessPoint*> aps);
+  ~DeploymentEngine();
 
   /// Feed the next time-aligned chunk of every AP's stream (chunks[i]
   /// belongs to aps[i]). Returns the decisions completed by this batch,
-  /// in stream order.
+  /// in stream order. The const-ref overload copies the chunks into the
+  /// session's queues; pass an rvalue to move them instead.
   std::vector<EngineDecision> ingest(const std::vector<CMat>& chunks);
+  std::vector<EngineDecision> ingest(std::vector<CMat>&& chunks);
 
   /// End of capture: process deferred detections and emit what remains.
   std::vector<EngineDecision> flush();
 
-  std::size_t num_aps() const { return aps_.size(); }
-  std::size_t num_threads() const { return pool_.size(); }
+  std::size_t num_aps() const;
+  std::size_t num_threads() const;
   const EngineConfig& config() const { return config_; }
-  Coordinator::Stats stats() const { return coordinator_.stats(); }
+  Coordinator::Stats stats() const;
   /// Per-policy accept/drop counters of the decision chain.
-  const PolicyChain& chain() const { return coordinator_.chain(); }
-  const ShardedSpoofDetector& spoof_detector() const { return spoof_; }
+  const PolicyChain& chain() const;
+  const ShardedSpoofDetector& spoof_detector() const;
 
  private:
-  std::vector<EngineDecision> round(const std::vector<CMat>* chunks);
-
   EngineConfig config_;
-  std::vector<AccessPoint*> aps_;
-  std::vector<std::unique_ptr<StreamingReceiver>> streams_;
-  ThreadPool pool_;
-  ShardedSpoofDetector spoof_;
-  Coordinator coordinator_;
-  std::size_t sequence_ = 0;
+  std::unique_ptr<EngineSession> session_;
+  std::vector<EngineDecision> collected_;
 };
 
 }  // namespace sa

@@ -1,0 +1,215 @@
+// EngineSession: the engine's primary, push-based API.
+//
+// The batch DeploymentEngine is lock-step: each ingest round must fully
+// scan, decode and drain before the next round may start, so the worker
+// pool idles at every round boundary. A session removes that boundary.
+// Callers submit() per-AP sample chunks at any time and register a
+// decision sink; internally the session runs a two-stage pipeline over
+// the shared worker pool:
+//
+//   front-end (one thread)            back-end (one thread)
+//   ---------------------             ---------------------
+//   form round N+1 from the           join round N's decode futures,
+//   per-AP chunk queues, scan         fan the per-(frame, subband) AoA
+//   every AP (pool fan-out),          estimates, resolve deferred
+//   schedule the fresh frames'        retries, commit each stream,
+//   PHY-decode tasks on the pool      group across APs, reserve/fulfil
+//                                     per-frame spoof tickets, run the
+//                                     policy chain, emit decisions
+//
+// The front-end is allowed to run ahead of the back-end: round N+1's
+// scan and decode execute while round N is still in its decode/AoA/
+// policy phase, so the pool never drains at a round boundary. This
+// leans on three substrate guarantees:
+//   - StreamingReceiver::scan/commit tolerate commit-behind (a scan's
+//     emit/defer bookkeeping is anchored to its own absolute
+//     coordinates, and commit dedupes against the live watermark);
+//   - ShardedSpoofDetector tickets advance tracker state per frame, in
+//     reserved order, with no round barrier;
+//   - ThreadPool task epochs let two rounds' tasks coexist in the queue
+//     (and prove, via max_epochs_in_flight, that they did).
+//
+// Determinism: rounds are formed, committed, grouped, spoof-judged and
+// decided strictly in round order on single front/back threads, so the
+// emitted decision sequence is identical at any thread count — and
+// byte-identical to the lock-step batch engine, which is now a thin
+// wrapper over a session.
+//
+// Backpressure: `max_inflight_rounds` bounds how far the front-end may
+// scan ahead of the back-end, and `max_inflight_frames` bounds the
+// candidate frames admitted to decode but not yet decided (a round
+// larger than the whole budget is admitted alone). submit() blocks when
+// the per-AP chunk queue is full.
+//
+// Lifecycle: drain() processes every submitted chunk plus a final flush
+// pass and returns once all resulting decisions have been emitted — the
+// session stays usable, exactly like the batch engine's flush().
+// close() drains and stops the pipeline threads; the destructor closes.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "sa/engine/deployment.hpp"
+
+namespace sa {
+
+struct SessionConfig {
+  EngineConfig engine;
+  /// Rounds the front-end may have in flight (scanned or decoding but
+  /// not yet decided) at once; >= 1. 1 degenerates to lock-step.
+  std::size_t max_inflight_rounds = 4;
+  /// Candidate frames admitted to decode but not yet decided; 0 =
+  /// unbounded. A single round with more candidates than the whole
+  /// budget is admitted once the pipeline is empty.
+  std::size_t max_inflight_frames = 512;
+  /// Chunks one AP may have queued (submitted but not yet formed into a
+  /// round); >= 1. submit() blocks at this bound, so it must exceed the
+  /// raggedness of the submission order: pushing one AP more than this
+  /// many rounds ahead of another would block forever.
+  std::size_t max_pending_chunks = 64;
+};
+
+/// Observable pipeline behavior (all monotonic counters / high-water
+/// marks since construction).
+struct SessionStats {
+  std::size_t chunks_submitted = 0;
+  std::size_t rounds_completed = 0;  ///< including drain flush passes
+  std::size_t decisions_emitted = 0;
+  /// Deferred-retry candidates re-decoded after the preceding commit.
+  std::size_t stale_retries = 0;
+  /// Scan-ahead candidates an earlier commit had already emitted.
+  std::size_t stale_skips = 0;
+  /// High-water mark of the candidate budget actually used.
+  std::size_t max_inflight_frames = 0;
+  /// High-water mark of rounds concurrently holding budget.
+  std::size_t max_admitted_rounds = 0;
+  /// High-water mark of distinct rounds with tasks in the pool at once
+  /// (>= 2 proves the round boundary was actually overlapped).
+  std::size_t max_overlapped_rounds = 0;
+};
+
+class EngineSession {
+ public:
+  /// Called on the back-end thread, strictly in sequence order, never
+  /// concurrently with itself.
+  using DecisionSink = std::function<void(const EngineDecision&)>;
+
+  /// `aps` are borrowed (not owned) and must outlive the session; one
+  /// chunk stream is expected per AP, in the same order.
+  EngineSession(SessionConfig config, std::vector<AccessPoint*> aps,
+                DecisionSink sink);
+  ~EngineSession();
+
+  EngineSession(const EngineSession&) = delete;
+  EngineSession& operator=(const EngineSession&) = delete;
+
+  /// Push the next chunk of `ap_index`'s stream. Round r is formed from
+  /// the r-th chunk of every AP, so streams may be pushed raggedly;
+  /// blocks while this AP's queue is full, throws StateError after
+  /// close(). Thread-safe against other submitters.
+  void submit(std::size_t ap_index, CMat chunk);
+  /// Convenience: one time-aligned chunk per AP (chunks[i] -> aps[i]).
+  void submit_round(std::vector<CMat> chunks);
+
+  /// Process every submitted chunk (APs that received fewer chunks than
+  /// the longest stream are padded with empty rounds), run the final
+  /// flush pass, and return once every decision has been emitted. The
+  /// session remains usable afterwards.
+  void drain();
+  /// Block until every currently formable round has been decided (no
+  /// flush pass). The batch wrapper's ingest barrier.
+  void wait_idle();
+  /// drain(), then stop the pipeline threads. Idempotent (concurrent
+  /// calls serialize); submit() and drain() throw StateError afterwards.
+  void close();
+
+  std::size_t num_aps() const { return aps_.size(); }
+  std::size_t num_threads() const { return pool_.size(); }
+  const SessionConfig& config() const { return config_; }
+  Coordinator::Stats stats() const { return coordinator_.stats(); }
+  const PolicyChain& chain() const { return coordinator_.chain(); }
+  const ShardedSpoofDetector& spoof_detector() const { return spoof_; }
+  SessionStats session_stats() const;
+
+ private:
+  /// One AP's share of an in-flight round.
+  struct ApRound {
+    StreamingReceiver::Scan scan;
+    /// Results aligned with scan.candidates (nullopt = skipped/retry).
+    std::vector<std::optional<ReceivedPacket>> processed;
+    std::vector<std::optional<AccessPoint::FramePrep>> preps;  // wideband
+    std::vector<std::vector<MusicResult>> band_results;        // wideband
+    std::vector<std::future<std::optional<ReceivedPacket>>> demod_futures;
+    std::vector<std::size_t> demod_idx;
+    std::vector<std::future<std::optional<AccessPoint::FramePrep>>>
+        prep_futures;
+    std::vector<std::size_t> prep_idx;
+    /// Candidate indices that predate this round's chunk: deferred
+    /// retries (or scan-ahead duplicates), resolved by the back-end
+    /// after the preceding round's commit.
+    std::vector<std::size_t> stale;
+  };
+  struct Round {
+    std::uint64_t id = 0;
+    bool final_pass = false;
+    std::uint64_t drain_tag = 0;  ///< nonzero on a drain's flush round
+    std::size_t budget = 0;       ///< candidates charged to the budget
+    std::vector<ApRound> per_ap;
+  };
+
+  void frontend_loop();
+  void backend_loop();
+  void schedule_fresh_work(Round& round);
+  void process_round(Round& round);
+  void fail(std::exception_ptr error);
+  void throw_if_failed_locked();
+  bool round_formable_locked() const;
+
+  SessionConfig config_;
+  std::vector<AccessPoint*> aps_;
+  std::vector<Vec2> positions_;
+  std::vector<std::unique_ptr<StreamingReceiver>> streams_;
+  /// Serializes scan (front-end, pool tasks) against commit/watermark
+  /// reads (back-end) on one receiver.
+  std::vector<std::unique_ptr<std::mutex>> stream_mu_;
+  ThreadPool pool_;
+  ShardedSpoofDetector spoof_;
+  Coordinator coordinator_;
+  DecisionSink sink_;
+
+  /// Held for the whole of close(); serializes concurrent closers.
+  std::mutex close_mu_;
+  mutable std::mutex mu_;
+  std::condition_variable submit_cv_;  // chunk-queue slots freed
+  std::condition_variable front_cv_;   // work / budget for the front-end
+  std::condition_variable back_cv_;    // rounds for the back-end
+  std::condition_variable done_cv_;    // drain()/wait_idle() progress
+  std::vector<std::deque<CMat>> queues_;
+  std::deque<std::unique_ptr<Round>> round_queue_;
+  std::uint64_t drains_requested_ = 0;
+  std::uint64_t drains_issued_ = 0;
+  std::uint64_t drains_completed_ = 0;
+  std::size_t rounds_in_flight_ = 0;
+  std::size_t inflight_frames_ = 0;
+  std::size_t admitted_rounds_ = 0;
+  std::uint64_t next_round_id_ = 0;
+  std::uint64_t sequence_ = 0;  // back-end thread only
+  SessionStats stats_;
+  bool closing_ = false;
+  bool closed_ = false;
+  bool failed_ = false;
+  std::exception_ptr error_;
+
+  std::thread front_;
+  std::thread back_;
+};
+
+}  // namespace sa

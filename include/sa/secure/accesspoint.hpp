@@ -16,6 +16,7 @@
 
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "sa/aoa/estimator.hpp"
@@ -32,6 +33,22 @@
 #include "sa/signature/subband.hpp"
 
 namespace sa {
+
+/// How a wideband packet's per-subband spectra collapse into the one
+/// full-band signature (ReceivedPacket::signature).
+enum class BandFusion {
+  /// The uniform mean of the normalized per-band spectra — the original
+  /// behavior, byte-identical, and the default.
+  kUniform,
+  /// Noise-eigenvalue-weighted combine: each band is weighted by its
+  /// estimated SNR (signal- over noise-subspace eigenvalue means of the
+  /// band's processed covariance), so a faded or interference-hit
+  /// subband no longer dilutes the signature it votes into.
+  kSnr,
+};
+
+std::string_view to_string(BandFusion fusion);
+std::optional<BandFusion> band_fusion_from_string(std::string_view name);
 
 struct AccessPointConfig {
   ArrayGeometry geometry = ArrayGeometry::octagon();
@@ -66,6 +83,9 @@ struct AccessPointConfig {
   /// subband's centre wavelength and carries a K-band SubbandSignature
   /// the spoof machinery compares subband-wise.
   std::size_t subbands = 1;
+  /// How the per-subband spectra fuse into the full-band signature when
+  /// subbands > 1 (no effect at K = 1).
+  BandFusion band_fusion = BandFusion::kUniform;
   /// Share the per-band SpectralContext's cached decompositions (EVD,
   /// loaded inverse) across every consumer of a frame — the estimator,
   /// the power-weighted bearing rule — so each band pays for one EVD and

@@ -51,6 +51,19 @@ class StreamingReceiver {
   // themselves (the deployment engine fans candidates across a thread
   // pool). push(chunk) == scan(&chunk) + demodulate each candidate +
   // commit(..., false); flush() == the same with nullptr/true.
+  //
+  // Commit-behind: a Scan captures its own absolute coordinates (base,
+  // seen) and commit's emit/defer arithmetic uses *those*, not the live
+  // buffer fields. A pipelined caller (EngineSession) may therefore run
+  // scan for round N+1 before commit for round N has been applied, as
+  // long as (a) scans happen in round order, (b) commits happen in round
+  // order, (c) commit N never precedes scan N, and (d) all calls on one
+  // receiver are externally serialized (no physical concurrency). A scan
+  // taken ahead of a pending commit sees a stale emit watermark and an
+  // untrimmed buffer, so it may list candidates the pending commit is
+  // about to cover — commit drops those deterministically against the
+  // then-current watermark, and the emitted packet stream is identical
+  // to the lock-step schedule.
 
   /// One not-yet-emitted detection in the current buffer.
   struct Candidate {
@@ -63,18 +76,35 @@ class StreamingReceiver {
   struct Scan {
     std::shared_ptr<const CMat> conditioned;
     std::vector<Candidate> candidates;
+    /// Absolute stream index of `conditioned` column 0 at scan time.
+    std::size_t base = 0;
+    /// Absolute samples consumed at scan time (== base + conditioned
+    /// columns); commit's retry-deadline arithmetic anchors here.
+    std::size_t seen = 0;
+    /// Absolute samples consumed *before* this scan's chunk was appended.
+    /// Candidates starting at/after this index are new in this round;
+    /// earlier ones are retries of detections a previous round deferred
+    /// (or duplicates a pending commit is about to emit).
+    std::size_t prev_seen = 0;
   };
 
   /// Phase 1: append `chunk` (nullptr appends nothing — the flush path),
   /// condition the buffer, run detection, and list the candidates.
   Scan scan(const CMat* chunk);
   /// Phase 2: `processed[i]` must be
-  /// ap().demodulate(*scan.conditioned, scan.candidates[i].detection).
-  /// Applies the emit/defer state machine in candidate order and advances
-  /// the buffer (trims history; on final_pass, resets it).
+  /// ap().demodulate(*scan.conditioned, scan.candidates[i].detection) —
+  /// or nullopt for a candidate below the current emit watermark (commit
+  /// skips those before ever looking at `processed`). Applies the
+  /// emit/defer state machine in candidate order and advances the buffer
+  /// (trims history; on final_pass, resets it).
   std::vector<StreamPacket> commit(
       const Scan& scan, std::vector<std::optional<ReceivedPacket>> processed,
       bool final_pass);
+
+  /// Absolute end of the last emitted packet. Pipelined callers consult
+  /// this (after the preceding round's commit) to skip re-decoding
+  /// candidates an earlier commit already covered.
+  std::size_t emit_watermark() const { return emit_watermark_; }
 
   const AccessPoint& ap() const { return ap_; }
   const StreamingConfig& config() const { return config_; }

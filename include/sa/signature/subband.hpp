@@ -34,6 +34,14 @@ class SubbandSignature {
   /// this returns that band unchanged.
   AoaSignature fuse(const SignatureConfig& config = {}) const;
 
+  /// Weighted variant: the elementwise `weights`-weighted mean of the
+  /// normalized per-band spectra (the SNR-aware fusion feeds per-band
+  /// noise-eigenvalue weights here). `weights` must have one
+  /// non-negative entry per band with a positive sum. With one band this
+  /// returns that band unchanged regardless of its weight.
+  AoaSignature fuse(const SignatureConfig& config,
+                    const std::vector<double>& weights) const;
+
  private:
   std::vector<AoaSignature> bands_;
 };

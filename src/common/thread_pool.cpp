@@ -1,5 +1,7 @@
 #include "sa/common/thread_pool.hpp"
 
+#include <algorithm>
+
 #include "sa/common/error.hpp"
 #include "sa/common/logging.hpp"
 
@@ -26,7 +28,30 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  enqueue(std::move(task), nullptr);
+}
+
+void ThreadPool::submit(std::function<void()> task, std::uint64_t epoch) {
+  enqueue(std::move(task), &epoch);
+}
+
+void ThreadPool::enqueue(std::function<void()> task, const std::uint64_t* epoch) {
   SA_EXPECTS(task != nullptr);
+  // Epoch-tagged tasks are wrapped so the epoch's outstanding count drops
+  // when the task *finishes*, not when it is dequeued — an epoch is in
+  // flight while any of its work is queued or running.
+  if (epoch != nullptr) {
+    const std::uint64_t e = *epoch;
+    task = [this, e, inner = std::move(task)] {
+      try {
+        inner();
+      } catch (...) {
+        finish_epoch(e);
+        throw;
+      }
+      finish_epoch(e);
+    };
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     not_full_.wait(lock,
@@ -34,9 +59,41 @@ void ThreadPool::submit(std::function<void()> task) {
     if (stopping_) {
       throw StateError("ThreadPool::submit on a stopping pool");
     }
+    if (epoch != nullptr) {
+      ++epoch_outstanding_[*epoch];
+      max_epochs_in_flight_ =
+          std::max(max_epochs_in_flight_, epoch_outstanding_.size());
+    }
     queue_.push_back(std::move(task));
   }
   not_empty_.notify_one();
+}
+
+void ThreadPool::finish_epoch(std::uint64_t epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = epoch_outstanding_.find(epoch);
+  if (it != epoch_outstanding_.end() && --it->second == 0) {
+    epoch_outstanding_.erase(it);
+    lock.unlock();
+    epoch_idle_.notify_all();
+  }
+}
+
+std::size_t ThreadPool::epochs_in_flight() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return epoch_outstanding_.size();
+}
+
+std::size_t ThreadPool::max_epochs_in_flight() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return max_epochs_in_flight_;
+}
+
+void ThreadPool::wait_epoch_idle(std::uint64_t epoch) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  epoch_idle_.wait(lock, [this, epoch] {
+    return epoch_outstanding_.find(epoch) == epoch_outstanding_.end();
+  });
 }
 
 void ThreadPool::worker_loop() {

@@ -1,43 +1,12 @@
 #include "sa/engine/deployment.hpp"
 
 #include <algorithm>
-#include <future>
-#include <type_traits>
 #include <utility>
 
 #include "sa/common/error.hpp"
+#include "sa/engine/session.hpp"
 
 namespace sa {
-
-namespace {
-
-std::size_t resolve_threads(std::size_t requested) {
-  if (requested > 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
-
-/// get() every future, then rethrow the first error. Queued tasks
-/// capture pointers into round()'s frame and the caller's chunks, so an
-/// early rethrow must not leave later tasks pending.
-template <typename T, typename Consume>
-void join_all(std::vector<std::future<T>>& futures, Consume&& consume) {
-  std::exception_ptr first_error;
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    try {
-      if constexpr (std::is_void_v<T>) {
-        futures[i].get();
-      } else {
-        consume(i, futures[i].get());
-      }
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
-}
-
-}  // namespace
 
 std::vector<FrameGroup> group_frame_observations(
     std::vector<std::vector<StreamingReceiver::StreamPacket>> per_ap_packets,
@@ -73,192 +42,52 @@ std::vector<FrameGroup> group_frame_observations(
 
 DeploymentEngine::DeploymentEngine(EngineConfig config,
                                    std::vector<AccessPoint*> aps)
-    : config_(std::move(config)),
-      aps_(std::move(aps)),
-      pool_(resolve_threads(config_.num_threads), config_.queue_capacity),
-      spoof_(config_.coordinator.tracker, config_.num_shards,
-             config_.coordinator.max_tracked_macs),
-      coordinator_(config_.coordinator) {
-  SA_EXPECTS(!aps_.empty());
-  streams_.reserve(aps_.size());
-  for (AccessPoint* ap : aps_) {
-    SA_EXPECTS(ap != nullptr);
-    streams_.push_back(
-        std::make_unique<StreamingReceiver>(*ap, config_.streaming));
-  }
+    : config_(std::move(config)) {
+  SessionConfig scfg;
+  scfg.engine = config_;
+  // Lock-step wrapper: every ingest waits the round out, so scan-ahead
+  // never happens; the bounds only need to admit one round at a time.
+  scfg.max_inflight_rounds = 1;
+  scfg.max_inflight_frames = 0;  // unbounded
+  session_ = std::make_unique<EngineSession>(
+      scfg, std::move(aps),
+      [this](const EngineDecision& d) { collected_.push_back(d); });
 }
+
+DeploymentEngine::~DeploymentEngine() = default;
 
 std::vector<EngineDecision> DeploymentEngine::ingest(
     const std::vector<CMat>& chunks) {
-  SA_EXPECTS(chunks.size() == aps_.size());
-  return round(&chunks);
+  return ingest(std::vector<CMat>(chunks.begin(), chunks.end()));
 }
 
-std::vector<EngineDecision> DeploymentEngine::flush() { return round(nullptr); }
+std::vector<EngineDecision> DeploymentEngine::ingest(
+    std::vector<CMat>&& chunks) {
+  SA_EXPECTS(chunks.size() == session_->num_aps());
+  collected_.clear();
+  session_->submit_round(std::move(chunks));
+  session_->wait_idle();
+  return std::move(collected_);
+}
 
-std::vector<EngineDecision> DeploymentEngine::round(
-    const std::vector<CMat>* chunks) {
-  const bool final_pass = chunks == nullptr;
-  const std::size_t n_aps = aps_.size();
+std::vector<EngineDecision> DeploymentEngine::flush() {
+  collected_.clear();
+  session_->drain();
+  return std::move(collected_);
+}
 
-  // ---- Phase 1: append + condition + detect, parallel across APs (each
-  // stream is touched by exactly one task).
-  std::vector<StreamingReceiver::Scan> scans(n_aps);
-  {
-    std::vector<std::future<StreamingReceiver::Scan>> futures;
-    futures.reserve(n_aps);
-    for (std::size_t i = 0; i < n_aps; ++i) {
-      futures.push_back(pool_.async([this, i, chunks] {
-        return streams_[i]->scan(chunks ? &(*chunks)[i] : nullptr);
-      }));
-    }
-    join_all(futures, [&](std::size_t i, StreamingReceiver::Scan s) {
-      scans[i] = std::move(s);
-    });
-  }
+std::size_t DeploymentEngine::num_aps() const { return session_->num_aps(); }
 
-  // ---- Phase 2: the hot path. Narrowband APs (subbands == 1) gain
-  // nothing from a per-band fan-out but would pay its extra join
-  // barriers, so each of their candidates runs the whole demodulate as
-  // one task — exactly the pre-wideband schedule. Wideband APs split
-  // into three fan-outs: 2a decodes and builds the per-subband
-  // covariance contexts; 2b fans the per-(frame, subband) AoA estimates
-  // flat across the pool — the intra-frame parallelism that keeps every
-  // worker busy even when one AP hears one frame; 2c assembles the
-  // packets (signature fusion, bearing selection). Work is scheduled
-  // and joined in fixed (ap, candidate, band) order, so the result is
-  // thread-count invariant.
-  using FramePrep = AccessPoint::FramePrep;
-  std::vector<std::vector<std::optional<ReceivedPacket>>> processed(n_aps);
-  std::vector<std::vector<std::optional<FramePrep>>> preps(n_aps);
-  {
-    std::vector<std::future<std::optional<ReceivedPacket>>> demod_futures;
-    std::vector<std::pair<std::size_t, std::size_t>> demod_where;
-    std::vector<std::future<std::optional<FramePrep>>> prep_futures;
-    std::vector<std::pair<std::size_t, std::size_t>> prep_where;
-    for (std::size_t i = 0; i < n_aps; ++i) {
-      processed[i].resize(scans[i].candidates.size());
-      preps[i].resize(scans[i].candidates.size());
-      const bool wideband = aps_[i]->config().subbands > 1;
-      for (std::size_t j = 0; j < scans[i].candidates.size(); ++j) {
-        if (wideband) {
-          prep_futures.push_back(pool_.async(
-              [ap = aps_[i], conditioned = scans[i].conditioned,
-               det = scans[i].candidates[j].detection] {
-                return ap->prepare(*conditioned, det);
-              }));
-          prep_where.emplace_back(i, j);
-        } else {
-          demod_futures.push_back(pool_.async(
-              [ap = aps_[i], conditioned = scans[i].conditioned,
-               det = scans[i].candidates[j].detection] {
-                return ap->demodulate(*conditioned, det);
-              }));
-          demod_where.emplace_back(i, j);
-        }
-      }
-    }
-    join_all(demod_futures, [&](std::size_t k, std::optional<ReceivedPacket> p) {
-      processed[demod_where[k].first][demod_where[k].second] = std::move(p);
-    });
-    join_all(prep_futures, [&](std::size_t k, std::optional<FramePrep> p) {
-      preps[prep_where[k].first][prep_where[k].second] = std::move(p);
-    });
-  }
+std::size_t DeploymentEngine::num_threads() const {
+  return session_->num_threads();
+}
 
-  std::vector<std::vector<std::vector<MusicResult>>> band_results(n_aps);
-  {
-    std::vector<std::future<MusicResult>> futures;
-    struct Slot {
-      std::size_t ap, cand, band;
-    };
-    std::vector<Slot> where;
-    for (std::size_t i = 0; i < n_aps; ++i) {
-      band_results[i].resize(preps[i].size());
-      for (std::size_t j = 0; j < preps[i].size(); ++j) {
-        if (!preps[i][j]) continue;
-        band_results[i][j].resize(preps[i][j]->bands.size());
-        for (std::size_t b = 0; b < preps[i][j]->bands.size(); ++b) {
-          futures.push_back(pool_.async([ap = aps_[i], prep = &*preps[i][j],
-                                         b] { return ap->estimate_band(*prep, b); }));
-          where.push_back({i, j, b});
-        }
-      }
-    }
-    join_all(futures, [&](std::size_t k, MusicResult r) {
-      band_results[where[k].ap][where[k].cand][where[k].band] = std::move(r);
-    });
-  }
+Coordinator::Stats DeploymentEngine::stats() const { return session_->stats(); }
 
-  {
-    std::vector<std::future<ReceivedPacket>> futures;
-    std::vector<std::pair<std::size_t, std::size_t>> where;  // (ap, cand)
-    for (std::size_t i = 0; i < n_aps; ++i) {
-      for (std::size_t j = 0; j < preps[i].size(); ++j) {
-        if (!preps[i][j]) continue;
-        futures.push_back(pool_.async(
-            [ap = aps_[i], prep = &preps[i][j], res = &band_results[i][j]] {
-              return ap->assemble(std::move(**prep), std::move(*res));
-            }));
-        where.emplace_back(i, j);
-      }
-    }
-    join_all(futures, [&](std::size_t k, ReceivedPacket p) {
-      processed[where[k].first][where[k].second] = std::move(p);
-    });
-  }
+const PolicyChain& DeploymentEngine::chain() const { return session_->chain(); }
 
-  // ---- Phase 3: per-stream emit/defer bookkeeping, in AP order.
-  std::vector<std::vector<StreamingReceiver::StreamPacket>> per_ap(n_aps);
-  for (std::size_t i = 0; i < n_aps; ++i) {
-    per_ap[i] =
-        streams_[i]->commit(scans[i], std::move(processed[i]), final_pass);
-  }
-
-  // ---- Phase 4: fuse the APs' views of each transmission.
-  std::vector<Vec2> positions;
-  positions.reserve(n_aps);
-  for (const AccessPoint* ap : aps_) positions.push_back(ap->config().position);
-  std::vector<FrameGroup> groups = group_frame_observations(
-      std::move(per_ap), positions, config_.group_slack_samples);
-
-  // ---- Phase 5: spoof observations, parallel across MAC shards. Every
-  // frame of a given MAC lands on the same shard and each shard's frames
-  // are judged in global order, so tracker state evolves exactly as it
-  // would single-threaded. Skipped entirely when the policy chain has no
-  // SpoofPolicy (trackers must not train on frames no policy will judge).
-  std::vector<std::optional<SpoofObservation>> spoofs(groups.size());
-  if (coordinator_.wants_spoof()) {
-    std::vector<const ApObservation*> best(groups.size());
-    std::vector<std::vector<std::size_t>> buckets(spoof_.num_shards());
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      best[g] = &Coordinator::best_observation(groups[g].observations);
-      if (best[g]->packet.frame) {
-        buckets[spoof_.shard_of(best[g]->packet.frame->addr2)].push_back(g);
-      }
-    }
-    std::vector<std::future<void>> futures;
-    for (const auto& bucket : buckets) {
-      if (bucket.empty()) continue;
-      futures.push_back(pool_.async([this, &bucket, &best, &spoofs] {
-        for (std::size_t g : bucket) {
-          spoofs[g] = spoof_.observe(best[g]->packet.frame->addr2,
-                                     best[g]->packet.subband);
-        }
-      }));
-    }
-    join_all(futures, [](std::size_t, int) {});
-  }
-
-  // ---- Phase 6: re-sequence into one ordered decision stream.
-  std::vector<EngineDecision> out;
-  out.reserve(groups.size());
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    out.push_back({sequence_++, groups[g].absolute_start,
-                   coordinator_.process_prejudged(groups[g].observations,
-                                                  spoofs[g])});
-  }
-  return out;
+const ShardedSpoofDetector& DeploymentEngine::spoof_detector() const {
+  return session_->spoof_detector();
 }
 
 }  // namespace sa

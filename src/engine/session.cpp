@@ -1,0 +1,580 @@
+#include "sa/engine/session.hpp"
+
+#include <algorithm>
+#include <future>
+#include <type_traits>
+#include <utility>
+
+#include "sa/common/error.hpp"
+#include "sa/common/logging.hpp"
+
+namespace sa {
+
+namespace {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// get() every future, then rethrow the first error. Queued tasks
+/// capture pointers into the round record, so an early rethrow must not
+/// leave later tasks pending.
+template <typename T, typename Consume>
+void join_all(std::vector<std::future<T>>& futures, Consume&& consume) {
+  std::exception_ptr first_error;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    try {
+      if constexpr (std::is_void_v<T>) {
+        futures[i].get();
+      } else {
+        consume(i, futures[i].get());
+      }
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  futures.clear();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
+
+EngineSession::EngineSession(SessionConfig config,
+                             std::vector<AccessPoint*> aps, DecisionSink sink)
+    : config_(std::move(config)),
+      aps_(std::move(aps)),
+      pool_(resolve_threads(config_.engine.num_threads),
+            config_.engine.queue_capacity),
+      spoof_(config_.engine.coordinator.tracker, config_.engine.num_shards,
+             config_.engine.coordinator.max_tracked_macs),
+      coordinator_(config_.engine.coordinator),
+      sink_(std::move(sink)) {
+  SA_EXPECTS(!aps_.empty());
+  SA_EXPECTS(sink_ != nullptr);
+  SA_EXPECTS(config_.max_inflight_rounds >= 1);
+  SA_EXPECTS(config_.max_pending_chunks >= 1);
+  streams_.reserve(aps_.size());
+  for (AccessPoint* ap : aps_) {
+    SA_EXPECTS(ap != nullptr);
+    positions_.push_back(ap->config().position);
+    streams_.push_back(
+        std::make_unique<StreamingReceiver>(*ap, config_.engine.streaming));
+    stream_mu_.push_back(std::make_unique<std::mutex>());
+  }
+  queues_.resize(aps_.size());
+  front_ = std::thread([this] { frontend_loop(); });
+  back_ = std::thread([this] { backend_loop(); });
+}
+
+EngineSession::~EngineSession() {
+  try {
+    close();
+  } catch (const std::exception& e) {
+    log_error() << "EngineSession close failed in destructor: " << e.what();
+  } catch (...) {
+    log_error() << "EngineSession close failed in destructor";
+  }
+}
+
+void EngineSession::fail(std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!failed_) {
+      failed_ = true;
+      error_ = std::move(error);
+    }
+  }
+  submit_cv_.notify_all();
+  front_cv_.notify_all();
+  back_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+void EngineSession::throw_if_failed_locked() {
+  if (failed_) std::rethrow_exception(error_);
+}
+
+bool EngineSession::round_formable_locked() const {
+  for (const auto& q : queues_) {
+    if (q.empty()) return false;
+  }
+  return true;
+}
+
+void EngineSession::submit(std::size_t ap_index, CMat chunk) {
+  SA_EXPECTS(ap_index < aps_.size());
+  SA_EXPECTS(chunk.rows() == aps_[ap_index]->config().geometry.size());
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    submit_cv_.wait(lock, [&] {
+      return failed_ || closing_ ||
+             queues_[ap_index].size() < config_.max_pending_chunks;
+    });
+    throw_if_failed_locked();
+    if (closing_) throw StateError("EngineSession::submit after close()");
+    queues_[ap_index].push_back(std::move(chunk));
+    ++stats_.chunks_submitted;
+  }
+  front_cv_.notify_one();
+}
+
+void EngineSession::submit_round(std::vector<CMat> chunks) {
+  SA_EXPECTS(chunks.size() == aps_.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    submit(i, std::move(chunks[i]));
+  }
+}
+
+void EngineSession::drain() {
+  std::uint64_t ticket = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    throw_if_failed_locked();
+    if (closing_) throw StateError("EngineSession::drain after close()");
+    ticket = ++drains_requested_;
+  }
+  front_cv_.notify_one();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock,
+                [&] { return failed_ || drains_completed_ >= ticket; });
+  throw_if_failed_locked();
+}
+
+void EngineSession::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return failed_ || (!round_formable_locked() && rounds_in_flight_ == 0);
+  });
+  throw_if_failed_locked();
+}
+
+void EngineSession::close() {
+  // Serializes concurrent close() calls: the loser waits here and then
+  // sees closed_, instead of racing the winner into a double join.
+  std::lock_guard<std::mutex> close_lock(close_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+  }
+  std::exception_ptr drain_error;
+  try {
+    drain();
+  } catch (...) {
+    drain_error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closing_ = true;
+  }
+  submit_cv_.notify_all();
+  front_cv_.notify_all();
+  back_cv_.notify_all();
+  done_cv_.notify_all();
+  if (front_.joinable()) front_.join();
+  if (back_.joinable()) back_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  if (drain_error) std::rethrow_exception(drain_error);
+}
+
+SessionStats EngineSession::session_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SessionStats s = stats_;
+  s.max_overlapped_rounds = pool_.max_epochs_in_flight();
+  return s;
+}
+
+void EngineSession::frontend_loop() {
+  const std::size_t n_aps = aps_.size();
+  try {
+    for (;;) {
+      // ---- Decide what the next round is: a complete round off the
+      // chunk queues; during a drain, a padded round for ragged
+      // leftovers; then the drain's final flush pass.
+      std::vector<std::optional<CMat>> chunks(n_aps);
+      bool final_pass = false;
+      std::uint64_t drain_tag = 0;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        front_cv_.wait(lock, [&] {
+          if (failed_ || closing_) return true;
+          if (rounds_in_flight_ >= config_.max_inflight_rounds) return false;
+          return round_formable_locked() ||
+                 drains_issued_ < drains_requested_;
+        });
+        if (failed_ || closing_) return;
+        const bool complete = round_formable_locked();
+        bool any_chunk = false;
+        if (complete || drains_issued_ < drains_requested_) {
+          for (std::size_t i = 0; i < n_aps; ++i) {
+            if (!queues_[i].empty()) {
+              chunks[i] = std::move(queues_[i].front());
+              queues_[i].pop_front();
+              any_chunk = true;
+            }
+          }
+        }
+        if (!any_chunk) {
+          // Queues are empty and a drain is pending: this round is its
+          // final flush pass.
+          final_pass = true;
+          drain_tag = ++drains_issued_;
+        }
+        ++rounds_in_flight_;
+        submit_cv_.notify_all();
+      }
+
+      auto round = std::make_unique<Round>();
+      round->id = ++next_round_id_;
+      round->final_pass = final_pass;
+      round->drain_tag = drain_tag;
+      round->per_ap.resize(n_aps);
+
+      // ---- Scan every AP, fanned across the pool. Receiver calls are
+      // serialized per stream; the back-end's commit for the previous
+      // round may land before or after this scan (commit-behind), the
+      // emitted packet stream is the same either way.
+      {
+        std::vector<std::future<StreamingReceiver::Scan>> futures;
+        futures.reserve(n_aps);
+        // Queued scan tasks reference the stack-local `chunks`: if a
+        // later submission fails, the ones already queued must finish
+        // before this frame may unwind.
+        try {
+          for (std::size_t i = 0; i < n_aps; ++i) {
+            futures.push_back(pool_.async_in(round->id, [this, i, &chunks] {
+              std::lock_guard<std::mutex> guard(*stream_mu_[i]);
+              return streams_[i]->scan(chunks[i] ? &*chunks[i] : nullptr);
+            }));
+          }
+        } catch (...) {
+          for (auto& f : futures) {
+            if (f.valid()) f.wait();
+          }
+          throw;
+        }
+        join_all(futures, [&](std::size_t i, StreamingReceiver::Scan s) {
+          round->per_ap[i].scan = std::move(s);
+        });
+      }
+
+      // ---- Admit the round's candidates against the in-flight frame
+      // budget (a round bigger than the whole budget waits for an empty
+      // pipeline and runs alone).
+      std::size_t candidates = 0;
+      for (const auto& ar : round->per_ap) {
+        candidates += ar.scan.candidates.size();
+      }
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        front_cv_.wait(lock, [&] {
+          return failed_ || config_.max_inflight_frames == 0 ||
+                 inflight_frames_ == 0 ||
+                 inflight_frames_ + candidates <= config_.max_inflight_frames;
+        });
+        if (failed_) return;
+        round->budget = candidates;
+        inflight_frames_ += candidates;
+        ++admitted_rounds_;
+        stats_.max_inflight_frames =
+            std::max(stats_.max_inflight_frames, inflight_frames_);
+        stats_.max_admitted_rounds =
+            std::max(stats_.max_admitted_rounds, admitted_rounds_);
+      }
+
+      // ---- Schedule the fresh candidates' heavy work now: these frames
+      // arrived in this round's chunk, so no pending commit can already
+      // have emitted them. Candidates that predate the chunk (deferred
+      // retries, or duplicates a pending commit is about to cover) are
+      // left for the back-end, which resolves them against the
+      // then-current watermark. Narrowband APs run the whole demodulate
+      // as one task; wideband APs split decode from the per-band
+      // estimates so a single frame can keep several workers busy.
+      // Scheduled tasks hold pointers into the round record: if a
+      // submission fails partway, every already-scheduled task must
+      // finish before the record may unwind.
+      try {
+        schedule_fresh_work(*round);
+      } catch (...) {
+        for (auto& ar : round->per_ap) {
+          for (auto& f : ar.demod_futures) {
+            if (f.valid()) f.wait();
+          }
+          for (auto& f : ar.prep_futures) {
+            if (f.valid()) f.wait();
+          }
+        }
+        throw;
+      }
+
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        round_queue_.push_back(std::move(round));
+      }
+      back_cv_.notify_one();
+    }
+  } catch (...) {
+    fail(std::current_exception());
+  }
+}
+
+void EngineSession::schedule_fresh_work(Round& round) {
+  const std::size_t n_aps = aps_.size();
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    ApRound& ar = round.per_ap[i];
+    const std::size_t n_cands = ar.scan.candidates.size();
+    ar.processed.resize(n_cands);
+    const bool wideband = aps_[i]->config().subbands > 1;
+    if (wideband) {
+      ar.preps.resize(n_cands);
+      ar.band_results.resize(n_cands);
+    }
+    for (std::size_t j = 0; j < n_cands; ++j) {
+      const auto& cand = ar.scan.candidates[j];
+      if (cand.absolute_start < ar.scan.prev_seen) {
+        ar.stale.push_back(j);
+        continue;
+      }
+      if (wideband) {
+        ar.prep_futures.push_back(pool_.async_in(
+            round.id, [ap = aps_[i], conditioned = ar.scan.conditioned,
+                       det = cand.detection] {
+              return ap->prepare(*conditioned, det);
+            }));
+        ar.prep_idx.push_back(j);
+      } else {
+        ar.demod_futures.push_back(pool_.async_in(
+            round.id, [ap = aps_[i], conditioned = ar.scan.conditioned,
+                       det = cand.detection] {
+              return ap->demodulate(*conditioned, det);
+            }));
+        ar.demod_idx.push_back(j);
+      }
+    }
+  }
+}
+
+void EngineSession::backend_loop() {
+  for (;;) {
+    std::unique_ptr<Round> round;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      back_cv_.wait(lock, [&] {
+        return failed_ || closing_ || !round_queue_.empty();
+      });
+      if (!round_queue_.empty()) {
+        round = std::move(round_queue_.front());
+        round_queue_.pop_front();
+      } else if (failed_ || closing_) {
+        return;
+      }
+    }
+    if (!round) continue;
+    try {
+      process_round(*round);
+    } catch (...) {
+      fail(std::current_exception());
+      return;
+    }
+  }
+}
+
+void EngineSession::process_round(Round& round) {
+  const std::size_t n_aps = aps_.size();
+  std::size_t stale_retries = 0;
+  std::size_t stale_skips = 0;
+
+  // ---- Join the front-end's fresh decode/prep work, in fixed order.
+  // Every AP's futures are joined even if an earlier one threw: a
+  // pending task holds pointers into this round record, so nothing may
+  // unwind past it.
+  {
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < n_aps; ++i) {
+      ApRound& ar = round.per_ap[i];
+      try {
+        join_all(ar.demod_futures,
+                 [&](std::size_t k, std::optional<ReceivedPacket> p) {
+                   ar.processed[ar.demod_idx[k]] = std::move(p);
+                 });
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+      try {
+        join_all(ar.prep_futures,
+                 [&](std::size_t k, std::optional<AccessPoint::FramePrep> p) {
+                   ar.preps[ar.prep_idx[k]] = std::move(p);
+                 });
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  // ---- Wideband: fan the per-(frame, subband) estimates flat across
+  // the pool, then assemble — the intra-frame parallelism of the batch
+  // engine, preserved inside the pipelined round.
+  {
+    std::vector<std::future<MusicResult>> futures;
+    struct Slot {
+      std::size_t ap, cand, band;
+    };
+    std::vector<Slot> where;
+    for (std::size_t i = 0; i < n_aps; ++i) {
+      ApRound& ar = round.per_ap[i];
+      for (std::size_t j = 0; j < ar.preps.size(); ++j) {
+        if (!ar.preps[j]) continue;
+        ar.band_results[j].resize(ar.preps[j]->bands.size());
+        for (std::size_t b = 0; b < ar.preps[j]->bands.size(); ++b) {
+          futures.push_back(
+              pool_.async_in(round.id, [ap = aps_[i], prep = &*ar.preps[j], b] {
+                return ap->estimate_band(*prep, b);
+              }));
+          where.push_back({i, j, b});
+        }
+      }
+    }
+    join_all(futures, [&](std::size_t k, MusicResult r) {
+      round.per_ap[where[k].ap].band_results[where[k].cand][where[k].band] =
+          std::move(r);
+    });
+  }
+  {
+    std::vector<std::future<ReceivedPacket>> futures;
+    std::vector<std::pair<std::size_t, std::size_t>> where;  // (ap, cand)
+    for (std::size_t i = 0; i < n_aps; ++i) {
+      ApRound& ar = round.per_ap[i];
+      for (std::size_t j = 0; j < ar.preps.size(); ++j) {
+        if (!ar.preps[j]) continue;
+        futures.push_back(pool_.async_in(
+            round.id,
+            [ap = aps_[i], prep = &ar.preps[j], res = &ar.band_results[j]] {
+              return ap->assemble(std::move(**prep), std::move(*res));
+            }));
+        where.emplace_back(i, j);
+      }
+    }
+    join_all(futures, [&](std::size_t k, ReceivedPacket p) {
+      round.per_ap[where[k].first].processed[where[k].second] = std::move(p);
+    });
+  }
+
+  // ---- Resolve stale candidates against the now-final watermark of the
+  // preceding commit: duplicates an earlier round already emitted stay
+  // unprocessed (commit drops them), genuine deferred retries are
+  // decoded here. Retries are rare, so they run inline.
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    ApRound& ar = round.per_ap[i];
+    if (ar.stale.empty()) continue;
+    std::size_t watermark = 0;
+    {
+      std::lock_guard<std::mutex> guard(*stream_mu_[i]);
+      watermark = streams_[i]->emit_watermark();
+    }
+    for (std::size_t j : ar.stale) {
+      const auto& cand = ar.scan.candidates[j];
+      if (cand.absolute_start < watermark) {
+        ++stale_skips;
+        continue;
+      }
+      ar.processed[j] =
+          aps_[i]->demodulate(*ar.scan.conditioned, cand.detection);
+      ++stale_retries;
+    }
+  }
+
+  // ---- Commit per stream, in AP order.
+  std::vector<std::vector<StreamingReceiver::StreamPacket>> per_ap(n_aps);
+  for (std::size_t i = 0; i < n_aps; ++i) {
+    ApRound& ar = round.per_ap[i];
+    std::lock_guard<std::mutex> guard(*stream_mu_[i]);
+    per_ap[i] = streams_[i]->commit(ar.scan, std::move(ar.processed),
+                                    round.final_pass);
+  }
+
+  // ---- Fuse the APs' views of each transmission.
+  std::vector<FrameGroup> groups = group_frame_observations(
+      std::move(per_ap), positions_, config_.engine.group_slack_samples);
+
+  // ---- Spoof observations: reserve a per-frame ticket in global frame
+  // order, then fulfil from the pool — a MAC's tracker state advances
+  // frame by frame (every MAC lives on one shard) while unrelated
+  // shards run concurrently, with no per-round barrier. Skipped when the
+  // chain has no SpoofPolicy (trackers must not train on frames no
+  // policy will judge).
+  std::vector<std::future<SpoofObservation>> spoof_futures(groups.size());
+  if (coordinator_.wants_spoof()) {
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const ApObservation& best =
+          Coordinator::best_observation(groups[g].observations);
+      if (!best.packet.frame) continue;
+      const SpoofTicket ticket = spoof_.reserve(best.packet.frame->addr2);
+      auto promise = std::make_shared<std::promise<SpoofObservation>>();
+      spoof_futures[g] = promise->get_future();
+      pool_.submit(
+          [this, ticket, mac = &best.packet.frame->addr2,
+           sig = &best.packet.subband, promise] {
+            try {
+              spoof_.fulfil(ticket, *mac, *sig,
+                            [promise](SpoofObservation obs,
+                                      std::exception_ptr error) {
+                              if (error) {
+                                promise->set_exception(std::move(error));
+                              } else {
+                                promise->set_value(obs);
+                              }
+                            });
+            } catch (...) {
+              promise->set_exception(std::current_exception());
+            }
+          },
+          round.id);
+    }
+  }
+
+  // ---- Re-sequence into the one ordered decision stream. On error,
+  // outstanding spoof tasks still reference `groups`: wait them out
+  // before unwinding.
+  std::exception_ptr decide_error;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    try {
+      std::optional<SpoofObservation> spoof;
+      if (spoof_futures[g].valid()) spoof = spoof_futures[g].get();
+      if (!decide_error) {
+        EngineDecision decision{
+            sequence_, groups[g].absolute_start,
+            coordinator_.process_prejudged(groups[g].observations, spoof)};
+        ++sequence_;
+        sink_(decision);
+      }
+    } catch (...) {
+      if (!decide_error) decide_error = std::current_exception();
+    }
+  }
+  if (decide_error) std::rethrow_exception(decide_error);
+
+  // ---- Bookkeeping: release the budget, record progress, wake the
+  // front-end and any drain()/wait_idle() callers.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_frames_ -= round.budget;
+    --admitted_rounds_;
+    --rounds_in_flight_;
+    ++stats_.rounds_completed;
+    stats_.decisions_emitted += groups.size();
+    stats_.stale_retries += stale_retries;
+    stats_.stale_skips += stale_skips;
+    if (round.drain_tag != 0) {
+      drains_completed_ = std::max(drains_completed_, round.drain_tag);
+    }
+  }
+  front_cv_.notify_all();
+  done_cv_.notify_all();
+}
+
+}  // namespace sa

@@ -12,6 +12,47 @@
 
 namespace sa {
 
+std::string_view to_string(BandFusion fusion) {
+  switch (fusion) {
+    case BandFusion::kUniform: return "uniform";
+    case BandFusion::kSnr: return "snr";
+  }
+  return "?";
+}
+
+std::optional<BandFusion> band_fusion_from_string(std::string_view name) {
+  if (name == "uniform") return BandFusion::kUniform;
+  if (name == "snr") return BandFusion::kSnr;
+  return std::nullopt;
+}
+
+namespace {
+
+/// Estimated SNR of one subband from the ascending eigenvalues of its
+/// processed covariance: signal-subspace mean over noise-subspace mean,
+/// minus the noise floor itself. `num_sources` comes from the band's
+/// estimate when the backend computed one (MUSIC family); backends that
+/// never split subspaces (Capon, Bartlett) report 0 and fall back to a
+/// single presumed source.
+double band_snr_weight(const SpectralContext& ctx, std::size_t num_sources) {
+  const std::vector<double>& eigs = ctx.eig().values;  // ascending
+  const std::size_t n = eigs.size();
+  if (n < 2) return 1.0;
+  std::size_t p = num_sources;
+  if (p == 0 || p >= n) p = 1;
+  double noise = 0.0;
+  for (std::size_t i = 0; i < n - p; ++i) noise += eigs[i];
+  noise /= static_cast<double>(n - p);
+  double signal = 0.0;
+  for (std::size_t i = n - p; i < n; ++i) signal += eigs[i];
+  signal = signal / static_cast<double>(p) - noise;
+  // The epsilon keeps an all-noise band's weight positive so the fused
+  // weight vector always sums above zero.
+  return std::max(signal, 0.0) / std::max(noise, 1e-30) + 1e-12;
+}
+
+}  // namespace
+
 AccessPoint::AccessPoint(AccessPointConfig config, Rng& rng)
     : config_(std::move(config)),
       impairments_(ArrayImpairments::random(config_.geometry.size(), rng,
@@ -178,9 +219,19 @@ ReceivedPacket AccessPoint::assemble(
         AoaSignature::from_spectrum(res.spectrum, config_.signature));
   }
   pkt.subband = SubbandSignature(std::move(band_sigs));
-  pkt.signature = pkt.subband.num_bands() == 1
-                      ? pkt.subband.band(0)
-                      : pkt.subband.fuse(config_.signature);
+  if (pkt.subband.num_bands() == 1) {
+    pkt.signature = pkt.subband.band(0);
+  } else if (config_.band_fusion == BandFusion::kSnr) {
+    std::vector<double> weights;
+    weights.reserve(prep.bands.size());
+    for (std::size_t b = 0; b < prep.bands.size(); ++b) {
+      weights.push_back(
+          band_snr_weight(prep.bands[b], band_results[b].num_sources));
+    }
+    pkt.signature = pkt.subband.fuse(config_.signature, weights);
+  } else {
+    pkt.signature = pkt.subband.fuse(config_.signature);
+  }
 
   // The centre band (the full band when subbands == 1) supplies the
   // MusicResult, the bearing-selection covariance, and the search-free

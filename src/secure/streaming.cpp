@@ -16,6 +16,7 @@ StreamingReceiver::StreamingReceiver(AccessPoint& ap, StreamingConfig config)
 }
 
 StreamingReceiver::Scan StreamingReceiver::scan(const CMat* chunk) {
+  const std::size_t prev_seen = base_ + buffered_cols_;
   if (chunk != nullptr) {
     SA_EXPECTS(chunk->rows() == ap_.config().geometry.size());
     CMat grown(buffer_.rows(), buffered_cols_ + chunk->cols());
@@ -32,6 +33,9 @@ StreamingReceiver::Scan StreamingReceiver::scan(const CMat* chunk) {
   }
 
   Scan out;
+  out.base = base_;
+  out.seen = base_ + buffered_cols_;
+  out.prev_seen = prev_seen;
   if (buffered_cols_ < kPreambleLen + kSymbolLen) return out;
   out.conditioned = std::make_shared<const CMat>(ap_.condition(buffer_));
   for (const auto& det : ap_.detect(*out.conditioned)) {
@@ -59,15 +63,18 @@ std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::commit(
     // PHY checks the SIGNAL length fits and the MAC FCS verifies), so it
     // is emitted immediately. A failed decode may just mean the packet
     // is still arriving: retry until max_packet_samples have accumulated
-    // past the detection, then emit it as genuinely undecodable.
+    // past the detection, then emit it as genuinely undecodable. All of
+    // this is computed in the scan's own absolute coordinates, so a
+    // commit applied behind a later scan behaves exactly as it would
+    // have lock-step.
     const std::size_t projected_end =
-        cand.detection.start +
+        cand.absolute_start +
         (pkt.phy ? pkt.phy->samples_consumed : kPreambleLen + kSymbolLen);
     if (!final_pass && !pkt.phy &&
-        cand.detection.start + config_.max_packet_samples > buffered_cols_) {
+        cand.absolute_start + config_.max_packet_samples > scan.seen) {
       continue;
     }
-    emit_watermark_ = base_ + projected_end;
+    emit_watermark_ = projected_end;
     out.push_back({cand.absolute_start, std::move(pkt)});
   }
 

@@ -46,4 +46,33 @@ AoaSignature SubbandSignature::fuse(const SignatureConfig& config) const {
       config);
 }
 
+AoaSignature SubbandSignature::fuse(const SignatureConfig& config,
+                                    const std::vector<double>& weights) const {
+  SA_EXPECTS(valid());
+  SA_EXPECTS(weights.size() == bands_.size());
+  double total = 0.0;
+  for (double w : weights) {
+    SA_EXPECTS(w >= 0.0);
+    total += w;
+  }
+  // A single band is returned unchanged regardless of its weight, so
+  // the positive-sum requirement only applies when there is actually a
+  // combine to normalize.
+  if (bands_.size() == 1) return bands_.front();
+  SA_EXPECTS(total > 0.0);
+  const auto& grid = bands_.front().spectrum();
+  std::vector<double> mean(grid.size(), 0.0);
+  for (std::size_t b = 0; b < bands_.size(); ++b) {
+    const auto& vals = bands_[b].spectrum().values();
+    for (std::size_t i = 0; i < mean.size(); ++i) {
+      mean[i] += weights[b] * vals[i];
+    }
+  }
+  const double inv = 1.0 / total;
+  for (double& v : mean) v *= inv;
+  return AoaSignature::from_spectrum(
+      Pseudospectrum(grid.angles_deg(), std::move(mean), grid.wraps()),
+      config);
+}
+
 }  // namespace sa

@@ -306,6 +306,62 @@ TEST(RateLimitPolicy, EnforcesPerMacWindow) {
   EXPECT_FALSE(eval(mac1, 25).drop);
 }
 
+TEST(RateLimitPolicy, WindowEdgeFramesCountInExactlyOneWindow) {
+  // The window covering frame index `now` is [now - W + 1, now] — W
+  // indices inclusive. A frame landing exactly on an edge must be
+  // counted in exactly one window position at a time: it still counts
+  // at distance W-1 (deny) and is pruned at distance W (accept), with
+  // no double-count and no off-by-one gap. The same RateLimitPolicy
+  // instance runs inside the one Coordinator whether driven serially or
+  // by the (sharded) engine's re-sequenced stream, and frame indices
+  // are the chain's global frame counter in both, so this pins the
+  // boundary behavior for both paths.
+  RateLimitConfig cfg;
+  cfg.max_frames = 1;
+  cfg.window_frames = 10;
+  RateLimitPolicy policy(cfg);
+  const auto obs = two_ap_view({6.0, 4.0}, MacAddress::from_index(1));
+  auto eval = [&](std::size_t index) {
+    auto ctx = context_for(obs, index);
+    return policy.evaluate(ctx).drop;
+  };
+  EXPECT_FALSE(eval(0));   // accepted: occupies windows ending 0..9
+  EXPECT_TRUE(eval(9));    // exactly on the far edge: still in-window
+  EXPECT_FALSE(eval(10));  // one past the edge: frame 0 pruned, accepted
+  // The frame accepted at 10 now owns windows ending 10..19.
+  EXPECT_TRUE(eval(19));
+  EXPECT_FALSE(eval(20));
+
+  // The very first window (now < W) is clipped at zero, not wrapped:
+  // indices 21..29 are all within frame 20's window.
+  RateLimitPolicy early(cfg);
+  auto eval_early = [&](std::size_t index) {
+    auto ctx = context_for(obs, index);
+    return early.evaluate(ctx).drop;
+  };
+  EXPECT_FALSE(eval_early(0));
+  EXPECT_TRUE(eval_early(1));
+  EXPECT_TRUE(eval_early(9));
+  EXPECT_FALSE(eval_early(10));
+}
+
+TEST(RateLimitPolicy, DeniedFrameDoesNotConsumeWindowBudget) {
+  // A frame dropped by the limiter is not recorded: it must not extend
+  // the denial past the original burst's window.
+  RateLimitConfig cfg;
+  cfg.max_frames = 1;
+  cfg.window_frames = 10;
+  RateLimitPolicy policy(cfg);
+  const auto obs = two_ap_view({6.0, 4.0}, MacAddress::from_index(1));
+  auto eval = [&](std::size_t index) {
+    auto ctx = context_for(obs, index);
+    return policy.evaluate(ctx).drop;
+  };
+  EXPECT_FALSE(eval(0));
+  EXPECT_TRUE(eval(5));   // denied — consumes nothing
+  EXPECT_FALSE(eval(10)); // frame 0 aged out; the denial at 5 left no trace
+}
+
 TEST(RateLimitPolicy, FailsClosedWithoutSourceMac) {
   RateLimitPolicy policy(RateLimitConfig{});
   const auto obs = two_ap_view({6.0, 4.0}, std::nullopt);
@@ -481,6 +537,44 @@ TEST(ShardedSpoofDetector, SplitsTrackerBudgetAcrossShards) {
   EXPECT_LE(det.stats().tracked_macs, 16u);
   EXPECT_GT(det.stats().evictions, 0u);
   EXPECT_EQ(det.stats().packets, 64u);
+}
+
+TEST(ShardedSpoofDetector, TicketsApplyInReservedOrderAcrossOutOfOrderFulfil) {
+  // The engine session's pipelined path: tickets are reserved in global
+  // frame order, but workers may fulfil them in any order. The shard
+  // must park early arrivals and apply everything in reserved order —
+  // the gap-closing fulfil delivers the parked ticket's callback too.
+  ShardedSpoofDetector det(TrackerConfig{}, /*num_shards=*/4);
+  const auto mac = MacAddress::from_index(1);
+  const auto sig1 = SubbandSignature::single(signature_at(40.0));
+  const auto sig2 = SubbandSignature::single(signature_at(40.0));
+
+  const SpoofTicket t1 = det.reserve(mac);
+  const SpoofTicket t2 = det.reserve(mac);
+  EXPECT_EQ(t1.shard, t2.shard);
+  EXPECT_EQ(t2.seq, t1.seq + 1);
+
+  std::vector<int> order;
+  // Fulfil the *second* ticket first: it must park (no callback yet).
+  det.fulfil(t2, mac, sig2, [&](SpoofObservation, std::exception_ptr error) {
+    EXPECT_EQ(error, nullptr);
+    order.push_back(2);
+  });
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(det.stats().packets, 0u);
+  // Fulfilling the first closes the gap and applies both, in order.
+  det.fulfil(t1, mac, sig1, [&](SpoofObservation obs, std::exception_ptr error) {
+    EXPECT_EQ(error, nullptr);
+    EXPECT_EQ(obs.verdict, SpoofVerdict::kTraining);
+    order.push_back(1);
+  });
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(det.stats().packets, 2u);
+  // Both observations trained the same tracker, in frame order.
+  ASSERT_NE(det.tracker(mac), nullptr);
+  EXPECT_EQ(det.tracker(mac)->observations(), 2u);
 }
 
 TEST(ShardedSpoofDetector, RejectsBoundSmallerThanShardCount) {

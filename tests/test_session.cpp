@@ -1,0 +1,333 @@
+// Tests for the push-based EngineSession: pipelined submission must
+// emit a decision stream identical to the serial single-threaded
+// reference (and to the lock-step batch engine) at any thread count,
+// backpressure must bound the in-flight work without changing output,
+// and drain()/close() lifecycle semantics must hold mid-stream.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sa/common/rng.hpp"
+#include "sa/engine/deployment.hpp"
+#include "sa/engine/session.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/testbed/office.hpp"
+#include "sa/testbed/uplink.hpp"
+
+namespace sa {
+namespace {
+
+/// Figure-4 office, 3 APs, and a pre-generated mixed workload:
+/// legitimate ring clients, a MAC-spoofing insider, and an off-site
+/// transmitter (the same shape as test_engine's rig).
+struct SessionRig {
+  OfficeTestbed tb = OfficeTestbed::figure4();
+  Rng rng;
+  std::vector<std::unique_ptr<AccessPoint>> aps;
+  std::vector<AccessPoint*> ptrs;
+  std::vector<std::vector<CMat>> rounds;  // one vector<CMat> per transmission
+
+  explicit SessionRig(std::uint64_t seed, std::size_t subbands = 1)
+      : rng(seed) {
+    UplinkConfig ucfg;
+    ucfg.channel.noise_power = 1e-5;
+    UplinkSimulation sim(tb, ucfg, rng);
+    for (const Vec2& spot : tb.ap_mounting_points(3)) {
+      AccessPointConfig cfg;
+      cfg.position = spot;
+      cfg.subbands = subbands;
+      aps.push_back(std::make_unique<AccessPoint>(cfg, rng));
+      ptrs.push_back(aps.back().get());
+      sim.add_ap(aps.back()->placement());
+    }
+    std::uint16_t seq = 0;
+    auto shoot = [&](Vec2 from, std::uint32_t mac_index, const TxPattern* pat) {
+      const Frame f = Frame::data(MacAddress::from_index(0xFF),
+                                  MacAddress::from_index(mac_index),
+                                  Bytes{1, 2, 3}, seq++);
+      const CVec w = PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
+      rounds.push_back(sim.transmit(from, w, pat));
+      sim.advance(0.25);
+    };
+    for (int p = 0; p < 2; ++p) {
+      for (int id : {1, 2}) shoot(tb.client(id).position, id, nullptr);
+    }
+    for (int p = 0; p < 2; ++p) shoot(tb.client(17).position, 2, nullptr);
+    TxPattern amp;
+    amp.tx_power_db = 15.0;
+    shoot(tb.outdoor_positions()[0], 200, &amp);
+  }
+
+  SessionConfig session_config(std::size_t threads) const {
+    SessionConfig cfg;
+    cfg.engine.num_threads = threads;
+    cfg.engine.coordinator.fence_boundary = tb.building_outline();
+    cfg.engine.coordinator.min_aps_for_fence = 2;
+    return cfg;
+  }
+
+  /// Push every round without waiting (the pipelined schedule: the
+  /// front-end runs ahead of the back-end), then drain.
+  std::vector<EngineDecision> run_session(SessionConfig cfg,
+                                          SessionStats* stats_out = nullptr) {
+    std::vector<EngineDecision> out;
+    EngineSession session(cfg, ptrs,
+                          [&](const EngineDecision& d) { out.push_back(d); });
+    for (const auto& round : rounds) {
+      session.submit_round(round);
+    }
+    session.drain();
+    if (stats_out != nullptr) *stats_out = session.session_stats();
+    session.close();
+    return out;
+  }
+
+  /// The single-threaded reference: serial streaming receivers, the same
+  /// grouping, a plain Coordinator::process. `flush_after` marks round
+  /// indices after which a mid-stream flush happens (the end always
+  /// flushes).
+  std::vector<EngineDecision> run_serial_reference(
+      std::vector<std::size_t> flush_after = {}) {
+    const SessionConfig cfg = session_config(1);
+    std::vector<std::unique_ptr<StreamingReceiver>> streams;
+    for (AccessPoint* ap : ptrs) {
+      streams.push_back(
+          std::make_unique<StreamingReceiver>(*ap, cfg.engine.streaming));
+    }
+    std::vector<Vec2> positions;
+    for (const AccessPoint* ap : ptrs) {
+      positions.push_back(ap->config().position);
+    }
+    Coordinator coord(cfg.engine.coordinator);
+    std::size_t sequence = 0;
+    std::vector<EngineDecision> out;
+    auto decide_round =
+        [&](std::vector<std::vector<StreamingReceiver::StreamPacket>> per_ap) {
+          for (auto& g : group_frame_observations(
+                   std::move(per_ap), positions,
+                   cfg.engine.group_slack_samples)) {
+            out.push_back(
+                {sequence++, g.absolute_start, coord.process(g.observations)});
+          }
+        };
+    auto flush_all = [&] {
+      std::vector<std::vector<StreamingReceiver::StreamPacket>> tail;
+      for (auto& s : streams) tail.push_back(s->flush());
+      decide_round(std::move(tail));
+    };
+    for (std::size_t r = 0; r < rounds.size(); ++r) {
+      std::vector<std::vector<StreamingReceiver::StreamPacket>> per_ap;
+      for (std::size_t i = 0; i < streams.size(); ++i) {
+        per_ap.push_back(streams[i]->push(rounds[r][i]));
+      }
+      decide_round(std::move(per_ap));
+      for (std::size_t f : flush_after) {
+        if (f == r) flush_all();
+      }
+    }
+    flush_all();
+    return out;
+  }
+};
+
+void expect_identical_streams(const std::vector<EngineDecision>& a,
+                              const std::vector<EngineDecision>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].sequence, b[i].sequence);
+    EXPECT_EQ(a[i].absolute_start, b[i].absolute_start);
+    const FrameDecision& da = a[i].decision;
+    const FrameDecision& db = b[i].decision;
+    EXPECT_EQ(da.accepted, db.accepted);
+    EXPECT_EQ(da.policy, db.policy);
+    EXPECT_EQ(da.detail, db.detail);
+    EXPECT_EQ(da.source, db.source);
+    EXPECT_EQ(da.spoof, db.spoof);
+    EXPECT_EQ(da.spoof_score, db.spoof_score);  // bit-exact, not approximate
+    ASSERT_EQ(da.location.has_value(), db.location.has_value());
+    if (da.location) {
+      EXPECT_EQ(da.location->position.x, db.location->position.x);
+      EXPECT_EQ(da.location->position.y, db.location->position.y);
+    }
+    ASSERT_EQ(da.trace.size(), db.trace.size());
+    for (std::size_t t = 0; t < da.trace.size(); ++t) {
+      EXPECT_EQ(da.trace[t].policy, db.trace[t].policy);
+      EXPECT_EQ(da.trace[t].dropped, db.trace[t].dropped);
+    }
+  }
+}
+
+TEST(Session, PipelinedSubmissionMatchesSerialReferenceAtAnyThreadCount) {
+  for (std::uint64_t seed : {11ull, 13ull}) {
+    SCOPED_TRACE(seed);
+    SessionRig rig(seed);
+    const auto reference = rig.run_serial_reference();
+    ASSERT_GE(reference.size(), 5u);
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE(threads);
+      expect_identical_streams(rig.run_session(rig.session_config(threads)),
+                               reference);
+    }
+  }
+}
+
+TEST(Session, WidebandPipelinedRoundsAreDeterministic) {
+  SessionRig rig(11, /*subbands=*/4);
+  const auto reference = rig.run_serial_reference();
+  ASSERT_GE(reference.size(), 5u);
+  for (std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE(threads);
+    expect_identical_streams(rig.run_session(rig.session_config(threads)),
+                             reference);
+  }
+}
+
+TEST(Session, MatchesBatchEngineByteForByte) {
+  SessionRig rig(12);
+  // The lock-step batch wrapper...
+  std::vector<EngineDecision> batch;
+  {
+    EngineConfig cfg = rig.session_config(2).engine;
+    DeploymentEngine engine(cfg, rig.ptrs);
+    for (const auto& round : rig.rounds) {
+      for (auto& d : engine.ingest(round)) batch.push_back(std::move(d));
+    }
+    for (auto& d : engine.flush()) batch.push_back(std::move(d));
+  }
+  // ...and the pipelined session must agree exactly.
+  expect_identical_streams(rig.run_session(rig.session_config(2)), batch);
+}
+
+TEST(Session, FivePolicyChainPipelinedMatchesBatch) {
+  // acl -> spoof -> fence -> rate through the pipelined path: stateful
+  // policies (rate limiting by global frame index, spoof trackers) must
+  // see exactly the stream the lock-step batch wrapper produces.
+  SessionRig rig(11);
+  auto five = [&](std::size_t threads) {
+    SessionConfig cfg = rig.session_config(threads);
+    cfg.engine.coordinator.policies = {PolicyKind::kAcl, PolicyKind::kSpoof,
+                                       PolicyKind::kFence,
+                                       PolicyKind::kRateLimit};
+    AccessControlList acl;
+    acl.allow(MacAddress::from_index(1));
+    acl.allow(MacAddress::from_index(2));
+    cfg.engine.coordinator.acl = std::move(acl);
+    cfg.engine.coordinator.rate_limit.max_frames = 3;
+    cfg.engine.coordinator.rate_limit.window_frames = 1024;
+    return cfg;
+  };
+  std::vector<EngineDecision> batch;
+  {
+    DeploymentEngine engine(five(1).engine, rig.ptrs);
+    for (const auto& round : rig.rounds) {
+      for (auto& d : engine.ingest(round)) batch.push_back(std::move(d));
+    }
+    for (auto& d : engine.flush()) batch.push_back(std::move(d));
+  }
+  ASSERT_GE(batch.size(), 5u);
+  for (std::size_t threads : {2u, 8u}) {
+    SCOPED_TRACE(threads);
+    expect_identical_streams(rig.run_session(five(threads)), batch);
+  }
+}
+
+TEST(Session, BackpressureSaturationBoundsInflightWithoutChangingOutput) {
+  SessionRig rig(11);
+  const auto reference = rig.run_serial_reference();
+
+  SessionConfig tight = rig.session_config(4);
+  tight.max_inflight_frames = 1;  // every round must run alone
+  SessionStats stats;
+  expect_identical_streams(rig.run_session(tight, &stats), reference);
+  // A budget smaller than any round means a round is only admitted once
+  // the pipeline is empty: rounds never hold budget concurrently.
+  EXPECT_EQ(stats.max_admitted_rounds, 1u);
+  EXPECT_GT(stats.max_inflight_frames, 0u);
+
+  SessionConfig loose = rig.session_config(4);
+  loose.max_inflight_frames = 0;  // unbounded
+  expect_identical_streams(rig.run_session(loose), reference);
+}
+
+TEST(Session, MidStreamDrainMatchesMidStreamFlush) {
+  SessionRig rig(11);
+  const std::size_t cut = 3;
+  const auto reference = rig.run_serial_reference({cut});
+
+  std::vector<EngineDecision> out;
+  EngineSession session(rig.session_config(2), rig.ptrs,
+                        [&](const EngineDecision& d) { out.push_back(d); });
+  for (std::size_t r = 0; r <= cut; ++r) session.submit_round(rig.rounds[r]);
+  session.drain();
+  const std::size_t after_first_drain = out.size();
+  EXPECT_GT(after_first_drain, 0u);
+  // The session stays usable: keep streaming after the mid-stream drain.
+  for (std::size_t r = cut + 1; r < rig.rounds.size(); ++r) {
+    session.submit_round(rig.rounds[r]);
+  }
+  session.drain();
+  session.close();
+  EXPECT_GT(out.size(), after_first_drain);
+  expect_identical_streams(out, reference);
+}
+
+TEST(Session, PerApRaggedSubmissionFormsRoundsByChunkIndex) {
+  SessionRig rig(13);
+  const auto reference = rig.run_serial_reference();
+
+  std::vector<EngineDecision> out;
+  EngineSession session(rig.session_config(2), rig.ptrs,
+                        [&](const EngineDecision& d) { out.push_back(d); });
+  // Push each AP's whole stream in turn: round r must still be formed
+  // from the r-th chunk of every AP, exactly as aligned submission.
+  for (std::size_t i = 0; i < rig.ptrs.size(); ++i) {
+    for (const auto& round : rig.rounds) session.submit(i, round[i]);
+  }
+  session.drain();
+  session.close();
+  expect_identical_streams(out, reference);
+}
+
+TEST(Session, CloseIsIdempotentAndRejectsLateWork) {
+  SessionRig rig(11);
+  std::size_t decisions = 0;
+  EngineSession session(rig.session_config(2), rig.ptrs,
+                        [&](const EngineDecision&) { ++decisions; });
+  session.submit_round(rig.rounds[0]);
+  session.close();
+  session.close();  // idempotent
+  EXPECT_THROW(session.submit_round(rig.rounds[1]), StateError);
+  EXPECT_THROW(session.drain(), StateError);
+  // close() drained: the submitted round (plus the flush pass) was
+  // fully decided before the pipeline stopped.
+  EXPECT_GE(session.session_stats().rounds_completed, 2u);
+}
+
+TEST(Session, StatsCountChunksRoundsAndDecisions) {
+  SessionRig rig(12);
+  SessionStats stats;
+  const auto out = rig.run_session(rig.session_config(4), &stats);
+  EXPECT_EQ(stats.chunks_submitted, rig.rounds.size() * rig.ptrs.size());
+  // Every submitted round plus the drain's flush pass completed.
+  EXPECT_GE(stats.rounds_completed, rig.rounds.size() + 1);
+  EXPECT_EQ(stats.decisions_emitted, out.size());
+  EXPECT_GE(stats.max_inflight_frames, 1u);
+}
+
+TEST(Session, RejectsInvalidSubmissions) {
+  SessionRig rig(11);
+  EngineSession session(rig.session_config(1), rig.ptrs,
+                        [](const EngineDecision&) {});
+  EXPECT_THROW(session.submit_round(std::vector<CMat>(rig.ptrs.size() + 1)),
+               InvalidArgument);
+  EXPECT_THROW(session.submit(rig.ptrs.size(), rig.rounds[0][0]),
+               InvalidArgument);
+  EXPECT_THROW(session.submit(0, CMat(1, 8)), InvalidArgument);  // wrong rows
+  session.close();
+}
+
+}  // namespace
+}  // namespace sa

@@ -468,6 +468,69 @@ TEST(SubbandSignature, FuseAveragesBands) {
   EXPECT_EQ(same.spectrum().values(), a.spectrum().values());
 }
 
+TEST(SubbandSignature, WeightedFuseMatchesHandComputedMean) {
+  // Two bands with distinct peaks, weighted 3:1 — the fused spectrum is
+  // the hand-computed weighted mean of the normalized band spectra.
+  const auto a = AoaSignature::from_spectrum(synth_spectrum({{100.0, 10.0}}));
+  const auto b = AoaSignature::from_spectrum(synth_spectrum({{140.0, 10.0}}));
+  const SubbandSignature sub({a, b});
+  const auto fused = sub.fuse(SignatureConfig{}, {3.0, 1.0});
+
+  std::vector<double> expected(a.spectrum().size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = (3.0 * a.spectrum().values()[i] +
+                   1.0 * b.spectrum().values()[i]) / 4.0;
+  }
+  const auto reference = AoaSignature::from_spectrum(
+      Pseudospectrum(a.spectrum().angles_deg(), expected,
+                     a.spectrum().wraps()));
+  ASSERT_EQ(fused.spectrum().values().size(),
+            reference.spectrum().values().size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fused.spectrum().values()[i],
+                     reference.spectrum().values()[i]);
+  }
+  // The dominant band's peak dominates the fusion.
+  EXPECT_GT(fused.spectrum().value_at(100.0), fused.spectrum().value_at(140.0));
+}
+
+TEST(SubbandSignature, AllWeightOnOneBandReproducesThatBand) {
+  const auto a = AoaSignature::from_spectrum(synth_spectrum({{100.0, 10.0}}));
+  const auto b = AoaSignature::from_spectrum(synth_spectrum({{140.0, 10.0}}));
+  const SubbandSignature sub({a, b});
+  const auto fused = sub.fuse(SignatureConfig{}, {1.0, 0.0});
+  EXPECT_EQ(fused.spectrum().values(), a.spectrum().values());
+  EXPECT_DOUBLE_EQ(fused.direct_bearing_deg(), a.direct_bearing_deg());
+}
+
+TEST(SubbandSignature, UniformWeightsMatchUnweightedFuse) {
+  const auto a = AoaSignature::from_spectrum(synth_spectrum({{100.0, 10.0}}));
+  const auto b = AoaSignature::from_spectrum(synth_spectrum({{140.0, 6.0}}));
+  const SubbandSignature sub({a, b});
+  // Equal weights reduce to exactly the uniform mean (byte-identical —
+  // the kUniform default must stay the original arithmetic).
+  EXPECT_EQ(sub.fuse(SignatureConfig{}, {1.0, 1.0}).spectrum().values(),
+            sub.fuse().spectrum().values());
+}
+
+TEST(SubbandSignature, WeightedFuseSingleBandIgnoresWeight) {
+  const auto a = AoaSignature::from_spectrum(synth_spectrum({{100.0, 10.0}}));
+  const auto single = SubbandSignature::single(a);
+  // Documented contract: one band comes back unchanged regardless of
+  // its weight — even zero.
+  EXPECT_EQ(single.fuse(SignatureConfig{}, {0.0}).spectrum().values(),
+            a.spectrum().values());
+}
+
+TEST(SubbandSignature, WeightedFuseRejectsBadWeights) {
+  const auto a = AoaSignature::from_spectrum(synth_spectrum({{100.0, 10.0}}));
+  const auto b = AoaSignature::from_spectrum(synth_spectrum({{140.0, 10.0}}));
+  const SubbandSignature sub({a, b});
+  EXPECT_THROW(sub.fuse(SignatureConfig{}, {1.0}), InvalidArgument);
+  EXPECT_THROW(sub.fuse(SignatureConfig{}, {1.0, -0.5}), InvalidArgument);
+  EXPECT_THROW(sub.fuse(SignatureConfig{}, {0.0, 0.0}), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace sa
 

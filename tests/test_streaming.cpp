@@ -236,5 +236,94 @@ TEST(Streaming, TwoPhaseScanCommitMatchesPush) {
   EXPECT_EQ(two_phase.samples_seen(), via_push.samples_seen());
 }
 
+TEST(Streaming, CommitBehindScheduleEmitsIdenticalStream) {
+  // The pipelined engine session scans round N+1 before round N's commit
+  // has been applied (commit-behind). The emitted packet stream must be
+  // identical to the lock-step schedule: a scan taken ahead of a pending
+  // commit lists extra candidates (the pending round's packets, not yet
+  // below the watermark), and commit must drop exactly those.
+  StreamRig rig;
+  // Three chunks: a packet inside chunk 1, a packet straddling the
+  // chunk-2/3 boundary (exercising the deferred-retry path), noise tail.
+  const CMat cap1 = rig.capture(500, 0);
+  const CMat cap2 = rig.capture(900, 1);
+  const std::size_t cut = cap2.cols() - 700;  // split through packet 1's body
+  std::vector<CMat> chunks;
+  chunks.push_back(cap1);
+  chunks.push_back(StreamRig::columns(cap2, 0, cut));
+  chunks.push_back(StreamRig::columns(cap2, cut, cap2.cols()));
+
+  // Reference: lock-step push/flush.
+  std::vector<StreamingReceiver::StreamPacket> expected;
+  {
+    StreamingReceiver rx(rig.ap);
+    for (const auto& c : chunks) {
+      for (auto& p : rx.push(c)) expected.push_back(std::move(p));
+    }
+    for (auto& p : rx.flush()) expected.push_back(std::move(p));
+  }
+  ASSERT_EQ(expected.size(), 2u);
+
+  // Commit-behind: every scan runs first, then the commits land behind
+  // them in order. Candidates an earlier commit has emitted by commit
+  // time are handed in as nullopt, exactly as the session's back-end
+  // does after its watermark check.
+  std::vector<StreamingReceiver::StreamPacket> emitted;
+  {
+    StreamingReceiver rx(rig.ap);
+    std::vector<StreamingReceiver::Scan> scans;
+    for (const auto& c : chunks) scans.push_back(rx.scan(&c));
+    scans.push_back(rx.scan(nullptr));  // the flush pass, also ahead
+    for (std::size_t s = 0; s < scans.size(); ++s) {
+      std::vector<std::optional<ReceivedPacket>> processed(
+          scans[s].candidates.size());
+      for (std::size_t i = 0; i < scans[s].candidates.size(); ++i) {
+        const auto& cand = scans[s].candidates[i];
+        if (cand.absolute_start < rx.emit_watermark()) continue;
+        processed[i] =
+            rig.ap.demodulate(*scans[s].conditioned, cand.detection);
+      }
+      const bool final_pass = s + 1 == scans.size();
+      for (auto& p : rx.commit(scans[s], std::move(processed), final_pass)) {
+        emitted.push_back(std::move(p));
+      }
+    }
+  }
+
+  ASSERT_EQ(emitted.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(emitted[i].absolute_start, expected[i].absolute_start);
+    ASSERT_EQ(emitted[i].packet.frame.has_value(),
+              expected[i].packet.frame.has_value());
+    if (expected[i].packet.frame) {
+      EXPECT_EQ(emitted[i].packet.frame->sequence,
+                expected[i].packet.frame->sequence);
+    }
+    EXPECT_EQ(emitted[i].packet.bearing_array_deg,
+              expected[i].packet.bearing_array_deg);
+  }
+}
+
+TEST(Streaming, ScanRecordsAbsoluteCoordinates) {
+  StreamRig rig;
+  StreamingReceiver rx(rig.ap);
+  const CMat cap = rig.capture(300, 0);
+  auto s1 = rx.scan(&cap);
+  EXPECT_EQ(s1.base, 0u);
+  EXPECT_EQ(s1.prev_seen, 0u);
+  EXPECT_EQ(s1.seen, cap.cols());
+  std::vector<std::optional<ReceivedPacket>> processed(s1.candidates.size());
+  for (std::size_t i = 0; i < s1.candidates.size(); ++i) {
+    processed[i] = rig.ap.demodulate(*s1.conditioned, s1.candidates[i].detection);
+  }
+  rx.commit(s1, std::move(processed), false);
+  auto s2 = rx.scan(&cap);
+  EXPECT_EQ(s2.prev_seen, cap.cols());
+  EXPECT_EQ(s2.seen, 2 * cap.cols());
+  EXPECT_EQ(s2.base + (s2.conditioned ? s2.conditioned->cols() : 0),
+            s2.seen);
+}
+
 }  // namespace
 }  // namespace sa

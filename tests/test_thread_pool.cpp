@@ -87,5 +87,108 @@ TEST(ThreadPool, ManyWorkersOneResultEach) {
   EXPECT_EQ(sum, 64u * 63u / 2u);
 }
 
+// ------------------------------------------------------------- shutdown
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasksWithoutLosingAny) {
+  // Destroy the pool the moment the queue is at its fullest: every task
+  // already accepted must still run exactly once (the engine session
+  // relies on this — a dropped task would strand a decode future).
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2, 8);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    // Park both workers so the remaining tasks are queued, not running.
+    for (int i = 0; i < 2; ++i) {
+      pool.submit([opened, &count] {
+        opened.wait();
+        count.fetch_add(1);
+      });
+    }
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([&count] { count.fetch_add(1); }, /*epoch=*/7);
+    }
+    gate.set_value();
+  }  // destructor runs with (up to) 8 tasks still queued
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ShutdownWakesBlockedSubmitterWithStateError) {
+  // A producer blocked in submit() on a full queue must not be left
+  // asleep (or handed a silently dropped task) when the pool stops: it
+  // gets a StateError instead.
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  std::atomic<int> ran{0};
+  std::atomic<bool> rejected{false};
+  std::thread producer;
+  {
+    ThreadPool pool(1, 1);
+    pool.submit([opened, &ran] {  // occupies the only worker
+      opened.wait();
+      ran.fetch_add(1);
+    });
+    pool.submit([&ran] { ran.fetch_add(1); });  // fills the queue
+    producer = std::thread([&pool, &ran, &rejected] {
+      try {
+        pool.submit([&ran] { ran.fetch_add(1); });
+      } catch (const StateError&) {
+        rejected.store(true);
+      }
+    });
+    // Let the producer reach the blocked wait, then release the worker
+    // *after* destruction has begun so the queue stays full meanwhile.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::thread opener([&gate] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      gate.set_value();
+    });
+    opener.detach();
+  }  // ~ThreadPool: wakes the blocked producer, then drains and joins
+  producer.join();
+  // Every accepted task ran; the producer either got in before shutdown
+  // or was rejected — never silently dropped.
+  EXPECT_EQ(ran.load() + (rejected.load() ? 1 : 0), 3);
+}
+
+// --------------------------------------------------------------- epochs
+
+TEST(ThreadPool, EpochsTrackOutstandingWorkAcrossRounds) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.epochs_in_flight(), 0u);
+  pool.wait_epoch_idle(42);  // unknown epoch: returns immediately
+
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  auto f1 = pool.async_in(1, [opened] { opened.wait(); });
+  auto f2 = pool.async_in(2, [] {});
+  // Both "rounds" have work in the pool at once: the overlap the engine
+  // session's pipelining creates.
+  EXPECT_EQ(pool.epochs_in_flight(), 2u);
+  EXPECT_GE(pool.max_epochs_in_flight(), 2u);
+  gate.set_value();
+  f1.get();
+  f2.get();
+  pool.wait_epoch_idle(1);
+  pool.wait_epoch_idle(2);
+  EXPECT_EQ(pool.epochs_in_flight(), 0u);
+  EXPECT_GE(pool.max_epochs_in_flight(), 2u);
+}
+
+TEST(ThreadPool, EpochClearsEvenWhenTaskThrows) {
+  ThreadPool pool(2);
+  auto f = pool.async_in(9, []() -> int { throw InvalidArgument("boom"); });
+  EXPECT_THROW(f.get(), InvalidArgument);
+  pool.wait_epoch_idle(9);  // must not hang on the failed task
+  EXPECT_EQ(pool.epochs_in_flight(), 0u);
+
+  // Raw submit() (no future) with an epoch: the pool logs the escape and
+  // the epoch still drains.
+  pool.submit([] { throw InvalidArgument("intentional test exception"); },
+              /*epoch=*/10);
+  pool.wait_epoch_idle(10);
+  EXPECT_EQ(pool.epochs_in_flight(), 0u);
+}
+
 }  // namespace
 }  // namespace sa

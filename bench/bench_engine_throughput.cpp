@@ -10,6 +10,7 @@
 // decision — not the channel simulator.
 //
 // Usage: bench_engine_throughput [--smoke] [--pipelined]
+//                                [--json <path>] [--min-fps <fps>]
 //                                [packets-per-client] [max-threads]
 //   --smoke      minimal workload (1 packet/client, 2 threads, short
 //                sweeps) so CI can execute every section on each PR.
@@ -19,11 +20,22 @@
 //                session overlapping round N+1's scan/decode with round
 //                N's decode/AoA/policy phase is the whole point — the
 //                round-boundary bubble of the batch path is gone.
+//   --json PATH  additionally write every sweep's numbers as a JSON
+//                document — the machine-readable perf baseline
+//                (BENCH_<pr>.json in the repo root is captured this way)
+//                and the artifact the bench-smoke CI job uploads.
+//   --min-fps X  perf-regression tripwire: exit non-zero when the thread
+//                sweep's best frames/sec lands below X. CI passes a
+//                generous floor derived from the checked-in baseline, so
+//                a catastrophic scan-path regression fails the job while
+//                ordinary CI noise never does.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -124,17 +136,116 @@ void covariance_conditioning_note(std::size_t reps) {
       reps, fb_before, fb_after, dl);
 }
 
+// ---- JSON result collection (--json): every sweep appends its rows
+// here and write_json serializes them. No external dependency — the
+// schema is flat enough for fprintf.
+struct SweepRow {
+  std::string label;
+  std::size_t threads = 0;
+  std::size_t frames = 0;
+  double fps = 0.0;
+  double fps2 = 0.0;        // pipelined fps in the batch-vs-session sweep
+  std::size_t extra = 0;    // overlap / subband count
+};
+
+struct BenchResults {
+  bool smoke = false;
+  bool pipelined = false;
+  int packets = 0;
+  std::size_t num_aps = 0;
+  std::size_t max_threads = 0;
+  std::vector<SweepRow> threads_sweep;
+  std::vector<SweepRow> pipelined_sweep;
+  std::vector<SweepRow> estimator_sweep;
+  std::vector<SweepRow> subband_sweep;
+  std::vector<SweepRow> chain_sweep;
+  double scan_sec = 0.0;
+  double decode_sec = 0.0;
+  std::size_t split_frames = 0;
+};
+
+void write_json(const BenchResults& r, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"engine_throughput\",\n"
+               "  \"config\": {\"smoke\": %s, \"pipelined\": %s, "
+               "\"packets_per_client\": %d, \"aps\": %zu, "
+               "\"max_threads\": %zu, \"hardware_concurrency\": %u},\n",
+               r.smoke ? "true" : "false", r.pipelined ? "true" : "false",
+               r.packets, r.num_aps, r.max_threads,
+               std::thread::hardware_concurrency());
+  auto rows = [&](const char* name, const std::vector<SweepRow>& v,
+                  auto&& one_row) {
+    std::fprintf(f, "  \"%s\": [", name);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      std::fprintf(f, "%s\n    ", i == 0 ? "" : ",");
+      one_row(v[i]);
+    }
+    // Always followed by the scan_decode_split/tripwire keys, so the
+    // trailing comma is unconditional.
+    std::fprintf(f, "\n  ],\n");
+  };
+  rows("threads_sweep", r.threads_sweep, [&](const SweepRow& s) {
+    std::fprintf(f, "{\"threads\": %zu, \"frames\": %zu, \"fps\": %.2f}",
+                 s.threads, s.frames, s.fps);
+  });
+  rows("pipelined_sweep", r.pipelined_sweep, [&](const SweepRow& s) {
+    std::fprintf(f,
+                 "{\"threads\": %zu, \"batch_fps\": %.2f, "
+                 "\"pipelined_fps\": %.2f, \"max_overlapped_rounds\": %zu}",
+                 s.threads, s.fps, s.fps2, s.extra);
+  });
+  rows("estimator_sweep", r.estimator_sweep, [&](const SweepRow& s) {
+    std::fprintf(f, "{\"estimator\": \"%s\", \"frames\": %zu, \"fps\": %.2f}",
+                 s.label.c_str(), s.frames, s.fps);
+  });
+  rows("subband_sweep", r.subband_sweep, [&](const SweepRow& s) {
+    std::fprintf(f, "{\"subbands\": %zu, \"frames\": %zu, \"fps\": %.2f}",
+                 s.extra, s.frames, s.fps);
+  });
+  rows("policy_chain_sweep", r.chain_sweep, [&](const SweepRow& s) {
+    std::fprintf(f, "{\"chain\": \"%s\", \"frames\": %zu, \"fps\": %.2f}",
+                 s.label.c_str(), s.frames, s.fps);
+  });
+  const double t1_fps =
+      r.threads_sweep.empty() ? 0.0 : r.threads_sweep.front().fps;
+  std::fprintf(f,
+               "  \"scan_decode_split\": {\"scan_sec\": %.4f, "
+               "\"decode_sec\": %.4f, \"frames\": %zu},\n"
+               // Generous floor for the CI tripwire: 5%% of this run's
+               // single-thread frames/sec. CI runners are slower and run
+               // the smaller smoke workload, but a catastrophic hot-path
+               // regression (the scan going O(history^2), say) still
+               // lands far below this.
+               "  \"tripwire\": {\"min_smoke_fps\": %.1f}\n"
+               "}\n",
+               r.scan_sec, r.decode_sec, r.split_frames, 0.05 * t1_fps);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   bool pipelined = false;
+  const char* json_path = nullptr;
+  double min_fps = 0.0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--pipelined") == 0) {
       pipelined = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-fps") == 0 && i + 1 < argc) {
+      min_fps = std::atof(argv[++i]);
     } else {
       positional.push_back(argv[i]);
     }
@@ -145,6 +256,13 @@ int main(int argc, char** argv) {
       positional.size() > 1 ? std::strtoul(positional[1], nullptr, 10)
                             : (smoke ? 2 : 8);
   const std::size_t num_aps = 4;
+
+  BenchResults results;
+  results.smoke = smoke;
+  results.pipelined = pipelined;
+  results.packets = packets;
+  results.num_aps = num_aps;
+  results.max_threads = max_threads;
 
   sa::bench::print_header(
       "DeploymentEngine throughput: frames/sec vs threads, AoA backend, "
@@ -221,9 +339,47 @@ int main(int argc, char** argv) {
     if (threads == 1) base_fps = fps;
     std::printf("%-10zu %10zu %12.1f %9.2fx\n", threads, frames, fps,
                 fps / base_fps);
+    results.threads_sweep.push_back({"", threads, frames, fps, 0.0, 0});
   }
   std::printf("(hardware concurrency: %u)\n",
               std::thread::hardware_concurrency());
+
+  // ---- scan vs decode split (single-threaded two-phase replay over the
+  // same rounds): how much of the ingest budget the streaming scan path
+  // takes versus the per-frame demodulate/commit work.
+  {
+    std::vector<std::unique_ptr<StreamingReceiver>> rxs;
+    for (const auto& ap : ap_sets[0]) {
+      rxs.push_back(std::make_unique<StreamingReceiver>(*ap, StreamingConfig{}));
+    }
+    for (const auto& round : rounds) {
+      for (std::size_t i = 0; i < rxs.size(); ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto scan = rxs[i]->scan(&round[i]);
+        results.scan_sec +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        const auto t1 = std::chrono::steady_clock::now();
+        std::vector<std::optional<ReceivedPacket>> processed;
+        processed.reserve(scan.candidates.size());
+        for (const auto& cand : scan.candidates) {
+          processed.push_back(
+              ap_sets[0][i]->demodulate(*scan.conditioned, cand.detection));
+        }
+        results.split_frames +=
+            rxs[i]->commit(scan, std::move(processed), false).size();
+        results.decode_sec +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+                .count();
+      }
+    }
+    std::printf(
+        "\nscan/decode split (1 thread, two-phase replay): scan %.3fs, "
+        "decode+commit %.3fs (%.1f%% scan), %zu frames\n",
+        results.scan_sec, results.decode_sec,
+        100.0 * results.scan_sec / (results.scan_sec + results.decode_sec),
+        results.split_frames);
+  }
 
   // ---- batch lock-step vs pipelined EngineSession (MUSIC backend).
   // Same engines, same workload; the only difference is that the batch
@@ -255,6 +411,9 @@ int main(int argc, char** argv) {
       std::printf("%-10zu %12.1f %14.1f %8.2fx %7zu\n", threads, batch_fps,
                   session_fps, session_fps / batch_fps,
                   stats.max_overlapped_rounds);
+      results.pipelined_sweep.push_back({"", threads, session_frames,
+                                         batch_fps, session_fps,
+                                         stats.max_overlapped_rounds});
       if (session_frames != batch_frames) {
         std::printf("  !! decision count diverged: batch %zu vs session %zu\n",
                     batch_frames, session_frames);
@@ -274,6 +433,10 @@ int main(int argc, char** argv) {
     const double secs = run_once(*engine, rounds, &frames);
     std::printf("%-12s %10zu %12.1f\n", to_string(backends[b]), frames,
                 static_cast<double>(frames) / secs);
+    results.estimator_sweep.push_back({std::string(to_string(backends[b])), 0,
+                                       frames,
+                                       static_cast<double>(frames) / secs,
+                                       0.0, 0});
   }
 
   // ---- frames/sec vs wideband subband count (MUSIC backend). Per-band
@@ -308,6 +471,7 @@ int main(int argc, char** argv) {
       if (k == 1) k1_fps = fps;
       std::printf("%-10zu %10zu %12.1f %9.2fx\n", k, frames, fps,
                   k1_fps > 0.0 ? fps / k1_fps : 1.0);
+      results.subband_sweep.push_back({"", 0, frames, fps, 0.0, k});
     }
   }
 
@@ -350,6 +514,21 @@ int main(int argc, char** argv) {
     if (chain_base_fps == 0.0) chain_base_fps = fps;
     std::printf("%-22s %10zu %12.1f %9.2f%%\n", c.label, frames, fps,
                 100.0 * (chain_base_fps / fps - 1.0));
+    results.chain_sweep.push_back({c.label, 0, frames, fps, 0.0, 0});
+  }
+
+  if (json_path != nullptr) write_json(results, json_path);
+
+  if (min_fps > 0.0) {
+    double best = 0.0;
+    for (const auto& row : results.threads_sweep) best = std::max(best, row.fps);
+    if (best < min_fps) {
+      std::printf("\n!! perf tripwire: best frames/sec %.1f below floor %.1f\n",
+                  best, min_fps);
+      return 1;
+    }
+    std::printf("\nperf tripwire ok: best frames/sec %.1f >= floor %.1f\n",
+                best, min_fps);
   }
   return 0;
 }

@@ -17,6 +17,19 @@ namespace sa {
 /// (rows = antennas, cols = time).
 CMat sample_covariance(const CMat& samples);
 
+/// Sample covariance over columns [col_begin, col_end) of `samples`,
+/// bit-identical to sample_covariance over a materialized copy of those
+/// columns. The streaming hot path uses this to estimate a packet's
+/// covariance straight off the shared conditioned window, skipping the
+/// per-frame block copy.
+CMat sample_covariance_cols(const CMat& samples, std::size_t col_begin,
+                            std::size_t col_end);
+
+/// Variant writing into a caller-provided matrix (resized to n x n, no
+/// allocation when `r` already has the capacity) — for per-worker
+/// scratch buffers on the decode path. Bit-identical values.
+void sample_covariance_into(const CMat& samples, CMat& r);
+
 /// Forward-backward average: (R + J conj(R) J) / 2, J the exchange
 /// matrix. Valid only when reversing the element order mirrors the array
 /// through its centre (true for a ULA; NOT true for our circular

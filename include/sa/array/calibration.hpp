@@ -35,6 +35,11 @@ class CalibrationTable {
   void apply(CVec& snapshot) const;
   void apply(CMat& samples) const;
 
+  /// Apply chain `m`'s correction to `n` samples in place — the one
+  /// copy of the per-element math, shared with the streaming receiver's
+  /// column-range conditioning.
+  void apply_row(std::size_t m, cd* samples, std::size_t n) const;
+
   /// Residual per-chain phase error (radians, in [0, pi]) against the
   /// true impairments — diagnostic for tests and ablations. Global common
   /// phase is ignored (it does not affect AoA).

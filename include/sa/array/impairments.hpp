@@ -44,6 +44,11 @@ class ArrayImpairments {
   /// Apply to a full per-antenna sample matrix (rows = antennas).
   void apply(CMat& samples) const;
 
+  /// Apply chain `m`'s factor to `n` samples in place — the one copy of
+  /// the per-element math; apply(CMat&) and the streaming receiver's
+  /// column-range conditioning both route through it.
+  void apply_row(std::size_t m, cd* samples, std::size_t n) const;
+
  private:
   std::vector<ChainImpairment> chains_;
 };

@@ -37,6 +37,20 @@ class CMat {
 
   const CVec& data() const { return data_; }
 
+  /// Raw row-major storage (rows * cols elements, row r at raw() + r*cols).
+  const cd* raw() const { return data_.data(); }
+  cd* raw() { return data_.data(); }
+
+  /// Reshape to rows x cols, reusing the existing allocation when it is
+  /// large enough. Element values are unspecified afterwards — this is
+  /// the scratch-buffer primitive for the per-frame hot path, where every
+  /// element is overwritten before being read.
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   CMat operator+(const CMat& o) const;
   CMat operator-(const CMat& o) const;
   CMat operator*(const CMat& o) const;

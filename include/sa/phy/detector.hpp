@@ -18,6 +18,12 @@
 
 namespace sa {
 
+/// STF repetition period and coarse correlation window of the
+/// Schmidl-Cox metric — shared with the incremental streaming detector,
+/// whose replayed recurrences must match detect() term for term.
+inline constexpr std::size_t kScLag = 16;     // STF period
+inline constexpr std::size_t kScWindow = 96;  // 6 STF periods
+
 struct DetectorConfig {
   double threshold = 0.5;       ///< M(k) level that opens a detection window
   std::size_t min_plateau = 48; ///< samples M must stay high (rejects spikes)

@@ -1,0 +1,83 @@
+// Incremental Schmidl-Cox detection over an append-only sample window.
+//
+// StreamingReceiver used to re-run SchmidlCoxDetector::detect over its
+// whole history buffer on every scan, re-paying the LTF fine-timing
+// cross-correlation for every packet still inside the window — per scan,
+// per packet, every round. IncrementalScDetector produces detections
+// bit-identical to detect() run fresh over the same window, but caches
+// the expensive fine-timing searches by *absolute* sample position:
+// conditioned samples are immutable once appended, so a fine search whose
+// whole window was inside the buffer when it first ran returns the same
+// floats forever and is never recomputed.
+//
+// What cannot be cached: the coarse P/R metric recurrences. detect()
+// computes them with running updates that accumulate from the window
+// origin (see lag_autocorrelation), so their floating-point values depend
+// on where the window starts — and the origin moves at every history
+// trim. scan() therefore replays those recurrences from the current
+// origin, term for term; they are O(window) but light (~a dozen flops per
+// sample), while everything heavy is O(new samples + packets).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "sa/linalg/cvec.hpp"
+#include "sa/phy/detector.hpp"
+
+namespace sa {
+
+class IncrementalScDetector {
+ public:
+  explicit IncrementalScDetector(DetectorConfig config);
+
+  /// Scan the window `x[0 .. len)` whose first sample sits at absolute
+  /// stream index `base`. Returns exactly what
+  /// SchmidlCoxDetector::detect would return for the same window —
+  /// detection starts relative to the window, every field bit-identical.
+  /// Successive calls must present consistent data: a sample at absolute
+  /// index i must carry the same value in every window that contains it
+  /// (append-only stream, trims only move `base` forward).
+  std::vector<PacketDetection> scan(const cd* x, std::size_t len,
+                                    std::size_t base);
+
+  /// Drop all cached state (e.g. when the absolute coordinate space is
+  /// reused for unrelated data).
+  void reset();
+
+  const DetectorConfig& config() const { return config_; }
+
+  // Cache observability for tests and benches.
+  std::size_t fine_searches_run() const { return fine_searches_; }
+  std::size_t fine_cache_hits() const { return fine_cache_hits_; }
+  std::size_t fine_cache_size() const { return fine_cache_.size(); }
+
+ private:
+  /// Memoized result of one LTF fine-timing search at plateau position
+  /// `base + k` (the map key): the normalized correlation peak and the
+  /// chosen first-LTF-period position (after the second-period
+  /// disambiguation), both pure functions of the samples in
+  /// [k, k + fine_search_span). Recorded only when that span was fully
+  /// inside the buffer, so the values are final.
+  struct FineResult {
+    double best_val = 0.0;
+    std::size_t period1_abs = 0;
+  };
+
+  DetectorConfig config_;
+  CVec ltf_ref_;
+  double ltf_energy_ = 0.0;
+
+  // Per-scan scratch, reused across calls to avoid reallocation.
+  CVec p_;
+  std::vector<double> r_;
+  std::vector<double> metric_;
+  std::vector<double> corr_;
+
+  std::unordered_map<std::size_t, FineResult> fine_cache_;
+  std::size_t fine_searches_ = 0;
+  std::size_t fine_cache_hits_ = 0;
+};
+
+}  // namespace sa

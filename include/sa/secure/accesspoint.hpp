@@ -26,6 +26,7 @@
 #include "sa/array/geometry.hpp"
 #include "sa/array/impairments.hpp"
 #include "sa/channel/simulator.hpp"
+#include "sa/linalg/column_ring.hpp"
 #include "sa/mac/frame.hpp"
 #include "sa/phy/detector.hpp"
 #include "sa/phy/packet.hpp"
@@ -132,15 +133,41 @@ class AccessPoint {
 
   /// Impairments + (optional) calibration applied to a copy.
   CMat condition(const CMat& channel_samples) const;
+  /// Same conditioning applied in place (bit-identical to condition()).
+  void condition_inplace(CMat& channel_samples) const;
+  /// Condition only columns [col_begin, col_end) of a streaming window —
+  /// the incremental hot path: a chunk's columns are conditioned exactly
+  /// once, when appended. The per-chain factors are constant in time, so
+  /// conditioning a column is independent of its neighbours and of its
+  /// position in the stream; the result is bit-identical to conditioning
+  /// the whole window fresh. (Any future time-indexed impairment must be
+  /// anchored at the column's absolute stream index to preserve this.)
+  void condition_cols(ColumnRing& window, std::size_t col_begin,
+                      std::size_t col_end) const;
   /// Schmidl-Cox detection on the reference antenna (chain 0) of an
   /// already-conditioned buffer.
   std::vector<PacketDetection> detect(const CMat& conditioned) const;
+  /// Reusable scratch for the per-frame decode hot path: the
+  /// CFO-corrected reference-antenna slice and the wideband subband
+  /// snapshot matrices. A worker thread keeps one FrameScratch and
+  /// passes it to prepare()/demodulate() for every frame it processes;
+  /// each use fully overwrites what it reads, so results are
+  /// bit-identical to the allocating path (tested). Not thread-safe:
+  /// one scratch per thread.
+  struct FrameScratch {
+    CVec aligned;
+    CVec window;
+    std::vector<CMat> sub;
+  };
+
   /// Decode + covariance + AoA for one detection inside a conditioned
   /// buffer. nullopt when the capture is truncated too hard to process.
   /// Equivalent to prepare() + estimate_band() per band + assemble(),
-  /// run serially.
+  /// run serially. `scratch`, when non-null, is reused for the frame's
+  /// temporary buffers instead of allocating.
   std::optional<ReceivedPacket> demodulate(const CMat& conditioned,
-                                           const PacketDetection& det) const;
+                                           const PacketDetection& det,
+                                           FrameScratch* scratch = nullptr) const;
 
   // The demodulate pipeline split into its three stages so callers (the
   // deployment engine) can fan the per-subband estimates across a thread
@@ -161,9 +188,13 @@ class AccessPoint {
   };
 
   /// Stage 1: PHY decode + per-band covariance contexts. nullopt when
-  /// the capture is truncated too hard to process.
+  /// the capture is truncated too hard to process. The packet's
+  /// covariance is accumulated straight off `conditioned` (no block
+  /// copy); `scratch` additionally reuses the decode slice and subband
+  /// matrices across frames.
   std::optional<FramePrep> prepare(const CMat& conditioned,
-                                   const PacketDetection& det) const;
+                                   const PacketDetection& det,
+                                   FrameScratch* scratch = nullptr) const;
   /// Stage 2: this AP's estimator over one band's context.
   MusicResult estimate_band(const FramePrep& prep, std::size_t band) const;
   /// Stage 3: fuse the per-band results into a ReceivedPacket
@@ -182,6 +213,9 @@ class AccessPoint {
 
   const AccessPointConfig& config() const { return config_; }
   const AoaEstimator& estimator() const { return *estimator_; }
+  /// The detector this AP runs (its config carries the AP sample rate) —
+  /// the streaming receiver's incremental detector mirrors it.
+  const SchmidlCoxDetector& detector() const { return detector_; }
   const ArrayImpairments& impairments() const { return impairments_; }
   const CalibrationTable& calibration() const { return calibration_; }
   double wavelength_m() const;

@@ -4,12 +4,25 @@
 // AccessPoint from a chunked sample stream, keeping enough overlap that
 // a packet split across chunks is still detected and decoded exactly
 // once.
+//
+// The scan hot path is incremental: history lives in a ColumnRing (O(1)
+// append/trim, no full-matrix copies), each sample is conditioned
+// exactly once when appended (AccessPoint::condition_cols), and
+// detection runs through IncrementalScDetector, which memoizes the LTF
+// fine-timing searches by absolute position. Steady-state scan work is
+// O(chunk) heavy math plus an O(history) light replay of the coarse
+// Schmidl-Cox recurrences (origin-dependent floats; see
+// incremental_detector.hpp) and the snapshot copy — and the emitted
+// packet stream is bit-identical to the pre-incremental receiver for
+// every chunk schedule.
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "sa/linalg/column_ring.hpp"
+#include "sa/phy/incremental_detector.hpp"
 #include "sa/secure/accesspoint.hpp"
 
 namespace sa {
@@ -72,7 +85,10 @@ class StreamingReceiver {
   };
   /// The conditioned buffer plus the candidates found in it. `conditioned`
   /// is shared so workers can process candidates concurrently; it is null
-  /// when too few samples are buffered to scan.
+  /// when too few samples are buffered to scan — and, since the
+  /// incremental hot path, also when the scan found no candidates:
+  /// every consumer reads it per candidate, so an idle scan skips the
+  /// O(history) snapshot copy entirely.
   struct Scan {
     std::shared_ptr<const CMat> conditioned;
     std::vector<Candidate> candidates;
@@ -112,14 +128,33 @@ class StreamingReceiver {
   /// Total samples consumed so far.
   std::size_t samples_seen() const { return base_ + buffered_cols_; }
 
+  /// Fine-timing-search cache behavior of the incremental detector
+  /// (observability for tests and benches).
+  const IncrementalScDetector& incremental_detector() const {
+    return detector_;
+  }
+
  private:
   void trim();
 
   AccessPoint& ap_;
   StreamingConfig config_;
-  CMat buffer_;                 // rows = antennas; cols grow then trim
+  /// Conditioned history window. Samples are conditioned exactly once,
+  /// when their chunk is appended (AccessPoint::condition_cols); scan
+  /// materializes the Scan::conditioned snapshot from here with a plain
+  /// copy — the steady-state scan never re-runs conditioning math or
+  /// re-copies the history to append/trim.
+  ColumnRing cond_;
+  IncrementalScDetector detector_;
+  /// Snapshot recycling: scan hands out shared_ptr<const CMat> snapshots;
+  /// once every consumer drops one (use_count back to 1 here), its
+  /// allocation is reused for a later scan instead of paying a fresh
+  /// multi-MB allocation + page-fault per round. Bounded, so a pipelined
+  /// caller holding several rounds in flight just falls back to fresh
+  /// allocations.
+  std::vector<std::shared_ptr<CMat>> snapshot_pool_;
   std::size_t buffered_cols_ = 0;
-  std::size_t base_ = 0;        // absolute index of buffer_ column 0
+  std::size_t base_ = 0;        // absolute index of window column 0
   std::size_t emit_watermark_ = 0;  // absolute end of last emitted packet
 };
 

@@ -4,23 +4,53 @@
 
 namespace sa {
 
-CMat sample_covariance(const CMat& samples) {
-  SA_EXPECTS(samples.rows() >= 1 && samples.cols() >= 1);
+namespace {
+
+/// Shared accumulation core: identical term order for every entry point,
+/// so the allocating, range, and scratch variants are all bit-identical.
+void covariance_core(const CMat& samples, std::size_t col_begin,
+                     std::size_t col_end, CMat& r) {
+  SA_EXPECTS(samples.rows() >= 1);
+  SA_EXPECTS(col_begin < col_end && col_end <= samples.cols());
   const std::size_t n = samples.rows();
-  const std::size_t t_len = samples.cols();
-  CMat r(n, n);
+  const std::size_t t_len = col_end - col_begin;
+  const std::size_t stride = samples.cols();
+  const cd* data = samples.raw();
+  r.resize(n, n);
   for (std::size_t i = 0; i < n; ++i) {
+    const cd* si = data + i * stride;
     for (std::size_t j = i; j < n; ++j) {
+      const cd* sj = data + j * stride;
       cd acc{0.0, 0.0};
-      for (std::size_t t = 0; t < t_len; ++t) {
-        acc += samples(i, t) * std::conj(samples(j, t));
+      for (std::size_t t = col_begin; t < col_end; ++t) {
+        acc += si[t] * std::conj(sj[t]);
       }
       acc /= static_cast<double>(t_len);
       r(i, j) = acc;
       r(j, i) = std::conj(acc);
     }
   }
+}
+
+}  // namespace
+
+CMat sample_covariance(const CMat& samples) {
+  SA_EXPECTS(samples.cols() >= 1);
+  CMat r;
+  covariance_core(samples, 0, samples.cols(), r);
   return r;
+}
+
+CMat sample_covariance_cols(const CMat& samples, std::size_t col_begin,
+                            std::size_t col_end) {
+  CMat r;
+  covariance_core(samples, col_begin, col_end, r);
+  return r;
+}
+
+void sample_covariance_into(const CMat& samples, CMat& r) {
+  SA_EXPECTS(samples.cols() >= 1);
+  covariance_core(samples, 0, samples.cols(), r);
 }
 
 CMat forward_backward_average(const CMat& r) {

@@ -28,10 +28,15 @@ void CalibrationTable::apply(CVec& snapshot) const {
 void CalibrationTable::apply(CMat& samples) const {
   SA_EXPECTS(samples.rows() == corrections_.size());
   for (std::size_t m = 0; m < samples.rows(); ++m) {
-    for (std::size_t t = 0; t < samples.cols(); ++t) {
-      samples(m, t) *= corrections_[m];
-    }
+    apply_row(m, samples.raw() + m * samples.cols(), samples.cols());
   }
+}
+
+void CalibrationTable::apply_row(std::size_t m, cd* samples,
+                                 std::size_t n) const {
+  SA_EXPECTS(m < corrections_.size());
+  const cd c = corrections_[m];
+  for (std::size_t t = 0; t < n; ++t) samples[t] *= c;
 }
 
 std::vector<double> CalibrationTable::residual_phase(

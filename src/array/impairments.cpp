@@ -45,9 +45,14 @@ void ArrayImpairments::apply(CVec& snapshot) const {
 void ArrayImpairments::apply(CMat& samples) const {
   SA_EXPECTS(samples.rows() == chains_.size());
   for (std::size_t m = 0; m < samples.rows(); ++m) {
-    const cd f = factor(m);
-    for (std::size_t t = 0; t < samples.cols(); ++t) samples(m, t) *= f;
+    apply_row(m, samples.raw() + m * samples.cols(), samples.cols());
   }
+}
+
+void ArrayImpairments::apply_row(std::size_t m, cd* samples,
+                                 std::size_t n) const {
+  const cd f = factor(m);
+  for (std::size_t t = 0; t < n; ++t) samples[t] *= f;
 }
 
 }  // namespace sa

@@ -343,14 +343,19 @@ void EngineSession::schedule_fresh_work(Round& round) {
         ar.prep_futures.push_back(pool_.async_in(
             round.id, [ap = aps_[i], conditioned = ar.scan.conditioned,
                        det = cand.detection] {
-              return ap->prepare(*conditioned, det);
+              // One scratch per worker thread, reused across every frame
+              // it prepares — results are bit-identical to the
+              // allocating path (tested), only the allocations go away.
+              thread_local AccessPoint::FrameScratch scratch;
+              return ap->prepare(*conditioned, det, &scratch);
             }));
         ar.prep_idx.push_back(j);
       } else {
         ar.demod_futures.push_back(pool_.async_in(
             round.id, [ap = aps_[i], conditioned = ar.scan.conditioned,
                        det = cand.detection] {
-              return ap->demodulate(*conditioned, det);
+              thread_local AccessPoint::FrameScratch scratch;
+              return ap->demodulate(*conditioned, det, &scratch);
             }));
         ar.demod_idx.push_back(j);
       }
@@ -482,8 +487,9 @@ void EngineSession::process_round(Round& round) {
         ++stale_skips;
         continue;
       }
+      thread_local AccessPoint::FrameScratch scratch;  // back-end thread's
       ar.processed[j] =
-          aps_[i]->demodulate(*ar.scan.conditioned, cand.detection);
+          aps_[i]->demodulate(*ar.scan.conditioned, cand.detection, &scratch);
       ++stale_retries;
     }
   }

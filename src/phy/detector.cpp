@@ -9,11 +9,6 @@
 
 namespace sa {
 
-namespace {
-constexpr std::size_t kScLag = 16;     // STF period
-constexpr std::size_t kScWindow = 96;  // correlation window (6 STF periods)
-}  // namespace
-
 SchmidlCoxDetector::SchmidlCoxDetector(DetectorConfig config)
     : config_(config), ltf_ref_(ltf_period()) {
   SA_EXPECTS(config_.threshold > 0.0 && config_.threshold < 1.0);

@@ -1,0 +1,182 @@
+// Faithful transcription of SchmidlCoxDetector::detect (src/phy/
+// detector.cpp) over an absolute-indexed window, with the fine-timing
+// searches memoized. Every arithmetic statement here mirrors one in
+// detect()/lag_autocorrelation/window_energy in the same order, so the
+// floating-point results are bit-identical; tests/test_phy.cpp holds the
+// two implementations against each other sample for sample.
+#include "sa/phy/incremental_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sa/common/constants.hpp"
+#include "sa/common/error.hpp"
+#include "sa/phy/ofdm.hpp"
+
+namespace sa {
+
+IncrementalScDetector::IncrementalScDetector(DetectorConfig config)
+    : config_(config), ltf_ref_(ltf_period()), ltf_energy_(energy(ltf_ref_)) {
+  SA_EXPECTS(config_.threshold > 0.0 && config_.threshold < 1.0);
+  SA_EXPECTS(config_.sample_rate_hz > 0.0);
+}
+
+void IncrementalScDetector::reset() {
+  fine_cache_.clear();
+}
+
+std::vector<PacketDetection> IncrementalScDetector::scan(const cd* x,
+                                                         std::size_t len,
+                                                         std::size_t base) {
+  // Drop memo entries for positions the window no longer covers.
+  for (auto it = fine_cache_.begin(); it != fine_cache_.end();) {
+    it = it->first < base ? fine_cache_.erase(it) : std::next(it);
+  }
+
+  std::vector<PacketDetection> out;
+  if (len < kPreambleLen + kScLag + kScWindow) return out;
+
+  // ---- Coarse metric: replay lag_autocorrelation / window_energy's
+  // running recurrences from the current window origin. These accumulate
+  // floating-point state from sample 0, so they are origin-dependent and
+  // must be recomputed whenever a trim moves the origin; they are the
+  // cheap part of detection.
+  const std::size_t n_out = len - kScLag - kScWindow + 1;
+  p_.resize(n_out);
+  r_.resize(n_out);
+  metric_.resize(n_out);
+  {
+    cd p{0.0, 0.0};
+    for (std::size_t i = 0; i < kScWindow; ++i) {
+      p += std::conj(x[i]) * x[i + kScLag];
+    }
+    p_[0] = p;
+    for (std::size_t k = 1; k < n_out; ++k) {
+      p -= std::conj(x[k - 1]) * x[k - 1 + kScLag];
+      p += std::conj(x[k + kScWindow - 1]) * x[k + kScWindow - 1 + kScLag];
+      p_[k] = p;
+    }
+  }
+  {
+    double e = 0.0;
+    for (std::size_t i = 0; i < kScWindow; ++i) e += std::norm(x[kScLag + i]);
+    r_[0] = e;
+    for (std::size_t k = 1; k < n_out; ++k) {
+      e -= std::norm(x[kScLag + k - 1]);
+      e += std::norm(x[kScLag + k + kScWindow - 1]);
+      r_[k] = e;
+    }
+  }
+  for (std::size_t k = 0; k < n_out; ++k) {
+    metric_[k] = r_[k] > 1e-30 ? std::norm(p_[k]) / (r_[k] * r_[k]) : 0.0;
+  }
+
+  // ---- Decision loop: identical control flow to detect(). The only
+  // difference is that the fine-timing search consults the memo first.
+  std::size_t k = 0;
+  while (k < n_out) {
+    if (metric_[k] < config_.threshold) {
+      ++k;
+      continue;
+    }
+    std::size_t run = 0;
+    while (k + run < n_out && metric_[k + run] >= config_.threshold) ++run;
+    if (run < config_.min_plateau) {
+      k += run + 1;
+      continue;
+    }
+
+    const std::size_t search_begin = k;
+    const std::size_t search_end =
+        std::min(len, k + config_.fine_search_span);
+    if (search_end <= search_begin + kFftSize) break;
+
+    double best_val = 0.0;
+    std::size_t period1 = search_begin;
+    const auto hit = fine_cache_.find(base + k);
+    if (hit != fine_cache_.end()) {
+      // The cached span [k, k + fine_search_span) is still fully inside
+      // the window: the stream is append-only and trims only move `base`
+      // forward, so base + k >= base and the recorded right edge can only
+      // have gained coverage. The cached floats are what a fresh search
+      // over the same samples would produce.
+      ++fine_cache_hits_;
+      best_val = hit->second.best_val;
+      period1 = hit->second.period1_abs - base;
+    } else {
+      ++fine_searches_;
+      std::size_t best_pos = search_begin;
+      corr_.assign(search_end - search_begin - kFftSize + 1, 0.0);
+      for (std::size_t pos = search_begin; pos + kFftSize <= search_end;
+           ++pos) {
+        cd acc{0.0, 0.0};
+        for (std::size_t i = 0; i < kFftSize; ++i) {
+          acc += std::conj(ltf_ref_[i]) * x[pos + i];
+        }
+        double win_e = 0.0;
+        for (std::size_t i = 0; i < kFftSize; ++i) {
+          win_e += std::norm(x[pos + i]);
+        }
+        const double c =
+            (win_e > 1e-30) ? std::norm(acc) / (ltf_energy_ * win_e) : 0.0;
+        corr_[pos - search_begin] = c;
+        if (c > best_val) {
+          best_val = c;
+          best_pos = pos;
+        }
+      }
+      // Second-LTF-period disambiguation. detect() runs this after the
+      // fine-threshold check; it reads only the corr values, so hoisting
+      // it before the check changes nothing observable and lets the memo
+      // store the finished period1.
+      period1 = best_pos;
+      if (best_pos >= search_begin + kFftSize) {
+        const double prev = corr_[best_pos - search_begin - kFftSize];
+        if (prev > 0.8 * best_val) period1 = best_pos - kFftSize;
+      }
+      if (k + config_.fine_search_span <= len) {
+        fine_cache_.emplace(base + k, FineResult{best_val, base + period1});
+      }
+    }
+
+    if (best_val < config_.fine_threshold) {
+      k += run + 1;  // plateau without an LTF: interference, skip it
+      continue;
+    }
+    if (period1 < kStfLen + 32) {
+      k += run + 1;
+      continue;  // would place the packet start before the buffer
+    }
+    const std::size_t start = period1 - (kStfLen + 32);
+
+    const std::size_t mid = k + run / 2 < n_out ? k + run / 2 : k;
+    const double coarse =
+        std::arg(p_[mid]) / (kTwoPi * static_cast<double>(kScLag)) *
+        config_.sample_rate_hz;
+    double cfo = coarse;
+    if (period1 + 2 * kFftSize <= len) {
+      cd acc{0.0, 0.0};
+      for (std::size_t i = 0; i < kFftSize; ++i) {
+        acc += std::conj(x[period1 + i]) * x[period1 + kFftSize + i];
+      }
+      const double fine =
+          std::arg(acc) / (kTwoPi * static_cast<double>(kFftSize)) *
+          config_.sample_rate_hz;
+      const double ambiguity =
+          config_.sample_rate_hz / static_cast<double>(kFftSize);
+      cfo = fine + std::round((coarse - fine) / ambiguity) * ambiguity;
+    }
+
+    PacketDetection det;
+    det.start = start;
+    det.metric = metric_[mid];
+    det.cfo_hz = cfo;
+    det.fine_peak = best_val;
+    out.push_back(det);
+
+    k = start + kPreambleLen;
+  }
+  return out;
+}
+
+}  // namespace sa

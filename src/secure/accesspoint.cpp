@@ -86,11 +86,34 @@ ArrayPlacement AccessPoint::placement() const {
 }
 
 CMat AccessPoint::condition(const CMat& channel_samples) const {
-  SA_EXPECTS(channel_samples.rows() == config_.geometry.size());
   CMat x = channel_samples;
-  impairments_.apply(x);
-  calibration_.apply(x);
+  condition_inplace(x);
   return x;
+}
+
+void AccessPoint::condition_inplace(CMat& channel_samples) const {
+  SA_EXPECTS(channel_samples.rows() == config_.geometry.size());
+  impairments_.apply(channel_samples);
+  calibration_.apply(channel_samples);
+}
+
+void AccessPoint::condition_cols(ColumnRing& window, std::size_t col_begin,
+                                 std::size_t col_end) const {
+  SA_EXPECTS(window.rows() == config_.geometry.size());
+  SA_EXPECTS(col_begin <= col_end && col_end <= window.cols());
+  // Two passes (impairments, then calibration) over each element
+  // through the classes' own apply_row primitives — the same
+  // per-element multiply sequence as condition_inplace, so a column
+  // conditioned here is bit-identical to the same column conditioned
+  // as part of a whole-buffer pass, and a future conditioning-stage
+  // change lands in both paths.
+  const std::size_t n = col_end - col_begin;
+  for (std::size_t m = 0; m < window.rows(); ++m) {
+    impairments_.apply_row(m, window.row_mut(m) + col_begin, n);
+  }
+  for (std::size_t m = 0; m < window.rows(); ++m) {
+    calibration_.apply_row(m, window.row_mut(m) + col_begin, n);
+  }
 }
 
 std::vector<PacketDetection> AccessPoint::detect(const CMat& conditioned) const {
@@ -119,7 +142,8 @@ std::vector<double> AccessPoint::to_world_bearings(
 }
 
 std::optional<AccessPoint::FramePrep> AccessPoint::prepare(
-    const CMat& conditioned, const PacketDetection& det) const {
+    const CMat& conditioned, const PacketDetection& det,
+    FrameScratch* scratch) const {
   SA_EXPECTS(conditioned.rows() == config_.geometry.size());
   FramePrep prep;
   prep.detection = det;
@@ -128,8 +152,10 @@ std::optional<AccessPoint::FramePrep> AccessPoint::prepare(
   // row-major, so row 0 is the contiguous prefix of data(): slice the
   // tail directly rather than materializing the whole row per candidate.
   const CVec& flat = conditioned.data();
-  CVec aligned(flat.begin() + static_cast<std::ptrdiff_t>(det.start),
-               flat.begin() + static_cast<std::ptrdiff_t>(conditioned.cols()));
+  CVec local_aligned;
+  CVec& aligned = scratch ? scratch->aligned : local_aligned;
+  aligned.assign(flat.begin() + static_cast<std::ptrdiff_t>(det.start),
+                 flat.begin() + static_cast<std::ptrdiff_t>(conditioned.cols()));
   apply_cfo(aligned, -det.cfo_hz, config_.sample_rate_hz);
   prep.phy = phy_rx_.decode(aligned);
   if (prep.phy) {
@@ -146,34 +172,39 @@ std::optional<AccessPoint::FramePrep> AccessPoint::prepare(
   if (end <= det.start + kPreambleLen / 2) {
     return std::nullopt;  // truncated capture
   }
-  CMat block(conditioned.rows(), end - det.start);
-  for (std::size_t m = 0; m < conditioned.rows(); ++m) {
-    for (std::size_t t = det.start; t < end; ++t) {
-      block(m, t - det.start) = conditioned(m, t);
-    }
-  }
 
   const SpectralOptions opts = estimator_->spectral_options();
   const std::size_t num_bands = config_.subbands;
-  const std::size_t n_win = block.cols() / std::max<std::size_t>(num_bands, 1);
+  const std::size_t n_win =
+      (end - det.start) / std::max<std::size_t>(num_bands, 1);
   if (num_bands <= 1 || n_win < 1) {
-    // Narrowband (or too-short-to-split) path: one full-band context.
-    prep.bands.emplace_back(sample_covariance(block), config_.geometry,
-                            wavelength_m(), opts);
+    // Narrowband (or too-short-to-split) path: one full-band context,
+    // accumulated straight off the shared conditioned window — no
+    // per-frame block copy.
+    prep.bands.emplace_back(sample_covariance_cols(conditioned, det.start, end),
+                            config_.geometry, wavelength_m(), opts);
     return prep;
   }
 
-  // Wideband split: a length-K DFT over consecutive K-sample windows
-  // turns the packet into n_win snapshots per subband; each subband gets
-  // its own covariance and its own centre wavelength. Bands are ordered
-  // by ascending frequency (fftshift order), so band K/2 is the carrier.
+  // Wideband split: a length-K DFT (radix-2 FFT) over consecutive
+  // K-sample windows turns the packet into n_win snapshots per subband;
+  // each subband gets its own covariance and its own centre wavelength.
+  // Bands are ordered by ascending frequency (fftshift order), so band
+  // K/2 is the carrier. The window and subband snapshot matrices come
+  // from the per-worker scratch when one is provided.
   const std::size_t k = num_bands;
-  std::vector<CMat> sub(k);
-  for (auto& s : sub) s = CMat(block.rows(), n_win);
-  CVec window(k);
-  for (std::size_t m = 0; m < block.rows(); ++m) {
+  std::vector<CMat> local_sub;
+  std::vector<CMat>& sub = scratch ? scratch->sub : local_sub;
+  if (sub.size() < k) sub.resize(k);
+  for (std::size_t b = 0; b < k; ++b) sub[b].resize(conditioned.rows(), n_win);
+  CVec local_window;
+  CVec& window = scratch ? scratch->window : local_window;
+  window.resize(k);
+  for (std::size_t m = 0; m < conditioned.rows(); ++m) {
     for (std::size_t t = 0; t < n_win; ++t) {
-      for (std::size_t i = 0; i < k; ++i) window[i] = block(m, t * k + i);
+      for (std::size_t i = 0; i < k; ++i) {
+        window[i] = conditioned(m, det.start + t * k + i);
+      }
       fft_inplace(window);
       for (std::size_t b = 0; b < k; ++b) {
         sub[b](m, t) = window[(b + k / 2) % k];
@@ -274,8 +305,9 @@ ReceivedPacket AccessPoint::assemble(
 }
 
 std::optional<ReceivedPacket> AccessPoint::demodulate(
-    const CMat& conditioned, const PacketDetection& det) const {
-  auto prep = prepare(conditioned, det);
+    const CMat& conditioned, const PacketDetection& det,
+    FrameScratch* scratch) const {
+  auto prep = prepare(conditioned, det, scratch);
   if (!prep) return std::nullopt;
   std::vector<MusicResult> results;
   results.reserve(prep->bands.size());

@@ -1,6 +1,6 @@
 #include "sa/secure/streaming.hpp"
 
-#include <algorithm>
+#include <atomic>
 
 #include "sa/common/error.hpp"
 #include "sa/phy/ofdm.hpp"
@@ -8,27 +8,23 @@
 namespace sa {
 
 StreamingReceiver::StreamingReceiver(AccessPoint& ap, StreamingConfig config)
-    : ap_(ap), config_(config) {
+    : ap_(ap),
+      config_(config),
+      cond_(ap.config().geometry.size()),
+      detector_(ap.detector().config()) {
   SA_EXPECTS(config_.history_samples > kPreambleLen + config_.tail_guard);
   SA_EXPECTS(config_.max_packet_samples < config_.history_samples);
-  const std::size_t n_ant = ap_.config().geometry.size();
-  buffer_ = CMat(n_ant, 0);
 }
 
 StreamingReceiver::Scan StreamingReceiver::scan(const CMat* chunk) {
   const std::size_t prev_seen = base_ + buffered_cols_;
   if (chunk != nullptr) {
     SA_EXPECTS(chunk->rows() == ap_.config().geometry.size());
-    CMat grown(buffer_.rows(), buffered_cols_ + chunk->cols());
-    for (std::size_t m = 0; m < buffer_.rows(); ++m) {
-      for (std::size_t t = 0; t < buffered_cols_; ++t) {
-        grown(m, t) = buffer_(m, t);
-      }
-      for (std::size_t t = 0; t < chunk->cols(); ++t) {
-        grown(m, buffered_cols_ + t) = (*chunk)(m, t);
-      }
-    }
-    buffer_ = std::move(grown);
+    // Append the raw chunk, then condition exactly the new columns: the
+    // history prefix was conditioned when it arrived and its values are
+    // immutable from then on.
+    cond_.append(*chunk);
+    ap_.condition_cols(cond_, buffered_cols_, buffered_cols_ + chunk->cols());
     buffered_cols_ += chunk->cols();
   }
 
@@ -37,12 +33,38 @@ StreamingReceiver::Scan StreamingReceiver::scan(const CMat* chunk) {
   out.seen = base_ + buffered_cols_;
   out.prev_seen = prev_seen;
   if (buffered_cols_ < kPreambleLen + kSymbolLen) return out;
-  out.conditioned = std::make_shared<const CMat>(ap_.condition(buffer_));
-  for (const auto& det : ap_.detect(*out.conditioned)) {
+
+  // Incremental detection over the conditioned reference row: identical
+  // output to running the full detector over the window, with the
+  // fine-timing searches memoized across scans.
+  for (const auto& det : detector_.scan(cond_.row(0), buffered_cols_, base_)) {
     const std::size_t abs_start = base_ + det.start;
     if (abs_start < emit_watermark_) continue;  // already emitted
     out.candidates.push_back({abs_start, det});
   }
+  if (out.candidates.empty()) return out;  // nothing would read a snapshot
+
+  // Snapshot the conditioned window for the demodulate workers — a plain
+  // per-row copy, no conditioning math, into a recycled allocation when
+  // a previous scan's snapshot has been released by every consumer.
+  std::shared_ptr<CMat> snapshot;
+  for (auto& pooled : snapshot_pool_) {
+    if (pooled.use_count() == 1) {
+      // A pipelined caller's workers drop their references on other
+      // threads; pair an acquire fence with the control counter's
+      // release decrement so their final reads are ordered before the
+      // overwrite below.
+      std::atomic_thread_fence(std::memory_order_acquire);
+      snapshot = pooled;
+      break;
+    }
+  }
+  if (!snapshot) {
+    snapshot = std::make_shared<CMat>();
+    if (snapshot_pool_.size() < 8) snapshot_pool_.push_back(snapshot);
+  }
+  cond_.materialize(*snapshot);
+  out.conditioned = snapshot;
   return out;
 }
 
@@ -80,7 +102,7 @@ std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::commit(
 
   if (final_pass) {
     base_ += buffered_cols_;
-    buffer_ = CMat(buffer_.rows(), 0);
+    cond_.clear();
     buffered_cols_ = 0;
   } else {
     trim();
@@ -112,13 +134,7 @@ std::vector<StreamingReceiver::StreamPacket> StreamingReceiver::flush() {
 void StreamingReceiver::trim() {
   if (buffered_cols_ <= config_.history_samples) return;
   const std::size_t drop = buffered_cols_ - config_.history_samples;
-  CMat kept(buffer_.rows(), config_.history_samples);
-  for (std::size_t m = 0; m < buffer_.rows(); ++m) {
-    for (std::size_t t = 0; t < config_.history_samples; ++t) {
-      kept(m, t) = buffer_(m, drop + t);
-    }
-  }
-  buffer_ = std::move(kept);
+  cond_.drop_front(drop);
   buffered_cols_ = config_.history_samples;
   base_ += drop;
 }

@@ -449,5 +449,42 @@ TEST(TwoAntenna, BreaksUnderMultipath) {
   EXPECT_GT(std::abs(est - 35.0), 5.0);
 }
 
+// ------------------------------------- covariance scratch/range variants
+
+TEST(Covariance, ColsAndIntoVariantsBitIdentical) {
+  Rng rng(41);
+  CMat samples(6, 300);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t t = 0; t < 300; ++t) {
+      samples(i, t) = rng.complex_normal(1.0);
+    }
+  }
+  const struct {
+    std::size_t begin, end;
+  } ranges[] = {{0, 300}, {17, 230}, {299, 300}, {100, 101}};
+  for (const auto& range : ranges) {
+    SCOPED_TRACE(range.begin);
+    // Reference: materialize the block, then the original estimator.
+    CMat block(6, range.end - range.begin);
+    for (std::size_t i = 0; i < 6; ++i) {
+      for (std::size_t t = range.begin; t < range.end; ++t) {
+        block(i, t - range.begin) = samples(i, t);
+      }
+    }
+    const CMat want = sample_covariance(block);
+    const CMat got = sample_covariance_cols(samples, range.begin, range.end);
+    CMat reused(3, 3);  // wrong shape on purpose: must be resized
+    sample_covariance_into(block, reused);
+    ASSERT_EQ(got.rows(), want.rows());
+    ASSERT_EQ(reused.rows(), want.rows());
+    for (std::size_t i = 0; i < want.data().size(); ++i) {
+      ASSERT_EQ(got.data()[i], want.data()[i]);
+      ASSERT_EQ(reused.data()[i], want.data()[i]);
+    }
+  }
+  EXPECT_THROW(sample_covariance_cols(samples, 10, 10), InvalidArgument);
+  EXPECT_THROW(sample_covariance_cols(samples, 0, 301), InvalidArgument);
+}
+
 }  // namespace
 }  // namespace sa

@@ -80,6 +80,40 @@ TEST(Fft, ParsevalProperty) {
   EXPECT_NEAR(energy(f) / 128.0, time_energy, 1e-8);
 }
 
+TEST(Fft, MatchesDirectDftAtSubbandSizes) {
+  // The wideband subband split (AccessPoint::prepare) routes its
+  // length-K windows through the radix-2 fft_inplace instead of a direct
+  // O(K^2) DFT. The two are the same linear transform evaluated with
+  // different summation orders, so the results agree to a few ulps per
+  // butterfly stage rather than bit-exactly; a 1e-12 relative bound is
+  // ~1e3 times the worst accumulated rounding at K = 64 and far below
+  // anything the per-band covariance (averaged over hundreds of
+  // windows) could resolve.
+  Rng rng(55);
+  for (std::size_t k : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    SCOPED_TRACE(k);
+    CVec x(k);
+    double scale = 0.0;
+    for (auto& v : x) {
+      v = rng.complex_normal(1.0);
+      scale = std::max(scale, std::abs(v));
+    }
+    const CVec fast = fft(x);
+    for (std::size_t bin = 0; bin < k; ++bin) {
+      cd direct{0.0, 0.0};
+      for (std::size_t n = 0; n < k; ++n) {
+        const double ang =
+            -kTwoPi * static_cast<double>(bin * n) / static_cast<double>(k);
+        direct += x[n] * cd{std::cos(ang), std::sin(ang)};
+      }
+      EXPECT_NEAR(fast[bin].real(), direct.real(),
+                  1e-12 * static_cast<double>(k) * scale);
+      EXPECT_NEAR(fast[bin].imag(), direct.imag(),
+                  1e-12 * static_cast<double>(k) * scale);
+    }
+  }
+}
+
 TEST(Fft, RejectsNonPowerOfTwo) {
   CVec x(48);
   EXPECT_THROW(fft_inplace(x), InvalidArgument);

@@ -8,6 +8,7 @@
 #include "sa/common/error.hpp"
 #include "sa/common/rng.hpp"
 #include "sa/linalg/cmat.hpp"
+#include "sa/linalg/column_ring.hpp"
 #include "sa/linalg/cvec.hpp"
 #include "sa/linalg/eig.hpp"
 #include "sa/linalg/lu.hpp"
@@ -325,6 +326,91 @@ TEST(Lu, QuadraticFormMatchesDirect) {
   const cd direct = inner(a, r * a);
   EXPECT_NEAR(q, direct.real(), 1e-10);
   EXPECT_NEAR(direct.imag(), 0.0, 1e-10);  // Hermitian form is real
+}
+
+// ----------------------------------------------------------- column ring
+
+CMat random_chunk(std::size_t rows, std::size_t cols, Rng& rng) {
+  CMat m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.complex_normal(1.0);
+  }
+  return m;
+}
+
+TEST(ColumnRing, AppendDropMaterializeMatchesReference) {
+  // Random append/drop schedule; the ring's window must always equal a
+  // naive reference (deque-of-columns) — including across the internal
+  // compactions and regrows the schedule forces.
+  Rng rng(31);
+  const std::size_t rows = 4;
+  ColumnRing ring(rows);
+  std::vector<CVec> reference;  // one CVec per column
+  for (int step = 0; step < 200; ++step) {
+    const std::size_t add = static_cast<std::size_t>(rng.uniform_int(0, 40));
+    const CMat chunk = random_chunk(rows, add, rng);
+    ring.append(chunk);
+    for (std::size_t c = 0; c < add; ++c) {
+      CVec col(rows);
+      for (std::size_t r = 0; r < rows; ++r) col[r] = chunk(r, c);
+      reference.push_back(std::move(col));
+    }
+    if (reference.size() > 60) {
+      const std::size_t drop = reference.size() - 60;
+      ring.drop_front(drop);
+      reference.erase(reference.begin(),
+                      reference.begin() + static_cast<std::ptrdiff_t>(drop));
+    }
+    ASSERT_EQ(ring.cols(), reference.size());
+    CMat snap;
+    ring.materialize(snap);
+    ASSERT_EQ(snap.rows(), rows);
+    ASSERT_EQ(snap.cols(), reference.size());
+    for (std::size_t c = 0; c < reference.size(); ++c) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        ASSERT_EQ(snap(r, c), reference[c][r]) << "step " << step;
+        ASSERT_EQ(ring.at(r, c), reference[c][r]);
+        ASSERT_EQ(ring.row(r)[c], reference[c][r]);
+      }
+    }
+  }
+}
+
+TEST(ColumnRing, ChunkLargerThanWindowAndClear) {
+  Rng rng(32);
+  ColumnRing ring(2);
+  ring.append(random_chunk(2, 10, rng));
+  const CMat big = random_chunk(2, 500, rng);
+  ring.append(big);
+  EXPECT_EQ(ring.cols(), 510u);
+  ring.drop_front(505);
+  EXPECT_EQ(ring.cols(), 5u);
+  for (std::size_t c = 0; c < 5; ++c) {
+    EXPECT_EQ(ring.at(0, c), big(0, 495 + c));
+  }
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_GT(ring.capacity(), 0u);  // allocation retained
+  ring.append(random_chunk(2, 3, rng));
+  EXPECT_EQ(ring.cols(), 3u);
+}
+
+TEST(ColumnRing, RejectsMismatchedRows) {
+  Rng rng(33);
+  ColumnRing ring(3);
+  EXPECT_THROW(ring.append(random_chunk(2, 4, rng)), InvalidArgument);
+  ring.append(random_chunk(3, 4, rng));
+  EXPECT_THROW(ring.drop_front(5), InvalidArgument);
+}
+
+TEST(CMatResize, ReusesAllocationAndReshapes) {
+  CMat m(4, 8);
+  m(3, 7) = cd{1.0, 2.0};
+  m.resize(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m.resize(5, 5);
+  EXPECT_EQ(m.data().size(), 25u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "sa/common/constants.hpp"
 #include "sa/common/error.hpp"
 #include "sa/common/rng.hpp"
 #include "sa/dsp/noise.hpp"
@@ -11,6 +12,7 @@
 #include "sa/phy/bits.hpp"
 #include "sa/phy/convolutional.hpp"
 #include "sa/phy/detector.hpp"
+#include "sa/phy/incremental_detector.hpp"
 #include "sa/phy/interleaver.hpp"
 #include "sa/phy/modulation.hpp"
 #include "sa/phy/ofdm.hpp"
@@ -553,6 +555,105 @@ TEST(Packet, DetectThenDecodeWithCfo) {
   const auto decoded = receiver.decode(aligned);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(decoded->psdu, psdu);
+}
+
+// ------------------------------------------- incremental detection
+
+/// A stream that exercises every decision branch: noise, three real
+/// packets, and a lag-16-periodic interference burst (a Schmidl-Cox
+/// plateau with no LTF behind it, taking the fine-threshold skip).
+CVec build_mixed_stream(Rng& rng) {
+  const PacketTransmitter tx(PhyRate::k6Mbps);
+  const double npow = 1e-2;
+  auto add_noise = [&](CVec& s, std::size_t n) {
+    const CVec w = awgn(n, npow, rng);
+    s.insert(s.end(), w.begin(), w.end());
+  };
+  auto add_packet = [&](CVec& s, std::size_t psdu_len) {
+    CVec wave = tx.transmit(random_bytes(psdu_len, rng));
+    for (cd& v : wave) v *= 3.0;  // ~30 dB over the noise floor
+    s.insert(s.end(), wave.begin(), wave.end());
+  };
+  CVec s;
+  add_noise(s, 700);
+  add_packet(s, 48);
+  add_noise(s, 900);
+  // Interference: perfectly lag-16 periodic, so the coarse metric
+  // plateaus near 1 with no LTF to confirm.
+  for (std::size_t t = 0; t < 320; ++t) {
+    const double ph = kTwoPi * static_cast<double>(t % 16) / 16.0;
+    s.push_back(cd{0.4 * std::cos(ph), 0.4 * std::sin(ph)});
+  }
+  add_noise(s, 600);
+  add_packet(s, 120);
+  add_noise(s, 1400);
+  add_packet(s, 24);
+  add_noise(s, 500);
+  return s;
+}
+
+TEST(IncrementalDetector, BitIdenticalToFullDetectorAcrossWindows) {
+  // Drive the incremental detector through the streaming receiver's
+  // window schedule — append a chunk, scan, trim to the history bound —
+  // and hold every scan against SchmidlCoxDetector::detect run fresh
+  // over the identical window. Every field of every detection must be
+  // bit-identical (EXPECT_EQ on doubles), across chunk sizes including
+  // 1-sample, prime, and larger-than-history chunks.
+  const std::size_t history = 2500;
+  for (std::uint64_t seed : {21u, 22u}) {
+    for (std::size_t chunk : {1u, 97u, 800u, 4096u}) {
+      SCOPED_TRACE(testing::Message() << "seed " << seed << " chunk " << chunk);
+      Rng rng(seed);
+      const CVec stream = build_mixed_stream(rng);
+      // 1-sample chunks replay the whole coarse recurrence per scan;
+      // keep that case affordable with a shorter stream.
+      const std::size_t total =
+          chunk == 1 ? std::min<std::size_t>(stream.size(), 1600)
+                     : stream.size();
+
+      const SchmidlCoxDetector full;
+      IncrementalScDetector inc(full.config());
+      std::size_t base = 0, len = 0;
+      while (base + len < total) {
+        const std::size_t add = std::min(chunk, total - base - len);
+        len += add;
+        const auto got = inc.scan(stream.data() + base, len, base);
+        const CVec window(stream.begin() + static_cast<std::ptrdiff_t>(base),
+                          stream.begin() +
+                              static_cast<std::ptrdiff_t>(base + len));
+        const auto want = full.detect(window);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < want.size(); ++i) {
+          SCOPED_TRACE(i);
+          EXPECT_EQ(got[i].start, want[i].start);
+          EXPECT_EQ(got[i].metric, want[i].metric);
+          EXPECT_EQ(got[i].cfo_hz, want[i].cfo_hz);
+          EXPECT_EQ(got[i].fine_peak, want[i].fine_peak);
+        }
+        if (len > history) {
+          base += len - history;
+          len = history;
+        }
+      }
+      if (chunk <= 800 && total == stream.size()) {
+        // The memo must actually be doing the work: packets that stay in
+        // the history window across many scans re-use their fine search
+        // instead of re-running it.
+        EXPECT_GT(inc.fine_cache_hits(), inc.fine_searches_run());
+      }
+    }
+  }
+}
+
+TEST(IncrementalDetector, EmptyAndShortWindows) {
+  IncrementalScDetector inc{DetectorConfig{}};
+  Rng rng(5);
+  const CVec noise = awgn(600, 1.0, rng);
+  // Below the detector's minimum window: no detections, like detect().
+  EXPECT_TRUE(inc.scan(noise.data(), kPreambleLen + 100, 0).empty());
+  EXPECT_TRUE(inc.scan(noise.data(), noise.size(), 0).empty());
+  inc.reset();
+  EXPECT_EQ(inc.fine_cache_size(), 0u);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "sa/dsp/noise.hpp"
 #include "sa/mac/frame.hpp"
 #include "sa/phy/packet.hpp"
+#include "sa/phy/ofdm.hpp"
 #include "sa/secure/streaming.hpp"
 #include "sa/signature/metrics.hpp"
 
@@ -302,6 +303,397 @@ TEST(Streaming, CommitBehindScheduleEmitsIdenticalStream) {
     }
     EXPECT_EQ(emitted[i].packet.bearing_array_deg,
               expected[i].packet.bearing_array_deg);
+  }
+}
+
+// --------------------------------------------- incremental hot path
+
+/// Bit-exact replica of the pre-incremental receiver: grow-copy the raw
+/// buffer on append, re-run AccessPoint::condition over the whole
+/// history every scan, full detection, full-copy trim. This is the
+/// oracle the ring-buffer / incremental scan path must match byte for
+/// byte on every chunk schedule.
+class LegacyReceiver {
+ public:
+  LegacyReceiver(AccessPoint& ap, StreamingConfig config)
+      : ap_(ap), config_(config) {
+    buffer_ = CMat(ap_.config().geometry.size(), 0);
+  }
+
+  StreamingReceiver::Scan scan(const CMat* chunk) {
+    const std::size_t prev_seen = base_ + buffered_cols_;
+    if (chunk != nullptr) {
+      CMat grown(buffer_.rows(), buffered_cols_ + chunk->cols());
+      for (std::size_t m = 0; m < buffer_.rows(); ++m) {
+        for (std::size_t t = 0; t < buffered_cols_; ++t) {
+          grown(m, t) = buffer_(m, t);
+        }
+        for (std::size_t t = 0; t < chunk->cols(); ++t) {
+          grown(m, buffered_cols_ + t) = (*chunk)(m, t);
+        }
+      }
+      buffer_ = std::move(grown);
+      buffered_cols_ += chunk->cols();
+    }
+    StreamingReceiver::Scan out;
+    out.base = base_;
+    out.seen = base_ + buffered_cols_;
+    out.prev_seen = prev_seen;
+    if (buffered_cols_ < kPreambleLen + kSymbolLen) return out;
+    out.conditioned = std::make_shared<const CMat>(ap_.condition(buffer_));
+    for (const auto& det : ap_.detect(*out.conditioned)) {
+      const std::size_t abs_start = base_ + det.start;
+      if (abs_start < emit_watermark_) continue;
+      out.candidates.push_back({abs_start, det});
+    }
+    return out;
+  }
+
+  std::vector<StreamingReceiver::StreamPacket> commit(
+      const StreamingReceiver::Scan& scan,
+      std::vector<std::optional<ReceivedPacket>> processed, bool final_pass) {
+    std::vector<StreamingReceiver::StreamPacket> out;
+    for (std::size_t i = 0; i < scan.candidates.size(); ++i) {
+      const auto& cand = scan.candidates[i];
+      if (cand.absolute_start < emit_watermark_) continue;
+      if (!processed[i]) continue;
+      ReceivedPacket& pkt = *processed[i];
+      const std::size_t projected_end =
+          cand.absolute_start +
+          (pkt.phy ? pkt.phy->samples_consumed : kPreambleLen + kSymbolLen);
+      if (!final_pass && !pkt.phy &&
+          cand.absolute_start + config_.max_packet_samples > scan.seen) {
+        continue;
+      }
+      emit_watermark_ = projected_end;
+      out.push_back({cand.absolute_start, std::move(pkt)});
+    }
+    if (final_pass) {
+      base_ += buffered_cols_;
+      buffer_ = CMat(buffer_.rows(), 0);
+      buffered_cols_ = 0;
+    } else if (buffered_cols_ > config_.history_samples) {
+      const std::size_t drop = buffered_cols_ - config_.history_samples;
+      CMat kept(buffer_.rows(), config_.history_samples);
+      for (std::size_t m = 0; m < buffer_.rows(); ++m) {
+        for (std::size_t t = 0; t < config_.history_samples; ++t) {
+          kept(m, t) = buffer_(m, drop + t);
+        }
+      }
+      buffer_ = std::move(kept);
+      buffered_cols_ = config_.history_samples;
+      base_ += drop;
+    }
+    return out;
+  }
+
+  std::vector<StreamingReceiver::StreamPacket> push(const CMat& chunk) {
+    auto s = scan(&chunk);
+    std::vector<std::optional<ReceivedPacket>> processed;
+    for (const auto& cand : s.candidates) {
+      processed.push_back(ap_.demodulate(*s.conditioned, cand.detection));
+    }
+    return commit(s, std::move(processed), false);
+  }
+
+  std::vector<StreamingReceiver::StreamPacket> flush() {
+    auto s = scan(nullptr);
+    std::vector<std::optional<ReceivedPacket>> processed;
+    for (const auto& cand : s.candidates) {
+      processed.push_back(ap_.demodulate(*s.conditioned, cand.detection));
+    }
+    return commit(s, std::move(processed), true);
+  }
+
+  std::size_t emit_watermark() const { return emit_watermark_; }
+
+ private:
+  AccessPoint& ap_;
+  StreamingConfig config_;
+  CMat buffer_;
+  std::size_t buffered_cols_ = 0;
+  std::size_t base_ = 0;
+  std::size_t emit_watermark_ = 0;
+};
+
+void expect_packets_bit_identical(
+    const std::vector<StreamingReceiver::StreamPacket>& got,
+    const std::vector<StreamingReceiver::StreamPacket>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(got[i].absolute_start, want[i].absolute_start);
+    const ReceivedPacket& g = got[i].packet;
+    const ReceivedPacket& w = want[i].packet;
+    // Detection fields bit-exact (EXPECT_EQ on doubles).
+    EXPECT_EQ(g.detection.start, w.detection.start);
+    EXPECT_EQ(g.detection.metric, w.detection.metric);
+    EXPECT_EQ(g.detection.cfo_hz, w.detection.cfo_hz);
+    EXPECT_EQ(g.detection.fine_peak, w.detection.fine_peak);
+    // Decode and AoA results bit-exact.
+    ASSERT_EQ(g.phy.has_value(), w.phy.has_value());
+    if (w.phy) EXPECT_EQ(g.phy->psdu, w.phy->psdu);
+    ASSERT_EQ(g.frame.has_value(), w.frame.has_value());
+    if (w.frame) EXPECT_EQ(g.frame->sequence, w.frame->sequence);
+    EXPECT_EQ(g.bearing_array_deg, w.bearing_array_deg);
+    ASSERT_EQ(g.signature.spectrum().size(), w.signature.spectrum().size());
+    for (std::size_t s = 0; s < w.signature.spectrum().size(); ++s) {
+      ASSERT_EQ(g.signature.spectrum().values()[s],
+                w.signature.spectrum().values()[s]);
+    }
+    ASSERT_EQ(g.subband.num_bands(), w.subband.num_bands());
+  }
+}
+
+/// Concatenate noise-led captures into one long stream.
+CMat build_long_capture(StreamRig& rig, std::size_t packets) {
+  std::vector<CMat> caps;
+  for (std::uint16_t s = 0; s < packets; ++s) {
+    caps.push_back(rig.capture(400 + 300 * (s % 3), s));
+  }
+  std::size_t total = 0;
+  for (const auto& c : caps) total += c.cols();
+  CMat all(caps[0].rows(), total);
+  std::size_t at = 0;
+  for (const auto& c : caps) {
+    for (std::size_t m = 0; m < c.rows(); ++m) {
+      for (std::size_t t = 0; t < c.cols(); ++t) all(m, at + t) = c(m, t);
+    }
+    at += c.cols();
+  }
+  return all;
+}
+
+TEST(Streaming, IncrementalBitIdenticalToLegacyAcrossChunkSchedules) {
+  // The tentpole invariant: the ring-buffer + incremental-conditioning +
+  // incremental-detection scan path emits a packet stream byte-identical
+  // to the pre-incremental receiver for every chunk schedule — fixed
+  // chunks (prime and power-of-two), a chunk larger than the whole
+  // history (multi-window trim in one commit), and a ragged cycle
+  // crossing every compaction boundary.
+  StreamRig rig;
+  StreamingConfig cfg;
+  cfg.history_samples = 2500;
+  cfg.max_packet_samples = 2200;
+  const CMat all = build_long_capture(rig, 3);
+
+  const std::vector<std::vector<std::size_t>> schedules = {
+      {97},    // prime, far smaller than a packet
+      {800},   // the WARP-ish sub-packet chunk
+      {4096},  // larger than history_samples: trim drops a whole window
+      {13, 701, 1, 2048, 333},  // ragged cycle
+  };
+  for (const auto& sched : schedules) {
+    SCOPED_TRACE(testing::Message() << "chunk schedule [" << sched[0] << "...]");
+    StreamingReceiver incremental(rig.ap, cfg);
+    LegacyReceiver legacy(rig.ap, cfg);
+    std::size_t at = 0, step = 0;
+    while (at < all.cols()) {
+      const std::size_t want_chunk = sched[step++ % sched.size()];
+      const std::size_t end = std::min(at + want_chunk, all.cols());
+      const CMat chunk = StreamRig::columns(all, at, end);
+      at = end;
+      expect_packets_bit_identical(incremental.push(chunk),
+                                   legacy.push(chunk));
+      ASSERT_EQ(incremental.emit_watermark(), legacy.emit_watermark());
+      ASSERT_EQ(incremental.samples_seen(), at);
+    }
+    expect_packets_bit_identical(incremental.flush(), legacy.flush());
+    ASSERT_EQ(incremental.emit_watermark(), legacy.emit_watermark());
+  }
+}
+
+TEST(Streaming, IncrementalBitIdenticalToLegacyOneSampleChunks) {
+  // 1-sample chunks: thousands of scans over a short stream, hammering
+  // the append/trim boundaries and the origin-dependent coarse
+  // recurrences one column at a time.
+  StreamRig rig;
+  StreamingConfig cfg;
+  cfg.history_samples = 900;
+  cfg.max_packet_samples = 850;
+  const CMat all = build_long_capture(rig, 1);
+  const std::size_t total = std::min<std::size_t>(all.cols(), 1400);
+
+  StreamingReceiver incremental(rig.ap, cfg);
+  LegacyReceiver legacy(rig.ap, cfg);
+  for (std::size_t at = 0; at < total; ++at) {
+    const CMat chunk = StreamRig::columns(all, at, at + 1);
+    expect_packets_bit_identical(incremental.push(chunk), legacy.push(chunk));
+    ASSERT_EQ(incremental.emit_watermark(), legacy.emit_watermark());
+  }
+  expect_packets_bit_identical(incremental.flush(), legacy.flush());
+}
+
+TEST(Streaming, IncrementalBitIdenticalToLegacyCommitBehind) {
+  // Commit-behind schedule (the pipelined session's interleave): all
+  // scans run ahead, then the commits land behind them in order. Both
+  // implementations walk the identical schedule and must agree bit for
+  // bit — scan coordinates, candidate lists, snapshots, emissions.
+  StreamRig rig;
+  StreamingConfig cfg;
+  cfg.history_samples = 2500;
+  cfg.max_packet_samples = 2200;
+  const CMat all = build_long_capture(rig, 2);
+  std::vector<CMat> chunks;
+  for (std::size_t at = 0; at < all.cols(); at += 900) {
+    chunks.push_back(StreamRig::columns(all, at, std::min(at + 900, all.cols())));
+  }
+
+  StreamingReceiver incremental(rig.ap, cfg);
+  LegacyReceiver legacy(rig.ap, cfg);
+  std::vector<StreamingReceiver::Scan> inc_scans, leg_scans;
+  for (const auto& c : chunks) {
+    inc_scans.push_back(incremental.scan(&c));
+    leg_scans.push_back(legacy.scan(&c));
+  }
+  inc_scans.push_back(incremental.scan(nullptr));
+  leg_scans.push_back(legacy.scan(nullptr));
+
+  for (std::size_t s = 0; s < inc_scans.size(); ++s) {
+    SCOPED_TRACE(s);
+    ASSERT_EQ(inc_scans[s].base, leg_scans[s].base);
+    ASSERT_EQ(inc_scans[s].seen, leg_scans[s].seen);
+    ASSERT_EQ(inc_scans[s].candidates.size(), leg_scans[s].candidates.size());
+    // Snapshots bit-identical whenever they exist. The incremental path
+    // skips the snapshot for candidate-free scans (nothing reads it);
+    // the legacy oracle always materialized one.
+    if (inc_scans[s].candidates.empty()) {
+      ASSERT_TRUE(inc_scans[s].conditioned == nullptr);
+    }
+    if (leg_scans[s].conditioned && inc_scans[s].conditioned) {
+      const CMat& a = *inc_scans[s].conditioned;
+      const CMat& b = *leg_scans[s].conditioned;
+      ASSERT_EQ(a.rows(), b.rows());
+      ASSERT_EQ(a.cols(), b.cols());
+      for (std::size_t i = 0; i < a.data().size(); ++i) {
+        ASSERT_EQ(a.data()[i], b.data()[i]);
+      }
+    }
+    auto run_commit = [&](auto& rx, const StreamingReceiver::Scan& scan) {
+      std::vector<std::optional<ReceivedPacket>> processed(
+          scan.candidates.size());
+      for (std::size_t i = 0; i < scan.candidates.size(); ++i) {
+        const auto& cand = scan.candidates[i];
+        if (cand.absolute_start < rx.emit_watermark()) continue;
+        processed[i] =
+            rig.ap.demodulate(*scan.conditioned, cand.detection);
+      }
+      return rx.commit(scan, std::move(processed),
+                       s + 1 == inc_scans.size());
+    };
+    expect_packets_bit_identical(run_commit(incremental, inc_scans[s]),
+                                 run_commit(legacy, leg_scans[s]));
+  }
+}
+
+TEST(Streaming, ScratchDemodulateBitIdentical) {
+  // The per-worker FrameScratch path must produce bit-identical packets
+  // to the allocating path — including when the scratch is dirty from a
+  // previous, larger frame.
+  StreamRig rig;
+  StreamingReceiver rx(rig.ap);
+  const CMat cap = rig.capture(500, 9);
+  auto scan = rx.scan(&cap);
+  ASSERT_FALSE(scan.candidates.empty());
+  AccessPoint::FrameScratch scratch;
+  scratch.aligned.assign(9000, cd{1.0, -1.0});  // dirty, oversized
+  scratch.sub.resize(8, CMat(8, 977));
+  for (const auto& cand : scan.candidates) {
+    const auto plain = rig.ap.demodulate(*scan.conditioned, cand.detection);
+    const auto reused =
+        rig.ap.demodulate(*scan.conditioned, cand.detection, &scratch);
+    const auto again =  // scratch now dirty from this very frame
+        rig.ap.demodulate(*scan.conditioned, cand.detection, &scratch);
+    ASSERT_EQ(plain.has_value(), reused.has_value());
+    ASSERT_EQ(plain.has_value(), again.has_value());
+    if (!plain) continue;
+    for (const auto* p : {&*reused, &*again}) {
+      EXPECT_EQ(p->bearing_array_deg, plain->bearing_array_deg);
+      ASSERT_EQ(p->phy.has_value(), plain->phy.has_value());
+      if (plain->phy) EXPECT_EQ(p->phy->psdu, plain->phy->psdu);
+      ASSERT_EQ(p->signature.spectrum().size(),
+                plain->signature.spectrum().size());
+      for (std::size_t i = 0; i < plain->signature.spectrum().size(); ++i) {
+        ASSERT_EQ(p->signature.spectrum().values()[i],
+                  plain->signature.spectrum().values()[i]);
+      }
+    }
+  }
+}
+
+TEST(Streaming, ScratchPrepareBitIdenticalWideband) {
+  // Wideband (subbands = 4): the scratch path reuses the subband
+  // snapshot matrices and FFT window across frames; the per-band
+  // covariance contexts must come out bit-identical.
+  Rng rng(77);
+  AccessPointConfig cfg;
+  cfg.subbands = 4;
+  AccessPoint ap(cfg, rng);
+  ChannelSimulator sim([] {
+    ChannelConfig ch;
+    ch.noise_power = 1e-6;
+    return ch;
+  }());
+  RayTracer tracer;
+  Floorplan empty;
+  const auto paths = tracer.trace({12.0, 0.0}, {0.0, 0.0}, empty);
+  const Frame f = Frame::data(MacAddress::from_index(1),
+                              MacAddress::from_index(2), Bytes{7, 7}, 0);
+  const CVec wave = PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
+  const CMat rx = sim.propagate(wave, paths, ap.placement(), rng);
+  const CMat conditioned = ap.condition(rx);
+  const auto dets = ap.detect(conditioned);
+  ASSERT_FALSE(dets.empty());
+
+  AccessPoint::FrameScratch scratch;
+  for (int pass = 0; pass < 2; ++pass) {  // second pass: dirty scratch
+    const auto plain = ap.prepare(conditioned, dets[0]);
+    const auto reused = ap.prepare(conditioned, dets[0], &scratch);
+    ASSERT_EQ(plain.has_value(), reused.has_value());
+    if (!plain) continue;
+    ASSERT_EQ(reused->bands.size(), plain->bands.size());
+    ASSERT_EQ(plain->bands.size(), 4u);
+    for (std::size_t b = 0; b < plain->bands.size(); ++b) {
+      const CMat& ra = reused->bands[b].covariance();
+      const CMat& rb = plain->bands[b].covariance();
+      ASSERT_EQ(ra.rows(), rb.rows());
+      for (std::size_t i = 0; i < ra.data().size(); ++i) {
+        ASSERT_EQ(ra.data()[i], rb.data()[i]);
+      }
+      EXPECT_EQ(reused->bands[b].lambda_m(), plain->bands[b].lambda_m());
+    }
+    ASSERT_EQ(reused->phy.has_value(), plain->phy.has_value());
+    if (plain->phy) EXPECT_EQ(reused->phy->psdu, plain->phy->psdu);
+  }
+}
+
+TEST(Streaming, ConditionColsBitIdenticalToFullCondition) {
+  StreamRig rig;
+  const CMat cap = rig.capture(300, 2);
+  // Condition the capture in ragged column slices through a ring...
+  ColumnRing ring(cap.rows());
+  std::size_t done = 0;
+  const std::size_t cuts[] = {1, 137, 512, 63};
+  std::size_t i = 0;
+  while (done < cap.cols()) {
+    const std::size_t end = std::min(done + cuts[i++ % 4], cap.cols());
+    ring.append(StreamRig::columns(cap, done, end));
+    rig.ap.condition_cols(ring, done, end);
+    done = end;
+  }
+  // ...and against one whole-buffer pass.
+  const CMat full = rig.ap.condition(cap);
+  CMat snap;
+  ring.materialize(snap);
+  ASSERT_EQ(snap.cols(), full.cols());
+  for (std::size_t t = 0; t < full.data().size(); ++t) {
+    ASSERT_EQ(snap.data()[t], full.data()[t]);
+  }
+  // condition_inplace agrees with condition().
+  CMat inplace = cap;
+  rig.ap.condition_inplace(inplace);
+  for (std::size_t t = 0; t < full.data().size(); ++t) {
+    ASSERT_EQ(inplace.data()[t], full.data()[t]);
   }
 }
 

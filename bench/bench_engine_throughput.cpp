@@ -29,6 +29,13 @@
 //                generous floor derived from the checked-in baseline, so
 //                a catastrophic scan-path regression fails the job while
 //                ordinary CI noise never does.
+//   --require-scaling  scaling tripwire (needs --pipelined): the
+//                pipelined frames/sec at the highest thread count that
+//                actually fits the affinity mask must be >= the 1-thread
+//                pipelined frames/sec. Oversubscribed sweep points
+//                (threads > schedulable CPUs) are flagged in the JSON
+//                and excluded — a 2-vCPU CI runner timeslicing 8 workers
+//                measures the scheduler, not the dataplane.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +45,10 @@
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include "bench_common.hpp"
 #include "sa/aoa/covariance.hpp"
 #include "sa/engine/deployment.hpp"
@@ -46,6 +57,23 @@
 using namespace sa;
 
 namespace {
+
+/// CPUs this process may actually be scheduled on — on a containerized
+/// or cgroup-limited runner this is often smaller than
+/// hardware_concurrency(), and it is the honest bound for judging
+/// whether a thread-sweep point measured parallelism or timeslicing.
+std::size_t affinity_cpu_count() {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int n = CPU_COUNT(&set);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+#endif
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
 
 double run_once(DeploymentEngine& engine,
                 const std::vector<std::vector<CMat>>& rounds,
@@ -146,6 +174,7 @@ struct SweepRow {
   double fps = 0.0;
   double fps2 = 0.0;        // pipelined fps in the batch-vs-session sweep
   std::size_t extra = 0;    // overlap / subband count
+  SessionStats session;     // dataplane counters (pipelined sweep only)
 };
 
 struct BenchResults {
@@ -154,6 +183,7 @@ struct BenchResults {
   int packets = 0;
   std::size_t num_aps = 0;
   std::size_t max_threads = 0;
+  std::size_t affinity_cpus = 1;
   std::vector<SweepRow> threads_sweep;
   std::vector<SweepRow> pipelined_sweep;
   std::vector<SweepRow> estimator_sweep;
@@ -175,10 +205,14 @@ void write_json(const BenchResults& r, const char* path) {
                "  \"bench\": \"engine_throughput\",\n"
                "  \"config\": {\"smoke\": %s, \"pipelined\": %s, "
                "\"packets_per_client\": %d, \"aps\": %zu, "
-               "\"max_threads\": %zu, \"hardware_concurrency\": %u},\n",
+               "\"max_threads\": %zu, \"hardware_concurrency\": %u, "
+               "\"affinity_cpus\": %zu},\n",
                r.smoke ? "true" : "false", r.pipelined ? "true" : "false",
                r.packets, r.num_aps, r.max_threads,
-               std::thread::hardware_concurrency());
+               std::thread::hardware_concurrency(), r.affinity_cpus);
+  const auto oversub = [&](std::size_t threads) {
+    return threads > r.affinity_cpus ? "true" : "false";
+  };
   auto rows = [&](const char* name, const std::vector<SweepRow>& v,
                   auto&& one_row) {
     std::fprintf(f, "  \"%s\": [", name);
@@ -191,14 +225,20 @@ void write_json(const BenchResults& r, const char* path) {
     std::fprintf(f, "\n  ],\n");
   };
   rows("threads_sweep", r.threads_sweep, [&](const SweepRow& s) {
-    std::fprintf(f, "{\"threads\": %zu, \"frames\": %zu, \"fps\": %.2f}",
-                 s.threads, s.frames, s.fps);
+    std::fprintf(f,
+                 "{\"threads\": %zu, \"frames\": %zu, \"fps\": %.2f, "
+                 "\"oversubscribed\": %s}",
+                 s.threads, s.frames, s.fps, oversub(s.threads));
   });
   rows("pipelined_sweep", r.pipelined_sweep, [&](const SweepRow& s) {
     std::fprintf(f,
                  "{\"threads\": %zu, \"batch_fps\": %.2f, "
-                 "\"pipelined_fps\": %.2f, \"max_overlapped_rounds\": %zu}",
-                 s.threads, s.fps, s.fps2, s.extra);
+                 "\"pipelined_fps\": %.2f, \"max_overlapped_rounds\": %zu, "
+                 "\"oversubscribed\": %s, \"worker_bursts\": %zu, "
+                 "\"worker_jobs\": %zu, \"spin_polls\": %zu, \"parks\": %zu}",
+                 s.threads, s.fps, s.fps2, s.extra, oversub(s.threads),
+                 s.session.worker_bursts, s.session.worker_jobs,
+                 s.session.spin_polls, s.session.parks);
   });
   rows("estimator_sweep", r.estimator_sweep, [&](const SweepRow& s) {
     std::fprintf(f, "{\"estimator\": \"%s\", \"frames\": %zu, \"fps\": %.2f}",
@@ -234,6 +274,7 @@ void write_json(const BenchResults& r, const char* path) {
 int main(int argc, char** argv) {
   bool smoke = false;
   bool pipelined = false;
+  bool require_scaling = false;
   const char* json_path = nullptr;
   double min_fps = 0.0;
   std::vector<const char*> positional;
@@ -242,6 +283,8 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--pipelined") == 0) {
       pipelined = true;
+    } else if (std::strcmp(argv[i], "--require-scaling") == 0) {
+      require_scaling = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--min-fps") == 0 && i + 1 < argc) {
@@ -263,6 +306,7 @@ int main(int argc, char** argv) {
   results.packets = packets;
   results.num_aps = num_aps;
   results.max_threads = max_threads;
+  results.affinity_cpus = affinity_cpu_count();
 
   sa::bench::print_header(
       "DeploymentEngine throughput: frames/sec vs threads, AoA backend, "
@@ -339,10 +383,14 @@ int main(int argc, char** argv) {
     if (threads == 1) base_fps = fps;
     std::printf("%-10zu %10zu %12.1f %9.2fx\n", threads, frames, fps,
                 fps / base_fps);
-    results.threads_sweep.push_back({"", threads, frames, fps, 0.0, 0});
+    results.threads_sweep.push_back({"", threads, frames, fps, 0.0, 0, {}});
+    if (threads > results.affinity_cpus) {
+      std::printf("  (oversubscribed: %zu threads on %zu schedulable CPUs)\n",
+                  threads, results.affinity_cpus);
+    }
   }
-  std::printf("(hardware concurrency: %u)\n",
-              std::thread::hardware_concurrency());
+  std::printf("(hardware concurrency: %u, schedulable CPUs: %zu)\n",
+              std::thread::hardware_concurrency(), results.affinity_cpus);
 
   // ---- scan vs decode split (single-threaded two-phase replay over the
   // same rounds): how much of the ingest budget the streaming scan path
@@ -411,9 +459,18 @@ int main(int argc, char** argv) {
       std::printf("%-10zu %12.1f %14.1f %8.2fx %7zu\n", threads, batch_fps,
                   session_fps, session_fps / batch_fps,
                   stats.max_overlapped_rounds);
+      std::printf(
+          "           (bursts %zu, jobs %zu, avg burst %.1f, spin polls %zu, "
+          "parks %zu)\n",
+          stats.worker_bursts, stats.worker_jobs,
+          stats.worker_bursts > 0
+              ? static_cast<double>(stats.worker_jobs) /
+                    static_cast<double>(stats.worker_bursts)
+              : 0.0,
+          stats.spin_polls, stats.parks);
       results.pipelined_sweep.push_back({"", threads, session_frames,
                                          batch_fps, session_fps,
-                                         stats.max_overlapped_rounds});
+                                         stats.max_overlapped_rounds, stats});
       if (session_frames != batch_frames) {
         std::printf("  !! decision count diverged: batch %zu vs session %zu\n",
                     batch_frames, session_frames);
@@ -436,7 +493,7 @@ int main(int argc, char** argv) {
     results.estimator_sweep.push_back({std::string(to_string(backends[b])), 0,
                                        frames,
                                        static_cast<double>(frames) / secs,
-                                       0.0, 0});
+                                       0.0, 0, {}});
   }
 
   // ---- frames/sec vs wideband subband count (MUSIC backend). Per-band
@@ -471,7 +528,7 @@ int main(int argc, char** argv) {
       if (k == 1) k1_fps = fps;
       std::printf("%-10zu %10zu %12.1f %9.2fx\n", k, frames, fps,
                   k1_fps > 0.0 ? fps / k1_fps : 1.0);
-      results.subband_sweep.push_back({"", 0, frames, fps, 0.0, k});
+      results.subband_sweep.push_back({"", 0, frames, fps, 0.0, k, {}});
     }
   }
 
@@ -514,7 +571,7 @@ int main(int argc, char** argv) {
     if (chain_base_fps == 0.0) chain_base_fps = fps;
     std::printf("%-22s %10zu %12.1f %9.2f%%\n", c.label, frames, fps,
                 100.0 * (chain_base_fps / fps - 1.0));
-    results.chain_sweep.push_back({c.label, 0, frames, fps, 0.0, 0});
+    results.chain_sweep.push_back({c.label, 0, frames, fps, 0.0, 0, {}});
   }
 
   if (json_path != nullptr) write_json(results, json_path);
@@ -529,6 +586,39 @@ int main(int argc, char** argv) {
     }
     std::printf("\nperf tripwire ok: best frames/sec %.1f >= floor %.1f\n",
                 best, min_fps);
+  }
+
+  // Scaling tripwire: among the pipelined sweep points that actually fit
+  // the affinity mask, the widest one must not be slower than 1 thread.
+  // Oversubscribed points are excluded — on a 1- or 2-CPU runner the
+  // wider configurations measure timeslicing, not the dataplane.
+  if (require_scaling) {
+    if (results.pipelined_sweep.empty()) {
+      std::printf("\n!! --require-scaling needs --pipelined\n");
+      return 1;
+    }
+    const SweepRow* base = nullptr;
+    const SweepRow* widest = nullptr;
+    for (const auto& row : results.pipelined_sweep) {
+      if (row.threads > results.affinity_cpus && row.threads != 1) continue;
+      if (row.threads == 1) base = &row;
+      if (widest == nullptr || row.threads > widest->threads) widest = &row;
+    }
+    if (base == nullptr || widest == nullptr) {
+      std::printf("\n!! scaling tripwire: no in-core sweep points\n");
+      return 1;
+    }
+    if (widest->fps2 < base->fps2) {
+      std::printf(
+          "\n!! scaling tripwire: pipelined %.1f f/s at %zu threads fell "
+          "below the 1-thread %.1f f/s\n",
+          widest->fps2, widest->threads, base->fps2);
+      return 1;
+    }
+    std::printf(
+        "\nscaling tripwire ok: pipelined %.1f f/s at %zu threads >= "
+        "1-thread %.1f f/s (%zu schedulable CPUs)\n",
+        widest->fps2, widest->threads, base->fps2, results.affinity_cpus);
   }
   return 0;
 }

@@ -285,10 +285,15 @@ int main(int argc, char** argv) {
                 sp.tracked_macs, session.spoof_detector().num_shards(),
                 sp.alarms);
     std::printf(
-        "pipeline: %zu rounds, max %zu rounds overlapped in the pool, "
+        "pipeline: %zu rounds, max %zu rounds overlapped in the dataplane, "
         "%zu candidate frames in flight at peak, %zu deferred retries\n",
         ss.rounds_completed, ss.max_overlapped_rounds, ss.max_inflight_frames,
         ss.stale_retries);
+    std::printf(
+        "pipeline: %zu worker jobs in %zu bursts (max burst %zu), "
+        "%zu submit-ring blocks, %zu spin polls, %zu parks\n",
+        ss.worker_jobs, ss.worker_bursts, ss.max_worker_burst,
+        ss.submit_ring_full_blocks, ss.spin_polls, ss.parks);
     session.close();
     return 0;
   }

@@ -1,0 +1,235 @@
+// Lock-free bounded single-producer/single-consumer ring — the building
+// block of the engine's dataplane (after DPDK's rte_ring / ndn-dpdk's
+// ringbuffer, specialized to SPSC).
+//
+// One thread pushes, one thread pops; under that contract every
+// operation is wait-free: one cache-line read, one placement move, one
+// release store. The producer and consumer indices live on separate
+// cache lines so the two sides never false-share, and each side keeps a
+// *cached* copy of the other side's index — the shared line is re-read
+// only when the cached view says the ring looks full (producer) or
+// empty (consumer), so steady-state traffic on the coherence fabric is
+// one line per burst, not per element (the rte_ring watermark trick).
+//
+// Indices are free-running 64-bit counters (masked on access), so the
+// full/empty distinction needs no wasted slot and no wrap handling
+// beyond unsigned arithmetic. Capacity is rounded up to a power of two.
+//
+// The ring stores T by value in raw aligned storage: push placement-
+// moves in, pop moves out and destroys. The destructor destroys any
+// in-flight items (drain-on-destroy), so T's with real destructors —
+// matrices, packet vectors — are safe to leave queued on teardown.
+//
+// Doorbell complements the rings for the *blocking* edges of a polling
+// dataplane: consumers spin a bounded budget and then park; producers
+// ring() after publishing, which is one relaxed load in the common
+// (awake) case and a mutex+notify only when the consumer actually
+// parked. Parks use a short timed wait as a belt-and-braces against the
+// theoretical lost-wakeup window, so a missed ring costs milliseconds,
+// never a hang.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+namespace detail {
+inline constexpr std::size_t kCacheLine = 64;
+
+inline std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+}  // namespace detail
+
+/// Relaxed-CAS high-water-mark update, for stats counters shared between
+/// a writer thread and stats() readers.
+inline void atomic_max(std::atomic<std::size_t>& hwm, std::size_t value) {
+  std::size_t cur = hwm.load(std::memory_order_relaxed);
+  while (cur < value &&
+         !hwm.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Usable capacity is `capacity` rounded up to a power of two (>= 2).
+  explicit SpscRing(std::size_t capacity)
+      : capacity_(detail::round_up_pow2(capacity < 2 ? 2 : capacity)),
+        mask_(capacity_ - 1),
+        slots_(static_cast<Slot*>(::operator new[](
+            capacity_ * sizeof(Slot), std::align_val_t{alignof(Slot)}))) {}
+
+  ~SpscRing() {
+    std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    for (; head != tail; ++head) item(head).~T();
+    ::operator delete[](static_cast<void*>(slots_),
+                        std::align_val_t{alignof(Slot)});
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Producer side. False when full (caller decides to spin/park/drop).
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == capacity_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == capacity_) return false;
+    }
+    ::new (static_cast<void*>(&slots_[tail & mask_])) T(std::move(value));
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: push up to `count` items from `first`; returns how
+  /// many were moved in (stops early when full).
+  template <typename It>
+  std::size_t push_batch(It first, std::size_t count) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free = capacity_ - (tail - cached_head_);
+    if (free < count) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      free = capacity_ - (tail - cached_head_);
+    }
+    const std::size_t n = count < free ? count : free;
+    for (std::size_t i = 0; i < n; ++i, ++first) {
+      ::new (static_cast<void*>(&slots_[(tail + i) & mask_]))
+          T(std::move(*first));
+    }
+    if (n != 0) tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Consumer side. False when empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    T& slot = item(head);
+    out = std::move(slot);
+    slot.~T();
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: append up to `max` items to `out`; returns the burst
+  /// size actually popped (0 when empty).
+  std::size_t pop_batch(std::vector<T>& out, std::size_t max) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = cached_tail_ - head;
+    if (avail < max) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - head;
+      if (avail == 0) return 0;
+    }
+    const std::size_t n = max < avail ? max : avail;
+    for (std::size_t i = 0; i < n; ++i) {
+      T& slot = item(head + i);
+      out.push_back(std::move(slot));
+      slot.~T();
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
+  }
+
+  /// Observer estimate (either side, or a stats thread): items in
+  /// flight. Exact only when both sides are quiescent.
+  std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+
+ private:
+  struct alignas(alignof(T)) Slot {
+    unsigned char bytes[sizeof(T)];
+  };
+
+  T& item(std::size_t index) {
+    return *std::launder(reinterpret_cast<T*>(&slots_[index & mask_]));
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  Slot* const slots_;
+
+  // Consumer-owned line: pop index + the consumer's cached view of tail.
+  alignas(detail::kCacheLine) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+  // Producer-owned line: push index + the producer's cached view of head.
+  alignas(detail::kCacheLine) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+  char pad_[detail::kCacheLine - sizeof(std::atomic<std::size_t>) -
+            sizeof(std::size_t)];
+};
+
+/// Spin-then-park wakeup primitive for a polling loop. Any number of
+/// threads may ring(); wait() is for the one parked consumer (or a small
+/// set — ring() notifies all). The fast path of ring() is a single
+/// relaxed load; the mutex is touched only around an actual park.
+class Doorbell {
+ public:
+  /// Wake the waiter if it is (about to be) parked. Call after the state
+  /// the waiter polls for has been published.
+  void ring() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (parked_.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+  }
+
+  /// Poll `pred` with `spin_budget` busy iterations, then park until it
+  /// holds. Returns the value of pred() (always true on return; the
+  /// return type documents intent for future timeout variants).
+  /// `spins`/`parks` count the poll iterations that found nothing and
+  /// the times the thread actually went to sleep.
+  template <typename Pred>
+  bool wait(Pred&& pred, std::size_t spin_budget,
+            std::atomic<std::size_t>* spins = nullptr,
+            std::atomic<std::size_t>* parks = nullptr) {
+    for (std::size_t i = 0; i < spin_budget; ++i) {
+      if (pred()) return true;
+      if (spins != nullptr) spins->fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::yield();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      parked_.store(true, std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (pred()) break;
+      if (parks != nullptr) parks->fetch_add(1, std::memory_order_relaxed);
+      // Timed park: a ring() that raced the park transition costs one
+      // timeout period, never a hang.
+      cv_.wait_for(lock, std::chrono::milliseconds(2));
+    }
+    parked_.store(false, std::memory_order_relaxed);
+    return true;
+  }
+
+ private:
+  std::atomic<bool> parked_{false};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace sa

@@ -72,6 +72,19 @@ class ThreadPool {
     return async_impl(std::forward<F>(fn), &epoch);
   }
 
+  /// Contention visibility: how often the pool's one lock and bounded
+  /// queue actually made someone wait. The lock-free session dataplane
+  /// exists because these numbers grew with thread count.
+  struct Stats {
+    /// submit()/async() calls that found the queue full and blocked.
+    std::size_t queue_full_blocks = 0;
+    /// Worker wake-ups that found the queue empty (idle waits).
+    std::size_t idle_waits = 0;
+    /// High-water mark of the pending-task queue depth.
+    std::size_t max_queue_depth = 0;
+  };
+  Stats stats() const;
+
   /// Distinct epochs with unfinished (queued or running) tasks.
   std::size_t epochs_in_flight() const;
   /// High-water mark of epochs_in_flight() since construction. >= 2
@@ -106,6 +119,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::map<std::uint64_t, std::size_t> epoch_outstanding_;
   std::size_t max_epochs_in_flight_ = 0;
+  Stats stats_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

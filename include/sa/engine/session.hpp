@@ -1,55 +1,66 @@
-// EngineSession: the engine's primary, push-based API.
+// EngineSession: the engine's primary, push-based API — now a lock-free
+// SPSC-ring dataplane.
 //
-// The batch DeploymentEngine is lock-step: each ingest round must fully
-// scan, decode and drain before the next round may start, so the worker
-// pool idles at every round boundary. A session removes that boundary.
-// Callers submit() per-AP sample chunks at any time and register a
-// decision sink; internally the session runs a two-stage pipeline over
-// the shared worker pool:
+// The previous session funneled every chunk and every decode task
+// through one mutex, four condition variables and a shared bounded
+// ThreadPool queue; BENCH_5 showed that architecture flat from 1 to 8
+// threads. This one is built DPDK-style out of single-producer/
+// single-consumer rings (sa/common/spsc_ring.hpp) and shard-affine
+// run-to-completion workers:
 //
-//   front-end (one thread)            back-end (one thread)
-//   ---------------------             ---------------------
-//   form round N+1 from the           join round N's decode futures,
-//   per-AP chunk queues, scan         fan the per-(frame, subband) AoA
-//   every AP (pool fan-out),          estimates, resolve deferred
-//   schedule the fresh frames'        retries, commit each stream,
-//   PHY-decode tasks on the pool      group across APs, reserve/fulfil
-//                                     per-frame spoof tickets, run the
-//                                     policy chain, emit decisions
+//   submitters --- per-AP SPSC ring ---> front-end (RX polling loop)
+//   front-end  --- per-worker work ring ---> workers (run-to-completion)
+//   sequencer  --- per-worker decide ring ---> workers
+//   workers    --- per-worker done ring ---> sequencer (re-sequencer)
 //
-// The front-end is allowed to run ahead of the back-end: round N+1's
-// scan and decode execute while round N is still in its decode/AoA/
-// policy phase, so the pool never drains at a round boundary. This
-// leans on three substrate guarantees:
-//   - StreamingReceiver::scan/commit tolerate commit-behind (a scan's
-//     emit/defer bookkeeping is anchored to its own absolute
-//     coordinates, and commit dedupes against the live watermark);
-//   - ShardedSpoofDetector tickets advance tracker state per frame, in
-//     reserved order, with no round barrier;
-//   - ThreadPool task epochs let two rounds' tasks coexist in the queue
-//     (and prove, via max_epochs_in_flight, that they did).
+// Every ring has exactly one producer and one consumer, so the hot path
+// is wait-free: no producer lock, no condvar, no shared queue. Blocking
+// only happens at the quiet edges, via Doorbell's bounded-spin-then-park
+// (after ndn-dpdk's rxloop).
 //
-// Determinism: rounds are formed, committed, grouped, spoof-judged and
-// decided strictly in round order on single front/back threads, so the
-// emitted decision sequence is identical at any thread count — and
-// byte-identical to the lock-step batch engine, which is now a thin
-// wrapper over a session.
+// Shard affinity is the invariant that makes this deterministic:
+//  - worker w owns APs {i : i mod W == w} — each AP's StreamingReceiver
+//    is touched by exactly one thread, which runs scan -> decode ->
+//    commit to completion in round order. No stream mutex exists. The
+//    lock-step per-receiver schedule (commit N before scan N+1) is one
+//    of the schedules StreamingReceiver documents as byte-identical.
+//  - worker w owns MAC shards {s : s mod W == w} — a frame's spoof
+//    observation and policy decision run on the worker owning
+//    shard_of(source MAC), and the sequencer dispatches decide jobs in
+//    global sequence order into per-worker FIFO rings, so every MAC's
+//    tracker and rate-limit state advances in exactly the serial order.
+//    (Frames with no decodable MAC round-robin by sequence number;
+//    they touch no per-MAC state.)
 //
-// Backpressure: `max_inflight_rounds` bounds how far the front-end may
-// scan ahead of the back-end, and `max_inflight_frames` bounds the
-// candidate frames admitted to decode but not yet decided (a round
-// larger than the whole budget is admitted alone). submit() blocks when
-// the per-AP chunk queue is full.
+// The sequencer is the only thread that sees rounds whole: it collects
+// per-AP completions, groups rounds strictly in round order, assigns
+// global sequence numbers, routes decide jobs by MAC shard, buffers the
+// finished decisions, and emits them to the sink strictly in sequence
+// order — byte-identical to the serial pipeline at any worker count.
+//
+// Known divergence (documented, matches the pre-existing sharded-spoof
+// caveat): RateLimitPolicy's cross-MAC LRU eviction is partitioned per
+// worker here, so *when the max_tracked_macs bound actually binds*,
+// eviction choices can differ from a serial chain's global LRU. Per-MAC
+// windows, and hence decisions while the bound is slack, are exact.
+//
+// Backpressure: `max_inflight_rounds` bounds dispatched-but-undecided
+// rounds. A nonzero `max_inflight_frames` additionally gates dispatch
+// until every in-flight round has reported its candidate count and the
+// budget has room — which serializes scan-ahead (the front-end cannot
+// know a round's candidate count before its scans run), so a bounded
+// budget now trades pipelining for a hard frame bound; the default is
+// 0 (unbounded — the rings and the round bound cap memory). submit()
+// blocks while that AP's ring holds max_pending_chunks chunks.
 //
 // Lifecycle: drain() processes every submitted chunk plus a final flush
 // pass and returns once all resulting decisions have been emitted — the
-// session stays usable, exactly like the batch engine's flush().
-// close() drains and stops the pipeline threads; the destructor closes.
+// session stays usable. close() drains and stops the threads; the
+// destructor closes.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -57,24 +68,44 @@
 #include <thread>
 #include <vector>
 
+#include "sa/common/spsc_ring.hpp"
 #include "sa/engine/deployment.hpp"
 
 namespace sa {
 
+/// Optional core pinning for the run-to-completion workers. Worker w is
+/// pinned to cores[w mod cores.size()], or to core (w mod
+/// hardware_concurrency) when `cores` is empty. Pinning is implemented
+/// with pthread_setaffinity_np on Linux and is a no-op elsewhere;
+/// SessionStats::workers_pinned reports how many pins actually took.
+struct WorkerPlacement {
+  bool pin_workers = false;
+  std::vector<int> cores;
+};
+
 struct SessionConfig {
+  /// Sentinel for `poll_spin`: adapt to the machine (0 when only one
+  /// hardware thread exists — spinning can only steal the producer's
+  /// core — a small budget otherwise).
+  static constexpr std::size_t kAutoSpin = static_cast<std::size_t>(-1);
+
   EngineConfig engine;
-  /// Rounds the front-end may have in flight (scanned or decoding but
-  /// not yet decided) at once; >= 1. 1 degenerates to lock-step.
+  /// Rounds that may be dispatched but not yet fully decided at once;
+  /// >= 1. 1 degenerates to lock-step.
   std::size_t max_inflight_rounds = 4;
-  /// Candidate frames admitted to decode but not yet decided; 0 =
-  /// unbounded. A single round with more candidates than the whole
-  /// budget is admitted once the pipeline is empty.
-  std::size_t max_inflight_frames = 512;
+  /// Candidate frames scanned but not yet decided; 0 = unbounded
+  /// (default). A nonzero bound also serializes scan-ahead — see the
+  /// header comment.
+  std::size_t max_inflight_frames = 0;
   /// Chunks one AP may have queued (submitted but not yet formed into a
   /// round); >= 1. submit() blocks at this bound, so it must exceed the
   /// raggedness of the submission order: pushing one AP more than this
   /// many rounds ahead of another would block forever.
   std::size_t max_pending_chunks = 64;
+  /// Busy-poll iterations before a dataplane thread parks on its
+  /// doorbell. kAutoSpin adapts to hardware_concurrency().
+  std::size_t poll_spin = kAutoSpin;
+  WorkerPlacement placement;
 };
 
 /// Observable pipeline behavior (all monotonic counters / high-water
@@ -87,18 +118,36 @@ struct SessionStats {
   std::size_t stale_retries = 0;
   /// Scan-ahead candidates an earlier commit had already emitted.
   std::size_t stale_skips = 0;
-  /// High-water mark of the candidate budget actually used.
+  /// High-water mark of candidates scanned but not yet decided.
   std::size_t max_inflight_frames = 0;
-  /// High-water mark of rounds concurrently holding budget.
+  /// High-water mark of rounds concurrently scanned-but-undecided.
   std::size_t max_admitted_rounds = 0;
-  /// High-water mark of distinct rounds with tasks in the pool at once
-  /// (>= 2 proves the round boundary was actually overlapped).
+  /// High-water mark of rounds concurrently dispatched-but-unscanned
+  /// (>= 2 proves round boundaries were actually overlapped).
   std::size_t max_overlapped_rounds = 0;
+
+  // --- dataplane visibility (new with the SPSC-ring front-end) ---
+  /// submit() calls that found their AP's ring full and had to block.
+  std::size_t submit_ring_full_blocks = 0;
+  /// High-water mark of any submit ring's occupancy.
+  std::size_t max_submit_ring_occupancy = 0;
+  /// Worker wake-ups that found work, and the jobs they drained; the
+  /// mean jobs/burst is the dataplane's batching factor.
+  std::size_t worker_bursts = 0;
+  std::size_t worker_jobs = 0;
+  std::size_t max_worker_burst = 0;
+  /// Empty doorbell polls (spin iterations that found nothing) and
+  /// actual parks, summed over every dataplane thread. The spin:park
+  /// ratio shows whether the spin budget absorbs the arrival jitter.
+  std::size_t spin_polls = 0;
+  std::size_t parks = 0;
+  /// Workers successfully pinned via WorkerPlacement.
+  std::size_t workers_pinned = 0;
 };
 
 class EngineSession {
  public:
-  /// Called on the back-end thread, strictly in sequence order, never
+  /// Called on the sequencer thread, strictly in sequence order, never
   /// concurrently with itself.
   using DecisionSink = std::function<void(const EngineDecision&)>;
 
@@ -113,8 +162,10 @@ class EngineSession {
 
   /// Push the next chunk of `ap_index`'s stream. Round r is formed from
   /// the r-th chunk of every AP, so streams may be pushed raggedly;
-  /// blocks while this AP's queue is full, throws StateError after
-  /// close(). Thread-safe against other submitters.
+  /// blocks while this AP's ring is full, throws StateError after
+  /// close(). Thread-safe against other submitters (same-AP submitters
+  /// serialize on a producer-side latch; the producer->consumer edge is
+  /// lock-free).
   void submit(std::size_t ap_index, CMat chunk);
   /// Convenience: one time-aligned chunk per AP (chunks[i] -> aps[i]).
   void submit_round(std::vector<CMat> chunks);
@@ -132,84 +183,146 @@ class EngineSession {
   void close();
 
   std::size_t num_aps() const { return aps_.size(); }
-  std::size_t num_threads() const { return pool_.size(); }
+  std::size_t num_threads() const { return workers_.size(); }
   const SessionConfig& config() const { return config_; }
-  Coordinator::Stats stats() const { return coordinator_.stats(); }
-  const PolicyChain& chain() const { return coordinator_.chain(); }
+  /// Aggregated over the per-worker policy chains. Exact when the
+  /// pipeline is quiescent (after drain()/wait_idle()); a concurrent
+  /// call may see a frame mid-decision.
+  Coordinator::Stats stats() const;
+  const PolicyChain& chain() const;
   const ShardedSpoofDetector& spoof_detector() const { return spoof_; }
   SessionStats session_stats() const;
 
  private:
-  /// One AP's share of an in-flight round.
-  struct ApRound {
-    StreamingReceiver::Scan scan;
-    /// Results aligned with scan.candidates (nullopt = skipped/retry).
-    std::vector<std::optional<ReceivedPacket>> processed;
-    std::vector<std::optional<AccessPoint::FramePrep>> preps;  // wideband
-    std::vector<std::vector<MusicResult>> band_results;        // wideband
-    std::vector<std::future<std::optional<ReceivedPacket>>> demod_futures;
-    std::vector<std::size_t> demod_idx;
-    std::vector<std::future<std::optional<AccessPoint::FramePrep>>>
-        prep_futures;
-    std::vector<std::size_t> prep_idx;
-    /// Candidate indices that predate this round's chunk: deferred
-    /// retries (or scan-ahead duplicates), resolved by the back-end
-    /// after the preceding round's commit.
-    std::vector<std::size_t> stale;
-  };
-  struct Round {
-    std::uint64_t id = 0;
+  /// One AP's share of one round, dispatched front-end -> owning worker.
+  struct ApJob {
+    std::uint64_t round = 0;
+    std::size_t ap = 0;
+    std::optional<CMat> chunk;  ///< nullopt on padded / flush rounds
     bool final_pass = false;
-    std::uint64_t drain_tag = 0;  ///< nonzero on a drain's flush round
-    std::size_t budget = 0;       ///< candidates charged to the budget
-    std::vector<ApRound> per_ap;
+    std::uint64_t drain_tag = 0;
+  };
+  /// One fused frame, dispatched sequencer -> MAC-shard-owning worker.
+  struct DecideJob {
+    std::uint64_t round = 0;
+    std::size_t sequence = 0;
+    std::size_t absolute_start = 0;
+    std::vector<ApObservation> observations;
+  };
+  /// Worker -> sequencer completion (one ring carries both kinds so the
+  /// sequencer observes each worker's progress in order).
+  struct Completion {
+    enum class Kind { kApDone, kDecision } kind = Kind::kApDone;
+    std::uint64_t round = 0;
+    // kApDone:
+    std::size_t ap = 0;
+    std::vector<StreamingReceiver::StreamPacket> packets;
+    std::size_t candidates = 0;
+    std::size_t retries = 0;
+    std::size_t skips = 0;
+    std::uint64_t drain_tag = 0;
+    // kDecision:
+    std::size_t sequence = 0;
+    std::size_t absolute_start = 0;
+    FrameDecision decision;
+  };
+
+  struct Worker {
+    Worker(std::size_t work_cap, std::size_t decide_cap, std::size_t done_cap,
+           const CoordinatorConfig& coordinator_config)
+        : work(work_cap),
+          decide(decide_cap),
+          done(done_cap),
+          coordinator(coordinator_config) {}
+    SpscRing<ApJob> work;      // producer: front-end
+    SpscRing<DecideJob> decide;  // producer: sequencer
+    SpscRing<Completion> done;   // consumer: sequencer
+    Doorbell bell;
+    Coordinator coordinator;  ///< owns this worker's policy-chain state
+    AccessPoint::FrameScratch scratch;
+    std::thread thread;
+  };
+
+  /// One AP's submission lane. The ring is SPSC (producer: whichever
+  /// thread holds producer_mu; consumer: front-end); producer_mu only
+  /// serializes concurrent submitters of the *same* AP and is never
+  /// taken by the dataplane.
+  struct SubmitLane {
+    explicit SubmitLane(std::size_t capacity) : ring(capacity) {}
+    SpscRing<CMat> ring;
+    std::mutex producer_mu;
+  };
+
+  /// Internal atomic mirror of SessionStats.
+  struct AtomicStats {
+    std::atomic<std::size_t> chunks_submitted{0};
+    std::atomic<std::size_t> rounds_completed{0};
+    std::atomic<std::size_t> decisions_emitted{0};
+    std::atomic<std::size_t> stale_retries{0};
+    std::atomic<std::size_t> stale_skips{0};
+    std::atomic<std::size_t> max_inflight_frames{0};
+    std::atomic<std::size_t> max_admitted_rounds{0};
+    std::atomic<std::size_t> max_overlapped_rounds{0};
+    std::atomic<std::size_t> submit_ring_full_blocks{0};
+    std::atomic<std::size_t> max_submit_ring_occupancy{0};
+    std::atomic<std::size_t> worker_bursts{0};
+    std::atomic<std::size_t> worker_jobs{0};
+    std::atomic<std::size_t> max_worker_burst{0};
+    std::atomic<std::size_t> spin_polls{0};
+    std::atomic<std::size_t> parks{0};
+    std::atomic<std::size_t> workers_pinned{0};
   };
 
   void frontend_loop();
-  void backend_loop();
-  void schedule_fresh_work(Round& round);
-  void process_round(Round& round);
+  void worker_loop(std::size_t w);
+  void sequencer_loop();
+  void process_ap_job(Worker& wk, ApJob job);
+  void process_decide_job(Worker& wk, DecideJob job);
+  void push_completion(Worker& wk, Completion c);
   void fail(std::exception_ptr error);
-  void throw_if_failed_locked();
-  bool round_formable_locked() const;
+  void throw_if_failed() const;
+  bool round_formable() const;
+  void refresh_chain() const;
 
   SessionConfig config_;
   std::vector<AccessPoint*> aps_;
   std::vector<Vec2> positions_;
   std::vector<std::unique_ptr<StreamingReceiver>> streams_;
-  /// Serializes scan (front-end, pool tasks) against commit/watermark
-  /// reads (back-end) on one receiver.
-  std::vector<std::unique_ptr<std::mutex>> stream_mu_;
-  ThreadPool pool_;
+  std::vector<std::unique_ptr<SubmitLane>> lanes_;
+  std::vector<std::unique_ptr<Worker>> workers_;
   ShardedSpoofDetector spoof_;
-  Coordinator coordinator_;
+  /// Aggregator: supplies wants_spoof()/chain shape and presents the
+  /// summed per-worker counters via refresh_chain(). Never decides.
+  mutable Coordinator coordinator_;
+  mutable std::mutex chain_mu_;
   DecisionSink sink_;
+  std::size_t resolved_spin_ = 0;
+
+  Doorbell front_bell_;   // submitters / sequencer -> front-end
+  Doorbell seq_bell_;     // workers -> sequencer
+  Doorbell submit_bell_;  // front-end -> blocked submitters
+  Doorbell done_bell_;    // sequencer -> drain()/wait_idle() waiters
+
+  std::atomic<bool> closing_{false};
+  std::atomic<bool> failed_{false};
+  mutable std::mutex error_mu_;
+  std::exception_ptr error_;
+
+  std::atomic<std::uint64_t> drains_requested_{0};
+  std::atomic<std::uint64_t> drains_completed_{0};
+  std::atomic<std::size_t> rounds_in_flight_{0};   // dispatched, undecided
+  std::atomic<std::uint64_t> rounds_dispatched_{0};
+  std::atomic<std::uint64_t> rounds_grouped_{0};   // scan-complete
+  std::atomic<std::size_t> inflight_frames_{0};    // scanned, undecided
+  std::atomic<std::size_t> admitted_rounds_{0};    // scanned, undecided
+  AtomicStats stats_;
 
   /// Held for the whole of close(); serializes concurrent closers.
   std::mutex close_mu_;
-  mutable std::mutex mu_;
-  std::condition_variable submit_cv_;  // chunk-queue slots freed
-  std::condition_variable front_cv_;   // work / budget for the front-end
-  std::condition_variable back_cv_;    // rounds for the back-end
-  std::condition_variable done_cv_;    // drain()/wait_idle() progress
-  std::vector<std::deque<CMat>> queues_;
-  std::deque<std::unique_ptr<Round>> round_queue_;
-  std::uint64_t drains_requested_ = 0;
-  std::uint64_t drains_issued_ = 0;
-  std::uint64_t drains_completed_ = 0;
-  std::size_t rounds_in_flight_ = 0;
-  std::size_t inflight_frames_ = 0;
-  std::size_t admitted_rounds_ = 0;
-  std::uint64_t next_round_id_ = 0;
-  std::uint64_t sequence_ = 0;  // back-end thread only
-  SessionStats stats_;
-  bool closing_ = false;
   bool closed_ = false;
-  bool failed_ = false;
-  std::exception_ptr error_;
 
   std::thread front_;
-  std::thread back_;
+  std::thread sequencer_;
 };
 
 }  // namespace sa

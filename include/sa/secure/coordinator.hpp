@@ -71,6 +71,16 @@ class Coordinator {
       const std::vector<ApObservation>& observations,
       const std::optional<SpoofObservation>& spoof);
 
+  /// As above, but with the caller supplying the global frame index for
+  /// stateful policies (rate limiting windows on it). A shard-affine
+  /// worker's chain sees only its own MACs' frames, so its local frame
+  /// count is not the global sequence number — the engine passes the
+  /// re-sequencer's global index here to keep decisions byte-identical
+  /// to a serial chain.
+  FrameDecision process_prejudged(
+      const std::vector<ApObservation>& observations,
+      const std::optional<SpoofObservation>& spoof, std::size_t frame_index);
+
   /// The observation whose detection is strongest — the copy whose PHY
   /// decode and signature are the most trustworthy. The frame content
   /// and the spoof check both come from it.
@@ -89,6 +99,14 @@ class Coordinator {
   };
   Stats stats() const;
   const PolicyChain& chain() const { return chain_; }
+  /// Aggregation hooks for shard-affine deployments: an aggregator
+  /// coordinator (which never decides frames itself) presents the sum of
+  /// per-worker coordinators' chain counters. Both chains must have been
+  /// built from the same config.
+  void reset_chain_stats() { chain_.reset_stats(); }
+  void add_chain_stats_from(const Coordinator& other) {
+    chain_.add_stats_from(other.chain_);
+  }
   /// True iff the chain contains a SpoofPolicy — i.e. callers feeding
   /// process_prejudged() must supply a spoof observation for decodable
   /// frames.

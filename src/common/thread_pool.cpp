@@ -54,6 +54,9 @@ void ThreadPool::enqueue(std::function<void()> task, const std::uint64_t* epoch)
   }
   {
     std::unique_lock<std::mutex> lock(mu_);
+    if (queue_.size() >= capacity_ && !stopping_) {
+      ++stats_.queue_full_blocks;
+    }
     not_full_.wait(lock,
                    [this] { return queue_.size() < capacity_ || stopping_; });
     if (stopping_) {
@@ -65,6 +68,7 @@ void ThreadPool::enqueue(std::function<void()> task, const std::uint64_t* epoch)
           std::max(max_epochs_in_flight_, epoch_outstanding_.size());
     }
     queue_.push_back(std::move(task));
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
   }
   not_empty_.notify_one();
 }
@@ -77,6 +81,11 @@ void ThreadPool::finish_epoch(std::uint64_t epoch) {
     lock.unlock();
     epoch_idle_.notify_all();
   }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
 }
 
 std::size_t ThreadPool::epochs_in_flight() const {
@@ -101,6 +110,7 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (queue_.empty() && !stopping_) ++stats_.idle_waits;
       not_empty_.wait(lock, [this] { return !queue_.empty() || stopping_; });
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());

@@ -1,12 +1,17 @@
 #include "sa/engine/session.hpp"
 
 #include <algorithm>
-#include <future>
-#include <type_traits>
+#include <deque>
+#include <map>
 #include <utility>
 
 #include "sa/common/error.hpp"
 #include "sa/common/logging.hpp"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace sa {
 
@@ -18,25 +23,26 @@ std::size_t resolve_threads(std::size_t requested) {
   return hw > 0 ? hw : 1;
 }
 
-/// get() every future, then rethrow the first error. Queued tasks
-/// capture pointers into the round record, so an early rethrow must not
-/// leave later tasks pending.
-template <typename T, typename Consume>
-void join_all(std::vector<std::future<T>>& futures, Consume&& consume) {
-  std::exception_ptr first_error;
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    try {
-      if constexpr (std::is_void_v<T>) {
-        futures[i].get();
-      } else {
-        consume(i, futures[i].get());
-      }
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  futures.clear();
-  if (first_error) std::rethrow_exception(first_error);
+std::size_t resolve_spin(std::size_t configured) {
+  if (configured != SessionConfig::kAutoSpin) return configured;
+  // On a single hardware thread, spinning can only delay the producer
+  // the consumer is waiting on; park immediately.
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 1 ? 128 : 0;
+}
+
+/// Pin the calling thread to `core`; returns whether the pin took.
+bool pin_current_thread(int core) {
+#if defined(__linux__)
+  if (core < 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
 }
 
 }  // namespace
@@ -45,27 +51,46 @@ EngineSession::EngineSession(SessionConfig config,
                              std::vector<AccessPoint*> aps, DecisionSink sink)
     : config_(std::move(config)),
       aps_(std::move(aps)),
-      pool_(resolve_threads(config_.engine.num_threads),
-            config_.engine.queue_capacity),
       spoof_(config_.engine.coordinator.tracker, config_.engine.num_shards,
              config_.engine.coordinator.max_tracked_macs),
       coordinator_(config_.engine.coordinator),
-      sink_(std::move(sink)) {
+      sink_(std::move(sink)),
+      resolved_spin_(resolve_spin(config_.poll_spin)) {
   SA_EXPECTS(!aps_.empty());
   SA_EXPECTS(sink_ != nullptr);
   SA_EXPECTS(config_.max_inflight_rounds >= 1);
   SA_EXPECTS(config_.max_pending_chunks >= 1);
-  streams_.reserve(aps_.size());
+
+  const std::size_t n_aps = aps_.size();
+  streams_.reserve(n_aps);
+  lanes_.reserve(n_aps);
   for (AccessPoint* ap : aps_) {
     SA_EXPECTS(ap != nullptr);
     positions_.push_back(ap->config().position);
     streams_.push_back(
         std::make_unique<StreamingReceiver>(*ap, config_.engine.streaming));
-    stream_mu_.push_back(std::make_unique<std::mutex>());
+    lanes_.push_back(std::make_unique<SubmitLane>(config_.max_pending_chunks));
   }
-  queues_.resize(aps_.size());
+
+  const std::size_t n_workers = resolve_threads(config_.engine.num_threads);
+  const std::size_t aps_per_worker = (n_aps + n_workers - 1) / n_workers;
+  // The round bound caps ApJobs per worker, so the work ring can be
+  // sized to never fill; decide/done rings can in principle overflow
+  // (candidate counts are unbounded) and their producers handle it.
+  const std::size_t work_cap =
+      (config_.max_inflight_rounds + 1) * aps_per_worker;
+  workers_.reserve(n_workers);
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    workers_.push_back(std::make_unique<Worker>(
+        work_cap, /*decide_cap=*/256, /*done_cap=*/512,
+        config_.engine.coordinator));
+  }
+
   front_ = std::thread([this] { frontend_loop(); });
-  back_ = std::thread([this] { backend_loop(); });
+  sequencer_ = std::thread([this] { sequencer_loop(); });
+  for (std::size_t w = 0; w < n_workers; ++w) {
+    workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
+  }
 }
 
 EngineSession::~EngineSession() {
@@ -80,25 +105,29 @@ EngineSession::~EngineSession() {
 
 void EngineSession::fail(std::exception_ptr error) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!failed_) {
-      failed_ = true;
+    std::lock_guard<std::mutex> lock(error_mu_);
+    if (!failed_.load(std::memory_order_relaxed)) {
       error_ = std::move(error);
+      failed_.store(true, std::memory_order_release);
     }
   }
-  submit_cv_.notify_all();
-  front_cv_.notify_all();
-  back_cv_.notify_all();
-  done_cv_.notify_all();
+  front_bell_.ring();
+  seq_bell_.ring();
+  submit_bell_.ring();
+  done_bell_.ring();
+  for (auto& wk : workers_) wk->bell.ring();
 }
 
-void EngineSession::throw_if_failed_locked() {
-  if (failed_) std::rethrow_exception(error_);
+void EngineSession::throw_if_failed() const {
+  if (failed_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    std::rethrow_exception(error_);
+  }
 }
 
-bool EngineSession::round_formable_locked() const {
-  for (const auto& q : queues_) {
-    if (q.empty()) return false;
+bool EngineSession::round_formable() const {
+  for (const auto& lane : lanes_) {
+    if (lane->ring.empty()) return false;
   }
   return true;
 }
@@ -106,18 +135,35 @@ bool EngineSession::round_formable_locked() const {
 void EngineSession::submit(std::size_t ap_index, CMat chunk) {
   SA_EXPECTS(ap_index < aps_.size());
   SA_EXPECTS(chunk.rows() == aps_[ap_index]->config().geometry.size());
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    submit_cv_.wait(lock, [&] {
-      return failed_ || closing_ ||
-             queues_[ap_index].size() < config_.max_pending_chunks;
-    });
-    throw_if_failed_locked();
-    if (closing_) throw StateError("EngineSession::submit after close()");
-    queues_[ap_index].push_back(std::move(chunk));
-    ++stats_.chunks_submitted;
+  SubmitLane& lane = *lanes_[ap_index];
+  // Same-AP submitters serialize here; the ring itself stays SPSC. The
+  // dataplane never touches this mutex.
+  std::lock_guard<std::mutex> producer(lane.producer_mu);
+  throw_if_failed();
+  if (closing_.load(std::memory_order_acquire)) {
+    throw StateError("EngineSession::submit after close()");
   }
-  front_cv_.notify_one();
+  // Honor the configured bound exactly even when the ring's power-of-two
+  // capacity rounded above it.
+  if (lane.ring.size() >= config_.max_pending_chunks) {
+    stats_.submit_ring_full_blocks.fetch_add(1, std::memory_order_relaxed);
+    submit_bell_.wait(
+        [&] {
+          return failed_.load(std::memory_order_acquire) ||
+                 closing_.load(std::memory_order_acquire) ||
+                 lane.ring.size() < config_.max_pending_chunks;
+        },
+        /*spin_budget=*/0, &stats_.spin_polls, &stats_.parks);
+    throw_if_failed();
+    if (closing_.load(std::memory_order_acquire)) {
+      throw StateError("EngineSession::submit after close()");
+    }
+  }
+  const bool pushed = lane.ring.try_push(std::move(chunk));
+  SA_EXPECTS(pushed);  // capacity >= max_pending_chunks by construction
+  atomic_max(stats_.max_submit_ring_occupancy, lane.ring.size());
+  stats_.chunks_submitted.fetch_add(1, std::memory_order_relaxed);
+  front_bell_.ring();
 }
 
 void EngineSession::submit_round(std::vector<CMat> chunks) {
@@ -128,459 +174,537 @@ void EngineSession::submit_round(std::vector<CMat> chunks) {
 }
 
 void EngineSession::drain() {
-  std::uint64_t ticket = 0;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    throw_if_failed_locked();
-    if (closing_) throw StateError("EngineSession::drain after close()");
-    ticket = ++drains_requested_;
+  throw_if_failed();
+  if (closing_.load(std::memory_order_acquire)) {
+    throw StateError("EngineSession::drain after close()");
   }
-  front_cv_.notify_one();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock,
-                [&] { return failed_ || drains_completed_ >= ticket; });
-  throw_if_failed_locked();
+  const std::uint64_t ticket =
+      drains_requested_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  front_bell_.ring();
+  done_bell_.wait(
+      [&] {
+        return failed_.load(std::memory_order_acquire) ||
+               drains_completed_.load(std::memory_order_acquire) >= ticket;
+      },
+      /*spin_budget=*/0, &stats_.spin_polls, &stats_.parks);
+  throw_if_failed();
 }
 
 void EngineSession::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return failed_ || (!round_formable_locked() && rounds_in_flight_ == 0);
-  });
-  throw_if_failed_locked();
+  done_bell_.wait(
+      [&] {
+        return failed_.load(std::memory_order_acquire) ||
+               (!round_formable() &&
+                rounds_in_flight_.load(std::memory_order_acquire) == 0);
+      },
+      /*spin_budget=*/0, &stats_.spin_polls, &stats_.parks);
+  throw_if_failed();
 }
 
 void EngineSession::close() {
   // Serializes concurrent close() calls: the loser waits here and then
   // sees closed_, instead of racing the winner into a double join.
   std::lock_guard<std::mutex> close_lock(close_mu_);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (closed_) return;
-  }
+  if (closed_) return;
   std::exception_ptr drain_error;
   try {
     drain();
   } catch (...) {
     drain_error = std::current_exception();
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    closing_ = true;
-  }
-  submit_cv_.notify_all();
-  front_cv_.notify_all();
-  back_cv_.notify_all();
-  done_cv_.notify_all();
+  closing_.store(true, std::memory_order_release);
+  front_bell_.ring();
+  seq_bell_.ring();
+  submit_bell_.ring();
+  done_bell_.ring();
+  for (auto& wk : workers_) wk->bell.ring();
   if (front_.joinable()) front_.join();
-  if (back_.joinable()) back_.join();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    closed_ = true;
+  if (sequencer_.joinable()) sequencer_.join();
+  for (auto& wk : workers_) {
+    if (wk->thread.joinable()) wk->thread.join();
   }
+  closed_ = true;
   if (drain_error) std::rethrow_exception(drain_error);
 }
 
 SessionStats EngineSession::session_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  SessionStats s = stats_;
-  s.max_overlapped_rounds = pool_.max_epochs_in_flight();
+  SessionStats s;
+  s.chunks_submitted = stats_.chunks_submitted.load(std::memory_order_acquire);
+  s.rounds_completed = stats_.rounds_completed.load(std::memory_order_acquire);
+  s.decisions_emitted =
+      stats_.decisions_emitted.load(std::memory_order_acquire);
+  s.stale_retries = stats_.stale_retries.load(std::memory_order_acquire);
+  s.stale_skips = stats_.stale_skips.load(std::memory_order_acquire);
+  s.max_inflight_frames =
+      stats_.max_inflight_frames.load(std::memory_order_acquire);
+  s.max_admitted_rounds =
+      stats_.max_admitted_rounds.load(std::memory_order_acquire);
+  s.max_overlapped_rounds =
+      stats_.max_overlapped_rounds.load(std::memory_order_acquire);
+  s.submit_ring_full_blocks =
+      stats_.submit_ring_full_blocks.load(std::memory_order_acquire);
+  s.max_submit_ring_occupancy =
+      stats_.max_submit_ring_occupancy.load(std::memory_order_acquire);
+  s.worker_bursts = stats_.worker_bursts.load(std::memory_order_acquire);
+  s.worker_jobs = stats_.worker_jobs.load(std::memory_order_acquire);
+  s.max_worker_burst = stats_.max_worker_burst.load(std::memory_order_acquire);
+  s.spin_polls = stats_.spin_polls.load(std::memory_order_acquire);
+  s.parks = stats_.parks.load(std::memory_order_acquire);
+  s.workers_pinned = stats_.workers_pinned.load(std::memory_order_acquire);
   return s;
 }
 
+void EngineSession::refresh_chain() const {
+  std::lock_guard<std::mutex> lock(chain_mu_);
+  coordinator_.reset_chain_stats();
+  for (const auto& wk : workers_) {
+    coordinator_.add_chain_stats_from(wk->coordinator);
+  }
+}
+
+Coordinator::Stats EngineSession::stats() const {
+  refresh_chain();
+  return coordinator_.stats();
+}
+
+const PolicyChain& EngineSession::chain() const {
+  refresh_chain();
+  return coordinator_.chain();
+}
+
+// ----------------------------------------------------------- front-end
+
 void EngineSession::frontend_loop() {
   const std::size_t n_aps = aps_.size();
+  const std::size_t n_workers = workers_.size();
+  std::uint64_t next_round_id = 0;
+  std::uint64_t drains_issued = 0;
   try {
     for (;;) {
-      // ---- Decide what the next round is: a complete round off the
-      // chunk queues; during a drain, a padded round for ragged
-      // leftovers; then the drain's final flush pass.
+      front_bell_.wait(
+          [&] {
+            if (closing_.load(std::memory_order_acquire) ||
+                failed_.load(std::memory_order_acquire)) {
+              return true;
+            }
+            if (rounds_in_flight_.load(std::memory_order_acquire) >=
+                config_.max_inflight_rounds) {
+              return false;
+            }
+            if (config_.max_inflight_frames > 0) {
+              // Scan-gated dispatch: every in-flight round must have
+              // reported its candidate count (otherwise the budget
+              // can't be checked), and the budget must have room. A
+              // round larger than the whole budget still runs — alone.
+              if (rounds_dispatched_.load(std::memory_order_acquire) !=
+                  rounds_grouped_.load(std::memory_order_acquire)) {
+                return false;
+              }
+              const std::size_t inflight =
+                  inflight_frames_.load(std::memory_order_acquire);
+              if (inflight != 0 && inflight >= config_.max_inflight_frames) {
+                return false;
+              }
+            }
+            return round_formable() ||
+                   drains_issued <
+                       drains_requested_.load(std::memory_order_acquire);
+          },
+          resolved_spin_, &stats_.spin_polls, &stats_.parks);
+      if (closing_.load(std::memory_order_acquire) ||
+          failed_.load(std::memory_order_acquire)) {
+        return;
+      }
+
+      // Count the round in flight *before* popping its chunks, so
+      // wait_idle() can never observe empty rings with the round not
+      // yet accounted for.
+      rounds_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+
+      // A complete round off the rings; during a drain, a padded round
+      // for ragged leftovers; then the drain's final flush pass.
       std::vector<std::optional<CMat>> chunks(n_aps);
+      bool any_chunk = false;
+      const bool drain_pending =
+          drains_issued < drains_requested_.load(std::memory_order_acquire);
+      if (round_formable() || drain_pending) {
+        for (std::size_t i = 0; i < n_aps; ++i) {
+          CMat c;
+          if (lanes_[i]->ring.try_pop(c)) {
+            chunks[i] = std::move(c);
+            any_chunk = true;
+          }
+        }
+      }
       bool final_pass = false;
       std::uint64_t drain_tag = 0;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        front_cv_.wait(lock, [&] {
-          if (failed_ || closing_) return true;
-          if (rounds_in_flight_ >= config_.max_inflight_rounds) return false;
-          return round_formable_locked() ||
-                 drains_issued_ < drains_requested_;
-        });
-        if (failed_ || closing_) return;
-        const bool complete = round_formable_locked();
-        bool any_chunk = false;
-        if (complete || drains_issued_ < drains_requested_) {
-          for (std::size_t i = 0; i < n_aps; ++i) {
-            if (!queues_[i].empty()) {
-              chunks[i] = std::move(queues_[i].front());
-              queues_[i].pop_front();
-              any_chunk = true;
-            }
-          }
+      if (!any_chunk) {
+        // Rings are empty and a drain is pending: this round is its
+        // final flush pass.
+        final_pass = true;
+        drain_tag = ++drains_issued;
+      }
+      submit_bell_.ring();
+
+      const std::uint64_t id = ++next_round_id;
+      const std::uint64_t dispatched =
+          rounds_dispatched_.fetch_add(1, std::memory_order_acq_rel) + 1;
+      atomic_max(stats_.max_overlapped_rounds,
+                 dispatched - rounds_grouped_.load(std::memory_order_acquire));
+
+      for (std::size_t i = 0; i < n_aps; ++i) {
+        Worker& wk = *workers_[i % n_workers];
+        ApJob job;
+        job.round = id;
+        job.ap = i;
+        job.chunk = std::move(chunks[i]);
+        job.final_pass = final_pass;
+        job.drain_tag = drain_tag;
+        // The work ring is sized for max_inflight_rounds, so this never
+        // blocks in practice; the loop is a correctness backstop.
+        while (!wk.work.try_push(std::move(job))) {
+          wk.bell.ring();
+          std::this_thread::yield();
         }
-        if (!any_chunk) {
-          // Queues are empty and a drain is pending: this round is its
-          // final flush pass.
-          final_pass = true;
-          drain_tag = ++drains_issued_;
-        }
-        ++rounds_in_flight_;
-        submit_cv_.notify_all();
       }
-
-      auto round = std::make_unique<Round>();
-      round->id = ++next_round_id_;
-      round->final_pass = final_pass;
-      round->drain_tag = drain_tag;
-      round->per_ap.resize(n_aps);
-
-      // ---- Scan every AP, fanned across the pool. Receiver calls are
-      // serialized per stream; the back-end's commit for the previous
-      // round may land before or after this scan (commit-behind), the
-      // emitted packet stream is the same either way.
-      {
-        std::vector<std::future<StreamingReceiver::Scan>> futures;
-        futures.reserve(n_aps);
-        // Queued scan tasks reference the stack-local `chunks`: if a
-        // later submission fails, the ones already queued must finish
-        // before this frame may unwind.
-        try {
-          for (std::size_t i = 0; i < n_aps; ++i) {
-            futures.push_back(pool_.async_in(round->id, [this, i, &chunks] {
-              std::lock_guard<std::mutex> guard(*stream_mu_[i]);
-              return streams_[i]->scan(chunks[i] ? &*chunks[i] : nullptr);
-            }));
-          }
-        } catch (...) {
-          for (auto& f : futures) {
-            if (f.valid()) f.wait();
-          }
-          throw;
-        }
-        join_all(futures, [&](std::size_t i, StreamingReceiver::Scan s) {
-          round->per_ap[i].scan = std::move(s);
-        });
+      // One doorbell per dispatched round, not per ApJob: ringing a
+      // parked worker takes its mutex, so per-job rings force needless
+      // wakeup churn when several of the round's APs share a worker.
+      for (std::size_t w = 0; w < n_workers && w < n_aps; ++w) {
+        workers_[w]->bell.ring();
       }
-
-      // ---- Admit the round's candidates against the in-flight frame
-      // budget (a round bigger than the whole budget waits for an empty
-      // pipeline and runs alone).
-      std::size_t candidates = 0;
-      for (const auto& ar : round->per_ap) {
-        candidates += ar.scan.candidates.size();
-      }
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        front_cv_.wait(lock, [&] {
-          return failed_ || config_.max_inflight_frames == 0 ||
-                 inflight_frames_ == 0 ||
-                 inflight_frames_ + candidates <= config_.max_inflight_frames;
-        });
-        if (failed_) return;
-        round->budget = candidates;
-        inflight_frames_ += candidates;
-        ++admitted_rounds_;
-        stats_.max_inflight_frames =
-            std::max(stats_.max_inflight_frames, inflight_frames_);
-        stats_.max_admitted_rounds =
-            std::max(stats_.max_admitted_rounds, admitted_rounds_);
-      }
-
-      // ---- Schedule the fresh candidates' heavy work now: these frames
-      // arrived in this round's chunk, so no pending commit can already
-      // have emitted them. Candidates that predate the chunk (deferred
-      // retries, or duplicates a pending commit is about to cover) are
-      // left for the back-end, which resolves them against the
-      // then-current watermark. Narrowband APs run the whole demodulate
-      // as one task; wideband APs split decode from the per-band
-      // estimates so a single frame can keep several workers busy.
-      // Scheduled tasks hold pointers into the round record: if a
-      // submission fails partway, every already-scheduled task must
-      // finish before the record may unwind.
-      try {
-        schedule_fresh_work(*round);
-      } catch (...) {
-        for (auto& ar : round->per_ap) {
-          for (auto& f : ar.demod_futures) {
-            if (f.valid()) f.wait();
-          }
-          for (auto& f : ar.prep_futures) {
-            if (f.valid()) f.wait();
-          }
-        }
-        throw;
-      }
-
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        round_queue_.push_back(std::move(round));
-      }
-      back_cv_.notify_one();
     }
   } catch (...) {
     fail(std::current_exception());
   }
 }
 
-void EngineSession::schedule_fresh_work(Round& round) {
-  const std::size_t n_aps = aps_.size();
-  for (std::size_t i = 0; i < n_aps; ++i) {
-    ApRound& ar = round.per_ap[i];
-    const std::size_t n_cands = ar.scan.candidates.size();
-    ar.processed.resize(n_cands);
-    const bool wideband = aps_[i]->config().subbands > 1;
-    if (wideband) {
-      ar.preps.resize(n_cands);
-      ar.band_results.resize(n_cands);
+// -------------------------------------------------------------- workers
+
+void EngineSession::worker_loop(std::size_t w) {
+  Worker& wk = *workers_[w];
+  if (config_.placement.pin_workers) {
+    int core = -1;
+    if (!config_.placement.cores.empty()) {
+      core = config_.placement.cores[w % config_.placement.cores.size()];
+    } else {
+      const unsigned hw = std::thread::hardware_concurrency();
+      if (hw > 0) core = static_cast<int>(w % hw);
     }
-    for (std::size_t j = 0; j < n_cands; ++j) {
-      const auto& cand = ar.scan.candidates[j];
-      if (cand.absolute_start < ar.scan.prev_seen) {
-        ar.stale.push_back(j);
-        continue;
-      }
-      if (wideband) {
-        ar.prep_futures.push_back(pool_.async_in(
-            round.id, [ap = aps_[i], conditioned = ar.scan.conditioned,
-                       det = cand.detection] {
-              // One scratch per worker thread, reused across every frame
-              // it prepares — results are bit-identical to the
-              // allocating path (tested), only the allocations go away.
-              thread_local AccessPoint::FrameScratch scratch;
-              return ap->prepare(*conditioned, det, &scratch);
-            }));
-        ar.prep_idx.push_back(j);
-      } else {
-        ar.demod_futures.push_back(pool_.async_in(
-            round.id, [ap = aps_[i], conditioned = ar.scan.conditioned,
-                       det = cand.detection] {
-              thread_local AccessPoint::FrameScratch scratch;
-              return ap->demodulate(*conditioned, det, &scratch);
-            }));
-        ar.demod_idx.push_back(j);
-      }
+    if (pin_current_thread(core)) {
+      stats_.workers_pinned.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+  try {
+    for (;;) {
+      wk.bell.wait(
+          [&] {
+            return closing_.load(std::memory_order_acquire) ||
+                   failed_.load(std::memory_order_acquire) ||
+                   !wk.decide.empty() || !wk.work.empty();
+          },
+          resolved_spin_, &stats_.spin_polls, &stats_.parks);
+      if (closing_.load(std::memory_order_acquire) ||
+          failed_.load(std::memory_order_acquire)) {
+        return;
+      }
+      // A "burst" is everything processed between two waits. With a
+      // single run-to-completion worker a burst can span the entire
+      // workload (new jobs keep arriving while it drains), so the
+      // counters are published per job, not at burst end — a stats
+      // snapshot taken mid-burst must still see the work.
+      std::size_t burst = 0;
+      auto count_job = [&] {
+        if (++burst == 1) {
+          stats_.worker_bursts.fetch_add(1, std::memory_order_relaxed);
+        }
+        stats_.worker_jobs.fetch_add(1, std::memory_order_relaxed);
+      };
+      DecideJob dj;
+      ApJob job;
+      // Decisions first: they gate round completion and budget release.
+      while (wk.decide.try_pop(dj)) {
+        process_decide_job(wk, std::move(dj));
+        count_job();
+      }
+      while (wk.work.try_pop(job)) {
+        process_ap_job(wk, std::move(job));
+        count_job();
+        while (wk.decide.try_pop(dj)) {
+          process_decide_job(wk, std::move(dj));
+          count_job();
+        }
+      }
+      if (burst != 0) atomic_max(stats_.max_worker_burst, burst);
+    }
+  } catch (...) {
+    fail(std::current_exception());
   }
 }
 
-void EngineSession::backend_loop() {
-  for (;;) {
-    std::unique_ptr<Round> round;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      back_cv_.wait(lock, [&] {
-        return failed_ || closing_ || !round_queue_.empty();
-      });
-      if (!round_queue_.empty()) {
-        round = std::move(round_queue_.front());
-        round_queue_.pop_front();
-      } else if (failed_ || closing_) {
+void EngineSession::process_ap_job(Worker& wk, ApJob job) {
+  StreamingReceiver& rx = *streams_[job.ap];
+  // Run-to-completion, lock-free: this worker is the only thread that
+  // ever touches this receiver, and it committed round N-1 before
+  // scanning round N — the lock-step schedule StreamingReceiver
+  // documents as byte-identical to any commit-behind pipeline.
+  StreamingReceiver::Scan scan = rx.scan(job.chunk ? &*job.chunk : nullptr);
+  const std::size_t watermark = rx.emit_watermark();
+  const std::size_t n_cands = scan.candidates.size();
+  std::vector<std::optional<ReceivedPacket>> processed(n_cands);
+  std::size_t retries = 0;
+  std::size_t skips = 0;
+  for (std::size_t j = 0; j < n_cands; ++j) {
+    const auto& cand = scan.candidates[j];
+    if (cand.absolute_start < scan.prev_seen) {
+      // Candidate predates this round's chunk: either an earlier commit
+      // already emitted it (skip — commit would dedupe it anyway) or it
+      // is a genuine deferred retry.
+      if (cand.absolute_start < watermark) {
+        ++skips;
+        continue;
+      }
+      ++retries;
+    }
+    processed[j] =
+        aps_[job.ap]->demodulate(*scan.conditioned, cand.detection,
+                                 &wk.scratch);
+  }
+  Completion done;
+  done.kind = Completion::Kind::kApDone;
+  done.round = job.round;
+  done.ap = job.ap;
+  done.packets = rx.commit(scan, std::move(processed), job.final_pass);
+  done.candidates = n_cands;
+  done.retries = retries;
+  done.skips = skips;
+  done.drain_tag = job.drain_tag;
+  push_completion(wk, std::move(done));
+}
+
+void EngineSession::process_decide_job(Worker& wk, DecideJob job) {
+  // This worker owns shard_of(source MAC): the spoof observe and every
+  // stateful policy in its chain see this MAC's frames in global
+  // sequence order, judged against state no other thread touches.
+  std::optional<SpoofObservation> so;
+  const ApObservation& best = Coordinator::best_observation(job.observations);
+  if (coordinator_.wants_spoof() && best.packet.frame) {
+    so = spoof_.observe(best.packet.frame->addr2, best.packet.subband);
+  }
+  Completion done;
+  done.kind = Completion::Kind::kDecision;
+  done.round = job.round;
+  done.sequence = job.sequence;
+  done.absolute_start = job.absolute_start;
+  done.decision =
+      wk.coordinator.process_prejudged(job.observations, so, job.sequence);
+  push_completion(wk, std::move(done));
+}
+
+void EngineSession::push_completion(Worker& wk, Completion c) {
+  while (!wk.done.try_push(std::move(c))) {
+    // Ring full: the sequencer drains eagerly, so just prod it and
+    // retry. The sequencer never blocks on this worker, so this cannot
+    // deadlock.
+    seq_bell_.ring();
+    std::this_thread::yield();
+    if (failed_.load(std::memory_order_acquire)) return;
+  }
+  seq_bell_.ring();
+}
+
+// ------------------------------------------------------------ sequencer
+
+void EngineSession::sequencer_loop() {
+  const std::size_t n_aps = aps_.size();
+  const std::size_t n_workers = workers_.size();
+
+  /// A round whose per-AP completions are still being collected.
+  struct RoundAgg {
+    std::size_t aps_done = 0;
+    std::vector<std::vector<StreamingReceiver::StreamPacket>> per_ap;
+    std::size_t candidates = 0;
+    std::size_t retries = 0;
+    std::size_t skips = 0;
+    std::uint64_t drain_tag = 0;
+  };
+  /// A grouped round whose decisions are still outstanding.
+  struct OpenRound {
+    std::uint64_t id = 0;
+    std::size_t candidates = 0;
+    std::size_t first_sequence = 0;
+    std::size_t expected = 0;
+    std::size_t done = 0;
+    std::uint64_t drain_tag = 0;
+  };
+
+  std::map<std::uint64_t, RoundAgg> collecting;
+  std::uint64_t next_round_to_group = 1;
+  std::deque<OpenRound> open;  // strictly ascending round ids
+  std::map<std::size_t, Completion> ready;  // sequence -> decision
+  std::size_t next_emit = 0;
+  std::size_t next_sequence = 0;
+  std::vector<Completion> batch;
+
+  const auto drain_done_rings = [&] {
+    for (auto& wk : workers_) {
+      wk->done.pop_batch(batch, wk->done.capacity());
+    }
+  };
+
+  const auto dispatch_decide = [&](std::size_t w, DecideJob job) {
+    Worker& wk = *workers_[w];
+    while (!wk.decide.try_push(std::move(job))) {
+      // The target worker may itself be blocked pushing completions:
+      // keep draining done rings (into `batch`, handled next pass) so
+      // the cycle always makes progress.
+      wk.bell.ring();
+      drain_done_rings();
+      std::this_thread::yield();
+      if (failed_.load(std::memory_order_acquire) ||
+          closing_.load(std::memory_order_acquire)) {
         return;
       }
     }
-    if (!round) continue;
-    try {
-      process_round(*round);
-    } catch (...) {
-      fail(std::current_exception());
-      return;
-    }
-  }
-}
+    wk.bell.ring();
+  };
 
-void EngineSession::process_round(Round& round) {
-  const std::size_t n_aps = aps_.size();
-  std::size_t stale_retries = 0;
-  std::size_t stale_skips = 0;
-
-  // ---- Join the front-end's fresh decode/prep work, in fixed order.
-  // Every AP's futures are joined even if an earlier one threw: a
-  // pending task holds pointers into this round record, so nothing may
-  // unwind past it.
-  {
-    std::exception_ptr first_error;
-    for (std::size_t i = 0; i < n_aps; ++i) {
-      ApRound& ar = round.per_ap[i];
-      try {
-        join_all(ar.demod_futures,
-                 [&](std::size_t k, std::optional<ReceivedPacket> p) {
-                   ar.processed[ar.demod_idx[k]] = std::move(p);
-                 });
-      } catch (...) {
-        if (!first_error) first_error = std::current_exception();
-      }
-      try {
-        join_all(ar.prep_futures,
-                 [&](std::size_t k, std::optional<AccessPoint::FramePrep> p) {
-                   ar.preps[ar.prep_idx[k]] = std::move(p);
-                 });
-      } catch (...) {
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-    if (first_error) std::rethrow_exception(first_error);
-  }
-
-  // ---- Wideband: fan the per-(frame, subband) estimates flat across
-  // the pool, then assemble — the intra-frame parallelism of the batch
-  // engine, preserved inside the pipelined round.
-  {
-    std::vector<std::future<MusicResult>> futures;
-    struct Slot {
-      std::size_t ap, cand, band;
-    };
-    std::vector<Slot> where;
-    for (std::size_t i = 0; i < n_aps; ++i) {
-      ApRound& ar = round.per_ap[i];
-      for (std::size_t j = 0; j < ar.preps.size(); ++j) {
-        if (!ar.preps[j]) continue;
-        ar.band_results[j].resize(ar.preps[j]->bands.size());
-        for (std::size_t b = 0; b < ar.preps[j]->bands.size(); ++b) {
-          futures.push_back(
-              pool_.async_in(round.id, [ap = aps_[i], prep = &*ar.preps[j], b] {
-                return ap->estimate_band(*prep, b);
-              }));
-          where.push_back({i, j, b});
+  try {
+    for (;;) {
+      if (batch.empty()) {
+        seq_bell_.wait(
+            [&] {
+              if (closing_.load(std::memory_order_acquire) ||
+                  failed_.load(std::memory_order_acquire)) {
+                return true;
+              }
+              for (const auto& wk : workers_) {
+                if (!wk->done.empty()) return true;
+              }
+              return false;
+            },
+            resolved_spin_, &stats_.spin_polls, &stats_.parks);
+        if (closing_.load(std::memory_order_acquire) ||
+            failed_.load(std::memory_order_acquire)) {
+          return;
         }
       }
-    }
-    join_all(futures, [&](std::size_t k, MusicResult r) {
-      round.per_ap[where[k].ap].band_results[where[k].cand][where[k].band] =
-          std::move(r);
-    });
-  }
-  {
-    std::vector<std::future<ReceivedPacket>> futures;
-    std::vector<std::pair<std::size_t, std::size_t>> where;  // (ap, cand)
-    for (std::size_t i = 0; i < n_aps; ++i) {
-      ApRound& ar = round.per_ap[i];
-      for (std::size_t j = 0; j < ar.preps.size(); ++j) {
-        if (!ar.preps[j]) continue;
-        futures.push_back(pool_.async_in(
-            round.id,
-            [ap = aps_[i], prep = &ar.preps[j], res = &ar.band_results[j]] {
-              return ap->assemble(std::move(**prep), std::move(*res));
-            }));
-        where.emplace_back(i, j);
-      }
-    }
-    join_all(futures, [&](std::size_t k, ReceivedPacket p) {
-      round.per_ap[where[k].first].processed[where[k].second] = std::move(p);
-    });
-  }
 
-  // ---- Resolve stale candidates against the now-final watermark of the
-  // preceding commit: duplicates an earlier round already emitted stay
-  // unprocessed (commit drops them), genuine deferred retries are
-  // decoded here. Retries are rare, so they run inline.
-  for (std::size_t i = 0; i < n_aps; ++i) {
-    ApRound& ar = round.per_ap[i];
-    if (ar.stale.empty()) continue;
-    std::size_t watermark = 0;
-    {
-      std::lock_guard<std::mutex> guard(*stream_mu_[i]);
-      watermark = streams_[i]->emit_watermark();
-    }
-    for (std::size_t j : ar.stale) {
-      const auto& cand = ar.scan.candidates[j];
-      if (cand.absolute_start < watermark) {
-        ++stale_skips;
-        continue;
-      }
-      thread_local AccessPoint::FrameScratch scratch;  // back-end thread's
-      ar.processed[j] =
-          aps_[i]->demodulate(*ar.scan.conditioned, cand.detection, &scratch);
-      ++stale_retries;
-    }
-  }
-
-  // ---- Commit per stream, in AP order.
-  std::vector<std::vector<StreamingReceiver::StreamPacket>> per_ap(n_aps);
-  for (std::size_t i = 0; i < n_aps; ++i) {
-    ApRound& ar = round.per_ap[i];
-    std::lock_guard<std::mutex> guard(*stream_mu_[i]);
-    per_ap[i] = streams_[i]->commit(ar.scan, std::move(ar.processed),
-                                    round.final_pass);
-  }
-
-  // ---- Fuse the APs' views of each transmission.
-  std::vector<FrameGroup> groups = group_frame_observations(
-      std::move(per_ap), positions_, config_.engine.group_slack_samples);
-
-  // ---- Spoof observations: reserve a per-frame ticket in global frame
-  // order, then fulfil from the pool — a MAC's tracker state advances
-  // frame by frame (every MAC lives on one shard) while unrelated
-  // shards run concurrently, with no per-round barrier. Skipped when the
-  // chain has no SpoofPolicy (trackers must not train on frames no
-  // policy will judge).
-  std::vector<std::future<SpoofObservation>> spoof_futures(groups.size());
-  if (coordinator_.wants_spoof()) {
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      const ApObservation& best =
-          Coordinator::best_observation(groups[g].observations);
-      if (!best.packet.frame) continue;
-      const SpoofTicket ticket = spoof_.reserve(best.packet.frame->addr2);
-      auto promise = std::make_shared<std::promise<SpoofObservation>>();
-      spoof_futures[g] = promise->get_future();
-      pool_.submit(
-          [this, ticket, mac = &best.packet.frame->addr2,
-           sig = &best.packet.subband, promise] {
-            try {
-              spoof_.fulfil(ticket, *mac, *sig,
-                            [promise](SpoofObservation obs,
-                                      std::exception_ptr error) {
-                              if (error) {
-                                promise->set_exception(std::move(error));
-                              } else {
-                                promise->set_value(obs);
-                              }
-                            });
-            } catch (...) {
-              promise->set_exception(std::current_exception());
+      drain_done_rings();
+      for (Completion& c : batch) {
+        if (c.kind == Completion::Kind::kApDone) {
+          RoundAgg& agg = collecting[c.round];
+          if (agg.per_ap.empty()) agg.per_ap.resize(n_aps);
+          agg.per_ap[c.ap] = std::move(c.packets);
+          agg.candidates += c.candidates;
+          agg.retries += c.retries;
+          agg.skips += c.skips;
+          agg.drain_tag = std::max(agg.drain_tag, c.drain_tag);
+          ++agg.aps_done;
+        } else {
+          for (OpenRound& r : open) {
+            if (r.id == c.round) {
+              ++r.done;
+              break;
             }
-          },
-          round.id);
-    }
-  }
-
-  // ---- Re-sequence into the one ordered decision stream. On error,
-  // outstanding spoof tasks still reference `groups`: wait them out
-  // before unwinding.
-  std::exception_ptr decide_error;
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    try {
-      std::optional<SpoofObservation> spoof;
-      if (spoof_futures[g].valid()) spoof = spoof_futures[g].get();
-      if (!decide_error) {
-        EngineDecision decision{
-            sequence_, groups[g].absolute_start,
-            coordinator_.process_prejudged(groups[g].observations, spoof)};
-        ++sequence_;
-        sink_(decision);
+          }
+          ready.emplace(c.sequence, std::move(c));
+        }
       }
-    } catch (...) {
-      if (!decide_error) decide_error = std::current_exception();
-    }
-  }
-  if (decide_error) std::rethrow_exception(decide_error);
+      batch.clear();
 
-  // ---- Bookkeeping: release the budget, record progress, wake the
-  // front-end and any drain()/wait_idle() callers.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    inflight_frames_ -= round.budget;
-    --admitted_rounds_;
-    --rounds_in_flight_;
-    ++stats_.rounds_completed;
-    stats_.decisions_emitted += groups.size();
-    stats_.stale_retries += stale_retries;
-    stats_.stale_skips += stale_skips;
-    if (round.drain_tag != 0) {
-      drains_completed_ = std::max(drains_completed_, round.drain_tag);
+      // ---- Group scan-complete rounds, strictly in round order, and
+      // route each fused frame to the worker owning its MAC shard.
+      for (;;) {
+        auto it = collecting.find(next_round_to_group);
+        if (it == collecting.end() || it->second.aps_done < n_aps) break;
+        RoundAgg agg = std::move(it->second);
+        collecting.erase(it);
+
+        const std::size_t inflight =
+            inflight_frames_.fetch_add(agg.candidates,
+                                       std::memory_order_acq_rel) +
+            agg.candidates;
+        atomic_max(stats_.max_inflight_frames, inflight);
+        const std::size_t admitted =
+            admitted_rounds_.fetch_add(1, std::memory_order_acq_rel) + 1;
+        atomic_max(stats_.max_admitted_rounds, admitted);
+        stats_.stale_retries.fetch_add(agg.retries,
+                                       std::memory_order_relaxed);
+        stats_.stale_skips.fetch_add(agg.skips, std::memory_order_relaxed);
+
+        std::vector<FrameGroup> groups = group_frame_observations(
+            std::move(agg.per_ap), positions_,
+            config_.engine.group_slack_samples);
+
+        OpenRound r;
+        r.id = next_round_to_group;
+        r.candidates = agg.candidates;
+        r.first_sequence = next_sequence;
+        r.expected = groups.size();
+        r.drain_tag = agg.drain_tag;
+        open.push_back(r);
+
+        for (FrameGroup& g : groups) {
+          const std::size_t seq = next_sequence++;
+          const ApObservation& best =
+              Coordinator::best_observation(g.observations);
+          const std::size_t w =
+              best.packet.frame
+                  ? spoof_.shard_of(best.packet.frame->addr2) % n_workers
+                  : seq % n_workers;
+          DecideJob job;
+          job.round = next_round_to_group;
+          job.sequence = seq;
+          job.absolute_start = g.absolute_start;
+          job.observations = std::move(g.observations);
+          dispatch_decide(w, std::move(job));
+        }
+
+        rounds_grouped_.fetch_add(1, std::memory_order_release);
+        front_bell_.ring();  // budget gate inputs changed
+        ++next_round_to_group;
+      }
+
+      // ---- Emit finished decisions, strictly in sequence order.
+      while (!ready.empty() && ready.begin()->first == next_emit) {
+        Completion& c = ready.begin()->second;
+        EngineDecision d;
+        d.sequence = c.sequence;
+        d.absolute_start = c.absolute_start;
+        d.decision = std::move(c.decision);
+        sink_(d);
+        stats_.decisions_emitted.fetch_add(1, std::memory_order_release);
+        ready.erase(ready.begin());
+        ++next_emit;
+      }
+
+      // ---- Retire rounds from the front, in round order, once all
+      // their decisions are out: release budget, signal drains. In-order
+      // retirement guarantees a drain ticket only completes after every
+      // earlier round's decisions were emitted.
+      while (!open.empty() && open.front().done == open.front().expected &&
+             next_emit >= open.front().first_sequence + open.front().expected) {
+        const OpenRound r = open.front();
+        open.pop_front();
+        inflight_frames_.fetch_sub(r.candidates, std::memory_order_acq_rel);
+        admitted_rounds_.fetch_sub(1, std::memory_order_acq_rel);
+        stats_.rounds_completed.fetch_add(1, std::memory_order_release);
+        if (r.drain_tag != 0) {
+          // Single writer: plain max-store suffices.
+          const std::uint64_t cur =
+              drains_completed_.load(std::memory_order_relaxed);
+          drains_completed_.store(std::max(cur, r.drain_tag),
+                                  std::memory_order_release);
+        }
+        rounds_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+        front_bell_.ring();
+        done_bell_.ring();
+      }
     }
+  } catch (...) {
+    fail(std::current_exception());
   }
-  front_cv_.notify_all();
-  done_cv_.notify_all();
 }
 
 }  // namespace sa

@@ -85,9 +85,21 @@ FrameDecision Coordinator::process_prejudged(
   return decide(observations, best, spoof);
 }
 
+FrameDecision Coordinator::process_prejudged(
+    const std::vector<ApObservation>& observations,
+    const std::optional<SpoofObservation>& spoof, std::size_t frame_index) {
+  const ApObservation& best = best_observation(observations);
+  if (wants_spoof_) {
+    SA_EXPECTS(spoof.has_value() == best.packet.frame.has_value());
+  }
+  FrameContext ctx(observations, best, frame_index, spoof);
+  return chain_.run(ctx);
+}
+
 FrameDecision Coordinator::decide(
     const std::vector<ApObservation>& observations, const ApObservation& best,
     const std::optional<SpoofObservation>& spoof) {
+  // A serial chain's processed count *is* the global frame index.
   FrameContext ctx(observations, best, chain_.frames(), spoof);
   return chain_.run(ctx);
 }

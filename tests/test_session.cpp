@@ -317,6 +317,39 @@ TEST(Session, StatsCountChunksRoundsAndDecisions) {
   EXPECT_GE(stats.max_inflight_frames, 1u);
 }
 
+TEST(Session, SubmitRingBackpressureBlocksWithoutChangingOutput) {
+  SessionRig rig(11);
+  const auto reference = rig.run_serial_reference();
+
+  // One-slot submit rings and a lock-step pipeline: the submitter runs
+  // far ahead of the dataplane and must repeatedly find its AP's ring
+  // full, block on the doorbell, and resume — with zero effect on the
+  // decision stream.
+  SessionConfig cfg = rig.session_config(2);
+  cfg.max_pending_chunks = 1;
+  cfg.max_inflight_rounds = 1;
+  SessionStats stats;
+  expect_identical_streams(rig.run_session(cfg, &stats), reference);
+  EXPECT_GT(stats.submit_ring_full_blocks, 0u);
+  EXPECT_LE(stats.max_submit_ring_occupancy, 1u);
+}
+
+TEST(Session, WorkerPlacementPinningIsDeterministicAndObservable) {
+  SessionRig rig(11);
+  const auto reference = rig.run_serial_reference();
+
+  SessionConfig cfg = rig.session_config(2);
+  cfg.placement.pin_workers = true;
+  cfg.placement.cores = {0};  // every worker on core 0: worst case, legal
+  SessionStats stats;
+  expect_identical_streams(rig.run_session(cfg, &stats), reference);
+#if defined(__linux__)
+  EXPECT_EQ(stats.workers_pinned, 2u);
+#else
+  EXPECT_EQ(stats.workers_pinned, 0u);  // no-op off Linux, by contract
+#endif
+}
+
 TEST(Session, RejectsInvalidSubmissions) {
   SessionRig rig(11);
   EngineSession session(rig.session_config(1), rig.ptrs,

@@ -1,34 +1,41 @@
 // Scenario runner: a CLI over the full SecureAngle system. Builds the
-// Figure-4 office with a configurable multi-AP deployment, runs a mixed
-// workload (legitimate uplink traffic + MAC-spoofing attacker + off-site
-// transmitter), streams every AP's samples through the engine, and
-// prints a security report with per-policy statistics.
+// Figure-4 office with a configurable multi-AP deployment, runs a
+// selectable traffic scenario (sa/sim/scenario.hpp) — benign, bursty,
+// mobile, adversarial or overload — streams every AP's samples through
+// the engine, and prints a security report with per-policy statistics.
+// With --capture the whole run (chunk streams, decisions, drain
+// boundaries) is recorded to a SACP file that capture_tool can inspect
+// and replay bit-exactly.
 //
 // Two modes:
 //  - batch (default): the three-phase scripted workload through the
 //    lock-step DeploymentEngine, one ingest round per transmission.
-//  - streaming (--duration): Poisson frame arrivals pushed into an
-//    EngineSession for a simulated wall-clock span — chunks go in as
-//    they "arrive" while earlier rounds are still deciding, so this
-//    workload cannot be expressed as a sequence of batch rounds.
+//  - streaming (--duration or --scenario): scenario-driven arrivals
+//    pushed into an EngineSession for a simulated wall-clock span —
+//    chunks go in as they "arrive" while earlier rounds are still
+//    deciding, with periodic interval reports (the final, partial
+//    interval included).
 //
 // Usage: scenario_runner [options] [seed [packets [num-aps]]]
-//   --seed N          RNG seed                       (default 7)
-//   --packets N       frames per client per phase    (default 10)
-//   --aps N           access points, any count >= 1  (default 3)
-//   --threads N       engine worker threads, 0=auto  (default 1)
-//   --estimator NAME  music|capon|bartlett|root-music|esprit (default music)
-//   --subbands K      wideband subbands per packet, power of two (default 1)
-//   --band-fusion F   uniform|snr wideband signature fusion (default uniform)
-//   --policies LIST   comma-separated chain order from acl,fence,spoof,rate
-//                     (default spoof,fence; decode is always implicit first;
-//                     acl allows exactly the testbed's legitimate clients)
-//   --duration S      streaming mode: simulated seconds of traffic
-//   --arrival-rate R  streaming mode: mean frame arrivals/sec (default 40)
-// e.g.:  ./build/examples/scenario_runner --aps 6 --threads 4
-//            --subbands 4 --policies acl,fence,spoof,rate
-//        ./build/examples/scenario_runner --threads 4 --duration 2
-//            --arrival-rate 80
+//   --seed N            RNG seed                       (default 7)
+//   --packets N         frames per client per phase    (default 10)
+//   --aps N             access points, any count >= 1  (default 3)
+//   --antennas N        per-AP antennas; 8 = the paper's octagon,
+//                       anything else a circular array (default 8)
+//   --threads N         engine worker threads, 0=auto  (default 1)
+//   --estimator NAME    music|capon|bartlett|root-music|esprit
+//   --subbands K        wideband subbands per packet, power of two
+//   --band-fusion F     uniform|snr wideband signature fusion
+//   --policies LIST     comma-separated from acl,fence,spoof,rate
+//   --scenario NAME     office|mmpp|flash-crowd|mobile|adaptive-spoof|
+//                       flood — selects streaming mode
+//   --duration S        streaming mode: simulated seconds of traffic
+//   --arrival-rate R    streaming mode: mean frame arrivals/sec
+//   --report-interval S streaming mode: seconds between interval
+//                       reports (default 0.5)
+//   --capture PATH      record the run as a SACP capture
+// e.g.:  ./build/examples/scenario_runner --scenario flood --threads 4
+//        ./build/examples/scenario_runner --scenario mmpp --capture run.sacp
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -36,14 +43,15 @@
 #include <optional>
 #include <string>
 
+#include "sa/capture/writer.hpp"
 #include "sa/common/rng.hpp"
 #include "sa/dsp/fft.hpp"
 #include "sa/engine/deployment.hpp"
 #include "sa/engine/session.hpp"
 #include "sa/mac/frame.hpp"
 #include "sa/phy/packet.hpp"
-#include "sa/testbed/office.hpp"
-#include "sa/testbed/uplink.hpp"
+#include "sa/sim/deployment.hpp"
+#include "sa/sim/scenario.hpp"
 
 using namespace sa;
 
@@ -51,13 +59,16 @@ namespace {
 
 [[noreturn]] void print_usage(std::FILE* to, const char* argv0, int status) {
   std::fprintf(to,
-               "usage: %s [--seed N] [--packets N] [--aps N] [--threads N]\n"
+               "usage: %s [--seed N] [--packets N] [--aps N] [--antennas N]\n"
+               "          [--threads N]\n"
                "          [--estimator music|capon|bartlett|root-music|esprit]\n"
                "          [--subbands K] [--band-fusion uniform|snr]\n"
                "          [--policies acl,fence,spoof,rate]\n"
+               "          [--scenario %s]\n"
                "          [--duration S] [--arrival-rate R]\n"
+               "          [--report-interval S] [--capture PATH]\n"
                "          [seed [packets [num-aps]]]\n",
-               argv0);
+               argv0, scenario_names());
   std::exit(status);
 }
 
@@ -89,16 +100,14 @@ std::vector<PolicyKind> parse_policies(const std::string& list,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::uint64_t seed = 7;
+  DeploymentSpec spec;
   int packets = 10;
-  std::size_t num_aps = 3;
   std::size_t threads = 1;
-  std::size_t subbands = 1;
-  AoaBackend estimator = AoaBackend::kMusic;
-  BandFusion band_fusion = BandFusion::kUniform;
-  std::vector<PolicyKind> policies = default_policy_chain();
+  std::optional<ScenarioKind> scenario;
   double duration_s = 0.0;      // > 0 selects streaming mode
   double arrival_rate = 40.0;   // mean frames/sec in streaming mode
+  double report_interval = 0.5;
+  std::string capture_path;
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -118,11 +127,13 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--seed") {
-      seed = std::strtoull(value(), nullptr, 10);
+      spec.seed = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--packets") {
       packets = std::atoi(value());
     } else if (arg == "--aps") {
-      num_aps = std::strtoul(value(), nullptr, 10);
+      spec.num_aps = std::strtoul(value(), nullptr, 10);
+    } else if (arg == "--antennas") {
+      spec.antennas = std::strtoul(value(), nullptr, 10);
     } else if (arg == "--threads") {
       threads = std::strtoul(value(), nullptr, 10);
     } else if (arg == "--estimator") {
@@ -133,9 +144,9 @@ int main(int argc, char** argv) {
                      aoa_backend_names());
         usage(argv[0]);
       }
-      estimator = *parsed;
+      spec.estimator = *parsed;
     } else if (arg == "--subbands") {
-      subbands = std::strtoul(value(), nullptr, 10);
+      spec.subbands = std::strtoul(value(), nullptr, 10);
     } else if (arg == "--band-fusion") {
       const char* name = value();
       const auto parsed = band_fusion_from_string(name);
@@ -144,13 +155,25 @@ int main(int argc, char** argv) {
                      name);
         usage(argv[0]);
       }
-      band_fusion = *parsed;
+      spec.band_fusion = *parsed;
+    } else if (arg == "--scenario") {
+      const char* name = value();
+      scenario = scenario_from_string(name);
+      if (!scenario) {
+        std::fprintf(stderr, "unknown scenario '%s' (valid: %s)\n", name,
+                     scenario_names());
+        usage(argv[0]);
+      }
     } else if (arg == "--duration") {
       duration_s = std::strtod(value(), nullptr);
     } else if (arg == "--arrival-rate") {
       arrival_rate = std::strtod(value(), nullptr);
+    } else if (arg == "--report-interval") {
+      report_interval = std::strtod(value(), nullptr);
+    } else if (arg == "--capture") {
+      capture_path = value();
     } else if (arg == "--policies") {
-      policies = parse_policies(value(), argv[0]);
+      spec.policies = parse_policies(value(), argv[0]);
     } else if (arg == "--help" || arg == "-h") {
       print_usage(stdout, argv[0], 0);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -158,120 +181,119 @@ int main(int argc, char** argv) {
     } else {
       // Legacy positional form: seed packets num-aps.
       switch (positional++) {
-        case 0: seed = std::strtoull(arg.c_str(), nullptr, 10); break;
+        case 0: spec.seed = std::strtoull(arg.c_str(), nullptr, 10); break;
         case 1: packets = std::atoi(arg.c_str()); break;
-        case 2: num_aps = std::strtoul(arg.c_str(), nullptr, 10); break;
+        case 2: spec.num_aps = std::strtoul(arg.c_str(), nullptr, 10); break;
         default: usage(argv[0]);
       }
     }
   }
-  if (packets < 1 || num_aps < 1) usage(argv[0]);
-  if (!is_pow2(subbands) || subbands > 64) {
-    std::fprintf(stderr,
-                 "--subbands must be a power of two in [1, 64], got %zu\n",
-                 subbands);
+  if (packets < 1 || spec.num_aps < 1) usage(argv[0]);
+  if (spec.antennas < 2 || spec.antennas > 64) {
+    std::fprintf(stderr, "--antennas must be in [2, 64], got %zu\n",
+                 spec.antennas);
     usage(argv[0]);
   }
+  if (!is_pow2(spec.subbands) || spec.subbands > 64) {
+    std::fprintf(stderr,
+                 "--subbands must be a power of two in [1, 64], got %zu\n",
+                 spec.subbands);
+    usage(argv[0]);
+  }
+  if (scenario && duration_s <= 0.0) duration_s = 2.0;
   if (duration_s < 0.0 || (duration_s > 0.0 && arrival_rate <= 0.0)) {
     std::fprintf(stderr, "--duration needs a positive --arrival-rate\n");
     usage(argv[0]);
   }
-
-  const auto tb = OfficeTestbed::figure4();
-  Rng rng(seed);
-  UplinkConfig ucfg;
-  ucfg.channel.noise_power = 1e-5;
-  UplinkSimulation sim(tb, ucfg, rng);
-
-  std::vector<std::unique_ptr<AccessPoint>> aps;
-  std::vector<AccessPoint*> ap_ptrs;
-  for (const Vec2& spot : tb.ap_mounting_points(num_aps)) {
-    AccessPointConfig cfg;
-    cfg.position = spot;
-    cfg.estimator = estimator;
-    cfg.subbands = subbands;
-    cfg.band_fusion = band_fusion;
-    aps.push_back(std::make_unique<AccessPoint>(cfg, rng));
-    ap_ptrs.push_back(aps.back().get());
-    sim.add_ap(aps.back()->placement());
+  if (duration_s > 0.0 && report_interval <= 0.0) {
+    std::fprintf(stderr, "--report-interval must be positive\n");
+    usage(argv[0]);
   }
 
-  EngineConfig ecfg;
+  BuiltDeployment dep = build_deployment(spec, /*with_sim=*/true);
+  const OfficeTestbed& tb = dep.testbed;
+  UplinkSimulation& sim = *dep.sim;
+
+  EngineConfig ecfg = dep.engine;
   ecfg.num_threads = threads;
-  ecfg.coordinator.fence_boundary = tb.building_outline();
-  ecfg.coordinator.min_aps_for_fence = 2;
-  ecfg.coordinator.policies = policies;
-  {
-    // The ACL baseline allows exactly the testbed's legitimate clients —
-    // which is why MAC spoofing subverts it (paper §1).
-    AccessControlList acl;
-    for (const auto& c : tb.clients()) acl.allow(MacAddress::from_index(c.id));
-    ecfg.coordinator.acl = std::move(acl);
-  }
-  // ---- Streaming mode: Poisson arrivals pushed into an EngineSession.
-  // There is no round cadence the caller could batch on: frames arrive
-  // whenever the arrival process says, the session pipelines them, and
-  // decisions stream out through the sink while later chunks go in.
+
+  // ---- Streaming mode: scenario-driven arrivals pushed into an
+  // EngineSession. There is no round cadence the caller could batch on:
+  // frames arrive whenever the arrival process says, the session
+  // pipelines them, and decisions stream out through the sink while
+  // later chunks go in.
   if (duration_s > 0.0) {
+    ScenarioConfig sc;
+    sc.kind = scenario.value_or(ScenarioKind::kOffice);
+    sc.arrival_rate = arrival_rate;
+    sc.duration_s = duration_s;
+    ScenarioGenerator gen(tb, sc, dep.traffic_rng, spec.estimator);
+
+    std::optional<CaptureWriter> writer;
+    if (!capture_path.empty()) {
+      CaptureHeader header = capture_header_for(spec);
+      header.metadata.emplace_back("sa.scenario", gen.describe());
+      writer.emplace(capture_path, std::move(header));
+      ecfg.capture = &*writer;
+    }
+
     SessionConfig scfg;
     scfg.engine = ecfg;
     std::size_t accepted = 0, dropped = 0;
-    EngineSession session(scfg, ap_ptrs, [&](const EngineDecision& d) {
+    EngineSession session(scfg, dep.ap_ptrs, [&](const EngineDecision& d) {
       (d.decision.accepted ? accepted : dropped)++;
     });
-    std::printf(
-        "streaming deployment: %zu AP(s), %zu engine thread(s), estimator %s, "
-        "%zu subband(s), %s fusion, seed %llu\n"
-        "Poisson arrivals: %.1f frames/s for %.2f simulated seconds\n",
-        num_aps, session.num_threads(), to_string(estimator), subbands,
-        std::string(to_string(band_fusion)).c_str(),
-        static_cast<unsigned long long>(seed), arrival_rate, duration_s);
+    std::printf("streaming deployment: %zu AP(s), %zu engine thread(s)\n",
+                spec.num_aps, session.num_threads());
+    std::printf("config: %s\n", describe(spec).c_str());
+    std::printf("config: %s\n", gen.describe().c_str());
 
-    TxPattern amp;
-    amp.tx_power_db = 15.0;
     std::uint16_t sseq = 0;
-    std::size_t sent = 0, spoofed = 0, offsite = 0;
-    double t = 0.0;
-    for (;;) {
-      const double dt = -std::log(1.0 - rng.uniform(0.0, 1.0)) / arrival_rate;
-      if (t + dt >= duration_s) break;
-      t += dt;
-      sim.advance(dt);
-      Vec2 from;
-      MacAddress mac = MacAddress::from_index(0);
-      const TxPattern* pat = nullptr;
-      const double pick = rng.uniform(0.0, 1.0);
-      if (pick < 0.8) {
-        const auto& clients = tb.clients();
-        const auto& c = clients[std::min(
-            clients.size() - 1,
-            static_cast<std::size_t>(rng.uniform(
-                0.0, static_cast<double>(clients.size()))))];
-        from = c.position;
-        mac = MacAddress::from_index(c.id);
-      } else if (pick < 0.9) {
-        from = tb.client(17).position;  // insider spoofing client 2's MAC
-        mac = MacAddress::from_index(2);
-        ++spoofed;
-      } else {
-        from = tb.outdoor_positions()[0];
-        mac = MacAddress::from_index(200);
-        pat = &amp;
-        ++offsite;
+    std::size_t sent = 0, spoofed = 0, offsite = 0, flooded = 0;
+    std::size_t interval_sent = 0;
+    double interval_start = 0.0;
+    double now = 0.0;
+    const auto report_span = [&](double from, double to, bool final_span) {
+      std::printf(
+          "t=%5.2f..%5.2f%s %5zu frames submitted | decisions so far: "
+          "%zu accepted, %zu dropped\n",
+          from, to, final_span ? " (final)" : "        ", interval_sent,
+          accepted, dropped);
+      interval_sent = 0;
+    };
+    while (auto ev = gen.next()) {
+      while (ev->time_s >= interval_start + report_interval) {
+        report_span(interval_start, interval_start + report_interval, false);
+        interval_start += report_interval;
       }
-      const Frame f =
-          Frame::data(MacAddress::from_index(0xFF), mac, Bytes{1, 2, 3}, sseq++);
+      now = ev->time_s;
+      sim.advance(ev->dt_s);
+      switch (ev->kind) {
+        case TrafficEvent::Kind::kSpoof: ++spoofed; break;
+        case TrafficEvent::Kind::kOffsite: ++offsite; break;
+        case TrafficEvent::Kind::kFlood: ++flooded; break;
+        case TrafficEvent::Kind::kLegit: break;
+      }
+      const Frame f = Frame::data(MacAddress::from_index(0xFF), ev->mac,
+                                  Bytes{1, 2, 3}, sseq++);
       const CVec w = PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
-      session.submit_round(sim.transmit(from, w, pat));
+      session.submit_round(
+          sim.transmit(ev->from, w, ev->pattern ? &*ev->pattern : nullptr));
       ++sent;
+      ++interval_sent;
     }
     session.drain();
+    // The horizon rarely lands on an interval boundary: always flush the
+    // final, partial interval so its frames are reported too.
+    report_span(interval_start, duration_s, true);
+    (void)now;
 
     const auto st = session.stats();
     const auto ss = session.session_stats();
     const auto sp = session.spoof_detector().stats();
-    std::printf("\ntraffic: %zu frames sent (%zu spoofed, %zu off-site)\n",
-                sent, spoofed, offsite);
+    std::printf(
+        "\ntraffic: %zu frames sent (%zu spoofed, %zu off-site, %zu flood)\n",
+        sent, spoofed, offsite, flooded);
     std::printf("decisions: %zu frames | %zu accepted | %zu dropped\n",
                 st.frames, accepted, dropped);
     std::printf("\n%-10s %10s %10s %10s\n", "policy", "evaluated", "accepted",
@@ -285,31 +307,49 @@ int main(int argc, char** argv) {
                 sp.tracked_macs, session.spoof_detector().num_shards(),
                 sp.alarms);
     std::printf(
-        "pipeline: %zu rounds, max %zu rounds overlapped in the dataplane, "
-        "%zu candidate frames in flight at peak, %zu deferred retries\n",
-        ss.rounds_completed, ss.max_overlapped_rounds, ss.max_inflight_frames,
-        ss.stale_retries);
+        "pipeline: %zu rounds (%zu data rounds retired), %zu decisions "
+        "emitted, max %zu rounds overlapped in the dataplane, %zu candidate "
+        "frames in flight at peak, %zu deferred retries\n",
+        ss.rounds_completed, ss.rounds_retired, ss.decisions_emitted,
+        ss.max_overlapped_rounds, ss.max_inflight_frames, ss.stale_retries);
     std::printf(
         "pipeline: %zu worker jobs in %zu bursts (max burst %zu), "
         "%zu submit-ring blocks, %zu spin polls, %zu parks\n",
         ss.worker_jobs, ss.worker_bursts, ss.max_worker_burst,
         ss.submit_ring_full_blocks, ss.spin_polls, ss.parks);
+    if (writer) {
+      // Recording protocol: close the writer after the drain and before
+      // the session, so the capture ends quiescent.
+      writer->close();
+      std::printf("\ncapture: %s (%llu chunks, %llu decisions, %llu drains)\n",
+                  writer->path().c_str(),
+                  static_cast<unsigned long long>(writer->chunks_recorded()),
+                  static_cast<unsigned long long>(writer->decisions_recorded()),
+                  static_cast<unsigned long long>(writer->drains_recorded()));
+    }
     session.close();
     return 0;
   }
 
-  DeploymentEngine engine(ecfg, ap_ptrs);
+  std::optional<CaptureWriter> writer;
+  if (!capture_path.empty()) {
+    CaptureHeader header = capture_header_for(spec);
+    header.metadata.emplace_back("sa.scenario", "batch-three-phase");
+    writer.emplace(capture_path, std::move(header));
+    ecfg.capture = &*writer;
+  }
+
+  DeploymentEngine engine(ecfg, dep.ap_ptrs);
 
   std::string chain_names = "decode";
   for (std::size_t i = 1; i < engine.chain().size(); ++i) {
     chain_names += "->";
     chain_names += engine.chain().policy(i).name();
   }
-  std::printf(
-      "deployment: %zu AP(s), %zu engine thread(s), estimator %s, "
-      "%zu subband(s), seed %llu, %d packets/client\npolicy chain: %s\n",
-      num_aps, engine.num_threads(), to_string(estimator), subbands,
-      static_cast<unsigned long long>(seed), packets, chain_names.c_str());
+  std::printf("deployment: %zu AP(s), %zu engine thread(s), %d packets/client\n",
+              spec.num_aps, engine.num_threads(), packets);
+  std::printf("config: %s\n", describe(spec).c_str());
+  std::printf("policy chain: %s\n", chain_names.c_str());
 
   std::uint16_t seq = 0;
   auto send = [&](Vec2 from, MacAddress mac,
@@ -404,5 +444,13 @@ int main(int argc, char** argv) {
               "%zu evicted\n",
               sp.tracked_macs, engine.spoof_detector().num_shards(), sp.alarms,
               sp.evictions);
+  if (writer) {
+    writer->close();
+    std::printf("\ncapture: %s (%llu chunks, %llu decisions, %llu drains)\n",
+                writer->path().c_str(),
+                static_cast<unsigned long long>(writer->chunks_recorded()),
+                static_cast<unsigned long long>(writer->decisions_recorded()),
+                static_cast<unsigned long long>(writer->drains_recorded()));
+  }
   return 0;
 }

@@ -1,0 +1,200 @@
+// The SACP capture container: a versioned, self-describing binary format
+// for recording a deployment's ingest stream and its decision stream so
+// any traffic pattern — benign, bursty, adversarial — can be captured
+// once and replayed deterministically as a regression corpus.
+//
+// Layout (all integers little-endian):
+//
+//   file   := header record*
+//   header := magic "SACP" | u32 version | u32 payload_len | payload
+//             payload: u32 num_aps | u64 seed | u32 meta_count
+//                      | meta_count * (str key, str value)
+//   record := u32 payload_len | u32 type | payload_len bytes
+//   str    := u32 len | len bytes
+//
+// Record types (ndn-dpdk pdump-style: every record is length-prefixed so
+// a reader can skip what it does not understand, and a truncated file
+// fails parsing instead of invoking UB):
+//
+//   kChunk    one AP's share of one ingest round: (ap, round, absolute
+//             sample base, rows, cols, row-major IQ as f64 re/im pairs).
+//   kDecision one emitted frame decision in sequence order, in the
+//             canonical byte encoding of encode_decision() — replay
+//             compares these byte-for-byte.
+//   kDrain    a drain() boundary: replay must run a flush pass here to
+//             reproduce deferred-frame emission timing.
+//   kEnd      totals (chunks, decisions, drains); must be last. Lets a
+//             validator distinguish "cleanly closed" from "truncated".
+//
+// The metadata map is free-form; sa/sim/deployment.hpp defines the keys
+// a replayable office-deployment capture carries (seed, aps, estimator,
+// subbands, policies, ...). Parsers here never trust lengths: every
+// bound is checked against the remaining input, and malformed input
+// yields nullopt/false — never UB — which is what makes the mutate-based
+// fuzz loop in capture_tool meaningful.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sa/linalg/cmat.hpp"
+#include "sa/secure/policy.hpp"
+
+namespace sa {
+
+using ByteStream = std::vector<std::uint8_t>;
+
+// ----------------------------------------------------------- primitives
+
+void put_u8(ByteStream& out, std::uint8_t v);
+void put_u32(ByteStream& out, std::uint32_t v);
+void put_u64(ByteStream& out, std::uint64_t v);
+void put_f64(ByteStream& out, double v);
+void put_str(ByteStream& out, std::string_view s);
+
+/// Bounded little-endian cursor over untrusted bytes. Every getter
+/// returns nullopt instead of reading past the end.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const ByteStream& data)
+      : ByteReader(data.data(), data.size()) {}
+
+  std::optional<std::uint8_t> u8();
+  std::optional<std::uint32_t> u32();
+  std::optional<std::uint64_t> u64();
+  std::optional<double> f64();
+  /// String with a sanity bound on the length prefix.
+  std::optional<std::string> str(std::size_t max_len = 4096);
+
+  std::size_t remaining() const { return size_ - at_; }
+  std::size_t offset() const { return at_; }
+  bool done() const { return at_ == size_; }
+  const std::uint8_t* cursor() const { return data_ + at_; }
+  bool skip(std::size_t n);
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t at_ = 0;
+};
+
+// ------------------------------------------------------------ structure
+
+inline constexpr std::uint32_t kSacpVersion = 1;
+/// "SACP" as a little-endian u32 (bytes S,A,C,P on the wire).
+inline constexpr std::uint32_t kSacpMagic = 0x50434153;
+
+enum class RecordType : std::uint32_t {
+  kChunk = 1,
+  kDecision = 2,
+  kDrain = 3,
+  kEnd = 4,
+};
+
+/// Parser sanity bounds. Generous for real captures, tight enough that a
+/// mutated length field cannot request an absurd allocation.
+inline constexpr std::size_t kMaxRecordPayload = std::size_t{1} << 28;
+inline constexpr std::size_t kMaxChunkRows = 256;
+inline constexpr std::size_t kMaxChunkCols = std::size_t{1} << 22;
+inline constexpr std::size_t kMaxMetaEntries = 256;
+inline constexpr std::size_t kMaxTraceEntries = 256;
+
+struct CaptureHeader {
+  std::uint32_t version = kSacpVersion;
+  std::uint32_t num_aps = 0;
+  std::uint64_t seed = 0;
+  /// Free-form self-description, in insertion order (order is part of
+  /// the byte format, so captures with identical provenance are
+  /// byte-identical).
+  std::vector<std::pair<std::string, std::string>> metadata;
+
+  /// First value for `key`, if present.
+  std::optional<std::string> meta(std::string_view key) const;
+};
+
+struct ChunkRecord {
+  std::uint32_t ap = 0;
+  /// Per-AP round index: this is the `round`-th chunk of this AP's
+  /// stream (0-based).
+  std::uint64_t round = 0;
+  /// Absolute sample index of this chunk's first column in the AP's
+  /// stream.
+  std::uint64_t base = 0;
+  CMat samples;
+};
+
+/// Decoded view of a decision record — for inspection and tests; replay
+/// equality is judged on the raw payload bytes.
+struct DecisionRecord {
+  std::uint64_t sequence = 0;
+  std::uint64_t absolute_start = 0;
+  bool accepted = true;
+  std::uint8_t spoof_verdict = 0;
+  double spoof_score = 0.0;
+  std::optional<std::array<std::uint8_t, 6>> source;
+  struct Location {
+    double x = 0.0;
+    double y = 0.0;
+    double residual_deg = 0.0;
+    std::uint32_t aps_used = 0;
+  };
+  std::optional<Location> location;
+  std::string policy;
+  std::string detail;
+  struct TraceEntry {
+    std::string policy;
+    bool dropped = false;
+    std::string detail;
+  };
+  std::vector<TraceEntry> trace;
+};
+
+struct EndRecord {
+  std::uint64_t chunks = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t drains = 0;
+};
+
+// -------------------------------------------------------------- encode
+
+ByteStream encode_header(const CaptureHeader& header);
+
+/// Canonical decision payload: replay determinism is defined as "the
+/// replayed stream's encode_decision() bytes equal the recorded ones".
+ByteStream encode_decision(std::uint64_t sequence,
+                           std::uint64_t absolute_start,
+                           const FrameDecision& decision);
+
+ByteStream encode_chunk(std::uint32_t ap, std::uint64_t round,
+                        std::uint64_t base, const CMat& samples);
+
+ByteStream encode_end(const EndRecord& end);
+
+/// Wrap a payload in the (len, type) record framing.
+void append_record(ByteStream& out, RecordType type,
+                   const ByteStream& payload);
+
+// -------------------------------------------------------------- decode
+
+std::optional<CaptureHeader> decode_header(ByteReader& r);
+std::optional<ChunkRecord> decode_chunk(const ByteStream& payload);
+std::optional<DecisionRecord> decode_decision(const ByteStream& payload);
+std::optional<EndRecord> decode_end(const ByteStream& payload);
+
+// -------------------------------------------------------------- mutate
+
+/// Deterministically corrupt a capture: `ops` random byte-level
+/// mutations (xor / overwrite / zero) at offsets past the magic, with a
+/// chance of truncating or extending the tail. The output is usually
+/// *invalid* — that is the point: it seeds the fuzz loop that asserts
+/// the parser and the replay path fail cleanly instead of crashing.
+ByteStream mutate_capture(const ByteStream& input, std::uint64_t seed,
+                          std::size_t ops);
+
+}  // namespace sa

@@ -1,0 +1,59 @@
+// ReplaySource: turn a SACP capture back into the ingest stream it
+// recorded. replay_into() re-submits every chunk record, in file order,
+// to a live EngineSession and runs a flush pass at every recorded
+// drain() boundary — which is all the session needs to reproduce the
+// recorded decision stream byte-for-byte at any thread count (see
+// tests/test_replay.cpp for the contract).
+//
+// The source does not build the engine: the capture header's metadata
+// describes the deployment (sa/sim/deployment.hpp) and the caller
+// constructs a matching session, so replay works against modified
+// engines too (that is what makes captures useful as regressions).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sa/capture/reader.hpp"
+
+namespace sa {
+
+class EngineSession;
+
+struct ReplayResult {
+  bool ok = false;
+  std::string error;  ///< empty when ok
+  std::uint64_t chunks_submitted = 0;
+  std::uint64_t drains_run = 0;
+};
+
+class ReplaySource {
+ public:
+  /// Takes the capture to replay. Structural problems are reported
+  /// lazily by replay_into(); valid() runs the full validation walk.
+  explicit ReplaySource(CaptureReader reader) : reader_(std::move(reader)) {}
+
+  static std::optional<ReplaySource> from_file(const std::string& path);
+
+  const std::optional<CaptureHeader>& header() const {
+    return reader_.header();
+  }
+  const CaptureReader& reader() const { return reader_; }
+  ValidationReport validate() const { return reader_.validate(); }
+
+  /// Submit every recorded chunk to `session` in file order, calling
+  /// session.drain() at each recorded drain boundary — exactly the
+  /// recorded boundaries, no extra flush, so a replay that is itself
+  /// being captured produces the same drain track as the original (the
+  /// recording protocol drains before closing the writer, so a cleanly
+  /// closed capture always ends quiescent). Chunk records whose `ap` is
+  /// out of range for the capture's own num_aps fail the replay instead
+  /// of faulting the session.
+  ReplayResult replay_into(EngineSession& session);
+
+ private:
+  CaptureReader reader_;
+};
+
+}  // namespace sa

@@ -42,6 +42,8 @@
 
 namespace sa {
 
+class CaptureWriter;
+
 struct EngineConfig {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   std::size_t num_threads = 1;
@@ -55,6 +57,13 @@ struct EngineConfig {
   std::size_t group_slack_samples = 1600;
   StreamingConfig streaming;
   CoordinatorConfig coordinator;
+  /// Optional recording tap (sa/capture/writer.hpp), borrowed. When set,
+  /// the session records every submitted chunk, every emitted decision
+  /// and every drain() boundary into a SACP capture. Recording protocol:
+  /// drain the session, then close the writer, then close the session —
+  /// the tap skips a writer that is already closed, so close()'s
+  /// internal drain never throws through it.
+  CaptureWriter* capture = nullptr;
 };
 
 /// One cross-AP view of one frame, ready for the coordinator.

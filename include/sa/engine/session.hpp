@@ -113,6 +113,10 @@ struct SessionConfig {
 struct SessionStats {
   std::size_t chunks_submitted = 0;
   std::size_t rounds_completed = 0;  ///< including drain flush passes
+  /// Rounds retired in order that consumed at least one submitted chunk
+  /// — the data rounds, excluding padded and drain flush passes (which
+  /// rounds_completed counts).
+  std::size_t rounds_retired = 0;
   std::size_t decisions_emitted = 0;
   /// Deferred-retry candidates re-decoded after the preceding commit.
   std::size_t stale_retries = 0;
@@ -221,6 +225,7 @@ class EngineSession {
     std::size_t retries = 0;
     std::size_t skips = 0;
     std::uint64_t drain_tag = 0;
+    bool had_chunk = false;  ///< this AP consumed a real chunk this round
     // kDecision:
     std::size_t sequence = 0;
     std::size_t absolute_start = 0;
@@ -251,12 +256,17 @@ class EngineSession {
     explicit SubmitLane(std::size_t capacity) : ring(capacity) {}
     SpscRing<CMat> ring;
     std::mutex producer_mu;
+    /// Recording tap bookkeeping, guarded by producer_mu: this AP's next
+    /// chunk is its `rounds`-th, starting at absolute sample `base`.
+    std::uint64_t rounds = 0;
+    std::uint64_t base = 0;
   };
 
   /// Internal atomic mirror of SessionStats.
   struct AtomicStats {
     std::atomic<std::size_t> chunks_submitted{0};
     std::atomic<std::size_t> rounds_completed{0};
+    std::atomic<std::size_t> rounds_retired{0};
     std::atomic<std::size_t> decisions_emitted{0};
     std::atomic<std::size_t> stale_retries{0};
     std::atomic<std::size_t> stale_skips{0};

@@ -1,0 +1,146 @@
+// Scenario generator: deterministic traffic workloads over the Figure-4
+// office, from the benign baseline to adversarial and overload cases.
+// A generator is a pull-based stream of TrafficEvents — who transmits,
+// from where, with which MAC and transmit pattern, and how much
+// simulated time passed since the previous event. The runner turns each
+// event into a waveform and pushes it through the engine; every draw
+// comes from the generator's own Rng, so a (scenario, seed) pair always
+// produces the same event stream.
+//
+// Scenarios:
+//   office         the classic streaming mix: Poisson arrivals, 80%
+//                  legitimate clients, 10% insider MAC spoofing, 10%
+//                  off-site amplified transmitter.
+//   mmpp           the office mix under bursty arrivals: a two-state
+//                  Markov-modulated Poisson process alternating calm and
+//                  burst phases (exponential holding times).
+//   flash-crowd    the office mix with a rate-multiplier window — every
+//                  client piles on at once mid-run, then calm returns.
+//   mobile         walking clients: a subset of clients move along
+//                  straight quantized paths that exit the building
+//                  mid-stream, so the fence flips on them frame by
+//                  frame. Background office traffic continues.
+//   adaptive-spoof the insider adapts: every `adapt_every` forged frames
+//                  it moves closer to its victim's position, and against
+//                  high-resolution estimators it also aims a directional
+//                  antenna at the APs' centroid (the TJ-Maxx-style
+//                  directional attacker, paper §2.2).
+//   flood          the office mix plus a flooding attacker: an
+//                  independent high-rate Poisson process inside a time
+//                  window, transmitting from a legitimate client's
+//                  position with that client's MAC — every signature
+//                  check passes, so only RateLimitPolicy can stop it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sa/aoa/estimator.hpp"
+#include "sa/common/rng.hpp"
+#include "sa/mac/address.hpp"
+#include "sa/testbed/uplink.hpp"
+
+namespace sa {
+
+enum class ScenarioKind {
+  kOffice,
+  kMmpp,
+  kFlashCrowd,
+  kMobile,
+  kAdaptiveSpoof,
+  kFlood,
+};
+
+const char* to_string(ScenarioKind kind);
+std::optional<ScenarioKind> scenario_from_string(std::string_view name);
+/// Comma-separated list of valid scenario names, for usage text.
+const char* scenario_names();
+
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kOffice;
+  /// Mean frame arrivals/sec of the base process (the calm rate for
+  /// mmpp, the off-window rate for flash-crowd).
+  double arrival_rate = 40.0;
+  /// Simulated horizon; the generator stops emitting past it.
+  double duration_s = 2.0;
+
+  // mmpp
+  double burst_multiplier = 8.0;  ///< burst rate = multiplier * base
+  double calm_hold_s = 0.5;       ///< mean calm-state holding time
+  double burst_hold_s = 0.1;      ///< mean burst-state holding time
+
+  // flash-crowd
+  double flash_start_s = 0.5;
+  double flash_len_s = 0.5;
+  double flash_multiplier = 10.0;
+
+  // mobile
+  std::size_t mobile_clients = 2;   ///< walkers (clients 1, 2, ...)
+  /// Walkers cross the fence at this fraction of the duration.
+  double mobile_cross_at = 0.5;
+
+  // adaptive-spoof
+  std::size_t adapt_every = 4;  ///< forged frames between adaptations
+  int spoof_victim_id = 2;      ///< client whose MAC is forged
+  int spoof_source_id = 17;     ///< client position the insider starts at
+
+  // flood
+  double flood_rate = 400.0;  ///< attacker frames/sec inside the window
+  double flood_start_s = 0.5;
+  double flood_len_s = 0.5;
+  int flood_client_id = 1;  ///< position + MAC the flooder borrows
+};
+
+struct TrafficEvent {
+  enum class Kind { kLegit, kSpoof, kOffsite, kFlood };
+  Kind kind = Kind::kLegit;
+  double time_s = 0.0;  ///< absolute simulated arrival time
+  double dt_s = 0.0;    ///< elapsed since the previous event
+  Vec2 from;
+  MacAddress mac;
+  /// Transmit-side antenna pattern; nullopt = omni.
+  std::optional<TxPattern> pattern;
+};
+
+class ScenarioGenerator {
+ public:
+  /// `estimator` tells the adaptive spoofer what it is attacking (it
+  /// only bothers with a directional antenna against high-resolution
+  /// backends). The testbed is copied; the Rng is the generator's own.
+  ScenarioGenerator(const OfficeTestbed& testbed, ScenarioConfig config,
+                    Rng rng, AoaBackend estimator);
+
+  /// The next event, or nullopt once the horizon is reached.
+  std::optional<TrafficEvent> next();
+
+  /// Full scenario configuration on one line (only the knobs the active
+  /// scenario uses), for report headers and capture metadata.
+  std::string describe() const;
+
+  const ScenarioConfig& config() const { return config_; }
+
+ private:
+  double current_rate();                  ///< arrival rate at now_
+  TrafficEvent make_base_event(double t); ///< the office mix
+  TrafficEvent make_mobile_event(double t);
+  TrafficEvent make_adaptive_event(double t);
+
+  OfficeTestbed testbed_;
+  ScenarioConfig config_;
+  Rng rng_;
+  AoaBackend estimator_;
+
+  double now_ = 0.0;
+  // mmpp state
+  bool bursting_ = false;
+  double state_until_ = 0.0;
+  // flood state: next arrival of the independent attacker process
+  double flood_next_ = 0.0;
+  // adaptive-spoof state
+  std::size_t spoof_sent_ = 0;
+  Vec2 spoof_pos_;
+  Vec2 victim_pos_;
+  Vec2 ap_centroid_;
+};
+
+}  // namespace sa

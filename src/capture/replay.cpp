@@ -1,0 +1,61 @@
+#include "sa/capture/replay.hpp"
+
+#include <utility>
+
+#include "sa/engine/session.hpp"
+
+namespace sa {
+
+std::optional<ReplaySource> ReplaySource::from_file(const std::string& path) {
+  auto reader = CaptureReader::from_file(path);
+  if (!reader) return std::nullopt;
+  return ReplaySource(std::move(*reader));
+}
+
+ReplayResult ReplaySource::replay_into(EngineSession& session) {
+  ReplayResult result;
+  if (!reader_.header()) {
+    result.error = "malformed SACP header";
+    return result;
+  }
+  const std::uint32_t num_aps = reader_.header()->num_aps;
+  reader_.rewind();
+  bool saw_end = false;
+  for (;;) {
+    auto rec = reader_.next();
+    if (!rec) break;
+    switch (rec->type) {
+      case RecordType::kChunk:
+        if (rec->chunk->ap >= num_aps) {
+          result.error = "chunk record targets AP " +
+                         std::to_string(rec->chunk->ap) + " of " +
+                         std::to_string(num_aps);
+          return result;
+        }
+        session.submit(rec->chunk->ap, std::move(rec->chunk->samples));
+        ++result.chunks_submitted;
+        break;
+      case RecordType::kDrain:
+        session.drain();
+        ++result.drains_run;
+        break;
+      case RecordType::kDecision:
+        break;  // the recorded output track; not an input
+      case RecordType::kEnd:
+        saw_end = true;
+        break;
+    }
+  }
+  if (!reader_.error().empty()) {
+    result.error = reader_.error();
+    return result;
+  }
+  if (!saw_end) {
+    result.error = "no end record (truncated capture?)";
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace sa

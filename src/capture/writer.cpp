@@ -1,0 +1,151 @@
+#include "sa/capture/writer.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "sa/common/error.hpp"
+#include "sa/common/logging.hpp"
+
+namespace sa {
+
+CaptureWriter::CaptureWriter(const std::string& path, CaptureHeader header)
+    : path_(path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw Error("CaptureWriter: cannot open '" + path + "' for writing");
+  }
+  const ByteStream head = encode_header(header);
+  if (std::fwrite(head.data(), 1, head.size(), file_) != head.size()) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw Error("CaptureWriter: header write to '" + path + "' failed");
+  }
+  flusher_ = std::thread([this] { flusher_loop(); });
+}
+
+CaptureWriter::~CaptureWriter() {
+  try {
+    close();
+  } catch (const std::exception& e) {
+    log_error() << "CaptureWriter close failed in destructor: " << e.what();
+  }
+}
+
+void CaptureWriter::enqueue(RecordType type, const ByteStream& payload) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) throw StateError("CaptureWriter: record after close()");
+    append_record(pending_, type, payload);
+    switch (type) {
+      case RecordType::kChunk: ++chunks_; break;
+      case RecordType::kDecision: ++decisions_; break;
+      case RecordType::kDrain: ++drains_; break;
+      case RecordType::kEnd: break;
+    }
+    ++generation_;
+  }
+  work_cv_.notify_one();
+}
+
+void CaptureWriter::record_chunk(std::size_t ap, std::uint64_t round,
+                                 std::uint64_t base, const CMat& samples) {
+  enqueue(RecordType::kChunk,
+          encode_chunk(static_cast<std::uint32_t>(ap), round, base, samples));
+}
+
+void CaptureWriter::record_decision(std::uint64_t sequence,
+                                    std::uint64_t absolute_start,
+                                    const FrameDecision& decision) {
+  enqueue(RecordType::kDecision,
+          encode_decision(sequence, absolute_start, decision));
+}
+
+void CaptureWriter::record_drain() { enqueue(RecordType::kDrain, {}); }
+
+void CaptureWriter::flusher_loop() {
+  ByteStream block;
+  for (;;) {
+    std::uint64_t upto = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      if (pending_.empty() && stop_) return;
+      // Capture the generation under the same lock as the swap: at this
+      // instant pending_ holds every record up to generation_.
+      upto = generation_;
+      block.swap(pending_);
+    }
+    bool ok = true;
+    if (!block.empty() && file_ != nullptr) {
+      ok = std::fwrite(block.data(), 1, block.size(), file_) == block.size();
+      if (ok) ok = std::fflush(file_) == 0;
+    }
+    block.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      flushed_gen_ = upto;
+      if (!ok) write_failed_ = true;
+    }
+    drained_cv_.notify_all();
+  }
+}
+
+void CaptureWriter::flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::uint64_t target = generation_;
+  drained_cv_.wait(lock, [&] { return flushed_gen_ >= target; });
+  if (write_failed_) {
+    throw Error("CaptureWriter: write to '" + path_ + "' failed");
+  }
+}
+
+void CaptureWriter::close() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) return;
+    EndRecord end;
+    end.chunks = chunks_;
+    end.decisions = decisions_;
+    end.drains = drains_;
+    append_record(pending_, RecordType::kEnd, encode_end(end));
+    ++generation_;
+    closed_ = true;
+    stop_ = true;
+  }
+  work_cv_.notify_one();
+  if (flusher_.joinable()) flusher_.join();
+  bool failed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    failed = write_failed_;
+  }
+  if (file_ != nullptr) {
+    if (std::fclose(file_) != 0) failed = true;
+    file_ = nullptr;
+  }
+  if (failed) {
+    throw Error("CaptureWriter: write to '" + path_ + "' failed");
+  }
+}
+
+bool CaptureWriter::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::uint64_t CaptureWriter::chunks_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chunks_;
+}
+
+std::uint64_t CaptureWriter::decisions_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return decisions_;
+}
+
+std::uint64_t CaptureWriter::drains_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drains_;
+}
+
+}  // namespace sa

@@ -5,6 +5,7 @@
 #include <map>
 #include <utility>
 
+#include "sa/capture/writer.hpp"
 #include "sa/common/error.hpp"
 #include "sa/common/logging.hpp"
 
@@ -159,6 +160,14 @@ void EngineSession::submit(std::size_t ap_index, CMat chunk) {
       throw StateError("EngineSession::submit after close()");
     }
   }
+  CaptureWriter* capture = config_.engine.capture;
+  if (capture != nullptr && !capture->closed()) {
+    // Still under producer_mu, so this AP's chunk records are written in
+    // submission order with consistent round/base bookkeeping.
+    capture->record_chunk(ap_index, lane.rounds, lane.base, chunk);
+  }
+  ++lane.rounds;
+  lane.base += chunk.cols();
   const bool pushed = lane.ring.try_push(std::move(chunk));
   SA_EXPECTS(pushed);  // capacity >= max_pending_chunks by construction
   atomic_max(stats_.max_submit_ring_occupancy, lane.ring.size());
@@ -177,6 +186,12 @@ void EngineSession::drain() {
   throw_if_failed();
   if (closing_.load(std::memory_order_acquire)) {
     throw StateError("EngineSession::drain after close()");
+  }
+  if (CaptureWriter* capture = config_.engine.capture;
+      capture != nullptr && !capture->closed()) {
+    // The marker lands after every chunk this caller submitted (same
+    // thread) — exactly the boundary replay must reproduce.
+    capture->record_drain();
   }
   const std::uint64_t ticket =
       drains_requested_.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -231,6 +246,7 @@ SessionStats EngineSession::session_stats() const {
   SessionStats s;
   s.chunks_submitted = stats_.chunks_submitted.load(std::memory_order_acquire);
   s.rounds_completed = stats_.rounds_completed.load(std::memory_order_acquire);
+  s.rounds_retired = stats_.rounds_retired.load(std::memory_order_acquire);
   s.decisions_emitted =
       stats_.decisions_emitted.load(std::memory_order_acquire);
   s.stale_retries = stats_.stale_retries.load(std::memory_order_acquire);
@@ -479,6 +495,7 @@ void EngineSession::process_ap_job(Worker& wk, ApJob job) {
   done.retries = retries;
   done.skips = skips;
   done.drain_tag = job.drain_tag;
+  done.had_chunk = job.chunk.has_value();
   push_completion(wk, std::move(done));
 }
 
@@ -527,6 +544,7 @@ void EngineSession::sequencer_loop() {
     std::size_t retries = 0;
     std::size_t skips = 0;
     std::uint64_t drain_tag = 0;
+    bool had_chunk = false;
   };
   /// A grouped round whose decisions are still outstanding.
   struct OpenRound {
@@ -536,6 +554,7 @@ void EngineSession::sequencer_loop() {
     std::size_t expected = 0;
     std::size_t done = 0;
     std::uint64_t drain_tag = 0;
+    bool had_chunk = false;
   };
 
   std::map<std::uint64_t, RoundAgg> collecting;
@@ -600,6 +619,7 @@ void EngineSession::sequencer_loop() {
           agg.retries += c.retries;
           agg.skips += c.skips;
           agg.drain_tag = std::max(agg.drain_tag, c.drain_tag);
+          agg.had_chunk = agg.had_chunk || c.had_chunk;
           ++agg.aps_done;
         } else {
           for (OpenRound& r : open) {
@@ -643,6 +663,7 @@ void EngineSession::sequencer_loop() {
         r.first_sequence = next_sequence;
         r.expected = groups.size();
         r.drain_tag = agg.drain_tag;
+        r.had_chunk = agg.had_chunk;
         open.push_back(r);
 
         for (FrameGroup& g : groups) {
@@ -673,6 +694,10 @@ void EngineSession::sequencer_loop() {
         d.sequence = c.sequence;
         d.absolute_start = c.absolute_start;
         d.decision = std::move(c.decision);
+        if (CaptureWriter* capture = config_.engine.capture;
+            capture != nullptr && !capture->closed()) {
+          capture->record_decision(d.sequence, d.absolute_start, d.decision);
+        }
         sink_(d);
         stats_.decisions_emitted.fetch_add(1, std::memory_order_release);
         ready.erase(ready.begin());
@@ -690,6 +715,9 @@ void EngineSession::sequencer_loop() {
         inflight_frames_.fetch_sub(r.candidates, std::memory_order_acq_rel);
         admitted_rounds_.fetch_sub(1, std::memory_order_acq_rel);
         stats_.rounds_completed.fetch_add(1, std::memory_order_release);
+        if (r.had_chunk) {
+          stats_.rounds_retired.fetch_add(1, std::memory_order_release);
+        }
         if (r.drain_tag != 0) {
           // Single writer: plain max-store suffices.
           const std::uint64_t cur =

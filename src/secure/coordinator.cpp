@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "sa/capture/writer.hpp"
 #include "sa/common/error.hpp"
 
 namespace sa {
@@ -72,7 +73,14 @@ FrameDecision Coordinator::process(
   if (wants_spoof_ && best.packet.frame) {
     so = spoof_.observe(best.packet.frame->addr2, best.packet.subband);
   }
-  return decide(observations, best, so);
+  // The serial chain's processed count is the global frame index (the
+  // same value decide() hands the FrameContext below).
+  const std::uint64_t sequence = chain_.frames();
+  FrameDecision decision = decide(observations, best, so);
+  if (capture_ != nullptr && !capture_->closed()) {
+    capture_->record_decision(sequence, best.packet.detection.start, decision);
+  }
+  return decision;
 }
 
 FrameDecision Coordinator::process_prejudged(

@@ -1,0 +1,336 @@
+#include "sa/sim/scenario.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "sa/common/error.hpp"
+
+namespace sa {
+
+namespace {
+
+/// Walking clients and the adaptive spoofer move on a coarse grid:
+/// UplinkSimulation caches one traced link per exact transmitter
+/// position, so quantizing bounds the cache while still crossing the
+/// fence step by step.
+constexpr double kPositionGrid = 0.25;
+
+Vec2 quantize(Vec2 p) {
+  return {std::round(p.x / kPositionGrid) * kPositionGrid,
+          std::round(p.y / kPositionGrid) * kPositionGrid};
+}
+
+double exp_interval(Rng& rng, double rate) {
+  return -std::log(1.0 - rng.uniform(0.0, 1.0)) / rate;
+}
+
+bool high_resolution(AoaBackend backend) {
+  return backend == AoaBackend::kRootMusic || backend == AoaBackend::kEsprit ||
+         backend == AoaBackend::kCapon;
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kOffice: return "office";
+    case ScenarioKind::kMmpp: return "mmpp";
+    case ScenarioKind::kFlashCrowd: return "flash-crowd";
+    case ScenarioKind::kMobile: return "mobile";
+    case ScenarioKind::kAdaptiveSpoof: return "adaptive-spoof";
+    case ScenarioKind::kFlood: return "flood";
+  }
+  return "office";
+}
+
+std::optional<ScenarioKind> scenario_from_string(std::string_view name) {
+  if (name == "office") return ScenarioKind::kOffice;
+  if (name == "mmpp") return ScenarioKind::kMmpp;
+  if (name == "flash-crowd" || name == "flashcrowd" || name == "flash_crowd") {
+    return ScenarioKind::kFlashCrowd;
+  }
+  if (name == "mobile") return ScenarioKind::kMobile;
+  if (name == "adaptive-spoof" || name == "adaptive_spoof" ||
+      name == "adaptive") {
+    return ScenarioKind::kAdaptiveSpoof;
+  }
+  if (name == "flood") return ScenarioKind::kFlood;
+  return std::nullopt;
+}
+
+const char* scenario_names() {
+  return "office, mmpp, flash-crowd, mobile, adaptive-spoof, flood";
+}
+
+ScenarioGenerator::ScenarioGenerator(const OfficeTestbed& testbed,
+                                     ScenarioConfig config, Rng rng,
+                                     AoaBackend estimator)
+    : testbed_(testbed),
+      config_(config),
+      rng_(std::move(rng)),
+      estimator_(estimator) {
+  SA_EXPECTS(config_.arrival_rate > 0.0);
+  SA_EXPECTS(config_.duration_s > 0.0);
+  if (config_.kind == ScenarioKind::kMmpp) {
+    SA_EXPECTS(config_.burst_multiplier >= 1.0);
+    SA_EXPECTS(config_.calm_hold_s > 0.0 && config_.burst_hold_s > 0.0);
+    state_until_ = exp_interval(rng_, 1.0 / config_.calm_hold_s);
+  }
+  if (config_.kind == ScenarioKind::kFlood) {
+    SA_EXPECTS(config_.flood_rate > 0.0);
+    flood_next_ =
+        config_.flood_start_s + exp_interval(rng_, config_.flood_rate);
+  }
+  if (config_.kind == ScenarioKind::kMobile) {
+    SA_EXPECTS(config_.mobile_clients >= 1);
+    SA_EXPECTS(config_.mobile_cross_at > 0.0);
+  }
+  spoof_pos_ = testbed_.client(config_.spoof_source_id).position;
+  victim_pos_ = testbed_.client(config_.spoof_victim_id).position;
+  ap_centroid_ = testbed_.ap_position();
+}
+
+double ScenarioGenerator::current_rate() {
+  switch (config_.kind) {
+    case ScenarioKind::kMmpp:
+      return bursting_ ? config_.arrival_rate * config_.burst_multiplier
+                       : config_.arrival_rate;
+    case ScenarioKind::kFlashCrowd:
+      if (now_ >= config_.flash_start_s &&
+          now_ < config_.flash_start_s + config_.flash_len_s) {
+        return config_.arrival_rate * config_.flash_multiplier;
+      }
+      return config_.arrival_rate;
+    default:
+      return config_.arrival_rate;
+  }
+}
+
+std::optional<TrafficEvent> ScenarioGenerator::next() {
+  const double prev = now_;
+  // Advance the base arrival process over its piecewise-constant rate:
+  // draw at the current rate, and when the draw crosses a rate boundary
+  // (an MMPP state switch, a flash-crowd window edge), restart the draw
+  // from the boundary at the new rate — the standard thinning-free way
+  // to sample an inhomogeneous piecewise-constant Poisson process.
+  double t = now_;
+  for (;;) {
+    const double rate = current_rate();
+    double boundary = config_.duration_s;
+    if (config_.kind == ScenarioKind::kMmpp) {
+      boundary = std::min(boundary, state_until_);
+    } else if (config_.kind == ScenarioKind::kFlashCrowd) {
+      const double start = config_.flash_start_s;
+      const double end = config_.flash_start_s + config_.flash_len_s;
+      if (t < start) {
+        boundary = std::min(boundary, start);
+      } else if (t < end) {
+        boundary = std::min(boundary, end);
+      }
+    }
+    const double dt = exp_interval(rng_, rate);
+    if (t + dt <= boundary) {
+      t += dt;
+      break;
+    }
+    if (boundary >= config_.duration_s) {
+      t = config_.duration_s;  // no arrival before the horizon
+      break;
+    }
+    t = boundary;
+    if (config_.kind == ScenarioKind::kMmpp && t >= state_until_) {
+      bursting_ = !bursting_;
+      const double hold =
+          bursting_ ? config_.burst_hold_s : config_.calm_hold_s;
+      state_until_ = t + exp_interval(rng_, 1.0 / hold);
+    }
+    now_ = t;  // current_rate() looks at now_ for flash windows
+  }
+
+  // The flooding attacker is an independent Poisson process inside its
+  // window. When its next arrival precedes the base process's, emit it
+  // and re-draw the base arrival next call — memoryless, so the base
+  // process's statistics are unchanged.
+  if (config_.kind == ScenarioKind::kFlood && flood_next_ <= t &&
+      flood_next_ < config_.flood_start_s + config_.flood_len_s &&
+      flood_next_ < config_.duration_s) {
+    const double ft = flood_next_;
+    flood_next_ = ft + exp_interval(rng_, config_.flood_rate);
+    now_ = ft;
+    TrafficEvent ev;
+    ev.kind = TrafficEvent::Kind::kFlood;
+    ev.time_s = ft;
+    ev.dt_s = ft - prev;
+    const auto& c = testbed_.client(config_.flood_client_id);
+    ev.from = c.position;
+    ev.mac = MacAddress::from_index(c.id);
+    return ev;
+  }
+
+  if (t >= config_.duration_s) return std::nullopt;
+  now_ = t;
+
+  switch (config_.kind) {
+    case ScenarioKind::kMobile: {
+      TrafficEvent ev = make_mobile_event(t);
+      ev.dt_s = t - prev;
+      return ev;
+    }
+    case ScenarioKind::kAdaptiveSpoof: {
+      TrafficEvent ev = make_adaptive_event(t);
+      ev.dt_s = t - prev;
+      return ev;
+    }
+    default: {
+      TrafficEvent ev = make_base_event(t);
+      ev.dt_s = t - prev;
+      return ev;
+    }
+  }
+}
+
+TrafficEvent ScenarioGenerator::make_base_event(double t) {
+  // The classic streaming mix: 80% legitimate, 10% insider spoofing,
+  // 10% off-site amplified transmitter.
+  TrafficEvent ev;
+  ev.time_s = t;
+  const double pick = rng_.uniform(0.0, 1.0);
+  if (pick < 0.8) {
+    const auto& clients = testbed_.clients();
+    const auto& c = clients[std::min(
+        clients.size() - 1,
+        static_cast<std::size_t>(
+            rng_.uniform(0.0, static_cast<double>(clients.size()))))];
+    ev.kind = TrafficEvent::Kind::kLegit;
+    ev.from = c.position;
+    ev.mac = MacAddress::from_index(c.id);
+  } else if (pick < 0.9) {
+    ev.kind = TrafficEvent::Kind::kSpoof;
+    ev.from = testbed_.client(config_.spoof_source_id).position;
+    ev.mac = MacAddress::from_index(config_.spoof_victim_id);
+  } else {
+    ev.kind = TrafficEvent::Kind::kOffsite;
+    ev.from = testbed_.outdoor_positions()[0];
+    ev.mac = MacAddress::from_index(200);
+    TxPattern amp;
+    amp.tx_power_db = 15.0;
+    ev.pattern = amp;
+  }
+  return ev;
+}
+
+TrafficEvent ScenarioGenerator::make_mobile_event(double t) {
+  // Half the traffic is walkers, half the ordinary legitimate mix; a
+  // walker moves along a straight quantized path from its desk to an
+  // outdoor spot, reaching it at 2 * mobile_cross_at of the duration —
+  // so it crosses the fence boundary mid-stream, while still sending.
+  TrafficEvent ev;
+  ev.time_s = t;
+  if (rng_.bernoulli(0.5)) {
+    const std::size_t n = config_.mobile_clients;
+    const std::size_t w = static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto& c = testbed_.client(static_cast<int>(w) + 1);
+    const auto& outs = testbed_.outdoor_positions();
+    const Vec2 dest = outs[w % outs.size()];
+    const double frac = std::min(
+        1.0, (t / config_.duration_s) / (2.0 * config_.mobile_cross_at));
+    ev.kind = TrafficEvent::Kind::kLegit;
+    ev.from = quantize(c.position + (dest - c.position) * frac);
+    ev.mac = MacAddress::from_index(c.id);
+    return ev;
+  }
+  const auto& clients = testbed_.clients();
+  const auto& c = clients[std::min(
+      clients.size() - 1,
+      static_cast<std::size_t>(
+          rng_.uniform(0.0, static_cast<double>(clients.size()))))];
+  ev.kind = TrafficEvent::Kind::kLegit;
+  ev.from = c.position;
+  ev.mac = MacAddress::from_index(c.id);
+  return ev;
+}
+
+TrafficEvent ScenarioGenerator::make_adaptive_event(double t) {
+  TrafficEvent ev;
+  ev.time_s = t;
+  if (rng_.uniform(0.0, 1.0) < 0.6) {
+    const auto& clients = testbed_.clients();
+    const auto& c = clients[std::min(
+        clients.size() - 1,
+        static_cast<std::size_t>(
+            rng_.uniform(0.0, static_cast<double>(clients.size()))))];
+    ev.kind = TrafficEvent::Kind::kLegit;
+    ev.from = c.position;
+    ev.mac = MacAddress::from_index(c.id);
+    return ev;
+  }
+  // The insider forges the victim's MAC, and adapts open-loop: every
+  // adapt_every forged frames it steps 20% of the remaining distance
+  // toward the victim's desk (shrinking the AoA gap the spoof detector
+  // keys on); against high-resolution estimators it additionally aims a
+  // directional antenna at the AP, concentrating energy on the direct
+  // path like the paper's TJ-Maxx attacker.
+  ++spoof_sent_;
+  if (config_.adapt_every > 0 && spoof_sent_ % config_.adapt_every == 0) {
+    spoof_pos_ = quantize(spoof_pos_ + (victim_pos_ - spoof_pos_) * 0.2);
+  }
+  ev.kind = TrafficEvent::Kind::kSpoof;
+  ev.from = spoof_pos_;
+  ev.mac = MacAddress::from_index(config_.spoof_victim_id);
+  if (high_resolution(estimator_)) {
+    TxPattern dir;
+    const Vec2 d = ap_centroid_ - spoof_pos_;
+    dir.aim_azimuth_deg = std::atan2(d.y, d.x) * 180.0 / 3.14159265358979;
+    dir.beamwidth_deg = 40.0;
+    dir.boresight_gain_db = 6.0;
+    ev.pattern = dir;
+  }
+  return ev;
+}
+
+std::string ScenarioGenerator::describe() const {
+  std::string out = "scenario=";
+  out += to_string(config_.kind);
+  out += " arrival-rate=" + fmt(config_.arrival_rate);
+  out += " duration=" + fmt(config_.duration_s);
+  switch (config_.kind) {
+    case ScenarioKind::kMmpp:
+      out += " burst-multiplier=" + fmt(config_.burst_multiplier);
+      out += " calm-hold=" + fmt(config_.calm_hold_s);
+      out += " burst-hold=" + fmt(config_.burst_hold_s);
+      break;
+    case ScenarioKind::kFlashCrowd:
+      out += " flash-start=" + fmt(config_.flash_start_s);
+      out += " flash-len=" + fmt(config_.flash_len_s);
+      out += " flash-multiplier=" + fmt(config_.flash_multiplier);
+      break;
+    case ScenarioKind::kMobile:
+      out += " mobile-clients=" + std::to_string(config_.mobile_clients);
+      out += " mobile-cross-at=" + fmt(config_.mobile_cross_at);
+      break;
+    case ScenarioKind::kAdaptiveSpoof:
+      out += " adapt-every=" + std::to_string(config_.adapt_every);
+      out += " victim=" + std::to_string(config_.spoof_victim_id);
+      out += " source=" + std::to_string(config_.spoof_source_id);
+      break;
+    case ScenarioKind::kFlood:
+      out += " flood-rate=" + fmt(config_.flood_rate);
+      out += " flood-start=" + fmt(config_.flood_start_s);
+      out += " flood-len=" + fmt(config_.flood_len_s);
+      out += " flood-client=" + std::to_string(config_.flood_client_id);
+      break;
+    case ScenarioKind::kOffice:
+      break;
+  }
+  return out;
+}
+
+}  // namespace sa

@@ -1,0 +1,260 @@
+// Record/replay determinism: a capture recorded from a live scenario
+// run must replay byte-identically — same decision payload bytes, same
+// per-AP chunk tracks, same drain markers — through a freshly rebuilt
+// deployment at ANY thread count. This is the subsystem's contract: the
+// capture header alone (seed + deployment metadata) is enough to
+// reconstruct the exact pipeline that produced the recording.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sa/capture/reader.hpp"
+#include "sa/capture/replay.hpp"
+#include "sa/capture/writer.hpp"
+#include "sa/engine/session.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/sim/deployment.hpp"
+#include "sa/sim/scenario.hpp"
+
+namespace sa {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + "replay_" + name + ".sacp";
+}
+
+/// Small-but-real deployment: 2 APs, 4 antennas keeps the waveform work
+/// light enough for a unit test while exercising the full pipeline.
+DeploymentSpec small_spec(std::uint64_t seed = 7) {
+  DeploymentSpec spec;
+  spec.seed = seed;
+  spec.num_aps = 2;
+  spec.antennas = 4;
+  return spec;
+}
+
+ScenarioConfig short_scenario(ScenarioKind kind) {
+  ScenarioConfig sc;
+  sc.kind = kind;
+  sc.arrival_rate = 30.0;
+  sc.duration_s = 0.2;
+  // Squeeze the scenario-specific windows into the short horizon.
+  sc.flash_start_s = 0.05;
+  sc.flash_len_s = 0.1;
+  sc.flood_start_s = 0.05;
+  sc.flood_len_s = 0.1;
+  sc.flood_rate = 200.0;
+  sc.calm_hold_s = 0.05;
+  sc.burst_hold_s = 0.02;
+  return sc;
+}
+
+/// Run `scenario` through a live simulated deployment with a capture tap
+/// attached, exactly like scenario_runner --capture does. Returns the
+/// recorded bytes.
+ByteStream record_scenario(const DeploymentSpec& spec, ScenarioConfig sc,
+                           const std::string& path) {
+  BuiltDeployment dep = build_deployment(spec, /*with_sim=*/true);
+  CaptureWriter writer(path, capture_header_for(spec));
+
+  SessionConfig scfg;
+  scfg.engine = dep.engine;
+  scfg.engine.num_threads = 1;
+  scfg.engine.capture = &writer;
+  EngineSession session(scfg, dep.ap_ptrs, [](const EngineDecision&) {});
+
+  ScenarioGenerator gen(dep.testbed, sc, dep.traffic_rng, spec.estimator);
+  std::uint16_t seq = 0;
+  while (auto ev = gen.next()) {
+    dep.sim->advance(ev->dt_s);
+    const Frame f = Frame::data(MacAddress::from_index(0xFF), ev->mac,
+                                Bytes{1, 2, 3}, seq++);
+    const CVec w = PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
+    session.submit_round(
+        dep.sim->transmit(ev->from, w, ev->pattern ? &*ev->pattern : nullptr));
+  }
+  session.drain();
+  writer.close();
+  session.close();
+
+  auto reader = CaptureReader::from_file(path);
+  EXPECT_TRUE(reader.has_value());
+  EXPECT_TRUE(reader->validate().ok) << reader->validate().error;
+  return reader->bytes();
+}
+
+/// Replay `recorded` through a deployment rebuilt from its own header at
+/// `threads` threads, re-capturing the replay, and return the recapture.
+ByteStream replay_and_recapture(const ByteStream& recorded,
+                                std::size_t threads,
+                                const std::string& path) {
+  CaptureReader reader{ByteStream(recorded)};
+  EXPECT_TRUE(reader.header().has_value());
+  const auto spec = deployment_from_header(*reader.header());
+  EXPECT_TRUE(spec.has_value())
+      << "capture header must describe the deployment";
+  BuiltDeployment dep = build_deployment(*spec, /*with_sim=*/false);
+
+  CaptureWriter writer(path, *reader.header());
+  SessionConfig scfg;
+  scfg.engine = dep.engine;
+  scfg.engine.num_threads = threads;
+  scfg.engine.capture = &writer;
+  EngineSession session(scfg, dep.ap_ptrs, [](const EngineDecision&) {});
+
+  ReplaySource source{CaptureReader(ByteStream(recorded))};
+  const ReplayResult result = source.replay_into(session);
+  EXPECT_TRUE(result.ok) << result.error;
+  writer.close();
+  session.close();
+
+  auto out = CaptureReader::from_file(path);
+  EXPECT_TRUE(out.has_value());
+  return out->bytes();
+}
+
+void expect_replay_identical(const ByteStream& recorded,
+                             std::size_t threads) {
+  const std::string path =
+      temp_path("re" + std::to_string(threads) + "t");
+  const ByteStream replayed = replay_and_recapture(recorded, threads, path);
+  std::remove(path.c_str());
+  CaptureReader a{ByteStream(recorded)};
+  CaptureReader b{ByteStream(replayed)};
+  const CaptureDiff diff = diff_captures(a, b);
+  EXPECT_TRUE(diff.equal) << "threads=" << threads << ": " << diff.detail;
+}
+
+TEST(Replay, ByteIdenticalAtOneTwoAndEightThreads) {
+  const std::string path = temp_path("office");
+  const ByteStream recorded =
+      record_scenario(small_spec(), short_scenario(ScenarioKind::kOffice),
+                      path);
+  std::remove(path.c_str());
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    expect_replay_identical(recorded, threads);
+  }
+}
+
+TEST(Replay, ByteIdenticalWithSubbandsAndFivePolicyChain) {
+  // The heavyweight configuration: subband decomposition plus the full
+  // policy chain (decode is implicit, so acl,spoof,fence,rate makes
+  // five). Replay must still be byte-identical across thread counts.
+  DeploymentSpec spec = small_spec(11);
+  spec.subbands = 4;
+  spec.policies = {PolicyKind::kAcl, PolicyKind::kSpoof, PolicyKind::kFence,
+                   PolicyKind::kRateLimit};
+  ScenarioConfig sc = short_scenario(ScenarioKind::kOffice);
+  sc.duration_s = 0.15;
+
+  const std::string path = temp_path("chain");
+  const ByteStream recorded = record_scenario(spec, sc, path);
+  std::remove(path.c_str());
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    expect_replay_identical(recorded, threads);
+  }
+}
+
+TEST(Replay, AdversarialScenariosRecordAndReplay) {
+  // The adversarial/overload generators must also round-trip: record a
+  // short run of each, then replay at 2 threads and diff.
+  for (const ScenarioKind kind :
+       {ScenarioKind::kFlood, ScenarioKind::kAdaptiveSpoof,
+        ScenarioKind::kMobile}) {
+    const std::string path =
+        temp_path(std::string("adv_") + to_string(kind));
+    const ByteStream recorded =
+        record_scenario(small_spec(13), short_scenario(kind), path);
+    std::remove(path.c_str());
+    expect_replay_identical(recorded, 2);
+  }
+}
+
+TEST(Replay, DecisionPayloadsMatchRecordedTrack) {
+  // Sharper than diff_captures: walk the live replay decision-by-
+  // decision and compare encode_decision() bytes against the recording.
+  const std::string path = temp_path("track");
+  const ByteStream recorded =
+      record_scenario(small_spec(5), short_scenario(ScenarioKind::kOffice),
+                      path);
+  std::remove(path.c_str());
+
+  CaptureReader reader{ByteStream(recorded)};
+  const std::vector<ByteStream> track = reader.decision_payloads();
+  ASSERT_FALSE(track.empty()) << "scenario produced no decisions";
+
+  const auto spec = deployment_from_header(*reader.header());
+  ASSERT_TRUE(spec.has_value());
+  BuiltDeployment dep = build_deployment(*spec, /*with_sim=*/false);
+  SessionConfig scfg;
+  scfg.engine = dep.engine;
+  scfg.engine.num_threads = 2;
+  std::size_t index = 0;
+  std::size_t mismatches = 0;
+  EngineSession session(scfg, dep.ap_ptrs, [&](const EngineDecision& d) {
+    const ByteStream bytes =
+        encode_decision(d.sequence, d.absolute_start, d.decision);
+    if (index >= track.size() || bytes != track[index]) ++mismatches;
+    ++index;
+  });
+  ReplaySource source{CaptureReader(ByteStream(recorded))};
+  const ReplayResult result = source.replay_into(session);
+  EXPECT_TRUE(result.ok) << result.error;
+  session.close();
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_EQ(index, track.size());
+}
+
+TEST(Replay, TruncatedCaptureFailsCleanly) {
+  const std::string path = temp_path("truncated");
+  const ByteStream recorded =
+      record_scenario(small_spec(3), short_scenario(ScenarioKind::kOffice),
+                      path);
+  std::remove(path.c_str());
+
+  ByteStream cut(recorded.begin(),
+                 recorded.begin() + static_cast<long>(recorded.size() / 2));
+  const auto spec = deployment_from_header(
+      *CaptureReader{ByteStream(recorded)}.header());
+  ASSERT_TRUE(spec.has_value());
+  BuiltDeployment dep = build_deployment(*spec, /*with_sim=*/false);
+  SessionConfig scfg;
+  scfg.engine = dep.engine;
+  scfg.engine.num_threads = 1;
+  EngineSession session(scfg, dep.ap_ptrs, [](const EngineDecision&) {});
+  ReplaySource source{CaptureReader(std::move(cut))};
+  const ReplayResult result = source.replay_into(session);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.error.empty());
+  // The session survives a failed replay; close must not throw.
+  session.close();
+}
+
+TEST(Replay, HeaderRoundTripsDeploymentSpec) {
+  DeploymentSpec spec;
+  spec.seed = 1234;
+  spec.num_aps = 4;
+  spec.antennas = 6;
+  spec.estimator = AoaBackend::kRootMusic;
+  spec.subbands = 2;
+  spec.policies = {PolicyKind::kAcl, PolicyKind::kRateLimit};
+  const auto round = deployment_from_header(capture_header_for(spec));
+  ASSERT_TRUE(round.has_value());
+  EXPECT_EQ(round->seed, spec.seed);
+  EXPECT_EQ(round->num_aps, spec.num_aps);
+  EXPECT_EQ(round->antennas, spec.antennas);
+  EXPECT_EQ(round->estimator, spec.estimator);
+  EXPECT_EQ(round->subbands, spec.subbands);
+  EXPECT_EQ(round->policies, spec.policies);
+
+  // A header that does not announce the known deployment is refused.
+  CaptureHeader foreign = capture_header_for(spec);
+  foreign.metadata[0].second = "some-other-testbed";
+  EXPECT_FALSE(deployment_from_header(foreign).has_value());
+}
+
+}  // namespace
+}  // namespace sa

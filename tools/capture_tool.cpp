@@ -1,0 +1,396 @@
+// capture_tool: inspect, validate, diff, corrupt and replay SACP
+// captures (sa/capture). The replay command is the record/replay
+// contract made executable: rebuild the recorded deployment from the
+// capture header, feed the recorded chunk stream back through a live
+// EngineSession at any thread count, and require the decision stream to
+// come out byte-identical to the recorded one. The truncate/mutate/fuzz
+// commands are the adversarial side: they produce damaged captures and
+// assert the parser and the replay path reject them cleanly instead of
+// crashing — run the fuzz command under ASan for the real guarantee.
+//
+// Usage:
+//   capture_tool inspect  FILE
+//   capture_tool validate FILE...
+//   capture_tool diff     A B
+//   capture_tool truncate IN OUT BYTES     # keep the first BYTES bytes
+//   capture_tool mutate   IN OUT SEED [OPS]
+//   capture_tool replay   FILE [--threads N] [--out PATH]
+//   capture_tool fuzz     FILE [--seed S] [--count N] [--ops K]
+//                              [--no-replay]
+// Exit status: 0 = success / equal / all replays clean; 1 = mismatch or
+// invalid input; 2 = usage.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sa/capture/reader.hpp"
+#include "sa/capture/replay.hpp"
+#include "sa/capture/writer.hpp"
+#include "sa/engine/session.hpp"
+#include "sa/sim/deployment.hpp"
+
+using namespace sa;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: capture_tool inspect  FILE\n"
+               "       capture_tool validate FILE...\n"
+               "       capture_tool diff     A B\n"
+               "       capture_tool truncate IN OUT BYTES\n"
+               "       capture_tool mutate   IN OUT SEED [OPS]\n"
+               "       capture_tool replay   FILE [--threads N] [--out PATH]\n"
+               "       capture_tool fuzz     FILE [--seed S] [--count N]\n"
+               "                                  [--ops K] [--no-replay]\n");
+  std::exit(2);
+}
+
+ByteStream read_file_or_die(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "capture_tool: cannot open '%s'\n", path.c_str());
+    std::exit(1);
+  }
+  ByteStream data;
+  std::uint8_t buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    data.insert(data.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return data;
+}
+
+void write_file_or_die(const std::string& path, const ByteStream& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr ||
+      std::fwrite(data.data(), 1, data.size(), f) != data.size()) {
+    std::fprintf(stderr, "capture_tool: cannot write '%s'\n", path.c_str());
+    if (f != nullptr) std::fclose(f);
+    std::exit(1);
+  }
+  std::fclose(f);
+}
+
+int cmd_inspect(const std::string& path) {
+  CaptureReader reader(read_file_or_die(path));
+  if (!reader.header()) {
+    std::fprintf(stderr, "%s: malformed SACP header\n", path.c_str());
+    return 1;
+  }
+  const CaptureHeader& h = *reader.header();
+  std::printf("%s: SACP v%u, %u AP(s), seed %llu\n", path.c_str(), h.version,
+              h.num_aps, static_cast<unsigned long long>(h.seed));
+  for (const auto& [key, val] : h.metadata) {
+    std::printf("  %-16s %s\n", key.c_str(), val.c_str());
+  }
+
+  std::vector<std::uint64_t> chunks_per_ap(h.num_aps, 0);
+  std::vector<std::uint64_t> samples_per_ap(h.num_aps, 0);
+  std::uint64_t decisions = 0, accepted = 0, drains = 0;
+  std::optional<EndRecord> end;
+  for (;;) {
+    auto rec = reader.next();
+    if (!rec) break;
+    switch (rec->type) {
+      case RecordType::kChunk:
+        if (rec->chunk->ap < h.num_aps) {
+          ++chunks_per_ap[rec->chunk->ap];
+          samples_per_ap[rec->chunk->ap] += rec->chunk->samples.cols();
+        }
+        break;
+      case RecordType::kDecision:
+        ++decisions;
+        if (rec->decision->accepted) ++accepted;
+        break;
+      case RecordType::kDrain: ++drains; break;
+      case RecordType::kEnd: end = rec->end; break;
+    }
+  }
+  for (std::uint32_t ap = 0; ap < h.num_aps; ++ap) {
+    std::printf("  ap %u: %llu chunk(s), %llu samples\n", ap,
+                static_cast<unsigned long long>(chunks_per_ap[ap]),
+                static_cast<unsigned long long>(samples_per_ap[ap]));
+  }
+  std::printf("  decisions: %llu (%llu accepted, %llu dropped)\n",
+              static_cast<unsigned long long>(decisions),
+              static_cast<unsigned long long>(accepted),
+              static_cast<unsigned long long>(decisions - accepted));
+  std::printf("  drains: %llu\n", static_cast<unsigned long long>(drains));
+  if (!reader.error().empty()) {
+    std::printf("  PARSE ERROR: %s\n", reader.error().c_str());
+    return 1;
+  }
+  if (!end) {
+    std::printf("  TRUNCATED: no end record\n");
+    return 1;
+  }
+  std::printf("  end record: %llu chunks, %llu decisions, %llu drains\n",
+              static_cast<unsigned long long>(end->chunks),
+              static_cast<unsigned long long>(end->decisions),
+              static_cast<unsigned long long>(end->drains));
+  return 0;
+}
+
+int cmd_validate(const std::vector<std::string>& paths) {
+  int status = 0;
+  for (const auto& path : paths) {
+    CaptureReader reader(read_file_or_die(path));
+    const ValidationReport report = reader.validate();
+    if (report.ok) {
+      std::printf(
+          "%s: OK (%llu chunks, %llu decisions, %llu drains)\n", path.c_str(),
+          static_cast<unsigned long long>(report.chunks),
+          static_cast<unsigned long long>(report.decisions),
+          static_cast<unsigned long long>(report.drains));
+    } else {
+      std::printf("%s: INVALID at record %zu: %s\n", path.c_str(),
+                  report.record_index, report.error.c_str());
+      status = 1;
+    }
+  }
+  return status;
+}
+
+int cmd_diff(const std::string& a, const std::string& b) {
+  CaptureReader ra(read_file_or_die(a));
+  CaptureReader rb(read_file_or_die(b));
+  const CaptureDiff d = diff_captures(ra, rb);
+  if (d.equal) {
+    std::printf("captures are logically identical\n");
+    return 0;
+  }
+  std::printf("captures differ: %s\n", d.detail.c_str());
+  return 1;
+}
+
+int cmd_truncate(const std::string& in, const std::string& out,
+                 std::size_t bytes) {
+  ByteStream data = read_file_or_die(in);
+  if (bytes < data.size()) data.resize(bytes);
+  write_file_or_die(out, data);
+  std::printf("%s: kept %zu byte(s) -> %s\n", in.c_str(), data.size(),
+              out.c_str());
+  return 0;
+}
+
+int cmd_mutate(const std::string& in, const std::string& out,
+               std::uint64_t seed, std::size_t ops) {
+  const ByteStream data = read_file_or_die(in);
+  const ByteStream mutated = mutate_capture(data, seed, ops);
+  write_file_or_die(out, mutated);
+  std::printf("%s: %zu mutation op(s), seed %llu -> %s (%zu bytes)\n",
+              in.c_str(), ops, static_cast<unsigned long long>(seed),
+              out.c_str(), mutated.size());
+  return 0;
+}
+
+struct ReplayOutcome {
+  bool ran = false;          ///< the replay itself ran to the end
+  bool identical = false;    ///< decision track matched byte-for-byte
+  std::string detail;
+};
+
+/// Replay `reader`'s chunk stream through a fresh deployment built from
+/// its own header and compare the decision streams byte-for-byte.
+ReplayOutcome replay_and_compare(const CaptureReader& reader,
+                                 std::size_t threads,
+                                 const std::string& out_path) {
+  ReplayOutcome outcome;
+  if (!reader.header()) {
+    outcome.detail = "malformed SACP header";
+    return outcome;
+  }
+  const auto spec = deployment_from_header(*reader.header());
+  if (!spec) {
+    outcome.detail = "header does not describe a replayable deployment";
+    return outcome;
+  }
+  BuiltDeployment dep = build_deployment(*spec, /*with_sim=*/false);
+  EngineConfig ecfg = dep.engine;
+  ecfg.num_threads = threads;
+
+  std::optional<CaptureWriter> writer;
+  if (!out_path.empty()) {
+    writer.emplace(out_path, *reader.header());
+    ecfg.capture = &*writer;
+  }
+
+  const std::vector<ByteStream> recorded = reader.decision_payloads();
+  std::size_t matched = 0;
+  std::string mismatch;
+  SessionConfig scfg;
+  scfg.engine = ecfg;
+  {
+    EngineSession session(scfg, dep.ap_ptrs, [&](const EngineDecision& d) {
+      const ByteStream bytes =
+          encode_decision(d.sequence, d.absolute_start, d.decision);
+      if (matched < recorded.size() && bytes == recorded[matched]) {
+        ++matched;
+      } else if (mismatch.empty()) {
+        mismatch = "decision " + std::to_string(d.sequence) +
+                   (matched < recorded.size() ? " differs from the recording"
+                                              : " has no recorded counterpart");
+      }
+    });
+    ReplaySource source{CaptureReader(reader.bytes())};
+    const ReplayResult result = source.replay_into(session);
+    if (!result.ok) {
+      outcome.detail = "replay failed: " + result.error;
+      if (writer) writer->close();
+      session.close();
+      return outcome;
+    }
+    if (writer) writer->close();
+    session.close();
+  }
+  outcome.ran = true;
+  if (!mismatch.empty()) {
+    outcome.detail = mismatch;
+  } else if (matched != recorded.size()) {
+    outcome.detail = "replay emitted " + std::to_string(matched) + " of " +
+                     std::to_string(recorded.size()) + " recorded decisions";
+  } else {
+    outcome.identical = true;
+    outcome.detail =
+        std::to_string(matched) + " decision(s) byte-identical";
+  }
+  return outcome;
+}
+
+int cmd_replay(const std::string& path, std::size_t threads,
+               const std::string& out_path) {
+  CaptureReader reader(read_file_or_die(path));
+  const ReplayOutcome outcome = replay_and_compare(reader, threads, out_path);
+  std::printf("%s: %s\n", path.c_str(), outcome.detail.c_str());
+  if (!out_path.empty() && outcome.ran) {
+    std::printf("replay capture written to %s\n", out_path.c_str());
+  }
+  return outcome.identical ? 0 : 1;
+}
+
+int cmd_fuzz(const std::string& path, std::uint64_t seed, std::size_t count,
+             std::size_t ops, bool with_replay) {
+  const ByteStream original = read_file_or_die(path);
+  // A mutated capture usually no longer describes the same deployment;
+  // replay it into a session built from the ORIGINAL header, which is
+  // the realistic attack surface (a hostile capture fed to a fixed
+  // deployment) and keeps a mutated num_aps from requesting an absurd
+  // construction.
+  std::optional<DeploymentSpec> spec;
+  {
+    CaptureReader reader{ByteStream(original)};
+    if (reader.header()) spec = deployment_from_header(*reader.header());
+  }
+  std::size_t parsed_ok = 0, rejected = 0, replays = 0, replay_errors = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ByteStream mutant = mutate_capture(original, seed + i, ops);
+    CaptureReader reader{ByteStream(mutant)};
+    const ValidationReport report = reader.validate();
+    if (report.ok) {
+      ++parsed_ok;
+    } else {
+      ++rejected;
+    }
+    if (!with_replay || !spec) continue;
+    try {
+      BuiltDeployment dep = build_deployment(*spec, /*with_sim=*/false);
+      SessionConfig scfg;
+      scfg.engine = dep.engine;
+      scfg.engine.num_threads = 1;
+      EngineSession session(scfg, dep.ap_ptrs, [](const EngineDecision&) {});
+      ReplaySource source{CaptureReader(ByteStream(mutant))};
+      const ReplayResult result = source.replay_into(session);
+      session.close();
+      if (result.ok) {
+        ++replays;
+      } else {
+        ++replay_errors;
+      }
+    } catch (const std::exception&) {
+      // A clean rejection (bad chunk geometry, writer state, ...) is a
+      // pass — the fuzz loop only fails by crashing.
+      ++replay_errors;
+    }
+  }
+  std::printf(
+      "%s: %zu mutant(s), seed %llu, %zu op(s) each: %zu still valid, "
+      "%zu rejected by the parser",
+      path.c_str(), count, static_cast<unsigned long long>(seed), ops,
+      parsed_ok, rejected);
+  if (with_replay && spec) {
+    std::printf(", %zu replayed, %zu rejected in replay", replays,
+                replay_errors);
+  }
+  std::printf(" — no crashes\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  if (cmd == "inspect" && args.size() == 1) return cmd_inspect(args[0]);
+  if (cmd == "validate" && !args.empty()) return cmd_validate(args);
+  if (cmd == "diff" && args.size() == 2) return cmd_diff(args[0], args[1]);
+  if (cmd == "truncate" && args.size() == 3) {
+    return cmd_truncate(args[0], args[1],
+                        std::strtoull(args[2].c_str(), nullptr, 10));
+  }
+  if (cmd == "mutate" && (args.size() == 3 || args.size() == 4)) {
+    const std::uint64_t seed = std::strtoull(args[2].c_str(), nullptr, 10);
+    const std::size_t ops =
+        args.size() == 4 ? std::strtoull(args[3].c_str(), nullptr, 10) : 8;
+    return cmd_mutate(args[0], args[1], seed, ops);
+  }
+  if (cmd == "replay" && !args.empty()) {
+    std::string path;
+    std::string out;
+    std::size_t threads = 1;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "--threads" && i + 1 < args.size()) {
+        threads = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (args[i] == "--out" && i + 1 < args.size()) {
+        out = args[++i];
+      } else if (path.empty() && !args[i].empty() && args[i][0] != '-') {
+        path = args[i];
+      } else {
+        usage();
+      }
+    }
+    if (path.empty()) usage();
+    return cmd_replay(path, threads, out);
+  }
+  if (cmd == "fuzz" && !args.empty()) {
+    std::string path;
+    std::uint64_t seed = 1;
+    std::size_t count = 32;
+    std::size_t ops = 8;
+    bool with_replay = true;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "--seed" && i + 1 < args.size()) {
+        seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (args[i] == "--count" && i + 1 < args.size()) {
+        count = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (args[i] == "--ops" && i + 1 < args.size()) {
+        ops = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (args[i] == "--no-replay") {
+        with_replay = false;
+      } else if (path.empty() && !args[i].empty() && args[i][0] != '-') {
+        path = args[i];
+      } else {
+        usage();
+      }
+    }
+    if (path.empty()) usage();
+    return cmd_fuzz(path, seed, count, ops, with_replay);
+  }
+  usage();
+}

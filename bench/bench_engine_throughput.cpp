@@ -29,6 +29,12 @@
 //                generous floor derived from the checked-in baseline, so
 //                a catastrophic scan-path regression fails the job while
 //                ordinary CI noise never does.
+//   --max-state-bytes B / --min-state-ratio R / --max-lookup-ns X
+//                tracked-state tripwires at the million-MAC sweep point:
+//                fail when compact bytes/client exceeds B, when the
+//                baseline/compact ratio falls below R, or when the ACL
+//                hit lookup exceeds X ns. CI derives the caps from the
+//                checked-in baseline's tripwire block.
 //   --require-scaling  scaling tripwire (needs --pipelined): the
 //                pipelined frames/sec at the highest thread count that
 //                actually fits the affinity mask must be >= the 1-thread
@@ -40,19 +46,27 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <list>
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #if defined(__linux__)
+#include <malloc.h>
 #include <sched.h>
 #endif
 
 #include "bench_common.hpp"
 #include "sa/aoa/covariance.hpp"
+#include "sa/common/compact/flat_lru_map.hpp"
+#include "sa/common/compact/mac_prefilter.hpp"
+#include "sa/common/compact/timer_wheel.hpp"
 #include "sa/engine/deployment.hpp"
 #include "sa/engine/session.hpp"
+#include "sa/mac/acl.hpp"
 
 using namespace sa;
 
@@ -164,6 +178,198 @@ void covariance_conditioning_note(std::size_t reps) {
       reps, fb_before, fb_after, dl);
 }
 
+// ---- tracked-state sweep: per-client memory of the sa/common/compact
+// substrate versus the node-based structures it replaced, at up to a
+// million tracked MACs, plus MAC lookup latency through the prefilter.
+
+/// Heap bytes attributed to the baseline replicas, counted as the real
+/// malloc chunk (usable size + header) so node overhead and rounding —
+/// the costs the flat substrate exists to avoid — are included.
+std::size_t g_baseline_heap = 0;
+
+template <class T>
+struct CountingAlloc {
+  using value_type = T;
+  CountingAlloc() = default;
+  template <class U>
+  CountingAlloc(const CountingAlloc<U>&) {}  // NOLINT(google-explicit-*)
+  T* allocate(std::size_t n) {
+    void* p = ::operator new(n * sizeof(T));
+#if defined(__linux__)
+    g_baseline_heap += malloc_usable_size(p) + 8;
+#else
+    g_baseline_heap += n * sizeof(T);
+#endif
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, std::size_t n) {
+#if defined(__linux__)
+    g_baseline_heap -= malloc_usable_size(p) + 8;
+#else
+    g_baseline_heap -= n * sizeof(T);
+#endif
+    ::operator delete(p);
+  }
+  template <class U>
+  bool operator==(const CountingAlloc<U>&) const {
+    return true;
+  }
+};
+
+struct StateRow {
+  std::size_t clients = 0;
+  double compact_bytes = 0.0;   // per tracked client
+  double baseline_bytes = 0.0;  // per tracked client
+  double ratio = 0.0;
+  double lookup_hit_ns = 0.0;
+  double lookup_miss_ns = 0.0;
+};
+
+/// The workload both sides see: `n` distinct MACs churn through a
+/// deployment bounded at `n` tracked clients — every MAC allowed on the
+/// ACL and admitted to the spoof tracker, and each sends one
+/// 16-frame burst through the rate limiter, after which its window
+/// expires (the paper's MAC-rotation flood, observed once the wave has
+/// passed). Tracker payloads (SignatureTracker) are excluded on both
+/// sides — they are identical — so the numbers isolate the per-client
+/// bookkeeping the substrate replaces.
+constexpr std::size_t kBurstFrames = 16;
+constexpr std::size_t kWindowFrames = 4096;
+
+StateRow measure_tracked_state(std::size_t n) {
+  StateRow row;
+  row.clients = n;
+
+  // ---- compact side: the real ACL, plus replicas of the spoof
+  // detector's and rate limiter's exact state machines (FlatLruMap +
+  // MacPrefilter + TimerWheel, same types and admission logic).
+  {
+    AccessControlList acl;
+    FlatLruMap<MacAddress, std::uint64_t> spoof_bk(n);
+    MacPrefilter spoof_filter(n);
+    struct RateState {
+      std::uint32_t in_window = 0;
+      std::uint32_t generation = 0;
+    };
+    struct Decrement {
+      MacAddress mac;
+      std::uint32_t generation = 0;
+    };
+    FlatLruMap<MacAddress, RateState> rate(n);
+    TimerWheel<Decrement> wheel;
+    std::uint32_t next_gen = 0;
+    std::uint64_t now = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const MacAddress mac =
+          MacAddress::from_index(static_cast<std::uint32_t>(c));
+      acl.allow(mac);
+      const auto sp = spoof_bk.get_or_emplace(mac, std::uint64_t{0});
+      if (sp.inserted) spoof_filter.insert(mac);
+      for (std::size_t f = 0; f < kBurstFrames; ++f) {
+        ++now;
+        wheel.advance(now, [&](Decrement d, std::uint64_t) {
+          RateState* st = rate.find(d.mac);
+          if (st == nullptr || st->generation != d.generation) return;
+          if (--st->in_window == 0) rate.erase(d.mac);
+        });
+        const auto r = rate.get_or_emplace(mac);
+        if (r.inserted) r.value->generation = ++next_gen;
+        ++r.value->in_window;
+        wheel.schedule(now + kWindowFrames, {mac, r.value->generation});
+      }
+    }
+    // The wave has passed: every window expires and the rate entries
+    // erase themselves — the old structures have no equivalent event.
+    now += kWindowFrames + 1;
+    wheel.advance(now, [&](Decrement d, std::uint64_t) {
+      RateState* st = rate.find(d.mac);
+      if (st == nullptr || st->generation != d.generation) return;
+      if (--st->in_window == 0) rate.erase(d.mac);
+    });
+    const std::size_t compact_total =
+        acl.memory_bytes() + spoof_bk.memory_bytes() +
+        spoof_filter.memory_bytes() + rate.memory_bytes() +
+        wheel.memory_bytes();
+    row.compact_bytes =
+        static_cast<double>(compact_total) / static_cast<double>(n);
+
+    // ---- lookup latency through the real ACL: a present MAC (filter
+    // positive, exact probe) and an absent one (one-cache-line filter
+    // negative). Strided order defeats the prefetcher.
+    volatile std::size_t sink = 0;
+    const std::size_t reps = std::min<std::size_t>(n, 1u << 20);
+    auto time_ns = [&](std::uint32_t base) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < reps; ++i) {
+        const std::uint32_t idx = static_cast<std::uint32_t>(
+            (i * 2654435761ull) % n);
+        sink = sink + (acl.is_allowed(MacAddress::from_index(base + idx)) ? 1u
+                                                                          : 0u);
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double, std::nano>(t1 - t0).count() /
+             static_cast<double>(reps);
+    };
+    row.lookup_hit_ns = time_ns(0);
+    row.lookup_miss_ns = time_ns(static_cast<std::uint32_t>(n));
+  }
+
+  // ---- baseline side: the structures this PR removed, verbatim
+  // shapes (unordered containers + std::list LRU + per-MAC admit
+  // vector), run through the identical workload. Idle MACs only ever
+  // pruned their admits on access, so the burst residue stays.
+  {
+    using LruList = std::list<MacAddress, CountingAlloc<MacAddress>>;
+    using LruIt = LruList::iterator;
+    struct SpoofEntry {
+      LruIt lru;
+    };
+    struct MacState {
+      std::vector<std::size_t, CountingAlloc<std::size_t>> recent;
+      LruIt lru;
+    };
+    g_baseline_heap = 0;
+    std::unordered_set<MacAddress, std::hash<MacAddress>,
+                       std::equal_to<MacAddress>, CountingAlloc<MacAddress>>
+        acl;
+    std::unordered_map<MacAddress, SpoofEntry, std::hash<MacAddress>,
+                       std::equal_to<MacAddress>,
+                       CountingAlloc<std::pair<const MacAddress, SpoofEntry>>>
+        spoof_bk;
+    LruList spoof_lru;
+    std::unordered_map<MacAddress, MacState, std::hash<MacAddress>,
+                       std::equal_to<MacAddress>,
+                       CountingAlloc<std::pair<const MacAddress, MacState>>>
+        rate;
+    LruList rate_lru;
+    std::size_t now = 0;
+    for (std::size_t c = 0; c < n; ++c) {
+      const MacAddress mac =
+          MacAddress::from_index(static_cast<std::uint32_t>(c));
+      acl.insert(mac);
+      spoof_lru.push_front(mac);
+      spoof_bk.emplace(mac, SpoofEntry{spoof_lru.begin()});
+      auto& st = rate[mac];
+      if (st.recent.empty()) {
+        rate_lru.push_front(mac);
+        st.lru = rate_lru.begin();
+      }
+      for (std::size_t f = 0; f < kBurstFrames; ++f) {
+        ++now;
+        while (!st.recent.empty() && st.recent.front() + kWindowFrames <= now) {
+          st.recent.erase(st.recent.begin());
+        }
+        st.recent.push_back(now);
+      }
+    }
+    row.baseline_bytes =
+        static_cast<double>(g_baseline_heap) / static_cast<double>(n);
+  }
+  row.ratio = row.compact_bytes > 0.0 ? row.baseline_bytes / row.compact_bytes
+                                      : 0.0;
+  return row;
+}
+
 // ---- JSON result collection (--json): every sweep appends its rows
 // here and write_json serializes them. No external dependency — the
 // schema is flat enough for fprintf.
@@ -189,6 +395,7 @@ struct BenchResults {
   std::vector<SweepRow> estimator_sweep;
   std::vector<SweepRow> subband_sweep;
   std::vector<SweepRow> chain_sweep;
+  std::vector<StateRow> state_sweep;
   double scan_sec = 0.0;
   double decode_sec = 0.0;
   std::size_t split_frames = 0;
@@ -252,19 +459,44 @@ void write_json(const BenchResults& r, const char* path) {
     std::fprintf(f, "{\"chain\": \"%s\", \"frames\": %zu, \"fps\": %.2f}",
                  s.label.c_str(), s.frames, s.fps);
   });
+  std::fprintf(f, "  \"tracked_state_sweep\": [");
+  for (std::size_t i = 0; i < r.state_sweep.size(); ++i) {
+    const StateRow& s = r.state_sweep[i];
+    std::fprintf(f,
+                 "%s\n    {\"clients\": %zu, "
+                 "\"bytes_per_tracked_client\": %.1f, "
+                 "\"baseline_bytes_per_client\": %.1f, \"ratio\": %.2f, "
+                 "\"mac_lookup_hit_ns\": %.1f, "
+                 "\"mac_lookup_prefilter_miss_ns\": %.1f}",
+                 i == 0 ? "" : ",", s.clients, s.compact_bytes,
+                 s.baseline_bytes, s.ratio, s.lookup_hit_ns, s.lookup_miss_ns);
+  }
+  std::fprintf(f, "\n  ],\n");
+  // Headline metrics from the largest (million-MAC) sweep point.
+  const StateRow big =
+      r.state_sweep.empty() ? StateRow{} : r.state_sweep.back();
+  std::fprintf(f,
+               "  \"bytes_per_tracked_client\": %.1f,\n"
+               "  \"mac_lookup_ns\": {\"hit\": %.1f, \"prefilter_miss\": "
+               "%.1f},\n",
+               big.compact_bytes, big.lookup_hit_ns, big.lookup_miss_ns);
   const double t1_fps =
       r.threads_sweep.empty() ? 0.0 : r.threads_sweep.front().fps;
   std::fprintf(f,
                "  \"scan_decode_split\": {\"scan_sec\": %.4f, "
                "\"decode_sec\": %.4f, \"frames\": %zu},\n"
-               // Generous floor for the CI tripwire: 5%% of this run's
-               // single-thread frames/sec. CI runners are slower and run
+               // Generous floors for the CI tripwires: 5%% of this run's
+               // single-thread frames/sec (CI runners are slower and run
                // the smaller smoke workload, but a catastrophic hot-path
-               // regression (the scan going O(history^2), say) still
-               // lands far below this.
-               "  \"tripwire\": {\"min_smoke_fps\": %.1f}\n"
+               // regression still lands far below), 2x this run's
+               // bytes/client and 10x its hit latency, and the
+               // acceptance floor of 4x on the state-size ratio.
+               "  \"tripwire\": {\"min_smoke_fps\": %.1f, "
+               "\"max_bytes_per_tracked_client\": %.1f, "
+               "\"min_state_ratio\": 4.0, \"max_lookup_ns\": %.1f}\n"
                "}\n",
-               r.scan_sec, r.decode_sec, r.split_frames, 0.05 * t1_fps);
+               r.scan_sec, r.decode_sec, r.split_frames, 0.05 * t1_fps,
+               2.0 * big.compact_bytes, 10.0 * big.lookup_hit_ns);
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
 }
@@ -277,6 +509,9 @@ int main(int argc, char** argv) {
   bool require_scaling = false;
   const char* json_path = nullptr;
   double min_fps = 0.0;
+  double max_state_bytes = 0.0;
+  double min_state_ratio = 0.0;
+  double max_lookup_ns = 0.0;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
@@ -289,6 +524,14 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--min-fps") == 0 && i + 1 < argc) {
       min_fps = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-state-bytes") == 0 &&
+               i + 1 < argc) {
+      max_state_bytes = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--min-state-ratio") == 0 &&
+               i + 1 < argc) {
+      min_state_ratio = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-lookup-ns") == 0 && i + 1 < argc) {
+      max_lookup_ns = std::atof(argv[++i]);
     } else {
       positional.push_back(argv[i]);
     }
@@ -574,7 +817,56 @@ int main(int argc, char** argv) {
     results.chain_sweep.push_back({c.label, 0, frames, fps, 0.0, 0, {}});
   }
 
+  // ---- tracked-state sweep: compact substrate vs the node-based
+  // structures it replaced, per tracked client, up to a million MACs.
+  {
+    const std::vector<std::size_t> counts =
+        smoke ? std::vector<std::size_t>{1000000}
+              : std::vector<std::size_t>{100000, 1000000};
+    std::printf(
+        "\ntracked-state sweep (ACL + spoof bookkeeping + rate window; "
+        "%zu-frame bursts, window %zu, measured after the wave):\n"
+        "%-10s %14s %14s %7s %10s %12s\n",
+        kBurstFrames, kWindowFrames, "clients", "compact B/cl",
+        "baseline B/cl", "ratio", "hit ns", "filter-miss");
+    for (const std::size_t n : counts) {
+      const StateRow row = measure_tracked_state(n);
+      std::printf("%-10zu %14.1f %14.1f %6.2fx %10.1f %12.1f\n", row.clients,
+                  row.compact_bytes, row.baseline_bytes, row.ratio,
+                  row.lookup_hit_ns, row.lookup_miss_ns);
+      results.state_sweep.push_back(row);
+    }
+  }
+
   if (json_path != nullptr) write_json(results, json_path);
+
+  // Tracked-state tripwires (floors come from the checked-in baseline
+  // via CI): per-client bytes, compaction ratio, and lookup latency at
+  // the largest sweep point.
+  if (!results.state_sweep.empty() &&
+      (max_state_bytes > 0.0 || min_state_ratio > 0.0 ||
+       max_lookup_ns > 0.0)) {
+    const StateRow& big = results.state_sweep.back();
+    if (max_state_bytes > 0.0 && big.compact_bytes > max_state_bytes) {
+      std::printf("\n!! state tripwire: %.1f bytes/client above cap %.1f\n",
+                  big.compact_bytes, max_state_bytes);
+      return 1;
+    }
+    if (min_state_ratio > 0.0 && big.ratio < min_state_ratio) {
+      std::printf("\n!! state tripwire: compaction ratio %.2fx below %.2fx\n",
+                  big.ratio, min_state_ratio);
+      return 1;
+    }
+    if (max_lookup_ns > 0.0 && big.lookup_hit_ns > max_lookup_ns) {
+      std::printf("\n!! state tripwire: hit lookup %.1f ns above cap %.1f\n",
+                  big.lookup_hit_ns, max_lookup_ns);
+      return 1;
+    }
+    std::printf("\nstate tripwire ok: %.1f B/client, %.2fx vs baseline, "
+                "%.1f ns hit / %.1f ns filter-miss\n",
+                big.compact_bytes, big.ratio, big.lookup_hit_ns,
+                big.lookup_miss_ns);
+  }
 
   if (min_fps > 0.0) {
     double best = 0.0;

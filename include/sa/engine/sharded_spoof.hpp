@@ -44,9 +44,15 @@ class ShardedSpoofDetector {
   /// diverge from a serial SpoofDetector with the same global bound.
   /// The engine's decision-equivalence guarantee assumes the bound is
   /// not hit (or is 0, the default).
+  /// `idle_expiry_frames` (0 = off) is forwarded to every shard's
+  /// detector: a tracker not observed for that many of its shard's
+  /// observation ticks is expired via the shard's timing wheel. Shard
+  /// observation order is fixed by the sequencer regardless of worker
+  /// count, so expiry stays deterministic at any thread count.
   explicit ShardedSpoofDetector(TrackerConfig tracker_config,
                                 std::size_t num_shards = 8,
-                                std::size_t max_tracked_macs = 0);
+                                std::size_t max_tracked_macs = 0,
+                                std::size_t idle_expiry_frames = 0);
 
   std::size_t num_shards() const { return shards_.size(); }
   std::size_t shard_of(const MacAddress& source) const;
@@ -82,9 +88,11 @@ class ShardedSpoofDetector {
   void fulfil(const SpoofTicket& ticket, const MacAddress& source,
               const SubbandSignature& signature, FulfilCallback done);
 
-  /// Tracker for a MAC, if it has been seen. The pointer is stable (node
-  /// based map) but reading it concurrently with observe() on the same
-  /// MAC is the caller's race to avoid.
+  /// Tracker for a MAC, if it has been seen. The pointer is invalidated
+  /// by the next observe()/forget() on the shard (flat storage moves
+  /// under insertion and erasure) — use it immediately, and reading it
+  /// concurrently with observe() on the same MAC is the caller's race
+  /// to avoid.
   const SignatureTracker* tracker(const MacAddress& source) const;
 
   /// Forget a MAC entirely (e.g. after deauthentication).
@@ -100,8 +108,9 @@ class ShardedSpoofDetector {
     FulfilCallback done;
   };
   struct Shard {
-    Shard(const TrackerConfig& cfg, std::size_t max_tracked)
-        : detector(cfg, max_tracked) {}
+    Shard(const TrackerConfig& cfg, std::size_t max_tracked,
+          std::size_t idle_expiry_frames)
+        : detector(cfg, max_tracked, idle_expiry_frames) {}
     mutable std::mutex mu;
     SpoofDetector detector;
     std::uint64_t reserved = 0;  ///< next ticket seq to hand out

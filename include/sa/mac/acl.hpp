@@ -1,25 +1,60 @@
 // Address-based access control list — the weak baseline defence that
 // link-layer spoofing subverts (paper §1). SecureAngle's spoof detector
 // layers on top of this.
+//
+// Storage is the compact per-MAC substrate: a flat open-addressing set
+// (no per-entry allocations) behind a blocked-Bloom prefilter, so the
+// common case at fleet scale — a frame from a MAC that is not on the
+// list — resolves in one cache line without probing the table. The
+// filter can only over-approximate (revoked MACs leave stale bits until
+// the next rebuild epoch), and every stale positive falls through to
+// the exact set, so is_allowed() answers are always exact.
 #pragma once
 
-#include <unordered_set>
-
+#include "sa/common/compact/flat_lru_map.hpp"
+#include "sa/common/compact/mac_prefilter.hpp"
 #include "sa/mac/address.hpp"
 
 namespace sa {
 
 class AccessControlList {
  public:
-  void allow(const MacAddress& addr) { allowed_.insert(addr); }
-  void revoke(const MacAddress& addr) { allowed_.erase(addr); }
-  bool is_allowed(const MacAddress& addr) const {
-    return allowed_.contains(addr);
+  void allow(const MacAddress& addr) {
+    const auto r = set_.get_or_emplace(addr);
+    if (r.inserted) {
+      filter_.insert(addr);
+      maybe_rebuild_filter();
+    }
   }
-  std::size_t size() const { return allowed_.size(); }
+  void revoke(const MacAddress& addr) {
+    if (set_.erase(addr)) {
+      filter_.note_erase();
+      maybe_rebuild_filter();
+    }
+  }
+  bool is_allowed(const MacAddress& addr) const {
+    if (!filter_.maybe_contains(addr)) return false;  // definite miss
+    return set_.find(addr) != nullptr;
+  }
+  std::size_t size() const { return set_.size(); }
+
+  /// Footprint of the set and its prefilter.
+  std::size_t memory_bytes() const {
+    return set_.memory_bytes() + filter_.memory_bytes();
+  }
 
  private:
-  std::unordered_set<MacAddress> allowed_;
+  struct Empty {};
+
+  void maybe_rebuild_filter() {
+    if (!filter_.should_rebuild(set_.size())) return;
+    filter_.rebuild(set_.size(), [this](auto&& add) {
+      set_.for_each([&](const MacAddress& key, const Empty&) { add(key); });
+    });
+  }
+
+  FlatLruMap<MacAddress, Empty> set_;
+  MacPrefilter filter_;
 };
 
 }  // namespace sa

@@ -32,6 +32,11 @@ struct CoordinatorConfig {
   /// eviction choices — hence decisions for evicted-and-returning
   /// MACs — can differ from a serial Coordinator's global LRU.
   std::size_t max_tracked_macs = 0;
+  /// Expire spoof trackers idle for this many observation ticks via the
+  /// detector's timing wheel; 0 (default) = never. Opt-in because an
+  /// expired tracker retrains when its client returns, which changes
+  /// decisions — with it off, decisions are unchanged.
+  std::size_t spoof_idle_frames = 0;
   /// Minimum APs that must hear a frame before it can be localized.
   std::size_t min_aps_for_fence = 2;
   /// Fence policy when a frame is heard by fewer than min_aps_for_fence

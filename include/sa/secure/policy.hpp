@@ -13,13 +13,14 @@
 #pragma once
 
 #include <cstddef>
-#include <list>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
+#include "sa/common/compact/flat_lru_map.hpp"
+#include "sa/common/compact/timer_wheel.hpp"
 #include "sa/mac/acl.hpp"
 #include "sa/secure/accesspoint.hpp"
 #include "sa/secure/spoofdetector.hpp"
@@ -266,6 +267,25 @@ struct RateLimitConfig {
 /// doesn't have but the policy chain makes trivial. Fail-closed: a
 /// frame with no decodable source MAC is dropped rather than waved
 /// through (DecodePolicy normally drops those first).
+///
+/// State is a per-MAC in-window counter plus one timing-wheel decrement
+/// event per admitted frame, due exactly one window after the admit —
+/// provably the same decisions as the historical sliding-window log (an
+/// admit at frame a leaves the window at now = a + window_frames, which
+/// is precisely when its decrement fires), without storing the log.
+/// A MAC whose count reaches zero is erased outright, so idle clients
+/// cost nothing: live entries are bounded by the frames in flight in
+/// one window, not by the client population. The wheel is driven by the
+/// frame indices the policy evaluates — under the engine, the global
+/// sequence numbers the shard-affine worker's chain sees in fixed order
+/// at any thread count.
+///
+/// tracked_macs() therefore counts MACs with in-window frames (the
+/// node-based implementation also counted idle MACs until LRU eviction
+/// pushed them out). When `max_tracked_macs` actually binds, eviction
+/// choices — hence decisions for evicted-and-returning MACs — can
+/// differ from the old implementation; in-capacity decisions are
+/// byte-identical.
 class RateLimitPolicy final : public SecurityPolicy {
  public:
   static constexpr std::string_view kName = "rate";
@@ -283,15 +303,27 @@ class RateLimitPolicy final : public SecurityPolicy {
   std::size_t evictions() const { return evictions_; }
   const RateLimitConfig& config() const { return config_; }
 
+  /// Footprint of the counter map and the decrement wheel.
+  std::size_t memory_bytes() const {
+    return history_.memory_bytes() + wheel_.memory_bytes();
+  }
+
  private:
-  struct MacHistory {
-    std::vector<std::size_t> recent;  ///< in-window frame indices
-    std::list<MacAddress>::iterator lru;
+  struct RateState {
+    std::uint32_t in_window = 0;  ///< admits in the trailing window
+    std::uint32_t generation = 0;
+  };
+  /// Decrement events carry the entry generation so a stale event from
+  /// before an LRU eviction cannot debit the MAC's next incarnation.
+  struct Decrement {
+    MacAddress mac;
+    std::uint32_t generation = 0;
   };
 
   RateLimitConfig config_;
-  std::unordered_map<MacAddress, MacHistory> history_;
-  std::list<MacAddress> lru_;  ///< most recently seen first
+  FlatLruMap<MacAddress, RateState> history_;
+  TimerWheel<Decrement> wheel_;
+  std::uint32_t next_generation_ = 0;
   std::size_t evictions_ = 0;
 };
 

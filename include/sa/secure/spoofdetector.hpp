@@ -1,11 +1,22 @@
 // Address-spoofing prevention (paper §2.3.2): bind each MAC address to a
 // tracked AoA signature; flag packets whose signature diverges from the
 // one trained for that address.
+//
+// Tracker state lives on the compact per-MAC substrate: a flat
+// open-addressing LRU map (no node allocations) behind a blocked-Bloom
+// prefilter, so tracker() for a never-seen MAC answers from one cache
+// line, plus an optional timing wheel that expires idle trackers.
+//
+// Recency policy (deliberate, and preserved from the node-based
+// implementation): observe() refreshes a MAC's LRU recency whether it
+// hits or inserts; the read-only tracker() accessor does NOT — a
+// forensic lookup must not keep a client resident under eviction
+// pressure.
 #pragma once
 
-#include <list>
-#include <unordered_map>
-
+#include "sa/common/compact/flat_lru_map.hpp"
+#include "sa/common/compact/mac_prefilter.hpp"
+#include "sa/common/compact/timer_wheel.hpp"
 #include "sa/mac/address.hpp"
 #include "sa/signature/tracker.hpp"
 
@@ -26,7 +37,8 @@ struct SpoofDetectorStats {
   std::size_t packets = 0;
   std::size_t alarms = 0;
   std::size_t tracked_macs = 0;
-  std::size_t evictions = 0;  ///< trackers dropped by the LRU bound
+  std::size_t evictions = 0;    ///< trackers dropped by the LRU bound
+  std::size_t expirations = 0;  ///< trackers dropped by idle expiry
 };
 
 class SpoofDetector {
@@ -36,19 +48,31 @@ class SpoofDetector {
   /// evicted (it retrains from scratch if that client returns). 0 means
   /// unbounded — unacceptable at deployment scale, but the historical
   /// default.
+  ///
+  /// `idle_expiry_frames` > 0 additionally expires any tracker not
+  /// observed for that many observation ticks, via a timing wheel in
+  /// O(1) per tick. Off (0) by default: expiring a tracker changes
+  /// decisions (a returning client retrains), so deployments opt in.
   explicit SpoofDetector(TrackerConfig tracker_config = {},
-                         std::size_t max_tracked_macs = 0);
+                         std::size_t max_tracked_macs = 0,
+                         std::size_t idle_expiry_frames = 0);
 
   /// Feed one (MAC, signature) pair from a decoded uplink frame. The
   /// per-MAC tracker compares subband-wise (one band = the paper's
-  /// narrowband behavior, unchanged).
+  /// narrowband behavior, unchanged). The detector's own packet count
+  /// is the idle-expiry tick — strictly increasing per detector, and
+  /// deterministic at any engine thread count because a MAC's shard
+  /// observes its frames in the same order regardless of workers.
   SpoofObservation observe(const MacAddress& source,
                            const SubbandSignature& signature);
   /// Single-band compatibility overload.
   SpoofObservation observe(const MacAddress& source,
                            const AoaSignature& signature);
 
-  /// Tracker for a MAC, if it has been seen.
+  /// Tracker for a MAC, if it has been seen. Answers definite misses
+  /// from the prefilter without probing the table. The pointer is
+  /// invalidated by the next observe()/forget() (flat storage moves
+  /// under insertion and erasure) — use it immediately.
   const SignatureTracker* tracker(const MacAddress& source) const;
 
   /// Forget a MAC entirely (e.g. after deauthentication).
@@ -56,19 +80,33 @@ class SpoofDetector {
 
   SpoofDetectorStats stats() const;
 
+  /// Footprint of the tracker map, prefilter and expiry wheel (the
+  /// trackers' own signature buffers are not included).
+  std::size_t memory_bytes() const {
+    return trackers_.memory_bytes() + filter_.memory_bytes() +
+           wheel_.memory_bytes();
+  }
+
  private:
   struct Entry {
+    explicit Entry(const TrackerConfig& config) : tracker(config) {}
     SignatureTracker tracker;
-    std::list<MacAddress>::iterator lru;
+    std::uint64_t last_seen = 0;
   };
+
+  void expire_idle(std::uint64_t now);
+  void maybe_rebuild_filter();
 
   TrackerConfig tracker_config_;
   std::size_t max_tracked_macs_;
-  std::unordered_map<MacAddress, Entry> trackers_;
-  std::list<MacAddress> lru_;  ///< most recently observed first
+  std::size_t idle_expiry_frames_;
+  FlatLruMap<MacAddress, Entry> trackers_;
+  MacPrefilter filter_;
+  TimerWheel<MacAddress> wheel_;
   std::size_t packets_ = 0;
   std::size_t alarms_ = 0;
   std::size_t evictions_ = 0;
+  std::size_t expirations_ = 0;
 };
 
 }  // namespace sa

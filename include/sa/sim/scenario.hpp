@@ -30,10 +30,20 @@
 //                  window, transmitting from a legitimate client's
 //                  position with that client's MAC — every signature
 //                  check passes, so only RateLimitPolicy can stop it.
+//   churn          a rotating MAC population with Zipf re-contact: a
+//                  pool of churn_population active MACs, each event
+//                  drawn Zipf(churn_zipf_exponent) over the pool (a few
+//                  hot talkers, a long cold tail), while an independent
+//                  process retires pool slots and mints fresh MACs at
+//                  churn_rotate_per_s — the MAC-rotation workload that
+//                  exercises per-MAC LRU eviction, prefilter rebuild
+//                  epochs, and timer-wheel expiry in the engine's
+//                  tracked state.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sa/aoa/estimator.hpp"
 #include "sa/common/rng.hpp"
@@ -49,6 +59,7 @@ enum class ScenarioKind {
   kMobile,
   kAdaptiveSpoof,
   kFlood,
+  kChurn,
 };
 
 const char* to_string(ScenarioKind kind);
@@ -89,6 +100,11 @@ struct ScenarioConfig {
   double flood_start_s = 0.5;
   double flood_len_s = 0.5;
   int flood_client_id = 1;  ///< position + MAC the flooder borrows
+
+  // churn
+  std::size_t churn_population = 64;  ///< concurrently active MACs
+  double churn_zipf_exponent = 1.1;   ///< re-contact skew over the pool
+  double churn_rotate_per_s = 50.0;   ///< mean slot retirements/sec
 };
 
 struct TrafficEvent {
@@ -124,6 +140,7 @@ class ScenarioGenerator {
   TrafficEvent make_base_event(double t); ///< the office mix
   TrafficEvent make_mobile_event(double t);
   TrafficEvent make_adaptive_event(double t);
+  TrafficEvent make_churn_event(double t);
 
   OfficeTestbed testbed_;
   ScenarioConfig config_;
@@ -141,6 +158,12 @@ class ScenarioGenerator {
   Vec2 spoof_pos_;
   Vec2 victim_pos_;
   Vec2 ap_centroid_;
+  // churn state: the active MAC pool, the Zipf CDF over pool ranks,
+  // the next fresh MAC index, and the next slot-rotation time
+  std::vector<std::uint32_t> churn_mac_;
+  std::vector<double> churn_cdf_;
+  std::uint32_t churn_next_mac_ = 0;
+  double churn_rotate_next_ = 0.0;
 };
 
 }  // namespace sa

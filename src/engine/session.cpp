@@ -1,6 +1,7 @@
 #include "sa/engine/session.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <utility>
@@ -53,7 +54,8 @@ EngineSession::EngineSession(SessionConfig config,
     : config_(std::move(config)),
       aps_(std::move(aps)),
       spoof_(config_.engine.coordinator.tracker, config_.engine.num_shards,
-             config_.engine.coordinator.max_tracked_macs),
+             config_.engine.coordinator.max_tracked_macs,
+             config_.engine.coordinator.spoof_idle_frames),
       coordinator_(config_.engine.coordinator),
       sink_(std::move(sink)),
       resolved_spin_(resolve_spin(config_.poll_spin)) {
@@ -136,6 +138,25 @@ bool EngineSession::round_formable() const {
 void EngineSession::submit(std::size_t ap_index, CMat chunk) {
   SA_EXPECTS(ap_index < aps_.size());
   SA_EXPECTS(chunk.rows() == aps_[ap_index]->config().geometry.size());
+  // Reject non-finite IQ at the ingest boundary: a NaN or Inf sample
+  // would otherwise propagate through conditioning into the covariance
+  // eigendecomposition and trip eig()'s Hermitian precondition deep in
+  // a worker (the robustness gap the capture fuzz loop found). Every
+  // ingest path funnels through here — DeploymentEngine::ingest() and
+  // capture replay included — so one check covers them all, before the
+  // chunk is recorded or enters the rings.
+  {
+    const cd* samples = chunk.raw();
+    const std::size_t n = chunk.rows() * chunk.cols();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!std::isfinite(samples[i].real()) ||
+          !std::isfinite(samples[i].imag())) {
+        throw InvalidArgument(
+            "EngineSession::submit: non-finite IQ sample (index " +
+            std::to_string(i) + ", ap " + std::to_string(ap_index) + ")");
+      }
+    }
+  }
   SubmitLane& lane = *lanes_[ap_index];
   // Same-AP submitters serialize here; the ring itself stays SPSC. The
   // dataplane never touches this mutex.

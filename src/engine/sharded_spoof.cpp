@@ -8,7 +8,8 @@ namespace sa {
 
 ShardedSpoofDetector::ShardedSpoofDetector(TrackerConfig tracker_config,
                                            std::size_t num_shards,
-                                           std::size_t max_tracked_macs) {
+                                           std::size_t max_tracked_macs,
+                                           std::size_t idle_expiry_frames) {
   SA_EXPECTS(num_shards >= 1);
   SA_EXPECTS(max_tracked_macs == 0 || max_tracked_macs >= num_shards);
   shards_.reserve(num_shards);
@@ -17,7 +18,8 @@ ShardedSpoofDetector::ShardedSpoofDetector(TrackerConfig tracker_config,
     // exactly max_tracked_macs.
     const std::size_t per_shard =
         max_tracked_macs == 0 ? 0 : (max_tracked_macs + i) / num_shards;
-    shards_.push_back(std::make_unique<Shard>(tracker_config, per_shard));
+    shards_.push_back(
+        std::make_unique<Shard>(tracker_config, per_shard, idle_expiry_frames));
   }
 }
 
@@ -118,6 +120,7 @@ SpoofDetectorStats ShardedSpoofDetector::stats() const {
     total.alarms += s.alarms;
     total.tracked_macs += s.tracked_macs;
     total.evictions += s.evictions;
+    total.expirations += s.expirations;
   }
   return total;
 }

@@ -43,13 +43,15 @@ Coordinator::Coordinator(CoordinatorConfig config)
     : config_(std::move(config)),
       chain_(build_chain(config_)),
       wants_spoof_(chain_.contains(SpoofPolicy::kName)),
-      spoof_(config_.tracker, config_.max_tracked_macs) {}
+      spoof_(config_.tracker, config_.max_tracked_macs,
+             config_.spoof_idle_frames) {}
 
 Coordinator::Coordinator(CoordinatorConfig config, PolicyChain chain)
     : config_(std::move(config)),
       chain_(std::move(chain)),
       wants_spoof_(chain_.contains(SpoofPolicy::kName)),
-      spoof_(config_.tracker, config_.max_tracked_macs) {}
+      spoof_(config_.tracker, config_.max_tracked_macs,
+             config_.spoof_idle_frames) {}
 
 const ApObservation& Coordinator::best_observation(
     const std::vector<ApObservation>& observations) {

@@ -148,7 +148,8 @@ PolicyVerdict SpoofPolicy::evaluate(FrameContext& ctx) {
   return PolicyVerdict::accept();
 }
 
-RateLimitPolicy::RateLimitPolicy(RateLimitConfig config) : config_(config) {
+RateLimitPolicy::RateLimitPolicy(RateLimitConfig config)
+    : config_(config), history_(config.max_tracked_macs) {
   SA_EXPECTS(config_.max_frames >= 1);
   SA_EXPECTS(config_.window_frames >= 1);
 }
@@ -158,32 +159,25 @@ PolicyVerdict RateLimitPolicy::evaluate(FrameContext& ctx) {
   const MacAddress& mac = *ctx.source();
   const std::size_t now = ctx.frame_index();
 
-  auto [it, inserted] = history_.try_emplace(mac);
-  if (inserted) {
-    lru_.push_front(mac);
-    it->second.lru = lru_.begin();
-    if (config_.max_tracked_macs > 0 &&
-        history_.size() > config_.max_tracked_macs) {
-      history_.erase(lru_.back());
-      lru_.pop_back();
-      ++evictions_;
-    }
-  } else {
-    lru_.splice(lru_.begin(), lru_, it->second.lru);
-  }
+  // Retire admits that have left the window: the decrement for an admit
+  // at frame a is due at a + window_frames, i.e. exactly when the old
+  // implementation's prune dropped a (a < now - window_frames + 1).
+  wheel_.advance(now, [&](Decrement d, std::uint64_t) {
+    RateState* st = history_.find(d.mac);  // pure read: no LRU touch
+    if (st == nullptr || st->generation != d.generation) return;
+    if (--st->in_window == 0) history_.erase(d.mac);
+  });
 
-  auto& recent = it->second.recent;
-  // Drop history outside the window (frame indices are monotonic, so
-  // the in-window suffix is contiguous).
-  const std::size_t window_start =
-      now >= config_.window_frames ? now - config_.window_frames + 1 : 0;
-  recent.erase(std::remove_if(recent.begin(), recent.end(),
-                              [&](std::size_t f) { return f < window_start; }),
-               recent.end());
-  if (recent.size() >= config_.max_frames) {
+  const auto r = history_.get_or_emplace(mac);
+  if (r.evicted) ++evictions_;
+  if (r.inserted) r.value->generation = ++next_generation_;
+  if (r.value->in_window >= config_.max_frames) {
+    // Denied frames never consume window budget (and never did).
     return PolicyVerdict::deny(kDetailLimited);
   }
-  recent.push_back(now);
+  ++r.value->in_window;
+  wheel_.schedule(now + config_.window_frames,
+                  Decrement{mac, r.value->generation});
   return PolicyVerdict::accept();
 }
 

@@ -3,8 +3,13 @@
 namespace sa {
 
 SpoofDetector::SpoofDetector(TrackerConfig tracker_config,
-                             std::size_t max_tracked_macs)
-    : tracker_config_(tracker_config), max_tracked_macs_(max_tracked_macs) {}
+                             std::size_t max_tracked_macs,
+                             std::size_t idle_expiry_frames)
+    : tracker_config_(tracker_config),
+      max_tracked_macs_(max_tracked_macs),
+      idle_expiry_frames_(idle_expiry_frames),
+      trackers_(max_tracked_macs),
+      filter_(max_tracked_macs > 0 ? max_tracked_macs : 1024) {}
 
 SpoofObservation SpoofDetector::observe(const MacAddress& source,
                                         const AoaSignature& signature) {
@@ -13,23 +18,24 @@ SpoofObservation SpoofDetector::observe(const MacAddress& source,
 
 SpoofObservation SpoofDetector::observe(const MacAddress& source,
                                         const SubbandSignature& signature) {
-  ++packets_;
-  auto it = trackers_.find(source);
-  if (it == trackers_.end()) {
-    lru_.push_front(source);
-    it = trackers_
-             .emplace(source,
-                      Entry{SignatureTracker(tracker_config_), lru_.begin()})
-             .first;
-    if (max_tracked_macs_ > 0 && trackers_.size() > max_tracked_macs_) {
-      trackers_.erase(lru_.back());
-      lru_.pop_back();
+  const std::uint64_t now = ++packets_;
+  if (idle_expiry_frames_ > 0) expire_idle(now);
+
+  auto r = trackers_.get_or_emplace(source, tracker_config_);
+  if (r.inserted) {
+    if (r.evicted) {
       ++evictions_;
+      filter_.note_erase();
     }
-  } else {
-    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    filter_.insert(source);
+    maybe_rebuild_filter();
+    if (idle_expiry_frames_ > 0) {
+      wheel_.schedule(now + idle_expiry_frames_, source);
+    }
   }
-  const TrackerDecision d = it->second.tracker.observe(signature);
+  r.value->last_seen = now;
+
+  const TrackerDecision d = r.value->tracker.observe(signature);
   SpoofObservation out;
   out.score = d.score;
   switch (d.verdict) {
@@ -47,20 +53,49 @@ SpoofObservation SpoofDetector::observe(const MacAddress& source,
   return out;
 }
 
+void SpoofDetector::expire_idle(std::uint64_t now) {
+  // Lazy rescheduling (mintmr-style): each live entry has exactly one
+  // outstanding wheel event. When it fires we either expire the entry
+  // (idle since the deadline was set) or push the event out to the
+  // entry's true deadline — one O(1) reschedule per idle period instead
+  // of one per observation.
+  wheel_.advance(now, [&](MacAddress mac, std::uint64_t) {
+    const Entry* e = trackers_.find(mac);
+    if (e == nullptr) return;  // forgotten or evicted since scheduling
+    const std::uint64_t deadline = e->last_seen + idle_expiry_frames_;
+    if (deadline > wheel_.now()) {
+      wheel_.schedule(deadline, mac);
+      return;
+    }
+    trackers_.erase(mac);
+    filter_.note_erase();
+    ++expirations_;
+  });
+  maybe_rebuild_filter();
+}
+
+void SpoofDetector::maybe_rebuild_filter() {
+  if (!filter_.should_rebuild(trackers_.size())) return;
+  filter_.rebuild(trackers_.size(), [this](auto&& add) {
+    trackers_.for_each([&](const MacAddress& key, const Entry&) { add(key); });
+  });
+}
+
 const SignatureTracker* SpoofDetector::tracker(const MacAddress& source) const {
-  const auto it = trackers_.find(source);
-  return it == trackers_.end() ? nullptr : &it->second.tracker;
+  if (!filter_.maybe_contains(source)) return nullptr;  // definite miss
+  const Entry* e = trackers_.find(source);
+  return e == nullptr ? nullptr : &e->tracker;
 }
 
 void SpoofDetector::forget(const MacAddress& source) {
-  const auto it = trackers_.find(source);
-  if (it == trackers_.end()) return;
-  lru_.erase(it->second.lru);
-  trackers_.erase(it);
+  if (!trackers_.erase(source)) return;
+  filter_.note_erase();
+  maybe_rebuild_filter();
 }
 
 SpoofDetectorStats SpoofDetector::stats() const {
-  return SpoofDetectorStats{packets_, alarms_, trackers_.size(), evictions_};
+  return SpoofDetectorStats{packets_, alarms_, trackers_.size(), evictions_,
+                            expirations_};
 }
 
 }  // namespace sa

@@ -1,5 +1,6 @@
 #include "sa/sim/scenario.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <utility>
@@ -46,6 +47,7 @@ const char* to_string(ScenarioKind kind) {
     case ScenarioKind::kMobile: return "mobile";
     case ScenarioKind::kAdaptiveSpoof: return "adaptive-spoof";
     case ScenarioKind::kFlood: return "flood";
+    case ScenarioKind::kChurn: return "churn";
   }
   return "office";
 }
@@ -62,11 +64,12 @@ std::optional<ScenarioKind> scenario_from_string(std::string_view name) {
     return ScenarioKind::kAdaptiveSpoof;
   }
   if (name == "flood") return ScenarioKind::kFlood;
+  if (name == "churn") return ScenarioKind::kChurn;
   return std::nullopt;
 }
 
 const char* scenario_names() {
-  return "office, mmpp, flash-crowd, mobile, adaptive-spoof, flood";
+  return "office, mmpp, flash-crowd, mobile, adaptive-spoof, flood, churn";
 }
 
 ScenarioGenerator::ScenarioGenerator(const OfficeTestbed& testbed,
@@ -91,6 +94,29 @@ ScenarioGenerator::ScenarioGenerator(const OfficeTestbed& testbed,
   if (config_.kind == ScenarioKind::kMobile) {
     SA_EXPECTS(config_.mobile_clients >= 1);
     SA_EXPECTS(config_.mobile_cross_at > 0.0);
+  }
+  if (config_.kind == ScenarioKind::kChurn) {
+    SA_EXPECTS(config_.churn_population >= 1);
+    SA_EXPECTS(config_.churn_zipf_exponent > 0.0);
+    SA_EXPECTS(config_.churn_rotate_per_s > 0.0);
+    // Zipf weights 1/(rank+1)^s over the pool, accumulated into a CDF so
+    // each draw is one uniform + one binary search.
+    churn_cdf_.resize(config_.churn_population);
+    double acc = 0.0;
+    for (std::size_t r = 0; r < config_.churn_population; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r + 1),
+                            config_.churn_zipf_exponent);
+      churn_cdf_[r] = acc;
+    }
+    for (double& c : churn_cdf_) c /= acc;
+    // Pool MACs are minted from a monotonic counter offset past every
+    // index the other scenarios use, so churn traffic never collides
+    // with testbed client MACs.
+    churn_mac_.resize(config_.churn_population);
+    for (std::size_t r = 0; r < config_.churn_population; ++r) {
+      churn_mac_[r] = 1000 + churn_next_mac_++;
+    }
+    churn_rotate_next_ = exp_interval(rng_, config_.churn_rotate_per_s);
   }
   spoof_pos_ = testbed_.client(config_.spoof_source_id).position;
   victim_pos_ = testbed_.client(config_.spoof_victim_id).position;
@@ -185,6 +211,11 @@ std::optional<TrafficEvent> ScenarioGenerator::next() {
     }
     case ScenarioKind::kAdaptiveSpoof: {
       TrafficEvent ev = make_adaptive_event(t);
+      ev.dt_s = t - prev;
+      return ev;
+    }
+    case ScenarioKind::kChurn: {
+      TrafficEvent ev = make_churn_event(t);
       ev.dt_s = t - prev;
       return ev;
     }
@@ -296,6 +327,37 @@ TrafficEvent ScenarioGenerator::make_adaptive_event(double t) {
   return ev;
 }
 
+TrafficEvent ScenarioGenerator::make_churn_event(double t) {
+  // Catch the rotation process up to t: each rotation retires one
+  // uniformly-chosen pool slot and mints a fresh MAC for it, so the
+  // population drifts while its size stays fixed. The retired MAC is
+  // never re-contacted — downstream, its tracked state can only leave
+  // via LRU eviction or idle expiry, which is the point.
+  while (churn_rotate_next_ <= t) {
+    const std::size_t slot = std::min(
+        churn_mac_.size() - 1,
+        static_cast<std::size_t>(
+            rng_.uniform(0.0, static_cast<double>(churn_mac_.size()))));
+    churn_mac_[slot] = 1000 + churn_next_mac_++;
+    churn_rotate_next_ += exp_interval(rng_, config_.churn_rotate_per_s);
+  }
+  // Zipf re-contact over pool ranks: rank 0 is the hot talker, the tail
+  // is nearly cold — so the engine's LRU sees a stable hot set riding on
+  // a stream of one-shot strangers.
+  const double u = rng_.uniform(0.0, 1.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::upper_bound(churn_cdf_.begin(), churn_cdf_.end(), u) -
+      churn_cdf_.begin());
+  const std::size_t slot = std::min(rank, churn_mac_.size() - 1);
+  const auto& clients = testbed_.clients();
+  TrafficEvent ev;
+  ev.kind = TrafficEvent::Kind::kLegit;
+  ev.time_s = t;
+  ev.from = clients[slot % clients.size()].position;
+  ev.mac = MacAddress::from_index(static_cast<int>(churn_mac_[slot]));
+  return ev;
+}
+
 std::string ScenarioGenerator::describe() const {
   std::string out = "scenario=";
   out += to_string(config_.kind);
@@ -326,6 +388,11 @@ std::string ScenarioGenerator::describe() const {
       out += " flood-start=" + fmt(config_.flood_start_s);
       out += " flood-len=" + fmt(config_.flood_len_s);
       out += " flood-client=" + std::to_string(config_.flood_client_id);
+      break;
+    case ScenarioKind::kChurn:
+      out += " churn-population=" + std::to_string(config_.churn_population);
+      out += " churn-zipf=" + fmt(config_.churn_zipf_exponent);
+      out += " churn-rotate=" + fmt(config_.churn_rotate_per_s);
       break;
     case ScenarioKind::kOffice:
       break;

@@ -5,6 +5,7 @@
 // and drain()/close() lifecycle semantics must hold mid-stream.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -359,6 +360,33 @@ TEST(Session, RejectsInvalidSubmissions) {
   EXPECT_THROW(session.submit(rig.ptrs.size(), rig.rounds[0][0]),
                InvalidArgument);
   EXPECT_THROW(session.submit(0, CMat(1, 8)), InvalidArgument);  // wrong rows
+  session.close();
+}
+
+// Regression for the robustness gap the capture fuzz loop found:
+// NaN-laced IQ used to flow through conditioning into the covariance
+// EVD and trip eig()'s Hermitian precondition deep inside a worker.
+// submit() must reject non-finite samples at the ingest boundary, and
+// the session must stay usable for clean chunks afterwards.
+TEST(Session, RejectsNonFiniteIqAtSubmit) {
+  SessionRig rig(11);
+  EngineSession session(rig.session_config(1), rig.ptrs,
+                        [](const EngineDecision&) {});
+
+  CMat nan_chunk = rig.rounds[0][0];
+  nan_chunk(0, nan_chunk.cols() / 2) =
+      cd(std::numeric_limits<double>::quiet_NaN(), 0.0);
+  EXPECT_THROW(session.submit(0, nan_chunk), InvalidArgument);
+
+  CMat inf_chunk = rig.rounds[0][0];
+  inf_chunk(inf_chunk.rows() - 1, 0) =
+      cd(0.0, std::numeric_limits<double>::infinity());
+  EXPECT_THROW(session.submit(0, inf_chunk), InvalidArgument);
+
+  // A poisoned chunk must not poison the session: the rejection happens
+  // before the rings, so clean rounds still flow end to end.
+  for (const auto& round : rig.rounds) session.submit_round(round);
+  session.drain();
   session.close();
 }
 

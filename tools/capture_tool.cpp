@@ -14,9 +14,11 @@
 //   capture_tool diff     A B
 //   capture_tool truncate IN OUT BYTES     # keep the first BYTES bytes
 //   capture_tool mutate   IN OUT SEED [OPS]
-//   capture_tool replay   FILE [--threads N] [--out PATH]
+//   capture_tool mutate-nan IN OUT         # poison the first IQ sample
+//   capture_tool replay   FILE [--threads N] [--out PATH] [--expect-reject]
 //   capture_tool fuzz     FILE [--seed S] [--count N] [--ops K]
-//                              [--no-replay]
+//                              [--no-replay] [--policies CSV]
+//                              [--max-tracked N]
 // Exit status: 0 = success / equal / all replays clean; 1 = mismatch or
 // invalid input; 2 = usage.
 #include <cstdio>
@@ -29,7 +31,9 @@
 #include "sa/capture/reader.hpp"
 #include "sa/capture/replay.hpp"
 #include "sa/capture/writer.hpp"
+#include "sa/common/error.hpp"
 #include "sa/engine/session.hpp"
+#include "sa/secure/policy.hpp"
 #include "sa/sim/deployment.hpp"
 
 using namespace sa;
@@ -43,9 +47,13 @@ namespace {
                "       capture_tool diff     A B\n"
                "       capture_tool truncate IN OUT BYTES\n"
                "       capture_tool mutate   IN OUT SEED [OPS]\n"
+               "       capture_tool mutate-nan IN OUT\n"
                "       capture_tool replay   FILE [--threads N] [--out PATH]\n"
+               "                                  [--expect-reject]\n"
                "       capture_tool fuzz     FILE [--seed S] [--count N]\n"
-               "                                  [--ops K] [--no-replay]\n");
+               "                                  [--ops K] [--no-replay]\n"
+               "                                  [--policies CSV]\n"
+               "                                  [--max-tracked N]\n");
   std::exit(2);
 }
 
@@ -189,6 +197,53 @@ int cmd_mutate(const std::string& in, const std::string& out,
   return 0;
 }
 
+/// Poison the first IQ sample of the first chunk record with a quiet
+/// NaN, leaving the rest of the capture untouched. SACP carries no
+/// checksums, so the result still parses and validates — only the
+/// engine's submit()-time finiteness gate can catch it. This is the
+/// reproducible recipe behind corpus/rejects/nan_iq.sacp.
+int cmd_mutate_nan(const std::string& in, const std::string& out) {
+  ByteStream data = read_file_or_die(in);
+  auto u32_at = [&](std::size_t off) -> std::optional<std::uint32_t> {
+    if (off + 4 > data.size()) return std::nullopt;
+    return static_cast<std::uint32_t>(data[off]) |
+           (static_cast<std::uint32_t>(data[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(data[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(data[off + 3]) << 24);
+  };
+  // Header: magic u32 | version u32 | payload_len u32 | payload.
+  const auto magic = u32_at(0);
+  const auto header_len = u32_at(8);
+  if (!magic || *magic != kSacpMagic || !header_len) {
+    std::fprintf(stderr, "%s: malformed SACP header\n", in.c_str());
+    return 1;
+  }
+  std::size_t off = 12 + *header_len;
+  // Records: payload_len u32 | type u32 | payload. A chunk payload is
+  // ap u32 | round u64 | base u64 | rows u32 | cols u32 | f64 re/im...
+  // so the first sample's real part sits at payload offset 28.
+  while (off + 8 <= data.size()) {
+    const std::uint32_t len = *u32_at(off);
+    const std::uint32_t type = *u32_at(off + 4);
+    const std::size_t payload = off + 8;
+    if (payload + len > data.size()) break;
+    if (type == static_cast<std::uint32_t>(RecordType::kChunk) &&
+        len >= 28 + sizeof(double)) {
+      const std::uint64_t qnan = 0x7ff8000000000000ull;
+      for (std::size_t i = 0; i < 8; ++i) {
+        data[payload + 28 + i] = static_cast<std::uint8_t>(qnan >> (8 * i));
+      }
+      write_file_or_die(out, data);
+      std::printf("%s: first IQ sample -> NaN at byte %zu -> %s\n", in.c_str(),
+                  payload + 28, out.c_str());
+      return 0;
+    }
+    off = payload + len;
+  }
+  std::fprintf(stderr, "%s: no chunk record with samples\n", in.c_str());
+  return 1;
+}
+
 struct ReplayOutcome {
   bool ran = false;          ///< the replay itself ran to the end
   bool identical = false;    ///< decision track matched byte-for-byte
@@ -263,8 +318,22 @@ ReplayOutcome replay_and_compare(const CaptureReader& reader,
 }
 
 int cmd_replay(const std::string& path, std::size_t threads,
-               const std::string& out_path) {
+               const std::string& out_path, bool expect_reject) {
   CaptureReader reader(read_file_or_die(path));
+  if (expect_reject) {
+    // Inverted contract for hostile captures (e.g. corpus/rejects/):
+    // success means the engine's ingress validation refused the stream.
+    try {
+      const ReplayOutcome outcome =
+          replay_and_compare(reader, threads, out_path);
+      std::printf("%s: NOT rejected (%s)\n", path.c_str(),
+                  outcome.detail.c_str());
+      return 1;
+    } catch (const InvalidArgument& e) {
+      std::printf("%s: rejected as expected: %s\n", path.c_str(), e.what());
+      return 0;
+    }
+  }
   const ReplayOutcome outcome = replay_and_compare(reader, threads, out_path);
   std::printf("%s: %s\n", path.c_str(), outcome.detail.c_str());
   if (!out_path.empty() && outcome.ran) {
@@ -274,7 +343,8 @@ int cmd_replay(const std::string& path, std::size_t threads,
 }
 
 int cmd_fuzz(const std::string& path, std::uint64_t seed, std::size_t count,
-             std::size_t ops, bool with_replay) {
+             std::size_t ops, bool with_replay, const std::string& policies_csv,
+             std::size_t max_tracked) {
   const ByteStream original = read_file_or_die(path);
   // A mutated capture usually no longer describes the same deployment;
   // replay it into a session built from the ORIGINAL header, which is
@@ -285,6 +355,28 @@ int cmd_fuzz(const std::string& path, std::uint64_t seed, std::size_t count,
   {
     CaptureReader reader{ByteStream(original)};
     if (reader.header()) spec = deployment_from_header(*reader.header());
+  }
+  if (spec && !policies_csv.empty()) {
+    // Run the mutants through a caller-chosen policy chain instead of
+    // the recorded one — e.g. the full acl,fence,spoof,rate stack
+    // (decode is implicit) with --max-tracked small enough that the
+    // compact per-MAC state is forced to evict under fire.
+    std::vector<PolicyKind> kinds;
+    std::size_t start = 0;
+    while (start <= policies_csv.size()) {
+      std::size_t comma = policies_csv.find(',', start);
+      if (comma == std::string::npos) comma = policies_csv.size();
+      const std::string token = policies_csv.substr(start, comma - start);
+      const auto kind = policy_kind_from_string(token);
+      if (!kind) {
+        std::fprintf(stderr, "capture_tool: unknown policy '%s'\n",
+                     token.c_str());
+        return 2;
+      }
+      kinds.push_back(*kind);
+      start = comma + 1;
+    }
+    spec->policies = std::move(kinds);
   }
   std::size_t parsed_ok = 0, rejected = 0, replays = 0, replay_errors = 0;
   for (std::size_t i = 0; i < count; ++i) {
@@ -302,6 +394,10 @@ int cmd_fuzz(const std::string& path, std::uint64_t seed, std::size_t count,
       SessionConfig scfg;
       scfg.engine = dep.engine;
       scfg.engine.num_threads = 1;
+      if (max_tracked > 0) {
+        scfg.engine.coordinator.max_tracked_macs = max_tracked;
+        scfg.engine.coordinator.rate_limit.max_tracked_macs = max_tracked;
+      }
       EngineSession session(scfg, dep.ap_ptrs, [](const EngineDecision&) {});
       ReplaySource source{CaptureReader(ByteStream(mutant))};
       const ReplayResult result = source.replay_into(session);
@@ -350,15 +446,21 @@ int main(int argc, char** argv) {
         args.size() == 4 ? std::strtoull(args[3].c_str(), nullptr, 10) : 8;
     return cmd_mutate(args[0], args[1], seed, ops);
   }
+  if (cmd == "mutate-nan" && args.size() == 2) {
+    return cmd_mutate_nan(args[0], args[1]);
+  }
   if (cmd == "replay" && !args.empty()) {
     std::string path;
     std::string out;
     std::size_t threads = 1;
+    bool expect_reject = false;
     for (std::size_t i = 0; i < args.size(); ++i) {
       if (args[i] == "--threads" && i + 1 < args.size()) {
         threads = std::strtoull(args[++i].c_str(), nullptr, 10);
       } else if (args[i] == "--out" && i + 1 < args.size()) {
         out = args[++i];
+      } else if (args[i] == "--expect-reject") {
+        expect_reject = true;
       } else if (path.empty() && !args[i].empty() && args[i][0] != '-') {
         path = args[i];
       } else {
@@ -366,7 +468,7 @@ int main(int argc, char** argv) {
       }
     }
     if (path.empty()) usage();
-    return cmd_replay(path, threads, out);
+    return cmd_replay(path, threads, out, expect_reject);
   }
   if (cmd == "fuzz" && !args.empty()) {
     std::string path;
@@ -374,6 +476,8 @@ int main(int argc, char** argv) {
     std::size_t count = 32;
     std::size_t ops = 8;
     bool with_replay = true;
+    std::string policies;
+    std::size_t max_tracked = 0;
     for (std::size_t i = 0; i < args.size(); ++i) {
       if (args[i] == "--seed" && i + 1 < args.size()) {
         seed = std::strtoull(args[++i].c_str(), nullptr, 10);
@@ -383,6 +487,10 @@ int main(int argc, char** argv) {
         ops = std::strtoull(args[++i].c_str(), nullptr, 10);
       } else if (args[i] == "--no-replay") {
         with_replay = false;
+      } else if (args[i] == "--policies" && i + 1 < args.size()) {
+        policies = args[++i];
+      } else if (args[i] == "--max-tracked" && i + 1 < args.size()) {
+        max_tracked = std::strtoull(args[++i].c_str(), nullptr, 10);
       } else if (path.empty() && !args[i].empty() && args[i][0] != '-') {
         path = args[i];
       } else {
@@ -390,7 +498,7 @@ int main(int argc, char** argv) {
       }
     }
     if (path.empty()) usage();
-    return cmd_fuzz(path, seed, count, ops, with_replay);
+    return cmd_fuzz(path, seed, count, ops, with_replay, policies, max_tracked);
   }
   usage();
 }

@@ -1,0 +1,220 @@
+// Fleet-tier bench: aggregate frames/sec of N site dataplanes under one
+// FleetCoordinator, and the latency of a cross-site client handoff
+// (quiesce + export + FleetWire + import), at 100s of APs.
+//
+// The waveform workload is synthesized once from site 0's channel
+// simulation and replayed into every site — each site's pipeline does
+// identical work (scan, decode, covariance, AoA, policy chain), so the
+// aggregate number measures the dataplanes plus the coordinator's
+// routing, not the channel simulator. Handoffs are then timed one by
+// one on the quiescent fleet: notify_association's full path including
+// both sites' wait_idle, the state export, the wire round-trip, and the
+// import under the generation guard.
+//
+// Usage: bench_fleet [--smoke] [--json <path>] [--min-aggregate-fps <fps>]
+//                    [--sites N] [--aps N] [--threads N] [--rounds N]
+//                    [--handoffs N]
+//   --smoke      small fleet (8 sites x 4 APs, 2 rounds) so CI can run
+//                every code path on each PR.
+//   --json PATH  machine-readable results (BENCH_<pr>.json is captured
+//                this way; the fleet-smoke CI job uploads it).
+//   --min-aggregate-fps X  perf tripwire: exit non-zero when the
+//                aggregate frames/sec lands below X. CI passes a
+//                generous floor from the checked-in baseline.
+//   --sites N / --aps N / --threads N  fleet shape: N sites of N APs,
+//                N dataplane threads per site. Default 8 x 32 = 256 APs.
+//   --rounds N / --handoffs N  workload size per site / timed handoffs.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sa/fleet/coordinator.hpp"
+#include "sa/mac/frame.hpp"
+#include "sa/phy/packet.hpp"
+#include "sa/sim/deployment.hpp"
+
+using namespace sa;
+
+namespace {
+
+double percentile_us(std::vector<double> sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+struct Results {
+  bool smoke = false;
+  std::size_t sites = 0, aps_per_site = 0, threads = 0, rounds = 0;
+  std::size_t frames = 0;
+  double seconds = 0.0;
+  double aggregate_fps = 0.0;
+  std::size_t handoffs = 0;
+  double handoff_p50_us = 0.0, handoff_p99_us = 0.0, handoff_max_us = 0.0;
+};
+
+void write_json(const Results& r, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(
+      f,
+      "{\n"
+      "  \"bench\": \"fleet\",\n"
+      "  \"config\": {\"smoke\": %s, \"sites\": %zu, \"aps_per_site\": %zu, "
+      "\"total_aps\": %zu, \"threads_per_site\": %zu, \"rounds\": %zu},\n"
+      "  \"aggregate\": {\"frames\": %zu, \"seconds\": %.4f, "
+      "\"fps\": %.2f},\n"
+      "  \"handoff_latency_us\": {\"count\": %zu, \"p50\": %.1f, "
+      "\"p99\": %.1f, \"max\": %.1f},\n"
+      "  \"tripwire\": {\"min_aggregate_fps\": %.2f}\n"
+      "}\n",
+      r.smoke ? "true" : "false", r.sites, r.aps_per_site,
+      r.sites * r.aps_per_site, r.threads, r.rounds, r.frames, r.seconds,
+      r.aggregate_fps, r.handoffs, r.handoff_p50_us, r.handoff_p99_us,
+      r.handoff_max_us, r.aggregate_fps * 0.3);
+  std::fclose(f);
+  std::printf("json: %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Results r;
+  r.sites = 8;
+  r.aps_per_site = 32;
+  r.threads = 1;
+  r.rounds = 6;
+  std::size_t handoff_count = 64;
+  const char* json_path = nullptr;
+  double min_aggregate_fps = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      r.smoke = true;
+      r.aps_per_site = 4;
+      r.rounds = 2;
+      handoff_count = 16;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-aggregate-fps") == 0 &&
+               i + 1 < argc) {
+      min_aggregate_fps = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sites") == 0 && i + 1 < argc) {
+      r.sites = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--aps") == 0 && i + 1 < argc) {
+      r.aps_per_site = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      r.threads = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rounds") == 0 && i + 1 < argc) {
+      r.rounds = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--handoffs") == 0 && i + 1 < argc) {
+      handoff_count = std::strtoul(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  FleetSpec spec;
+  spec.site.num_aps = r.aps_per_site;
+  spec.site.antennas = 4;
+  spec.num_sites = r.sites;
+  std::printf("fleet bench: %zu site(s) x %zu AP(s) = %zu APs, "
+              "%zu thread(s)/site, %zu round(s)/site\n",
+              r.sites, r.aps_per_site, r.sites * r.aps_per_site, r.threads,
+              r.rounds);
+
+  // One waveform round per (round, walker) pair, synthesized once.
+  const std::size_t walkers = r.smoke ? 4 : 8;
+  BuiltDeployment wavegen = build_deployment(site_spec(spec, 0), true);
+  std::uint16_t seq = 0;
+  std::vector<std::vector<CMat>> rounds;
+  rounds.reserve(r.rounds);
+  for (std::size_t i = 0; i < r.rounds; ++i) {
+    const int client = static_cast<int>(1 + (i % walkers));
+    const Frame f = Frame::data(
+        MacAddress::from_index(0xFF),
+        MacAddress::from_index(static_cast<std::uint32_t>(client)),
+        Bytes{0xDE, 0xAD}, seq++);
+    const CVec w = PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
+    wavegen.sim->advance(0.05);
+    rounds.push_back(wavegen.sim->transmit(
+        wavegen.testbed.client(client).position, w, nullptr));
+  }
+
+  FleetConfig config;
+  config.spec = spec;
+  config.threads_per_site = r.threads;
+  FleetCoordinator fleet(config);
+  std::printf("spoof idle horizon: %zu frames (fleet default)\n",
+              fleet.resolved_spoof_idle_frames());
+
+  // Home every walker at site 0 so the handoff phase moves real state.
+  for (std::size_t wkr = 0; wkr < walkers; ++wkr) {
+    fleet.notify_association(
+        MacAddress::from_index(static_cast<std::uint32_t>(1 + wkr)), 0);
+  }
+
+  // --- aggregate throughput: every site chews the same workload ---
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& round : rounds) {
+    for (std::size_t s = 0; s < fleet.num_sites(); ++s) {
+      fleet.submit_round(static_cast<std::uint32_t>(s), round);
+    }
+  }
+  fleet.drain_all();
+  const auto t1 = std::chrono::steady_clock::now();
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.frames = fleet.total_decisions();
+  r.aggregate_fps = r.seconds > 0.0 ? r.frames / r.seconds : 0.0;
+  std::printf("aggregate: %zu frames decided in %.3f s = %.1f frames/s "
+              "across the fleet\n",
+              r.frames, r.seconds, r.aggregate_fps);
+
+  // --- handoff latency: walkers hop to the next site, one timed call
+  // per hop on the quiescent fleet ---
+  std::vector<double> latencies_us;
+  latencies_us.reserve(handoff_count);
+  for (std::size_t h = 0; h < handoff_count; ++h) {
+    const MacAddress mac =
+        MacAddress::from_index(static_cast<std::uint32_t>(1 + h % walkers));
+    const std::uint32_t dest = static_cast<std::uint32_t>(
+        (*fleet.home_site(mac) + 1) % fleet.num_sites());
+    const auto h0 = std::chrono::steady_clock::now();
+    const auto hr = fleet.notify_association(mac, dest);
+    const auto h1 = std::chrono::steady_clock::now();
+    if (hr.outcome != FleetImportOutcome::kApplied || !hr.migrated) {
+      std::fprintf(stderr, "handoff %zu failed: %s\n", h,
+                   to_string(hr.outcome));
+      return 1;
+    }
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(h1 - h0).count());
+  }
+  std::sort(latencies_us.begin(), latencies_us.end());
+  r.handoffs = latencies_us.size();
+  r.handoff_p50_us = percentile_us(latencies_us, 0.50);
+  r.handoff_p99_us = percentile_us(latencies_us, 0.99);
+  r.handoff_max_us = latencies_us.empty() ? 0.0 : latencies_us.back();
+  std::printf("handoff: %zu migration(s), latency p50 %.1f us, "
+              "p99 %.1f us, max %.1f us\n",
+              r.handoffs, r.handoff_p50_us, r.handoff_p99_us,
+              r.handoff_max_us);
+  fleet.close();
+
+  if (json_path != nullptr) write_json(r, json_path);
+  if (min_aggregate_fps > 0.0 && r.aggregate_fps < min_aggregate_fps) {
+    std::fprintf(stderr,
+                 "TRIPWIRE: aggregate %.1f frames/s below floor %.1f\n",
+                 r.aggregate_fps, min_aggregate_fps);
+    return 1;
+  }
+  return 0;
+}

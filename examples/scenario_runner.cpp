@@ -34,16 +34,25 @@
 //   --report-interval S streaming mode: seconds between interval
 //                       reports (default 0.5)
 //   --capture PATH      record the run as a SACP capture
+//   --fleet-sites N     fleet mode: N >= 2 sites under a
+//                       FleetCoordinator running the roaming scenario,
+//                       with cross-site handoff on every site change;
+//                       --threads becomes threads per site and --capture
+//                       records one version-2 fleet capture
+//   --fleet-stride N    per-site seed stride (0 = identical sites)
 // e.g.:  ./build/examples/scenario_runner --scenario flood --threads 4
 //        ./build/examples/scenario_runner --scenario mmpp --capture run.sacp
+//        ./build/examples/scenario_runner --fleet-sites 4 --capture roam.sacp
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 
 #include "sa/capture/writer.hpp"
+#include "sa/fleet/coordinator.hpp"
 #include "sa/common/rng.hpp"
 #include "sa/dsp/fft.hpp"
 #include "sa/engine/deployment.hpp"
@@ -67,6 +76,7 @@ namespace {
                "          [--scenario %s]\n"
                "          [--duration S] [--arrival-rate R]\n"
                "          [--report-interval S] [--capture PATH]\n"
+               "          [--fleet-sites N] [--fleet-stride N]\n"
                "          [seed [packets [num-aps]]]\n",
                argv0, scenario_names());
   std::exit(status);
@@ -108,6 +118,8 @@ int main(int argc, char** argv) {
   double arrival_rate = 40.0;   // mean frames/sec in streaming mode
   double report_interval = 0.5;
   std::string capture_path;
+  std::size_t fleet_sites = 0;     // >= 2 selects fleet mode
+  std::uint64_t fleet_stride = 1;  // per-site seed stride
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -172,6 +184,10 @@ int main(int argc, char** argv) {
       report_interval = std::strtod(value(), nullptr);
     } else if (arg == "--capture") {
       capture_path = value();
+    } else if (arg == "--fleet-sites") {
+      fleet_sites = std::strtoul(value(), nullptr, 10);
+    } else if (arg == "--fleet-stride") {
+      fleet_stride = std::strtoull(value(), nullptr, 10);
     } else if (arg == "--policies") {
       spec.policies = parse_policies(value(), argv[0]);
     } else if (arg == "--help" || arg == "-h") {
@@ -208,6 +224,128 @@ int main(int argc, char** argv) {
   if (duration_s > 0.0 && report_interval <= 0.0) {
     std::fprintf(stderr, "--report-interval must be positive\n");
     usage(argv[0]);
+  }
+
+  // ---- Fleet mode: N sites under a FleetCoordinator running the
+  // roaming scenario. Walkers wander the fleet; every site change
+  // triggers a cross-site handoff before the walker's first frame at
+  // the new site. With --capture the whole fleet records one version-2
+  // SACP file that replay_fleet_capture can verify byte-for-byte.
+  if (fleet_sites > 0) {
+    if (fleet_sites < 2) {
+      std::fprintf(stderr, "--fleet-sites needs at least 2 sites\n");
+      usage(argv[0]);
+    }
+    if (scenario && *scenario != ScenarioKind::kRoaming) {
+      std::fprintf(stderr, "fleet mode only runs the roaming scenario\n");
+      usage(argv[0]);
+    }
+    if (duration_s <= 0.0) duration_s = 2.0;
+
+    ScenarioConfig sc;
+    sc.kind = ScenarioKind::kRoaming;
+    sc.arrival_rate = arrival_rate;
+    sc.duration_s = duration_s;
+    sc.roaming_sites = fleet_sites;
+
+    FleetSpec fspec;
+    fspec.site = spec;
+    fspec.num_sites = fleet_sites;
+    fspec.site_seed_stride = fleet_stride;
+    const std::uint64_t idle = roaming_idle_horizon_frames(sc);
+
+    // The generator runs over site 0's testbed and traffic Rng. A
+    // sim-less throwaway build gives us both before the writer needs
+    // the scenario description (the coordinator rebuilds site 0
+    // bit-identically — same seed, same draw order).
+    BuiltDeployment proto = build_deployment(site_spec(fspec, 0), false);
+    ScenarioGenerator gen(proto.testbed, sc, proto.traffic_rng,
+                          spec.estimator);
+
+    std::optional<CaptureWriter> writer;
+    if (!capture_path.empty()) {
+      CaptureHeader header = fleet_header_for(fspec);
+      header.metadata.emplace_back("sa.scenario", gen.describe());
+      // Stamp the idle horizon actually applied, so replay re-applies
+      // the same expiry timing.
+      header.metadata.emplace_back("sa.fleet.spoof_idle",
+                                   std::to_string(idle));
+      writer.emplace(capture_path, std::move(header));
+    }
+
+    FleetConfig fc;
+    fc.spec = fspec;
+    fc.threads_per_site = threads == 0 ? 1 : threads;
+    fc.with_sim = true;
+    fc.capture = writer ? &*writer : nullptr;
+    fc.spoof_idle_frames = static_cast<std::size_t>(idle);
+    FleetCoordinator fleet(fc);
+
+    std::printf("fleet: %zu site(s) x %zu AP(s), %zu thread(s)/site, "
+                "seed stride %llu, spoof idle horizon %llu frames\n",
+                fleet.num_sites(), fleet.aps_per_site(), fc.threads_per_site,
+                static_cast<unsigned long long>(fleet_stride),
+                static_cast<unsigned long long>(idle));
+    std::printf("config: %s\n", describe(spec).c_str());
+    std::printf("config: %s\n", gen.describe().c_str());
+
+    std::uint16_t sseq = 0;
+    std::size_t sent = 0;
+    std::vector<std::size_t> site_frames(fleet.num_sites(), 0);
+    std::set<MacAddress> seen;
+    while (auto ev = gen.next()) {
+      // Simulated time passes for every site's channel, not just the
+      // one hearing this frame.
+      for (std::size_t s = 0; s < fleet.num_sites(); ++s) {
+        fleet.deployment(s).sim->advance(ev->dt_s);
+      }
+      if (seen.insert(ev->mac).second || ev->site_changed) {
+        fleet.notify_association(ev->mac, ev->site);
+      }
+      const Frame f = Frame::data(MacAddress::from_index(0xFF), ev->mac,
+                                  Bytes{1, 2, 3}, sseq++);
+      const CVec w =
+          PacketTransmitter(PhyRate::k6Mbps).transmit(f.serialize());
+      fleet.submit_round(ev->site,
+                         fleet.deployment(ev->site).sim->transmit(
+                             ev->from, w, ev->pattern ? &*ev->pattern : nullptr));
+      ++sent;
+      ++site_frames[ev->site];
+    }
+    fleet.drain_all();
+
+    std::size_t accepted = 0, dropped = 0;
+    for (std::size_t s = 0; s < fleet.num_sites(); ++s) {
+      for (const auto& d : fleet.decisions(s)) {
+        (d.decision.accepted ? accepted : dropped)++;
+      }
+    }
+    const auto& fs = fleet.stats();
+    std::printf("\ntraffic: %zu frames across the fleet\n", sent);
+    for (std::size_t s = 0; s < fleet.num_sites(); ++s) {
+      std::printf("  site %zu: %zu frames, %zu decisions\n", s, site_frames[s],
+                  fleet.decisions(s).size());
+    }
+    std::printf("decisions: %zu accepted, %zu dropped\n", accepted, dropped);
+    std::printf("handoffs: %llu associations, %llu migrations applied, "
+                "%llu stale rejected\n",
+                static_cast<unsigned long long>(fs.associations),
+                static_cast<unsigned long long>(fs.handoffs_applied),
+                static_cast<unsigned long long>(fs.handoffs_stale));
+    if (writer) {
+      // Recording protocol: the capture ends quiescent (drain_all above),
+      // so close the writer before the sessions.
+      writer->close();
+      std::printf("\ncapture: %s (%llu chunks, %llu decisions, %llu assocs, "
+                  "%llu drains)\n",
+                  writer->path().c_str(),
+                  static_cast<unsigned long long>(writer->chunks_recorded()),
+                  static_cast<unsigned long long>(writer->decisions_recorded()),
+                  static_cast<unsigned long long>(writer->assocs_recorded()),
+                  static_cast<unsigned long long>(writer->drains_recorded()));
+    }
+    fleet.close();
+    return 0;
   }
 
   BuiltDeployment dep = build_deployment(spec, /*with_sim=*/true);

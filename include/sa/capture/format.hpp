@@ -18,13 +18,28 @@
 //
 //   kChunk    one AP's share of one ingest round: (ap, round, absolute
 //             sample base, rows, cols, row-major IQ as f64 re/im pairs).
+//             In a fleet capture `ap` is the fleet-global AP id.
 //   kDecision one emitted frame decision in sequence order, in the
 //             canonical byte encoding of encode_decision() — replay
 //             compares these byte-for-byte.
 //   kDrain    a drain() boundary: replay must run a flush pass here to
 //             reproduce deferred-frame emission timing.
-//   kEnd      totals (chunks, decisions, drains); must be last. Lets a
-//             validator distinguish "cleanly closed" from "truncated".
+//   kEnd      totals (chunks, decisions, drains, and — version >= 2 —
+//             assocs); must be last. Lets a validator distinguish
+//             "cleanly closed" from "truncated".
+//
+// Version 2 (fleet captures) adds:
+//
+//   kSiteDecision  a per-site decision: u32 site id followed by the
+//             canonical decision payload. A fleet run emits decisions
+//             concurrently across sites, so the global file order is
+//             nondeterministic — but each site's subsequence is in that
+//             site's sequence order, which is what replay compares.
+//   kAssoc    a client (re)association driving a handoff: (site, handoff
+//             generation, MAC). Replay re-issues the handoff here.
+//
+// Version-1 consumers reject version-2 files at the header, never
+// mid-stream.
 //
 // The metadata map is free-form; sa/sim/deployment.hpp defines the keys
 // a replayable office-deployment capture carries (seed, aps, estimator,
@@ -87,6 +102,8 @@ class ByteReader {
 // ------------------------------------------------------------ structure
 
 inline constexpr std::uint32_t kSacpVersion = 1;
+/// Fleet captures (site-tagged decisions, association records).
+inline constexpr std::uint32_t kSacpVersionFleet = 2;
 /// "SACP" as a little-endian u32 (bytes S,A,C,P on the wire).
 inline constexpr std::uint32_t kSacpMagic = 0x50434153;
 
@@ -95,6 +112,8 @@ enum class RecordType : std::uint32_t {
   kDecision = 2,
   kDrain = 3,
   kEnd = 4,
+  kSiteDecision = 5,  // version >= 2
+  kAssoc = 6,         // version >= 2
 };
 
 /// Parser sanity bounds. Generous for real captures, tight enough that a
@@ -155,10 +174,24 @@ struct DecisionRecord {
   std::vector<TraceEntry> trace;
 };
 
+/// Version >= 2: one site's decision (site-local sequence order).
+struct SiteDecisionRecord {
+  std::uint32_t site = 0;
+  DecisionRecord decision;
+};
+
+/// Version >= 2: a client (re)association that drove a handoff.
+struct AssocRecord {
+  std::uint32_t site = 0;          ///< destination site
+  std::uint64_t generation = 0;    ///< handoff generation (guard)
+  std::array<std::uint8_t, 6> mac{};
+};
+
 struct EndRecord {
   std::uint64_t chunks = 0;
-  std::uint64_t decisions = 0;
+  std::uint64_t decisions = 0;  ///< plain + site-tagged decisions
   std::uint64_t drains = 0;
+  std::uint64_t assocs = 0;     ///< version >= 2 only on the wire
 };
 
 // -------------------------------------------------------------- encode
@@ -174,7 +207,20 @@ ByteStream encode_decision(std::uint64_t sequence,
 ByteStream encode_chunk(std::uint32_t ap, std::uint64_t round,
                         std::uint64_t base, const CMat& samples);
 
-ByteStream encode_end(const EndRecord& end);
+/// Version >= 2: the site id followed by the canonical decision payload
+/// (so a site's decision subsequence is byte-comparable against plain
+/// encode_decision output with the site prefix stripped).
+ByteStream encode_site_decision(std::uint32_t site, std::uint64_t sequence,
+                                std::uint64_t absolute_start,
+                                const FrameDecision& decision);
+
+ByteStream encode_assoc(const AssocRecord& assoc);
+
+/// `version` controls the wire shape: version 1 writes the legacy
+/// 3-counter payload byte-identically; version >= 2 appends the assoc
+/// total.
+ByteStream encode_end(const EndRecord& end,
+                      std::uint32_t version = kSacpVersion);
 
 /// Wrap a payload in the (len, type) record framing.
 void append_record(ByteStream& out, RecordType type,
@@ -185,6 +231,11 @@ void append_record(ByteStream& out, RecordType type,
 std::optional<CaptureHeader> decode_header(ByteReader& r);
 std::optional<ChunkRecord> decode_chunk(const ByteStream& payload);
 std::optional<DecisionRecord> decode_decision(const ByteStream& payload);
+std::optional<SiteDecisionRecord> decode_site_decision(
+    const ByteStream& payload);
+std::optional<AssocRecord> decode_assoc(const ByteStream& payload);
+/// Accepts both wire shapes (24- and 32-byte payloads); `assocs` is 0
+/// for a version-1 record.
 std::optional<EndRecord> decode_end(const ByteStream& payload);
 
 // -------------------------------------------------------------- mutate

@@ -22,6 +22,8 @@ struct CaptureRecord {
   ByteStream payload;
   std::optional<ChunkRecord> chunk;        // type == kChunk
   std::optional<DecisionRecord> decision;  // type == kDecision
+  std::optional<SiteDecisionRecord> site_decision;  // type == kSiteDecision
+  std::optional<AssocRecord> assoc;        // type == kAssoc
   std::optional<EndRecord> end;            // type == kEnd
 };
 
@@ -30,8 +32,9 @@ struct ValidationReport {
   std::string error;          ///< empty when ok
   std::size_t record_index = 0;  ///< record the walk stopped at
   std::uint64_t chunks = 0;
-  std::uint64_t decisions = 0;
+  std::uint64_t decisions = 0;  ///< plain + site-tagged
   std::uint64_t drains = 0;
+  std::uint64_t assocs = 0;
   bool end_seen = false;
 };
 
@@ -81,9 +84,12 @@ class CaptureReader {
 /// track (each AP's chunk payloads in stream order — per-AP order is
 /// submission order regardless of how concurrent submitters interleaved
 /// in the file), same decision track (payload bytes, in file order =
-/// sequence order), same drain count. Header metadata and physical
-/// record interleaving are NOT compared — two runs of the same workload
-/// may legally interleave records differently.
+/// sequence order), same per-site decision tracks (fleet captures emit
+/// site decisions concurrently across sites, so only each site's
+/// subsequence is ordered), same assoc track, same drain count. Header
+/// metadata and physical record interleaving are NOT compared — two
+/// runs of the same workload may legally interleave records
+/// differently.
 struct CaptureDiff {
   bool equal = false;
   std::string detail;  ///< first difference, human-readable

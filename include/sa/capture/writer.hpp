@@ -42,6 +42,14 @@ class CaptureWriter {
   /// Record one emitted decision in sequence order. Thread-safe.
   void record_decision(std::uint64_t sequence, std::uint64_t absolute_start,
                        const FrameDecision& decision);
+  /// Record one site's emitted decision (fleet capture, version >= 2);
+  /// counts toward the decision total. Thread-safe.
+  void record_site_decision(std::uint32_t site, std::uint64_t sequence,
+                            std::uint64_t absolute_start,
+                            const FrameDecision& decision);
+  /// Record a client association/handoff (fleet capture, version >= 2).
+  /// Thread-safe.
+  void record_assoc(const AssocRecord& assoc);
   /// Record a drain() boundary. Thread-safe.
   void record_drain();
 
@@ -59,6 +67,7 @@ class CaptureWriter {
   std::uint64_t chunks_recorded() const;
   std::uint64_t decisions_recorded() const;
   std::uint64_t drains_recorded() const;
+  std::uint64_t assocs_recorded() const;
   const std::string& path() const { return path_; }
 
  private:
@@ -67,6 +76,8 @@ class CaptureWriter {
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  /// Header version, echoed into the end record's wire shape.
+  std::uint32_t version_ = kSacpVersion;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // producers -> flusher
@@ -80,6 +91,7 @@ class CaptureWriter {
   std::uint64_t chunks_ = 0;
   std::uint64_t decisions_ = 0;
   std::uint64_t drains_ = 0;
+  std::uint64_t assocs_ = 0;
 
   std::thread flusher_;
 };

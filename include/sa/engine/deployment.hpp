@@ -32,7 +32,9 @@
 // serial StreamingReceivers, the same grouping, and Coordinator::process.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sa/common/thread_pool.hpp"
@@ -64,6 +66,17 @@ struct EngineConfig {
   /// the tap skips a writer that is already closed, so close()'s
   /// internal drain never throws through it.
   CaptureWriter* capture = nullptr;
+  /// Fleet tagging for the recording tap. A FleetCoordinator shares one
+  /// writer across per-site sessions: chunk records carry
+  /// `capture_ap_base + local AP index` (the fleet-global AP id), and
+  /// when `capture_site` is set decisions are recorded as site-tagged
+  /// kSiteDecision records instead of plain decisions. With
+  /// `capture_drains` false the session suppresses its own drain
+  /// markers, so the fleet can record one global boundary per
+  /// drain_all() instead of one per site.
+  std::uint32_t capture_ap_base = 0;
+  std::optional<std::uint32_t> capture_site;
+  bool capture_drains = true;
 };
 
 /// One cross-AP view of one frame, ready for the coordinator.

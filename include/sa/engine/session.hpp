@@ -149,6 +149,20 @@ struct SessionStats {
   std::size_t workers_pinned = 0;
 };
 
+/// A roaming client's exportable per-MAC state: everything the decision
+/// pipeline remembers about one MAC. The unit of cross-site handoff —
+/// each field is nullopt when the corresponding policy is absent from
+/// the chain or holds no state for the MAC.
+struct ClientHandoffState {
+  /// Raw signature-tracker accumulators (see TrackerSnapshot).
+  std::optional<TrackerSnapshot> tracker;
+  /// ACL verdict, when the chain has an AclPolicy.
+  std::optional<bool> acl_allowed;
+  /// Rate-limit residue: in-window admit count at export time, when the
+  /// chain has a RateLimitPolicy and the MAC has frames in flight.
+  std::optional<std::uint32_t> rate_in_window;
+};
+
 class EngineSession {
  public:
   /// Called on the sequencer thread, strictly in sequence order, never
@@ -185,6 +199,29 @@ class EngineSession {
   /// drain(), then stop the pipeline threads. Idempotent (concurrent
   /// calls serialize); submit() and drain() throw StateError afterwards.
   void close();
+
+  // --- fleet-handoff hooks --------------------------------------------
+  // Quiescent-use-only contract: call these only when the pipeline is
+  // idle (after drain()/wait_idle(), with no concurrent submit()); they
+  // reach into per-worker policy state without dataplane locks.
+
+  /// Copy out everything this session knows about `mac` (tracker
+  /// accumulators, ACL verdict, rate residue). The rate window is first
+  /// advanced to the global frame clock (decisions emitted), so the
+  /// residue is a pure function of the frame stream at any thread
+  /// count.
+  ClientHandoffState export_client_state(const MacAddress& mac);
+
+  /// Install a handed-off client's state: tracker and rate residue go
+  /// to the worker owning the MAC's shard; an ACL verdict is applied to
+  /// every worker's chain (they mirror one allow list).
+  void import_client_state(const MacAddress& mac,
+                           const ClientHandoffState& state);
+
+  /// Drop `mac`'s tracker and rate residue (the handoff source side).
+  /// The ACL entry is deliberately kept: frames still in flight toward
+  /// this site must not become ACL-denied mid-stream.
+  void forget_client(const MacAddress& mac);
 
   std::size_t num_aps() const { return aps_.size(); }
   std::size_t num_threads() const { return workers_.size(); }

@@ -98,6 +98,14 @@ class ShardedSpoofDetector {
   /// Forget a MAC entirely (e.g. after deauthentication).
   void forget(const MacAddress& source);
 
+  /// Copy out a MAC's tracker state (cross-site handoff export); locks
+  /// only the owning shard. nullopt if the MAC is not tracked.
+  std::optional<TrackerSnapshot> export_tracker(const MacAddress& source) const;
+
+  /// Install handed-off tracker state into the owning shard (see
+  /// SpoofDetector::import_tracker — no observation tick is consumed).
+  void import_tracker(const MacAddress& source, const TrackerSnapshot& snap);
+
   /// Aggregate statistics over every shard.
   SpoofDetectorStats stats() const;
 

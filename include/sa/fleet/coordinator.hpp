@@ -1,0 +1,223 @@
+// The fleet tier: one coordinator over N sites, each a full SecureAngle
+// deployment (its own APs, its own EngineSession dataplane), with
+// cross-site client handoff over FleetWire.
+//
+//   FleetCoordinator
+//     ├─ site 0: EngineSession ── APs [0, m)          (fleet-global ids)
+//     ├─ site 1: EngineSession ── APs [m, 2m)
+//     ├─ ...
+//     └─ home map: MAC -> (home site, handoff generation)
+//
+// Chunks are routed to the owning site (submit by (site, local AP) or
+// fleet-global AP id). When a client's traffic migrates sites —
+// notify_association(mac, dest) — the source site's per-MAC state is
+// exported (tracker accumulators, ACL verdict, rate residue), shipped
+// as one FleetWire kClientState message, and imported into the
+// destination's compact substrate: the tracker lands in the shard
+// owner's FlatLruMap + prefilter with a fresh timer-wheel idle lease,
+// the rate residue is re-armed under the documented window-restart
+// rule. The source then forgets the client (keeping its ACL entry, so
+// late frames are judged by signature — not membership).
+//
+// Handoff state machine per MAC:
+//
+//   (unknown) --assoc--> HOME(s, g=1)
+//   HOME(s, g) --assoc to s--> HOME(s, g)            [no-op, no record]
+//   HOME(s, g) --assoc to d--> quiesce s,d; export; FleetWire;
+//                              import at d --> HOME(d, g+1)   [kAssoc]
+//   import with generation <= known g  --> rejected kStale
+//
+// The generation guard makes handoff idempotent and replay-safe: a
+// delayed, duplicated, or replayed FleetWire message can never clobber
+// fresher local state.
+//
+// Quiescence: handoff import/export reaches into per-worker policy
+// state, so notify_association first brings the source and destination
+// dataplanes to wait_idle() (every formable round decided — no flush
+// pass, so receiver state is untouched). apply_handoff() on an
+// externally produced message requires the same: call it only with the
+// target site idle. The coordinator itself is a control-plane object:
+// one driving thread, like EngineSession::drain.
+//
+// Capture: with a CaptureWriter, the fleet records one version-2 SACP
+// file — chunk records carry fleet-global AP ids, decisions are
+// site-tagged (kSiteDecision), handoffs are kAssoc records, and
+// drain_all() records a single fleet-wide drain boundary.
+// replay_fleet_capture (sa/fleet/replay.hpp) rebuilds the fleet from
+// the header and re-issues everything deterministically.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sa/engine/session.hpp"
+#include "sa/fleet/wire.hpp"
+#include "sa/sim/deployment.hpp"
+
+namespace sa {
+
+class CaptureWriter;
+
+/// A fleet of structurally identical sites built from one per-site
+/// template. Site i is built from `site` with seed
+/// `site.seed + i * site_seed_stride` — stride 0 makes every site
+/// bit-identical (the handoff-oracle configuration), any other stride
+/// gives each site its own impairment draws.
+struct FleetSpec {
+  DeploymentSpec site;
+  std::size_t num_sites = 2;
+  std::uint64_t site_seed_stride = 1;
+};
+
+/// Per-site spec for site `index` (the seed progression above).
+DeploymentSpec site_spec(const FleetSpec& spec, std::size_t index);
+
+/// Fleet spec -> version-2 capture header: the per-site sa.* keys plus
+/// "sa.fleet.sites" / "sa.fleet.seed_stride"; num_aps is fleet-global.
+CaptureHeader fleet_header_for(const FleetSpec& spec);
+
+/// Header -> fleet spec; nullopt when the fleet keys are missing or the
+/// per-site deployment does not round-trip.
+std::optional<FleetSpec> fleet_from_header(const CaptureHeader& header);
+
+struct FleetConfig {
+  FleetSpec spec;
+  /// Dataplane worker threads per site session.
+  std::size_t threads_per_site = 1;
+  /// Build each site's uplink channel simulation (scenario drivers need
+  /// it; replay does not).
+  bool with_sim = false;
+  /// Optional shared recording tap (one version-2 capture for the whole
+  /// fleet), borrowed.
+  CaptureWriter* capture = nullptr;
+  /// Spoof-tracker idle horizon per site. nullopt (default) derives it
+  /// from the roaming dwell-time distribution — at the fleet tier idle
+  /// expiry is ON by default, because a roaming population constantly
+  /// strands tracker state at sites clients have left. Explicit 0
+  /// disables expiry (the single-session-oracle configuration).
+  std::optional<std::size_t> spoof_idle_frames;
+};
+
+enum class FleetImportOutcome {
+  kApplied,    ///< imported; the home map now points at the destination
+  kStale,      ///< generation not newer than the local view — rejected
+  kMalformed,  ///< FleetWire decode failed — rejected
+  kBadSite,    ///< destination site out of range — rejected
+};
+
+const char* to_string(FleetImportOutcome outcome);
+
+/// What notify_association did.
+struct HandoffResult {
+  FleetImportOutcome outcome = FleetImportOutcome::kApplied;
+  /// True when state actually moved between sites (false for a first
+  /// association or a same-site re-association).
+  bool migrated = false;
+  std::uint32_t source_site = 0;
+  std::uint32_t dest_site = 0;
+  std::uint64_t generation = 0;
+  /// The encoded FleetWire message of a migration (empty otherwise) —
+  /// what went "over the wire", for tests and tooling.
+  ByteStream wire;
+};
+
+struct FleetStats {
+  std::uint64_t associations = 0;  ///< notify_association calls
+  std::uint64_t handoffs_applied = 0;
+  std::uint64_t handoffs_stale = 0;
+  std::uint64_t handoffs_malformed = 0;
+  std::uint64_t handoffs_bad_site = 0;
+  std::uint64_t drains = 0;
+};
+
+class FleetCoordinator {
+ public:
+  explicit FleetCoordinator(FleetConfig config);
+  ~FleetCoordinator();
+
+  FleetCoordinator(const FleetCoordinator&) = delete;
+  FleetCoordinator& operator=(const FleetCoordinator&) = delete;
+
+  std::size_t num_sites() const { return sites_.size(); }
+  std::size_t aps_per_site() const { return config_.spec.site.num_aps; }
+  std::size_t total_aps() const { return num_sites() * aps_per_site(); }
+  const FleetConfig& config() const { return config_; }
+  /// The idle horizon actually applied to every site's spoof detector.
+  std::size_t resolved_spoof_idle_frames() const { return idle_frames_; }
+
+  /// Route one chunk to `site`'s dataplane (local AP index).
+  void submit(std::uint32_t site, std::size_t local_ap, CMat chunk);
+  /// Same, addressed by fleet-global AP id (site = id / aps_per_site).
+  void submit_global(std::uint32_t global_ap, CMat chunk);
+  /// One time-aligned chunk per AP of `site`.
+  void submit_round(std::uint32_t site, std::vector<CMat> chunks);
+
+  /// A client (re)associated at `dest_site`. First association homes the
+  /// MAC there; a cross-site move quiesces both dataplanes, exports the
+  /// source's per-MAC state, ships it over FleetWire, imports it at the
+  /// destination under the generation guard, and forgets it at the
+  /// source. Records a kAssoc on migrations and first associations.
+  HandoffResult notify_association(const MacAddress& mac,
+                                   std::uint32_t dest_site);
+
+  /// Import an externally produced FleetWire message (the receive side
+  /// of notify_association; also the test/fuzz surface). The
+  /// destination session must be quiescent. On kApplied the home map
+  /// advances to (dest, generation) and a kAssoc is recorded.
+  FleetImportOutcome apply_handoff(const ByteStream& wire);
+
+  /// Drain every site's dataplane and record ONE fleet-wide drain
+  /// boundary (per-site drain records are suppressed via
+  /// EngineConfig::capture_drains).
+  void drain_all();
+  /// drain_all(), then stop every site's pipeline threads. Idempotent.
+  void close();
+
+  EngineSession& session(std::size_t site) { return *sites_[site].session; }
+  const EngineSession& session(std::size_t site) const {
+    return *sites_[site].session;
+  }
+  /// The site's constructed deployment (testbed, APs, optional sim).
+  BuiltDeployment& deployment(std::size_t site) {
+    return *sites_[site].deployment;
+  }
+  /// Decisions this site has emitted, in that site's sequence order.
+  /// Exact when the site is quiescent (after drain_all()/handoff).
+  const std::vector<EngineDecision>& decisions(std::size_t site) const {
+    return sites_[site].decisions;
+  }
+  std::size_t total_decisions() const;
+
+  std::optional<std::uint32_t> home_site(const MacAddress& mac) const;
+  std::optional<std::uint64_t> generation_of(const MacAddress& mac) const;
+  const FleetStats& stats() const { return stats_; }
+
+ private:
+  struct Site {
+    std::unique_ptr<BuiltDeployment> deployment;
+    std::vector<EngineDecision> decisions;
+    /// Declared last: the session's sink writes into `decisions` from
+    /// the sequencer thread, so the session (whose destructor joins
+    /// that thread) must be destroyed first.
+    std::unique_ptr<EngineSession> session;
+  };
+  struct Home {
+    std::uint32_t site = 0;
+    std::uint64_t generation = 0;
+  };
+
+  void record_assoc(std::uint32_t site, std::uint64_t generation,
+                    const MacAddress& mac);
+
+  FleetConfig config_;
+  std::size_t idle_frames_ = 0;
+  std::vector<Site> sites_;
+  std::unordered_map<MacAddress, Home> home_;
+  FleetStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace sa

@@ -1,0 +1,48 @@
+// Fleet replay: turn a version-2 SACP fleet capture back into the run
+// it recorded and verify it byte-for-byte. The header's fleet keys
+// rebuild the FleetCoordinator (per-site deployments from the seed
+// progression, the recorded spoof-idle horizon); then every record is
+// re-issued in file order — chunks routed by fleet-global AP id, kAssoc
+// records re-driving notify_association (the replayed handoff
+// generation must match the recorded one, or the handoff state machine
+// has diverged), kDrain running drain_all(). At the end each site's
+// re-emitted decision track is compared byte-identically against the
+// recorded kSiteDecision payloads.
+//
+// This is the fleet analogue of ReplaySource (sa/capture/replay.hpp),
+// folded into one call because fleet replay is always verification:
+// unlike single-site replay there is no "replay into caller's engine"
+// use — the capture fully describes the fleet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sa/capture/reader.hpp"
+
+namespace sa {
+
+struct FleetReplayResult {
+  bool ok = false;
+  std::string error;  ///< empty when ok
+  std::size_t sites = 0;
+  std::uint64_t chunks_submitted = 0;
+  std::uint64_t assocs_replayed = 0;
+  std::uint64_t drains_run = 0;
+  /// Site decisions byte-compared against the recorded tracks.
+  std::uint64_t decisions_checked = 0;
+};
+
+/// Replay the fleet capture at `path` with `threads_per_site` dataplane
+/// workers per site and byte-compare every site's decision track.
+/// Deterministic at any thread count; a mismatch (or a malformed
+/// capture) is reported in `error`, never UB.
+FleetReplayResult replay_fleet_capture(const std::string& path,
+                                       std::size_t threads_per_site);
+
+/// Same, over in-memory capture bytes (the fuzz loop's entry point —
+/// mutated captures must come back as errors, never crashes).
+FleetReplayResult replay_fleet_capture(ByteStream data,
+                                       std::size_t threads_per_site);
+
+}  // namespace sa

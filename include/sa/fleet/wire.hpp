@@ -1,0 +1,76 @@
+// FleetWire: the versioned cross-site handoff message format ("SAFW").
+//
+// When a client's traffic migrates from one site to another, the source
+// site exports everything its decision pipeline remembers about the MAC
+// (ClientHandoffState: SAT1-serialized signature-tracker accumulators,
+// ACL verdict, rate-limit residue) and ships it to the destination as
+// one self-contained FleetWire message. The nested tracker block reuses
+// the SAA-family serialization (sa/signature/serialize.hpp), so a
+// handoff carries exactly the bytes an AP reboot would persist — one
+// state format, two transports.
+//
+// Layout (all integers little-endian):
+//
+//   message := magic "SAFW" | u32 version | u32 type | u32 payload_len
+//              | payload  (payload_len bytes, and the message ends there)
+//
+//   kClientState payload:
+//     6 bytes MAC | u64 generation | u32 source_site | u32 dest_site
+//     | u32 flags
+//     | [flags bit0] u32 tracker_len | tracker_len bytes of "SAT1"
+//     | [flags bit3] u32 rate_in_window
+//
+//   flags: bit0 = tracker block present
+//          bit1 = ACL verdict present
+//          bit2 = ACL verdict is "allowed" (requires bit1)
+//          bit3 = rate-limit residue present
+//          all other bits reserved — a decoder rejects them.
+//
+// `generation` is the handoff generation guard: the fleet bumps it per
+// (MAC, handoff), and an import whose generation is not newer than the
+// destination's view is rejected as stale — a delayed or replayed
+// handoff message can never clobber fresher local state.
+//
+// The decoder is total over untrusted bytes: every length is bounds-
+// checked, unknown versions/types/flags are rejected, the nested SAT1
+// block goes through its own validating parser, and trailing bytes are
+// an error — malformed input yields nullopt, never UB. That contract is
+// what makes the FleetWire fuzz pass in capture_tool meaningful.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sa/capture/format.hpp"
+#include "sa/engine/session.hpp"
+#include "sa/mac/address.hpp"
+
+namespace sa {
+
+/// "SAFW" as a little-endian u32 (bytes S,A,F,W on the wire).
+inline constexpr std::uint32_t kFleetWireMagic = 0x57464153;
+inline constexpr std::uint32_t kFleetWireVersion = 1;
+
+enum class FleetWireType : std::uint32_t {
+  kClientState = 1,
+};
+
+/// One client's cross-site handoff: the MAC, the generation guard, the
+/// route, and the exported per-MAC state.
+struct FleetClientState {
+  MacAddress mac;
+  std::uint64_t generation = 0;
+  std::uint32_t source_site = 0;
+  std::uint32_t dest_site = 0;
+  ClientHandoffState state;
+};
+
+/// Serialize a kClientState message.
+ByteStream encode_client_state(const FleetClientState& msg);
+
+/// Parse a kClientState message; nullopt on malformed/truncated input,
+/// wrong magic/version/type, reserved flag bits, an invalid nested
+/// tracker block, or trailing bytes.
+std::optional<FleetClientState> decode_client_state(const ByteStream& data);
+
+}  // namespace sa

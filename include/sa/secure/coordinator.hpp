@@ -106,6 +106,9 @@ class Coordinator {
   };
   Stats stats() const;
   const PolicyChain& chain() const { return chain_; }
+  /// Quiescent maintenance access (fleet handoff export/import between
+  /// frames) — never while process*() may be running.
+  PolicyChain& mutable_chain() { return chain_; }
   /// Aggregation hooks for shard-affine deployments: an aggregator
   /// coordinator (which never decides frames itself) presents the sum of
   /// per-worker coordinators' chain counters. Both chains must have been

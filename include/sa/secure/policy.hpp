@@ -162,6 +162,10 @@ class PolicyChain {
 
   std::size_t size() const { return policies_.size(); }
   const SecurityPolicy& policy(std::size_t i) const { return *policies_[i]; }
+  /// Mutable policy access, for quiescent maintenance only (fleet
+  /// handoff import/export between frames) — never while run() may be
+  /// executing on another thread.
+  SecurityPolicy& policy_mutable(std::size_t i) { return *policies_[i]; }
   bool contains(std::string_view policy_name) const;
 
   /// Zero all counters (policy list untouched). With add_stats_from this
@@ -211,6 +215,9 @@ class AclPolicy final : public SecurityPolicy {
   PolicyVerdict evaluate(FrameContext& ctx) override;
 
   const AccessControlList& acl() const { return acl_; }
+  /// Quiescent maintenance access (fleet handoff installs a roaming
+  /// client's allow-entry between frames).
+  AccessControlList& mutable_acl() { return acl_; }
 
  private:
   AccessControlList acl_;
@@ -303,6 +310,33 @@ class RateLimitPolicy final : public SecurityPolicy {
   std::size_t evictions() const { return evictions_; }
   const RateLimitConfig& config() const { return config_; }
 
+  /// Retire every decrement due at or before `frame` without evaluating
+  /// a frame. The fleet-handoff export hook: at quiescence the caller
+  /// advances the window to the global frame clock first, so the
+  /// exported residue is a pure function of the frame stream (how far
+  /// the wheel had lazily advanced is otherwise workload-dependent).
+  void advance_to(std::size_t frame);
+
+  /// A MAC's current in-window admit count; nullopt when idle (a MAC
+  /// with zero residue is erased outright, see above). Read-only: no
+  /// LRU touch.
+  std::optional<std::uint32_t> export_residue(const MacAddress& mac) const;
+
+  /// Install handed-off residue under the documented *rate-window
+  /// restart rule*: the carried admits are treated as if they all
+  /// happened at the client's first post-handoff frame here — their
+  /// decrements are scheduled one full window after that frame (the
+  /// source site's wheel deadlines are in its own frame clock and
+  /// cannot be carried across). The count is clamped to max_frames
+  /// (no-op for honest handoffs; a forged larger residue must not deny
+  /// forever). Zero residue erases the entry. Bumps the entry
+  /// generation, so decrements scheduled for any prior incarnation of
+  /// this MAC are dead on arrival.
+  void import_residue(const MacAddress& mac, std::uint32_t in_window);
+
+  /// Drop a MAC's residue outright (handoff source side).
+  void forget(const MacAddress& mac);
+
   /// Footprint of the counter map and the decrement wheel.
   std::size_t memory_bytes() const {
     return history_.memory_bytes() + wheel_.memory_bytes();
@@ -312,6 +346,10 @@ class RateLimitPolicy final : public SecurityPolicy {
   struct RateState {
     std::uint32_t in_window = 0;  ///< admits in the trailing window
     std::uint32_t generation = 0;
+    /// Residue was imported via handoff and its decrements are not yet
+    /// scheduled; the first local evaluate() schedules them (the
+    /// rate-window restart rule).
+    bool restart_pending = false;
   };
   /// Decrement events carry the entry generation so a stale event from
   /// before an LRU eviction cannot debit the MAC's next incarnation.
@@ -319,6 +357,8 @@ class RateLimitPolicy final : public SecurityPolicy {
     MacAddress mac;
     std::uint32_t generation = 0;
   };
+
+  void retire_until(std::uint64_t now);
 
   RateLimitConfig config_;
   FlatLruMap<MacAddress, RateState> history_;

@@ -78,6 +78,17 @@ class SpoofDetector {
   /// Forget a MAC entirely (e.g. after deauthentication).
   void forget(const MacAddress& source);
 
+  /// Copy out a MAC's tracker state for cross-site handoff; nullopt if
+  /// the MAC is not tracked. Read-only: no LRU touch, no tick consumed.
+  std::optional<TrackerSnapshot> export_tracker(const MacAddress& source) const;
+
+  /// Install handed-off tracker state for a MAC, inserting it into the
+  /// map/prefilter (and idle wheel) exactly as a first observation
+  /// would, but without consuming an observation tick — the imported
+  /// client has not sent a frame here yet. Overwrites any existing
+  /// tracker for the MAC.
+  void import_tracker(const MacAddress& source, const TrackerSnapshot& snap);
+
   SpoofDetectorStats stats() const;
 
   /// Footprint of the tracker map, prefilter and expiry wheel (the

@@ -15,6 +15,7 @@
 
 #include "sa/signature/signature.hpp"
 #include "sa/signature/subband.hpp"
+#include "sa/signature/tracker.hpp"
 
 namespace sa {
 
@@ -36,6 +37,24 @@ ByteStream serialize_signature(const SubbandSignature& sig);
 /// Parse either format ("SAA1" becomes a one-band signature); nullopt on
 /// malformed/truncated input.
 std::optional<SubbandSignature> deserialize_subband_signature(
+    const ByteStream& data);
+
+/// Serialize a tracker's full learning state — the "SAT1" container, the
+/// SAA-family's state-transfer sibling. Where SAA1/SAA2 carry a
+/// *presentation* of a signature (grid re-derived from start+step, values
+/// re-normalized on parse), SAT1 carries the tracker's raw per-band EWMA
+/// accumulators with their exact angle grids, so a round-trip restores
+/// the tracker bit-for-bit — which is what cross-site client handoff
+/// needs: the destination must continue training/blending exactly where
+/// the source stopped, or its decisions drift from the single-site
+/// oracle.
+ByteStream serialize_tracker_snapshot(const TrackerSnapshot& snap);
+
+/// Parse a "SAT1" container; nullopt on malformed/truncated input. The
+/// parser is total over untrusted bytes (it validates grid monotonicity,
+/// finiteness and cross-band shape), so a snapshot it accepts is always
+/// safe to restore().
+std::optional<TrackerSnapshot> deserialize_tracker_snapshot(
     const ByteStream& data);
 
 }  // namespace sa

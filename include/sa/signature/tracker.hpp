@@ -8,7 +8,9 @@
 // update the reference (otherwise an attacker could walk the signature).
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "sa/signature/metrics.hpp"
 #include "sa/signature/signature.hpp"
@@ -23,6 +25,26 @@ struct TrackerConfig {
   std::size_t training_packets = 5;
   MatchWeights weights;
   SignatureConfig signature_config;
+};
+
+/// Portable image of a tracker's full learning state, for cross-site
+/// handoff and persistence. It carries the RAW per-band accumulators
+/// (the non-normalized EWMA spectra, with their exact angle grids), not
+/// the materialized reference — restoring a snapshot must continue the
+/// blend arithmetic bit-for-bit, and the SAA1/SAA2 signature wire cannot
+/// do that (it re-derives the grid from start+step and re-normalizes).
+struct TrackerSnapshot {
+  bool trained = false;
+  std::uint64_t training_seen = 0;
+  std::uint64_t observations = 0;
+  std::uint64_t mismatches = 0;
+  /// One raw accumulator per subband, in ascending band order.
+  struct Band {
+    std::vector<double> angles_deg;
+    std::vector<double> values;
+    bool wraps = false;
+  };
+  std::vector<Band> bands;
 };
 
 enum class TrackerVerdict {
@@ -61,6 +83,16 @@ class SignatureTracker {
 
   /// Drop all state and retrain from scratch.
   void reset();
+
+  /// Copy out the raw learning state. restore()ing the result into a
+  /// tracker with the same config continues observing bit-for-bit where
+  /// this tracker left off.
+  TrackerSnapshot snapshot() const;
+  /// Replace this tracker's state with `snap` (config is kept). The
+  /// snapshot's bands must be structurally valid (equal-length finite
+  /// grids); deserialize_tracker_snapshot() guarantees that for
+  /// untrusted input.
+  void restore(const TrackerSnapshot& snap);
 
   const TrackerConfig& config() const { return config_; }
 

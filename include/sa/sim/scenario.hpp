@@ -39,8 +39,18 @@
 //                  exercises per-MAC LRU eviction, prefilter rebuild
 //                  epochs, and timer-wheel expiry in the engine's
 //                  tracked state.
+//   roaming        the fleet-tier workload: roaming_walkers clients
+//                  wander a fleet of roaming_sites sites. Each walker
+//                  dwells at a site for an exponential
+//                  Exp(1/roaming_dwell_s) holding time, then re-draws
+//                  its site Zipf(roaming_zipf_exponent)-skewed over the
+//                  fleet (site 0 is everyone's favorite — the lobby).
+//                  Every event carries the walker's current site, and
+//                  site_changed marks the first frame after a move —
+//                  the cue for a cross-site handoff.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -60,6 +70,7 @@ enum class ScenarioKind {
   kAdaptiveSpoof,
   kFlood,
   kChurn,
+  kRoaming,
 };
 
 const char* to_string(ScenarioKind kind);
@@ -105,7 +116,22 @@ struct ScenarioConfig {
   std::size_t churn_population = 64;  ///< concurrently active MACs
   double churn_zipf_exponent = 1.1;   ///< re-contact skew over the pool
   double churn_rotate_per_s = 50.0;   ///< mean slot retirements/sec
+
+  // roaming (fleet tier)
+  std::size_t roaming_sites = 4;      ///< sites walkers roam across
+  std::size_t roaming_walkers = 8;    ///< walkers (clients 1, 2, ...)
+  double roaming_dwell_s = 0.4;       ///< mean per-site dwell time
+  double roaming_zipf_exponent = 0.9; ///< site-affinity skew (0 = uniform)
 };
+
+/// The fleet tier's default spoof-tracker idle horizon, derived from the
+/// roaming dwell-time distribution: eight mean dwells' worth of frames
+/// at the configured arrival rate (ceil(8 * dwell * rate); 128 with the
+/// defaults). Shorter would expire a walker's tracker while it is merely
+/// visiting another site — forcing retraining on return, which is
+/// exactly the window a spoofer wants; much longer and abandoned state
+/// from departed clients lingers across the whole fleet.
+std::uint64_t roaming_idle_horizon_frames(const ScenarioConfig& config);
 
 struct TrafficEvent {
   enum class Kind { kLegit, kSpoof, kOffsite, kFlood };
@@ -116,6 +142,11 @@ struct TrafficEvent {
   MacAddress mac;
   /// Transmit-side antenna pattern; nullopt = omni.
   std::optional<TxPattern> pattern;
+  /// Roaming: the site this frame arrives at, and whether it is the
+  /// walker's first frame since moving there (the handoff cue). Always
+  /// 0 / false for single-site scenarios.
+  std::uint32_t site = 0;
+  bool site_changed = false;
 };
 
 class ScenarioGenerator {
@@ -141,6 +172,7 @@ class ScenarioGenerator {
   TrafficEvent make_mobile_event(double t);
   TrafficEvent make_adaptive_event(double t);
   TrafficEvent make_churn_event(double t);
+  TrafficEvent make_roaming_event(double t);
 
   OfficeTestbed testbed_;
   ScenarioConfig config_;
@@ -164,6 +196,11 @@ class ScenarioGenerator {
   std::vector<double> churn_cdf_;
   std::uint32_t churn_next_mac_ = 0;
   double churn_rotate_next_ = 0.0;
+  // roaming state: each walker's current site, when its dwell there
+  // ends, and the Zipf CDF over sites
+  std::vector<std::uint32_t> roam_site_;
+  std::vector<double> roam_until_;
+  std::vector<double> roam_cdf_;
 };
 
 }  // namespace sa

@@ -112,7 +112,9 @@ std::optional<CaptureHeader> decode_header(ByteReader& r) {
   const auto magic = r.u32();
   if (!magic || *magic != kSacpMagic) return std::nullopt;
   const auto version = r.u32();
-  if (!version || *version != kSacpVersion) return std::nullopt;
+  if (!version || *version < kSacpVersion || *version > kSacpVersionFleet) {
+    return std::nullopt;
+  }
   const auto payload_len = r.u32();
   if (!payload_len || *payload_len > r.remaining() ||
       *payload_len > kMaxRecordPayload) {
@@ -296,11 +298,60 @@ std::optional<DecisionRecord> decode_decision(const ByteStream& payload) {
   return d;
 }
 
-ByteStream encode_end(const EndRecord& end) {
+ByteStream encode_site_decision(std::uint32_t site, std::uint64_t sequence,
+                                std::uint64_t absolute_start,
+                                const FrameDecision& decision) {
+  ByteStream payload;
+  put_u32(payload, site);
+  const ByteStream inner = encode_decision(sequence, absolute_start, decision);
+  payload.insert(payload.end(), inner.begin(), inner.end());
+  return payload;
+}
+
+std::optional<SiteDecisionRecord> decode_site_decision(
+    const ByteStream& payload) {
+  ByteReader r(payload);
+  const auto site = r.u32();
+  if (!site) return std::nullopt;
+  auto inner = decode_decision(ByteStream(payload.begin() + 4, payload.end()));
+  if (!inner) return std::nullopt;
+  SiteDecisionRecord rec;
+  rec.site = *site;
+  rec.decision = std::move(*inner);
+  return rec;
+}
+
+ByteStream encode_assoc(const AssocRecord& assoc) {
+  ByteStream payload;
+  put_u32(payload, assoc.site);
+  put_u64(payload, assoc.generation);
+  for (std::uint8_t o : assoc.mac) put_u8(payload, o);
+  return payload;
+}
+
+std::optional<AssocRecord> decode_assoc(const ByteStream& payload) {
+  ByteReader r(payload);
+  AssocRecord a;
+  const auto site = r.u32();
+  const auto generation = r.u64();
+  if (!site || !generation) return std::nullopt;
+  a.site = *site;
+  a.generation = *generation;
+  for (auto& o : a.mac) {
+    const auto b = r.u8();
+    if (!b) return std::nullopt;
+    o = *b;
+  }
+  if (!r.done()) return std::nullopt;  // trailing garbage
+  return a;
+}
+
+ByteStream encode_end(const EndRecord& end, std::uint32_t version) {
   ByteStream payload;
   put_u64(payload, end.chunks);
   put_u64(payload, end.decisions);
   put_u64(payload, end.drains);
+  if (version >= kSacpVersionFleet) put_u64(payload, end.assocs);
   return payload;
 }
 
@@ -310,10 +361,16 @@ std::optional<EndRecord> decode_end(const ByteStream& payload) {
   const auto chunks = r.u64();
   const auto decisions = r.u64();
   const auto drains = r.u64();
-  if (!chunks || !decisions || !drains || !r.done()) return std::nullopt;
+  if (!chunks || !decisions || !drains) return std::nullopt;
   e.chunks = *chunks;
   e.decisions = *decisions;
   e.drains = *drains;
+  if (!r.done()) {
+    // Version >= 2 appends the assoc total; anything else is garbage.
+    const auto assocs = r.u64();
+    if (!assocs || !r.done()) return std::nullopt;
+    e.assocs = *assocs;
+  }
   return e;
 }
 

@@ -1,6 +1,7 @@
 #include "sa/capture/reader.hpp"
 
 #include <cstdio>
+#include <map>
 #include <utility>
 
 namespace sa {
@@ -83,6 +84,22 @@ std::optional<CaptureRecord> CaptureReader::parse_record(
         return std::nullopt;
       }
       break;
+    case RecordType::kSiteDecision:
+      rec.type = RecordType::kSiteDecision;
+      rec.site_decision = decode_site_decision(rec.payload);
+      if (!rec.site_decision) {
+        error = "malformed site-decision record";
+        return std::nullopt;
+      }
+      break;
+    case RecordType::kAssoc:
+      rec.type = RecordType::kAssoc;
+      rec.assoc = decode_assoc(rec.payload);
+      if (!rec.assoc) {
+        error = "malformed assoc record";
+        return std::nullopt;
+      }
+      break;
     case RecordType::kEnd:
       rec.type = RecordType::kEnd;
       rec.end = decode_end(rec.payload);
@@ -123,6 +140,8 @@ ValidationReport CaptureReader::validate() const {
     switch (rec->type) {
       case RecordType::kChunk: ++report.chunks; break;
       case RecordType::kDecision: ++report.decisions; break;
+      case RecordType::kSiteDecision: ++report.decisions; break;
+      case RecordType::kAssoc: ++report.assocs; break;
       case RecordType::kDrain: ++report.drains; break;
       case RecordType::kEnd: end = rec->end; break;
     }
@@ -138,7 +157,7 @@ ValidationReport CaptureReader::validate() const {
   }
   report.end_seen = true;
   if (end->chunks != report.chunks || end->decisions != report.decisions ||
-      end->drains != report.drains) {
+      end->drains != report.drains || end->assocs != report.assocs) {
     report.error = "end-record totals disagree with the records present";
     return report;
   }
@@ -184,6 +203,11 @@ CaptureDiff diff_captures(const CaptureReader& a, const CaptureReader& b) {
     /// interleaved in the file, so it is the right unit of comparison.
     std::vector<std::vector<ByteStream>> chunks_by_ap;
     std::vector<ByteStream> decisions;
+    /// Per-site decision payloads in that site's sequence order (fleet
+    /// sites emit concurrently, so only the per-site subsequence is
+    /// deterministic — the chunk-track argument, one level up).
+    std::map<std::uint32_t, std::vector<ByteStream>> decisions_by_site;
+    std::vector<ByteStream> assocs;
     std::uint64_t drains = 0;
     bool ok = true;
   };
@@ -204,6 +228,13 @@ CaptureDiff diff_captures(const CaptureReader& a, const CaptureReader& b) {
           break;
         case RecordType::kDecision:
           t.decisions.push_back(std::move(rec->payload));
+          break;
+        case RecordType::kSiteDecision:
+          t.decisions_by_site[rec->site_decision->site].push_back(
+              std::move(rec->payload));
+          break;
+        case RecordType::kAssoc:
+          t.assocs.push_back(std::move(rec->payload));
           break;
         case RecordType::kDrain: ++t.drains; break;
         case RecordType::kEnd: break;
@@ -239,6 +270,40 @@ CaptureDiff diff_captures(const CaptureReader& a, const CaptureReader& b) {
   for (std::size_t i = 0; i < ta.decisions.size(); ++i) {
     if (ta.decisions[i] != tb.decisions[i]) {
       return not_equal("decision record " + std::to_string(i) +
+                       " differs byte-wise");
+    }
+  }
+  if (ta.decisions_by_site.size() != tb.decisions_by_site.size()) {
+    return not_equal("site counts differ: " +
+                     std::to_string(ta.decisions_by_site.size()) + " vs " +
+                     std::to_string(tb.decisions_by_site.size()));
+  }
+  for (const auto& [site, da] : ta.decisions_by_site) {
+    const auto it = tb.decisions_by_site.find(site);
+    if (it == tb.decisions_by_site.end()) {
+      return not_equal("site " + std::to_string(site) +
+                       " present in only one capture");
+    }
+    const auto& db = it->second;
+    if (da.size() != db.size()) {
+      return not_equal("site " + std::to_string(site) +
+                       " decision counts differ: " + std::to_string(da.size()) +
+                       " vs " + std::to_string(db.size()));
+    }
+    for (std::size_t i = 0; i < da.size(); ++i) {
+      if (da[i] != db[i]) {
+        return not_equal("site " + std::to_string(site) + " decision " +
+                         std::to_string(i) + " differs byte-wise");
+      }
+    }
+  }
+  if (ta.assocs.size() != tb.assocs.size()) {
+    return not_equal("assoc counts differ: " + std::to_string(ta.assocs.size()) +
+                     " vs " + std::to_string(tb.assocs.size()));
+  }
+  for (std::size_t i = 0; i < ta.assocs.size(); ++i) {
+    if (ta.assocs[i] != tb.assocs[i]) {
+      return not_equal("assoc record " + std::to_string(i) +
                        " differs byte-wise");
     }
   }

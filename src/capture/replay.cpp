@@ -18,6 +18,13 @@ ReplayResult ReplaySource::replay_into(EngineSession& session) {
     result.error = "malformed SACP header";
     return result;
   }
+  if (reader_.header()->version >= kSacpVersionFleet) {
+    result.error =
+        "fleet capture (version " +
+        std::to_string(reader_.header()->version) +
+        "): replay it with replay_fleet_capture / capture_tool --fleet";
+    return result;
+  }
   const std::uint32_t num_aps = reader_.header()->num_aps;
   reader_.rewind();
   bool saw_end = false;
@@ -40,7 +47,13 @@ ReplayResult ReplaySource::replay_into(EngineSession& session) {
         ++result.drains_run;
         break;
       case RecordType::kDecision:
-        break;  // the recorded output track; not an input
+      case RecordType::kSiteDecision:
+        break;  // the recorded output tracks; not inputs
+      case RecordType::kAssoc:
+        // Meaningful only to the fleet replay driver
+        // (replay_fleet_capture), which re-issues the handoff; a plain
+        // single-session replay has no sites to hand off between.
+        break;
       case RecordType::kEnd:
         saw_end = true;
         break;

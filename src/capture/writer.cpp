@@ -9,7 +9,7 @@
 namespace sa {
 
 CaptureWriter::CaptureWriter(const std::string& path, CaptureHeader header)
-    : path_(path) {
+    : path_(path), version_(header.version) {
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
     throw Error("CaptureWriter: cannot open '" + path + "' for writing");
@@ -39,6 +39,8 @@ void CaptureWriter::enqueue(RecordType type, const ByteStream& payload) {
     switch (type) {
       case RecordType::kChunk: ++chunks_; break;
       case RecordType::kDecision: ++decisions_; break;
+      case RecordType::kSiteDecision: ++decisions_; break;
+      case RecordType::kAssoc: ++assocs_; break;
       case RecordType::kDrain: ++drains_; break;
       case RecordType::kEnd: break;
     }
@@ -58,6 +60,18 @@ void CaptureWriter::record_decision(std::uint64_t sequence,
                                     const FrameDecision& decision) {
   enqueue(RecordType::kDecision,
           encode_decision(sequence, absolute_start, decision));
+}
+
+void CaptureWriter::record_site_decision(std::uint32_t site,
+                                         std::uint64_t sequence,
+                                         std::uint64_t absolute_start,
+                                         const FrameDecision& decision) {
+  enqueue(RecordType::kSiteDecision,
+          encode_site_decision(site, sequence, absolute_start, decision));
+}
+
+void CaptureWriter::record_assoc(const AssocRecord& assoc) {
+  enqueue(RecordType::kAssoc, encode_assoc(assoc));
 }
 
 void CaptureWriter::record_drain() { enqueue(RecordType::kDrain, {}); }
@@ -107,7 +121,8 @@ void CaptureWriter::close() {
     end.chunks = chunks_;
     end.decisions = decisions_;
     end.drains = drains_;
-    append_record(pending_, RecordType::kEnd, encode_end(end));
+    end.assocs = assocs_;
+    append_record(pending_, RecordType::kEnd, encode_end(end, version_));
     ++generation_;
     closed_ = true;
     stop_ = true;
@@ -146,6 +161,11 @@ std::uint64_t CaptureWriter::decisions_recorded() const {
 std::uint64_t CaptureWriter::drains_recorded() const {
   std::lock_guard<std::mutex> lock(mu_);
   return drains_;
+}
+
+std::uint64_t CaptureWriter::assocs_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return assocs_;
 }
 
 }  // namespace sa

@@ -184,8 +184,11 @@ void EngineSession::submit(std::size_t ap_index, CMat chunk) {
   CaptureWriter* capture = config_.engine.capture;
   if (capture != nullptr && !capture->closed()) {
     // Still under producer_mu, so this AP's chunk records are written in
-    // submission order with consistent round/base bookkeeping.
-    capture->record_chunk(ap_index, lane.rounds, lane.base, chunk);
+    // submission order with consistent round/base bookkeeping. The AP
+    // base offsets this session's local indices into the fleet-global
+    // AP id space (0 outside a fleet).
+    capture->record_chunk(config_.engine.capture_ap_base + ap_index,
+                          lane.rounds, lane.base, chunk);
   }
   ++lane.rounds;
   lane.base += chunk.cols();
@@ -209,9 +212,12 @@ void EngineSession::drain() {
     throw StateError("EngineSession::drain after close()");
   }
   if (CaptureWriter* capture = config_.engine.capture;
-      capture != nullptr && !capture->closed()) {
+      capture != nullptr && !capture->closed() &&
+      config_.engine.capture_drains) {
     // The marker lands after every chunk this caller submitted (same
-    // thread) — exactly the boundary replay must reproduce.
+    // thread) — exactly the boundary replay must reproduce. A fleet
+    // session suppresses this (capture_drains=false): the coordinator
+    // records one global marker per drain_all() instead.
     capture->record_drain();
   }
   const std::uint64_t ticket =
@@ -307,6 +313,64 @@ Coordinator::Stats EngineSession::stats() const {
 const PolicyChain& EngineSession::chain() const {
   refresh_chain();
   return coordinator_.chain();
+}
+
+// ---------------------------------------------------- fleet handoff hooks
+
+ClientHandoffState EngineSession::export_client_state(const MacAddress& mac) {
+  ClientHandoffState st;
+  st.tracker = spoof_.export_tracker(mac);
+  // The MAC's stateful policies live on the worker owning its shard.
+  Worker& wk = *workers_[spoof_.shard_of(mac) % workers_.size()];
+  PolicyChain& chain = wk.coordinator.mutable_chain();
+  const std::size_t frame_clock =
+      stats_.decisions_emitted.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    SecurityPolicy& p = chain.policy_mutable(i);
+    if (auto* rate = dynamic_cast<RateLimitPolicy*>(&p)) {
+      rate->advance_to(frame_clock);
+      st.rate_in_window = rate->export_residue(mac);
+    } else if (auto* acl = dynamic_cast<AclPolicy*>(&p)) {
+      st.acl_allowed = acl->acl().is_allowed(mac);
+    }
+  }
+  return st;
+}
+
+void EngineSession::import_client_state(const MacAddress& mac,
+                                        const ClientHandoffState& state) {
+  if (state.tracker) spoof_.import_tracker(mac, *state.tracker);
+  const std::size_t owner = spoof_.shard_of(mac) % workers_.size();
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    PolicyChain& chain = workers_[w]->coordinator.mutable_chain();
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      SecurityPolicy& p = chain.policy_mutable(i);
+      if (auto* acl = dynamic_cast<AclPolicy*>(&p)) {
+        if (state.acl_allowed) {
+          if (*state.acl_allowed) {
+            acl->mutable_acl().allow(mac);
+          } else {
+            acl->mutable_acl().revoke(mac);
+          }
+        }
+      } else if (auto* rate = dynamic_cast<RateLimitPolicy*>(&p)) {
+        if (w == owner && state.rate_in_window) {
+          rate->import_residue(mac, *state.rate_in_window);
+        }
+      }
+    }
+  }
+}
+
+void EngineSession::forget_client(const MacAddress& mac) {
+  spoof_.forget(mac);
+  Worker& wk = *workers_[spoof_.shard_of(mac) % workers_.size()];
+  PolicyChain& chain = wk.coordinator.mutable_chain();
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (auto* rate = dynamic_cast<RateLimitPolicy*>(&chain.policy_mutable(i))) {
+      rate->forget(mac);
+    }
+  }
 }
 
 // ----------------------------------------------------------- front-end
@@ -717,7 +781,13 @@ void EngineSession::sequencer_loop() {
         d.decision = std::move(c.decision);
         if (CaptureWriter* capture = config_.engine.capture;
             capture != nullptr && !capture->closed()) {
-          capture->record_decision(d.sequence, d.absolute_start, d.decision);
+          if (config_.engine.capture_site) {
+            capture->record_site_decision(*config_.engine.capture_site,
+                                          d.sequence, d.absolute_start,
+                                          d.decision);
+          } else {
+            capture->record_decision(d.sequence, d.absolute_start, d.decision);
+          }
         }
         sink_(d);
         stats_.decisions_emitted.fetch_add(1, std::memory_order_release);

@@ -111,6 +111,20 @@ void ShardedSpoofDetector::forget(const MacAddress& source) {
   shard.detector.forget(source);
 }
 
+std::optional<TrackerSnapshot> ShardedSpoofDetector::export_tracker(
+    const MacAddress& source) const {
+  const Shard& shard = *shards_[shard_of(source)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.detector.export_tracker(source);
+}
+
+void ShardedSpoofDetector::import_tracker(const MacAddress& source,
+                                          const TrackerSnapshot& snap) {
+  Shard& shard = *shards_[shard_of(source)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.detector.import_tracker(source, snap);
+}
+
 SpoofDetectorStats ShardedSpoofDetector::stats() const {
   SpoofDetectorStats total;
   for (const auto& shard : shards_) {

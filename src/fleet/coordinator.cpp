@@ -1,0 +1,246 @@
+#include "sa/fleet/coordinator.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+#include "sa/capture/writer.hpp"
+#include "sa/common/error.hpp"
+#include "sa/sim/scenario.hpp"
+
+namespace sa {
+
+namespace {
+
+std::optional<std::size_t> parse_size(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return std::nullopt;
+  return static_cast<std::size_t>(v);
+}
+
+}  // namespace
+
+DeploymentSpec site_spec(const FleetSpec& spec, std::size_t index) {
+  DeploymentSpec site = spec.site;
+  site.seed = spec.site.seed +
+              static_cast<std::uint64_t>(index) * spec.site_seed_stride;
+  return site;
+}
+
+CaptureHeader fleet_header_for(const FleetSpec& spec) {
+  CaptureHeader header = capture_header_for(spec.site);
+  header.version = kSacpVersionFleet;
+  header.num_aps =
+      static_cast<std::uint32_t>(spec.num_sites * spec.site.num_aps);
+  header.metadata.emplace_back("sa.fleet.sites",
+                               std::to_string(spec.num_sites));
+  header.metadata.emplace_back("sa.fleet.seed_stride",
+                               std::to_string(spec.site_seed_stride));
+  return header;
+}
+
+std::optional<FleetSpec> fleet_from_header(const CaptureHeader& header) {
+  const auto sites_meta = header.meta("sa.fleet.sites");
+  const auto stride_meta = header.meta("sa.fleet.seed_stride");
+  if (!sites_meta || !stride_meta) return std::nullopt;
+  const auto sites = parse_size(*sites_meta);
+  const auto stride = parse_size(*stride_meta);
+  if (!sites || *sites == 0 || !stride) return std::nullopt;
+  if (header.num_aps == 0 || header.num_aps % *sites != 0) return std::nullopt;
+  // The per-site deployment keys round-trip through the single-site
+  // parser with num_aps scaled down to one site's share.
+  CaptureHeader per_site = header;
+  per_site.num_aps = static_cast<std::uint32_t>(header.num_aps / *sites);
+  const auto site = deployment_from_header(per_site);
+  if (!site) return std::nullopt;
+  FleetSpec spec;
+  spec.site = *site;
+  spec.num_sites = *sites;
+  spec.site_seed_stride = *stride;
+  return spec;
+}
+
+const char* to_string(FleetImportOutcome outcome) {
+  switch (outcome) {
+    case FleetImportOutcome::kApplied: return "applied";
+    case FleetImportOutcome::kStale: return "stale";
+    case FleetImportOutcome::kMalformed: return "malformed";
+    case FleetImportOutcome::kBadSite: return "bad-site";
+  }
+  return "malformed";
+}
+
+FleetCoordinator::FleetCoordinator(FleetConfig config)
+    : config_(std::move(config)) {
+  SA_EXPECTS(config_.spec.num_sites >= 1);
+  SA_EXPECTS(config_.spec.site.num_aps >= 1);
+  if (config_.spoof_idle_frames) {
+    idle_frames_ = *config_.spoof_idle_frames;
+  } else {
+    // Fleet default: idle expiry ON, horizon from the roaming dwell
+    // distribution (see roaming_idle_horizon_frames).
+    ScenarioConfig roaming;
+    roaming.kind = ScenarioKind::kRoaming;
+    idle_frames_ =
+        static_cast<std::size_t>(roaming_idle_horizon_frames(roaming));
+  }
+  sites_.reserve(config_.spec.num_sites);
+  for (std::size_t i = 0; i < config_.spec.num_sites; ++i) {
+    sites_.emplace_back();
+    Site& site = sites_.back();
+    site.deployment = std::make_unique<BuiltDeployment>(
+        build_deployment(site_spec(config_.spec, i), config_.with_sim));
+    EngineConfig engine = site.deployment->engine;
+    engine.num_threads = config_.threads_per_site;
+    engine.coordinator.spoof_idle_frames = idle_frames_;
+    engine.capture = config_.capture;
+    engine.capture_ap_base =
+        static_cast<std::uint32_t>(i * config_.spec.site.num_aps);
+    engine.capture_site = static_cast<std::uint32_t>(i);
+    engine.capture_drains = false;  // drain_all records the fleet boundary
+    SessionConfig scfg;
+    scfg.engine = std::move(engine);
+    // sites_ was reserved above, so the decisions vector never moves.
+    std::vector<EngineDecision>* out = &site.decisions;
+    site.session = std::make_unique<EngineSession>(
+        std::move(scfg), site.deployment->ap_ptrs,
+        [out](const EngineDecision& d) { out->push_back(d); });
+  }
+}
+
+FleetCoordinator::~FleetCoordinator() = default;
+
+void FleetCoordinator::submit(std::uint32_t site, std::size_t local_ap,
+                              CMat chunk) {
+  SA_EXPECTS(site < sites_.size());
+  SA_EXPECTS(local_ap < aps_per_site());
+  sites_[site].session->submit(local_ap, std::move(chunk));
+}
+
+void FleetCoordinator::submit_global(std::uint32_t global_ap, CMat chunk) {
+  SA_EXPECTS(global_ap < total_aps());
+  const std::uint32_t per = static_cast<std::uint32_t>(aps_per_site());
+  submit(global_ap / per, global_ap % per, std::move(chunk));
+}
+
+void FleetCoordinator::submit_round(std::uint32_t site,
+                                    std::vector<CMat> chunks) {
+  SA_EXPECTS(site < sites_.size());
+  sites_[site].session->submit_round(std::move(chunks));
+}
+
+HandoffResult FleetCoordinator::notify_association(const MacAddress& mac,
+                                                   std::uint32_t dest_site) {
+  ++stats_.associations;
+  HandoffResult result;
+  result.dest_site = dest_site;
+  if (dest_site >= sites_.size()) {
+    ++stats_.handoffs_bad_site;
+    result.outcome = FleetImportOutcome::kBadSite;
+    return result;
+  }
+  const auto it = home_.find(mac);
+  if (it == home_.end()) {
+    // First sighting: home the client here. Nothing to move.
+    home_.emplace(mac, Home{dest_site, 1});
+    record_assoc(dest_site, 1, mac);
+    result.source_site = dest_site;
+    result.generation = 1;
+    return result;
+  }
+  result.source_site = it->second.site;
+  result.generation = it->second.generation;
+  if (it->second.site == dest_site) return result;  // already home: no-op
+
+  // Cross-site migration. Quiesce both dataplanes (wait_idle: every
+  // formable round decided, no flush pass — receiver state untouched),
+  // export, ship, import under the generation guard, forget at the
+  // source.
+  EngineSession& source = *sites_[it->second.site].session;
+  source.wait_idle();
+  sites_[dest_site].session->wait_idle();
+  FleetClientState msg;
+  msg.mac = mac;
+  msg.generation = it->second.generation + 1;
+  msg.source_site = it->second.site;
+  msg.dest_site = dest_site;
+  msg.state = source.export_client_state(mac);
+  result.wire = encode_client_state(msg);
+  result.generation = msg.generation;
+  result.outcome = apply_handoff(result.wire);
+  if (result.outcome == FleetImportOutcome::kApplied) {
+    result.migrated = true;
+    source.forget_client(mac);
+  }
+  return result;
+}
+
+FleetImportOutcome FleetCoordinator::apply_handoff(const ByteStream& wire) {
+  const auto msg = decode_client_state(wire);
+  if (!msg) {
+    ++stats_.handoffs_malformed;
+    return FleetImportOutcome::kMalformed;
+  }
+  if (msg->dest_site >= sites_.size()) {
+    ++stats_.handoffs_bad_site;
+    return FleetImportOutcome::kBadSite;
+  }
+  const auto it = home_.find(msg->mac);
+  if (it != home_.end() && msg->generation <= it->second.generation) {
+    ++stats_.handoffs_stale;
+    return FleetImportOutcome::kStale;
+  }
+  sites_[msg->dest_site].session->import_client_state(msg->mac, msg->state);
+  home_[msg->mac] = Home{msg->dest_site, msg->generation};
+  ++stats_.handoffs_applied;
+  record_assoc(msg->dest_site, msg->generation, msg->mac);
+  return FleetImportOutcome::kApplied;
+}
+
+void FleetCoordinator::drain_all() {
+  for (Site& site : sites_) site.session->drain();
+  ++stats_.drains;
+  if (config_.capture != nullptr && !config_.capture->closed()) {
+    config_.capture->record_drain();
+  }
+}
+
+void FleetCoordinator::close() {
+  if (closed_) return;
+  for (Site& site : sites_) site.session->close();
+  closed_ = true;
+}
+
+std::size_t FleetCoordinator::total_decisions() const {
+  std::size_t n = 0;
+  for (const Site& site : sites_) n += site.decisions.size();
+  return n;
+}
+
+std::optional<std::uint32_t> FleetCoordinator::home_site(
+    const MacAddress& mac) const {
+  const auto it = home_.find(mac);
+  if (it == home_.end()) return std::nullopt;
+  return it->second.site;
+}
+
+std::optional<std::uint64_t> FleetCoordinator::generation_of(
+    const MacAddress& mac) const {
+  const auto it = home_.find(mac);
+  if (it == home_.end()) return std::nullopt;
+  return it->second.generation;
+}
+
+void FleetCoordinator::record_assoc(std::uint32_t site,
+                                    std::uint64_t generation,
+                                    const MacAddress& mac) {
+  if (config_.capture == nullptr || config_.capture->closed()) return;
+  AssocRecord assoc;
+  assoc.site = site;
+  assoc.generation = generation;
+  assoc.mac = mac.octets();
+  config_.capture->record_assoc(assoc);
+}
+
+}  // namespace sa

@@ -1,0 +1,167 @@
+#include "sa/fleet/replay.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sa/fleet/coordinator.hpp"
+
+namespace sa {
+
+namespace {
+
+std::optional<std::size_t> parse_size(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size()) return std::nullopt;
+  return static_cast<std::size_t>(v);
+}
+
+FleetReplayResult fail(FleetReplayResult result, std::string error) {
+  result.ok = false;
+  result.error = std::move(error);
+  return result;
+}
+
+FleetReplayResult run(CaptureReader reader_value,
+                      std::size_t threads_per_site) {
+  FleetReplayResult result;
+  CaptureReader* reader = &reader_value;
+  if (!reader->header()) return fail(result, "malformed capture header");
+  const CaptureHeader& header = *reader->header();
+  if (header.version < kSacpVersionFleet) {
+    return fail(result, "not a fleet capture (version " +
+                            std::to_string(header.version) + ")");
+  }
+  const auto spec = fleet_from_header(header);
+  if (!spec) return fail(result, "header does not describe a fleet");
+
+  FleetConfig config;
+  config.spec = *spec;
+  config.threads_per_site = threads_per_site;
+  config.with_sim = false;
+  // The recording driver stamps the idle horizon it actually ran with;
+  // replay must apply the same horizon or tracker expiry timing — and
+  // hence decisions — diverge.
+  if (const auto idle = header.meta("sa.fleet.spoof_idle")) {
+    const auto frames = parse_size(*idle);
+    if (!frames) return fail(result, "bad sa.fleet.spoof_idle");
+    config.spoof_idle_frames = *frames;
+  }
+  FleetCoordinator fleet(config);
+  result.sites = fleet.num_sites();
+
+  // Recorded per-site decision tracks, in each site's sequence order.
+  std::map<std::uint32_t, std::vector<ByteStream>> expected;
+  bool end_seen = false;
+  while (auto rec = reader->next()) {
+    switch (rec->type) {
+      case RecordType::kChunk: {
+        if (!rec->chunk) return fail(result, "undecodable chunk record");
+        if (rec->chunk->ap >= fleet.total_aps()) {
+          return fail(result, "chunk AP out of range");
+        }
+        fleet.submit_global(rec->chunk->ap, std::move(rec->chunk->samples));
+        ++result.chunks_submitted;
+        break;
+      }
+      case RecordType::kDecision:
+        return fail(result, "plain decision record in fleet capture");
+      case RecordType::kSiteDecision: {
+        if (!rec->site_decision) {
+          return fail(result, "undecodable site-decision record");
+        }
+        expected[rec->site_decision->site].push_back(std::move(rec->payload));
+        break;
+      }
+      case RecordType::kAssoc: {
+        if (!rec->assoc) return fail(result, "undecodable assoc record");
+        const auto hr = fleet.notify_association(MacAddress(rec->assoc->mac),
+                                                 rec->assoc->site);
+        if (hr.outcome != FleetImportOutcome::kApplied) {
+          return fail(result, std::string("replayed handoff rejected: ") +
+                                  to_string(hr.outcome));
+        }
+        if (hr.generation != rec->assoc->generation) {
+          return fail(result,
+                      "handoff generation diverged: recorded " +
+                          std::to_string(rec->assoc->generation) + ", got " +
+                          std::to_string(hr.generation));
+        }
+        ++result.assocs_replayed;
+        break;
+      }
+      case RecordType::kDrain:
+        fleet.drain_all();
+        ++result.drains_run;
+        break;
+      case RecordType::kEnd:
+        end_seen = true;
+        break;
+    }
+  }
+  if (!reader->error().empty()) return fail(result, reader->error());
+  if (!end_seen) return fail(result, "capture not cleanly closed (no kEnd)");
+
+  // Quiesce without a flush pass: the recording ended post-drain, so an
+  // extra flush here would add rounds the recording never ran.
+  for (std::size_t s = 0; s < fleet.num_sites(); ++s) {
+    fleet.session(s).wait_idle();
+  }
+
+  for (std::size_t s = 0; s < fleet.num_sites(); ++s) {
+    const auto& actual = fleet.decisions(s);
+    const auto it = expected.find(static_cast<std::uint32_t>(s));
+    const std::size_t want = it == expected.end() ? 0 : it->second.size();
+    if (actual.size() != want) {
+      return fail(result, "site " + std::to_string(s) + ": replay emitted " +
+                              std::to_string(actual.size()) +
+                              " decisions, capture has " +
+                              std::to_string(want));
+    }
+    for (std::size_t i = 0; i < want; ++i) {
+      const ByteStream got = encode_site_decision(
+          static_cast<std::uint32_t>(s), actual[i].sequence,
+          actual[i].absolute_start, actual[i].decision);
+      if (got != it->second[i]) {
+        return fail(result, "site " + std::to_string(s) + " decision " +
+                                std::to_string(i) +
+                                " diverged from the recorded bytes");
+      }
+      ++result.decisions_checked;
+    }
+  }
+  fleet.close();
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+FleetReplayResult replay_fleet_capture(const std::string& path,
+                                       std::size_t threads_per_site) {
+  auto reader = CaptureReader::from_file(path);
+  if (!reader) {
+    FleetReplayResult result;
+    result.error = "cannot read " + path;
+    return result;
+  }
+  return replay_fleet_capture(reader->bytes(), threads_per_site);
+}
+
+FleetReplayResult replay_fleet_capture(ByteStream data,
+                                       std::size_t threads_per_site) {
+  // Total over untrusted input: the fuzz loop feeds mutated captures
+  // through here, so structural surprises must surface as errors.
+  try {
+    return run(CaptureReader(std::move(data)), threads_per_site);
+  } catch (const std::exception& e) {
+    FleetReplayResult result;
+    result.error = e.what();
+    return result;
+  }
+}
+
+}  // namespace sa

@@ -1,0 +1,111 @@
+#include "sa/fleet/wire.hpp"
+
+#include "sa/signature/serialize.hpp"
+
+namespace sa {
+
+namespace {
+
+constexpr std::uint32_t kFlagTracker = 1u << 0;
+constexpr std::uint32_t kFlagAclPresent = 1u << 1;
+constexpr std::uint32_t kFlagAclAllowed = 1u << 2;
+constexpr std::uint32_t kFlagRate = 1u << 3;
+constexpr std::uint32_t kKnownFlags =
+    kFlagTracker | kFlagAclPresent | kFlagAclAllowed | kFlagRate;
+
+/// A tracker block larger than this cannot come from a real snapshot
+/// (SAT1's own band/grid bounds cap it far lower); it stops a mutated
+/// length field from requesting an absurd allocation.
+constexpr std::size_t kMaxTrackerBlock = std::size_t{1} << 26;
+
+}  // namespace
+
+ByteStream encode_client_state(const FleetClientState& msg) {
+  ByteStream payload;
+  for (std::uint8_t octet : msg.mac.octets()) put_u8(payload, octet);
+  put_u64(payload, msg.generation);
+  put_u32(payload, msg.source_site);
+  put_u32(payload, msg.dest_site);
+  std::uint32_t flags = 0;
+  if (msg.state.tracker) flags |= kFlagTracker;
+  if (msg.state.acl_allowed) {
+    flags |= kFlagAclPresent;
+    if (*msg.state.acl_allowed) flags |= kFlagAclAllowed;
+  }
+  if (msg.state.rate_in_window) flags |= kFlagRate;
+  put_u32(payload, flags);
+  if (msg.state.tracker) {
+    const ByteStream block = serialize_tracker_snapshot(*msg.state.tracker);
+    put_u32(payload, static_cast<std::uint32_t>(block.size()));
+    payload.insert(payload.end(), block.begin(), block.end());
+  }
+  if (msg.state.rate_in_window) put_u32(payload, *msg.state.rate_in_window);
+
+  ByteStream out;
+  put_u32(out, kFleetWireMagic);
+  put_u32(out, kFleetWireVersion);
+  put_u32(out, static_cast<std::uint32_t>(FleetWireType::kClientState));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<FleetClientState> decode_client_state(const ByteStream& data) {
+  ByteReader r(data);
+  const auto magic = r.u32();
+  const auto version = r.u32();
+  const auto type = r.u32();
+  const auto payload_len = r.u32();
+  if (!magic || !version || !type || !payload_len) return std::nullopt;
+  if (*magic != kFleetWireMagic) return std::nullopt;
+  if (*version != kFleetWireVersion) return std::nullopt;
+  if (*type != static_cast<std::uint32_t>(FleetWireType::kClientState)) {
+    return std::nullopt;
+  }
+  if (*payload_len != r.remaining()) return std::nullopt;
+
+  FleetClientState msg;
+  std::array<std::uint8_t, 6> octets{};
+  for (auto& octet : octets) {
+    const auto b = r.u8();
+    if (!b) return std::nullopt;
+    octet = *b;
+  }
+  msg.mac = MacAddress(octets);
+  const auto generation = r.u64();
+  const auto source_site = r.u32();
+  const auto dest_site = r.u32();
+  const auto flags = r.u32();
+  if (!generation || !source_site || !dest_site || !flags) return std::nullopt;
+  if ((*flags & ~kKnownFlags) != 0) return std::nullopt;
+  if ((*flags & kFlagAclAllowed) && !(*flags & kFlagAclPresent)) {
+    return std::nullopt;
+  }
+  msg.generation = *generation;
+  msg.source_site = *source_site;
+  msg.dest_site = *dest_site;
+  if (*flags & kFlagTracker) {
+    const auto block_len = r.u32();
+    if (!block_len || *block_len > kMaxTrackerBlock ||
+        *block_len > r.remaining()) {
+      return std::nullopt;
+    }
+    const ByteStream block(r.cursor(), r.cursor() + *block_len);
+    r.skip(*block_len);
+    auto snap = deserialize_tracker_snapshot(block);
+    if (!snap) return std::nullopt;
+    msg.state.tracker = std::move(*snap);
+  }
+  if (*flags & kFlagAclPresent) {
+    msg.state.acl_allowed = (*flags & kFlagAclAllowed) != 0;
+  }
+  if (*flags & kFlagRate) {
+    const auto rate = r.u32();
+    if (!rate) return std::nullopt;
+    msg.state.rate_in_window = *rate;
+  }
+  if (!r.done()) return std::nullopt;
+  return msg;
+}
+
+}  // namespace sa

@@ -154,11 +154,7 @@ RateLimitPolicy::RateLimitPolicy(RateLimitConfig config)
   SA_EXPECTS(config_.window_frames >= 1);
 }
 
-PolicyVerdict RateLimitPolicy::evaluate(FrameContext& ctx) {
-  if (!ctx.source()) return PolicyVerdict::deny(kDetailNoSource);
-  const MacAddress& mac = *ctx.source();
-  const std::size_t now = ctx.frame_index();
-
+void RateLimitPolicy::retire_until(std::uint64_t now) {
   // Retire admits that have left the window: the decrement for an admit
   // at frame a is due at a + window_frames, i.e. exactly when the old
   // implementation's prune dropped a (a < now - window_frames + 1).
@@ -167,10 +163,31 @@ PolicyVerdict RateLimitPolicy::evaluate(FrameContext& ctx) {
     if (st == nullptr || st->generation != d.generation) return;
     if (--st->in_window == 0) history_.erase(d.mac);
   });
+}
+
+void RateLimitPolicy::advance_to(std::size_t frame) { retire_until(frame); }
+
+PolicyVerdict RateLimitPolicy::evaluate(FrameContext& ctx) {
+  if (!ctx.source()) return PolicyVerdict::deny(kDetailNoSource);
+  const MacAddress& mac = *ctx.source();
+  const std::size_t now = ctx.frame_index();
+
+  retire_until(now);
 
   const auto r = history_.get_or_emplace(mac);
   if (r.evicted) ++evictions_;
   if (r.inserted) r.value->generation = ++next_generation_;
+  if (r.value->restart_pending) {
+    // Rate-window restart rule: residue imported by a handoff re-enters
+    // the window at the client's first local frame. Schedule its
+    // decrements one full window out now — before the deny check, or a
+    // max_frames residue would deny forever.
+    r.value->restart_pending = false;
+    for (std::uint32_t i = 0; i < r.value->in_window; ++i) {
+      wheel_.schedule(now + config_.window_frames,
+                      Decrement{mac, r.value->generation});
+    }
+  }
   if (r.value->in_window >= config_.max_frames) {
     // Denied frames never consume window budget (and never did).
     return PolicyVerdict::deny(kDetailLimited);
@@ -180,6 +197,32 @@ PolicyVerdict RateLimitPolicy::evaluate(FrameContext& ctx) {
                   Decrement{mac, r.value->generation});
   return PolicyVerdict::accept();
 }
+
+std::optional<std::uint32_t> RateLimitPolicy::export_residue(
+    const MacAddress& mac) const {
+  const RateState* st = history_.find(mac);
+  if (st == nullptr) return std::nullopt;
+  return st->in_window;
+}
+
+void RateLimitPolicy::import_residue(const MacAddress& mac,
+                                     std::uint32_t in_window) {
+  if (in_window == 0) {
+    forget(mac);
+    return;
+  }
+  const auto r = history_.get_or_emplace(mac);
+  if (r.evicted) ++evictions_;
+  // Always a fresh generation — whether inserted or overwriting — so any
+  // decrement still scheduled for a prior incarnation cannot debit the
+  // imported count.
+  r.value->generation = ++next_generation_;
+  r.value->in_window = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(in_window, config_.max_frames));
+  r.value->restart_pending = true;
+}
+
+void RateLimitPolicy::forget(const MacAddress& mac) { history_.erase(mac); }
 
 // ------------------------------------------------------- chain building
 

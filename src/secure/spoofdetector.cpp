@@ -87,6 +87,36 @@ const SignatureTracker* SpoofDetector::tracker(const MacAddress& source) const {
   return e == nullptr ? nullptr : &e->tracker;
 }
 
+std::optional<TrackerSnapshot> SpoofDetector::export_tracker(
+    const MacAddress& source) const {
+  if (!filter_.maybe_contains(source)) return std::nullopt;
+  const Entry* e = trackers_.find(source);
+  if (e == nullptr) return std::nullopt;
+  return e->tracker.snapshot();
+}
+
+void SpoofDetector::import_tracker(const MacAddress& source,
+                                   const TrackerSnapshot& snap) {
+  // Mirror observe()'s insertion path with now = packets_ (no tick):
+  // the entry becomes the most-recently-seen client, with a full idle
+  // window ahead of it, without advancing any other client's clock.
+  const std::uint64_t now = packets_;
+  auto r = trackers_.get_or_emplace(source, tracker_config_);
+  if (r.inserted) {
+    if (r.evicted) {
+      ++evictions_;
+      filter_.note_erase();
+    }
+    filter_.insert(source);
+    maybe_rebuild_filter();
+    if (idle_expiry_frames_ > 0) {
+      wheel_.schedule(now + idle_expiry_frames_, source);
+    }
+  }
+  r.value->last_seen = now;
+  r.value->tracker.restore(snap);
+}
+
 void SpoofDetector::forget(const MacAddress& source) {
   if (!trackers_.erase(source)) return;
   filter_.note_erase();

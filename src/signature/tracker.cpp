@@ -96,6 +96,43 @@ std::optional<AoaSignature> SignatureTracker::reference() const {
   return bands->fuse(config_.signature_config);
 }
 
+TrackerSnapshot SignatureTracker::snapshot() const {
+  TrackerSnapshot s;
+  s.trained = trained_;
+  s.training_seen = training_seen_;
+  s.observations = observations_;
+  s.mismatches = mismatches_;
+  s.bands.reserve(refs_.size());
+  for (const auto& ref : refs_) {
+    TrackerSnapshot::Band b;
+    b.angles_deg = ref.angles;
+    b.values = ref.values;
+    b.wraps = ref.wraps;
+    s.bands.push_back(std::move(b));
+  }
+  return s;
+}
+
+void SignatureTracker::restore(const TrackerSnapshot& snap) {
+  SA_EXPECTS(!snap.trained || !snap.bands.empty());
+  refs_.clear();
+  refs_.reserve(snap.bands.size());
+  for (const auto& b : snap.bands) {
+    SA_EXPECTS(b.angles_deg.size() == b.values.size());
+    SA_EXPECTS(b.angles_deg.size() >= 2);
+    BandReference ref;
+    ref.values = b.values;
+    ref.angles = b.angles_deg;
+    ref.wraps = b.wraps;
+    refs_.push_back(std::move(ref));
+  }
+  trained_ = snap.trained;
+  training_seen_ = static_cast<std::size_t>(snap.training_seen);
+  observations_ = static_cast<std::size_t>(snap.observations);
+  mismatches_ = static_cast<std::size_t>(snap.mismatches);
+  ref_cache_.reset();
+}
+
 void SignatureTracker::reset() {
   trained_ = false;
   training_seen_ = 0;

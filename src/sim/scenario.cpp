@@ -48,6 +48,7 @@ const char* to_string(ScenarioKind kind) {
     case ScenarioKind::kAdaptiveSpoof: return "adaptive-spoof";
     case ScenarioKind::kFlood: return "flood";
     case ScenarioKind::kChurn: return "churn";
+    case ScenarioKind::kRoaming: return "roaming";
   }
   return "office";
 }
@@ -65,11 +66,18 @@ std::optional<ScenarioKind> scenario_from_string(std::string_view name) {
   }
   if (name == "flood") return ScenarioKind::kFlood;
   if (name == "churn") return ScenarioKind::kChurn;
+  if (name == "roaming") return ScenarioKind::kRoaming;
   return std::nullopt;
 }
 
 const char* scenario_names() {
-  return "office, mmpp, flash-crowd, mobile, adaptive-spoof, flood, churn";
+  return "office, mmpp, flash-crowd, mobile, adaptive-spoof, flood, churn, "
+         "roaming";
+}
+
+std::uint64_t roaming_idle_horizon_frames(const ScenarioConfig& config) {
+  const double frames = 8.0 * config.roaming_dwell_s * config.arrival_rate;
+  return static_cast<std::uint64_t>(std::ceil(std::max(frames, 1.0)));
 }
 
 ScenarioGenerator::ScenarioGenerator(const OfficeTestbed& testbed,
@@ -117,6 +125,30 @@ ScenarioGenerator::ScenarioGenerator(const OfficeTestbed& testbed,
       churn_mac_[r] = 1000 + churn_next_mac_++;
     }
     churn_rotate_next_ = exp_interval(rng_, config_.churn_rotate_per_s);
+  }
+  if (config_.kind == ScenarioKind::kRoaming) {
+    SA_EXPECTS(config_.roaming_sites >= 2);
+    SA_EXPECTS(config_.roaming_walkers >= 1);
+    SA_EXPECTS(config_.roaming_dwell_s > 0.0);
+    SA_EXPECTS(config_.roaming_zipf_exponent >= 0.0);
+    // Zipf site affinity: weight 1/(site+1)^s, so site 0 is the hot
+    // spot everyone returns to; s = 0 degenerates to uniform.
+    roam_cdf_.resize(config_.roaming_sites);
+    double acc = 0.0;
+    for (std::size_t s = 0; s < config_.roaming_sites; ++s) {
+      acc += 1.0 / std::pow(static_cast<double>(s + 1),
+                            config_.roaming_zipf_exponent);
+      roam_cdf_[s] = acc;
+    }
+    for (double& c : roam_cdf_) c /= acc;
+    // Walkers start spread round-robin across the fleet with staggered
+    // first dwells, so moves don't synchronize.
+    roam_site_.resize(config_.roaming_walkers);
+    roam_until_.resize(config_.roaming_walkers);
+    for (std::size_t w = 0; w < config_.roaming_walkers; ++w) {
+      roam_site_[w] = static_cast<std::uint32_t>(w % config_.roaming_sites);
+      roam_until_[w] = exp_interval(rng_, 1.0 / config_.roaming_dwell_s);
+    }
   }
   spoof_pos_ = testbed_.client(config_.spoof_source_id).position;
   victim_pos_ = testbed_.client(config_.spoof_victim_id).position;
@@ -216,6 +248,11 @@ std::optional<TrafficEvent> ScenarioGenerator::next() {
     }
     case ScenarioKind::kChurn: {
       TrafficEvent ev = make_churn_event(t);
+      ev.dt_s = t - prev;
+      return ev;
+    }
+    case ScenarioKind::kRoaming: {
+      TrafficEvent ev = make_roaming_event(t);
       ev.dt_s = t - prev;
       return ev;
     }
@@ -358,6 +395,38 @@ TrafficEvent ScenarioGenerator::make_churn_event(double t) {
   return ev;
 }
 
+TrafficEvent ScenarioGenerator::make_roaming_event(double t) {
+  // Pick the transmitting walker uniformly, then catch its movement
+  // process up to t: every elapsed dwell re-draws the site from the
+  // Zipf affinity distribution. Only the site occupied at transmission
+  // time matters downstream — intermediate silent hops collapse into
+  // one site_changed edge, which is how a real fleet would see it (a
+  // client that roamed while idle reappears somewhere else).
+  const std::size_t w = std::min(
+      roam_site_.size() - 1,
+      static_cast<std::size_t>(
+          rng_.uniform(0.0, static_cast<double>(roam_site_.size()))));
+  const std::uint32_t before = roam_site_[w];
+  while (roam_until_[w] <= t) {
+    const double u = rng_.uniform(0.0, 1.0);
+    const std::size_t pick = static_cast<std::size_t>(
+        std::upper_bound(roam_cdf_.begin(), roam_cdf_.end(), u) -
+        roam_cdf_.begin());
+    roam_site_[w] =
+        static_cast<std::uint32_t>(std::min(pick, roam_cdf_.size() - 1));
+    roam_until_[w] += exp_interval(rng_, 1.0 / config_.roaming_dwell_s);
+  }
+  const auto& c = testbed_.client(static_cast<int>(w) + 1);
+  TrafficEvent ev;
+  ev.kind = TrafficEvent::Kind::kLegit;
+  ev.time_s = t;
+  ev.from = c.position;
+  ev.mac = MacAddress::from_index(c.id);
+  ev.site = roam_site_[w];
+  ev.site_changed = roam_site_[w] != before;
+  return ev;
+}
+
 std::string ScenarioGenerator::describe() const {
   std::string out = "scenario=";
   out += to_string(config_.kind);
@@ -393,6 +462,12 @@ std::string ScenarioGenerator::describe() const {
       out += " churn-population=" + std::to_string(config_.churn_population);
       out += " churn-zipf=" + fmt(config_.churn_zipf_exponent);
       out += " churn-rotate=" + fmt(config_.churn_rotate_per_s);
+      break;
+    case ScenarioKind::kRoaming:
+      out += " roaming-sites=" + std::to_string(config_.roaming_sites);
+      out += " roaming-walkers=" + std::to_string(config_.roaming_walkers);
+      out += " roaming-dwell=" + fmt(config_.roaming_dwell_s);
+      out += " roaming-zipf=" + fmt(config_.roaming_zipf_exponent);
       break;
     case ScenarioKind::kOffice:
       break;

@@ -16,14 +16,23 @@
 //   capture_tool mutate   IN OUT SEED [OPS]
 //   capture_tool mutate-nan IN OUT         # poison the first IQ sample
 //   capture_tool replay   FILE [--threads N] [--out PATH] [--expect-reject]
+//   capture_tool replay   FILE --fleet [--threads N]   # version-2 fleet
+//                         captures: rebuild the whole fleet from the
+//                         header, re-drive chunks, handoffs and drains in
+//                         file order, byte-compare every site's decision
+//                         track
 //   capture_tool fuzz     FILE [--seed S] [--count N] [--ops K]
 //                              [--no-replay] [--policies CSV]
-//                              [--max-tracked N]
+//                              [--max-tracked N] [--fleet]
+//   capture_tool fuzz-wire [--seed S] [--count N] [--ops K]
+//                         # mutate an encoded FleetWire client-state
+//                         message; decode must reject cleanly, never UB
 // Exit status: 0 = success / equal / all replays clean; 1 = mismatch or
 // invalid input; 2 = usage.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +42,8 @@
 #include "sa/capture/writer.hpp"
 #include "sa/common/error.hpp"
 #include "sa/engine/session.hpp"
+#include "sa/fleet/replay.hpp"
+#include "sa/fleet/wire.hpp"
 #include "sa/secure/policy.hpp"
 #include "sa/sim/deployment.hpp"
 
@@ -49,11 +60,12 @@ namespace {
                "       capture_tool mutate   IN OUT SEED [OPS]\n"
                "       capture_tool mutate-nan IN OUT\n"
                "       capture_tool replay   FILE [--threads N] [--out PATH]\n"
-               "                                  [--expect-reject]\n"
+               "                                  [--expect-reject] [--fleet]\n"
                "       capture_tool fuzz     FILE [--seed S] [--count N]\n"
                "                                  [--ops K] [--no-replay]\n"
                "                                  [--policies CSV]\n"
-               "                                  [--max-tracked N]\n");
+               "                                  [--max-tracked N] [--fleet]\n"
+               "       capture_tool fuzz-wire [--seed S] [--count N] [--ops K]\n");
   std::exit(2);
 }
 
@@ -99,7 +111,8 @@ int cmd_inspect(const std::string& path) {
 
   std::vector<std::uint64_t> chunks_per_ap(h.num_aps, 0);
   std::vector<std::uint64_t> samples_per_ap(h.num_aps, 0);
-  std::uint64_t decisions = 0, accepted = 0, drains = 0;
+  std::uint64_t decisions = 0, accepted = 0, drains = 0, assocs = 0;
+  std::map<std::uint32_t, std::uint64_t> decisions_per_site;
   std::optional<EndRecord> end;
   for (;;) {
     auto rec = reader.next();
@@ -115,6 +128,12 @@ int cmd_inspect(const std::string& path) {
         ++decisions;
         if (rec->decision->accepted) ++accepted;
         break;
+      case RecordType::kSiteDecision:
+        ++decisions;
+        ++decisions_per_site[rec->site_decision->site];
+        if (rec->site_decision->decision.accepted) ++accepted;
+        break;
+      case RecordType::kAssoc: ++assocs; break;
       case RecordType::kDrain: ++drains; break;
       case RecordType::kEnd: end = rec->end; break;
     }
@@ -128,6 +147,13 @@ int cmd_inspect(const std::string& path) {
               static_cast<unsigned long long>(decisions),
               static_cast<unsigned long long>(accepted),
               static_cast<unsigned long long>(decisions - accepted));
+  for (const auto& [site, n] : decisions_per_site) {
+    std::printf("  site %u: %llu decision(s)\n", site,
+                static_cast<unsigned long long>(n));
+  }
+  if (assocs > 0) {
+    std::printf("  assocs: %llu\n", static_cast<unsigned long long>(assocs));
+  }
   std::printf("  drains: %llu\n", static_cast<unsigned long long>(drains));
   if (!reader.error().empty()) {
     std::printf("  PARSE ERROR: %s\n", reader.error().c_str());
@@ -342,6 +368,108 @@ int cmd_replay(const std::string& path, std::size_t threads,
   return outcome.identical ? 0 : 1;
 }
 
+int cmd_replay_fleet(const std::string& path, std::size_t threads) {
+  const FleetReplayResult result = replay_fleet_capture(path, threads);
+  if (!result.ok) {
+    std::printf("%s: fleet replay failed: %s\n", path.c_str(),
+                result.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "%s: %zu site(s), %llu chunk(s), %llu handoff(s), %llu drain(s), "
+      "%llu decision(s) byte-identical\n",
+      path.c_str(), result.sites,
+      static_cast<unsigned long long>(result.chunks_submitted),
+      static_cast<unsigned long long>(result.assocs_replayed),
+      static_cast<unsigned long long>(result.drains_run),
+      static_cast<unsigned long long>(result.decisions_checked));
+  return 0;
+}
+
+/// Fleet-capture fuzz: every mutant goes through the parser and the
+/// full fleet replay path, which must come back with ok/error — the
+/// loop only fails by crashing (run it under ASan/UBSan for the real
+/// guarantee).
+int cmd_fuzz_fleet(const std::string& path, std::uint64_t seed,
+                   std::size_t count, std::size_t ops, bool with_replay) {
+  const ByteStream original = read_file_or_die(path);
+  std::size_t parsed_ok = 0, rejected = 0, replays = 0, replay_errors = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ByteStream mutant = mutate_capture(original, seed + i, ops);
+    CaptureReader reader{ByteStream(mutant)};
+    if (reader.validate().ok) {
+      ++parsed_ok;
+    } else {
+      ++rejected;
+    }
+    if (!with_replay) continue;
+    const FleetReplayResult result =
+        replay_fleet_capture(ByteStream(mutant), /*threads_per_site=*/1);
+    if (result.ok) {
+      ++replays;
+    } else {
+      ++replay_errors;
+    }
+  }
+  std::printf(
+      "%s: %zu fleet mutant(s), seed %llu, %zu op(s) each: %zu still valid, "
+      "%zu rejected by the parser",
+      path.c_str(), count, static_cast<unsigned long long>(seed), ops,
+      parsed_ok, rejected);
+  if (with_replay) {
+    std::printf(", %zu replayed, %zu rejected in replay", replays,
+                replay_errors);
+  }
+  std::printf(" — no crashes\n");
+  return 0;
+}
+
+/// FleetWire decode fuzz: mutate a well-formed kClientState message
+/// (MAC + generation + tracker snapshot + ACL verdict + rate residue —
+/// every optional block present) and require decode_client_state to
+/// return nullopt or a valid message, never UB.
+int cmd_fuzz_wire(std::uint64_t seed, std::size_t count, std::size_t ops) {
+  FleetClientState msg;
+  msg.mac = MacAddress::from_index(42);
+  msg.generation = 7;
+  msg.source_site = 1;
+  msg.dest_site = 2;
+  TrackerSnapshot snap;
+  snap.trained = true;
+  snap.training_seen = 12;
+  snap.observations = 40;
+  snap.mismatches = 3;
+  TrackerSnapshot::Band band;
+  for (int i = 0; i < 64; ++i) {
+    band.angles_deg.push_back(-180.0 + 360.0 * i / 64.0);
+    band.values.push_back(0.25 + 0.01 * i);
+  }
+  band.wraps = true;
+  snap.bands.push_back(band);
+  msg.state.tracker = std::move(snap);
+  msg.state.acl_allowed = true;
+  msg.state.rate_in_window = 5;
+  const ByteStream original = encode_client_state(msg);
+  if (!decode_client_state(original)) {
+    std::printf("fuzz-wire: round-trip of the seed message failed\n");
+    return 1;
+  }
+  std::size_t decoded = 0, rejected = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const ByteStream mutant = mutate_capture(original, seed + i, ops);
+    if (decode_client_state(mutant)) {
+      ++decoded;
+    } else {
+      ++rejected;
+    }
+  }
+  std::printf(
+      "fleet-wire: %zu mutant(s), seed %llu, %zu op(s) each: %zu still "
+      "decodable, %zu rejected — no crashes\n",
+      count, static_cast<unsigned long long>(seed), ops, decoded, rejected);
+  return 0;
+}
+
 int cmd_fuzz(const std::string& path, std::uint64_t seed, std::size_t count,
              std::size_t ops, bool with_replay, const std::string& policies_csv,
              std::size_t max_tracked) {
@@ -454,6 +582,7 @@ int main(int argc, char** argv) {
     std::string out;
     std::size_t threads = 1;
     bool expect_reject = false;
+    bool fleet = false;
     for (std::size_t i = 0; i < args.size(); ++i) {
       if (args[i] == "--threads" && i + 1 < args.size()) {
         threads = std::strtoull(args[++i].c_str(), nullptr, 10);
@@ -461,6 +590,8 @@ int main(int argc, char** argv) {
         out = args[++i];
       } else if (args[i] == "--expect-reject") {
         expect_reject = true;
+      } else if (args[i] == "--fleet") {
+        fleet = true;
       } else if (path.empty() && !args[i].empty() && args[i][0] != '-') {
         path = args[i];
       } else {
@@ -468,6 +599,10 @@ int main(int argc, char** argv) {
       }
     }
     if (path.empty()) usage();
+    if (fleet) {
+      if (!out.empty() || expect_reject) usage();
+      return cmd_replay_fleet(path, threads);
+    }
     return cmd_replay(path, threads, out, expect_reject);
   }
   if (cmd == "fuzz" && !args.empty()) {
@@ -476,6 +611,7 @@ int main(int argc, char** argv) {
     std::size_t count = 32;
     std::size_t ops = 8;
     bool with_replay = true;
+    bool fleet = false;
     std::string policies;
     std::size_t max_tracked = 0;
     for (std::size_t i = 0; i < args.size(); ++i) {
@@ -487,6 +623,8 @@ int main(int argc, char** argv) {
         ops = std::strtoull(args[++i].c_str(), nullptr, 10);
       } else if (args[i] == "--no-replay") {
         with_replay = false;
+      } else if (args[i] == "--fleet") {
+        fleet = true;
       } else if (args[i] == "--policies" && i + 1 < args.size()) {
         policies = args[++i];
       } else if (args[i] == "--max-tracked" && i + 1 < args.size()) {
@@ -498,7 +636,28 @@ int main(int argc, char** argv) {
       }
     }
     if (path.empty()) usage();
+    if (fleet) {
+      if (!policies.empty() || max_tracked != 0) usage();
+      return cmd_fuzz_fleet(path, seed, count, ops, with_replay);
+    }
     return cmd_fuzz(path, seed, count, ops, with_replay, policies, max_tracked);
+  }
+  if (cmd == "fuzz-wire") {
+    std::uint64_t seed = 1;
+    std::size_t count = 256;
+    std::size_t ops = 8;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "--seed" && i + 1 < args.size()) {
+        seed = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (args[i] == "--count" && i + 1 < args.size()) {
+        count = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (args[i] == "--ops" && i + 1 < args.size()) {
+        ops = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else {
+        usage();
+      }
+    }
+    return cmd_fuzz_wire(seed, count, ops);
   }
   usage();
 }

@@ -13,7 +13,8 @@
 //
 // Usage: bench_fleet [--smoke] [--json <path>] [--min-aggregate-fps <fps>]
 //                    [--sites N] [--aps N] [--threads N] [--rounds N]
-//                    [--handoffs N]
+//                    [--handoffs N] [--fault-plan SPEC]
+//                    [--max-handoff-p99-us <us>]
 //   --smoke      small fleet (8 sites x 4 APs, 2 rounds) so CI can run
 //                every code path on each PR.
 //   --json PATH  machine-readable results (BENCH_<pr>.json is captured
@@ -24,6 +25,14 @@
 //   --sites N / --aps N / --threads N  fleet shape: N sites of N APs,
 //                N dataplane threads per site. Default 8 x 32 = 256 APs.
 //   --rounds N / --handoffs N  workload size per site / timed handoffs.
+//   --fault-plan SPEC  run the handoff phase over a lossy transport
+//                (sa/fleet/transport.hpp FaultPlan string). Cold starts
+//                are counted, not failures — the point is the latency
+//                of handoffs that retry.
+//   --max-handoff-p99-us X  latency tripwire: exit non-zero when the
+//                handoff p99 exceeds X microseconds. CI pairs it with a
+//                5% loss plan so an accidental busy-wait or unbounded
+//                retry loop in the transport stack fails the job.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -56,6 +65,8 @@ struct Results {
   double aggregate_fps = 0.0;
   std::size_t handoffs = 0;
   double handoff_p50_us = 0.0, handoff_p99_us = 0.0, handoff_max_us = 0.0;
+  std::string fault_plan;  ///< empty = perfect channel
+  std::uint64_t retries = 0, cold_starts = 0;
 };
 
 void write_json(const Results& r, const char* path) {
@@ -74,12 +85,22 @@ void write_json(const Results& r, const char* path) {
       "\"fps\": %.2f},\n"
       "  \"handoff_latency_us\": {\"count\": %zu, \"p50\": %.1f, "
       "\"p99\": %.1f, \"max\": %.1f},\n"
-      "  \"tripwire\": {\"min_aggregate_fps\": %.2f}\n"
+      "  \"transport\": {\"fault_plan\": \"%s\", \"retries\": %llu, "
+      "\"cold_starts\": %llu},\n"
+      "  \"tripwire\": {\"min_aggregate_fps\": %.2f, "
+      "\"max_handoff_p99_us\": %.1f}\n"
       "}\n",
       r.smoke ? "true" : "false", r.sites, r.aps_per_site,
       r.sites * r.aps_per_site, r.threads, r.rounds, r.frames, r.seconds,
       r.aggregate_fps, r.handoffs, r.handoff_p50_us, r.handoff_p99_us,
-      r.handoff_max_us, r.aggregate_fps * 0.3);
+      r.handoff_max_us, r.fault_plan.c_str(),
+      static_cast<unsigned long long>(r.retries),
+      static_cast<unsigned long long>(r.cold_starts),
+      r.aggregate_fps * 0.3,
+      // The retry pump runs on a virtual clock (no sleeps), so even a
+      // lossy handoff stays microseconds-scale; 40x absorbs runner
+      // noise while still catching an accidental real-time wait.
+      r.handoff_p99_us * 40.0);
   std::fclose(f);
   std::printf("json: %s\n", path);
 }
@@ -95,6 +116,7 @@ int main(int argc, char** argv) {
   std::size_t handoff_count = 64;
   const char* json_path = nullptr;
   double min_aggregate_fps = 0.0;
+  double max_handoff_p99_us = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       r.smoke = true;
@@ -116,6 +138,11 @@ int main(int argc, char** argv) {
       r.rounds = std::strtoul(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--handoffs") == 0 && i + 1 < argc) {
       handoff_count = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0 && i + 1 < argc) {
+      r.fault_plan = argv[++i];
+    } else if (std::strcmp(argv[i], "--max-handoff-p99-us") == 0 &&
+               i + 1 < argc) {
+      max_handoff_p99_us = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown arg: %s\n", argv[i]);
       return 2;
@@ -152,9 +179,20 @@ int main(int argc, char** argv) {
   FleetConfig config;
   config.spec = spec;
   config.threads_per_site = r.threads;
+  if (!r.fault_plan.empty()) {
+    const auto plan = FaultPlan::parse(r.fault_plan);
+    if (!plan) {
+      std::fprintf(stderr, "bad --fault-plan: %s\n", r.fault_plan.c_str());
+      return 2;
+    }
+    config.fault_plan = *plan;
+  }
   FleetCoordinator fleet(config);
   std::printf("spoof idle horizon: %zu frames (fleet default)\n",
               fleet.resolved_spoof_idle_frames());
+  if (config.fault_plan.active()) {
+    std::printf("fault plan: %s\n", config.fault_plan.to_string().c_str());
+  }
 
   // Home every walker at site 0 so the handoff phase moves real state.
   for (std::size_t wkr = 0; wkr < walkers; ++wkr) {
@@ -190,6 +228,8 @@ int main(int argc, char** argv) {
     const auto h0 = std::chrono::steady_clock::now();
     const auto hr = fleet.notify_association(mac, dest);
     const auto h1 = std::chrono::steady_clock::now();
+    // A cold start is a measured outcome, not a failure: under a lossy
+    // plan the timed path includes the full (bounded) retry schedule.
     if (hr.outcome != FleetImportOutcome::kApplied || !hr.migrated) {
       std::fprintf(stderr, "handoff %zu failed: %s\n", h,
                    to_string(hr.outcome));
@@ -203,10 +243,19 @@ int main(int argc, char** argv) {
   r.handoff_p50_us = percentile_us(latencies_us, 0.50);
   r.handoff_p99_us = percentile_us(latencies_us, 0.99);
   r.handoff_max_us = latencies_us.empty() ? 0.0 : latencies_us.back();
+  const FleetStats stats = fleet.stats();
+  r.retries = stats.retries;
+  r.cold_starts = stats.cold_starts;
   std::printf("handoff: %zu migration(s), latency p50 %.1f us, "
-              "p99 %.1f us, max %.1f us\n",
+              "p99 %.1f us, max %.1f us",
               r.handoffs, r.handoff_p50_us, r.handoff_p99_us,
               r.handoff_max_us);
+  if (config.fault_plan.active()) {
+    std::printf(" (%llu retries, %llu cold starts)",
+                static_cast<unsigned long long>(r.retries),
+                static_cast<unsigned long long>(r.cold_starts));
+  }
+  std::printf("\n");
   fleet.close();
 
   if (json_path != nullptr) write_json(r, json_path);
@@ -214,6 +263,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "TRIPWIRE: aggregate %.1f frames/s below floor %.1f\n",
                  r.aggregate_fps, min_aggregate_fps);
+    return 1;
+  }
+  if (max_handoff_p99_us > 0.0 && r.handoff_p99_us > max_handoff_p99_us) {
+    std::fprintf(stderr,
+                 "TRIPWIRE: handoff p99 %.1f us above cap %.1f us\n",
+                 r.handoff_p99_us, max_handoff_p99_us);
     return 1;
   }
   return 0;

@@ -40,6 +40,11 @@
 //                       --threads becomes threads per site and --capture
 //                       records one version-2 fleet capture
 //   --fleet-stride N    per-site seed stride (0 = identical sites)
+//   --fault-plan SPEC   fleet mode: inject transport faults into the
+//                       handoff channel (FaultPlan string, e.g.
+//                       "seed=3,drop=0.25,corrupt=0.05"); the capture
+//                       becomes version 3 and records the plan plus
+//                       per-migration transport verdicts
 // e.g.:  ./build/examples/scenario_runner --scenario flood --threads 4
 //        ./build/examples/scenario_runner --scenario mmpp --capture run.sacp
 //        ./build/examples/scenario_runner --fleet-sites 4 --capture roam.sacp
@@ -77,6 +82,7 @@ namespace {
                "          [--duration S] [--arrival-rate R]\n"
                "          [--report-interval S] [--capture PATH]\n"
                "          [--fleet-sites N] [--fleet-stride N]\n"
+               "          [--fault-plan SPEC]\n"
                "          [seed [packets [num-aps]]]\n",
                argv0, scenario_names());
   std::exit(status);
@@ -120,6 +126,7 @@ int main(int argc, char** argv) {
   std::string capture_path;
   std::size_t fleet_sites = 0;     // >= 2 selects fleet mode
   std::uint64_t fleet_stride = 1;  // per-site seed stride
+  std::string fault_plan_text;     // fleet handoff-channel fault plan
 
   int positional = 0;
   for (int i = 1; i < argc; ++i) {
@@ -188,6 +195,8 @@ int main(int argc, char** argv) {
       fleet_sites = std::strtoul(value(), nullptr, 10);
     } else if (arg == "--fleet-stride") {
       fleet_stride = std::strtoull(value(), nullptr, 10);
+    } else if (arg == "--fault-plan") {
+      fault_plan_text = value();
     } else if (arg == "--policies") {
       spec.policies = parse_policies(value(), argv[0]);
     } else if (arg == "--help" || arg == "-h") {
@@ -242,11 +251,22 @@ int main(int argc, char** argv) {
     }
     if (duration_s <= 0.0) duration_s = 2.0;
 
+    std::optional<FaultPlan> fault_plan;
+    if (!fault_plan_text.empty()) {
+      fault_plan = FaultPlan::parse(fault_plan_text);
+      if (!fault_plan) {
+        std::fprintf(stderr, "bad --fault-plan \"%s\"\n",
+                     fault_plan_text.c_str());
+        usage(argv[0]);
+      }
+    }
+
     ScenarioConfig sc;
     sc.kind = ScenarioKind::kRoaming;
     sc.arrival_rate = arrival_rate;
     sc.duration_s = duration_s;
     sc.roaming_sites = fleet_sites;
+    if (fault_plan) sc.roaming_fault_plan = fault_plan->to_string();
 
     FleetSpec fspec;
     fspec.site = spec;
@@ -270,6 +290,14 @@ int main(int argc, char** argv) {
       // the same expiry timing.
       header.metadata.emplace_back("sa.fleet.spoof_idle",
                                    std::to_string(idle));
+      if (fault_plan && fault_plan->active()) {
+        // A lossy run is a version-3 capture: the plan rides in the
+        // header (replay rebuilds the same channel) and every migration
+        // records its transport verdict.
+        header.version = kSacpVersionChaos;
+        header.metadata.emplace_back("sa.fleet.fault_plan",
+                                     fault_plan->to_string());
+      }
       writer.emplace(capture_path, std::move(header));
     }
 
@@ -279,6 +307,7 @@ int main(int argc, char** argv) {
     fc.with_sim = true;
     fc.capture = writer ? &*writer : nullptr;
     fc.spoof_idle_frames = static_cast<std::size_t>(idle);
+    if (fault_plan) fc.fault_plan = *fault_plan;
     FleetCoordinator fleet(fc);
 
     std::printf("fleet: %zu site(s) x %zu AP(s), %zu thread(s)/site, "
@@ -332,6 +361,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(fs.associations),
                 static_cast<unsigned long long>(fs.handoffs_applied),
                 static_cast<unsigned long long>(fs.handoffs_stale));
+    if (fault_plan && fault_plan->active()) {
+      const TransportStats ts = fleet.transport_stats();
+      std::printf("transport: %llu datagrams (%llu dropped, %llu dup, "
+                  "%llu reordered, %llu delayed, %llu corrupted); "
+                  "%llu retries, %llu timeouts -> %llu cold starts, "
+                  "%llu duplicates suppressed\n",
+                  static_cast<unsigned long long>(ts.sent),
+                  static_cast<unsigned long long>(ts.dropped),
+                  static_cast<unsigned long long>(ts.duplicated),
+                  static_cast<unsigned long long>(ts.reordered),
+                  static_cast<unsigned long long>(ts.delayed),
+                  static_cast<unsigned long long>(ts.corrupted),
+                  static_cast<unsigned long long>(fs.retries),
+                  static_cast<unsigned long long>(fs.timeouts),
+                  static_cast<unsigned long long>(fs.cold_starts),
+                  static_cast<unsigned long long>(fs.duplicates_suppressed));
+    }
     if (writer) {
       // Recording protocol: the capture ends quiescent (drain_all above),
       // so close the writer before the sessions.

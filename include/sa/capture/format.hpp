@@ -38,7 +38,15 @@
 //   kAssoc    a client (re)association driving a handoff: (site, handoff
 //             generation, MAC). Replay re-issues the handoff here.
 //
-// Version-1 consumers reject version-2 files at the header, never
+// Version 3 (lossy fleet captures) adds:
+//
+//   kTransport  the transport verdict of one migration under a fault
+//             plan: (MAC, generation, delivered-vs-cold-start, data
+//             attempts). The plan itself rides in the header metadata
+//             (`sa.fleet.fault_plan`); replay rebuilds the same faulty
+//             channel and re-checks every verdict.
+//
+// Version-1 consumers reject version-2+ files at the header, never
 // mid-stream.
 //
 // The metadata map is free-form; sa/sim/deployment.hpp defines the keys
@@ -104,6 +112,11 @@ class ByteReader {
 inline constexpr std::uint32_t kSacpVersion = 1;
 /// Fleet captures (site-tagged decisions, association records).
 inline constexpr std::uint32_t kSacpVersionFleet = 2;
+/// Lossy fleet captures: version 2 plus per-migration transport
+/// verdicts (kTransport) and a `sa.fleet.fault_plan` metadata key, so
+/// replay can rebuild the exact same faulty channel. A zero-fault fleet
+/// run still writes version 2, byte-identical to pre-transport files.
+inline constexpr std::uint32_t kSacpVersionChaos = 3;
 /// "SACP" as a little-endian u32 (bytes S,A,C,P on the wire).
 inline constexpr std::uint32_t kSacpMagic = 0x50434153;
 
@@ -114,6 +127,7 @@ enum class RecordType : std::uint32_t {
   kEnd = 4,
   kSiteDecision = 5,  // version >= 2
   kAssoc = 6,         // version >= 2
+  kTransport = 7,     // version >= 3
 };
 
 /// Parser sanity bounds. Generous for real captures, tight enough that a
@@ -187,6 +201,16 @@ struct AssocRecord {
   std::array<std::uint8_t, 6> mac{};
 };
 
+/// Version >= 3: the transport verdict of one migration under a fault
+/// plan — delivered vs cold start, and how many data-frame attempts it
+/// took. Replay re-runs the same plan and re-checks each verdict.
+struct TransportRecord {
+  std::array<std::uint8_t, 6> mac{};
+  std::uint64_t generation = 0;  ///< the migration's (new) generation
+  std::uint32_t outcome = 0;     ///< HandoffOutcome as u32
+  std::uint32_t attempts = 0;
+};
+
 struct EndRecord {
   std::uint64_t chunks = 0;
   std::uint64_t decisions = 0;  ///< plain + site-tagged decisions
@@ -216,6 +240,8 @@ ByteStream encode_site_decision(std::uint32_t site, std::uint64_t sequence,
 
 ByteStream encode_assoc(const AssocRecord& assoc);
 
+ByteStream encode_transport(const TransportRecord& transport);
+
 /// `version` controls the wire shape: version 1 writes the legacy
 /// 3-counter payload byte-identically; version >= 2 appends the assoc
 /// total.
@@ -234,6 +260,7 @@ std::optional<DecisionRecord> decode_decision(const ByteStream& payload);
 std::optional<SiteDecisionRecord> decode_site_decision(
     const ByteStream& payload);
 std::optional<AssocRecord> decode_assoc(const ByteStream& payload);
+std::optional<TransportRecord> decode_transport(const ByteStream& payload);
 /// Accepts both wire shapes (24- and 32-byte payloads); `assocs` is 0
 /// for a version-1 record.
 std::optional<EndRecord> decode_end(const ByteStream& payload);

@@ -24,6 +24,7 @@ struct CaptureRecord {
   std::optional<DecisionRecord> decision;  // type == kDecision
   std::optional<SiteDecisionRecord> site_decision;  // type == kSiteDecision
   std::optional<AssocRecord> assoc;        // type == kAssoc
+  std::optional<TransportRecord> transport;  // type == kTransport
   std::optional<EndRecord> end;            // type == kEnd
 };
 
@@ -35,6 +36,7 @@ struct ValidationReport {
   std::uint64_t decisions = 0;  ///< plain + site-tagged
   std::uint64_t drains = 0;
   std::uint64_t assocs = 0;
+  std::uint64_t transports = 0;  ///< not part of the kEnd totals
   bool end_seen = false;
 };
 
@@ -86,7 +88,8 @@ class CaptureReader {
 /// in the file), same decision track (payload bytes, in file order =
 /// sequence order), same per-site decision tracks (fleet captures emit
 /// site decisions concurrently across sites, so only each site's
-/// subsequence is ordered), same assoc track, same drain count. Header
+/// subsequence is ordered), same assoc and transport tracks, same drain
+/// count. Header
 /// metadata and physical record interleaving are NOT compared — two
 /// runs of the same workload may legally interleave records
 /// differently.

@@ -50,6 +50,9 @@ class CaptureWriter {
   /// Record a client association/handoff (fleet capture, version >= 2).
   /// Thread-safe.
   void record_assoc(const AssocRecord& assoc);
+  /// Record a migration's transport verdict (lossy fleet capture,
+  /// version >= 3). Thread-safe.
+  void record_transport(const TransportRecord& transport);
   /// Record a drain() boundary. Thread-safe.
   void record_drain();
 

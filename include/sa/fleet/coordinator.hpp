@@ -6,7 +6,8 @@
 //     ├─ site 0: EngineSession ── APs [0, m)          (fleet-global ids)
 //     ├─ site 1: EngineSession ── APs [m, 2m)
 //     ├─ ...
-//     └─ home map: MAC -> (home site, handoff generation)
+//     ├─ home map: MAC -> (home site, handoff generation)  [FlatLruMap]
+//     └─ transport stack: ReliableLink → [FaultyTransport →] Loopback
 //
 // Chunks are routed to the owning site (submit by (site, local AP) or
 // fleet-global AP id). When a client's traffic migrates sites —
@@ -19,41 +20,63 @@
 // rule. The source then forgets the client (keeping its ACL entry, so
 // late frames are judged by signature — not membership).
 //
+// The message no longer teleports: it rides the transport stack
+// (sa/fleet/transport.hpp) as a sequence-numbered, checksummed
+// kTransportData frame, acked by the receive side and retried on an
+// exponential-backoff schedule. With the default zero-fault plan the
+// stack is a LoopbackTransport and behavior is byte-identical to the
+// in-process handoff; with a FaultPlan the channel drops, duplicates,
+// reorders, delays, and corrupts datagrams deterministically.
+//
 // Handoff state machine per MAC:
 //
 //   (unknown) --assoc--> HOME(s, g=1)
 //   HOME(s, g) --assoc to s--> HOME(s, g)            [no-op, no record]
-//   HOME(s, g) --assoc to d--> quiesce s,d; export; FleetWire;
-//                              import at d --> HOME(d, g+1)   [kAssoc]
+//   HOME(s, g) --assoc to d--> quiesce s,d; export; ship(g+1);
+//       ├─ acked     --> imported at d --> HOME(d, g+1)      [kAssoc]
+//       └─ timed out --> COLD START: d admits the MAC fresh (empty
+//            tracker, ACL re-checked by the chain, rate window
+//            restarted) --> HOME(d, g+1)                     [kAssoc]
 //   import with generation <= known g  --> rejected kStale
 //
-// The generation guard makes handoff idempotent and replay-safe: a
-// delayed, duplicated, or replayed FleetWire message can never clobber
-// fresher local state.
+// The generation guard makes handoff idempotent and replay-safe — and
+// it is what makes cold start safe: the home map advances to g+1
+// *before* the handoff concludes (via import or via the cold-start
+// path), so a late-arriving copy of the g+1 export is stale by
+// construction and can never clobber state the destination has since
+// accumulated from live frames.
 //
-// Quiescence: handoff import/export reaches into per-worker policy
-// state, so notify_association first brings the source and destination
-// dataplanes to wait_idle() (every formable round decided — no flush
-// pass, so receiver state is untouched). apply_handoff() on an
-// externally produced message requires the same: call it only with the
-// target site idle. The coordinator itself is a control-plane object:
-// one driving thread, like EngineSession::drain.
+// Quiescence and concurrency: handoff import/export reaches into
+// per-worker policy state, so notify_association brings the source and
+// destination dataplanes to wait_idle() (every formable round decided —
+// no flush pass, so receiver state is untouched). Unlike PR 9's
+// single-driver contract, notify_association and apply_handoff may now
+// be called concurrently: per-MAC striped locks serialize same-MAC
+// handoffs end-to-end, per-site mutexes serialize quiesce/export/
+// import/forget per dataplane, and one transport mutex serializes the
+// wire phase (the virtual clock is shared). Submitting traffic for a
+// migrating client concurrently with its own handoff is still the
+// driver's race to avoid, as before.
 //
-// Capture: with a CaptureWriter, the fleet records one version-2 SACP
-// file — chunk records carry fleet-global AP ids, decisions are
-// site-tagged (kSiteDecision), handoffs are kAssoc records, and
-// drain_all() records a single fleet-wide drain boundary.
-// replay_fleet_capture (sa/fleet/replay.hpp) rebuilds the fleet from
-// the header and re-issues everything deterministically.
+// Capture: with a CaptureWriter, the fleet records one SACP file —
+// chunk records carry fleet-global AP ids, decisions are site-tagged
+// (kSiteDecision), handoffs are kAssoc records, and drain_all() records
+// a single fleet-wide drain boundary. Under an active fault plan the
+// capture is version 3 and every migration additionally records a
+// kTransport verdict (delivered/cold-start + attempts), which
+// replay_fleet_capture re-checks — a lossy run replays byte-for-byte.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "sa/common/compact/flat_lru_map.hpp"
 #include "sa/engine/session.hpp"
+#include "sa/fleet/transport.hpp"
 #include "sa/fleet/wire.hpp"
 #include "sa/sim/deployment.hpp"
 
@@ -75,7 +98,7 @@ struct FleetSpec {
 /// Per-site spec for site `index` (the seed progression above).
 DeploymentSpec site_spec(const FleetSpec& spec, std::size_t index);
 
-/// Fleet spec -> version-2 capture header: the per-site sa.* keys plus
+/// Fleet spec -> fleet capture header: the per-site sa.* keys plus
 /// "sa.fleet.sites" / "sa.fleet.seed_stride"; num_aps is fleet-global.
 CaptureHeader fleet_header_for(const FleetSpec& spec);
 
@@ -90,8 +113,8 @@ struct FleetConfig {
   /// Build each site's uplink channel simulation (scenario drivers need
   /// it; replay does not).
   bool with_sim = false;
-  /// Optional shared recording tap (one version-2 capture for the whole
-  /// fleet), borrowed.
+  /// Optional shared recording tap (one capture for the whole fleet),
+  /// borrowed.
   CaptureWriter* capture = nullptr;
   /// Spoof-tracker idle horizon per site. nullopt (default) derives it
   /// from the roaming dwell-time distribution — at the fleet tier idle
@@ -99,6 +122,11 @@ struct FleetConfig {
   /// strands tracker state at sites clients have left. Explicit 0
   /// disables expiry (the single-session-oracle configuration).
   std::optional<std::size_t> spoof_idle_frames;
+  /// Transport fault injection. Inactive (the default) keeps the pure
+  /// LoopbackTransport path — byte-identical to the in-process handoff.
+  FaultPlan fault_plan;
+  /// ARQ tuning for the reliability layer (virtual-clock ticks).
+  ReliableLinkConfig link;
 };
 
 enum class FleetImportOutcome {
@@ -110,17 +138,29 @@ enum class FleetImportOutcome {
 
 const char* to_string(FleetImportOutcome outcome);
 
+/// How a migration's state moved (or didn't) over the transport.
+enum class HandoffOutcome : std::uint32_t {
+  kDelivered = 0,  ///< the export was acked; state arrived
+  kColdStart = 1,  ///< retries exhausted; destination admitted fresh
+};
+
+const char* to_string(HandoffOutcome outcome);
+
 /// What notify_association did.
 struct HandoffResult {
   FleetImportOutcome outcome = FleetImportOutcome::kApplied;
-  /// True when state actually moved between sites (false for a first
+  /// True when the client's home moved between sites (false for a first
   /// association or a same-site re-association).
   bool migrated = false;
   std::uint32_t source_site = 0;
   std::uint32_t dest_site = 0;
   std::uint64_t generation = 0;
-  /// The encoded FleetWire message of a migration (empty otherwise) —
-  /// what went "over the wire", for tests and tooling.
+  /// Transport verdict of a migration (kDelivered for non-migrations).
+  HandoffOutcome transport = HandoffOutcome::kDelivered;
+  /// Data-frame transmissions a migration took (0 for non-migrations).
+  std::uint32_t attempts = 0;
+  /// The encoded FleetWire kClientState message of a migration (empty
+  /// otherwise) — what went "over the wire", for tests and tooling.
   ByteStream wire;
 };
 
@@ -131,6 +171,16 @@ struct FleetStats {
   std::uint64_t handoffs_malformed = 0;
   std::uint64_t handoffs_bad_site = 0;
   std::uint64_t drains = 0;
+  // Transport-layer outcomes (zero under a quiet channel):
+  std::uint64_t retries = 0;      ///< retransmitted data frames
+  std::uint64_t timeouts = 0;     ///< sends that exhausted every attempt
+  std::uint64_t cold_starts = 0;  ///< migrations that degraded gracefully
+  std::uint64_t duplicates_suppressed = 0;  ///< re-delivered seqs ignored
+  std::uint64_t corrupt_dropped = 0;  ///< undecodable datagrams discarded
+  std::uint64_t stale_acks = 0;  ///< acks that outlived their retry loop
+  /// Compact home-map footprint (FlatLruMap::memory_bytes()).
+  std::uint64_t home_map_bytes = 0;
+  std::uint64_t home_clients = 0;
 };
 
 class FleetCoordinator {
@@ -157,14 +207,16 @@ class FleetCoordinator {
 
   /// A client (re)associated at `dest_site`. First association homes the
   /// MAC there; a cross-site move quiesces both dataplanes, exports the
-  /// source's per-MAC state, ships it over FleetWire, imports it at the
-  /// destination under the generation guard, and forgets it at the
-  /// source. Records a kAssoc on migrations and first associations.
+  /// source's per-MAC state, ships it over the transport (retrying under
+  /// the reliability layer; cold-starting the destination if every
+  /// attempt times out), and forgets it at the source. Records a kAssoc
+  /// on migrations and first associations. Safe to call concurrently
+  /// for distinct MACs; same-MAC calls serialize on a striped lock.
   HandoffResult notify_association(const MacAddress& mac,
                                    std::uint32_t dest_site);
 
-  /// Import an externally produced FleetWire message (the receive side
-  /// of notify_association; also the test/fuzz surface). The
+  /// Import an externally produced FleetWire kClientState message (the
+  /// receive side of a handoff; also the test/fuzz surface). The
   /// destination session must be quiescent. On kApplied the home map
   /// advances to (dest, generation) and a kAssoc is recorded.
   FleetImportOutcome apply_handoff(const ByteStream& wire);
@@ -193,12 +245,19 @@ class FleetCoordinator {
 
   std::optional<std::uint32_t> home_site(const MacAddress& mac) const;
   std::optional<std::uint64_t> generation_of(const MacAddress& mac) const;
-  const FleetStats& stats() const { return stats_; }
+  /// Snapshot of the counters (copied under the state lock).
+  FleetStats stats() const;
+  /// Channel-side counters; zeros when no fault plan is active.
+  TransportStats transport_stats() const;
 
  private:
   struct Site {
     std::unique_ptr<BuiltDeployment> deployment;
     std::vector<EngineDecision> decisions;
+    /// Serializes wait_idle/export/import/forget on this site's session
+    /// (wait_idle bumps non-atomic session counters, and the fleet hooks
+    /// are quiescent-use-only).
+    std::unique_ptr<std::mutex> mu;
     /// Declared last: the session's sink writes into `decisions` from
     /// the sequencer thread, so the session (whose destructor joins
     /// that thread) must be destroyed first.
@@ -209,14 +268,42 @@ class FleetCoordinator {
     std::uint64_t generation = 0;
   };
 
+  std::mutex& stripe_for(const MacAddress& mac);
+  /// The import path shared by apply_handoff and the transport's
+  /// receive side. Takes state_mu_ for the whole check-import-update
+  /// sequence (nesting the site mutex inside), so two applies for the
+  /// same MAC cannot interleave between guard check and home update.
+  FleetImportOutcome apply_wire(const ByteStream& wire);
   void record_assoc(std::uint32_t site, std::uint64_t generation,
                     const MacAddress& mac);
+  void record_transport(const MacAddress& mac, std::uint64_t generation,
+                        HandoffOutcome outcome, std::uint32_t attempts);
+  /// Refresh home_map_bytes/home_clients; call with state_mu_ held.
+  void refresh_home_footprint();
 
   FleetConfig config_;
   std::size_t idle_frames_ = 0;
   std::vector<Site> sites_;
-  std::unordered_map<MacAddress, Home> home_;
+
+  /// Per-MAC serialization for the control plane: same-MAC handoffs are
+  /// mutually exclusive end-to-end, distinct MACs proceed in parallel.
+  std::array<std::mutex, 64> stripes_;
+  /// Guards home_ and stats_. Lock order: stripe -> transport_mu_ ->
+  /// state_mu_ -> site mu. Never the reverse.
+  mutable std::mutex state_mu_;
+  /// Serializes the wire phase: the link's virtual clock and seq space
+  /// are shared, so one handoff pumps the channel at a time.
+  std::mutex transport_mu_;
+
+  FlatLruMap<MacAddress, Home> home_;
   FleetStats stats_;
+
+  // Transport stack, bottom-up. The link's receive callback points back
+  // into this object, so the stack lives (and dies) with it.
+  LoopbackTransport loopback_;
+  std::unique_ptr<FaultyTransport> faulty_;  ///< only under an active plan
+  std::unique_ptr<ReliableLink> link_;
+
   bool closed_ = false;
 };
 

@@ -1,13 +1,17 @@
-// Fleet replay: turn a version-2 SACP fleet capture back into the run
+// Fleet replay: turn a version-2/3 SACP fleet capture back into the run
 // it recorded and verify it byte-for-byte. The header's fleet keys
 // rebuild the FleetCoordinator (per-site deployments from the seed
-// progression, the recorded spoof-idle horizon); then every record is
+// progression, the recorded spoof-idle horizon, and — version 3 — the
+// recorded transport fault plan, so the replayed channel drops and
+// corrupts exactly where the original did); then every record is
 // re-issued in file order — chunks routed by fleet-global AP id, kAssoc
 // records re-driving notify_association (the replayed handoff
 // generation must match the recorded one, or the handoff state machine
-// has diverged), kDrain running drain_all(). At the end each site's
-// re-emitted decision track is compared byte-identically against the
-// recorded kSiteDecision payloads.
+// has diverged), kTransport records re-checking each migration's
+// delivered/cold-start verdict and attempt count, kDrain running
+// drain_all(). At the end each site's re-emitted decision track is
+// compared byte-identically against the recorded kSiteDecision
+// payloads.
 //
 // This is the fleet analogue of ReplaySource (sa/capture/replay.hpp),
 // folded into one call because fleet replay is always verification:
@@ -31,6 +35,8 @@ struct FleetReplayResult {
   std::uint64_t drains_run = 0;
   /// Site decisions byte-compared against the recorded tracks.
   std::uint64_t decisions_checked = 0;
+  /// Transport verdicts re-checked against kTransport records.
+  std::uint64_t transports_checked = 0;
 };
 
 /// Replay the fleet capture at `path` with `threads_per_site` dataplane

@@ -26,6 +26,23 @@
 //          bit3 = rate-limit residue present
 //          all other bits reserved — a decoder rejects them.
 //
+//   kTransportData payload (the reliability envelope, sa/fleet/transport):
+//     u64 seq | u32 flags | u32 inner_len | inner_len bytes
+//     | u32 checksum
+//     flags: bit0 = retransmission; others reserved — rejected.
+//     `inner` is a complete FleetWire message (today: kClientState),
+//     left opaque by this decoder — the receiver validates it with its
+//     own total decode. `checksum` is FNV-1a-32 over every payload byte
+//     before it (seq, flags, inner_len, inner), so a bit flipped
+//     anywhere in the envelope or the cargo turns the datagram into a
+//     detected drop for the retry layer to repair — a corrupted export
+//     is never imported, and decisions stay deterministic.
+//
+//   kAck payload:
+//     u64 seq | u32 flags
+//     flags: bit0 = duplicate (the seq had already been imported when
+//     this ack was generated); others reserved — rejected.
+//
 // `generation` is the handoff generation guard: the fleet bumps it per
 // (MAC, handoff), and an import whose generation is not newer than the
 // destination's view is rejected as stale — a delayed or replayed
@@ -53,7 +70,13 @@ inline constexpr std::uint32_t kFleetWireVersion = 1;
 
 enum class FleetWireType : std::uint32_t {
   kClientState = 1,
+  kTransportData = 2,  ///< reliability envelope around another message
+  kAck = 3,            ///< delivery acknowledgment for one transport seq
 };
+
+/// The message type, when the outer framing (magic, version, a known
+/// type, and an exact payload length) is intact; nullopt otherwise.
+std::optional<FleetWireType> peek_type(const ByteStream& data);
 
 /// One client's cross-site handoff: the MAC, the generation guard, the
 /// route, and the exported per-MAC state.
@@ -72,5 +95,36 @@ ByteStream encode_client_state(const FleetClientState& msg);
 /// wrong magic/version/type, reserved flag bits, an invalid nested
 /// tracker block, or trailing bytes.
 std::optional<FleetClientState> decode_client_state(const ByteStream& data);
+
+/// One sequence-numbered, checksummed datagram of the reliability layer.
+struct FleetTransportData {
+  std::uint64_t seq = 0;
+  bool retransmit = false;
+  /// A complete encoded FleetWire message (opaque to this codec).
+  ByteStream inner;
+};
+
+/// Serialize a kTransportData envelope (checksum computed here).
+ByteStream encode_transport_data(const FleetTransportData& msg);
+
+/// Parse a kTransportData envelope; nullopt on malformed/truncated
+/// input, reserved flags, a length that does not tile the payload
+/// exactly, or a checksum mismatch. The inner message is NOT validated
+/// here — decode it with its own total decoder.
+std::optional<FleetTransportData> decode_transport_data(
+    const ByteStream& data);
+
+/// A delivery acknowledgment.
+struct FleetAck {
+  std::uint64_t seq = 0;
+  /// The acked seq had already been imported (duplicate suppression).
+  bool duplicate = false;
+};
+
+ByteStream encode_ack(const FleetAck& msg);
+
+/// Parse a kAck message; nullopt on malformed/truncated input, reserved
+/// flags, or trailing bytes.
+std::optional<FleetAck> decode_ack(const ByteStream& data);
 
 }  // namespace sa

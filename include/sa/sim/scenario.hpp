@@ -122,6 +122,12 @@ struct ScenarioConfig {
   std::size_t roaming_walkers = 8;    ///< walkers (clients 1, 2, ...)
   double roaming_dwell_s = 0.4;       ///< mean per-site dwell time
   double roaming_zipf_exponent = 0.9; ///< site-affinity skew (0 = uniform)
+  /// Transport fault plan for the handoff channel (FaultPlan string,
+  /// sa/fleet/transport.hpp), empty = perfect channel. The generator
+  /// itself ignores it — it rides here so one scenario description
+  /// names the whole lossy-roaming workload (the driver parses it into
+  /// FleetConfig::fault_plan, and describe() echoes it).
+  std::string roaming_fault_plan;
 };
 
 /// The fleet tier's default spoof-tracker idle horizon, derived from the

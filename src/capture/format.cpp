@@ -112,7 +112,7 @@ std::optional<CaptureHeader> decode_header(ByteReader& r) {
   const auto magic = r.u32();
   if (!magic || *magic != kSacpMagic) return std::nullopt;
   const auto version = r.u32();
-  if (!version || *version < kSacpVersion || *version > kSacpVersionFleet) {
+  if (!version || *version < kSacpVersion || *version > kSacpVersionChaos) {
     return std::nullopt;
   }
   const auto payload_len = r.u32();
@@ -344,6 +344,36 @@ std::optional<AssocRecord> decode_assoc(const ByteStream& payload) {
   }
   if (!r.done()) return std::nullopt;  // trailing garbage
   return a;
+}
+
+ByteStream encode_transport(const TransportRecord& transport) {
+  ByteStream payload;
+  for (std::uint8_t o : transport.mac) put_u8(payload, o);
+  put_u64(payload, transport.generation);
+  put_u32(payload, transport.outcome);
+  put_u32(payload, transport.attempts);
+  return payload;
+}
+
+std::optional<TransportRecord> decode_transport(const ByteStream& payload) {
+  ByteReader r(payload);
+  TransportRecord t;
+  for (auto& o : t.mac) {
+    const auto b = r.u8();
+    if (!b) return std::nullopt;
+    o = *b;
+  }
+  const auto generation = r.u64();
+  const auto outcome = r.u32();
+  const auto attempts = r.u32();
+  if (!generation || !outcome || !attempts) return std::nullopt;
+  // Only the two HandoffOutcome values exist; anything else is garbage.
+  if (*outcome > 1) return std::nullopt;
+  t.generation = *generation;
+  t.outcome = *outcome;
+  t.attempts = *attempts;
+  if (!r.done()) return std::nullopt;  // trailing garbage
+  return t;
 }
 
 ByteStream encode_end(const EndRecord& end, std::uint32_t version) {

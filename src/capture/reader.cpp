@@ -100,6 +100,14 @@ std::optional<CaptureRecord> CaptureReader::parse_record(
         return std::nullopt;
       }
       break;
+    case RecordType::kTransport:
+      rec.type = RecordType::kTransport;
+      rec.transport = decode_transport(rec.payload);
+      if (!rec.transport) {
+        error = "malformed transport record";
+        return std::nullopt;
+      }
+      break;
     case RecordType::kEnd:
       rec.type = RecordType::kEnd;
       rec.end = decode_end(rec.payload);
@@ -142,6 +150,7 @@ ValidationReport CaptureReader::validate() const {
       case RecordType::kDecision: ++report.decisions; break;
       case RecordType::kSiteDecision: ++report.decisions; break;
       case RecordType::kAssoc: ++report.assocs; break;
+      case RecordType::kTransport: ++report.transports; break;
       case RecordType::kDrain: ++report.drains; break;
       case RecordType::kEnd: end = rec->end; break;
     }
@@ -208,6 +217,7 @@ CaptureDiff diff_captures(const CaptureReader& a, const CaptureReader& b) {
     /// deterministic — the chunk-track argument, one level up).
     std::map<std::uint32_t, std::vector<ByteStream>> decisions_by_site;
     std::vector<ByteStream> assocs;
+    std::vector<ByteStream> transports;
     std::uint64_t drains = 0;
     bool ok = true;
   };
@@ -235,6 +245,9 @@ CaptureDiff diff_captures(const CaptureReader& a, const CaptureReader& b) {
           break;
         case RecordType::kAssoc:
           t.assocs.push_back(std::move(rec->payload));
+          break;
+        case RecordType::kTransport:
+          t.transports.push_back(std::move(rec->payload));
           break;
         case RecordType::kDrain: ++t.drains; break;
         case RecordType::kEnd: break;
@@ -304,6 +317,17 @@ CaptureDiff diff_captures(const CaptureReader& a, const CaptureReader& b) {
   for (std::size_t i = 0; i < ta.assocs.size(); ++i) {
     if (ta.assocs[i] != tb.assocs[i]) {
       return not_equal("assoc record " + std::to_string(i) +
+                       " differs byte-wise");
+    }
+  }
+  if (ta.transports.size() != tb.transports.size()) {
+    return not_equal("transport record counts differ: " +
+                     std::to_string(ta.transports.size()) + " vs " +
+                     std::to_string(tb.transports.size()));
+  }
+  for (std::size_t i = 0; i < ta.transports.size(); ++i) {
+    if (ta.transports[i] != tb.transports[i]) {
+      return not_equal("transport record " + std::to_string(i) +
                        " differs byte-wise");
     }
   }

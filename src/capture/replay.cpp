@@ -50,9 +50,11 @@ ReplayResult ReplaySource::replay_into(EngineSession& session) {
       case RecordType::kSiteDecision:
         break;  // the recorded output tracks; not inputs
       case RecordType::kAssoc:
+      case RecordType::kTransport:
         // Meaningful only to the fleet replay driver
-        // (replay_fleet_capture), which re-issues the handoff; a plain
-        // single-session replay has no sites to hand off between.
+        // (replay_fleet_capture), which re-issues the handoff and
+        // re-checks its transport verdict; a plain single-session
+        // replay has no sites to hand off between.
         break;
       case RecordType::kEnd:
         saw_end = true;

@@ -41,6 +41,7 @@ void CaptureWriter::enqueue(RecordType type, const ByteStream& payload) {
       case RecordType::kDecision: ++decisions_; break;
       case RecordType::kSiteDecision: ++decisions_; break;
       case RecordType::kAssoc: ++assocs_; break;
+      case RecordType::kTransport: break;  // not tallied in kEnd
       case RecordType::kDrain: ++drains_; break;
       case RecordType::kEnd: break;
     }
@@ -72,6 +73,10 @@ void CaptureWriter::record_site_decision(std::uint32_t site,
 
 void CaptureWriter::record_assoc(const AssocRecord& assoc) {
   enqueue(RecordType::kAssoc, encode_assoc(assoc));
+}
+
+void CaptureWriter::record_transport(const TransportRecord& transport) {
+  enqueue(RecordType::kTransport, encode_transport(transport));
 }
 
 void CaptureWriter::record_drain() { enqueue(RecordType::kDrain, {}); }

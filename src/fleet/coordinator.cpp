@@ -1,6 +1,7 @@
 #include "sa/fleet/coordinator.hpp"
 
 #include <cstdlib>
+#include <functional>
 #include <utility>
 
 #include "sa/capture/writer.hpp"
@@ -71,6 +72,14 @@ const char* to_string(FleetImportOutcome outcome) {
   return "malformed";
 }
 
+const char* to_string(HandoffOutcome outcome) {
+  switch (outcome) {
+    case HandoffOutcome::kDelivered: return "delivered";
+    case HandoffOutcome::kColdStart: return "cold-start";
+  }
+  return "delivered";
+}
+
 FleetCoordinator::FleetCoordinator(FleetConfig config)
     : config_(std::move(config)) {
   SA_EXPECTS(config_.spec.num_sites >= 1);
@@ -91,6 +100,7 @@ FleetCoordinator::FleetCoordinator(FleetConfig config)
     Site& site = sites_.back();
     site.deployment = std::make_unique<BuiltDeployment>(
         build_deployment(site_spec(config_.spec, i), config_.with_sim));
+    site.mu = std::make_unique<std::mutex>();
     EngineConfig engine = site.deployment->engine;
     engine.num_threads = config_.threads_per_site;
     engine.coordinator.spoof_idle_frames = idle_frames_;
@@ -107,6 +117,16 @@ FleetCoordinator::FleetCoordinator(FleetConfig config)
         std::move(scfg), site.deployment->ap_ptrs,
         [out](const EngineDecision& d) { out->push_back(d); });
   }
+
+  // Transport stack: loopback at the bottom; the lossy decorator only
+  // when a plan is active, so the default path stays a direct call.
+  FleetTransport* top = &loopback_;
+  if (config_.fault_plan.active()) {
+    faulty_ = std::make_unique<FaultyTransport>(loopback_, config_.fault_plan);
+    top = faulty_.get();
+  }
+  link_ = std::make_unique<ReliableLink>(*top, config_.link);
+  link_->set_import([this](const ByteStream& inner) { apply_wire(inner); });
 }
 
 FleetCoordinator::~FleetCoordinator() = default;
@@ -130,54 +150,121 @@ void FleetCoordinator::submit_round(std::uint32_t site,
   sites_[site].session->submit_round(std::move(chunks));
 }
 
+std::mutex& FleetCoordinator::stripe_for(const MacAddress& mac) {
+  return stripes_[std::hash<MacAddress>{}(mac) % stripes_.size()];
+}
+
 HandoffResult FleetCoordinator::notify_association(const MacAddress& mac,
                                                    std::uint32_t dest_site) {
-  ++stats_.associations;
+  std::lock_guard<std::mutex> stripe(stripe_for(mac));
   HandoffResult result;
   result.dest_site = dest_site;
-  if (dest_site >= sites_.size()) {
-    ++stats_.handoffs_bad_site;
-    result.outcome = FleetImportOutcome::kBadSite;
-    return result;
+  {
+    std::lock_guard<std::mutex> st(state_mu_);
+    ++stats_.associations;
+    if (dest_site >= sites_.size()) {
+      ++stats_.handoffs_bad_site;
+      result.outcome = FleetImportOutcome::kBadSite;
+      return result;
+    }
+    const Home* known = home_.find(mac);
+    if (known == nullptr) {
+      // First sighting: home the client here. Nothing to move.
+      home_.get_or_emplace(mac, Home{dest_site, 1});
+      refresh_home_footprint();
+      record_assoc(dest_site, 1, mac);
+      result.source_site = dest_site;
+      result.generation = 1;
+      return result;
+    }
+    result.source_site = known->site;
+    result.generation = known->generation;
+    if (known->site == dest_site) return result;  // already home: no-op
   }
-  const auto it = home_.find(mac);
-  if (it == home_.end()) {
-    // First sighting: home the client here. Nothing to move.
-    home_.emplace(mac, Home{dest_site, 1});
-    record_assoc(dest_site, 1, mac);
-    result.source_site = dest_site;
-    result.generation = 1;
-    return result;
-  }
-  result.source_site = it->second.site;
-  result.generation = it->second.generation;
-  if (it->second.site == dest_site) return result;  // already home: no-op
 
   // Cross-site migration. Quiesce both dataplanes (wait_idle: every
   // formable round decided, no flush pass — receiver state untouched),
-  // export, ship, import under the generation guard, forget at the
-  // source.
-  EngineSession& source = *sites_[it->second.site].session;
-  source.wait_idle();
-  sites_[dest_site].session->wait_idle();
+  // export, then ship under the reliability layer. The stripe lock
+  // keeps this MAC's generation stable across the whole sequence.
+  const std::uint32_t source_site = result.source_site;
+  const std::uint64_t next_gen = result.generation + 1;
+  EngineSession& source = *sites_[source_site].session;
+  {
+    std::lock_guard<std::mutex> sm(*sites_[source_site].mu);
+    source.wait_idle();
+  }
+  {
+    std::lock_guard<std::mutex> dm(*sites_[dest_site].mu);
+    sites_[dest_site].session->wait_idle();
+  }
   FleetClientState msg;
   msg.mac = mac;
-  msg.generation = it->second.generation + 1;
-  msg.source_site = it->second.site;
+  msg.generation = next_gen;
+  msg.source_site = source_site;
   msg.dest_site = dest_site;
-  msg.state = source.export_client_state(mac);
+  {
+    std::lock_guard<std::mutex> sm(*sites_[source_site].mu);
+    msg.state = source.export_client_state(mac);
+  }
   result.wire = encode_client_state(msg);
-  result.generation = msg.generation;
-  result.outcome = apply_handoff(result.wire);
-  if (result.outcome == FleetImportOutcome::kApplied) {
-    result.migrated = true;
+  result.generation = next_gen;
+
+  ReliableLink::SendReport report;
+  {
+    std::lock_guard<std::mutex> tm(transport_mu_);
+    report = link_->send_reliable(result.wire);
+    const ReliableLinkStats& ls = link_->stats();
+    std::lock_guard<std::mutex> st(state_mu_);
+    stats_.retries = ls.retransmits;
+    stats_.timeouts = ls.timeouts;
+    stats_.duplicates_suppressed = ls.duplicates_suppressed;
+    stats_.corrupt_dropped = ls.corrupt_dropped;
+    stats_.stale_acks = ls.stale_acks;
+  }
+  result.attempts = report.attempts;
+  result.migrated = true;
+  result.outcome = FleetImportOutcome::kApplied;
+  if (report.acked) {
+    result.transport = HandoffOutcome::kDelivered;
+  } else {
+    // Cold start: the export never arrived (or its ack never came
+    // back). The destination admits the client fresh — empty tracker,
+    // ACL re-checked by the policy chain on the next frame, rate window
+    // restarted — and the home map advances to next_gen so any copy of
+    // this export still sitting in the channel is stale on arrival.
+    result.transport = HandoffOutcome::kColdStart;
+    std::lock_guard<std::mutex> st(state_mu_);
+    ++stats_.cold_starts;
+    const Home* now_home = home_.find(mac);
+    if (now_home == nullptr || now_home->generation < next_gen) {
+      // The data frame never imported (if it had, the generation would
+      // already be next_gen — only this stripe-held call can advance
+      // this MAC). Claim the home; the import path's kAssoc never
+      // fired, so record it here.
+      Home* home = home_.get_or_emplace(mac, Home{}).value;
+      home->site = dest_site;
+      home->generation = next_gen;
+      refresh_home_footprint();
+      record_assoc(dest_site, next_gen, mac);
+    }
+  }
+  // Either way the client has left the source (keeping its ACL entry,
+  // so late frames are judged by signature — not membership).
+  {
+    std::lock_guard<std::mutex> sm(*sites_[source_site].mu);
     source.forget_client(mac);
   }
+  record_transport(mac, next_gen, result.transport, result.attempts);
   return result;
 }
 
 FleetImportOutcome FleetCoordinator::apply_handoff(const ByteStream& wire) {
+  return apply_wire(wire);
+}
+
+FleetImportOutcome FleetCoordinator::apply_wire(const ByteStream& wire) {
   const auto msg = decode_client_state(wire);
+  std::lock_guard<std::mutex> st(state_mu_);
   if (!msg) {
     ++stats_.handoffs_malformed;
     return FleetImportOutcome::kMalformed;
@@ -186,13 +273,19 @@ FleetImportOutcome FleetCoordinator::apply_handoff(const ByteStream& wire) {
     ++stats_.handoffs_bad_site;
     return FleetImportOutcome::kBadSite;
   }
-  const auto it = home_.find(msg->mac);
-  if (it != home_.end() && msg->generation <= it->second.generation) {
+  const Home* known = home_.find(msg->mac);
+  if (known != nullptr && msg->generation <= known->generation) {
     ++stats_.handoffs_stale;
     return FleetImportOutcome::kStale;
   }
-  sites_[msg->dest_site].session->import_client_state(msg->mac, msg->state);
-  home_[msg->mac] = Home{msg->dest_site, msg->generation};
+  {
+    std::lock_guard<std::mutex> dm(*sites_[msg->dest_site].mu);
+    sites_[msg->dest_site].session->import_client_state(msg->mac, msg->state);
+  }
+  Home* home = home_.get_or_emplace(msg->mac, Home{}).value;
+  home->site = msg->dest_site;
+  home->generation = msg->generation;
+  refresh_home_footprint();
   ++stats_.handoffs_applied;
   record_assoc(msg->dest_site, msg->generation, msg->mac);
   return FleetImportOutcome::kApplied;
@@ -200,7 +293,10 @@ FleetImportOutcome FleetCoordinator::apply_handoff(const ByteStream& wire) {
 
 void FleetCoordinator::drain_all() {
   for (Site& site : sites_) site.session->drain();
-  ++stats_.drains;
+  {
+    std::lock_guard<std::mutex> st(state_mu_);
+    ++stats_.drains;
+  }
   if (config_.capture != nullptr && !config_.capture->closed()) {
     config_.capture->record_drain();
   }
@@ -220,16 +316,33 @@ std::size_t FleetCoordinator::total_decisions() const {
 
 std::optional<std::uint32_t> FleetCoordinator::home_site(
     const MacAddress& mac) const {
-  const auto it = home_.find(mac);
-  if (it == home_.end()) return std::nullopt;
-  return it->second.site;
+  std::lock_guard<std::mutex> st(state_mu_);
+  const Home* home = home_.find(mac);
+  if (home == nullptr) return std::nullopt;
+  return home->site;
 }
 
 std::optional<std::uint64_t> FleetCoordinator::generation_of(
     const MacAddress& mac) const {
-  const auto it = home_.find(mac);
-  if (it == home_.end()) return std::nullopt;
-  return it->second.generation;
+  std::lock_guard<std::mutex> st(state_mu_);
+  const Home* home = home_.find(mac);
+  if (home == nullptr) return std::nullopt;
+  return home->generation;
+}
+
+FleetStats FleetCoordinator::stats() const {
+  std::lock_guard<std::mutex> st(state_mu_);
+  return stats_;
+}
+
+TransportStats FleetCoordinator::transport_stats() const {
+  if (!faulty_) return TransportStats{};
+  return faulty_->stats();
+}
+
+void FleetCoordinator::refresh_home_footprint() {
+  stats_.home_map_bytes = home_.memory_bytes();
+  stats_.home_clients = home_.size();
 }
 
 void FleetCoordinator::record_assoc(std::uint32_t site,
@@ -241,6 +354,23 @@ void FleetCoordinator::record_assoc(std::uint32_t site,
   assoc.generation = generation;
   assoc.mac = mac.octets();
   config_.capture->record_assoc(assoc);
+}
+
+void FleetCoordinator::record_transport(const MacAddress& mac,
+                                        std::uint64_t generation,
+                                        HandoffOutcome outcome,
+                                        std::uint32_t attempts) {
+  // Only lossy runs carry transport verdicts (they are what makes the
+  // capture version 3); the zero-fault capture stays byte-identical to
+  // the pre-transport format.
+  if (!config_.fault_plan.active()) return;
+  if (config_.capture == nullptr || config_.capture->closed()) return;
+  TransportRecord rec;
+  rec.mac = mac.octets();
+  rec.generation = generation;
+  rec.outcome = static_cast<std::uint32_t>(outcome);
+  rec.attempts = attempts;
+  config_.capture->record_transport(rec);
 }
 
 }  // namespace sa

@@ -50,8 +50,19 @@ FleetReplayResult run(CaptureReader reader_value,
     if (!frames) return fail(result, "bad sa.fleet.spoof_idle");
     config.spoof_idle_frames = *frames;
   }
+  // Version 3: rebuild the recorded faulty channel — the plan string is
+  // the whole channel state, so the replayed run loses, duplicates and
+  // corrupts exactly the datagrams the original did.
+  if (const auto plan_text = header.meta("sa.fleet.fault_plan")) {
+    const auto plan = FaultPlan::parse(*plan_text);
+    if (!plan) return fail(result, "bad sa.fleet.fault_plan");
+    config.fault_plan = *plan;
+  }
   FleetCoordinator fleet(config);
   result.sites = fleet.num_sites();
+  // The migration each MAC most recently replayed, for kTransport
+  // verdict checks (the record always follows its kAssoc).
+  std::map<MacAddress, HandoffResult> last_handoff;
 
   // Recorded per-site decision tracks, in each site's sequence order.
   std::map<std::uint32_t, std::vector<ByteStream>> expected;
@@ -78,8 +89,8 @@ FleetReplayResult run(CaptureReader reader_value,
       }
       case RecordType::kAssoc: {
         if (!rec->assoc) return fail(result, "undecodable assoc record");
-        const auto hr = fleet.notify_association(MacAddress(rec->assoc->mac),
-                                                 rec->assoc->site);
+        const MacAddress mac(rec->assoc->mac);
+        auto hr = fleet.notify_association(mac, rec->assoc->site);
         if (hr.outcome != FleetImportOutcome::kApplied) {
           return fail(result, std::string("replayed handoff rejected: ") +
                                   to_string(hr.outcome));
@@ -91,6 +102,36 @@ FleetReplayResult run(CaptureReader reader_value,
                           std::to_string(hr.generation));
         }
         ++result.assocs_replayed;
+        hr.wire.clear();  // keep only the verdict fields
+        last_handoff[mac] = std::move(hr);
+        break;
+      }
+      case RecordType::kTransport: {
+        if (!rec->transport) {
+          return fail(result, "undecodable transport record");
+        }
+        const MacAddress mac(rec->transport->mac);
+        const auto it = last_handoff.find(mac);
+        if (it == last_handoff.end()) {
+          return fail(result, "transport record without a prior handoff");
+        }
+        const HandoffResult& hr = it->second;
+        if (hr.generation != rec->transport->generation ||
+            static_cast<std::uint32_t>(hr.transport) !=
+                rec->transport->outcome ||
+            hr.attempts != rec->transport->attempts) {
+          return fail(result,
+                      "transport verdict diverged for generation " +
+                          std::to_string(rec->transport->generation) +
+                          ": recorded " + std::to_string(
+                              rec->transport->outcome) +
+                          "/" + std::to_string(rec->transport->attempts) +
+                          " attempts, got " +
+                          std::to_string(
+                              static_cast<std::uint32_t>(hr.transport)) +
+                          "/" + std::to_string(hr.attempts));
+        }
+        ++result.transports_checked;
         break;
       }
       case RecordType::kDrain:

@@ -468,6 +468,9 @@ std::string ScenarioGenerator::describe() const {
       out += " roaming-walkers=" + std::to_string(config_.roaming_walkers);
       out += " roaming-dwell=" + fmt(config_.roaming_dwell_s);
       out += " roaming-zipf=" + fmt(config_.roaming_zipf_exponent);
+      if (!config_.roaming_fault_plan.empty()) {
+        out += " roaming-fault-plan=" + config_.roaming_fault_plan;
+      }
       break;
     case ScenarioKind::kOffice:
       break;

@@ -8,6 +8,7 @@
 // that never split the state at all.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <set>
 #include <string>
@@ -299,12 +300,14 @@ TEST(FleetHandoff, SurvivesBackpressuredPipelineAndDrain) {
 /// miniature: roaming walkers, handoff on first sighting or site
 /// change, one fleet capture out.
 void record_roaming(const std::string& path, std::size_t sites,
-                    std::size_t threads, double duration_s) {
+                    std::size_t threads, double duration_s,
+                    const std::string& fault_plan = "") {
   ScenarioConfig sc;
   sc.kind = ScenarioKind::kRoaming;
   sc.arrival_rate = 60.0;
   sc.duration_s = duration_s;
   sc.roaming_sites = sites;
+  sc.roaming_fault_plan = fault_plan;
 
   FleetSpec spec;
   spec.site.num_aps = 2;
@@ -316,8 +319,22 @@ void record_roaming(const std::string& path, std::size_t sites,
                         spec.site.estimator);
   const std::uint64_t idle = roaming_idle_horizon_frames(sc);
 
+  FaultPlan plan;
+  if (!fault_plan.empty()) {
+    const auto parsed = FaultPlan::parse(fault_plan);
+    ASSERT_TRUE(parsed.has_value()) << fault_plan;
+    plan = *parsed;
+  }
+
   CaptureHeader header = fleet_header_for(spec);
   header.metadata.emplace_back("sa.fleet.spoof_idle", std::to_string(idle));
+  if (plan.active()) {
+    // Mirror the scenario_runner recipe: a lossy fleet capture is
+    // version 3 and names its channel in the header, so replay rebuilds
+    // the identical transport stack.
+    header.version = kSacpVersionChaos;
+    header.metadata.emplace_back("sa.fleet.fault_plan", plan.to_string());
+  }
   CaptureWriter writer(path, std::move(header));
 
   FleetConfig config;
@@ -326,6 +343,7 @@ void record_roaming(const std::string& path, std::size_t sites,
   config.with_sim = true;
   config.capture = &writer;
   config.spoof_idle_frames = static_cast<std::size_t>(idle);
+  config.fault_plan = plan;
   FleetCoordinator fleet(config);
 
   std::uint16_t seq = 0;
@@ -355,9 +373,10 @@ TEST(FleetRoaming, ScenarioEmitsCoherentSitesAndIsDeterministic) {
   sc.arrival_rate = 200.0;
   sc.duration_s = 2.0;
   sc.roaming_sites = 4;
-  EXPECT_EQ(roaming_idle_horizon_frames(ScenarioConfig{
-                ScenarioKind::kRoaming}),  // defaults: 8 * 0.4s * 40/s
-            128u);
+  ScenarioConfig defaults;
+  defaults.kind = ScenarioKind::kRoaming;
+  // defaults: 8 * 0.4s * 40/s
+  EXPECT_EQ(roaming_idle_horizon_frames(defaults), 128u);
 
   BuiltDeployment proto = build_deployment(DeploymentSpec{}, false);
   ScenarioGenerator a(proto.testbed, sc, Rng(123), AoaBackend::kMusic);
@@ -418,6 +437,172 @@ TEST(FleetReplay, RoundTripsAtSeveralThreadCounts) {
   EXPECT_FALSE(bad.ok);
   EXPECT_FALSE(bad.error.empty());
   std::remove(path.c_str());
+}
+
+// ------------------------------------------------------ lossy transport
+
+/// A fault plan whose only effect is a non-default seed is not active:
+/// the transport stack must stay pure loopback and the capture must be
+/// byte-identical to one recorded with no plan at all — the version-2
+/// compatibility guarantee.
+TEST(FleetTransportCapture, InactivePlanRecordsIdenticalBytes) {
+  const std::string plain = temp_path("quiet_none");
+  const std::string seeded = temp_path("quiet_seeded");
+  record_roaming(plain, 2, 1, 0.4);
+  record_roaming(seeded, 2, 1, 0.4, "seed=9");
+  auto ra = CaptureReader::from_file(plain);
+  auto rb = CaptureReader::from_file(seeded);
+  ASSERT_TRUE(ra && rb);
+  ASSERT_TRUE(ra->header());
+  EXPECT_EQ(ra->header()->version, kSacpVersionFleet);  // not chaos
+  const CaptureDiff diff = diff_captures(*ra, *rb);
+  EXPECT_TRUE(diff.equal) << diff.detail;
+  std::remove(plain.c_str());
+  std::remove(seeded.c_str());
+}
+
+/// A lossy roaming run is recorded deterministically at any dataplane
+/// thread count, carries kTransport verdicts, and replays byte-for-byte
+/// — the capture fixes the channel, not just the radio.
+TEST(FleetTransportCapture, LossyRunIsDeterministicAndReplays) {
+  const std::string kPlan =
+      "seed=3,drop=0.15,dup=0.05,reorder=0.05,delay=0.05,corrupt=0.05";
+  const std::string base = temp_path("lossy_t1");
+  record_roaming(base, 2, 1, 0.6, kPlan);
+  {
+    auto reader = CaptureReader::from_file(base);
+    ASSERT_TRUE(reader.has_value());
+    ASSERT_TRUE(reader->header());
+    EXPECT_EQ(reader->header()->version, kSacpVersionChaos);
+    const ValidationReport report = reader->validate();
+    EXPECT_TRUE(report.ok) << report.error;
+  }
+  for (const std::size_t threads : {2u, 8u}) {
+    const std::string other =
+        temp_path("lossy_t" + std::to_string(threads));
+    record_roaming(other, 2, threads, 0.6, kPlan);
+    auto ra = CaptureReader::from_file(base);
+    auto rb = CaptureReader::from_file(other);
+    ASSERT_TRUE(ra && rb);
+    const CaptureDiff diff = diff_captures(*ra, *rb);
+    EXPECT_TRUE(diff.equal) << "threads=" << threads << ": " << diff.detail;
+    std::remove(other.c_str());
+  }
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    const FleetReplayResult result = replay_fleet_capture(base, threads);
+    EXPECT_TRUE(result.ok) << "threads=" << threads << ": " << result.error;
+  }
+  // A capture whose fault plan is tampered with must fail to replay:
+  // either outright (bad plan string) or because the transport verdicts
+  // no longer match the recorded ones.
+  {
+    auto reader = CaptureReader::from_file(base);
+    ASSERT_TRUE(reader.has_value());
+    ByteStream bytes = reader->bytes();
+    const std::string needle = "drop=0.15";
+    const std::string swap = "drop=0.95";
+    auto it = std::search(bytes.begin(), bytes.end(), needle.begin(),
+                          needle.end());
+    ASSERT_NE(it, bytes.end());
+    std::copy(swap.begin(), swap.end(), it);
+    const FleetReplayResult tampered =
+        replay_fleet_capture(std::move(bytes), 1);
+    EXPECT_FALSE(tampered.ok);
+    EXPECT_FALSE(tampered.error.empty());
+  }
+  std::remove(base.c_str());
+}
+
+/// Forced total loss: the migration degrades to a cold start — the
+/// destination owns the client at the bumped generation, the stranded
+/// export can never be imported afterwards, and the source forgot the
+/// client.
+TEST(FleetTransportCapture, ColdStartDegradesGracefully) {
+  FleetConfig config = small_fleet(2, 1);
+  config.fault_plan.drop = 1.0;
+  config.link.max_attempts = 2;
+  config.link.rto_ticks = 2;
+  FleetCoordinator fleet(config);
+  const MacAddress mac = MacAddress::from_index(4);
+
+  fleet.notify_association(mac, 0);
+  const HandoffResult move = fleet.notify_association(mac, 1);
+  EXPECT_EQ(move.outcome, FleetImportOutcome::kApplied);
+  EXPECT_TRUE(move.migrated);
+  EXPECT_EQ(move.transport, HandoffOutcome::kColdStart);
+  EXPECT_EQ(move.attempts, 2u);
+  EXPECT_EQ(fleet.home_site(mac), std::optional<std::uint32_t>(1));
+  EXPECT_EQ(fleet.generation_of(mac), std::optional<std::uint64_t>(2));
+
+  // The export that never arrived is stale by construction now.
+  ASSERT_FALSE(move.wire.empty());
+  EXPECT_EQ(fleet.apply_handoff(move.wire), FleetImportOutcome::kStale);
+
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.cold_starts, 1u);
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.handoffs_stale, 1u);
+  fleet.close();
+}
+
+/// The in-process chaos matrix: every fault kind, three seeds, full
+/// convergence — the capture_tool `chaos` command's contract, asserted
+/// where ctest can see it.
+TEST(FleetTransportCapture, ChaosMatrixConverges) {
+  const std::vector<std::string> plans = {
+      "drop=0.25", "dup=0.2", "reorder=0.2", "corrupt=0.2",
+      "drop=0.1,dup=0.1,reorder=0.1,corrupt=0.1"};
+  const std::size_t kClients = 6, kMoves = 4, kSites = 3;
+  for (const auto& text : plans) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      auto plan = FaultPlan::parse(text);
+      ASSERT_TRUE(plan.has_value()) << text;
+      plan->seed = seed;
+      FleetConfig config = small_fleet(kSites, 1);
+      config.fault_plan = *plan;
+      FleetCoordinator fleet(config);
+      for (std::size_t m = 0; m < kMoves; ++m) {
+        for (std::size_t c = 0; c < kClients; ++c) {
+          fleet.notify_association(
+              MacAddress::from_index(static_cast<std::uint32_t>(c + 1)),
+              static_cast<std::uint32_t>((c + m) % kSites));
+        }
+      }
+      fleet.close();
+      for (std::size_t c = 0; c < kClients; ++c) {
+        const MacAddress mac =
+            MacAddress::from_index(static_cast<std::uint32_t>(c + 1));
+        EXPECT_EQ(fleet.home_site(mac),
+                  std::optional<std::uint32_t>((c + kMoves - 1) % kSites))
+            << text << " seed=" << seed << " client=" << c;
+        EXPECT_EQ(fleet.generation_of(mac),
+                  std::optional<std::uint64_t>(kMoves))
+            << text << " seed=" << seed << " client=" << c;
+      }
+      const FleetStats stats = fleet.stats();
+      EXPECT_EQ(stats.handoffs_malformed, 0u);
+      EXPECT_EQ(stats.handoffs_bad_site, 0u);
+      EXPECT_EQ(stats.cold_starts, stats.timeouts);
+      EXPECT_GE(stats.handoffs_applied + stats.cold_starts,
+                kClients * (kMoves - 1));
+    }
+  }
+}
+
+/// The home map rides the compact FlatLruMap substrate and reports its
+/// footprint through FleetStats.
+TEST(FleetTransportCapture, HomeMapFootprintIsAccounted) {
+  FleetConfig config = small_fleet(2, 1);
+  FleetCoordinator fleet(config);
+  EXPECT_EQ(fleet.stats().home_clients, 0u);
+  for (std::uint32_t c = 0; c < 48; ++c) {
+    fleet.notify_association(MacAddress::from_index(c + 1), c % 2);
+  }
+  const FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.home_clients, 48u);
+  EXPECT_GT(stats.home_map_bytes, 48 * (6 + 12));  // > keys + values raw
+  fleet.close();
 }
 
 // ------------------------------------------------------------ the oracle

@@ -25,8 +25,24 @@
 //                              [--no-replay] [--policies CSV]
 //                              [--max-tracked N] [--fleet]
 //   capture_tool fuzz-wire [--seed S] [--count N] [--ops K]
-//                         # mutate an encoded FleetWire client-state
-//                         message; decode must reject cleanly, never UB
+//                         # blind byte-flips of every FleetWire frame
+//                         # kind (kClientState, kTransportData, kAck)
+//                         # PLUS structure-aware hostiles: valid SAFW
+//                         # framing around truncated nested SAT1
+//                         # blocks, max-length tracker claims, bad
+//                         # checksums, reserved flags, and inner
+//                         # messages truncated at every prefix — decode
+//                         # must reject cleanly, never UB
+//   capture_tool chaos    [--sites N] [--clients C] [--moves M]
+//                         [--seeds CSV] [--plan SPEC]... [--drivers D]
+//                         # in-process fault-matrix: roam C clients
+//                         # across N sites under each (plan, seed) cell
+//                         # and require convergence — every client ends
+//                         # homed at its final site with an exact
+//                         # generation, no malformed import accepted.
+//                         # --plan is repeatable ("none" = perfect
+//                         # channel); --drivers D issues handoffs from
+//                         # D concurrent threads (distinct MACs).
 // Exit status: 0 = success / equal / all replays clean; 1 = mismatch or
 // invalid input; 2 = usage.
 #include <cstdio>
@@ -35,6 +51,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sa/capture/reader.hpp"
@@ -42,9 +59,12 @@
 #include "sa/capture/writer.hpp"
 #include "sa/common/error.hpp"
 #include "sa/engine/session.hpp"
+#include "sa/fleet/coordinator.hpp"
 #include "sa/fleet/replay.hpp"
+#include "sa/fleet/transport.hpp"
 #include "sa/fleet/wire.hpp"
 #include "sa/secure/policy.hpp"
+#include "sa/signature/serialize.hpp"
 #include "sa/sim/deployment.hpp"
 
 using namespace sa;
@@ -65,7 +85,10 @@ namespace {
                "                                  [--ops K] [--no-replay]\n"
                "                                  [--policies CSV]\n"
                "                                  [--max-tracked N] [--fleet]\n"
-               "       capture_tool fuzz-wire [--seed S] [--count N] [--ops K]\n");
+               "       capture_tool fuzz-wire [--seed S] [--count N] [--ops K]\n"
+               "       capture_tool chaos    [--sites N] [--clients C]\n"
+               "                             [--moves M] [--seeds CSV]\n"
+               "                             [--plan SPEC]... [--drivers D]\n");
   std::exit(2);
 }
 
@@ -112,6 +135,7 @@ int cmd_inspect(const std::string& path) {
   std::vector<std::uint64_t> chunks_per_ap(h.num_aps, 0);
   std::vector<std::uint64_t> samples_per_ap(h.num_aps, 0);
   std::uint64_t decisions = 0, accepted = 0, drains = 0, assocs = 0;
+  std::uint64_t transports = 0, cold_starts = 0, transport_attempts = 0;
   std::map<std::uint32_t, std::uint64_t> decisions_per_site;
   std::optional<EndRecord> end;
   for (;;) {
@@ -134,6 +158,14 @@ int cmd_inspect(const std::string& path) {
         if (rec->site_decision->decision.accepted) ++accepted;
         break;
       case RecordType::kAssoc: ++assocs; break;
+      case RecordType::kTransport:
+        ++transports;
+        if (rec->transport->outcome ==
+            static_cast<std::uint32_t>(HandoffOutcome::kColdStart)) {
+          ++cold_starts;
+        }
+        transport_attempts += rec->transport->attempts;
+        break;
       case RecordType::kDrain: ++drains; break;
       case RecordType::kEnd: end = rec->end; break;
     }
@@ -153,6 +185,12 @@ int cmd_inspect(const std::string& path) {
   }
   if (assocs > 0) {
     std::printf("  assocs: %llu\n", static_cast<unsigned long long>(assocs));
+  }
+  if (transports > 0) {
+    std::printf("  transports: %llu (%llu cold start(s), %llu attempt(s))\n",
+                static_cast<unsigned long long>(transports),
+                static_cast<unsigned long long>(cold_starts),
+                static_cast<unsigned long long>(transport_attempts));
   }
   std::printf("  drains: %llu\n", static_cast<unsigned long long>(drains));
   if (!reader.error().empty()) {
@@ -177,10 +215,15 @@ int cmd_validate(const std::vector<std::string>& paths) {
     const ValidationReport report = reader.validate();
     if (report.ok) {
       std::printf(
-          "%s: OK (%llu chunks, %llu decisions, %llu drains)\n", path.c_str(),
+          "%s: OK (%llu chunks, %llu decisions, %llu drains", path.c_str(),
           static_cast<unsigned long long>(report.chunks),
           static_cast<unsigned long long>(report.decisions),
           static_cast<unsigned long long>(report.drains));
+      if (report.transports > 0) {
+        std::printf(", %llu transports",
+                    static_cast<unsigned long long>(report.transports));
+      }
+      std::printf(")\n");
     } else {
       std::printf("%s: INVALID at record %zu: %s\n", path.c_str(),
                   report.record_index, report.error.c_str());
@@ -424,10 +467,60 @@ int cmd_fuzz_fleet(const std::string& path, std::uint64_t seed,
   return 0;
 }
 
-/// FleetWire decode fuzz: mutate a well-formed kClientState message
-/// (MAC + generation + tracker snapshot + ACL verdict + rate residue —
-/// every optional block present) and require decode_client_state to
-/// return nullopt or a valid message, never UB.
+/// FNV-1a-32 over a byte range — the kTransportData payload checksum
+/// (part of the wire contract, so the hostile-frame builder below can
+/// produce envelopes the decoder has no framing excuse to reject).
+std::uint32_t wire_fnv1a32(const std::uint8_t* data, std::size_t len) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 0x01000193u;
+  }
+  return h;
+}
+
+/// A raw SAFW frame with a caller-controlled payload — the hostile
+/// framing builder the real encoders refuse to be.
+ByteStream raw_frame(std::uint32_t type, const ByteStream& payload) {
+  ByteStream out;
+  put_u32(out, kFleetWireMagic);
+  put_u32(out, kFleetWireVersion);
+  put_u32(out, type);
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+/// A kTransportData envelope with a valid checksum around arbitrary
+/// cargo: the framing is flawless, so only the nested decode can save
+/// the receiver.
+ByteStream hostile_envelope(std::uint64_t seq, std::uint32_t flags,
+                            const ByteStream& inner) {
+  ByteStream payload;
+  put_u64(payload, seq);
+  put_u32(payload, flags);
+  put_u32(payload, static_cast<std::uint32_t>(inner.size()));
+  payload.insert(payload.end(), inner.begin(), inner.end());
+  put_u32(payload, wire_fnv1a32(payload.data(), payload.size()));
+  return raw_frame(static_cast<std::uint32_t>(FleetWireType::kTransportData),
+                   payload);
+}
+
+/// FleetWire decode fuzz, two regimes over every frame kind:
+///
+///  1. Blind byte-flips: mutate well-formed kClientState /
+///     kTransportData / kAck messages and require each decoder (and
+///     peek_type) to return nullopt or a valid message, never UB.
+///  2. Structure-aware hostiles: frames whose OUTER framing is
+///     flawless — valid magic/version/type/length, correct envelope
+///     checksum — but whose interior is malicious: a nested SAT1
+///     tracker block truncated mid-structure, a tracker length field
+///     claiming the 64 MiB maximum over a tiny buffer, the inner
+///     message truncated at every prefix, reserved flag bits, a
+///     max-length rate residue with trailing garbage. These bypass
+///     every cheap outer check, so they pin down the deep validation;
+///     each one MUST be rejected, and an unexpected accept fails the
+///     run.
 int cmd_fuzz_wire(std::uint64_t seed, std::size_t count, std::size_t ops) {
   FleetClientState msg;
   msg.mac = MacAddress::from_index(42);
@@ -450,24 +543,167 @@ int cmd_fuzz_wire(std::uint64_t seed, std::size_t count, std::size_t ops) {
   msg.state.acl_allowed = true;
   msg.state.rate_in_window = 5;
   const ByteStream original = encode_client_state(msg);
-  if (!decode_client_state(original)) {
-    std::printf("fuzz-wire: round-trip of the seed message failed\n");
+  FleetTransportData data_msg;
+  data_msg.seq = 9;
+  data_msg.retransmit = true;
+  data_msg.inner = original;
+  const ByteStream original_data = encode_transport_data(data_msg);
+  FleetAck ack_msg;
+  ack_msg.seq = 9;
+  ack_msg.duplicate = true;
+  const ByteStream original_ack = encode_ack(ack_msg);
+  if (!decode_client_state(original) ||
+      !decode_transport_data(original_data) || !decode_ack(original_ack)) {
+    std::printf("fuzz-wire: round-trip of a seed message failed\n");
     return 1;
   }
+
+  // Regime 1: blind byte-flips of each frame kind.
   std::size_t decoded = 0, rejected = 0;
   for (std::size_t i = 0; i < count; ++i) {
-    const ByteStream mutant = mutate_capture(original, seed + i, ops);
-    if (decode_client_state(mutant)) {
-      ++decoded;
-    } else {
-      ++rejected;
+    const ByteStream m1 = mutate_capture(original, seed + i, ops);
+    const ByteStream m2 = mutate_capture(original_data, seed + i, ops);
+    const ByteStream m3 = mutate_capture(original_ack, seed + i, ops);
+    (void)peek_type(m1);
+    (void)peek_type(m2);
+    (void)peek_type(m3);
+    decoded += decode_client_state(m1).has_value();
+    decoded += decode_transport_data(m2).has_value();
+    decoded += decode_ack(m3).has_value();
+    rejected += !decode_client_state(m1).has_value();
+    rejected += !decode_transport_data(m2).has_value();
+    rejected += !decode_ack(m3).has_value();
+  }
+
+  // Regime 2: structure-aware hostiles — each must be rejected.
+  std::vector<std::pair<std::string, bool>> hostiles;  // (name, rejected)
+  auto expect_reject_state = [&](const std::string& name,
+                                 const ByteStream& bytes) {
+    hostiles.emplace_back(name, !decode_client_state(bytes).has_value());
+  };
+  auto expect_reject_data = [&](const std::string& name,
+                                const ByteStream& bytes) {
+    hostiles.emplace_back(name, !decode_transport_data(bytes).has_value());
+  };
+  auto expect_reject_ack = [&](const std::string& name,
+                               const ByteStream& bytes) {
+    hostiles.emplace_back(name, !decode_ack(bytes).has_value());
+  };
+
+  const std::uint32_t kStateType =
+      static_cast<std::uint32_t>(FleetWireType::kClientState);
+  const std::uint32_t kAckType =
+      static_cast<std::uint32_t>(FleetWireType::kAck);
+  auto state_prefix = [&](std::uint32_t flags) {
+    ByteStream p;
+    for (std::uint8_t octet : msg.mac.octets()) put_u8(p, octet);
+    put_u64(p, msg.generation);
+    put_u32(p, msg.source_site);
+    put_u32(p, msg.dest_site);
+    put_u32(p, flags);
+    return p;
+  };
+
+  // Truncated nested SAT1 block: the outer tracker_len is honest about
+  // the truncation, so only the snapshot parser can notice.
+  const ByteStream sat1 = serialize_tracker_snapshot(*msg.state.tracker);
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, sat1.size() / 2,
+                           sat1.size() - 1}) {
+    ByteStream p = state_prefix(/*flags=*/1u << 0);
+    put_u32(p, static_cast<std::uint32_t>(keep));
+    p.insert(p.end(), sat1.begin(), sat1.begin() + keep);
+    expect_reject_state("sat1-truncated@" + std::to_string(keep),
+                        raw_frame(kStateType, p));
+  }
+  // Max-length tracker claim over a near-empty buffer: the 64 MiB
+  // bound itself is in range, so the remaining-bytes check is the only
+  // thing standing between the length field and a giant allocation.
+  {
+    ByteStream p = state_prefix(/*flags=*/1u << 0);
+    put_u32(p, 1u << 26);
+    put_u8(p, 0xAA);
+    expect_reject_state("sat1-64MiB-claim", raw_frame(kStateType, p));
+  }
+  // Max-length residue: a valid rate field followed by trailing bytes
+  // up to the frame's own length limit — total decode demands the
+  // payload tile exactly.
+  {
+    ByteStream p = state_prefix(/*flags=*/1u << 3);
+    put_u32(p, 0xFFFFFFFFu);
+    for (int i = 0; i < 4096; ++i) put_u8(p, 0x55);
+    expect_reject_state("rate-residue-trailing", raw_frame(kStateType, p));
+  }
+  // Reserved client-state flag bits.
+  expect_reject_state("state-reserved-flags",
+                      raw_frame(kStateType, state_prefix(0xFFFFFFF0u)));
+  // Inner message truncated at every prefix, shipped inside an
+  // envelope whose checksum is CORRECT for the truncated cargo: the
+  // transport layer accepts it, the nested client-state decode must
+  // not.
+  std::size_t inner_truncations = 0;
+  for (std::size_t keep = 0; keep < original.size(); ++keep) {
+    const ByteStream inner(original.begin(), original.begin() + keep);
+    const ByteStream env = hostile_envelope(1, 0, inner);
+    const auto envelope = decode_transport_data(env);
+    if (!envelope) {
+      hostiles.emplace_back("envelope-of-prefix@" + std::to_string(keep),
+                            false);  // envelope itself must stay valid
+      continue;
+    }
+    if (decode_client_state(envelope->inner)) {
+      hostiles.emplace_back("inner-prefix@" + std::to_string(keep), false);
+    }
+    ++inner_truncations;
+  }
+  // Transport envelope hostiles: reserved flags, checksum off by one
+  // bit, inner_len disagreeing with the payload, ack truncated at
+  // every prefix and with reserved flags.
+  expect_reject_data("envelope-reserved-flags",
+                     hostile_envelope(1, 0xFFFFFFFEu, original));
+  {
+    ByteStream env = hostile_envelope(1, 0, original);
+    env.back() ^= 0x01;
+    expect_reject_data("envelope-bad-checksum", env);
+  }
+  {
+    ByteStream p;
+    put_u64(p, 1);
+    put_u32(p, 0);
+    put_u32(p, static_cast<std::uint32_t>(original.size() + 1));  // lies
+    p.insert(p.end(), original.begin(), original.end());
+    put_u32(p, wire_fnv1a32(p.data(), p.size()));
+    expect_reject_data(
+        "envelope-inner-len-mismatch",
+        raw_frame(static_cast<std::uint32_t>(FleetWireType::kTransportData),
+                  p));
+  }
+  for (std::size_t keep = 0; keep < original_ack.size(); ++keep) {
+    expect_reject_ack(
+        "ack-prefix@" + std::to_string(keep),
+        ByteStream(original_ack.begin(), original_ack.begin() + keep));
+  }
+  {
+    ByteStream p;
+    put_u64(p, 9);
+    put_u32(p, 0xFFFFFFFEu);
+    expect_reject_ack("ack-reserved-flags", raw_frame(kAckType, p));
+  }
+
+  std::size_t hostile_accepted = 0;
+  for (const auto& [name, behaved] : hostiles) {
+    if (!behaved) {
+      std::printf("fuzz-wire: hostile case FAILED: %s\n", name.c_str());
+      ++hostile_accepted;
     }
   }
   std::printf(
-      "fleet-wire: %zu mutant(s), seed %llu, %zu op(s) each: %zu still "
-      "decodable, %zu rejected — no crashes\n",
-      count, static_cast<unsigned long long>(seed), ops, decoded, rejected);
-  return 0;
+      "fleet-wire: %zu blind mutant(s) x3 kinds, seed %llu, %zu op(s) each: "
+      "%zu still decodable, %zu rejected; %zu structure-aware hostile(s) "
+      "(%zu inner truncations) — %zu wrongly accepted, no crashes\n",
+      count, static_cast<unsigned long long>(seed), ops, decoded, rejected,
+      hostiles.size() + inner_truncations, inner_truncations,
+      hostile_accepted);
+  return hostile_accepted == 0 ? 0 : 1;
 }
 
 int cmd_fuzz(const std::string& path, std::uint64_t seed, std::size_t count,
@@ -552,6 +788,167 @@ int cmd_fuzz(const std::string& path, std::uint64_t seed, std::size_t count,
   }
   std::printf(" — no crashes\n");
   return 0;
+}
+
+/// One cell of the chaos matrix: roam `clients` walkers across `sites`
+/// under `plan`, then require convergence. Every client visits site
+/// (c + m) % sites on move m, so consecutive moves always migrate; the
+/// end state is fully determined no matter what the channel did:
+///   home(c)       == (c + moves - 1) % sites
+///   generation(c) == moves            (first assoc = 1, +1 per move)
+/// plus: no malformed or bad-site import ever accepted, cold starts
+/// only from exhausted retry loops (cold_starts == timeouts), and
+/// every migration accounted for as delivered or cold-started. With
+/// `drivers` > 1 the handoffs are issued from that many concurrent
+/// threads (distinct MACs race, same-MAC order is preserved), which is
+/// the configuration the CI sanitizer jobs run.
+bool chaos_cell(const FaultPlan& plan, std::size_t sites, std::size_t clients,
+                std::size_t moves, std::size_t drivers) {
+  FleetConfig config;
+  config.spec.site.num_aps = 2;
+  config.spec.site.antennas = 4;
+  config.spec.num_sites = sites;
+  config.threads_per_site = 1;
+  config.spoof_idle_frames = 0;
+  config.fault_plan = plan;
+  FleetCoordinator fleet(config);
+
+  auto mac_of = [](std::size_t c) {
+    return MacAddress::from_index(static_cast<std::uint32_t>(c + 1));
+  };
+  auto drive = [&](std::size_t driver) {
+    // Each driver owns clients c ≡ driver (mod drivers) and interleaves
+    // their moves round-robin, keeping per-MAC order.
+    for (std::size_t m = 0; m < moves; ++m) {
+      for (std::size_t c = driver; c < clients; c += drivers) {
+        fleet.notify_association(
+            mac_of(c), static_cast<std::uint32_t>((c + m) % sites));
+      }
+    }
+  };
+  if (drivers <= 1) {
+    drive(0);
+  } else {
+    std::vector<std::thread> threads;
+    for (std::size_t d = 0; d < drivers; ++d) {
+      threads.emplace_back(drive, d);
+    }
+    for (auto& t : threads) t.join();
+  }
+  fleet.close();
+
+  bool ok = true;
+  for (std::size_t c = 0; c < clients; ++c) {
+    const auto home = fleet.home_site(mac_of(c));
+    const auto gen = fleet.generation_of(mac_of(c));
+    const std::uint32_t want =
+        static_cast<std::uint32_t>((c + moves - 1) % sites);
+    if (home != std::optional<std::uint32_t>(want)) {
+      std::printf("    FAIL: client %zu homed at %s, want site %u\n", c,
+                  home ? std::to_string(*home).c_str() : "nowhere", want);
+      ok = false;
+    }
+    if (gen != std::optional<std::uint64_t>(moves)) {
+      std::printf("    FAIL: client %zu at generation %llu, want %zu\n", c,
+                  gen ? static_cast<unsigned long long>(*gen) : 0ull, moves);
+      ok = false;
+    }
+  }
+  const FleetStats stats = fleet.stats();
+  const std::uint64_t migrations =
+      static_cast<std::uint64_t>(clients) * (moves - 1);
+  if (stats.handoffs_malformed != 0 || stats.handoffs_bad_site != 0) {
+    std::printf("    FAIL: %llu malformed / %llu bad-site imports accepted "
+                "into the stats\n",
+                static_cast<unsigned long long>(stats.handoffs_malformed),
+                static_cast<unsigned long long>(stats.handoffs_bad_site));
+    ok = false;
+  }
+  if (stats.cold_starts != stats.timeouts) {
+    std::printf("    FAIL: %llu cold starts but %llu timeouts\n",
+                static_cast<unsigned long long>(stats.cold_starts),
+                static_cast<unsigned long long>(stats.timeouts));
+    ok = false;
+  }
+  // Every migration ends delivered or cold-started. (The sum can exceed
+  // the migration count: a delivered export whose acks all died counts
+  // both ways, and a post-cold-start straggler lands in handoffs_stale.)
+  if (stats.handoffs_applied + stats.cold_starts < migrations) {
+    std::printf("    FAIL: %llu applied + %llu cold starts < %llu "
+                "migrations\n",
+                static_cast<unsigned long long>(stats.handoffs_applied),
+                static_cast<unsigned long long>(stats.cold_starts),
+                static_cast<unsigned long long>(migrations));
+    ok = false;
+  }
+  const TransportStats tstats = fleet.transport_stats();
+  std::printf(
+      "    %llu migration(s): %llu applied, %llu cold start(s), %llu "
+      "retries, %llu stale, %llu dup-suppressed, %llu corrupt-dropped | "
+      "channel: %llu sent, %llu dropped, %llu dup, %llu reordered, %llu "
+      "delayed, %llu corrupted %s\n",
+      static_cast<unsigned long long>(migrations),
+      static_cast<unsigned long long>(stats.handoffs_applied),
+      static_cast<unsigned long long>(stats.cold_starts),
+      static_cast<unsigned long long>(stats.retries),
+      static_cast<unsigned long long>(stats.handoffs_stale),
+      static_cast<unsigned long long>(stats.duplicates_suppressed),
+      static_cast<unsigned long long>(stats.corrupt_dropped),
+      static_cast<unsigned long long>(tstats.sent),
+      static_cast<unsigned long long>(tstats.dropped),
+      static_cast<unsigned long long>(tstats.duplicated),
+      static_cast<unsigned long long>(tstats.reordered),
+      static_cast<unsigned long long>(tstats.delayed),
+      static_cast<unsigned long long>(tstats.corrupted),
+      ok ? "-> converged" : "-> FAILED");
+  return ok;
+}
+
+int cmd_chaos(std::size_t sites, std::size_t clients, std::size_t moves,
+              const std::vector<std::uint64_t>& seeds,
+              std::vector<std::string> plans, std::size_t drivers) {
+  if (sites < 2 || clients < 1 || moves < 2 || drivers < 1) {
+    std::fprintf(stderr,
+                 "capture_tool: chaos needs >=2 sites, >=1 client, >=2 "
+                 "moves, >=1 driver\n");
+    return 2;
+  }
+  if (plans.empty()) {
+    // The default matrix: a perfect-channel baseline, each fault kind
+    // in isolation, the everything-at-once mix, and a near-dead link
+    // that forces the cold-start path.
+    plans = {"none",
+             "drop=0.05",
+             "drop=0.25",
+             "dup=0.2",
+             "reorder=0.2",
+             "corrupt=0.2",
+             "drop=0.1,dup=0.1,reorder=0.1,corrupt=0.1",
+             "drop=0.9"};
+  }
+  std::size_t cells = 0, failed = 0;
+  for (const auto& text : plans) {
+    FaultPlan plan;
+    if (text != "none" && !text.empty()) {
+      const auto parsed = FaultPlan::parse(text);
+      if (!parsed) {
+        std::fprintf(stderr, "capture_tool: bad fault plan '%s'\n",
+                     text.c_str());
+        return 2;
+      }
+      plan = *parsed;
+    }
+    for (const std::uint64_t seed : seeds) {
+      plan.seed = seed;
+      std::printf("  plan=%s seed=%llu:\n",
+                  text.empty() ? "none" : text.c_str(),
+                  static_cast<unsigned long long>(seed));
+      ++cells;
+      if (!chaos_cell(plan, sites, clients, moves, drivers)) ++failed;
+    }
+  }
+  std::printf("chaos: %zu cell(s), %zu failed\n", cells, failed);
+  return failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -658,6 +1055,41 @@ int main(int argc, char** argv) {
       }
     }
     return cmd_fuzz_wire(seed, count, ops);
+  }
+  if (cmd == "chaos") {
+    std::size_t sites = 4;
+    std::size_t clients = 12;
+    std::size_t moves = 6;
+    std::size_t drivers = 1;
+    std::vector<std::uint64_t> seeds;
+    std::vector<std::string> plans;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i] == "--sites" && i + 1 < args.size()) {
+        sites = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (args[i] == "--clients" && i + 1 < args.size()) {
+        clients = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (args[i] == "--moves" && i + 1 < args.size()) {
+        moves = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (args[i] == "--drivers" && i + 1 < args.size()) {
+        drivers = std::strtoull(args[++i].c_str(), nullptr, 10);
+      } else if (args[i] == "--seeds" && i + 1 < args.size()) {
+        const std::string csv = args[++i];
+        std::size_t start = 0;
+        while (start <= csv.size()) {
+          std::size_t comma = csv.find(',', start);
+          if (comma == std::string::npos) comma = csv.size();
+          seeds.push_back(std::strtoull(
+              csv.substr(start, comma - start).c_str(), nullptr, 10));
+          start = comma + 1;
+        }
+      } else if (args[i] == "--plan" && i + 1 < args.size()) {
+        plans.push_back(args[++i]);
+      } else {
+        usage();
+      }
+    }
+    if (seeds.empty()) seeds = {1, 2, 3};
+    return cmd_chaos(sites, clients, moves, seeds, plans, drivers);
   }
   usage();
 }
